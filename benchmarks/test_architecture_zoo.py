@@ -1,0 +1,86 @@
+"""Benchmark A4 (extension) — the small-footprint KWS family.
+
+§VI: the implementation "lays the groundwork to port larger ...
+architectures".  This harness runs every zoo architecture through the
+identical pipeline (train briefly on a structured task, quantize with
+the generic converter, execute on the simulated core) and prints the
+classic accuracy/latency/size trade-off table of the KWS literature.
+"""
+
+import numpy as np
+import pytest
+
+from repro.eval.report import format_table
+from repro.hw.timing import VirtualClock
+from repro.tflm.interpreter import Interpreter
+from repro.tflm.serialize import serialize_model
+from repro.train import TrainConfig, train_network
+from repro.train.convert import fingerprint_to_int8
+from repro.train.zoo import ZOO, build_architecture, convert_network_int8
+
+
+def _task(n=180, seed=17):
+    rng = np.random.default_rng(seed)
+    y = rng.integers(0, 12, size=n)
+    x = rng.random((n, 49, 43, 1)) * 0.2
+    for i in range(n):
+        row = (y[i] * 4) % 45
+        x[i, row:row + 4, 10:30, 0] += 0.7
+    return x, y
+
+
+def test_bench_architecture_zoo(benchmark, capsys):
+    x, y = _task()
+
+    def measure_all():
+        rows = {}
+        for name in sorted(ZOO):
+            network = build_architecture(name)
+            train_network(network, x, y,
+                          TrainConfig(epochs=4, learning_rate=0.05))
+            model = convert_network_int8(network, x[:48], name=name)
+            interpreter = Interpreter(model)
+            interpreter.attach_timing(VirtualClock(), 2.4e9,
+                                      l2_excluded=True)
+            correct = 0
+            for i in range(40):
+                fingerprint = (x[i, :, :, 0] * 255).astype(np.uint8)
+                index, _ = interpreter.classify(
+                    fingerprint_to_int8(fingerprint))
+                correct += int(index == y[i])
+            rows[name] = {
+                "accuracy": correct / 40,
+                "macs": model.total_macs(),
+                "size_kb": len(serialize_model(model)) / 1024,
+                "latency_ms": interpreter.last_stats.simulated_ms,
+                "params": network.parameter_count(),
+            }
+        return rows
+
+    rows = benchmark.pedantic(measure_all, rounds=1, iterations=1)
+
+    table = [[name,
+              f"{r['accuracy']:.0%}",
+              f"{r['params']:,}",
+              f"{r['macs']:,}",
+              f"{r['size_kb']:.1f} kB",
+              f"{r['latency_ms']:.2f} ms"]
+             for name, r in rows.items()]
+    with capsys.disabled():
+        print("\n=== A4: small-footprint KWS architecture family "
+              "(in-enclave, L2-excluded) ===")
+        print(format_table(
+            ["architecture", "acc*", "params", "MACs", "artifact",
+             "sim latency"], table))
+        print("(*accuracy on the quick structured task, not Speech "
+              "Commands — see tests for the real-data runs)")
+
+    # The canonical trade-off shape.
+    assert rows["conv_pool"]["macs"] > rows["tiny_conv"]["macs"]
+    assert rows["low_latency_conv"]["macs"] < rows["tiny_conv"]["macs"]
+    assert (rows["low_latency_conv"]["latency_ms"]
+            < rows["tiny_conv"]["latency_ms"]
+            < rows["conv_pool"]["latency_ms"])
+    assert rows["fc_baseline"]["size_kb"] > rows["tiny_conv"]["size_kb"]
+    # tiny_conv is the paper's calibration anchor.
+    assert rows["tiny_conv"]["latency_ms"] == pytest.approx(3.87, rel=0.02)

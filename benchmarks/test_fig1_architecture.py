@@ -1,0 +1,60 @@
+"""Benchmark F1 — Fig. 1: the TrustZone architecture.
+
+Fig. 1 is structural: two worlds, physical memory partitioning, trusted
+apps above a trusted OS.  The harness regenerates the architecture as an
+access-control matrix from the live simulation (with an OMG enclave
+deployed, so the SANCTUARY region shows up) and benchmarks the TZASC
+filter, the hot path every memory access crosses.
+"""
+
+import pytest
+
+from repro.eval.figures import fig1_access_matrix, format_fig1
+from repro.hw.memory import AccessType, World
+
+
+@pytest.fixture(scope="module")
+def deployed_platform(pretrained_model):
+    from benchmarks.conftest import make_omg_session
+
+    session = make_omg_session(pretrained_model, seed=b"bench-fig1")
+    session.prepare()
+    session.initialize()
+    return session.platform, session
+
+
+def test_bench_fig1_architecture(benchmark, deployed_platform, capsys):
+    platform, session = deployed_platform
+
+    def build_matrix():
+        return fig1_access_matrix(platform)
+
+    matrix = benchmark(build_matrix)
+
+    with capsys.disabled():
+        print("\n=== Fig. 1: TrustZone architecture & memory partitioning ===")
+        print(format_fig1(platform))
+
+    # The paper's partitioning, as properties of the matrix:
+    secure = matrix["secure-world"]
+    assert not secure["commodity-os"] and secure["secure-world"]
+    enclave = matrix[session.instance.region.name]
+    assert not enclave["commodity-os"]          # two-way isolation
+    assert not enclave["dma-engine"]            # DMA attack protection
+    assert enclave["bound-core"]                # the SA's own core
+    assert enclave["secure-world"]              # trusted IO path
+    mailbox = matrix[session.instance.os_shm_region.name]
+    assert mailbox["commodity-os"]              # untrusted shared memory
+
+
+def test_bench_tzasc_filter_throughput(benchmark, deployed_platform):
+    """The TZASC check is on every bus transaction; keep it cheap."""
+    platform, session = deployed_platform
+    tzasc = platform.soc.tzasc
+    base = session.instance.os_shm_region.base
+
+    def checks():
+        for _ in range(100):
+            tzasc.check(base, 64, World.NORMAL, 0, AccessType.READ)
+
+    benchmark(checks)

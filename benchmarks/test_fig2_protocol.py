@@ -1,0 +1,76 @@
+"""Benchmark F2 — Fig. 2: the OMG protocol, step by step.
+
+Runs the complete preparation -> initialization -> operation sequence
+and prints the per-step transcript (step number, phase, trusted vs
+untrusted I/O, bytes moved, simulated milliseconds), regenerating the
+protocol diagram as a table.  The benchmark body is the full
+prepare+initialize pipeline, the cost a device pays once per model
+version.
+"""
+
+import pytest
+
+from repro.audio.speech_commands import SyntheticSpeechCommands
+from repro.core.protocol import Phase
+from repro.eval.figures import expected_fig2_sequence, fig2_step_table
+
+
+def test_bench_fig2_protocol(benchmark, pretrained_model, capsys):
+    from benchmarks.conftest import make_omg_session
+
+    def full_protocol():
+        session = make_omg_session(pretrained_model, seed=b"bench-fig2")
+        session.prepare()
+        session.initialize()
+        return session
+
+    session = benchmark.pedantic(full_protocol, rounds=1, iterations=1)
+
+    clip = SyntheticSpeechCommands().render("yes", 0)
+    result = session.recognize_via_microphone(clip.samples)
+
+    with capsys.disabled():
+        print("\n=== Fig. 2: OMG protocol transcript ===")
+        print(fig2_step_table(session))
+        print(f"recognized: {result.label!r}")
+
+    assert session.transcript.step_numbers() == expected_fig2_sequence()
+    # Shape: preparation dominated by enclave setup/boot; operation
+    # dominated by the 1 s real-time audio capture.
+    prep = session.transcript.phase_duration_ms(Phase.PREPARATION)
+    init = session.transcript.phase_duration_ms(Phase.INITIALIZATION)
+    operation = session.transcript.phase_duration_ms(Phase.OPERATION)
+    assert init < prep
+    assert operation > 1000.0  # the 1 s clip plays in real time
+    # Model ciphertext is the biggest transfer of the protocol.
+    step3 = next(s for s in session.transcript.steps if s.number == 3)
+    assert step3.bytes_moved == max(s.bytes_moved
+                                    for s in session.transcript.steps
+                                    if s.number <= 6)
+
+
+def test_bench_repeated_queries_skip_phases_1_and_2(benchmark,
+                                                    pretrained_model,
+                                                    capsys):
+    """§V: 'Once in the operation phase, the system can be queried
+    repetitively, thereby avoiding repeated preparation and
+    initialization costs as well as interaction with V.'"""
+    from benchmarks.conftest import make_omg_session
+
+    session = make_omg_session(pretrained_model, seed=b"bench-fig2-rep")
+    session.prepare()
+    session.initialize()
+    dataset = SyntheticSpeechCommands()
+    clips = [dataset.render("go", i).samples for i in range(5)]
+
+    def five_queries():
+        for clip in clips:
+            session.recognize_clip(clip)
+
+    benchmark.pedantic(five_queries, rounds=1, iterations=1)
+    assert session.vendor.keys_released == 1
+    assert session.vendor.provisioned_count == 1
+    with capsys.disabled():
+        print(f"\n5 repeated queries: vendor interactions stayed at "
+              f"{session.vendor.keys_released} key release / "
+              f"{session.vendor.provisioned_count} provisioning")

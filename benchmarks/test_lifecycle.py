@@ -1,0 +1,81 @@
+"""Benchmark A1 (ablation) — enclave life-cycle cost amortization.
+
+§V operation phase: between queries the SANCTUARY core returns to the
+commodity OS while the memory stays locked, so repeated queries pay a
+resume (core re-allocation) instead of a full setup+boot+attest.  This
+harness prints the one-time costs and the per-query amortization curve.
+"""
+
+import pytest
+
+from repro.audio.speech_commands import SyntheticSpeechCommands
+from repro.eval.report import format_table
+
+
+def test_bench_lifecycle_breakdown(benchmark, pretrained_model, capsys):
+    from benchmarks.conftest import make_omg_session
+
+    def launch_and_teardown():
+        session = make_omg_session(pretrained_model, seed=b"bench-lc")
+        session.prepare()
+        session.initialize()
+        session.teardown()
+        return session
+
+    session = benchmark.pedantic(launch_and_teardown, rounds=1, iterations=1)
+    costs = session.instance.costs
+    rows = [
+        ["setup (load, lock, core shutdown)", f"{costs.setup_ms:.1f}"],
+        ["boot (measure, keygen, SL boot)", f"{costs.boot_ms:.1f}"],
+        ["attestation report", f"{costs.attest_ms:.1f}"],
+        ["teardown (L1 inval, scrub, unlock)", f"{costs.teardown_ms:.1f}"],
+    ]
+    with capsys.disabled():
+        print("\n=== enclave life-cycle costs (simulated ms) ===")
+        print(format_table(["phase", "ms"], rows))
+    assert costs.boot_ms > costs.setup_ms  # keygen+measure dominate
+    assert costs.total_ms() < 400.0        # well under half a second
+
+
+def test_bench_amortization_curve(benchmark, pretrained_model, capsys):
+    """Per-query cost vs number of queries in one operation phase."""
+    from benchmarks.conftest import make_omg_session
+
+    session = make_omg_session(pretrained_model, seed=b"bench-amort")
+    session.prepare()
+    session.initialize()
+    one_time_ms = (session.instance.costs.setup_ms
+                   + session.instance.costs.boot_ms
+                   + session.instance.costs.attest_ms)
+    dataset = SyntheticSpeechCommands()
+    fingerprints = None
+
+    from repro.audio.features import FingerprintExtractor
+
+    extractor = FingerprintExtractor()
+    fingerprints = [extractor.extract(dataset.render("yes", i).samples)
+                    for i in range(4)]
+
+    def query_with_suspend_cycle():
+        session.suspend()
+        before = session.clock.now_ms
+        session.recognize_fingerprint(fingerprints[0])
+        return session.clock.now_ms - before
+
+    per_query_ms = benchmark.pedantic(query_with_suspend_cycle,
+                                      rounds=3, iterations=1)
+
+    rows = []
+    for n in (1, 10, 100, 1000):
+        amortized = (one_time_ms + n * per_query_ms) / n
+        rows.append([str(n), f"{amortized:.2f}"])
+    with capsys.disabled():
+        print("\n=== amortized cost per query (simulated ms) ===")
+        print(f"one-time (setup+boot+attest): {one_time_ms:.1f} ms; "
+              f"per query incl. resume: {per_query_ms:.2f} ms")
+        print(format_table(["queries", "ms/query"], rows))
+
+    # Shape: amortization makes the one-time cost vanish.
+    assert (one_time_ms + 1000 * per_query_ms) / 1000 < per_query_ms * 1.3
+    # A resumed query costs resume + inference, both small.
+    assert per_query_ms < 30.0

@@ -1,0 +1,33 @@
+"""Benchmark X2 — §VI in-text: "The resulting compressed model is about
+49 kB in size."
+
+Measures the serialized int8 artifact (the thing OMG encrypts and
+ships), its breakdown, and the serialization round-trip cost.
+"""
+
+import pytest
+
+from repro.tflm.serialize import deserialize_model, serialize_model
+
+
+def test_bench_model_size(benchmark, pretrained_model, capsys):
+    blob = benchmark(lambda: serialize_model(pretrained_model))
+    size_kb = len(blob) / 1024
+    weights_kb = pretrained_model.weight_bytes() / 1024
+    with capsys.disabled():
+        print(f"\n=== model artifact ===")
+        print(f"serialized OMGM artifact: {size_kb:.1f} kB "
+              f"(paper: 'about 49 kB')")
+        print(f"  weights: {weights_kb:.1f} kB, format overhead: "
+              f"{size_kb - weights_kb:.1f} kB")
+        print(f"  parameters: conv 8x(8x10x1)+8, fc 12x4400+12")
+        print(f"  MACs per inference: {pretrained_model.total_macs():,}")
+    # Same band as the paper's "about 49 kB".
+    assert 45 < size_kb < 60
+    assert pretrained_model.total_macs() == 404_800
+
+
+def test_bench_model_deserialize(benchmark, pretrained_model):
+    blob = serialize_model(pretrained_model)
+    model = benchmark(lambda: deserialize_model(blob))
+    assert model.metadata.name == pretrained_model.metadata.name

@@ -1,0 +1,62 @@
+"""Benchmark A8 (extension) — accuracy vs noise level.
+
+The standard KWS evaluation axis the paper's recipe inherits from the
+TFLM example: how does the fixed model degrade as the acoustic
+environment gets noisier?  The trained model is evaluated on test
+subsets re-rendered at scaled noise floors (the training noise level is
+the calibrated 1.0x point).
+"""
+
+import pytest
+
+from repro.audio.features import FingerprintExtractor
+from repro.audio.speech_commands import (
+    SpeechCommandsConfig,
+    SyntheticSpeechCommands,
+)
+from repro.eval.report import format_table
+from repro.tflm.interpreter import Interpreter
+from repro.train.convert import fingerprint_to_int8
+
+NOISE_FACTORS = [0.5, 1.0, 2.0, 4.0]
+PER_CLASS = 5
+
+
+def test_bench_noise_robustness(benchmark, pretrained_model, capsys):
+    extractor = FingerprintExtractor()
+    interpreter = Interpreter(pretrained_model)
+    base = SpeechCommandsConfig()
+
+    def sweep():
+        accuracies = {}
+        for factor in NOISE_FACTORS:
+            config = SpeechCommandsConfig(
+                noise_rms=base.noise_rms * factor,
+                formant_jitter=base.formant_jitter,
+                seed=base.seed)
+            dataset = SyntheticSpeechCommands(config)
+            subset = dataset.paper_test_subset(per_class=PER_CLASS)
+            correct = 0
+            for utterance in subset:
+                fingerprint = extractor.extract(utterance.samples)
+                index, _ = interpreter.classify(
+                    fingerprint_to_int8(fingerprint))
+                correct += int(index == utterance.label_idx)
+            accuracies[factor] = correct / len(subset)
+        return accuracies
+
+    accuracies = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = [[f"{factor:.1f}x", f"{accuracies[factor]:.0%}"]
+            for factor in NOISE_FACTORS]
+    with capsys.disabled():
+        print("\n=== A8: accuracy vs noise floor (model trained at 1.0x) ===")
+        print(format_table(["noise level", "accuracy"], rows))
+
+    # Shape: graceful degradation — monotone non-increasing within one
+    # misclassified-clip tolerance, collapsing at 4x noise.
+    tolerance = 1.5 / (PER_CLASS * 10)
+    for easier, harder in zip(NOISE_FACTORS, NOISE_FACTORS[1:]):
+        assert accuracies[harder] <= accuracies[easier] + tolerance
+    assert accuracies[0.5] >= 0.6
+    assert accuracies[4.0] <= 0.5

@@ -1,0 +1,42 @@
+"""Benchmark A6 (extension) — offline OMG vs online TEE (VoiceGuard).
+
+§I motivates offline processing with latency, availability, and roaming;
+§II positions VoiceGuard as the online TEE alternative.  This harness
+sweeps mobile network conditions and compares per-query latency of the
+on-device OMG deployment against the server-enclave deployment.
+"""
+
+import pytest
+
+from repro.baselines.voiceguard import TYPICAL_NETWORKS, VoiceGuardModel
+from repro.eval.report import format_table
+
+OMG_QUERY_MS = 3.87 + 4.6   # inference + in-enclave feature extraction
+
+
+def test_bench_offline_vs_online(benchmark, capsys):
+    model = VoiceGuardModel()
+
+    rows_raw = benchmark(lambda: model.compare_against_omg(OMG_QUERY_MS))
+
+    rows = []
+    for name, latency, slowdown in rows_raw:
+        rows.append([
+            name,
+            f"{latency:.1f} ms" if latency is not None else "unavailable",
+            f"{slowdown:.1f}x" if slowdown is not None else "-",
+        ])
+    rows.append(["OMG (on-device)", f"{OMG_QUERY_MS:.1f} ms", "1.0x"])
+    with capsys.disabled():
+        print("\n=== A6: per-query latency, online TEE vs offline OMG ===")
+        print(format_table(["network", "online (VoiceGuard-style)",
+                            "vs OMG"], rows))
+        print("(OMG works identically on every row, including offline)")
+
+    by_name = {name: latency for name, latency, _ in rows_raw}
+    # Shape: online loses everywhere, catastrophically on bad links,
+    # entirely when offline.
+    assert by_name["offline"] is None
+    assert by_name["wifi"] > OMG_QUERY_MS
+    assert by_name["edge"] > 100 * OMG_QUERY_MS
+    assert by_name["wifi"] < by_name["lte"] < by_name["3g"] < by_name["edge"]

@@ -1,0 +1,66 @@
+"""Benchmark A3 (ablation) — provisioning crypto cost vs model size.
+
+The preparation phase runs once per model version (§V: "steps 3 and 4
+can be omitted until the vendor's model is updated").  This harness
+sweeps the model size from the paper's 49 kB tiny_conv up to the 80 MB
+Google dictation model the introduction motivates, and reports the
+AES-GCM encrypt/decrypt cost — showing provisioning stays practical even
+for production-scale models.
+"""
+
+import pytest
+
+from repro.core.provisioning import decrypt_model, encrypt_model
+from repro.crypto.rng import HmacDrbg
+from repro.eval.report import format_table
+from repro.hw.timing import DEFAULT_PROFILE
+
+MiB = 1024 * 1024
+# Host-measured pure-Python AES-GCM is not the deployment number; the
+# simulated cost uses the profile's aes_mib_per_s (ARM software AES).
+SWEEP = [
+    ("tiny_conv (this paper)", 53 * 1024),
+    ("small CNN", 512 * 1024),
+    ("medium RNN", 4 * MiB),
+    ("Google dictation [6]", 80 * MiB),
+]
+
+
+def test_bench_provision_tiny_conv(benchmark, pretrained_model, capsys):
+    """Host benchmark: encrypt+decrypt of the actual 53 kB artifact."""
+    from repro.tflm.serialize import serialize_model
+
+    blob = serialize_model(pretrained_model)
+    key = b"K" * 16
+    rng = HmacDrbg(b"bench-prov")
+
+    def roundtrip():
+        encrypted = encrypt_model(blob, key, "sa#1", "tiny_conv", 1,
+                                  b"n" * 16, rng)
+        return decrypt_model(encrypted, key)
+
+    result = benchmark(roundtrip)
+    assert result == blob
+
+
+def test_bench_provisioning_size_sweep(benchmark, capsys):
+    """Simulated on-device decryption time across model scales."""
+    rate = DEFAULT_PROFILE.aes_mib_per_s
+
+    def sweep():
+        return [(name, size, 1000.0 * (size / MiB) / rate)
+                for name, size in SWEEP]
+
+    results = benchmark(sweep)
+    rows = [[name, f"{size / 1024:.0f} kB", f"{ms:.1f} ms"]
+            for name, size, ms in results]
+    with capsys.disabled():
+        print("\n=== A3: in-enclave model decryption vs model size ===")
+        print(format_table(["model", "size", "simulated decrypt"], rows))
+        print(f"(software AES-GCM at {rate:.0f} MiB/s on the A73 core; "
+              "one-time per model version)")
+
+    tiny_ms = results[0][2]
+    dictation_ms = results[-1][2]
+    assert tiny_ms < 1.0            # tiny_conv decrypts in under 1 ms
+    assert dictation_ms < 2000.0    # even 80 MB stays under 2 s

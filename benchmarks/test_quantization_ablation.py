@@ -1,0 +1,81 @@
+"""Benchmark A9 (ablation) — what int8 quantization costs and buys.
+
+The paper deploys the quantized "micro" model (§VI).  This harness
+compares the float32 and int8 versions of the identical trained network:
+accuracy on the evaluation subset, artifact size (what gets encrypted
+and shipped), and simulated on-device latency.
+"""
+
+import numpy as np
+import pytest
+
+from repro.audio.features import FingerprintExtractor
+from repro.audio.speech_commands import LABELS, SyntheticSpeechCommands
+from repro.eval.pretrained import standard_network
+from repro.eval.report import format_table
+from repro.hw.timing import DEFAULT_PROFILE, VirtualClock
+from repro.tflm.interpreter import Interpreter
+from repro.tflm.serialize import serialize_model
+from repro.train.convert import (
+    convert_tiny_conv_float,
+    convert_tiny_conv_int8,
+    fingerprint_to_int8,
+)
+from repro.train.data import features_to_float
+
+
+def test_bench_quantization_ablation(benchmark, pretrained_model, capsys):
+    network = standard_network()
+    dataset = SyntheticSpeechCommands()
+    extractor = FingerprintExtractor()
+    subset = dataset.paper_test_subset(per_class=5)
+    fingerprints = [extractor.extract(u.samples) for u in subset]
+    labels = [u.label_idx for u in subset]
+
+    calibration = features_to_float(
+        np.stack(fingerprints[:32]).astype(np.uint8))
+    float_model = convert_tiny_conv_float(network, labels=tuple(LABELS))
+    int8_model = convert_tiny_conv_int8(network, calibration,
+                                        labels=tuple(LABELS))
+
+    def evaluate(model, as_float):
+        interpreter = Interpreter(model)
+        interpreter.attach_timing(VirtualClock(), 2.4e9, l2_excluded=True)
+        correct = 0
+        for fingerprint, label in zip(fingerprints, labels):
+            if as_float:
+                x = (fingerprint.astype(np.float32) / 255.0).reshape(
+                    1, 49, 43, 1)
+            else:
+                x = fingerprint_to_int8(fingerprint)
+            index, _ = interpreter.classify(x)
+            correct += int(index == label)
+        return (correct / len(labels),
+                interpreter.last_stats.simulated_ms,
+                len(serialize_model(model)))
+
+    def run_both():
+        return (evaluate(float_model, as_float=True),
+                evaluate(int8_model, as_float=False))
+
+    (f_acc, f_ms, f_size), (q_acc, q_ms, q_size) = benchmark.pedantic(
+        run_both, rounds=1, iterations=1)
+
+    rows = [
+        ["float32", f"{f_acc:.0%}", f"{f_size / 1024:.0f} kB",
+         f"{f_ms:.2f} ms"],
+        ["int8 (deployed)", f"{q_acc:.0%}", f"{q_size / 1024:.0f} kB",
+         f"{q_ms:.2f} ms"],
+    ]
+    with capsys.disabled():
+        print("\n=== A9: quantization ablation (same trained weights) ===")
+        print(format_table(["precision", "accuracy", "artifact",
+                            "sim latency"], rows))
+
+    # Shape: int8 gives ~4x smaller artifacts and ~3x faster reference
+    # kernels at <= a few points of accuracy.
+    assert q_size < f_size / 3
+    assert q_ms < f_ms / 2
+    assert q_ms / f_ms == pytest.approx(
+        1 / DEFAULT_PROFILE.float_mac_multiplier, rel=0.1)
+    assert abs(q_acc - f_acc) <= 0.06

@@ -1,0 +1,75 @@
+"""Benchmark T1 — Table I: accuracy and runtime with and without OMG.
+
+Regenerates both rows of the paper's only table on the simulated
+HiKey 960 and prints them next to the published values.  The paper
+reports 75 % accuracy in both configurations, 379 ms (native) vs 387 ms
+(OMG) for the 100-clip subset, and a real-time factor of 0.004x.
+"""
+
+import pytest
+
+from repro.eval.table1 import PAPER_TABLE1, format_table1, run_table1
+
+
+@pytest.fixture(scope="module")
+def table1_rows(pretrained_model):
+    return run_table1(model=pretrained_model, per_class=10, key_bits=768)
+
+
+def test_bench_table1(benchmark, table1_rows, pretrained_model, capsys):
+    """Re-measures the OMG row (the expensive part) as the benchmark
+    body; asserts the shape of the full table against the paper."""
+    rows = table1_rows
+
+    def omg_row():
+        return run_table1(model=pretrained_model, per_class=2,
+                          key_bits=768)["omg"]
+
+    benchmark.pedantic(omg_row, rounds=1, iterations=1)
+
+    with capsys.disabled():
+        print("\n=== Table I: keyword recognition with and without OMG ===")
+        print(format_table1(rows))
+        print(f"real-time factor: measured "
+              f"{rows['native'].realtime_factor:.4f}x, paper "
+              f"{PAPER_TABLE1['realtime_factor']:.3f}x")
+
+    # Shape assertions: who wins and by what factor.
+    assert rows["omg"].accuracy == rows["native"].accuracy
+    assert abs(rows["native"].accuracy
+               - PAPER_TABLE1["native"]["accuracy"]) <= 0.08
+    assert rows["native"].runtime_ms == pytest.approx(
+        PAPER_TABLE1["native"]["runtime_ms"], rel=0.02)
+    assert rows["omg"].runtime_ms == pytest.approx(
+        PAPER_TABLE1["omg"]["runtime_ms"], rel=0.02)
+    ratio = rows["omg"].runtime_ms / rows["native"].runtime_ms
+    assert 1.0 < ratio < 1.05
+
+
+def test_bench_single_inference_native(benchmark, pretrained_model,
+                                       evaluation_set):
+    """Host-side speed of one simulated native inference."""
+    from repro.baselines.native import NativeKeywordSpotter
+    from repro.trustzone.worlds import make_platform
+
+    native = NativeKeywordSpotter(
+        make_platform(seed=b"bench-native", key_bits=768), pretrained_model)
+    fingerprint = evaluation_set[0][0]
+    result = benchmark(lambda: native.recognize_fingerprint(fingerprint))
+    assert result.inference_ms == pytest.approx(3.79, rel=0.02)
+
+
+def test_bench_single_inference_omg(benchmark, pretrained_model,
+                                    evaluation_set, capsys):
+    """Host-side speed of one simulated in-enclave inference."""
+    from benchmarks.conftest import make_omg_session
+
+    session = make_omg_session(pretrained_model)
+    session.prepare()
+    session.initialize()
+    fingerprint = evaluation_set[0][0]
+    result = benchmark(lambda: session.recognize_fingerprint(fingerprint))
+    with capsys.disabled():
+        print(f"\nsimulated OMG inference: {result.inference_ms:.3f} ms "
+              f"(paper: 387 ms / 100 = 3.87 ms)")
+    assert result.inference_ms == pytest.approx(3.87, rel=0.02)

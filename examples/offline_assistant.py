@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""The motivating scenario of §I: an offline voice assistant.
+
+A user issues voice commands to a phone with no network connection.
+Every utterance flows microphone -> secure world -> enclave; between
+commands the SANCTUARY core is handed back to the commodity OS while
+the enclave memory stays locked (§V operation phase).  The script keeps
+a running tally proving that the device never talks to the vendor after
+initialization and that per-query overhead amortizes to almost nothing.
+
+Run:  python examples/offline_assistant.py
+"""
+
+from repro import quickstart_session
+from repro.sanctuary.lifecycle import EnclaveState
+
+ACTIONS = {
+    "on": "lights on",
+    "off": "lights off",
+    "up": "volume up",
+    "down": "volume down",
+    "stop": "music paused",
+    "go": "navigation started",
+    "yes": "confirmed",
+    "no": "cancelled",
+    "left": "previous track",
+    "right": "next track",
+}
+
+session, dataset, extractor = quickstart_session(seed=b"assistant")
+vendor = session.vendor
+print("assistant ready — device is now fully offline\n")
+
+commands = ["on", "up", "up", "stop", "go", "no", "off",
+            "left", "right", "yes"]
+correct = 0
+keys_before = vendor.keys_released
+
+for index, word in enumerate(commands):
+    # Between queries the enclave core belongs to the OS again.
+    if session.instance.state is EnclaveState.ACTIVE:
+        session.suspend()
+    clip = dataset.render(word, utterance_index=10 + index)
+    start_ms = session.clock.now_ms
+    result = session.recognize_via_microphone(clip.samples,
+                                              record_transcript=False)
+    elapsed = session.clock.now_ms - start_ms
+    action = ACTIONS.get(result.label, f"(unknown: {result.label})")
+    hit = result.label == word
+    correct += int(hit)
+    note = "" if hit else f", misheard {word!r}"
+    print(f"[{session.clock.now_s:7.2f}s] heard {result.label!r:8} "
+          f"-> {action:20} "
+          f"({elapsed - 1000:6.1f} ms processing after the 1 s "
+          f"capture{note})")
+
+print(f"\n{correct}/{len(commands)} commands recognized correctly")
+print(f"vendor interactions since initialization: "
+      f"{vendor.keys_released - keys_before} (offline as promised)")
+costs = session.instance.costs
+print(f"core reallocations: {costs.resume_count} resumes at "
+      f"{costs.resume_ms / max(costs.resume_count, 1):.1f} ms each; "
+      f"enclave memory stayed locked throughout")
+
+session.teardown()
+print("assistant shut down; enclave memory scrubbed")

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""A personal device: speaker-gated, personalized, reboot-surviving.
+
+Combines the extension features on one simulated phone:
+
+1. deploy the speaker-verifier SA and enroll the owner's voice — the
+   biometric template lives only in enclave memory;
+2. personalize the classifier head on the owner's own utterances,
+   entirely in-enclave;
+3. seal the personalized model to untrusted flash (bound to this device
+   and this enclave code);
+4. "reboot": tear the enclave down, relaunch, restore the sealed model
+   with zero vendor interaction;
+5. verify the owner, reject an impostor, and only then recognize.
+
+Run:  python examples/personal_device.py
+"""
+
+import numpy as np
+
+from repro.audio.features import FingerprintExtractor
+from repro.audio.speech_commands import SyntheticSpeechCommands
+from repro.core.omg import OmgSession
+from repro.core.parties import User, Vendor
+from repro.core.speaker_app import SpeakerVerifierApp
+from repro.eval.pretrained import standard_model
+from repro.trustzone.worlds import make_platform
+
+OWNER, INTRUDER = "wendy", "frank"
+PASSPHRASE = "go"
+
+model, _ = standard_model()
+dataset = SyntheticSpeechCommands()
+extractor = FingerprintExtractor()
+platform = make_platform(seed=b"personal-device")
+vendor = Vendor("acme-ml", model)
+app = SpeakerVerifierApp(threshold=0.90)
+session = OmgSession(platform, vendor, User(), app)
+session.prepare()
+session.initialize()
+print(f"deployed {session.instance.instance_name} with model "
+      f"v{app.model_version}\n")
+
+print("== enroll the owner's voiceprint (in-enclave biometric) ==")
+enroll_clips = [dataset.render(PASSPHRASE, i, speaker=OWNER).samples
+                for i in range(4)]
+app.enroll_speaker(session.ctx, OWNER, enroll_clips)
+address, length = app.template_location(session.ctx, OWNER)
+print(f"template: {length} bytes at enclave address {address:#x} "
+      "(TZASC-protected)")
+
+print("\n== personalize the keyword model on the owner's voice ==")
+words_and_labels = [("yes", 2), ("no", 3), ("up", 4), ("down", 5)]
+fingerprints = np.stack([
+    extractor.extract(dataset.render(word, 30 + i, speaker=OWNER).samples)
+    for word, _ in words_and_labels for i in range(3)])
+labels = np.array([label for _, label in words_and_labels
+                   for _ in range(3)])
+before_version = app.model_version
+app.personalize(session.ctx, fingerprints, labels)
+print(f"model v{before_version} -> v{app.model_version} (trunk frozen, "
+      "head adapted; nothing left the enclave)")
+
+print("\n== seal + reboot + restore, fully offline ==")
+path = app.save_sealed(session.ctx)
+print(f"sealed to untrusted flash: {path}")
+keys_before = vendor.keys_released
+session.teardown()
+print("device rebooted (enclave scrubbed)")
+
+app2 = SpeakerVerifierApp(threshold=0.90)
+instance = session.runtime.launch(app2)
+app2.load_sealed(instance.ctx)
+app2.verifier = None  # templates do not survive reboot by design
+from repro.core.speaker import SpeakerVerifier  # noqa: E402
+
+app2.verifier = SpeakerVerifier(app2.interpreter.model, threshold=0.90)
+app2.enroll_speaker(instance.ctx, OWNER, enroll_clips)  # re-enroll
+print(f"restored model v{app2.model_version} with "
+      f"{vendor.keys_released - keys_before} vendor interactions")
+
+print("\n== speaker-gated recognition ==")
+for speaker in (OWNER, INTRUDER):
+    probe = dataset.render(PASSPHRASE, 40, speaker=speaker).samples
+    verdict = app2.verify_speaker(instance.ctx, OWNER, probe)
+    status = "accepted" if verdict.accepted else "REJECTED"
+    print(f"{speaker:8} claims to be {OWNER}: score {verdict.score:.3f} "
+          f"-> {status}")
+    if verdict.accepted:
+        command = dataset.render("up", 41, speaker=speaker).samples
+        result = app2.recognize_clip(instance.ctx, command)
+        print(f"         command accepted: recognized {result.label!r}")
+
+instance.teardown()
+print("\ndevice locked; all enclave state scrubbed")

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Guided walkthrough of the OMG protocol — with live attacks.
+
+Narrates every step of paper Fig. 2 while it executes, then plays the
+adversary: tries to read enclave memory, steal the model from flash,
+snoop the microphone, roll back the model, and finally shows license
+revocation and the scrubbed teardown.
+
+Run:  python examples/protocol_walkthrough.py
+"""
+
+from repro.attacks.adversary import NormalWorldAdversary
+from repro.attacks.rollback import RollbackAttack
+from repro.audio.speech_commands import SyntheticSpeechCommands
+from repro.core.omg import KeywordSpotterApp, OmgSession
+from repro.core.parties import User, Vendor
+from repro.errors import LicenseError
+from repro.eval.figures import format_fig1
+from repro.eval.pretrained import standard_model
+from repro.trustzone.worlds import make_platform
+
+
+def banner(text: str) -> None:
+    print(f"\n{'=' * 72}\n{text}\n{'=' * 72}")
+
+
+def attack(outcome) -> None:
+    verdict = "SUCCEEDED (!!)" if outcome.succeeded else "blocked"
+    print(f"  attack {outcome.name!r}: {verdict} — {outcome.detail}")
+
+
+model, meta = standard_model()
+platform = make_platform(seed=b"walkthrough")
+vendor = Vendor("acme-ml", model)
+user = User("alice")
+session = OmgSession(platform, vendor, user, KeywordSpotterApp())
+adversary = NormalWorldAdversary(platform)
+
+banner("Phase I — preparation (steps 1-4 of Fig. 2)")
+session.prepare()
+print(f"enclave launched: {session.instance.instance_name} on core "
+      f"{session.instance.core_id}")
+print(f"user verified the attestation report: "
+      f"{user.trusts(session.instance.instance_name)}")
+print(f"vendor provisioned {len(vendor.model_bytes)} bytes of model "
+      f"ciphertext (version {vendor.model_version})")
+
+banner("The adversary controls the whole normal world — let it try")
+attack(adversary.probe_memory(session.instance.region))
+attack(adversary.dma_attack(session.instance.region))
+attack(adversary.search_flash_for_model())
+
+banner("Phase II — initialization (steps 5-6)")
+session.initialize()
+print(f"vendor released K_U (wrapped under the enclave key); model "
+      f"v{session.app.model_version} decrypted inside the enclave")
+attack(adversary.search_flash_for_model())  # still only ciphertext
+
+banner("Phase III — operation (steps 7-8), trusted audio path")
+dataset = SyntheticSpeechCommands()
+for word in ("left", "right", "on", "off"):
+    clip = dataset.render(word, 1)
+    result = session.recognize_via_microphone(clip.samples)
+    print(f"  mic -> enclave: {word!r} recognized as {result.label!r} "
+          f"({result.inference_ms:.2f} ms simulated inference)")
+attack(adversary.snoop_microphone())
+
+banner("Rollback attack: replay the v1 ciphertext after an update")
+rollback = RollbackAttack(session)
+path, old_blob = rollback.capture_current_artifact(
+    model.metadata.name, vendor.model_version)
+print(f"adversary snapshots {path} ({len(old_blob)} bytes)")
+
+from repro.tflm.model import ModelMetadata  # noqa: E402
+from repro.tflm.serialize import deserialize_model, serialize_model  # noqa: E402
+
+v2 = deserialize_model(serialize_model(model))
+v2.metadata = ModelMetadata(name=model.metadata.name, version=2,
+                            labels=model.metadata.labels,
+                            description="improved model")
+vendor.update_model(v2)
+vendor.accept_attestation(
+    session.instance.report,
+    type(session.runtime).expected_measurement(session.app),
+    platform.manufacturer_root.public_key)
+session.app.install_model(session.ctx,
+                          vendor.provision_model(
+                              session.instance.instance_name))
+print(f"vendor deployed model v{vendor.model_version}; adversary now "
+      "restores the stale v1 ciphertext on flash...")
+attack(rollback.replay(old_blob, new_version=2,
+                       model_name=model.metadata.name))
+
+banner("License revocation: the vendor stops the key")
+vendor.revoke(session.instance.instance_name)
+try:
+    vendor.release_key(session.instance.instance_name,
+                       session.clock.now_ms)
+    print("  (!!) key released despite revocation")
+except LicenseError as error:
+    print(f"  key release refused: {error}")
+
+banner("Teardown: scrub and hand everything back")
+region = session.instance.region
+session.teardown()
+attack(adversary.scan_for_residue(region))
+
+banner("Fig. 1 — final architecture state")
+print(format_fig1(platform))
+print(f"\ntotal simulated time: {session.clock.now_ms:.1f} ms")

@@ -1,0 +1,31 @@
+#!/usr/bin/env python3
+"""Quickstart: deploy OMG and recognize keywords, in ~20 lines.
+
+Builds the simulated HiKey 960, runs the full preparation and
+initialization phases with the pretrained keyword-spotting model (first
+ever run trains it and caches the artifact), then pushes a few spoken
+keywords through the trusted microphone path.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import quickstart_session
+
+session, dataset, extractor = quickstart_session()
+
+print(f"enclave:        {session.instance.instance_name}")
+print(f"measurement:    {session.instance.report.measurement.hex()[:32]}…")
+print(f"model version:  {session.app.model_version} "
+      f"({len(session.vendor.model_bytes) / 1024:.1f} kB encrypted on flash)")
+print()
+
+for word in ("yes", "no", "stop", "go"):
+    clip = dataset.render(word, utterance_index=3)
+    result = session.recognize_via_microphone(clip.samples)
+    marker = "ok" if result.label == word else "MISS"
+    print(f"spoken {word!r:8} -> recognized {result.label!r:8} "
+          f"[{marker}]  (inference: {result.inference_ms:.2f} ms simulated)")
+
+print()
+print("protocol transcript:")
+print(session.transcript.format_table())

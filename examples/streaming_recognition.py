@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Continuous (always-on) keyword recognition inside the enclave.
+
+The paper's prototype classifies discrete one-second clips; the TFLM
+micro_speech application it builds on listens *continuously*.  This
+example runs the streaming pipeline — rolling fingerprint window +
+temporally-smoothed command triggering — against a synthetic "day in the
+kitchen" audio stream with keywords embedded between stretches of
+background noise, using the same pretrained int8 model the Table I
+evaluation uses.
+
+Run:  python examples/streaming_recognition.py
+"""
+
+import numpy as np
+
+from repro.audio.speech_commands import LABELS, SyntheticSpeechCommands
+from repro.audio.streaming import (
+    CommandRecognizer,
+    RecognizerConfig,
+    StreamingFeatureExtractor,
+)
+from repro.eval.pretrained import standard_model
+from repro.tflm.interpreter import Interpreter
+from repro.train.convert import fingerprint_to_int8
+
+model, _ = standard_model()
+dataset = SyntheticSpeechCommands()
+interpreter = Interpreter(model)
+stream = StreamingFeatureExtractor()
+recognizer = CommandRecognizer(
+    LABELS, RecognizerConfig(detection_threshold=0.35,
+                             average_window_ms=400))
+
+# Build a 12-second stream: silence with four embedded commands.
+script = [("silence", 0), ("yes", 2), ("silence", 1), ("go", 3),
+          ("silence", 2), ("stop", 4), ("silence", 3), ("left", 0),
+          ("silence", 4)]
+audio = np.concatenate([dataset.render(word, index).samples
+                        for word, index in script])
+truth = [word for word, _ in script if word != "silence"]
+print(f"streaming {len(audio) / 16000:.0f} s of audio; embedded "
+      f"commands: {truth}\n")
+
+chunk = 320  # one 20 ms hop per iteration, as a real driver would
+inferences = 0
+for start in range(0, len(audio), chunk):
+    if not stream.feed(audio[start:start + chunk]):
+        continue
+    index, scores = interpreter.classify(
+        fingerprint_to_int8(stream.fingerprint()))
+    inferences += 1
+    probs = (scores.astype(np.float64) + 128) / 256.0
+    detection = recognizer.feed(probs, stream.stream_time_ms)
+    if detection:
+        print(f"[{detection.time_ms / 1000:6.2f}s] detected "
+              f"{detection.label!r} (smoothed score "
+              f"{detection.score:.2f})")
+
+found = [d.label for d in recognizer.detections]
+hits = sum(1 for word in truth if word in found)
+print(f"\n{inferences} window inferences over the stream "
+      f"({inferences / (len(audio) / 16000):.0f} per second)")
+print(f"detected {hits}/{len(truth)} embedded commands: {found}")
+print("every sample and every intermediate score stayed inside the "
+      "enclave boundary in the OMG deployment of this pipeline")

@@ -1,0 +1,10 @@
+"""Adversary simulations for the paper's threat model (§IV)."""
+
+from repro.attacks.adversary import AttackOutcome, NormalWorldAdversary
+from repro.attacks.cache_probe import PrimeProbeAttack, PrimeProbeResult
+from repro.attacks.rollback import RollbackAttack
+
+__all__ = [
+    "AttackOutcome", "NormalWorldAdversary", "RollbackAttack",
+    "PrimeProbeAttack", "PrimeProbeResult",
+]

@@ -1,0 +1,159 @@
+"""The normal-world adversary of the paper's threat model (§IV).
+
+"The adversary has full control over the software running in the normal
+world of the user's device, including privileged software like the
+commodity OS."  Each attack method exercises exactly the capabilities
+that grants — normal-world bus transactions from OS-held cores, DMA
+engines, flash access, mailbox traffic — and reports an
+:class:`AttackOutcome` the security tests assert on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import MemoryAccessError, PeripheralError
+from repro.hw.memory import MemoryRegion, World
+from repro.hw.core import CoreState
+from repro.tflm.serialize import MAGIC
+from repro.trustzone.worlds import Platform
+
+__all__ = ["AttackOutcome", "NormalWorldAdversary"]
+
+
+@dataclass
+class AttackOutcome:
+    """What an attack attempt achieved."""
+
+    name: str
+    succeeded: bool
+    detail: str = ""
+    extracted: bytes = field(default=b"", repr=False)
+
+
+class NormalWorldAdversary:
+    """Attacker driving the commodity OS and all normal-world hardware."""
+
+    def __init__(self, platform: Platform) -> None:
+        self.platform = platform
+        self.os = platform.commodity_os
+
+    # --- memory attacks ---------------------------------------------------
+
+    def probe_memory(self, region: MemoryRegion,
+                     sample_bytes: int = 256) -> AttackOutcome:
+        """Try to read enclave memory from every OS-held core."""
+        soc = self.platform.soc
+        for core in soc.cores:
+            if core.state is not CoreState.OS:
+                continue
+            try:
+                data = self.os.read_memory(region.base, sample_bytes,
+                                           core_id=core.core_id)
+                return AttackOutcome(
+                    "memory-probe", succeeded=True,
+                    detail=f"read {sample_bytes} bytes from core "
+                           f"{core.core_id}",
+                    extracted=data)
+            except MemoryAccessError:
+                continue
+        return AttackOutcome("memory-probe", succeeded=False,
+                             detail="all OS cores denied by TZASC")
+
+    def corrupt_memory(self, region: MemoryRegion) -> AttackOutcome:
+        """Try to overwrite enclave memory (integrity attack)."""
+        try:
+            self.os.write_memory(region.base, b"\xde\xad\xbe\xef" * 16)
+            return AttackOutcome("memory-corrupt", succeeded=True,
+                                 detail="TZASC accepted the write")
+        except MemoryAccessError as error:
+            return AttackOutcome("memory-corrupt", succeeded=False,
+                                 detail=str(error))
+
+    def dma_attack(self, region: MemoryRegion) -> AttackOutcome:
+        """Program a DMA master to exfiltrate enclave memory."""
+        try:
+            data = self.os.dma_read(region.base, 256)
+            return AttackOutcome("dma-read", succeeded=True,
+                                 detail="DMA engine bypassed the TZASC",
+                                 extracted=data)
+        except MemoryAccessError as error:
+            return AttackOutcome("dma-read", succeeded=False,
+                                 detail=str(error))
+
+    def scan_for_residue(self, region: MemoryRegion) -> AttackOutcome:
+        """After teardown: look for any surviving plaintext."""
+        try:
+            data = self.os.read_memory(region.base, region.size)
+        except MemoryAccessError as error:
+            return AttackOutcome("residue-scan", succeeded=False,
+                                 detail=f"region still locked: {error}")
+        nonzero = sum(1 for byte in data if byte)
+        if nonzero == 0:
+            return AttackOutcome("residue-scan", succeeded=False,
+                                 detail="memory fully scrubbed")
+        return AttackOutcome(
+            "residue-scan", succeeded=True,
+            detail=f"{nonzero} non-zero bytes survived teardown",
+            extracted=data)
+
+    # --- storage attacks ------------------------------------------------
+
+    def image_flash(self) -> bytes:
+        """Dump all untrusted storage, as a stolen device would be."""
+        return self.platform.soc.flash.raw_bytes()
+
+    def search_flash_for_model(self) -> AttackOutcome:
+        """Look for a plaintext OMGM artifact in the flash image."""
+        image = self.image_flash()
+        index = image.find(MAGIC)
+        if index >= 0:
+            return AttackOutcome(
+                "flash-model-theft", succeeded=True,
+                detail=f"plaintext model magic at flash offset {index}",
+                extracted=image[index:index + 64])
+        return AttackOutcome(
+            "flash-model-theft", succeeded=False,
+            detail=f"no plaintext model in {len(image)} flash bytes "
+                   "(ciphertext only)")
+
+    def tamper_flash(self, path: str, flip_offset: int) -> AttackOutcome:
+        """Flip one byte of a stored (encrypted) model artifact."""
+        try:
+            blob = bytearray(self.os.flash_load(path))
+        except PeripheralError as error:
+            return AttackOutcome("flash-tamper", succeeded=False,
+                                 detail=str(error))
+        if not 0 <= flip_offset < len(blob):
+            return AttackOutcome("flash-tamper", succeeded=False,
+                                 detail="offset outside artifact")
+        blob[flip_offset] ^= 0xFF
+        self.os.flash_store(path, bytes(blob))
+        return AttackOutcome("flash-tamper", succeeded=True,
+                             detail=f"flipped byte {flip_offset} of {path}")
+
+    # --- peripheral attacks ---------------------------------------------
+
+    def snoop_microphone(self, num_samples: int = 1600) -> AttackOutcome:
+        """Read the mic from the normal world (should be TZPC-blocked)."""
+        try:
+            samples = self.platform.soc.microphone.record(
+                num_samples, World.NORMAL)
+            return AttackOutcome(
+                "mic-snoop", succeeded=True,
+                detail="normal world captured raw audio",
+                extracted=samples.tobytes())
+        except PeripheralError as error:
+            return AttackOutcome("mic-snoop", succeeded=False,
+                                 detail=str(error))
+
+    # --- code tampering (pre-lock window) ----------------------------------
+
+    @staticmethod
+    def code_tamper_hook(payload: bytes = b"EVIL-PATCH"):
+        """A ``pre_lock_hook`` for :meth:`SanctuaryRuntime.launch`:
+        patches the loaded enclave code in the window between the OS
+        copying it and the TZASC lock.  Measurement must catch this."""
+        def hook(soc, region: MemoryRegion) -> None:
+            soc.bus.write(region.base + 64, payload, World.NORMAL, core_id=0)
+        return hook

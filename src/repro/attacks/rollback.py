@@ -1,0 +1,72 @@
+"""Rollback attack: replay a stale encrypted model after an update.
+
+Paper §V: "As the key K_U depends on the nonce n, this also prevents
+rollback attacks for U's locally stored model."  The attack keeps a
+copy of the v1 ciphertext, lets the vendor update to v2, restores the
+old bytes on flash, and hopes the enclave decrypts the outdated model.
+It must fail at authenticated decryption because the v2 key derives
+from a fresh nonce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.attacks.adversary import AttackOutcome
+from repro.core.omg import OmgSession
+from repro.core.provisioning import EncryptedModel, flash_path_for
+from repro.errors import AuthenticationError, ProtocolError
+
+__all__ = ["RollbackAttack"]
+
+
+@dataclass
+class RollbackAttack:
+    """Executes the stale-ciphertext replay against a session."""
+
+    session: OmgSession
+
+    def capture_current_artifact(self, model_name: str,
+                                 model_version: int) -> tuple[str, bytes]:
+        """Snapshot the provisioned ciphertext from untrusted flash."""
+        path = flash_path_for(self.session.app.name, model_name,
+                              model_version)
+        blob = self.session.platform.commodity_os.flash_load(path)
+        return path, blob
+
+    def replay(self, old_blob: bytes, new_version: int,
+               model_name: str) -> AttackOutcome:
+        """Re-store the stale ciphertext under the *new* version's path
+        and drive the enclave's unlock path with the vendor's new key.
+
+        The enclave will fetch what flash serves (attacker-controlled),
+        but GCM authentication under the fresh K_U must reject it.
+        """
+        commodity_os = self.session.platform.commodity_os
+        old = EncryptedModel.from_bytes(old_blob)
+        # Forge the header so the enclave looks up "version new_version"
+        # but receives the stale ciphertext and stale key nonce.
+        forged = EncryptedModel(
+            enclave_id=old.enclave_id, model_name=old.model_name,
+            model_version=old.model_version, key_nonce=old.key_nonce,
+            blob=old.blob)
+        new_path = flash_path_for(self.session.app.name, model_name,
+                                  new_version)
+        commodity_os.flash_store(new_path, forged.to_bytes())
+        try:
+            wrapped = self.session.vendor.release_key(
+                self.session.instance.instance_name,
+                self.session.clock.now_ms)
+            self.session.app.unlock_model(self.session.ctx, wrapped,
+                                          model_name)
+        except (AuthenticationError, ProtocolError) as error:
+            return AttackOutcome("rollback", succeeded=False,
+                                 detail=str(error))
+        loaded = self.session.app.model_version
+        if loaded != new_version:
+            return AttackOutcome(
+                "rollback", succeeded=True,
+                detail=f"enclave accepted stale model v{loaded} as "
+                       f"v{new_version}")
+        return AttackOutcome("rollback", succeeded=False,
+                             detail="enclave ended up with the fresh model")

@@ -1,0 +1,160 @@
+"""Fixed-point DSP: the 256-bin FFT front end of the TFLM recipe.
+
+Paper §VI: "Features are computed using a 256 bin fixed point FFT across
+30 ms windows (20 ms shift)".  A 512-point real FFT yields 256 usable
+frequency bins.  The FFT here is an integer radix-2 implementation with
+per-stage scaling — the same structure as the KissFFT-based fixed-point
+FFT TFLM uses on microcontrollers — plus a float reference used by the
+tests to bound the fixed-point error.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import AudioError
+
+__all__ = [
+    "FFT_SIZE", "NUM_BINS", "hann_window_q15", "apply_window_q15",
+    "fixed_point_fft", "fixed_point_fft_batch",
+    "power_spectrum_fixed", "power_spectrum_fixed_batch",
+    "power_spectrum_float",
+]
+
+FFT_SIZE = 512
+NUM_BINS = 256
+
+
+def _bit_reverse_indices(n: int) -> np.ndarray:
+    bits = n.bit_length() - 1
+    indices = np.arange(n)
+    reversed_indices = np.zeros(n, dtype=np.int64)
+    for bit in range(bits):
+        reversed_indices |= ((indices >> bit) & 1) << (bits - 1 - bit)
+    return reversed_indices
+
+
+_REV = _bit_reverse_indices(FFT_SIZE)
+# Q15 twiddle factors for all stages.
+_ANGLES = -2.0 * np.pi * np.arange(FFT_SIZE // 2) / FFT_SIZE
+_TW_RE = np.round(np.cos(_ANGLES) * 32767).astype(np.int64)
+_TW_IM = np.round(np.sin(_ANGLES) * 32767).astype(np.int64)
+
+
+def hann_window_q15(length: int) -> np.ndarray:
+    """Hann window coefficients in Q15 fixed point."""
+    n = np.arange(length)
+    window = 0.5 - 0.5 * np.cos(2.0 * np.pi * n / (length - 1))
+    return np.round(window * 32767).astype(np.int64)
+
+
+def apply_window_q15(samples: np.ndarray, window_q15: np.ndarray) -> np.ndarray:
+    """Apply a Q15 window to int16 samples; result stays int16-range."""
+    if samples.shape != window_q15.shape:
+        raise AudioError(
+            f"window length {window_q15.shape} != frame length {samples.shape}"
+        )
+    return (samples.astype(np.int64) * window_q15) >> 15
+
+
+def fixed_point_fft_batch(frames: np.ndarray) -> tuple[np.ndarray, np.ndarray, int]:
+    """Integer radix-2 DIT FFT with per-stage scaling, batched.
+
+    ``frames`` is an integer array of shape (N, L) with L <= FFT_SIZE
+    (zero padded).  Every butterfly stage halves the data to prevent
+    overflow, so the result is scaled down by 2^stages; the returned
+    ``shift`` (=9 for a 512-point FFT) lets callers undo the scaling.
+
+    Returns ``(real, imag, shift)`` as int64 arrays of shape
+    (N, FFT_SIZE).  All stages are vectorized over both the batch and
+    the butterfly blocks, keeping the per-element integer semantics of
+    the scalar microcontroller implementation.
+    """
+    frames = np.asarray(frames)
+    if frames.ndim != 2 or frames.shape[1] > FFT_SIZE:
+        raise AudioError(
+            f"fixed_point_fft_batch expects (N, <= {FFT_SIZE}), "
+            f"got {frames.shape}"
+        )
+    n = frames.shape[0]
+    re = np.zeros((n, FFT_SIZE), dtype=np.int64)
+    re[:, :frames.shape[1]] = frames.astype(np.int64)
+    re = re[:, _REV]
+    im = np.zeros((n, FFT_SIZE), dtype=np.int64)
+
+    stages = FFT_SIZE.bit_length() - 1
+    half = 1
+    step = FFT_SIZE // 2
+    for _ in range(stages):
+        tw_idx = (np.arange(half) * step) % (FFT_SIZE // 2)
+        wr = _TW_RE[tw_idx]
+        wi = _TW_IM[tw_idx]
+        blocks = FFT_SIZE // (2 * half)
+        re_view = re.reshape(n, blocks, 2, half)
+        im_view = im.reshape(n, blocks, 2, half)
+        top_re = re_view[:, :, 0, :]
+        bot_re = re_view[:, :, 1, :]
+        top_im = im_view[:, :, 0, :]
+        bot_im = im_view[:, :, 1, :]
+        # Q15 complex multiply of the bottom half by the twiddles.
+        br = (bot_re * wr - bot_im * wi) >> 15
+        bi = (bot_re * wi + bot_im * wr) >> 15
+        # Butterfly with a /2 scale per stage (overflow protection).
+        new_bot_re = (top_re - br) >> 1
+        new_bot_im = (top_im - bi) >> 1
+        re_view[:, :, 0, :] = (top_re + br) >> 1
+        im_view[:, :, 0, :] = (top_im + bi) >> 1
+        re_view[:, :, 1, :] = new_bot_re
+        im_view[:, :, 1, :] = new_bot_im
+        re = re_view.reshape(n, FFT_SIZE)
+        im = im_view.reshape(n, FFT_SIZE)
+        half *= 2
+        step //= 2
+    return re, im, stages
+
+
+def fixed_point_fft(samples: np.ndarray) -> tuple[np.ndarray, np.ndarray, int]:
+    """Single-frame convenience wrapper over the batched FFT."""
+    samples = np.asarray(samples)
+    if samples.ndim != 1:
+        raise AudioError(
+            f"fixed_point_fft expects a 1-D frame, got {samples.shape}"
+        )
+    re, im, shift = fixed_point_fft_batch(samples[np.newaxis, :])
+    return re[0], im[0], shift
+
+
+def power_spectrum_fixed_batch(frames: np.ndarray,
+                               window_q15: np.ndarray | None = None
+                               ) -> np.ndarray:
+    """Batched fixed-point power spectrum: (N, L) -> (N, NUM_BINS)."""
+    frames = np.asarray(frames)
+    if window_q15 is not None:
+        frames = (frames.astype(np.int64) * window_q15) >> 15
+    re, im, shift = fixed_point_fft_batch(frames)
+    power = re[:, :NUM_BINS] ** 2 + im[:, :NUM_BINS] ** 2
+    # Undo the 2^-shift amplitude scaling (power scales with its square).
+    return power << (2 * shift - 9)  # keep headroom: net scale 2^-9
+
+
+def power_spectrum_fixed(frame: np.ndarray,
+                         window_q15: np.ndarray | None = None) -> np.ndarray:
+    """Fixed-point power spectrum: window -> FFT -> |X|^2 per bin.
+
+    Returns ``NUM_BINS`` int64 power values (bins 0..255), rescaled to
+    undo the FFT's internal 2^-9 scaling so magnitudes are comparable
+    across implementations.
+    """
+    return power_spectrum_fixed_batch(frame[np.newaxis, :], window_q15)[0]
+
+
+def power_spectrum_float(frame: np.ndarray,
+                         window_q15: np.ndarray | None = None) -> np.ndarray:
+    """Float reference implementation of :func:`power_spectrum_fixed`."""
+    samples = frame.astype(np.float64)
+    if window_q15 is not None:
+        samples = samples * (window_q15.astype(np.float64) / 32767.0)
+    padded = np.zeros(FFT_SIZE)
+    padded[:len(samples)] = samples
+    spectrum = np.fft.rfft(padded)[:NUM_BINS]
+    return (np.abs(spectrum) ** 2) / 512.0  # match the 2^-9 net scale

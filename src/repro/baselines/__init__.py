@@ -1,0 +1,22 @@
+"""Comparison baselines: unprotected native execution, cryptographic
+alternatives (HE/SMPC cost models), and the online-TEE deployment."""
+
+from repro.baselines.crypto_baselines import (
+    BaselineEstimate,
+    HeCostModel,
+    SmpcCostModel,
+    interactive_layers,
+)
+from repro.baselines.native import NativeKeywordSpotter
+from repro.baselines.voiceguard import (
+    TYPICAL_NETWORKS,
+    NetworkCondition,
+    VoiceGuardModel,
+)
+
+__all__ = [
+    "NativeKeywordSpotter",
+    "BaselineEstimate", "HeCostModel", "SmpcCostModel",
+    "interactive_layers",
+    "VoiceGuardModel", "NetworkCondition", "TYPICAL_NETWORKS",
+]

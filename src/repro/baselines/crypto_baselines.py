@@ -1,0 +1,100 @@
+"""Cost models for the cryptographic alternatives (HE and SMPC).
+
+Paper §I/§II argue that homomorphic encryption is compute-bound and
+secure multi-party computation is communication-bound on mobile, which
+is why OMG is hardware-assisted; [27] (Slalom) quantifies TEEs as
+"several orders of magnitude" faster.  These models turn published
+measurements into per-inference estimates for *this* model so the
+comparison benchmark can reproduce the shape of that argument:
+
+* **HE** is anchored on CryptoNets (Dowlin et al., ICML'16): ~297 k MACs
+  (MNIST CNN) in ~250 s single-inference latency -> ~0.84 ms/MAC, with
+  essentially no online communication.
+* **SMPC** is anchored on MiniONN (Liu et al., CCS'17): the same-scale
+  MNIST CNN at ~9.4 s and ~657 MB online traffic -> ~31.6 us/MAC and
+  ~2.2 kB/MAC, plus one round trip per interactive layer.
+
+Both anchors are same-era (2016-2017) protocols on server-class CPUs;
+mobile silicon and radio links only widen the gap in OMG's favour, so
+the estimates are conservative for the paper's argument.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.tflm.model import Model
+
+__all__ = ["BaselineEstimate", "HeCostModel", "SmpcCostModel",
+           "interactive_layers"]
+
+
+@dataclass(frozen=True)
+class BaselineEstimate:
+    """Per-inference cost estimate for one protection technology."""
+
+    technology: str
+    latency_ms: float
+    communication_bytes: int
+    network_rounds: int
+
+    def slowdown_vs(self, reference_ms: float) -> float:
+        if reference_ms <= 0:
+            return float("inf")
+        return self.latency_ms / reference_ms
+
+
+def interactive_layers(model: Model) -> int:
+    """Layers needing interaction in typical SMPC protocols (non-linear
+    ops: activations, softmax, pooling)."""
+    interactive = {"relu", "relu6", "softmax", "max_pool_2d"}
+    count = sum(1 for op in model.operators if op.opcode in interactive)
+    # Fused conv/FC activations also need an interactive step.
+    count += sum(1 for op in model.operators
+                 if op.params.get("activation") == "relu")
+    return max(count, 1)
+
+
+@dataclass(frozen=True)
+class HeCostModel:
+    """Homomorphic-encryption inference estimate (CryptoNets anchor)."""
+
+    ms_per_mac: float = 0.84
+    ciphertext_expansion: int = 400   # ciphertext bytes per plaintext byte
+    fixed_setup_ms: float = 2500.0    # encoding + encryption of the input
+
+    def estimate(self, model: Model, input_bytes: int = 2107) -> BaselineEstimate:
+        macs = model.total_macs()
+        latency = self.fixed_setup_ms + macs * self.ms_per_mac
+        # Only the encrypted input/output transits the network.
+        comm = input_bytes * self.ciphertext_expansion * 2
+        return BaselineEstimate(
+            technology="HE (CryptoNets-class)",
+            latency_ms=latency,
+            communication_bytes=comm,
+            network_rounds=2,
+        )
+
+
+@dataclass(frozen=True)
+class SmpcCostModel:
+    """Secure two-party computation estimate (MiniONN anchor)."""
+
+    us_per_mac: float = 31.6
+    bytes_per_mac: float = 2212.0
+    round_trip_ms: float = 50.0       # mobile-network RTT per layer round
+    bandwidth_mbps: float = 20.0      # mobile uplink/downlink
+
+    def estimate(self, model: Model, input_bytes: int = 2107) -> BaselineEstimate:
+        macs = model.total_macs()
+        rounds = interactive_layers(model) + 1
+        comm = int(macs * self.bytes_per_mac) + input_bytes
+        transfer_ms = comm * 8 / (self.bandwidth_mbps * 1e6) * 1e3
+        latency = (macs * self.us_per_mac / 1e3
+                   + rounds * self.round_trip_ms + transfer_ms)
+        return BaselineEstimate(
+            technology="SMPC (MiniONN-class)",
+            latency_ms=latency,
+            communication_bytes=comm,
+            network_rounds=rounds,
+        )

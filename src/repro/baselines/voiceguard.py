@@ -1,0 +1,71 @@
+"""VoiceGuard-style online TEE baseline (related work, §II).
+
+VoiceGuard (Brasser et al., INTERSPEECH'18 — the same group's earlier
+system) protects speech processing in a *server-side* SGX enclave: the
+device streams audio over a secure channel, the cloud enclave runs
+inference, the transcript comes back.  Computationally it is as fast as
+OMG, but it needs the network for every query — precisely the
+latency/availability/roaming cost §I argues against for mobile use.
+
+This cost model quantifies that comparison for the Fig. 2-adjacent
+bench: per-query latency = uplink transfer + RTT + server inference,
+and availability = 0 when offline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["NetworkCondition", "TYPICAL_NETWORKS", "VoiceGuardModel"]
+
+
+@dataclass(frozen=True)
+class NetworkCondition:
+    """One mobile-network scenario."""
+
+    name: str
+    rtt_ms: float
+    uplink_mbps: float
+    available: bool = True
+
+
+# Representative mobile conditions (order: best to none).
+TYPICAL_NETWORKS = [
+    NetworkCondition("wifi", rtt_ms=15.0, uplink_mbps=40.0),
+    NetworkCondition("lte", rtt_ms=50.0, uplink_mbps=10.0),
+    NetworkCondition("3g", rtt_ms=200.0, uplink_mbps=1.5),
+    NetworkCondition("edge", rtt_ms=600.0, uplink_mbps=0.2),
+    NetworkCondition("offline", rtt_ms=0.0, uplink_mbps=0.0,
+                     available=False),
+]
+
+
+@dataclass(frozen=True)
+class VoiceGuardModel:
+    """Per-query cost of the online server-TEE deployment."""
+
+    # Server-side SGX inference: a beefier CPU than the phone; the
+    # VoiceGuard paper reports ~real-time factors well below 1.
+    server_inference_ms: float = 1.2
+    # TLS record + enclave attestation amortized to ~0 per query.
+    protocol_overhead_ms: float = 2.0
+
+    def query_latency_ms(self, condition: NetworkCondition,
+                         audio_bytes: int = 32000) -> float | None:
+        """End-to-end latency for one 1 s utterance, or None if offline."""
+        if not condition.available:
+            return None
+        transfer_ms = audio_bytes * 8 / (condition.uplink_mbps * 1e6) * 1e3
+        return (condition.rtt_ms + transfer_ms
+                + self.server_inference_ms + self.protocol_overhead_ms)
+
+    def compare_against_omg(self, omg_ms: float,
+                            conditions: list[NetworkCondition] | None = None
+                            ) -> list[tuple[str, float | None, float | None]]:
+        """(name, voiceguard_ms, slowdown_vs_omg) per condition."""
+        rows = []
+        for condition in conditions or TYPICAL_NETWORKS:
+            latency = self.query_latency_ms(condition)
+            slowdown = latency / omg_ms if latency is not None else None
+            rows.append((condition.name, latency, slowdown))
+        return rows

@@ -1,0 +1,93 @@
+"""Protocol transcript: the numbered steps of paper Fig. 2.
+
+Every OMG run records which step happened when, over which kind of I/O
+(trusted vs untrusted), and how many bytes moved.  The Fig. 2 benchmark
+regenerates the protocol diagram as a table from this transcript.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+__all__ = ["Phase", "StepIo", "ProtocolStep", "ProtocolTranscript"]
+
+
+class Phase(enum.Enum):
+    PREPARATION = "I. preparation"
+    INITIALIZATION = "II. initialization"
+    OPERATION = "III. operation"
+
+
+class StepIo(enum.Enum):
+    TRUSTED = "trusted"
+    UNTRUSTED = "untrusted"
+    INTERNAL = "internal"
+
+
+# The canonical step catalogue of Fig. 2.
+FIG2_STEPS = {
+    1: "attest(M, SK), PK -> U",
+    2: "attest(M, SK), PK -> V",
+    3: "Enc(model, K_U) -> enclave",
+    4: "store encrypted model",
+    5: "K_U -> enclave",
+    6: "Dec(model)",
+    7: "trusted audio input",
+    8: "output to user",
+}
+
+
+@dataclass(frozen=True)
+class ProtocolStep:
+    """One executed protocol step."""
+
+    number: int
+    name: str
+    phase: Phase
+    io: StepIo
+    bytes_moved: int
+    start_ms: float
+    end_ms: float
+
+    @property
+    def duration_ms(self) -> float:
+        return self.end_ms - self.start_ms
+
+
+@dataclass
+class ProtocolTranscript:
+    """Ordered record of executed steps."""
+
+    steps: list[ProtocolStep] = field(default_factory=list)
+
+    def record(self, number: int, phase: Phase, io: StepIo,
+               bytes_moved: int, start_ms: float, end_ms: float,
+               name: str | None = None) -> ProtocolStep:
+        step = ProtocolStep(
+            number=number,
+            name=name or FIG2_STEPS.get(number, f"step {number}"),
+            phase=phase, io=io, bytes_moved=bytes_moved,
+            start_ms=start_ms, end_ms=end_ms,
+        )
+        self.steps.append(step)
+        return step
+
+    def phase_duration_ms(self, phase: Phase) -> float:
+        return sum(s.duration_ms for s in self.steps if s.phase is phase)
+
+    def step_numbers(self) -> list[int]:
+        return [s.number for s in self.steps]
+
+    def format_table(self) -> str:
+        """Human-readable rendering (the Fig. 2 bench prints this)."""
+        lines = [
+            f"{'#':>2}  {'phase':<20} {'step':<28} {'io':<10} "
+            f"{'bytes':>9}  {'ms':>9}"
+        ]
+        for s in self.steps:
+            lines.append(
+                f"{s.number:>2}  {s.phase.value:<20} {s.name:<28} "
+                f"{s.io.value:<10} {s.bytes_moved:>9}  {s.duration_ms:>9.3f}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,105 @@
+"""Model encryption and untrusted-storage provisioning.
+
+The vendor encrypts the serialized model under the per-enclave key K_U
+with AES-GCM; the ciphertext sits in normal-world flash (paper §V
+step 4) and survives reboots, so preparation runs once per model
+version.  The GCM AAD binds enclave identity, model version, and the
+KDF nonce, which is what makes rollback and cross-enclave replay fail
+authentication rather than silently succeed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crypto.modes import GCM, gcm_decrypt, gcm_encrypt
+from repro.crypto.rng import HmacDrbg
+from repro.errors import AuthenticationError, ProtocolError
+
+__all__ = ["EncryptedModel", "encrypt_model", "decrypt_model",
+           "flash_path_for"]
+
+
+@dataclass(frozen=True)
+class EncryptedModel:
+    """The provisioned artifact: ciphertext plus public binding data."""
+
+    enclave_id: str
+    model_name: str
+    model_version: int
+    key_nonce: bytes          # the KDF nonce n (public)
+    blob: bytes = field(repr=False)  # nonce || ciphertext || tag
+
+    def aad(self) -> bytes:
+        return _aad(self.enclave_id, self.model_name, self.model_version,
+                    self.key_nonce)
+
+    def to_bytes(self) -> bytes:
+        """Flat encoding for flash storage."""
+        head = "|".join([
+            self.enclave_id, self.model_name, str(self.model_version),
+            self.key_nonce.hex(),
+        ]).encode()
+        return len(head).to_bytes(4, "big") + head + self.blob
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "EncryptedModel":
+        if len(data) < 4:
+            raise ProtocolError("truncated encrypted-model record")
+        head_len = int.from_bytes(data[:4], "big")
+        head = data[4:4 + head_len].decode()
+        parts = head.split("|")
+        if len(parts) != 4:
+            raise ProtocolError("malformed encrypted-model header")
+        enclave_id, model_name, version, nonce_hex = parts
+        return cls(
+            enclave_id=enclave_id,
+            model_name=model_name,
+            model_version=int(version),
+            key_nonce=bytes.fromhex(nonce_hex),
+            blob=data[4 + head_len:],
+        )
+
+
+def _aad(enclave_id: str, model_name: str, version: int,
+         key_nonce: bytes) -> bytes:
+    return b"|".join([
+        b"OMG-MODEL", enclave_id.encode(), model_name.encode(),
+        str(version).encode(), key_nonce,
+    ])
+
+
+def encrypt_model(model_bytes: bytes, key: bytes, enclave_id: str,
+                  model_name: str, model_version: int, key_nonce: bytes,
+                  rng: HmacDrbg) -> EncryptedModel:
+    """Vendor side: AES-GCM under K_U with identity-binding AAD."""
+    gcm_nonce = rng.generate(12)
+    aad = _aad(enclave_id, model_name, model_version, key_nonce)
+    blob = gcm_encrypt(key, gcm_nonce, model_bytes, aad)
+    return EncryptedModel(
+        enclave_id=enclave_id, model_name=model_name,
+        model_version=model_version, key_nonce=key_nonce, blob=blob,
+    )
+
+
+def decrypt_model(encrypted: EncryptedModel, key: bytes) -> bytes:
+    """Enclave side: authenticate and decrypt the provisioned model.
+
+    Raises :class:`AuthenticationError` if the key is wrong (e.g. a
+    rollback attempt with a stale nonce) or the ciphertext/AAD was
+    modified in untrusted storage.
+    """
+    try:
+        return gcm_decrypt(key, encrypted.blob, encrypted.aad())
+    except AuthenticationError:
+        raise AuthenticationError(
+            f"model {encrypted.model_name!r} v{encrypted.model_version} "
+            "failed authenticated decryption (wrong key, tampered "
+            "ciphertext, or rollback attempt)"
+        ) from None
+
+
+def flash_path_for(enclave_app_name: str, model_name: str,
+                   model_version: int) -> str:
+    """Canonical untrusted-flash path for a provisioned model."""
+    return f"omg/{enclave_app_name}/{model_name}-v{model_version}.enc"

@@ -1,0 +1,121 @@
+"""Text-dependent speaker verification on the OMG substrate.
+
+§I motivates OMG with biometric privacy: "voice recordings ... contain
+unique biometric information that can be abused".  §II lists speaker
+verification among the tasks the architecture extends to.  This module
+provides that extension: a fixed-passphrase verifier whose embeddings
+come from the *same* protected conv trunk as keyword spotting, and an
+enclave app that keeps the enrolled voiceprint (the biometric template)
+inside SANCTUARY memory — the attacker-visible world never holds it.
+
+The embedding is the time-averaged frequency profile of the trunk's
+feature map, L2-normalized; scores are cosine similarities against the
+enrolled centroid.  Text-dependent operation (a fixed passphrase) is
+what makes the tiny KWS trunk sufficient.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ProtocolError, ReproError
+from repro.tflm.interpreter import Interpreter
+from repro.tflm.model import Model
+from repro.train.convert import fingerprint_to_int8
+from repro.train.personalize import feature_submodel
+
+__all__ = ["VerificationResult", "SpeakerVerifier", "equal_error_rate"]
+
+
+@dataclass(frozen=True)
+class VerificationResult:
+    """Outcome of one verification attempt."""
+
+    score: float
+    accepted: bool
+    threshold: float
+
+
+class SpeakerVerifier:
+    """Enroll-then-verify with cosine scoring on trunk embeddings."""
+
+    def __init__(self, model: Model, threshold: float = 0.90,
+                 min_enrollment: int = 3) -> None:
+        if not 0.0 < threshold < 1.0:
+            raise ReproError("threshold must be in (0, 1)")
+        self.threshold = threshold
+        self.min_enrollment = min_enrollment
+        self._trunk = feature_submodel(model)
+        self._interpreter = Interpreter(self._trunk)
+        self._feature_name = self._trunk.outputs[0]
+        self._quant = self._trunk.tensors[self._feature_name].quant
+        # speaker name -> L2-normalized centroid (the biometric template).
+        self._templates: dict[str, np.ndarray] = {}
+
+    def embed(self, fingerprint: np.ndarray) -> np.ndarray:
+        """49x43 uint8 fingerprint -> unit-norm speaker embedding."""
+        self._interpreter.set_input(self._trunk.inputs[0],
+                                    fingerprint_to_int8(fingerprint))
+        self._interpreter.invoke()
+        features = self._quant.dequantize(
+            self._interpreter.get_output(self._feature_name))[0]
+        # Average over time (axis 0): the per-frequency energy profile
+        # carries the vocal-tract scale; words are fixed (text-dependent).
+        profile = features.mean(axis=0).reshape(-1)
+        norm = np.linalg.norm(profile)
+        if norm == 0:
+            raise ReproError("degenerate (all-zero) embedding")
+        return profile / norm
+
+    def enroll(self, speaker: str, fingerprints: list[np.ndarray]) -> None:
+        """Create the speaker's template from enrollment utterances."""
+        if len(fingerprints) < self.min_enrollment:
+            raise ReproError(
+                f"enrollment needs >= {self.min_enrollment} utterances, "
+                f"got {len(fingerprints)}"
+            )
+        embeddings = [self.embed(fp) for fp in fingerprints]
+        centroid = np.mean(embeddings, axis=0)
+        self._templates[speaker] = centroid / np.linalg.norm(centroid)
+
+    def is_enrolled(self, speaker: str) -> bool:
+        return speaker in self._templates
+
+    def unenroll(self, speaker: str) -> None:
+        self._templates.pop(speaker, None)
+
+    def score(self, speaker: str, fingerprint: np.ndarray) -> float:
+        if speaker not in self._templates:
+            raise ProtocolError(f"speaker {speaker!r} is not enrolled")
+        return float(self.embed(fingerprint) @ self._templates[speaker])
+
+    def verify(self, speaker: str,
+               fingerprint: np.ndarray) -> VerificationResult:
+        value = self.score(speaker, fingerprint)
+        return VerificationResult(score=value,
+                                  accepted=value >= self.threshold,
+                                  threshold=self.threshold)
+
+    def template_bytes(self, speaker: str) -> bytes:
+        """Serialized template — what must never reach the normal world."""
+        if speaker not in self._templates:
+            raise ProtocolError(f"speaker {speaker!r} is not enrolled")
+        return self._templates[speaker].astype("<f8").tobytes()
+
+
+def equal_error_rate(genuine_scores: list[float],
+                     impostor_scores: list[float]) -> float:
+    """EER: the operating point where FAR == FRR (linear sweep)."""
+    if not genuine_scores or not impostor_scores:
+        raise ReproError("need both genuine and impostor scores")
+    genuine = np.sort(np.asarray(genuine_scores))
+    impostor = np.sort(np.asarray(impostor_scores))
+    thresholds = np.unique(np.concatenate([genuine, impostor]))
+    best = 1.0
+    for threshold in thresholds:
+        frr = float(np.mean(genuine < threshold))
+        far = float(np.mean(impostor >= threshold))
+        best = min(best, max(frr, far))
+    return best

@@ -1,0 +1,78 @@
+"""The speaker-verification enclave app.
+
+Extends the keyword-spotter SA: the same provisioned model supplies the
+feature trunk, and the enrolled voiceprint — biometric data in the sense
+of §I — is staged into enclave-private memory, so the normal world can
+neither read nor replace it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.audio.features import FingerprintExtractor
+from repro.core.omg import KeywordSpotterApp
+from repro.core.speaker import SpeakerVerifier, VerificationResult
+from repro.errors import ProtocolError
+from repro.sanctuary.enclave import EnclaveContext
+
+__all__ = ["SpeakerVerifierApp"]
+
+
+class SpeakerVerifierApp(KeywordSpotterApp):
+    """Text-dependent speaker verification inside SANCTUARY."""
+
+    name = "omg-speaker-verifier"
+    code_version = "1.0"
+
+    def __init__(self, threshold: float = 0.90, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self.threshold = threshold
+        self.verifier: SpeakerVerifier | None = None
+
+    def unlock_model(self, ctx: EnclaveContext, wrapped, model_name: str) -> None:
+        super().unlock_model(ctx, wrapped, model_name)
+        self.verifier = SpeakerVerifier(self.interpreter.model,
+                                        threshold=self.threshold)
+
+    def _require_verifier(self) -> SpeakerVerifier:
+        if self.verifier is None:
+            raise ProtocolError("model has not been unlocked yet")
+        return self.verifier
+
+    def enroll_speaker(self, ctx: EnclaveContext, speaker: str,
+                       clips: list[np.ndarray]) -> None:
+        """Enroll from raw passphrase clips captured via the trusted
+        path; the template lands in enclave-private memory."""
+        verifier = self._require_verifier()
+        extractor = FingerprintExtractor(self.feature_config)
+        fingerprints = [extractor.extract(clip) for clip in clips]
+        ctx.clock.advance_ms(
+            len(clips) * ctx.profile.feature_ms_per_clip)
+        verifier.enroll(speaker, fingerprints)
+        # Stage the biometric template into protected memory so the
+        # isolation tests have a concrete address to probe.
+        template = verifier.template_bytes(speaker)
+        allocation = ctx.heap.alloc(len(template))
+        ctx.memory.write(allocation.offset, template)
+        ctx.app_state[f"template:{speaker}"] = (allocation.offset,
+                                                len(template))
+
+    def verify_speaker(self, ctx: EnclaveContext, speaker: str,
+                       clip: np.ndarray) -> VerificationResult:
+        """Score one passphrase utterance against the enrolled template."""
+        verifier = self._require_verifier()
+        extractor = FingerprintExtractor(self.feature_config)
+        fingerprint = extractor.extract(clip)
+        ctx.clock.advance_ms(ctx.profile.feature_ms_per_clip)
+        return verifier.verify(speaker, fingerprint)
+
+    def template_location(self, ctx: EnclaveContext,
+                          speaker: str) -> tuple[int, int]:
+        """(absolute address, length) of a stored template — used by the
+        attack tests to aim the memory probe."""
+        key = f"template:{speaker}"
+        if key not in ctx.app_state:
+            raise ProtocolError(f"no template for {speaker!r}")
+        offset, length = ctx.app_state[key]
+        return ctx.memory.region.base + offset, length

@@ -1,0 +1,31 @@
+"""From-scratch cryptographic substrate for the OMG reproduction.
+
+Contents:
+
+* :mod:`~repro.crypto.sha256` — SHA-256 (FIPS 180-4)
+* :mod:`~repro.crypto.hmac` — HMAC-SHA256, HKDF, constant-time compare
+* :mod:`~repro.crypto.aes` — AES-128/192/256 block cipher
+* :mod:`~repro.crypto.modes` — AES-CTR and AES-GCM
+* :mod:`~repro.crypto.rsa` — RSA keygen / PKCS#1 v1.5 sign / OAEP
+* :mod:`~repro.crypto.rng` — HMAC-DRBG deterministic randomness
+* :mod:`~repro.crypto.kdf` — the OMG K_U = KDF(PK, n) derivation
+* :mod:`~repro.crypto.cert` — platform/enclave certificate hierarchy
+"""
+
+from repro.crypto.aes import AES
+from repro.crypto.cert import Certificate, CertificateAuthority, verify_chain
+from repro.crypto.hmac import constant_time_eq, hkdf, hmac_sha256
+from repro.crypto.kdf import MODEL_KEY_SIZE, derive_model_key
+from repro.crypto.modes import GCM, gcm_decrypt, gcm_encrypt
+from repro.crypto.rng import HmacDrbg, default_rng
+from repro.crypto.rsa import RsaPrivateKey, RsaPublicKey, generate_keypair
+from repro.crypto.sha256 import SHA256, sha256
+
+__all__ = [
+    "AES", "GCM", "gcm_encrypt", "gcm_decrypt",
+    "SHA256", "sha256", "hmac_sha256", "hkdf", "constant_time_eq",
+    "RsaPublicKey", "RsaPrivateKey", "generate_keypair",
+    "HmacDrbg", "default_rng",
+    "derive_model_key", "MODEL_KEY_SIZE",
+    "Certificate", "CertificateAuthority", "verify_chain",
+]

@@ -1,0 +1,66 @@
+"""HMAC-SHA256 (RFC 2104) and HKDF (RFC 5869), built on the local SHA-256.
+
+These primitives back the OMG key-derivation step KDF(PK, n) -> K_U and
+the deterministic random-bit generator in :mod:`repro.crypto.rng`.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.sha256 import SHA256, sha256
+from repro.errors import KeyError_
+
+__all__ = ["hmac_sha256", "hkdf_extract", "hkdf_expand", "hkdf", "constant_time_eq"]
+
+_BLOCK = 64
+
+
+def hmac_sha256(key: bytes, message: bytes) -> bytes:
+    """Return HMAC-SHA256(key, message)."""
+    if len(key) > _BLOCK:
+        key = sha256(key)
+    key = key.ljust(_BLOCK, b"\x00")
+    ipad = bytes(b ^ 0x36 for b in key)
+    opad = bytes(b ^ 0x5C for b in key)
+    inner = SHA256(ipad)
+    inner.update(message)
+    outer = SHA256(opad)
+    outer.update(inner.digest())
+    return outer.digest()
+
+
+def hkdf_extract(salt: bytes, ikm: bytes) -> bytes:
+    """HKDF-Extract: condense input keying material into a PRK."""
+    if not salt:
+        salt = b"\x00" * 32
+    return hmac_sha256(salt, ikm)
+
+
+def hkdf_expand(prk: bytes, info: bytes, length: int) -> bytes:
+    """HKDF-Expand: stretch a PRK into ``length`` output bytes."""
+    if length <= 0:
+        raise KeyError_("HKDF output length must be positive")
+    if length > 255 * 32:
+        raise KeyError_("HKDF output length exceeds 255 blocks")
+    okm = b""
+    block = b""
+    counter = 1
+    while len(okm) < length:
+        block = hmac_sha256(prk, block + info + bytes([counter]))
+        okm += block
+        counter += 1
+    return okm[:length]
+
+
+def hkdf(ikm: bytes, salt: bytes, info: bytes, length: int) -> bytes:
+    """Full HKDF: extract-then-expand."""
+    return hkdf_expand(hkdf_extract(salt, ikm), info, length)
+
+
+def constant_time_eq(a: bytes, b: bytes) -> bool:
+    """Compare two byte strings without data-dependent early exit."""
+    if len(a) != len(b):
+        return False
+    acc = 0
+    for x, y in zip(a, b):
+        acc |= x ^ y
+    return acc == 0

@@ -1,0 +1,34 @@
+"""OMG key derivation: K_U <- KDF(PK, n).
+
+The vendor derives the per-enclave, per-model-version symmetric key K_U
+from the enclave's public key PK and a fresh nonce n (paper Fig. 2).
+Binding K_U to the nonce is what gives rollback protection: after a
+model update the vendor picks a new nonce, so the key for the stale
+ciphertext is never sent again.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.hmac import hkdf
+from repro.crypto.rsa import RsaPublicKey
+from repro.errors import CryptoError
+
+__all__ = ["derive_model_key", "MODEL_KEY_SIZE"]
+
+MODEL_KEY_SIZE = 16
+_KDF_INFO = b"OMG model key v1"
+
+
+def derive_model_key(enclave_pk: RsaPublicKey, nonce: bytes,
+                     vendor_secret: bytes, key_size: int = MODEL_KEY_SIZE) -> bytes:
+    """Derive K_U = KDF(PK, n) for one enclave and model version.
+
+    ``vendor_secret`` is the vendor-side master secret mixed into the
+    derivation so that knowing PK and n alone does not yield K_U.
+    """
+    if len(nonce) < 8:
+        raise CryptoError("model-key nonce must be at least 8 bytes")
+    if not vendor_secret:
+        raise CryptoError("vendor secret must be non-empty")
+    ikm = vendor_secret + enclave_pk.to_bytes()
+    return hkdf(ikm, salt=nonce, info=_KDF_INFO, length=key_size)

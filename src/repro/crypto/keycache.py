@@ -1,0 +1,23 @@
+"""Deterministic RSA key pairs with process-level caching.
+
+Every key in the simulation is derived deterministically from a context
+string, so identical contexts always yield identical keys.  Caching the
+(expensive, pure-Python) prime generation per context makes repeated
+platform construction — every test builds platforms — cheap after the
+first time.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.crypto.rng import HmacDrbg
+from repro.crypto.rsa import RsaPrivateKey, generate_keypair
+
+__all__ = ["deterministic_keypair"]
+
+
+@lru_cache(maxsize=256)
+def deterministic_keypair(context: bytes, bits: int = 1024) -> RsaPrivateKey:
+    """RSA key pair derived (and memoized) from ``context``."""
+    return generate_keypair(bits, HmacDrbg(context, b"keycache"))

@@ -1,0 +1,77 @@
+"""Deterministic random bit generator (HMAC-DRBG, NIST SP 800-90A).
+
+All randomness in the simulation flows through a DRBG instance so runs
+are reproducible: the same seed yields the same keys, nonces, and
+synthetic data.  The hardware layer exposes a per-SoC "TRNG" peripheral
+that is simply a DRBG seeded from the platform seed.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.hmac import hmac_sha256
+from repro.errors import CryptoError
+
+__all__ = ["HmacDrbg", "default_rng"]
+
+
+class HmacDrbg:
+    """HMAC-SHA256 deterministic random bit generator."""
+
+    def __init__(self, seed: bytes, personalization: bytes = b"") -> None:
+        if not seed:
+            raise CryptoError("DRBG seed must be non-empty")
+        self._k = b"\x00" * 32
+        self._v = b"\x01" * 32
+        self._reseed_counter = 1
+        self._update(seed + personalization)
+
+    def _update(self, provided: bytes = b"") -> None:
+        self._k = hmac_sha256(self._k, self._v + b"\x00" + provided)
+        self._v = hmac_sha256(self._k, self._v)
+        if provided:
+            self._k = hmac_sha256(self._k, self._v + b"\x01" + provided)
+            self._v = hmac_sha256(self._k, self._v)
+
+    def reseed(self, entropy: bytes) -> None:
+        """Mix fresh entropy into the generator state."""
+        self._update(entropy)
+        self._reseed_counter = 1
+
+    def generate(self, num_bytes: int) -> bytes:
+        """Return ``num_bytes`` pseudo-random bytes."""
+        if num_bytes < 0:
+            raise CryptoError("cannot generate a negative number of bytes")
+        out = b""
+        while len(out) < num_bytes:
+            self._v = hmac_sha256(self._k, self._v)
+            out += self._v
+        self._update()
+        self._reseed_counter += 1
+        return out[:num_bytes]
+
+    def randint_below(self, bound: int) -> int:
+        """Return a uniform integer in ``[0, bound)`` via rejection sampling."""
+        if bound <= 0:
+            raise CryptoError("bound must be positive")
+        num_bytes = (bound.bit_length() + 7) // 8
+        while True:
+            candidate = int.from_bytes(self.generate(num_bytes), "big")
+            # Keep only the needed bits to make rejection cheap.
+            candidate >>= max(0, num_bytes * 8 - bound.bit_length())
+            if candidate < bound:
+                return candidate
+
+    def random_odd(self, bits: int) -> int:
+        """Return an odd integer with exactly ``bits`` bits (MSB set)."""
+        if bits < 2:
+            raise CryptoError("need at least 2 bits")
+        num_bytes = (bits + 7) // 8
+        value = int.from_bytes(self.generate(num_bytes), "big")
+        value &= (1 << bits) - 1
+        value |= (1 << (bits - 1)) | 1
+        return value
+
+
+def default_rng(seed: int = 0x0117E960) -> HmacDrbg:
+    """Return a DRBG seeded from an integer (default: HiKey 960 homage)."""
+    return HmacDrbg(seed.to_bytes(16, "big"), b"repro.default")

@@ -1,0 +1,85 @@
+"""Exception hierarchy for the OMG reproduction.
+
+Every package raises subclasses of :class:`ReproError` so callers can
+catch domain failures without masking programming errors.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class CryptoError(ReproError):
+    """Base class for cryptographic failures."""
+
+
+class AuthenticationError(CryptoError):
+    """An authenticated-decryption tag or a signature did not verify."""
+
+
+class KeyError_(CryptoError):
+    """A key is malformed, missing, or of the wrong size."""
+
+
+class CertificateError(CryptoError):
+    """A certificate chain failed to validate."""
+
+
+class HardwareError(ReproError):
+    """Base class for simulated-hardware failures."""
+
+
+class MemoryAccessError(HardwareError):
+    """A bus transaction was rejected (TZASC filter, unmapped address...)."""
+
+
+class CoreStateError(HardwareError):
+    """A CPU core operation was invalid for the core's current state."""
+
+
+class PeripheralError(HardwareError):
+    """A peripheral was accessed in an invalid way."""
+
+
+class TrustZoneError(ReproError):
+    """Base class for TrustZone-layer failures."""
+
+
+class SecureMonitorError(TrustZoneError):
+    """An SMC call was rejected by the secure monitor."""
+
+
+class SecureBootError(TrustZoneError):
+    """A boot-chain image failed its integrity check."""
+
+
+class SanctuaryError(ReproError):
+    """Base class for SANCTUARY-layer failures."""
+
+
+class EnclaveLifecycleError(SanctuaryError):
+    """An enclave operation was invalid for its life-cycle state."""
+
+
+class AttestationError(SanctuaryError):
+    """An attestation report failed to verify."""
+
+
+class ModelFormatError(ReproError):
+    """A serialized model is malformed."""
+
+
+class InterpreterError(ReproError):
+    """The TFLM-like interpreter hit an invalid graph or tensor state."""
+
+
+class ProtocolError(ReproError):
+    """An OMG protocol message arrived out of order or malformed."""
+
+
+class LicenseError(ProtocolError):
+    """The vendor refused or revoked the model license."""
+
+
+class AudioError(ReproError):
+    """Audio decoding or feature extraction failed."""

@@ -1,0 +1,93 @@
+"""Machine-readable export of every reproduced result.
+
+``collect_results()`` runs the main harnesses and returns one nested
+dict (paper value next to measured value per metric);
+``export_results()`` writes it as JSON.  This is the artifact a CI
+pipeline or meta-analysis would consume instead of scraping bench
+output.
+"""
+
+from __future__ import annotations
+
+import json
+
+__all__ = ["collect_results", "export_results"]
+
+
+def collect_results(per_class: int = 10, key_bits: int = 1024) -> dict:
+    """Run the harnesses and assemble the full results tree."""
+    from repro.baselines.crypto_baselines import HeCostModel, SmpcCostModel
+    from repro.baselines.voiceguard import VoiceGuardModel
+    from repro.eval.pretrained import standard_model
+    from repro.eval.table1 import PAPER_TABLE1, run_table1
+    from repro.hw.timing import DEFAULT_PROFILE
+    from repro.tflm.serialize import serialize_model
+
+    model, training_meta = standard_model()
+    rows = run_table1(model=model, per_class=per_class, key_bits=key_bits)
+    omg_ms = rows["omg"].runtime_ms / rows["omg"].num_clips
+    he = HeCostModel().estimate(model)
+    smpc = SmpcCostModel().estimate(model)
+
+    return {
+        "paper": {
+            "title": "Offline Model Guard: Secure and Private ML on "
+                     "Mobile Devices",
+            "venue": "DATE 2020",
+        },
+        "table1": {
+            "native": {
+                "accuracy": rows["native"].accuracy,
+                "accuracy_paper": PAPER_TABLE1["native"]["accuracy"],
+                "runtime_ms": rows["native"].runtime_ms,
+                "runtime_ms_paper": PAPER_TABLE1["native"]["runtime_ms"],
+            },
+            "omg": {
+                "accuracy": rows["omg"].accuracy,
+                "accuracy_paper": PAPER_TABLE1["omg"]["accuracy"],
+                "runtime_ms": rows["omg"].runtime_ms,
+                "runtime_ms_paper": PAPER_TABLE1["omg"]["runtime_ms"],
+            },
+            "realtime_factor": rows["native"].realtime_factor,
+            "realtime_factor_paper": PAPER_TABLE1["realtime_factor"],
+            "num_clips": rows["native"].num_clips,
+        },
+        "model": {
+            "artifact_bytes": len(serialize_model(model)),
+            "artifact_bytes_paper_approx": 49 * 1024,
+            "macs_per_inference": model.total_macs(),
+            "parameters": training_meta["parameters"],
+            "validation_accuracy": training_meta["val_accuracy"],
+        },
+        "world_switch": {
+            "sa_switch_ms": DEFAULT_PROFILE.sa_world_switch_ms,
+            "sa_switch_ms_paper": 0.3,
+        },
+        "crypto_baselines": {
+            "omg_per_query_ms": omg_ms,
+            "he": {
+                "latency_ms": he.latency_ms,
+                "communication_bytes": he.communication_bytes,
+                "slowdown": he.slowdown_vs(omg_ms),
+            },
+            "smpc": {
+                "latency_ms": smpc.latency_ms,
+                "communication_bytes": smpc.communication_bytes,
+                "slowdown": smpc.slowdown_vs(omg_ms),
+            },
+        },
+        "online_tee": {
+            name: latency
+            for name, latency, _ in
+            VoiceGuardModel().compare_against_omg(omg_ms)
+        },
+    }
+
+
+def export_results(path: str, per_class: int = 10,
+                   key_bits: int = 1024) -> dict:
+    """Collect and write results JSON; returns the collected dict."""
+    results = collect_results(per_class=per_class, key_bits=key_bits)
+    with open(path, "w") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+    return results

@@ -1,0 +1,95 @@
+"""Figure harnesses: Fig. 1 (architecture) and Fig. 2 (protocol).
+
+Both figures are *structural* rather than numeric, so their harnesses
+regenerate the structure from the running simulation and check it
+against the paper's description: the access-control matrix of the
+TrustZone architecture, and the numbered step sequence of the OMG
+protocol with per-step costs.
+"""
+
+from __future__ import annotations
+
+from repro.core.omg import OmgSession
+from repro.core.protocol import Phase
+from repro.errors import MemoryAccessError
+from repro.eval.report import format_table
+from repro.hw.memory import AccessType, World
+from repro.trustzone.worlds import Platform
+
+__all__ = ["fig1_access_matrix", "format_fig1", "fig2_step_table",
+           "expected_fig2_sequence"]
+
+
+def fig1_access_matrix(platform: Platform) -> dict[str, dict[str, bool]]:
+    """Who can read which memory region (Fig. 1's partitioning).
+
+    Masters: the commodity OS (normal world, an OS core), a DMA engine,
+    the secure world, and — where one exists — the enclave-bound core.
+    """
+    soc = platform.soc
+    matrix: dict[str, dict[str, bool]] = {}
+    for region, policy in soc.tzasc.regions():
+        row: dict[str, bool] = {}
+        masters = {
+            "commodity-os": (World.NORMAL, _any_os_core(platform), False),
+            "dma-engine": (World.NORMAL, None, True),
+            "secure-world": (World.SECURE, None, False),
+        }
+        if policy.bound_core is not None:
+            masters["bound-core"] = (World.NORMAL, policy.bound_core, False)
+        for master, (world, core_id, is_dma) in masters.items():
+            try:
+                soc.tzasc.check(region.base, 16, world, core_id,
+                                AccessType.READ, is_dma)
+                row[master] = True
+            except MemoryAccessError:
+                row[master] = False
+        matrix[region.name] = row
+    return matrix
+
+
+def _any_os_core(platform: Platform) -> int:
+    from repro.hw.core import CoreState
+
+    for core in platform.soc.cores:
+        if core.state is CoreState.OS:
+            return core.core_id
+    return -1
+
+
+def format_fig1(platform: Platform) -> str:
+    """Printable architecture overview (the Fig. 1 bench output)."""
+    summary = platform.soc.architecture_summary()
+    matrix = fig1_access_matrix(platform)
+    lines = [f"SoC: {summary['name']}  DRAM: {summary['dram_gib']:.1f} GiB"]
+    lines.append("cores: " + ", ".join(
+        f"#{c['id']}({c['type']}@{c['freq_ghz']:.1f}GHz:{c['state']})"
+        for c in summary["cores"]))
+    lines.append("peripherals: " + ", ".join(
+        f"{name}({'secure' if secure else 'normal'})"
+        for name, secure in summary["peripherals"].items()))
+    masters = ["commodity-os", "dma-engine", "secure-world", "bound-core"]
+    rows = []
+    for region_name, row in matrix.items():
+        rows.append([region_name] + [
+            ("yes" if row[m] else "no") if m in row else "-"
+            for m in masters
+        ])
+    lines.append(format_table(["region"] + masters, rows))
+    return "\n".join(lines)
+
+
+def expected_fig2_sequence() -> list[int]:
+    """The step numbering of Fig. 2 for one prepare/init/query cycle."""
+    return [1, 2, 3, 4, 5, 6, 7, 8]
+
+
+def fig2_step_table(session: OmgSession) -> str:
+    """Printable protocol transcript with per-phase totals."""
+    transcript = session.transcript
+    lines = [transcript.format_table(), ""]
+    for phase in Phase:
+        lines.append(
+            f"{phase.value:<22} total: "
+            f"{transcript.phase_duration_ms(phase):9.3f} ms")
+    return "\n".join(lines)

@@ -1,0 +1,25 @@
+"""Shared formatting helpers for evaluation harnesses."""
+
+from __future__ import annotations
+
+__all__ = ["format_table", "format_paper_vs_measured"]
+
+
+def format_table(headers: list[str], rows: list[list[str]]) -> str:
+    """Render an aligned plain-text table."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    def line(cells):
+        return "  ".join(cell.ljust(width)
+                         for cell, width in zip(cells, widths)).rstrip()
+    out = [line(headers), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in rows)
+    return "\n".join(out)
+
+
+def format_paper_vs_measured(entries: list[tuple[str, str, str]]) -> str:
+    """Three-column rendering: metric, paper value, measured value."""
+    return format_table(["metric", "paper", "measured"],
+                        [list(entry) for entry in entries])

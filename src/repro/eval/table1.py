@@ -1,0 +1,128 @@
+"""Table I harness: accuracy and runtime with and without OMG.
+
+Reproduces the paper's §VI methodology exactly:
+
+* the evaluation subset is 10 test utterances per class, excluding the
+  two rejection classes (100 clips, 100 s of audio);
+* fingerprints are precomputed — "the runtime measurements do not
+  include the overhead for collecting the input data";
+* the unprotected row runs TFLM natively on a 2.4 GHz core; the OMG row
+  runs the identical model inside the enclave with L2 exclusion;
+* reported runtime is the summed per-inference simulated time, and the
+  real-time factor divides by the 100 s of audio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.audio.features import FingerprintExtractor
+from repro.audio.speech_commands import SyntheticSpeechCommands
+from repro.baselines.native import NativeKeywordSpotter
+from repro.core.omg import KeywordSpotterApp, OmgSession
+from repro.core.parties import User, Vendor
+from repro.eval.pretrained import standard_model
+from repro.eval.report import format_table
+from repro.tflm.model import Model
+from repro.trustzone.worlds import make_platform
+
+__all__ = ["PAPER_TABLE1", "Table1Row", "run_table1", "format_table1"]
+
+# The published Table I values.
+PAPER_TABLE1 = {
+    "native": {"accuracy": 0.75, "runtime_ms": 379.0},
+    "omg": {"accuracy": 0.75, "runtime_ms": 387.0},
+    "realtime_factor": 0.004,
+}
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One measured row of Table I."""
+
+    system: str
+    accuracy: float
+    runtime_ms: float
+    num_clips: int
+    audio_seconds: float
+
+    @property
+    def realtime_factor(self) -> float:
+        return (self.runtime_ms / 1000.0) / self.audio_seconds
+
+
+def _evaluation_set(dataset: SyntheticSpeechCommands,
+                    extractor: FingerprintExtractor, per_class: int):
+    subset = dataset.paper_test_subset(per_class)
+    fingerprints = [extractor.extract(u.samples) for u in subset]
+    labels = [u.label_idx for u in subset]
+    seconds = len(subset) * dataset.config.clip_samples / dataset.config.sample_rate
+    return fingerprints, labels, seconds
+
+
+def run_table1(model: Model | None = None, per_class: int = 10,
+               platform_seed: bytes = b"table1",
+               key_bits: int = 1024) -> dict[str, Table1Row]:
+    """Run both rows; returns ``{"native": row, "omg": row}``."""
+    if model is None:
+        model, _ = standard_model()
+    dataset = SyntheticSpeechCommands()
+    extractor = FingerprintExtractor()
+    fingerprints, labels, audio_seconds = _evaluation_set(
+        dataset, extractor, per_class)
+
+    rows: dict[str, Table1Row] = {}
+
+    # --- Row 1: TensorFlow Lite "micro", unprotected -------------------
+    platform = make_platform(seed=platform_seed + b".native",
+                             key_bits=key_bits)
+    native = NativeKeywordSpotter(platform, model)
+    correct = 0
+    runtime_ms = 0.0
+    for fingerprint, label in zip(fingerprints, labels):
+        result = native.recognize_fingerprint(fingerprint)
+        correct += int(result.label_index == label)
+        runtime_ms += result.inference_ms
+    rows["native"] = Table1Row(
+        system='TensorFlow Lite "micro"',
+        accuracy=correct / len(labels), runtime_ms=runtime_ms,
+        num_clips=len(labels), audio_seconds=audio_seconds)
+
+    # --- Row 2: the same, under OMG protection ---------------------------
+    platform = make_platform(seed=platform_seed + b".omg",
+                             key_bits=key_bits)
+    vendor = Vendor("ml-vendor", model, key_bits=key_bits)
+    session = OmgSession(platform, vendor, User(),
+                         KeywordSpotterApp(l2_exclusion=True))
+    session.prepare()
+    session.initialize()
+    correct = 0
+    runtime_ms = 0.0
+    for fingerprint, label in zip(fingerprints, labels):
+        result = session.recognize_fingerprint(fingerprint)
+        correct += int(result.label_index == label)
+        runtime_ms += result.inference_ms
+    rows["omg"] = Table1Row(
+        system='TensorFlow Lite "micro" (OMG)',
+        accuracy=correct / len(labels), runtime_ms=runtime_ms,
+        num_clips=len(labels), audio_seconds=audio_seconds)
+    session.teardown()
+    return rows
+
+
+def format_table1(rows: dict[str, Table1Row]) -> str:
+    """Render measured rows next to the paper's published numbers."""
+    body = []
+    for key, label in (("native", 'TensorFlow Lite "micro"'),
+                       ("omg", 'TensorFlow Lite "micro" (OMG)')):
+        row = rows[key]
+        paper = PAPER_TABLE1[key]
+        body.append([
+            label,
+            f"{row.accuracy:.0%}", f"{paper['accuracy']:.0%}",
+            f"{row.runtime_ms:.0f} ms", f"{paper['runtime_ms']:.0f} ms",
+            f"{row.realtime_factor:.4f}x",
+        ])
+    return format_table(
+        ["Model", "acc", "acc(paper)", "runtime", "runtime(paper)", "RTF"],
+        body)

@@ -1,0 +1,34 @@
+"""Simulated ARM SoC substrate (HiKey 960 by default).
+
+Layers: :mod:`~repro.hw.timing` (virtual clock + calibrated costs),
+:mod:`~repro.hw.memory` (DRAM + TZASC), :mod:`~repro.hw.cache`
+(L1/L2 hierarchy), :mod:`~repro.hw.core` (CPU state machine),
+:mod:`~repro.hw.peripherals` and :mod:`~repro.hw.bus`, assembled by
+:mod:`~repro.hw.soc`.
+"""
+
+from repro.hw.bus import SystemBus
+from repro.hw.cache import Cache, CacheConfig, CacheHierarchy, CacheStats
+from repro.hw.core import CoreState, CpuCore
+from repro.hw.memory import (
+    AccessType,
+    MemoryRegion,
+    PhysicalMemory,
+    RegionPolicy,
+    Tzasc,
+    World,
+)
+from repro.hw.peripherals import FlashStorage, Microphone, Peripheral, Trng
+from repro.hw.soc import GiB, MiB, Soc, SocConfig, make_hikey960
+from repro.hw.timing import DEFAULT_PROFILE, TimingProfile, VirtualClock
+
+__all__ = [
+    "VirtualClock", "TimingProfile", "DEFAULT_PROFILE",
+    "PhysicalMemory", "MemoryRegion", "RegionPolicy", "Tzasc",
+    "World", "AccessType",
+    "Cache", "CacheConfig", "CacheHierarchy", "CacheStats",
+    "CpuCore", "CoreState",
+    "Peripheral", "Microphone", "FlashStorage", "Trng",
+    "SystemBus",
+    "Soc", "SocConfig", "make_hikey960", "GiB", "MiB",
+]

@@ -1,0 +1,68 @@
+"""System bus: the single path from masters to memory and peripherals.
+
+Every access carries its originating (world, core) attributes — the AXI
+``NS`` bit in real hardware — and is filtered by the TZASC (memory) or
+the TZPC bit (peripherals).  Nothing in the simulation touches
+:class:`PhysicalMemory` directly except through this bus, which is what
+makes the attack tests meaningful.
+"""
+
+from __future__ import annotations
+
+from repro.errors import MemoryAccessError, PeripheralError
+from repro.hw.memory import AccessType, PhysicalMemory, Tzasc, World
+from repro.hw.peripherals import Peripheral
+
+__all__ = ["SystemBus"]
+
+
+class SystemBus:
+    """Routes transactions and enforces TrustZone filtering."""
+
+    def __init__(self, memory: PhysicalMemory, tzasc: Tzasc) -> None:
+        self.memory = memory
+        self.tzasc = tzasc
+        self._peripherals: dict[str, Peripheral] = {}
+        self.denied_transactions = 0
+        self.completed_transactions = 0
+
+    # --- memory ---------------------------------------------------------
+
+    def read(self, address: int, length: int, world: World,
+             core_id: int | None, is_dma: bool = False) -> bytes:
+        """Filtered memory read."""
+        try:
+            self.tzasc.check(address, length, world, core_id,
+                             AccessType.READ, is_dma)
+        except MemoryAccessError:
+            self.denied_transactions += 1
+            raise
+        self.completed_transactions += 1
+        return self.memory.read(address, length)
+
+    def write(self, address: int, data: bytes, world: World,
+              core_id: int | None, is_dma: bool = False) -> None:
+        """Filtered memory write."""
+        try:
+            self.tzasc.check(address, len(data), world, core_id,
+                             AccessType.WRITE, is_dma)
+        except MemoryAccessError:
+            self.denied_transactions += 1
+            raise
+        self.completed_transactions += 1
+        self.memory.write(address, data)
+
+    # --- peripherals ------------------------------------------------------
+
+    def attach_peripheral(self, peripheral: Peripheral) -> None:
+        if peripheral.name in self._peripherals:
+            raise PeripheralError(f"duplicate peripheral {peripheral.name!r}")
+        self._peripherals[peripheral.name] = peripheral
+
+    def peripheral(self, name: str) -> Peripheral:
+        if name not in self._peripherals:
+            raise PeripheralError(f"no peripheral named {name!r}")
+        return self._peripherals[name]
+
+    def peripherals(self) -> list[str]:
+        return sorted(self._peripherals)

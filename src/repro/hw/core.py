@@ -1,0 +1,110 @@
+"""CPU core model for the simulated octa-core SoC.
+
+SANCTUARY's trick is temporal core partitioning: the least-busy core is
+shut down, its L1 invalidated, and it is rebooted into the SANCTUARY
+library with the enclave's memory TZASC-bound to it (paper §III-B).
+This module models the core state machine those steps walk through.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.errors import CoreStateError
+
+__all__ = ["CoreState", "CpuCore"]
+
+
+class CoreState(enum.Enum):
+    """Execution state of one CPU core."""
+
+    OS = "os"                  # running the commodity OS (normal world)
+    OFF = "off"                # powered down
+    SANCTUARY = "sanctuary"    # booted into the SL, running an SA
+    SECURE = "secure"          # executing secure-world code
+
+
+_ALLOWED_TRANSITIONS = {
+    CoreState.OS: {CoreState.OFF, CoreState.SECURE},
+    CoreState.OFF: {CoreState.SANCTUARY, CoreState.OS},
+    CoreState.SANCTUARY: {CoreState.OFF, CoreState.SECURE},
+    CoreState.SECURE: {CoreState.OS, CoreState.SANCTUARY},
+}
+
+
+class CpuCore:
+    """One ARMv8 core with a frequency, load estimate, and state."""
+
+    def __init__(self, core_id: int, freq_hz: float, big: bool) -> None:
+        if freq_hz <= 0:
+            raise CoreStateError("core frequency must be positive")
+        self.core_id = core_id
+        self.freq_hz = freq_hz
+        self.big = big
+        self.state = CoreState.OS
+        # OS scheduler load estimate in [0, 1]; the SANCTUARY setup picks
+        # the least busy core to shut down (paper §III-B step 1).
+        self.load = 0.0
+        # When in SANCTUARY state: which enclave instance owns the core.
+        self.owner: str | None = None
+        self._transitions = 0
+
+    @property
+    def transitions(self) -> int:
+        """How many state transitions this core has performed."""
+        return self._transitions
+
+    def _move(self, new_state: CoreState) -> None:
+        if new_state not in _ALLOWED_TRANSITIONS[self.state]:
+            raise CoreStateError(
+                f"core {self.core_id}: illegal transition "
+                f"{self.state.value} -> {new_state.value}"
+            )
+        self.state = new_state
+        self._transitions += 1
+
+    def shutdown(self) -> None:
+        """Power the core down (from OS or SANCTUARY state)."""
+        if self.state is CoreState.OS:
+            self._move(CoreState.OFF)
+        elif self.state is CoreState.SANCTUARY:
+            self.owner = None
+            self._move(CoreState.OFF)
+        else:
+            raise CoreStateError(
+                f"core {self.core_id}: cannot shut down from {self.state.value}"
+            )
+
+    def boot_sanctuary(self, owner: str) -> None:
+        """Boot an OFF core into the SANCTUARY library for ``owner``."""
+        self._move(CoreState.SANCTUARY)
+        self.owner = owner
+
+    def return_to_os(self) -> None:
+        """Hand an OFF core back to the commodity OS."""
+        self._move(CoreState.OS)
+        self.owner = None
+
+    def enter_secure(self) -> CoreState:
+        """World-switch into the secure world; return the previous state."""
+        previous = self.state
+        self._move(CoreState.SECURE)
+        return previous
+
+    def exit_secure(self, resume_state: CoreState) -> None:
+        """World-switch back to ``resume_state`` (OS or SANCTUARY)."""
+        if resume_state not in (CoreState.OS, CoreState.SANCTUARY):
+            raise CoreStateError("can only resume to OS or SANCTUARY state")
+        self._move(resume_state)
+
+    def seconds_for_cycles(self, cycles: float) -> float:
+        """Wall time (simulated) for ``cycles`` on this core."""
+        return cycles / self.freq_hz
+
+    def __repr__(self) -> str:
+        kind = "big" if self.big else "LITTLE"
+        owner = f", owner={self.owner!r}" if self.owner else ""
+        return (
+            f"CpuCore(id={self.core_id}, {kind}, "
+            f"{self.freq_hz / 1e9:.1f} GHz, {self.state.value}{owner})"
+        )

@@ -1,0 +1,123 @@
+"""Simulated SoC peripherals: microphone, flash storage, TRNG.
+
+The key security-relevant peripheral is the microphone: TrustZone can
+assign it exclusively to the secure world, and OMG routes audio through
+the secure world into enclave-shared memory so the commodity OS never
+sees raw samples (paper §III-B, §V step 7).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.crypto.rng import HmacDrbg
+from repro.errors import PeripheralError
+from repro.hw.memory import World
+
+__all__ = ["Peripheral", "Microphone", "FlashStorage", "Trng"]
+
+
+class Peripheral:
+    """Base class: named device with a TZPC secure-assignment bit."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.secure_only = False
+        self.access_log: list[tuple[str, World]] = []
+
+    def assign_secure(self) -> None:
+        """Assign the peripheral exclusively to the secure world (TZPC)."""
+        self.secure_only = True
+
+    def assign_normal(self) -> None:
+        """Make the peripheral accessible from the normal world again."""
+        self.secure_only = False
+
+    def check_access(self, world: World, operation: str) -> None:
+        self.access_log.append((operation, world))
+        if self.secure_only and world is not World.SECURE:
+            raise PeripheralError(
+                f"peripheral {self.name!r} is secure-world-only; "
+                f"{operation} from {world.value} world denied"
+            )
+
+
+class Microphone(Peripheral):
+    """A microphone fed by a pluggable audio source.
+
+    The source is any object with a ``record(num_samples) -> np.ndarray``
+    method returning int16 PCM at :attr:`sample_rate_hz`.
+    """
+
+    def __init__(self, sample_rate_hz: int = 16000) -> None:
+        super().__init__("microphone")
+        self.sample_rate_hz = sample_rate_hz
+        self._source = None
+
+    def attach_source(self, source) -> None:
+        """Plug in an audio source (e.g. the synthetic keyword speaker)."""
+        self._source = source
+
+    def record(self, num_samples: int, world: World) -> np.ndarray:
+        """Capture ``num_samples`` int16 samples; enforces TZPC policy."""
+        self.check_access(world, "record")
+        if self._source is None:
+            raise PeripheralError("microphone has no attached audio source")
+        samples = self._source.record(num_samples)
+        samples = np.asarray(samples, dtype=np.int16)
+        if samples.shape != (num_samples,):
+            raise PeripheralError(
+                f"audio source returned {samples.shape}, "
+                f"expected ({num_samples},)"
+            )
+        return samples
+
+
+class FlashStorage(Peripheral):
+    """Untrusted persistent storage (eMMC/flash).
+
+    The OMG design deliberately keeps the *encrypted* model here
+    (paper §V step 4): the storage is normal-world accessible, and the
+    security argument is that only ciphertext ever touches it.  The
+    attack tests read this storage directly to confirm that.
+    """
+
+    def __init__(self) -> None:
+        super().__init__("flash")
+        self._files: dict[str, bytes] = {}
+
+    def store(self, path: str, data: bytes, world: World) -> None:
+        self.check_access(world, f"store:{path}")
+        self._files[path] = bytes(data)
+
+    def load(self, path: str, world: World) -> bytes:
+        self.check_access(world, f"load:{path}")
+        if path not in self._files:
+            raise PeripheralError(f"no such file in flash: {path!r}")
+        return self._files[path]
+
+    def delete(self, path: str, world: World) -> None:
+        self.check_access(world, f"delete:{path}")
+        self._files.pop(path, None)
+
+    def exists(self, path: str) -> bool:
+        return path in self._files
+
+    def paths(self) -> list[str]:
+        return sorted(self._files)
+
+    def raw_bytes(self) -> bytes:
+        """Everything on flash, concatenated — what a thief would image."""
+        return b"".join(self._files[p] for p in sorted(self._files))
+
+
+class Trng(Peripheral):
+    """True-RNG peripheral, deterministic in simulation (DRBG-backed)."""
+
+    def __init__(self, seed: bytes) -> None:
+        super().__init__("trng")
+        self._drbg = HmacDrbg(seed, b"soc.trng")
+
+    def read_entropy(self, num_bytes: int, world: World) -> bytes:
+        self.check_access(world, "read_entropy")
+        return self._drbg.generate(num_bytes)

@@ -1,0 +1,165 @@
+"""The simulated SoC, configured as an ARM HiKey 960 by default.
+
+HiKey 960 (paper §VI): Kirin 960 octa-core — 4x Cortex-A73 @ 2.4 GHz
+(big) + 4x Cortex-A53 @ 1.8 GHz (LITTLE) — with 3 GB LPDDR4.  The memory
+map reserves a secure-world carveout and leaves the rest to the
+commodity OS; SANCTUARY instances carve enclave regions out of OS
+memory at runtime via the TZASC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import HardwareError
+from repro.hw.bus import SystemBus
+from repro.hw.cache import CacheHierarchy
+from repro.hw.core import CpuCore
+from repro.hw.memory import MemoryRegion, PhysicalMemory, RegionPolicy, Tzasc
+from repro.hw.peripherals import FlashStorage, Microphone, Trng
+from repro.hw.timing import DEFAULT_PROFILE, TimingProfile, VirtualClock
+
+__all__ = ["SocConfig", "Soc", "make_hikey960"]
+
+GiB = 1024 ** 3
+MiB = 1024 ** 2
+
+
+@dataclass(frozen=True)
+class SocConfig:
+    """Static description of the simulated chip."""
+
+    name: str
+    dram_bytes: int
+    big_cores: int
+    big_freq_hz: float
+    little_cores: int
+    little_freq_hz: float
+    secure_carveout_bytes: int = 32 * MiB
+    mic_sample_rate_hz: int = 16000
+    trng_seed: bytes = b"soc.trng.seed"
+
+
+class Soc:
+    """A complete simulated system-on-chip."""
+
+    SECURE_REGION = "secure-world"
+
+    def __init__(self, config: SocConfig,
+                 profile: TimingProfile = DEFAULT_PROFILE) -> None:
+        if config.big_cores + config.little_cores == 0:
+            raise HardwareError("SoC needs at least one core")
+        self.config = config
+        self.profile = profile
+        self.clock = VirtualClock()
+        self.memory = PhysicalMemory(config.dram_bytes)
+        self.tzasc = Tzasc()
+        self.bus = SystemBus(self.memory, self.tzasc)
+
+        self.cores: list[CpuCore] = []
+        for i in range(config.big_cores):
+            self.cores.append(CpuCore(i, config.big_freq_hz, big=True))
+        for i in range(config.little_cores):
+            self.cores.append(
+                CpuCore(config.big_cores + i, config.little_freq_hz, big=False)
+            )
+        self.caches = CacheHierarchy.for_cores([c.core_id for c in self.cores])
+
+        # Secure-world carveout at the top of DRAM, secure-only.
+        carveout_base = config.dram_bytes - config.secure_carveout_bytes
+        self.secure_region = MemoryRegion(
+            self.SECURE_REGION, carveout_base, config.secure_carveout_bytes
+        )
+        self.tzasc.configure(self.secure_region, RegionPolicy(secure_only=True))
+
+        self.microphone = Microphone(config.mic_sample_rate_hz)
+        self.flash = FlashStorage()
+        self.trng = Trng(config.trng_seed)
+        for peripheral in (self.microphone, self.flash, self.trng):
+            self.bus.attach_peripheral(peripheral)
+
+        # Simple bump allocator for dynamically carved regions, growing
+        # down from just below the secure carveout.
+        self._alloc_cursor = carveout_base
+
+    def core(self, core_id: int) -> CpuCore:
+        for core in self.cores:
+            if core.core_id == core_id:
+                return core
+        raise HardwareError(f"no core with id {core_id}")
+
+    def fastest_core_hz(self) -> float:
+        return max(core.freq_hz for core in self.cores)
+
+    def allocate_region(self, name: str, size: int) -> MemoryRegion:
+        """Carve a fresh physical region for an enclave (page-aligned)."""
+        size = (size + 4095) // 4096 * 4096
+        base = self._alloc_cursor - size
+        if base < 0:
+            raise HardwareError("out of physical memory for enclave regions")
+        self._alloc_cursor = base
+        return MemoryRegion(name, base, size)
+
+    def least_busy_os_core(self, prefer_big: bool = True) -> CpuCore:
+        """Pick the least-busy core running the OS (SANCTUARY setup).
+
+        The commodity OS always keeps at least one core: repurposing the
+        last one would halt the device (SANCTUARY's "no negative impact
+        on the user experience" premise).
+        """
+        from repro.hw.core import CoreState
+
+        candidates = [c for c in self.cores if c.state is CoreState.OS]
+        if len(candidates) <= 1:
+            raise HardwareError(
+                "no OS core available to repurpose (the commodity OS "
+                "keeps its last core)"
+            )
+        if prefer_big and any(c.big for c in candidates):
+            candidates = [c for c in candidates if c.big]
+        return min(candidates, key=lambda c: (c.load, c.core_id))
+
+    def architecture_summary(self) -> dict:
+        """Structural description used by the Fig. 1 harness."""
+        return {
+            "name": self.config.name,
+            "cores": [
+                {
+                    "id": c.core_id,
+                    "type": "big" if c.big else "LITTLE",
+                    "freq_ghz": c.freq_hz / 1e9,
+                    "state": c.state.value,
+                }
+                for c in self.cores
+            ],
+            "dram_gib": self.config.dram_bytes / GiB,
+            "regions": [
+                {
+                    "name": region.name,
+                    "base": region.base,
+                    "size": region.size,
+                    "secure_only": policy.secure_only,
+                    "bound_core": policy.bound_core,
+                }
+                for region, policy in self.tzasc.regions()
+            ],
+            "peripherals": {
+                name: self.bus.peripheral(name).secure_only
+                for name in self.bus.peripherals()
+            },
+        }
+
+
+def make_hikey960(profile: TimingProfile = DEFAULT_PROFILE,
+                  trng_seed: bytes = b"hikey960.trng") -> Soc:
+    """Build the HiKey 960 configuration the paper evaluates on."""
+    config = SocConfig(
+        name="HiKey 960 (Kirin 960)",
+        dram_bytes=3 * GiB,
+        big_cores=4,
+        big_freq_hz=2.4e9,
+        little_cores=4,
+        little_freq_hz=1.8e9,
+        trng_seed=trng_seed,
+    )
+    return Soc(config, profile)

@@ -1,0 +1,26 @@
+"""SANCTUARY: user-space enclaves on TrustZone (NDSS'19), simulated.
+
+Provides the primitives OMG builds on: two-way-isolated SANCTUARY Apps
+bound to a dedicated core via the TZASC, measured boot with signed
+attestation reports, shared-memory channels to the OS and secure world,
+and the suspend/resume core reallocation used in the operation phase.
+"""
+
+from repro.sanctuary.attestation import AttestationReport, measure, verify_report
+from repro.sanctuary.enclave import EnclaveContext, SanctuaryApp
+from repro.sanctuary.library import SL_IMAGE, Allocation, SlHeap
+from repro.sanctuary.lifecycle import (
+    EnclaveInstance,
+    EnclaveState,
+    LifecycleCosts,
+    SanctuaryRuntime,
+)
+from repro.sanctuary.shm import MessageQueue, SharedRegion
+
+__all__ = [
+    "AttestationReport", "measure", "verify_report",
+    "SanctuaryApp", "EnclaveContext",
+    "SL_IMAGE", "SlHeap", "Allocation",
+    "SanctuaryRuntime", "EnclaveInstance", "EnclaveState", "LifecycleCosts",
+    "SharedRegion", "MessageQueue",
+]

@@ -1,0 +1,134 @@
+"""SANCTUARY Apps and the context they execute in.
+
+A :class:`SanctuaryApp` is the *deployable*: a name plus the code bytes
+that get measured.  An :class:`EnclaveContext` is what a running SA sees
+— its private memory, its heap, the untrusted OS mailbox, and the
+trusted path into the secure world.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.crypto.cert import Certificate
+from repro.crypto.rsa import RsaPrivateKey
+from repro.errors import SanctuaryError
+from repro.hw.memory import World
+from repro.hw.soc import Soc
+from repro.sanctuary.library import SlHeap
+from repro.sanctuary.shm import MessageQueue, SharedRegion
+
+__all__ = ["SanctuaryApp", "EnclaveContext"]
+
+
+class SanctuaryApp:
+    """Base class for enclave applications.
+
+    Subclasses override :meth:`handle` to process requests arriving from
+    the normal world, and may override :meth:`on_boot` for one-time
+    initialization.  ``code_version`` feeds the measurement: bump it and
+    attestation of old builds fails.
+    """
+
+    name = "sanctuary-app"
+    code_version = "1.0"
+
+    def code_bytes(self) -> bytes:
+        """The bytes that stand in for the SA binary (measured)."""
+        return (
+            f"SA|{self.name}|{self.code_version}|{type(self).__qualname__}"
+        ).encode()
+
+    def on_boot(self, ctx: "EnclaveContext") -> None:
+        """Called once after the enclave boots (optional override)."""
+
+    def handle(self, ctx: "EnclaveContext", request: bytes) -> bytes:
+        """Process one request from the normal world."""
+        raise NotImplementedError
+
+
+class EnclaveContext:
+    """Everything a running SA can touch, with correct attribution.
+
+    All memory access goes through :attr:`memory` (a
+    :class:`SharedRegion` attributed to the enclave's bound core), so
+    the TZASC policy is exercised on the enclave's own accesses too.
+    """
+
+    def __init__(self, soc: Soc, monitor, enclave_name: str,
+                 region_shm: SharedRegion, heap: SlHeap,
+                 os_queue: MessageQueue, secure_shm: SharedRegion,
+                 private_key: RsaPrivateKey,
+                 certificate_chain: tuple[Certificate, ...],
+                 measurement: bytes, core_id: int,
+                 sealing_key: bytes = b"") -> None:
+        self._soc = soc
+        self._monitor = monitor
+        self.enclave_name = enclave_name
+        self.memory = region_shm
+        self.heap = heap
+        self.os_queue = os_queue
+        self._secure_shm = secure_shm
+        self.private_key = private_key
+        self.certificate_chain = certificate_chain
+        self.measurement = measurement
+        self.core_id = core_id
+        # Measurement-bound sealing key (delivered over the trusted
+        # boot path, like the enclave identity key).
+        self.sealing_key = sealing_key
+        # Scratch attribute space for the app (e.g. the decrypted model
+        # handle); lives only as long as the context.
+        self.app_state: dict = {}
+
+    @property
+    def clock(self):
+        return self._soc.clock
+
+    @property
+    def profile(self):
+        return self._soc.profile
+
+    @property
+    def core_freq_hz(self) -> float:
+        return self._soc.core(self.core_id).freq_hz
+
+    def secure_call(self, ta_name: str, command: str, **kwargs):
+        """SMC into the secure world (costs one SA round trip ~2x0.3 ms)."""
+        return self._monitor.smc(self.core_id, ta_name, command, **kwargs)
+
+    def record_audio(self, num_samples: int) -> np.ndarray:
+        """Trusted audio input: secure world reads the mic into the
+        SA/secure-world shared region, then the SA reads it out.
+
+        This is paper §V step 7: the raw samples never exist in any
+        normal-world-accessible memory.
+        """
+        num_bytes = num_samples * 2
+        if num_bytes > self._secure_shm.size:
+            raise SanctuaryError(
+                f"audio request of {num_bytes} bytes exceeds the "
+                f"secure shared region ({self._secure_shm.size} bytes)"
+            )
+        # Capture is real-time: a 1 s clip takes 1 s of virtual time.
+        mic = self._soc.microphone
+        self._soc.clock.advance_ms(1000.0 * num_samples / mic.sample_rate_hz)
+        written = self.secure_call(
+            "peripheral-gateway", "record_audio",
+            enclave_name=self.enclave_name,
+            num_samples=num_samples,
+            dest_address=self._secure_shm.region.base,
+        )
+        raw = self._secure_shm.read(0, written)
+        return np.frombuffer(raw, dtype="<i2").astype(np.int16)
+
+    def store_untrusted(self, path: str, data: bytes) -> None:
+        """Persist data to untrusted flash (via an OS service).
+
+        SANCTUARY lets SAs use untrusted OS services (paper §III-B);
+        anything stored this way is attacker-visible, which is fine for
+        ciphertext (paper §V step 4).
+        """
+        self._soc.flash.store(path, data, World.NORMAL)
+
+    def load_untrusted(self, path: str) -> bytes:
+        return self._soc.flash.load(path, World.NORMAL)

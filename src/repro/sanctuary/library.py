@@ -1,0 +1,96 @@
+"""The SANCTUARY library (SL): the enclave's minimal runtime.
+
+The real SL is built from the Zircon microkernel (paper §III-B); the SA
+runs on top of it as a user process.  Here the SL provides the two
+services the OMG enclave actually uses: a measured runtime image that is
+part of the enclave's identity, and a heap allocator over the enclave's
+private region.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SanctuaryError
+
+__all__ = ["SL_IMAGE", "Allocation", "SlHeap"]
+
+# The SL binary image.  Its bytes are part of the measured initial
+# memory content, so updating the SL changes every enclave measurement —
+# exactly how a real deployment pins the runtime version.
+SL_IMAGE = (
+    b"SANCTUARY-LIBRARY v1.0 (Zircon-based)\n"
+    b"services: heap, ipc, secure-world-gateway\n"
+) + bytes(range(256)) * 8  # padding standing in for the kernel text
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """One live heap allocation inside the enclave region."""
+
+    offset: int
+    size: int
+
+
+class SlHeap:
+    """First-fit free-list allocator over a byte range.
+
+    Offsets are relative to the enclave's private region.  The allocator
+    is deliberately simple — the SA workloads (model buffer, tensor
+    arena, audio buffer) are few and long-lived.
+    """
+
+    def __init__(self, base_offset: int, size: int) -> None:
+        if size <= 0:
+            raise SanctuaryError("heap size must be positive")
+        self._base = base_offset
+        self._size = size
+        self._free: list[tuple[int, int]] = [(base_offset, size)]  # (offset, size)
+        self._live: dict[int, Allocation] = {}
+
+    def alloc(self, size: int, align: int = 16) -> Allocation:
+        """Allocate ``size`` bytes with the given alignment."""
+        if size <= 0:
+            raise SanctuaryError("allocation size must be positive")
+        for index, (offset, block) in enumerate(self._free):
+            aligned = (offset + align - 1) // align * align
+            waste = aligned - offset
+            if block >= waste + size:
+                allocation = Allocation(aligned, size)
+                remaining_head = (offset, waste) if waste else None
+                tail_offset = aligned + size
+                tail_size = block - waste - size
+                replacement = []
+                if remaining_head:
+                    replacement.append(remaining_head)
+                if tail_size:
+                    replacement.append((tail_offset, tail_size))
+                self._free[index:index + 1] = replacement
+                self._live[allocation.offset] = allocation
+                return allocation
+        raise SanctuaryError(
+            f"enclave heap exhausted: cannot allocate {size} bytes "
+            f"({self.free_bytes} free, fragmented into {len(self._free)} blocks)"
+        )
+
+    def free(self, allocation: Allocation) -> None:
+        """Release an allocation back to the free list (with coalescing)."""
+        if self._live.pop(allocation.offset, None) is None:
+            raise SanctuaryError(f"double free at offset {allocation.offset}")
+        self._free.append((allocation.offset, allocation.size))
+        self._free.sort()
+        merged: list[tuple[int, int]] = []
+        for offset, size in self._free:
+            if merged and merged[-1][0] + merged[-1][1] == offset:
+                merged[-1] = (merged[-1][0], merged[-1][1] + size)
+            else:
+                merged.append((offset, size))
+        self._free = merged
+
+    @property
+    def free_bytes(self) -> int:
+        return sum(size for _, size in self._free)
+
+    @property
+    def live_allocations(self) -> int:
+        return len(self._live)

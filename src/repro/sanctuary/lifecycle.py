@@ -1,0 +1,337 @@
+"""The SANCTUARY runtime: enclave life cycle on a booted platform.
+
+Implements the four phases of paper §III-B —
+
+1. **Setup**: OS loads SL + SA into a fresh region; the least busy core
+   is shut down; the TZASC binds the region to that core.
+2. **Boot**: the memory is measured, an enclave key pair is issued, the
+   core boots into the SL, and an attestation report is produced.
+3. **Execution**: the SA serves requests over the untrusted OS mailbox
+   and reaches the secure world through the monitor.
+4. **Teardown**: L1 invalidated, memory scrubbed and unlocked, core
+   handed back to the commodity OS.
+
+Plus the operation-phase optimization of paper §V: *suspend* returns the
+core to the OS while the memory stays locked; *resume* rebinds the
+locked memory to a newly allocated core.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.crypto.rng import HmacDrbg
+from repro.errors import EnclaveLifecycleError, ProtocolError
+from repro.hw.memory import MemoryRegion, RegionPolicy, World
+from repro.sanctuary.attestation import AttestationReport, measure
+from repro.sanctuary.enclave import EnclaveContext, SanctuaryApp
+from repro.sanctuary.library import SL_IMAGE, SlHeap
+from repro.sanctuary.shm import MessageQueue, SharedRegion
+from repro.trustzone.worlds import Platform
+
+__all__ = ["EnclaveState", "LifecycleCosts", "EnclaveInstance", "SanctuaryRuntime"]
+
+_KiB = 1024
+_MiB = 1024 * 1024
+
+
+class EnclaveState(enum.Enum):
+    ACTIVE = "active"
+    SUSPENDED = "suspended"
+    TORN_DOWN = "torn-down"
+
+
+@dataclass
+class LifecycleCosts:
+    """Simulated-milliseconds breakdown, for the life-cycle bench (A1)."""
+
+    setup_ms: float = 0.0
+    boot_ms: float = 0.0
+    attest_ms: float = 0.0
+    suspend_ms: float = 0.0
+    resume_ms: float = 0.0
+    teardown_ms: float = 0.0
+    suspend_count: int = 0
+    resume_count: int = 0
+
+    def total_ms(self) -> float:
+        return (self.setup_ms + self.boot_ms + self.attest_ms
+                + self.suspend_ms + self.resume_ms + self.teardown_ms)
+
+
+class EnclaveInstance:
+    """One launched enclave; owned by a :class:`SanctuaryRuntime`."""
+
+    def __init__(self, runtime: "SanctuaryRuntime", instance_name: str,
+                 app: SanctuaryApp, region: MemoryRegion,
+                 os_shm_region: MemoryRegion, secure_shm_region: MemoryRegion,
+                 heap_offset: int) -> None:
+        self._runtime = runtime
+        self.instance_name = instance_name
+        self.app = app
+        self.region = region
+        self.os_shm_region = os_shm_region
+        self.secure_shm_region = secure_shm_region
+        self._heap_offset = heap_offset
+        self.state = EnclaveState.ACTIVE
+        self.core_id: int | None = None
+        self.ctx: EnclaveContext | None = None
+        self.report: AttestationReport | None = None
+        self.costs = LifecycleCosts()
+        # OS-side views of the request/response mailboxes.
+        half = os_shm_region.size // 2
+        soc = runtime.platform.soc
+        self._os_req_queue = MessageQueue(SharedRegion(
+            soc, MemoryRegion("req", os_shm_region.base, half),
+            World.NORMAL, core_id=0))
+        self._os_resp_queue = MessageQueue(SharedRegion(
+            soc, MemoryRegion("resp", os_shm_region.base + half,
+                              os_shm_region.size - half),
+            World.NORMAL, core_id=0))
+
+    # --- normal-world facing API ------------------------------------------
+
+    def invoke(self, request: bytes) -> bytes:
+        """Send one request through the untrusted mailbox and run the SA.
+
+        Resumes the enclave first if it was suspended (paper §V: a new
+        core is allocated when a query arrives).
+        """
+        if self.state is EnclaveState.TORN_DOWN:
+            raise EnclaveLifecycleError("enclave has been torn down")
+        if self.state is EnclaveState.SUSPENDED:
+            self.resume()
+        if not self._os_req_queue.try_send(request):
+            raise EnclaveLifecycleError("request mailbox full")
+        # SA side: drain the request, run the app, post the response.
+        sa_req = self._os_req_queue.view_for(World.NORMAL, self.core_id)
+        sa_resp = self._os_resp_queue.view_for(World.NORMAL, self.core_id)
+        payload = sa_req.try_receive()
+        if payload is None:
+            raise EnclaveLifecycleError("request vanished from mailbox")
+        try:
+            response = self.app.handle(self.ctx, payload)
+        except ProtocolError:
+            # A malformed request from the untrusted world is *handled*
+            # input validation, not an enclave fault: refuse and live on.
+            raise
+        except Exception:
+            # Fail closed: an SA fault must never leave decrypted state
+            # reachable.  The SL panics the enclave — scrub + unlock —
+            # before the error surfaces to the normal world.
+            self.panic()
+            raise
+        if not sa_resp.try_send(response):
+            raise EnclaveLifecycleError("response mailbox full")
+        out = self._os_resp_queue.try_receive()
+        if out is None:
+            raise EnclaveLifecycleError("response vanished from mailbox")
+        return out
+
+    def panic(self) -> None:
+        """Abnormal termination: like teardown, but unconditional.
+
+        Invoked by the SL when the SA faults; the security obligation
+        (scrub everything, invalidate L1, hand the core back) is the
+        same as a clean teardown.
+        """
+        if self.state is not EnclaveState.TORN_DOWN:
+            self.teardown()
+
+    def suspend(self) -> None:
+        """Return the core to the OS; keep the enclave memory locked."""
+        self._require_active()
+        runtime = self._runtime
+        soc = runtime.platform.soc
+        monitor = runtime.platform.monitor
+        core = soc.core(self.core_id)
+        soc.caches.l1[self.core_id].invalidate_all()
+        core.shutdown()
+        core.return_to_os()
+        monitor.seal_region(self.region)
+        monitor.seal_region(self.secure_shm_region)
+        start = soc.clock.now_ms
+        soc.clock.advance_ms(soc.profile.enclave_suspend_ms)
+        self.costs.suspend_ms += soc.clock.now_ms - start
+        self.costs.suspend_count += 1
+        self.state = EnclaveState.SUSPENDED
+        self.core_id = None
+
+    def resume(self) -> None:
+        """Allocate a fresh core and rebind the locked memory to it."""
+        if self.state is not EnclaveState.SUSPENDED:
+            raise EnclaveLifecycleError(
+                f"cannot resume from state {self.state.value}"
+            )
+        runtime = self._runtime
+        soc = runtime.platform.soc
+        monitor = runtime.platform.monitor
+        core = soc.least_busy_os_core()
+        core.shutdown()
+        monitor.lock_region_to_core(self.region, core.core_id)
+        monitor.lock_region_to_core(self.secure_shm_region, core.core_id)
+        core.boot_sanctuary(self.instance_name)
+        start = soc.clock.now_ms
+        soc.clock.advance_ms(soc.profile.enclave_resume_ms)
+        self.costs.resume_ms += soc.clock.now_ms - start
+        self.costs.resume_count += 1
+        self.core_id = core.core_id
+        self._rebuild_context_views()
+        self.state = EnclaveState.ACTIVE
+
+    def teardown(self) -> None:
+        """Invalidate L1, scrub memory, unlock, hand the core back."""
+        if self.state is EnclaveState.TORN_DOWN:
+            raise EnclaveLifecycleError("enclave already torn down")
+        runtime = self._runtime
+        soc = runtime.platform.soc
+        monitor = runtime.platform.monitor
+        start = soc.clock.now_ms
+        if self.state is EnclaveState.ACTIVE:
+            soc.caches.l1[self.core_id].invalidate_all()
+            core = soc.core(self.core_id)
+            core.shutdown()
+            core.return_to_os()
+        soc.memory.scrub(self.region.base, self.region.size)
+        soc.memory.scrub(self.secure_shm_region.base,
+                         self.secure_shm_region.size)
+        scrubbed_mib = (self.region.size + self.secure_shm_region.size) / _MiB
+        soc.clock.advance_ms(soc.profile.enclave_teardown_ms
+                             + soc.profile.scrub_ms_per_mib * scrubbed_mib)
+        monitor.unlock_region(self.region.name)
+        monitor.unlock_region(self.secure_shm_region.name)
+        monitor.unlock_region(self.os_shm_region.name)
+        self.costs.teardown_ms += soc.clock.now_ms - start
+        self.state = EnclaveState.TORN_DOWN
+        self.core_id = None
+        self.ctx = None
+
+    # --- internals ----------------------------------------------------------
+
+    def _require_active(self) -> None:
+        if self.state is not EnclaveState.ACTIVE:
+            raise EnclaveLifecycleError(
+                f"enclave is {self.state.value}, not active"
+            )
+
+    def _rebuild_context_views(self) -> None:
+        """Re-attribute all SA-side memory views to the new core."""
+        ctx = self.ctx
+        ctx.core_id = self.core_id
+        ctx.memory = ctx.memory.with_attribution(World.NORMAL, self.core_id)
+        ctx._secure_shm = ctx._secure_shm.with_attribution(
+            World.NORMAL, self.core_id)
+
+
+class SanctuaryRuntime:
+    """Factory and registry for enclave instances on one platform."""
+
+    def __init__(self, platform: Platform,
+                 attestation_rng: HmacDrbg | None = None) -> None:
+        self.platform = platform
+        self._counter = 0
+        self._rng = attestation_rng or HmacDrbg(b"sanctuary-runtime")
+        self.instances: list[EnclaveInstance] = []
+
+    @staticmethod
+    def expected_measurement(app: SanctuaryApp) -> bytes:
+        """The measurement a correct build of ``app`` must produce.
+
+        Published by the vendor/manufacturer so relying parties can
+        verify attestation reports (paper §V: "the enclave code can be
+        open source").
+        """
+        return measure(SL_IMAGE + app.code_bytes())
+
+    def launch(self, app: SanctuaryApp, heap_bytes: int = 4 * _MiB,
+               os_shm_bytes: int = 256 * _KiB,
+               secure_shm_bytes: int = 64 * _KiB,
+               challenge: bytes | None = None,
+               pre_lock_hook=None) -> EnclaveInstance:
+        """Run setup + boot + attestation; return an ACTIVE instance.
+
+        ``pre_lock_hook(soc, region)`` is invoked after the OS copies
+        the code but *before* the TZASC lock — the window a real
+        attacker has to tamper with enclave code.  Tampering is caught
+        by measurement, which the attack tests verify.
+        """
+        soc = self.platform.soc
+        monitor = self.platform.monitor
+        self._counter += 1
+        name = f"{app.name}#{self._counter}"
+
+        # --- Setup (paper §III-B step 1) --------------------------------
+        start = soc.clock.now_ms
+        code = SL_IMAGE + app.code_bytes()
+        region_size = len(code) + heap_bytes
+        region = soc.allocate_region(f"enclave:{name}", region_size)
+        os_shm_region = soc.allocate_region(f"os-shm:{name}", os_shm_bytes)
+        secure_shm_region = soc.allocate_region(f"sec-shm:{name}",
+                                                secure_shm_bytes)
+        # The (untrusted) OS loads the code into the still-open region.
+        soc.bus.write(region.base, code, World.NORMAL, core_id=0)
+        if pre_lock_hook is not None:
+            pre_lock_hook(soc, region)
+        core = soc.least_busy_os_core()
+        core.shutdown()
+        monitor.lock_region_to_core(region, core.core_id)
+        monitor.lock_region_to_core(secure_shm_region, core.core_id)
+        # The OS mailbox stays world-readable by design (untrusted I/O).
+        monitor.configure_region(os_shm_region, RegionPolicy())
+        soc.clock.advance_ms(soc.profile.enclave_setup_ms)
+        instance = EnclaveInstance(self, name, app, region, os_shm_region,
+                                   secure_shm_region, heap_offset=len(code))
+        instance.costs.setup_ms = soc.clock.now_ms - start
+
+        # --- Boot: measure, issue identity, start the core ---------------
+        start = soc.clock.now_ms
+        initial = soc.bus.read(region.base, len(code), World.SECURE,
+                               core_id=None)
+        measurement = measure(initial)
+        soc.clock.advance_ms(
+            1000.0 * (len(initial) / _MiB) / soc.profile.measure_mib_per_s)
+        trusted_os = self.platform.secure_world.trusted_os
+        private_key, leaf_cert = trusted_os.invoke(
+            "keymaster", "issue_enclave_key", enclave_name=name)
+        soc.clock.advance_ms(soc.profile.enclave_keygen_ms)
+        platform_cert = trusted_os.invoke("keymaster", "platform_certificate")
+        chain = (leaf_cert, platform_cert,
+                 self.platform.manufacturer_root.certificate)
+        core.boot_sanctuary(name)
+        soc.clock.advance_ms(soc.profile.enclave_boot_ms)
+        instance.costs.boot_ms = soc.clock.now_ms - start
+
+        # --- Attestation report -------------------------------------------
+        start = soc.clock.now_ms
+        if challenge is None:
+            challenge = self._rng.generate(16)
+        report = AttestationReport.create(name, measurement, private_key,
+                                          challenge, chain)
+        soc.clock.advance_ms(soc.profile.rsa_sign_ms)
+        instance.costs.attest_ms = soc.clock.now_ms - start
+        instance.report = report
+        instance.core_id = core.core_id
+
+        # --- Execution context ---------------------------------------------
+        region_shm = SharedRegion(soc, region, World.NORMAL, core.core_id)
+        heap = SlHeap(len(code), heap_bytes)
+        half = os_shm_region.size // 2
+        sa_req_region = SharedRegion(
+            soc, MemoryRegion("req", os_shm_region.base, half),
+            World.NORMAL, core.core_id)
+        secure_shm = SharedRegion(soc, secure_shm_region, World.NORMAL,
+                                  core.core_id)
+        ctx = EnclaveContext(
+            soc=soc, monitor=monitor, enclave_name=name,
+            region_shm=region_shm, heap=heap,
+            os_queue=MessageQueue(sa_req_region), secure_shm=secure_shm,
+            private_key=private_key, certificate_chain=chain,
+            measurement=measurement, core_id=core.core_id,
+            sealing_key=self.platform.secure_world.sealing_key_for(
+                measurement),
+        )
+        instance.ctx = ctx
+        app.on_boot(ctx)
+        self.instances.append(instance)
+        return instance

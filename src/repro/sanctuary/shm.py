@@ -1,0 +1,115 @@
+"""Shared memory channels between an SA, the commodity OS, and the
+secure world.
+
+Paper §III-B: "Besides the isolated memory, additional memory regions
+are shared with the commodity OS and the secure world, which allows the
+SA to access the secure world and (untrusted) OS services."  The OS
+channel is untrusted I/O (Fig. 2 dashed arrows); the secure-world
+channel carries trusted I/O such as microphone data.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.errors import MemoryAccessError
+from repro.hw.memory import MemoryRegion, World
+from repro.hw.soc import Soc
+
+__all__ = ["SharedRegion", "MessageQueue"]
+
+
+class SharedRegion:
+    """A window onto one TZASC region with fixed access attributes.
+
+    A :class:`SharedRegion` is how a component addresses a region *as
+    itself*: the world/core attribution is fixed at construction, so an
+    SA handle writes with its bound core and an OS handle writes as the
+    normal world — the bus still enforces policy on every access.
+    """
+
+    def __init__(self, soc: Soc, region: MemoryRegion,
+                 world: World, core_id: int | None) -> None:
+        self._soc = soc
+        self.region = region
+        self._world = world
+        self._core_id = core_id
+
+    def with_attribution(self, world: World, core_id: int | None) -> "SharedRegion":
+        """The same region viewed by a different master."""
+        return SharedRegion(self._soc, self.region, world, core_id)
+
+    def _charge_copy(self, num_bytes: int) -> None:
+        cycles = num_bytes * self._soc.profile.cycles_per_shm_byte
+        self._soc.clock.advance_cycles(int(cycles), self._soc.fastest_core_hz())
+
+    def read(self, offset: int, length: int) -> bytes:
+        if offset < 0 or offset + length > self.region.size:
+            raise MemoryAccessError(
+                f"read [{offset}, {offset + length}) outside region "
+                f"{self.region.name!r} of size {self.region.size}"
+            )
+        self._charge_copy(length)
+        return self._soc.bus.read(self.region.base + offset, length,
+                                  self._world, self._core_id)
+
+    def write(self, offset: int, data: bytes) -> None:
+        if offset < 0 or offset + len(data) > self.region.size:
+            raise MemoryAccessError(
+                f"write [{offset}, {offset + len(data)}) outside region "
+                f"{self.region.name!r} of size {self.region.size}"
+            )
+        self._charge_copy(len(data))
+        self._soc.bus.write(self.region.base + offset, data,
+                            self._world, self._core_id)
+
+    @property
+    def size(self) -> int:
+        return self.region.size
+
+
+class MessageQueue:
+    """A tiny one-slot mailbox protocol on top of a shared region.
+
+    Layout: ``[4-byte flag][4-byte length][payload]``.  Flag 0 = empty,
+    1 = full.  This is how the OS front-end app and the SA exchange
+    requests/responses over untrusted shared memory.
+    """
+
+    _HEADER = 8
+
+    def __init__(self, shm: SharedRegion) -> None:
+        self._shm = shm
+
+    @property
+    def capacity(self) -> int:
+        return self._shm.size - self._HEADER
+
+    def try_send(self, payload: bytes) -> bool:
+        """Post a message if the slot is empty; return success."""
+        if len(payload) > self.capacity:
+            raise MemoryAccessError(
+                f"message of {len(payload)} bytes exceeds queue capacity "
+                f"{self.capacity}"
+            )
+        flag = struct.unpack("<I", self._shm.read(0, 4))[0]
+        if flag != 0:
+            return False
+        self._shm.write(4, struct.pack("<I", len(payload)))
+        self._shm.write(self._HEADER, payload)
+        self._shm.write(0, struct.pack("<I", 1))
+        return True
+
+    def try_receive(self) -> bytes | None:
+        """Take the pending message if any; clears the slot."""
+        flag = struct.unpack("<I", self._shm.read(0, 4))[0]
+        if flag == 0:
+            return None
+        length = struct.unpack("<I", self._shm.read(4, 4))[0]
+        payload = self._shm.read(self._HEADER, length)
+        self._shm.write(0, struct.pack("<I", 0))
+        return payload
+
+    def view_for(self, world: World, core_id: int | None) -> "MessageQueue":
+        """The same queue as seen by another master."""
+        return MessageQueue(self._shm.with_attribution(world, core_id))

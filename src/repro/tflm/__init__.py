@@ -1,0 +1,33 @@
+"""TensorFlow-Lite-for-Microcontrollers-like inference engine.
+
+Static graphs (:mod:`~repro.tflm.model`), int8 quantization matching the
+TFLite reference semantics (:mod:`~repro.tflm.quantize`), reference
+kernels (:mod:`~repro.tflm.ops`), a binary artifact format
+(:mod:`~repro.tflm.serialize`), arena planning (:mod:`~repro.tflm.arena`)
+and an interpreter with a calibrated timing model
+(:mod:`~repro.tflm.interpreter`).
+"""
+
+from repro.tflm.arena import ArenaPlan, plan_arena
+from repro.tflm.interpreter import Interpreter, InvokeStats
+from repro.tflm.model import Model, ModelMetadata
+from repro.tflm.ops import REGISTRY, Op, OpCost
+from repro.tflm.quantize import (
+    choose_activation_qparams,
+    choose_weight_qparams,
+    multiply_by_quantized_multiplier,
+    quantize_multiplier,
+    requantize_int32,
+)
+from repro.tflm.serialize import deserialize_model, serialize_model
+from repro.tflm.tensor import QuantParams, TensorSpec
+
+__all__ = [
+    "Model", "ModelMetadata", "TensorSpec", "QuantParams",
+    "Interpreter", "InvokeStats", "ArenaPlan", "plan_arena",
+    "serialize_model", "deserialize_model",
+    "Op", "OpCost", "REGISTRY",
+    "choose_activation_qparams", "choose_weight_qparams",
+    "quantize_multiplier", "multiply_by_quantized_multiplier",
+    "requantize_int32",
+]

@@ -1,0 +1,149 @@
+"""The TFLM-like interpreter: arena allocation + ordered kernel dispatch.
+
+Functionally it executes the graph with numpy reference kernels; for the
+evaluation it also *accounts time*: each op's (MACs, elements) cost is
+converted to cycles via the :class:`TimingProfile` and charged to an
+attached virtual clock at the executing core's frequency, with the L2
+exclusion penalty applied when the enclave runs cache-partitioned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import InterpreterError
+from repro.hw.timing import DEFAULT_PROFILE, TimingProfile, VirtualClock
+from repro.tflm.arena import ArenaPlan, plan_arena
+from repro.tflm.model import Model
+from repro.tflm.ops.base import OpCost
+
+__all__ = ["InvokeStats", "Interpreter"]
+
+
+@dataclass
+class InvokeStats:
+    """Accounting for the most recent :meth:`Interpreter.invoke`."""
+
+    macs: int = 0
+    elements: int = 0
+    ops: int = 0
+    cycles: int = 0
+    simulated_ms: float = 0.0
+
+
+class Interpreter:
+    """Executes one model; owns tensor buffers planned into an arena."""
+
+    def __init__(self, model: Model, arena_limit_bytes: int | None = None) -> None:
+        model.validate()
+        self.model = model
+        self.plan: ArenaPlan = plan_arena(model)
+        if (arena_limit_bytes is not None
+                and self.plan.arena_bytes > arena_limit_bytes):
+            raise InterpreterError(
+                f"arena needs {self.plan.arena_bytes} bytes, "
+                f"limit is {arena_limit_bytes}"
+            )
+        self._tensors: dict[str, np.ndarray] = dict(model.constants)
+        self._inputs_set: set[str] = set()
+        self._invoked = False
+        # Timing attachment (optional).
+        self._clock: VirtualClock | None = None
+        self._freq_hz = 0.0
+        self._profile: TimingProfile = DEFAULT_PROFILE
+        self._l2_excluded = False
+        self.last_stats = InvokeStats()
+        self.total_invokes = 0
+
+    # --- timing --------------------------------------------------------
+
+    def attach_timing(self, clock: VirtualClock, freq_hz: float,
+                      profile: TimingProfile | None = None,
+                      l2_excluded: bool = False) -> None:
+        """Charge future invokes to ``clock`` at ``freq_hz``."""
+        if freq_hz <= 0:
+            raise InterpreterError("core frequency must be positive")
+        self._clock = clock
+        self._freq_hz = freq_hz
+        if profile is not None:
+            self._profile = profile
+        self._l2_excluded = l2_excluded
+
+    def _is_float_graph(self) -> bool:
+        return self.model.tensors[self.model.inputs[0]].dtype == "float32"
+
+    def estimate_cycles(self) -> int:
+        """Cycles one invoke will cost under the attached profile."""
+        profile = self._profile
+        mac_cycles = profile.cycles_per_mac
+        if self._is_float_graph():
+            mac_cycles *= profile.float_mac_multiplier
+        total = 0.0
+        for op in self.model.operators:
+            cost: OpCost = op.cost(self.model.tensors)
+            total += (cost.macs * mac_cycles
+                      + cost.elements * profile.cycles_per_element
+                      + profile.cycles_per_op_dispatch)
+        if self._l2_excluded:
+            total *= 1.0 + profile.l2_exclusion_penalty
+        return int(total)
+
+    # --- execution -----------------------------------------------------
+
+    def set_input(self, name: str, array: np.ndarray) -> None:
+        if name not in self.model.inputs:
+            raise InterpreterError(f"{name!r} is not a model input")
+        self.model.tensors[name].validate_array(np.asarray(array))
+        self._tensors[name] = np.asarray(array)
+        self._inputs_set.add(name)
+
+    def invoke(self) -> InvokeStats:
+        """Run all operators in order; returns the cost accounting."""
+        missing = set(self.model.inputs) - self._inputs_set
+        if missing:
+            raise InterpreterError(f"inputs not set: {sorted(missing)}")
+        stats = InvokeStats()
+        for op in self.model.operators:
+            op.run(self._tensors, self.model.tensors)
+            cost = op.cost(self.model.tensors)
+            stats.macs += cost.macs
+            stats.elements += cost.elements
+            stats.ops += 1
+        profile = self._profile
+        mac_cycles = profile.cycles_per_mac
+        if self._is_float_graph():
+            mac_cycles *= profile.float_mac_multiplier
+        cycles = (stats.macs * mac_cycles
+                  + stats.elements * profile.cycles_per_element
+                  + stats.ops * profile.cycles_per_op_dispatch)
+        if self._l2_excluded:
+            cycles *= 1.0 + profile.l2_exclusion_penalty
+        stats.cycles = int(cycles)
+        if self._clock is not None:
+            before = self._clock.now_ms
+            self._clock.advance_cycles(stats.cycles, self._freq_hz)
+            stats.simulated_ms = self._clock.now_ms - before
+        elif self._freq_hz:
+            stats.simulated_ms = stats.cycles / self._freq_hz * 1e3
+        self.last_stats = stats
+        self.total_invokes += 1
+        self._invoked = True
+        return stats
+
+    def get_output(self, name: str) -> np.ndarray:
+        if name not in self.model.outputs:
+            raise InterpreterError(f"{name!r} is not a model output")
+        if not self._invoked:
+            raise InterpreterError("invoke() has not been called yet")
+        return self._tensors[name]
+
+    def classify(self, input_array: np.ndarray) -> tuple[int, np.ndarray]:
+        """Convenience: set the single input, invoke, argmax the output."""
+        if len(self.model.inputs) != 1 or len(self.model.outputs) != 1:
+            raise InterpreterError("classify() needs a single-input/output model")
+        self.set_input(self.model.inputs[0], input_array)
+        self.invoke()
+        scores = self.get_output(self.model.outputs[0]).reshape(-1)
+        return int(np.argmax(scores)), scores

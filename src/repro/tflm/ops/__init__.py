@@ -1,0 +1,37 @@
+"""Reference kernels for the TFLM-like engine.
+
+Importing this package registers every operator in
+:data:`repro.tflm.ops.base.REGISTRY`.
+"""
+
+from repro.tflm.ops.activations import Relu, Relu6
+from repro.tflm.ops.base import REGISTRY, Op, OpCost, op_class, register_op
+from repro.tflm.ops.conv import Conv2D, DepthwiseConv2D, conv_output_size, same_padding
+from repro.tflm.ops.elementwise import Add, Concatenate, Mul
+from repro.tflm.ops.fully_connected import FullyConnected
+from repro.tflm.ops.lut import (
+    LOGISTIC_OUTPUT_QUANT,
+    TANH_OUTPUT_QUANT,
+    Logistic,
+    Mean,
+    Pad,
+    Tanh,
+)
+from repro.tflm.ops.pooling import AveragePool2D, MaxPool2D
+from repro.tflm.ops.reshape import Dequantize, Quantize, Reshape
+from repro.tflm.ops.softmax import (
+    SOFTMAX_OUTPUT_SCALE,
+    SOFTMAX_OUTPUT_ZERO_POINT,
+    Softmax,
+)
+
+__all__ = [
+    "Op", "OpCost", "REGISTRY", "register_op", "op_class",
+    "Conv2D", "DepthwiseConv2D", "conv_output_size", "same_padding",
+    "FullyConnected", "Relu", "Relu6", "Softmax",
+    "SOFTMAX_OUTPUT_SCALE", "SOFTMAX_OUTPUT_ZERO_POINT",
+    "MaxPool2D", "AveragePool2D", "Reshape", "Quantize", "Dequantize",
+    "Add", "Mul", "Concatenate",
+    "Tanh", "Logistic", "Pad", "Mean",
+    "TANH_OUTPUT_QUANT", "LOGISTIC_OUTPUT_QUANT",
+]

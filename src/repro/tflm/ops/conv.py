@@ -1,0 +1,221 @@
+"""Convolution kernels (float reference and int8 quantized).
+
+Layouts follow TFLite: activations NHWC, Conv2D filters OHWI,
+DepthwiseConv2D filters (1, H, W, C_out).  The int8 path accumulates in
+int32 and requantizes with the gemmlowp fixed-point multiplier, so it is
+bit-compatible with TFLM's reference kernels for per-tensor quantization.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InterpreterError
+from repro.tflm.ops.base import Op, OpCost, register_op
+from repro.tflm.quantize import requantize_int32
+from repro.tflm.tensor import TensorSpec
+
+__all__ = ["conv_output_size", "same_padding", "Conv2D", "DepthwiseConv2D"]
+
+
+def conv_output_size(input_size: int, kernel: int, stride: int,
+                     padding: str) -> int:
+    if padding == "same":
+        return -(-input_size // stride)
+    if padding == "valid":
+        return (input_size - kernel) // stride + 1
+    raise InterpreterError(f"unknown padding {padding!r}")
+
+
+def same_padding(input_size: int, kernel: int, stride: int) -> tuple[int, int]:
+    """(before, after) zero padding for SAME semantics."""
+    out = -(-input_size // stride)
+    total = max((out - 1) * stride + kernel - input_size, 0)
+    before = total // 2
+    return before, total - before
+
+
+def _im2col(x: np.ndarray, kh: int, kw: int, stride_h: int, stride_w: int,
+            pad: tuple[int, int, int, int], pad_value) -> np.ndarray:
+    """(1, H, W, C) -> (out_h * out_w, kh * kw * C) patch matrix."""
+    _, h, w, c = x.shape
+    pt, pb, pl, pr = pad
+    padded = np.full((1, h + pt + pb, w + pl + pr, c), pad_value,
+                     dtype=x.dtype)
+    padded[:, pt:pt + h, pl:pl + w, :] = x
+    out_h = (padded.shape[1] - kh) // stride_h + 1
+    out_w = (padded.shape[2] - kw) // stride_w + 1
+    cols = np.empty((out_h * out_w, kh * kw * c), dtype=x.dtype)
+    row = 0
+    for i in range(out_h):
+        top = i * stride_h
+        for j in range(out_w):
+            left = j * stride_w
+            patch = padded[0, top:top + kh, left:left + kw, :]
+            cols[row] = patch.reshape(-1)
+            row += 1
+    return cols
+
+
+class _ConvBase(Op):
+    """Shared shape/padding logic for Conv2D and DepthwiseConv2D."""
+
+    def _geometry(self, specs: dict[str, TensorSpec]):
+        x_spec = specs[self.inputs[0]]
+        w_spec = specs[self.inputs[1]]
+        stride_h, stride_w = self.params.get("stride", (1, 1))
+        padding = self.params.get("padding", "same")
+        if len(x_spec.shape) != 4 or x_spec.shape[0] != 1:
+            raise InterpreterError(
+                f"{self.opcode}: input must be (1, H, W, C), "
+                f"got {x_spec.shape}"
+            )
+        return x_spec, w_spec, stride_h, stride_w, padding
+
+    def validate(self, specs: dict[str, TensorSpec]) -> None:
+        super().validate(specs)
+        x_spec, w_spec, sh, sw, padding = self._geometry(specs)
+        out_spec = specs[self.outputs[0]]
+        expected = self._output_shape(x_spec, w_spec, sh, sw, padding)
+        if out_spec.shape != expected:
+            raise InterpreterError(
+                f"{self.opcode}: output shape {out_spec.shape} != "
+                f"computed {expected}"
+            )
+        if x_spec.dtype != out_spec.dtype:
+            raise InterpreterError(
+                f"{self.opcode}: mixed dtypes {x_spec.dtype}/{out_spec.dtype}"
+            )
+
+
+@register_op
+class Conv2D(_ConvBase):
+    """Standard 2-D convolution, filters OHWI, optional fused ReLU."""
+
+    opcode = "conv_2d"
+
+    def _output_shape(self, x_spec, w_spec, sh, sw, padding):
+        out_c, kh, kw, in_c = w_spec.shape
+        if in_c != x_spec.shape[3]:
+            raise InterpreterError(
+                f"conv_2d: filter expects {in_c} input channels, "
+                f"input has {x_spec.shape[3]}"
+            )
+        out_h = conv_output_size(x_spec.shape[1], kh, sh, padding)
+        out_w = conv_output_size(x_spec.shape[2], kw, sw, padding)
+        return (1, out_h, out_w, out_c)
+
+    def run(self, tensors, specs):
+        x = tensors[self.inputs[0]]
+        weights = tensors[self.inputs[1]]
+        bias = tensors[self.inputs[2]] if len(self.inputs) > 2 else None
+        x_spec, w_spec, sh, sw, padding = self._geometry(specs)
+        out_spec = specs[self.outputs[0]]
+        out_c, kh, kw, in_c = weights.shape
+        if padding == "same":
+            pt, pb = same_padding(x.shape[1], kh, sh)
+            pl, pr = same_padding(x.shape[2], kw, sw)
+        else:
+            pt = pb = pl = pr = 0
+        fused_relu = self.params.get("activation") == "relu"
+
+        if x_spec.dtype == "float32":
+            cols = _im2col(x, kh, kw, sh, sw, (pt, pb, pl, pr), 0.0)
+            flat_w = weights.reshape(out_c, -1).astype(np.float32)
+            acc = cols.astype(np.float32) @ flat_w.T
+            if bias is not None:
+                acc = acc + bias
+            if fused_relu:
+                acc = np.maximum(acc, 0.0)
+            tensors[self.outputs[0]] = acc.reshape(out_spec.shape).astype(np.float32)
+            return
+
+        # int8 path: accumulate (x - zp_x) * w in int32.
+        zp_x = x_spec.quant.zero_point
+        cols = _im2col(x, kh, kw, sh, sw, (pt, pb, pl, pr),
+                       np.int8(zp_x)).astype(np.int32) - zp_x
+        flat_w = weights.reshape(out_c, -1).astype(np.int32)
+        acc = cols @ flat_w.T
+        if bias is not None:
+            acc = acc + bias.astype(np.int32)
+        out_q = out_spec.quant
+        result = requantize_int32(acc, x_spec.quant.scale,
+                                  specs[self.inputs[1]].quant.scale, out_q)
+        if fused_relu:
+            result = np.maximum(result, np.int8(out_q.zero_point))
+        tensors[self.outputs[0]] = result.reshape(out_spec.shape)
+
+    def cost(self, specs):
+        w_spec = specs[self.inputs[1]]
+        out_spec = specs[self.outputs[0]]
+        out_c, kh, kw, in_c = w_spec.shape
+        spatial = out_spec.shape[1] * out_spec.shape[2]
+        return OpCost(macs=spatial * out_c * kh * kw * in_c,
+                      elements=out_spec.num_elements)
+
+
+@register_op
+class DepthwiseConv2D(_ConvBase):
+    """Depthwise convolution, filters (1, H, W, C), multiplier 1."""
+
+    opcode = "depthwise_conv_2d"
+
+    def _output_shape(self, x_spec, w_spec, sh, sw, padding):
+        _, kh, kw, channels = w_spec.shape
+        if channels != x_spec.shape[3]:
+            raise InterpreterError(
+                f"depthwise_conv_2d: filter has {channels} channels, "
+                f"input has {x_spec.shape[3]}"
+            )
+        out_h = conv_output_size(x_spec.shape[1], kh, sh, padding)
+        out_w = conv_output_size(x_spec.shape[2], kw, sw, padding)
+        return (1, out_h, out_w, channels)
+
+    def run(self, tensors, specs):
+        x = tensors[self.inputs[0]]
+        weights = tensors[self.inputs[1]]
+        bias = tensors[self.inputs[2]] if len(self.inputs) > 2 else None
+        x_spec, w_spec, sh, sw, padding = self._geometry(specs)
+        out_spec = specs[self.outputs[0]]
+        _, kh, kw, channels = weights.shape
+        if padding == "same":
+            pt, pb = same_padding(x.shape[1], kh, sh)
+            pl, pr = same_padding(x.shape[2], kw, sw)
+        else:
+            pt = pb = pl = pr = 0
+        fused_relu = self.params.get("activation") == "relu"
+
+        is_float = x_spec.dtype == "float32"
+        pad_value = 0.0 if is_float else np.int8(x_spec.quant.zero_point)
+        cols = _im2col(x, kh, kw, sh, sw, (pt, pb, pl, pr), pad_value)
+        # cols: (spatial, kh*kw*channels) -> (spatial, kh*kw, channels)
+        cols = cols.reshape(cols.shape[0], kh * kw, channels)
+        flat_w = weights.reshape(kh * kw, channels)
+        if is_float:
+            acc = np.einsum("skc,kc->sc", cols.astype(np.float32),
+                            flat_w.astype(np.float32))
+            if bias is not None:
+                acc = acc + bias
+            if fused_relu:
+                acc = np.maximum(acc, 0.0)
+            tensors[self.outputs[0]] = acc.reshape(out_spec.shape).astype(np.float32)
+            return
+        zp_x = x_spec.quant.zero_point
+        acc = np.einsum("skc,kc->sc", cols.astype(np.int32) - zp_x,
+                        flat_w.astype(np.int32))
+        if bias is not None:
+            acc = acc + bias.astype(np.int32)
+        out_q = out_spec.quant
+        result = requantize_int32(acc, x_spec.quant.scale,
+                                  w_spec.quant.scale, out_q)
+        if fused_relu:
+            result = np.maximum(result, np.int8(out_q.zero_point))
+        tensors[self.outputs[0]] = result.reshape(out_spec.shape)
+
+    def cost(self, specs):
+        w_spec = specs[self.inputs[1]]
+        out_spec = specs[self.outputs[0]]
+        _, kh, kw, channels = w_spec.shape
+        spatial = out_spec.shape[1] * out_spec.shape[2]
+        return OpCost(macs=spatial * channels * kh * kw,
+                      elements=out_spec.num_elements)

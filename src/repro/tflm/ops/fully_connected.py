@@ -1,0 +1,77 @@
+"""Fully-connected (dense) kernel, float and int8."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InterpreterError
+from repro.tflm.ops.base import Op, OpCost, register_op
+from repro.tflm.quantize import requantize_int32
+
+__all__ = ["FullyConnected"]
+
+
+@register_op
+class FullyConnected(Op):
+    """y = x @ W^T + b with weights (out_features, in_features).
+
+    The input is flattened to (1, in_features) first, matching TFLite's
+    implicit flatten for dense layers after convolutions.
+    """
+
+    opcode = "fully_connected"
+
+    def validate(self, specs):
+        super().validate(specs)
+        x_spec = specs[self.inputs[0]]
+        w_spec = specs[self.inputs[1]]
+        out_spec = specs[self.outputs[0]]
+        if len(w_spec.shape) != 2:
+            raise InterpreterError(
+                f"fully_connected: weights must be 2-D, got {w_spec.shape}"
+            )
+        out_features, in_features = w_spec.shape
+        if x_spec.num_elements != in_features:
+            raise InterpreterError(
+                f"fully_connected: input has {x_spec.num_elements} elements, "
+                f"weights expect {in_features}"
+            )
+        if out_spec.shape != (1, out_features):
+            raise InterpreterError(
+                f"fully_connected: output shape {out_spec.shape} != "
+                f"(1, {out_features})"
+            )
+
+    def run(self, tensors, specs):
+        x_spec = specs[self.inputs[0]]
+        w_spec = specs[self.inputs[1]]
+        out_spec = specs[self.outputs[0]]
+        x = tensors[self.inputs[0]].reshape(1, -1)
+        weights = tensors[self.inputs[1]]
+        bias = tensors[self.inputs[2]] if len(self.inputs) > 2 else None
+        fused_relu = self.params.get("activation") == "relu"
+
+        if x_spec.dtype == "float32":
+            acc = x.astype(np.float32) @ weights.astype(np.float32).T
+            if bias is not None:
+                acc = acc + bias
+            if fused_relu:
+                acc = np.maximum(acc, 0.0)
+            tensors[self.outputs[0]] = acc.astype(np.float32)
+            return
+
+        zp_x = x_spec.quant.zero_point
+        acc = (x.astype(np.int32) - zp_x) @ weights.astype(np.int32).T
+        if bias is not None:
+            acc = acc + bias.astype(np.int32)
+        out_q = out_spec.quant
+        result = requantize_int32(acc, x_spec.quant.scale,
+                                  w_spec.quant.scale, out_q)
+        if fused_relu:
+            result = np.maximum(result, np.int8(out_q.zero_point))
+        tensors[self.outputs[0]] = result.reshape(out_spec.shape)
+
+    def cost(self, specs):
+        w_spec = specs[self.inputs[1]]
+        out_features, in_features = w_spec.shape
+        return OpCost(macs=out_features * in_features, elements=out_features)

@@ -1,0 +1,110 @@
+"""Quantization arithmetic matching the TensorFlow Lite reference.
+
+Implements the pieces post-training int8 quantization needs:
+
+* choosing (scale, zero_point) from observed ranges — symmetric for
+  weights, asymmetric for activations, exactly as TFLite converters do;
+* the fixed-point requantization multiplier: a real multiplier is
+  decomposed into an int32 mantissa and a shift, and applied with the
+  same saturating-rounding-doubling semantics as ``gemmlowp``'s
+  ``SaturatingRoundingDoublingHighMul`` + rounding right shift.
+
+Matching these semantics matters: it is why the int8 graph here and a
+real TFLM interpreter produce identical outputs for identical weights.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import ModelFormatError
+from repro.tflm.tensor import QuantParams
+
+__all__ = [
+    "choose_activation_qparams", "choose_weight_qparams",
+    "quantize_multiplier", "multiply_by_quantized_multiplier",
+    "requantize_int32",
+]
+
+
+def choose_activation_qparams(min_val: float, max_val: float,
+                              dtype: str = "int8") -> QuantParams:
+    """Asymmetric quantization covering [min_val, max_val].
+
+    The range is nudged to include 0.0 exactly (TFLite requirement, so
+    zero padding is representable).
+    """
+    if math.isnan(min_val) or math.isnan(max_val) or min_val > max_val:
+        raise ModelFormatError(f"bad activation range [{min_val}, {max_val}]")
+    qmin, qmax = (-128, 127) if dtype == "int8" else (0, 255)
+    min_val = min(min_val, 0.0)
+    max_val = max(max_val, 0.0)
+    if max_val == min_val:
+        return QuantParams(scale=1.0, zero_point=0 if dtype == "int8" else qmin)
+    scale = (max_val - min_val) / (qmax - qmin)
+    zero_point = int(round(qmin - min_val / scale))
+    zero_point = max(qmin, min(qmax, zero_point))
+    return QuantParams(scale=scale, zero_point=zero_point)
+
+
+def choose_weight_qparams(weights: np.ndarray) -> QuantParams:
+    """Symmetric int8 quantization (zero_point = 0) for weights."""
+    bound = float(np.abs(weights).max())
+    if bound == 0.0:
+        bound = 1e-8
+    return QuantParams(scale=bound / 127.0, zero_point=0)
+
+
+def quantize_multiplier(real_multiplier: float) -> tuple[int, int]:
+    """Decompose ``real_multiplier`` as ``m * 2^shift`` with m in Q31.
+
+    Returns ``(quantized_multiplier, shift)`` where the multiplier is an
+    int32 in [2^30, 2^31) and ``shift`` may be negative (right shift).
+    """
+    if real_multiplier <= 0 or real_multiplier >= 1e8:
+        raise ModelFormatError(
+            f"multiplier {real_multiplier} out of supported range"
+        )
+    mantissa, exponent = math.frexp(real_multiplier)
+    quantized = int(round(mantissa * (1 << 31)))
+    if quantized == (1 << 31):
+        quantized //= 2
+        exponent += 1
+    return quantized, exponent
+
+
+def multiply_by_quantized_multiplier(value: np.ndarray, multiplier: int,
+                                     shift: int) -> np.ndarray:
+    """gemmlowp-style fixed-point multiply used for requantization.
+
+    Computes ``round(value * multiplier * 2^shift / 2^31)`` with
+    round-half-away-from-zero at both rounding points, on int64 to avoid
+    overflow (real kernels use 32x32->64 multiplies too).
+    """
+    value = value.astype(np.int64)
+    left_shift = max(shift, 0)
+    right_shift = max(-shift, 0)
+    product = (value << left_shift) * int(multiplier)
+    # SaturatingRoundingDoublingHighMul: (2*a*b + 2^30-ish) >> 31 with
+    # round-half-away-from-zero.
+    nudge = np.where(product >= 0, 1 << 30, 1 - (1 << 30)).astype(np.int64)
+    high = (product + nudge) >> 31
+    if right_shift:
+        mask = (np.int64(1) << right_shift) - 1
+        remainder = high & mask
+        threshold = (mask >> 1) + np.where(high < 0, 1, 0).astype(np.int64)
+        high = (high >> right_shift) + (remainder > threshold).astype(np.int64)
+    return high
+
+
+def requantize_int32(acc: np.ndarray, input_scale: float, weight_scale: float,
+                     output_qparams: QuantParams,
+                     dtype_min: int = -128, dtype_max: int = 127) -> np.ndarray:
+    """Rescale int32 accumulators to the int8 output domain."""
+    real_multiplier = input_scale * weight_scale / output_qparams.scale
+    multiplier, shift = quantize_multiplier(real_multiplier)
+    scaled = multiply_by_quantized_multiplier(acc, multiplier, shift)
+    scaled = scaled + output_qparams.zero_point
+    return np.clip(scaled, dtype_min, dtype_max).astype(np.int8)

@@ -1,0 +1,69 @@
+"""Feature-set preparation with on-disk caching.
+
+Synthesizing audio and running the fixed-point front end dominates data
+preparation, so feature arrays are cached as ``.npz`` keyed by the full
+generation configuration; any config change invalidates the cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+
+import numpy as np
+
+from repro.audio.features import FingerprintExtractor
+from repro.audio.speech_commands import SyntheticSpeechCommands
+
+__all__ = ["default_cache_dir", "load_split_features", "features_to_float"]
+
+
+def default_cache_dir() -> str:
+    return os.environ.get(
+        "REPRO_CACHE_DIR",
+        os.path.join(os.path.dirname(__file__), "..", "..", "..", ".cache"),
+    )
+
+
+def _cache_key(dataset: SyntheticSpeechCommands,
+               extractor: FingerprintExtractor,
+               split: str, per_class: int) -> str:
+    text = "|".join([
+        repr(dataset.config), repr(extractor.config),
+        str(extractor.use_fixed_point), split, str(per_class), "v1",
+    ])
+    return hashlib.sha256(text.encode()).hexdigest()[:24]
+
+
+def load_split_features(dataset: SyntheticSpeechCommands,
+                        extractor: FingerprintExtractor, split: str,
+                        per_class: int,
+                        cache_dir: str | None = None
+                        ) -> tuple[np.ndarray, np.ndarray]:
+    """Return ``(fingerprints uint8 [N, F, B], labels int64 [N])``.
+
+    Results are cached under ``cache_dir`` (created on demand); pass
+    ``cache_dir=""`` to disable caching.
+    """
+    if cache_dir is None:
+        cache_dir = default_cache_dir()
+    path = None
+    if cache_dir:
+        os.makedirs(cache_dir, exist_ok=True)
+        key = _cache_key(dataset, extractor, split, per_class)
+        path = os.path.join(cache_dir, f"features-{key}.npz")
+        if os.path.exists(path):
+            loaded = np.load(path)
+            return loaded["x"], loaded["y"]
+    utterances = dataset.split(split, per_class)
+    x = np.stack([extractor.extract(u.samples) for u in utterances])
+    y = np.array([u.label_idx for u in utterances], dtype=np.int64)
+    if path:
+        np.savez_compressed(path, x=x, y=y)
+    return x, y
+
+
+def features_to_float(x: np.ndarray) -> np.ndarray:
+    """uint8 fingerprints -> float32 in [0, 1] with a trailing channel
+    axis, the layout the training network consumes."""
+    return (x.astype(np.float32) / 255.0)[..., np.newaxis]

@@ -1,0 +1,239 @@
+"""Training layers with explicit forward/backward passes.
+
+A small, dependency-free replacement for the TensorFlow training step of
+the paper's recipe: enough to train tiny_conv (conv -> ReLU -> dropout
+-> dense -> softmax) by stochastic gradient descent.  Activations are
+NHWC and conv filters OHWI, matching the inference engine so conversion
+is a straight copy of weights.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from repro.errors import ReproError
+from repro.tflm.ops.conv import same_padding
+
+__all__ = [
+    "Layer", "ConvLayer", "DenseLayer", "ReluLayer", "DropoutLayer",
+    "FlattenLayer", "MaxPoolLayer", "softmax_cross_entropy",
+]
+
+
+class Layer:
+    """Base layer: forward caches what backward needs."""
+
+    def params(self) -> dict[str, np.ndarray]:
+        """Trainable parameter arrays by name (shared, not copied)."""
+        return {}
+
+    def grads(self) -> dict[str, np.ndarray]:
+        """Gradients matching :meth:`params` keys."""
+        return {}
+
+    def forward(self, x: np.ndarray, training: bool) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, dout: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+
+class ConvLayer(Layer):
+    """2-D convolution with SAME/VALID padding and stride."""
+
+    def __init__(self, in_channels: int, out_channels: int,
+                 kernel: tuple[int, int], stride: tuple[int, int] = (1, 1),
+                 padding: str = "same",
+                 rng: np.random.Generator | None = None) -> None:
+        rng = rng or np.random.default_rng(0)
+        kh, kw = kernel
+        fan_in = kh * kw * in_channels
+        scale = np.sqrt(2.0 / fan_in)
+        self.weights = rng.normal(
+            0.0, scale, size=(out_channels, kh, kw, in_channels)
+        ).astype(np.float64)
+        self.bias = np.zeros(out_channels, dtype=np.float64)
+        self.stride = stride
+        self.padding = padding
+        self._cache = None
+        self._dw = np.zeros_like(self.weights)
+        self._db = np.zeros_like(self.bias)
+
+    def params(self):
+        return {"weights": self.weights, "bias": self.bias}
+
+    def grads(self):
+        return {"weights": self._dw, "bias": self._db}
+
+    def _pad(self, x: np.ndarray) -> tuple[np.ndarray, tuple[int, int, int, int]]:
+        _, h, w, _ = x.shape
+        out_c, kh, kw, _ = self.weights.shape
+        sh, sw = self.stride
+        if self.padding == "same":
+            pt, pb = same_padding(h, kh, sh)
+            pl, pr = same_padding(w, kw, sw)
+        elif self.padding == "valid":
+            pt = pb = pl = pr = 0
+        else:
+            raise ReproError(f"unknown padding {self.padding!r}")
+        padded = np.pad(x, ((0, 0), (pt, pb), (pl, pr), (0, 0)))
+        return padded, (pt, pb, pl, pr)
+
+    def forward(self, x, training):
+        sh, sw = self.stride
+        out_c, kh, kw, in_c = self.weights.shape
+        padded, pad = self._pad(x)
+        windows = sliding_window_view(padded, (kh, kw), axis=(1, 2))
+        windows = windows[:, ::sh, ::sw, :, :, :]  # (N, OH, OW, C, kh, kw)
+        out = np.einsum("nijckl,oklc->nijo", windows, self.weights,
+                        optimize=True) + self.bias
+        self._cache = (x.shape, padded, pad)
+        return out
+
+    def backward(self, dout):
+        x_shape, padded, pad = self._cache
+        sh, sw = self.stride
+        out_c, kh, kw, in_c = self.weights.shape
+        n, oh, ow, _ = dout.shape
+        windows = sliding_window_view(padded, (kh, kw), axis=(1, 2))
+        windows = windows[:, ::sh, ::sw, :, :, :]
+        self._dw[...] = np.einsum("nijo,nijckl->oklc", dout, windows,
+                                  optimize=True)
+        self._db[...] = dout.sum(axis=(0, 1, 2))
+        dpadded = np.zeros_like(padded)
+        # Scatter gradients: loop over the (small) kernel footprint.
+        for a in range(kh):
+            for b in range(kw):
+                # contribution to dpadded[:, a + i*sh, b + j*sw, c]
+                patch = np.einsum("nijo,oc->nijc", dout,
+                                  self.weights[:, a, b, :], optimize=True)
+                dpadded[:, a:a + oh * sh:sh, b:b + ow * sw:sw, :] += patch
+        pt, pb, pl, pr = pad
+        _, h, w, _ = x_shape
+        return dpadded[:, pt:pt + h, pl:pl + w, :]
+
+
+class DenseLayer(Layer):
+    """Fully connected layer on flattened inputs."""
+
+    def __init__(self, in_features: int, out_features: int,
+                 rng: np.random.Generator | None = None) -> None:
+        rng = rng or np.random.default_rng(0)
+        scale = np.sqrt(2.0 / in_features)
+        self.weights = rng.normal(
+            0.0, scale, size=(out_features, in_features)).astype(np.float64)
+        self.bias = np.zeros(out_features, dtype=np.float64)
+        self._cache = None
+        self._dw = np.zeros_like(self.weights)
+        self._db = np.zeros_like(self.bias)
+
+    def params(self):
+        return {"weights": self.weights, "bias": self.bias}
+
+    def grads(self):
+        return {"weights": self._dw, "bias": self._db}
+
+    def forward(self, x, training):
+        flat = x.reshape(x.shape[0], -1)
+        self._cache = (x.shape, flat)
+        return flat @ self.weights.T + self.bias
+
+    def backward(self, dout):
+        x_shape, flat = self._cache
+        self._dw[...] = dout.T @ flat
+        self._db[...] = dout.sum(axis=0)
+        return (dout @ self.weights).reshape(x_shape)
+
+
+class MaxPoolLayer(Layer):
+    """Non-overlapping max pooling (filter == stride, VALID padding)."""
+
+    def __init__(self, pool: tuple[int, int] = (2, 2)) -> None:
+        self.pool = pool
+        self._cache = None
+
+    def forward(self, x, training):
+        ph, pw = self.pool
+        n, h, w, c = x.shape
+        oh, ow = h // ph, w // pw
+        trimmed = x[:, :oh * ph, :ow * pw, :]
+        windows = trimmed.reshape(n, oh, ph, ow, pw, c)
+        out = windows.max(axis=(2, 4))
+        # Cache the argmax mask for the backward pass.
+        mask = windows == out[:, :, np.newaxis, :, np.newaxis, :]
+        self._cache = (x.shape, mask, (oh, ow))
+        return out
+
+    def backward(self, dout):
+        x_shape, mask, (oh, ow) = self._cache
+        ph, pw = self.pool
+        n, h, w, c = x_shape
+        grad_windows = (mask
+                        * dout[:, :, np.newaxis, :, np.newaxis, :])
+        dx = np.zeros(x_shape, dtype=dout.dtype)
+        dx[:, :oh * ph, :ow * pw, :] = grad_windows.reshape(
+            n, oh * ph, ow * pw, c)
+        return dx
+
+
+class ReluLayer(Layer):
+    def __init__(self) -> None:
+        self._mask = None
+
+    def forward(self, x, training):
+        self._mask = x > 0
+        return x * self._mask
+
+    def backward(self, dout):
+        return dout * self._mask
+
+
+class DropoutLayer(Layer):
+    """Inverted dropout; identity at inference time."""
+
+    def __init__(self, rate: float, rng: np.random.Generator | None = None) -> None:
+        if not 0.0 <= rate < 1.0:
+            raise ReproError(f"dropout rate {rate} outside [0, 1)")
+        self.rate = rate
+        self._rng = rng or np.random.default_rng(0)
+        self._mask = None
+
+    def forward(self, x, training):
+        if not training or self.rate == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.rate
+        self._mask = (self._rng.random(x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, dout):
+        if self._mask is None:
+            return dout
+        return dout * self._mask
+
+
+class FlattenLayer(Layer):
+    def __init__(self) -> None:
+        self._shape = None
+
+    def forward(self, x, training):
+        self._shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, dout):
+        return dout.reshape(self._shape)
+
+
+def softmax_cross_entropy(logits: np.ndarray,
+                          labels: np.ndarray) -> tuple[float, np.ndarray]:
+    """Mean cross-entropy loss and d(loss)/d(logits)."""
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    probs = exp / exp.sum(axis=1, keepdims=True)
+    n = logits.shape[0]
+    eps = 1e-12
+    loss = -np.log(probs[np.arange(n), labels] + eps).mean()
+    dlogits = probs.copy()
+    dlogits[np.arange(n), labels] -= 1.0
+    return float(loss), dlogits / n

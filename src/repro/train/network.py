@@ -1,0 +1,93 @@
+"""Network containers and the paper's tiny_conv architecture.
+
+Paper §VI: "The tiny_conv architecture feeds the audio fingerprint to a
+2D convolutional layer (8 filters, 8x10, x and y stride of 2), followed
+by ReLU activation and a regular layer that maps to the output labels.
+During training, dropout is applied after the convolution layer."
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.tflm.ops.conv import conv_output_size
+from repro.train.layers import (
+    ConvLayer,
+    DenseLayer,
+    DropoutLayer,
+    FlattenLayer,
+    Layer,
+    ReluLayer,
+    softmax_cross_entropy,
+)
+
+__all__ = ["TrainableNetwork", "build_tiny_conv"]
+
+
+class TrainableNetwork:
+    """An ordered stack of layers with a softmax-cross-entropy head."""
+
+    def __init__(self, layers: list[Layer], input_shape: tuple[int, ...],
+                 num_classes: int) -> None:
+        self.layers = layers
+        self.input_shape = tuple(input_shape)
+        self.num_classes = num_classes
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if x.shape[1:] != self.input_shape:
+            raise ReproError(
+                f"expected input shape (N, {self.input_shape}), got {x.shape}"
+            )
+        out = x
+        for layer in self.layers:
+            out = layer.forward(out, training)
+        return out
+
+    def backward(self, dlogits: np.ndarray) -> None:
+        grad = dlogits
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+
+    def train_step(self, x: np.ndarray, y: np.ndarray) -> float:
+        """One forward/backward pass; returns the batch loss."""
+        logits = self.forward(x, training=True)
+        loss, dlogits = softmax_cross_entropy(logits, y)
+        self.backward(dlogits)
+        return loss
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return np.argmax(self.forward(x, training=False), axis=1)
+
+    def accuracy(self, x: np.ndarray, y: np.ndarray,
+                 batch_size: int = 256) -> float:
+        correct = 0
+        for start in range(0, len(x), batch_size):
+            batch = x[start:start + batch_size]
+            correct += int((self.predict(batch) == y[start:start + batch_size]).sum())
+        return correct / len(x)
+
+    def parameter_count(self) -> int:
+        return sum(p.size for layer in self.layers
+                   for p in layer.params().values())
+
+
+def build_tiny_conv(input_shape: tuple[int, int, int] = (49, 43, 1),
+                    num_classes: int = 12, dropout: float = 0.5,
+                    seed: int = 1234) -> TrainableNetwork:
+    """The paper's tiny_conv: conv 8@8x10 /2x2 -> ReLU -> dropout -> FC."""
+    rng = np.random.default_rng(seed)
+    h, w, c = input_shape
+    conv = ConvLayer(in_channels=c, out_channels=8, kernel=(8, 10),
+                     stride=(2, 2), padding="same", rng=rng)
+    out_h = conv_output_size(h, 8, 2, "same")
+    out_w = conv_output_size(w, 10, 2, "same")
+    flat_features = out_h * out_w * 8
+    layers: list[Layer] = [
+        conv,
+        ReluLayer(),
+        DropoutLayer(dropout, rng=rng),
+        FlattenLayer(),
+        DenseLayer(flat_features, num_classes, rng=rng),
+    ]
+    return TrainableNetwork(layers, input_shape, num_classes)

@@ -1,0 +1,85 @@
+"""Optimizers for the training loop (SGD with momentum, Adam)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.train.layers import Layer
+
+__all__ = ["Optimizer", "SgdMomentum", "Adam"]
+
+
+class Optimizer:
+    """Updates the parameters of a list of layers in place."""
+
+    def __init__(self, layers: list[Layer]) -> None:
+        self._layers = [layer for layer in layers if layer.params()]
+
+    def step(self) -> None:
+        for index, layer in enumerate(self._layers):
+            params = layer.params()
+            grads = layer.grads()
+            for key in params:
+                self._update(index, key, params[key], grads[key])
+
+    def _update(self, layer_index: int, key: str,
+                param: np.ndarray, grad: np.ndarray) -> None:
+        raise NotImplementedError
+
+
+class SgdMomentum(Optimizer):
+    """Classic SGD with momentum (the TF example recipe's optimizer)."""
+
+    def __init__(self, layers: list[Layer], learning_rate: float = 0.01,
+                 momentum: float = 0.9) -> None:
+        super().__init__(layers)
+        if learning_rate <= 0:
+            raise ReproError("learning rate must be positive")
+        self.learning_rate = learning_rate
+        self.momentum = momentum
+        self._velocity: dict[tuple[int, str], np.ndarray] = {}
+
+    def _update(self, layer_index, key, param, grad):
+        slot = (layer_index, key)
+        velocity = self._velocity.get(slot)
+        if velocity is None:
+            velocity = np.zeros_like(param)
+            self._velocity[slot] = velocity
+        velocity *= self.momentum
+        velocity -= self.learning_rate * grad
+        param += velocity
+
+
+class Adam(Optimizer):
+    """Adam, for the faster-converging example scripts."""
+
+    def __init__(self, layers: list[Layer], learning_rate: float = 1e-3,
+                 beta1: float = 0.9, beta2: float = 0.999,
+                 eps: float = 1e-8) -> None:
+        super().__init__(layers)
+        self.learning_rate = learning_rate
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._m: dict[tuple[int, str], np.ndarray] = {}
+        self._v: dict[tuple[int, str], np.ndarray] = {}
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        super().step()
+
+    def _update(self, layer_index, key, param, grad):
+        slot = (layer_index, key)
+        if slot not in self._m:
+            self._m[slot] = np.zeros_like(param)
+            self._v[slot] = np.zeros_like(param)
+        m, v = self._m[slot], self._v[slot]
+        m *= self.beta1
+        m += (1 - self.beta1) * grad
+        v *= self.beta2
+        v += (1 - self.beta2) * grad * grad
+        m_hat = m / (1 - self.beta1 ** self._t)
+        v_hat = v / (1 - self.beta2 ** self._t)
+        param -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.eps)

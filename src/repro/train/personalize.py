@@ -1,0 +1,177 @@
+"""On-device model personalization — §VI's "study training tasks".
+
+Fine-tunes the classifier head of a deployed int8 model on a handful of
+user utterances, entirely from the quantized artifact: conv features are
+computed with the int8 graph, the FC layer is dequantized, adapted by
+SGD on the user's examples (mixed with replayed generic logits to avoid
+catastrophic forgetting), then requantized into a new model version.
+
+Run inside the enclave (see ``KeywordSpotterApp.personalize``), the
+user's voice samples and the adapted weights never leave protected
+memory — the privacy-preserving on-device-training story the paper
+points at.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.tflm.interpreter import Interpreter
+from repro.tflm.model import Model, ModelMetadata
+from repro.tflm.quantize import choose_activation_qparams, choose_weight_qparams
+from repro.tflm.tensor import QuantParams, TensorSpec
+from repro.train.layers import softmax_cross_entropy
+
+__all__ = ["PersonalizationConfig", "feature_submodel", "adapt_classifier"]
+
+
+@dataclass(frozen=True)
+class PersonalizationConfig:
+    """Adaptation hyperparameters (small, by design: a user provides a
+    handful of examples, not a dataset)."""
+
+    epochs: int = 30
+    learning_rate: float = 0.05
+    replay_weight: float = 0.3   # pull towards the original logits
+    min_examples: int = 2
+
+
+def feature_submodel(model: Model) -> Model:
+    """The model up to (excluding) its final FullyConnected layer.
+
+    Used as a frozen feature extractor: its output is the penultimate
+    representation the adapted head trains on.
+    """
+    fc_positions = [i for i, op in enumerate(model.operators)
+                    if op.opcode == "fully_connected"]
+    if not fc_positions:
+        raise ReproError("model has no fully_connected layer to adapt")
+    head_index = fc_positions[-1]
+    head = model.operators[head_index]
+    feature_tensor = head.inputs[0]
+
+    sub = Model(metadata=ModelMetadata(
+        name=model.metadata.name + "-features",
+        version=model.metadata.version,
+        labels=()))
+    needed = set(model.inputs) | {feature_tensor}
+    for op in model.operators[:head_index]:
+        needed.update(op.inputs)
+        needed.update(op.outputs)
+    for name, spec in model.tensors.items():
+        if name in needed:
+            sub.add_tensor(spec, model.constants.get(name))
+    for op in model.operators[:head_index]:
+        sub.add_operator(type(op)(op.inputs, op.outputs, op.params))
+    sub.inputs = list(model.inputs)
+    sub.outputs = [feature_tensor]
+    sub.validate()
+    return sub
+
+
+def _head_tensors(model: Model) -> tuple:
+    head = [op for op in model.operators
+            if op.opcode == "fully_connected"][-1]
+    weights_name = head.inputs[1]
+    bias_name = head.inputs[2] if len(head.inputs) > 2 else None
+    return head, weights_name, bias_name
+
+
+def adapt_classifier(model: Model, fingerprints: np.ndarray,
+                     labels: np.ndarray,
+                     config: PersonalizationConfig | None = None,
+                     new_version: int | None = None) -> Model:
+    """Return a new model with the FC head fine-tuned on user examples.
+
+    ``fingerprints`` is (N, F, B) uint8; ``labels`` is (N,) int.  The
+    conv trunk stays frozen (and bit-identical), so the adapted model's
+    feature path still matches the vendor's artifact.
+    """
+    config = config or PersonalizationConfig()
+    if len(fingerprints) != len(labels):
+        raise ReproError("fingerprints/labels length mismatch")
+    if len(fingerprints) < config.min_examples:
+        raise ReproError(
+            f"need at least {config.min_examples} examples, "
+            f"got {len(fingerprints)}"
+        )
+    from repro.train.convert import fingerprint_to_int8
+
+    trunk = feature_submodel(model)
+    trunk_interp = Interpreter(trunk)
+    feature_name = trunk.outputs[0]
+    feature_quant = trunk.tensors[feature_name].quant
+
+    # Collect float features for every user example.
+    features = []
+    for fingerprint in fingerprints:
+        trunk_interp.set_input(trunk.inputs[0],
+                               fingerprint_to_int8(fingerprint))
+        trunk_interp.invoke()
+        raw = trunk_interp.get_output(feature_name)
+        features.append(feature_quant.dequantize(raw).reshape(-1))
+    x = np.stack(features)
+    y = np.asarray(labels, dtype=np.int64)
+
+    # Dequantize the head.
+    head, weights_name, bias_name = _head_tensors(model)
+    w_spec = model.tensors[weights_name]
+    weights = w_spec.quant.dequantize(model.constants[weights_name])
+    if bias_name is not None:
+        b_spec = model.tensors[bias_name]
+        bias = (model.constants[bias_name].astype(np.float64)
+                * b_spec.quant.scale)
+    else:
+        bias = np.zeros(weights.shape[0])
+    original_logits = x @ weights.T + bias
+
+    # SGD on the head with a replay pull toward the original behaviour.
+    for _ in range(config.epochs):
+        logits = x @ weights.T + bias
+        _, dlogits = softmax_cross_entropy(logits, y)
+        dlogits = dlogits + config.replay_weight * (
+            logits - original_logits) / len(x)
+        grad_w = dlogits.T @ x
+        grad_b = dlogits.sum(axis=0)
+        weights -= config.learning_rate * grad_w
+        bias -= config.learning_rate * grad_b
+
+    # Requantize the head and rebuild the model.
+    new_w_q = choose_weight_qparams(weights)
+    logits = x @ weights.T + bias
+    logits_spec = model.tensors[head.outputs[0]]
+    new_logits_q = choose_activation_qparams(
+        min(float(logits.min()), -1.0), max(float(logits.max()), 1.0))
+    feature_scale = feature_quant.scale
+    new_bias_scale = feature_scale * new_w_q.scale
+
+    adapted = Model(metadata=ModelMetadata(
+        name=model.metadata.name,
+        version=new_version if new_version is not None
+        else model.metadata.version + 1,
+        labels=model.metadata.labels,
+        description=model.metadata.description + " (personalized)"))
+    for name, spec in model.tensors.items():
+        if name == weights_name:
+            adapted.add_tensor(
+                TensorSpec(name, spec.shape, "int8", new_w_q),
+                new_w_q.quantize(weights))
+        elif bias_name is not None and name == bias_name:
+            adapted.add_tensor(
+                TensorSpec(name, spec.shape, "int32",
+                           QuantParams(new_bias_scale, 0)),
+                np.round(bias / new_bias_scale).astype(np.int32))
+        elif name == head.outputs[0]:
+            adapted.add_tensor(
+                TensorSpec(name, spec.shape, spec.dtype, new_logits_q))
+        else:
+            adapted.add_tensor(spec, model.constants.get(name))
+    for op in model.operators:
+        adapted.add_operator(type(op)(op.inputs, op.outputs, op.params))
+    adapted.inputs = list(model.inputs)
+    adapted.outputs = list(model.outputs)
+    adapted.validate()
+    return adapted

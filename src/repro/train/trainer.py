@@ -1,0 +1,80 @@
+"""Mini-batch training loop with validation tracking."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.train.network import TrainableNetwork
+from repro.train.optimizer import Optimizer, SgdMomentum
+
+__all__ = ["TrainConfig", "TrainHistory", "train_network"]
+
+
+@dataclass(frozen=True)
+class TrainConfig:
+    """Hyperparameters (defaults follow the TFLM example recipe)."""
+
+    epochs: int = 12
+    batch_size: int = 64
+    learning_rate: float = 0.02
+    momentum: float = 0.9
+    lr_decay_epochs: int = 8
+    lr_decay_factor: float = 0.1
+    seed: int = 77
+    verbose: bool = False
+
+
+@dataclass
+class TrainHistory:
+    """Per-epoch metrics recorded during training."""
+
+    losses: list[float] = field(default_factory=list)
+    val_accuracies: list[float] = field(default_factory=list)
+
+    @property
+    def final_val_accuracy(self) -> float:
+        return self.val_accuracies[-1] if self.val_accuracies else float("nan")
+
+
+def train_network(network: TrainableNetwork, x_train: np.ndarray,
+                  y_train: np.ndarray, config: TrainConfig | None = None,
+                  x_val: np.ndarray | None = None,
+                  y_val: np.ndarray | None = None,
+                  optimizer: Optimizer | None = None) -> TrainHistory:
+    """Train ``network`` in place; returns the epoch history."""
+    config = config or TrainConfig()
+    if len(x_train) != len(y_train):
+        raise ReproError("x/y length mismatch")
+    if len(x_train) == 0:
+        raise ReproError("empty training set")
+    if optimizer is None:
+        optimizer = SgdMomentum(network.layers,
+                                learning_rate=config.learning_rate,
+                                momentum=config.momentum)
+    rng = np.random.default_rng(config.seed)
+    history = TrainHistory()
+    for epoch in range(config.epochs):
+        if (isinstance(optimizer, SgdMomentum) and config.lr_decay_epochs
+                and epoch == config.lr_decay_epochs):
+            optimizer.learning_rate *= config.lr_decay_factor
+        order = rng.permutation(len(x_train))
+        epoch_loss = 0.0
+        batches = 0
+        for start in range(0, len(x_train), config.batch_size):
+            batch_idx = order[start:start + config.batch_size]
+            loss = network.train_step(x_train[batch_idx], y_train[batch_idx])
+            optimizer.step()
+            epoch_loss += loss
+            batches += 1
+        history.losses.append(epoch_loss / batches)
+        if x_val is not None:
+            history.val_accuracies.append(network.accuracy(x_val, y_val))
+        if config.verbose:
+            val = (f" val_acc={history.val_accuracies[-1]:.3f}"
+                   if x_val is not None else "")
+            print(f"epoch {epoch + 1:2d}/{config.epochs}: "
+                  f"loss={history.losses[-1]:.4f}{val}")
+    return history

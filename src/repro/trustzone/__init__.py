@@ -1,0 +1,28 @@
+"""TrustZone layer: worlds, secure monitor, secure boot, trusted OS.
+
+Reproduces the architecture of Fig. 1: a commodity OS in the normal
+world, a small trusted OS with trusted apps in the secure world, trusted
+firmware at EL3, and the TZASC-backed physical memory partitioning.
+"""
+
+from repro.trustzone.firmware import BootImage, TrustedFirmware, sign_image
+from repro.trustzone.monitor import SecureMonitor, SmcStats
+from repro.trustzone.trusted_os import (
+    KeyMasterTa,
+    PeripheralGatewayTa,
+    TrustedApp,
+    TrustedOs,
+)
+from repro.trustzone.worlds import (
+    CommodityOs,
+    Platform,
+    SecureWorld,
+    make_platform,
+)
+
+__all__ = [
+    "BootImage", "TrustedFirmware", "sign_image",
+    "SecureMonitor", "SmcStats",
+    "TrustedApp", "TrustedOs", "KeyMasterTa", "PeripheralGatewayTa",
+    "CommodityOs", "SecureWorld", "Platform", "make_platform",
+]

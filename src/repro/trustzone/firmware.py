@@ -1,0 +1,81 @@
+"""Trusted firmware and the secure boot chain.
+
+TrustZone's root of trust: the boot ROM holds the manufacturer's public
+key; each boot stage verifies the next image's signature before handing
+control over (paper Fig. 1 "Trusted Firmware", §III-B "secure boot").
+SANCTUARY inherits this chain, so a tampered trusted OS or SL image is
+rejected before any enclave can run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crypto.rsa import RsaPrivateKey, RsaPublicKey
+from repro.crypto.sha256 import sha256
+from repro.errors import SecureBootError
+
+__all__ = ["BootImage", "sign_image", "TrustedFirmware"]
+
+
+@dataclass(frozen=True)
+class BootImage:
+    """A signed boot-chain stage (BL2, trusted OS, SL, ...)."""
+
+    name: str
+    code: bytes = field(repr=False)
+    signature: bytes = field(repr=False)
+
+    @property
+    def measurement(self) -> bytes:
+        """SHA-256 measurement of the image code."""
+        return sha256(self.code)
+
+    def signing_payload(self) -> bytes:
+        return b"BOOTIMG|" + self.name.encode() + b"|" + self.measurement
+
+
+def sign_image(name: str, code: bytes, key: RsaPrivateKey) -> BootImage:
+    """Produce a signed boot image (manufacturer side)."""
+    unsigned = BootImage(name=name, code=code, signature=b"")
+    return BootImage(name=name, code=code,
+                     signature=key.sign(unsigned.signing_payload()))
+
+
+class TrustedFirmware:
+    """Boot ROM + ARM Trusted Firmware: verifies and records the chain."""
+
+    def __init__(self, manufacturer_pk: RsaPublicKey) -> None:
+        self._root_pk = manufacturer_pk
+        self.boot_log: list[tuple[str, bytes]] = []
+        self._booted = False
+
+    @property
+    def booted(self) -> bool:
+        return self._booted
+
+    def verify_and_boot(self, chain: list[BootImage]) -> None:
+        """Verify every image against the root key; record measurements.
+
+        Raises :class:`SecureBootError` on the first bad signature, and
+        the boot log then stops at the failing stage — exactly the
+        "brick rather than boot untrusted code" semantics of secure boot.
+        """
+        if self._booted:
+            raise SecureBootError("firmware already booted")
+        if not chain:
+            raise SecureBootError("empty boot chain")
+        for image in chain:
+            if not self._root_pk.verify(image.signing_payload(), image.signature):
+                raise SecureBootError(
+                    f"boot stage {image.name!r} failed signature verification"
+                )
+            self.boot_log.append((image.name, image.measurement))
+        self._booted = True
+
+    def measurement_of(self, stage: str) -> bytes:
+        """Return the recorded measurement of a booted stage."""
+        for name, measurement in self.boot_log:
+            if name == stage:
+                return measurement
+        raise SecureBootError(f"stage {stage!r} not in boot log")

@@ -1,0 +1,118 @@
+"""The secure monitor: EL3 world-switch and TZASC gatekeeper.
+
+All traffic between worlds goes through SMC calls handled here.  The
+monitor charges the world-switch cost on the virtual clock — a plain
+normal-world SMC round trip is microseconds, while an SA <-> secure
+world switch costs ~0.3 ms (paper §VI, citing SANCTUARY) because the
+enclave core must be paused and its context protected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SecureMonitorError
+from repro.hw.core import CoreState
+from repro.hw.memory import MemoryRegion, RegionPolicy
+from repro.hw.soc import Soc
+from repro.trustzone.trusted_os import TrustedOs
+
+__all__ = ["SmcStats", "SecureMonitor"]
+
+
+@dataclass
+class SmcStats:
+    """Counters for monitor traffic (used by the world-switch bench)."""
+
+    os_smc_calls: int = 0
+    sa_smc_calls: int = 0
+    tzasc_updates: int = 0
+    total_switch_ms: float = 0.0
+
+
+class SecureMonitor:
+    """EL3 firmware: SMC dispatch plus exclusive TZASC write access."""
+
+    def __init__(self, soc: Soc, trusted_os: TrustedOs) -> None:
+        self._soc = soc
+        self._trusted_os = trusted_os
+        self.stats = SmcStats()
+        # Only secure-world components hold a reference to the monitor's
+        # privileged surface; the normal world sees `smc` only.
+        self._locked_regions: set[str] = set()
+
+    # --- world switching ---------------------------------------------------
+
+    def smc(self, core_id: int, ta_name: str, command: str, **kwargs):
+        """Issue an SMC from ``core_id``, dispatching to a trusted app.
+
+        The calling core world-switches into the secure world for the
+        duration of the TA invocation and back afterwards; the cost
+        depends on whether the caller is the commodity OS or an SA.
+        """
+        core = self._soc.core(core_id)
+        if core.state not in (CoreState.OS, CoreState.SANCTUARY):
+            raise SecureMonitorError(
+                f"core {core_id} cannot SMC from state {core.state.value}"
+            )
+        from_sa = core.state is CoreState.SANCTUARY
+        switch_ms = (
+            self._soc.profile.sa_world_switch_ms if from_sa
+            else self._soc.profile.smc_roundtrip_us / 1000.0
+        )
+        resume_state = core.enter_secure()
+        try:
+            # In then out: charge both directions.
+            self._soc.clock.advance_ms(switch_ms)
+            result = self._trusted_os.invoke(ta_name, command, **kwargs)
+            self._soc.clock.advance_ms(switch_ms)
+        finally:
+            core.exit_secure(resume_state)
+        if from_sa:
+            self.stats.sa_smc_calls += 1
+        else:
+            self.stats.os_smc_calls += 1
+        self.stats.total_switch_ms += 2 * switch_ms
+        return result
+
+    # --- TZASC control (secure world only) ----------------------------------
+
+    def configure_region(self, region: MemoryRegion, policy: RegionPolicy) -> None:
+        """Install a TZASC policy.  Secure-world-internal API.
+
+        The normal world has no handle on this method by construction:
+        the commodity OS object only ever receives the ``smc`` surface.
+        """
+        self._soc.tzasc.configure(region, policy)
+        self.stats.tzasc_updates += 1
+
+    def lock_region_to_core(self, region: MemoryRegion, core_id: int,
+                            dma_allowed: bool = False) -> None:
+        """Bind ``region`` exclusively to ``core_id`` (SANCTUARY binding)."""
+        self.configure_region(
+            region,
+            RegionPolicy(secure_only=False, bound_core=core_id,
+                         dma_allowed=dma_allowed),
+        )
+        self._locked_regions.add(region.name)
+
+    def seal_region(self, region: MemoryRegion) -> None:
+        """Keep ``region`` locked but bound to no core at all.
+
+        Used between queries in the operation phase: the core returns to
+        the OS while the enclave memory stays inaccessible (paper §V,
+        end of operation-phase description).
+        """
+        self.configure_region(
+            region,
+            RegionPolicy(secure_only=True, bound_core=None, dma_allowed=False),
+        )
+
+    def unlock_region(self, region_name: str) -> None:
+        """Remove the TZASC policy after teardown scrubbing."""
+        self._soc.tzasc.remove(region_name)
+        self._locked_regions.discard(region_name)
+        self.stats.tzasc_updates += 1
+
+    def locked_region_names(self) -> set[str]:
+        return set(self._locked_regions)

@@ -1,0 +1,134 @@
+"""The secure-world trusted OS and its trusted applications (TAs).
+
+Fig. 1 of the paper: the secure world runs a small trusted OS hosting
+trusted apps.  OMG needs two of them:
+
+* **KeyMaster** — guards the platform signing key, derives and certifies
+  per-enclave key pairs (paper §V: key pair "derived from the platform
+  certificate").
+* **PeripheralGateway** — reads secure-assigned peripherals on behalf of
+  an authorized SA and copies the data into the SA's shared memory
+  (paper §III-B: "the secure world reads from the sensitive data and
+  directly stores it in the memory region shared with the SA").
+"""
+
+from __future__ import annotations
+
+from repro.crypto.cert import Certificate, CertificateAuthority
+from repro.crypto.rsa import RsaPrivateKey
+from repro.errors import SecureMonitorError, TrustZoneError
+from repro.hw.memory import World
+from repro.hw.soc import Soc
+
+__all__ = ["TrustedApp", "KeyMasterTa", "PeripheralGatewayTa", "TrustedOs"]
+
+
+class TrustedApp:
+    """Base class for secure-world trusted applications."""
+
+    name = "trusted-app"
+
+    def invoke(self, command: str, **kwargs):
+        handler = getattr(self, f"cmd_{command}", None)
+        if handler is None:
+            raise TrustZoneError(
+                f"TA {self.name!r} has no command {command!r}"
+            )
+        return handler(**kwargs)
+
+
+class KeyMasterTa(TrustedApp):
+    """Holds the platform CA; issues enclave identity key pairs."""
+
+    name = "keymaster"
+
+    def __init__(self, platform_ca: CertificateAuthority,
+                 seed: bytes, key_bits: int = 1024) -> None:
+        self._ca = platform_ca
+        self._seed = seed
+        self._key_bits = key_bits
+        self._issued = 0
+
+    def cmd_platform_certificate(self) -> Certificate:
+        return self._ca.certificate
+
+    def cmd_issue_enclave_key(self, enclave_name: str) -> tuple[RsaPrivateKey, Certificate]:
+        """Derive a fresh enclave key pair and certify its public half.
+
+        The paper describes the enclave key as "derived from the
+        platform certificate"; here it is derived deterministically from
+        the platform seed and an issuance counter.  The private key is
+        returned to the *caller in the secure world*, which hands it to
+        the SA over the enclave-bound shared region; it never transits
+        normal-world-readable memory.
+        """
+        from repro.crypto.keycache import deterministic_keypair
+
+        context = self._seed + b"|enclave-key|" + str(self._issued).encode()
+        self._issued += 1
+        key = deterministic_keypair(context, self._key_bits)
+        cert = self._ca.issue(enclave_name, key.public_key)
+        return key, cert
+
+
+class PeripheralGatewayTa(TrustedApp):
+    """Secure-world access to secure-assigned peripherals for SAs."""
+
+    name = "peripheral-gateway"
+
+    def __init__(self, soc: Soc) -> None:
+        self._soc = soc
+        # enclave name -> set of peripheral names it may read.
+        self._grants: dict[str, set[str]] = {}
+
+    def cmd_grant(self, enclave_name: str, peripheral: str) -> None:
+        """Authorize an enclave to read a peripheral via the gateway."""
+        self._grants.setdefault(enclave_name, set()).add(peripheral)
+
+    def cmd_revoke(self, enclave_name: str, peripheral: str) -> None:
+        self._grants.get(enclave_name, set()).discard(peripheral)
+
+    def cmd_record_audio(self, enclave_name: str, num_samples: int,
+                         dest_address: int) -> int:
+        """Record from the microphone and write PCM into shared memory.
+
+        Returns the number of bytes written.  The destination write is
+        issued with secure-world attributes, so it succeeds even when
+        the region is enclave-bound (the TZASC lets the secure world
+        through, per §III-B).
+        """
+        if "microphone" not in self._grants.get(enclave_name, set()):
+            raise SecureMonitorError(
+                f"enclave {enclave_name!r} has no grant for the microphone"
+            )
+        samples = self._soc.microphone.record(num_samples, World.SECURE)
+        data = samples.astype("<i2").tobytes()
+        self._soc.bus.write(dest_address, data, World.SECURE, core_id=None)
+        # Time: real-time capture is modelled by the caller; charge the
+        # DMA-style copy here.
+        cycles = len(data) * self._soc.profile.mic_dma_cycles_per_byte
+        self._soc.clock.advance_cycles(int(cycles), self._soc.fastest_core_hz())
+        return len(data)
+
+
+class TrustedOs:
+    """Secure-world OS: registry and dispatcher for trusted apps."""
+
+    def __init__(self) -> None:
+        self._tas: dict[str, TrustedApp] = {}
+
+    def register(self, ta: TrustedApp) -> None:
+        if ta.name in self._tas:
+            raise TrustZoneError(f"TA {ta.name!r} already registered")
+        self._tas[ta.name] = ta
+
+    def ta(self, name: str) -> TrustedApp:
+        if name not in self._tas:
+            raise TrustZoneError(f"no TA named {name!r}")
+        return self._tas[name]
+
+    def ta_names(self) -> list[str]:
+        return sorted(self._tas)
+
+    def invoke(self, ta_name: str, command: str, **kwargs):
+        return self.ta(ta_name).invoke(command, **kwargs)

@@ -1,0 +1,179 @@
+"""The two TrustZone worlds as simulation objects.
+
+:class:`CommodityOs` is the *adversary-controlled* normal world: it can
+issue arbitrary bus transactions with normal-world attributes, schedule
+load, and call SMC services — but it holds no secure-world handles.
+:class:`SecureWorld` bundles the trusted firmware, trusted OS, and
+monitor, and is the only place TZASC policy can change.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.cert import CertificateAuthority
+from repro.crypto.keycache import deterministic_keypair
+from repro.crypto.rng import HmacDrbg
+from repro.errors import MemoryAccessError, SecureBootError
+from repro.hw.memory import World
+from repro.hw.soc import Soc
+from repro.trustzone.firmware import BootImage, TrustedFirmware, sign_image
+from repro.trustzone.monitor import SecureMonitor
+from repro.trustzone.trusted_os import KeyMasterTa, PeripheralGatewayTa, TrustedOs
+
+__all__ = ["CommodityOs", "SecureWorld", "Platform", "make_platform"]
+
+
+class CommodityOs:
+    """Normal-world OS (e.g. Android) — fully attacker-controllable."""
+
+    def __init__(self, soc: Soc, monitor: SecureMonitor) -> None:
+        self._soc = soc
+        self._monitor = monitor
+
+    def _os_core(self, core_id: int) -> int:
+        """Validate that the OS actually runs on ``core_id``.
+
+        Bus attribution is wired in hardware: the OS cannot forge a
+        transaction from a core it is not executing on (e.g. the core a
+        SANCTUARY enclave is bound to).
+        """
+        from repro.hw.core import CoreState
+
+        core = self._soc.core(core_id)
+        if core.state is not CoreState.OS:
+            raise MemoryAccessError(
+                f"commodity OS does not run on core {core_id} "
+                f"(state: {core.state.value})"
+            )
+        return core_id
+
+    def any_os_core(self) -> int:
+        """Any core currently executing the commodity OS."""
+        from repro.hw.core import CoreState
+
+        for core in self._soc.cores:
+            if core.state is CoreState.OS:
+                return core.core_id
+        raise MemoryAccessError("no core is running the commodity OS")
+
+    def read_memory(self, address: int, length: int,
+                    core_id: int | None = None) -> bytes:
+        """Issue a normal-world read (filtered by the TZASC)."""
+        core_id = self._os_core(core_id) if core_id is not None else self.any_os_core()
+        return self._soc.bus.read(address, length, World.NORMAL, core_id)
+
+    def write_memory(self, address: int, data: bytes,
+                     core_id: int | None = None) -> None:
+        """Issue a normal-world write (filtered by the TZASC)."""
+        core_id = self._os_core(core_id) if core_id is not None else self.any_os_core()
+        self._soc.bus.write(address, data, World.NORMAL, core_id)
+
+    def dma_read(self, address: int, length: int) -> bytes:
+        """Program a DMA engine to read (non-CPU master)."""
+        return self._soc.bus.read(address, length, World.NORMAL,
+                                  core_id=None, is_dma=True)
+
+    def flash_store(self, path: str, data: bytes) -> None:
+        self._soc.flash.store(path, data, World.NORMAL)
+
+    def flash_load(self, path: str) -> bytes:
+        return self._soc.flash.load(path, World.NORMAL)
+
+    def smc(self, core_id: int, ta_name: str, command: str, **kwargs):
+        """Call a secure-world service through the monitor."""
+        return self._monitor.smc(core_id, ta_name, command, **kwargs)
+
+    def set_core_load(self, core_id: int, load: float) -> None:
+        """Scheduler knob: mark a core as busy (affects SANCTUARY setup)."""
+        self._soc.core(core_id).load = max(0.0, min(1.0, load))
+
+
+class SecureWorld:
+    """Bundle of secure-world components with boot-state tracking."""
+
+    def __init__(self, soc: Soc, firmware: TrustedFirmware,
+                 trusted_os: TrustedOs, monitor: SecureMonitor,
+                 sealing_secret: bytes = b"") -> None:
+        self.soc = soc
+        self.firmware = firmware
+        self.trusted_os = trusted_os
+        self.monitor = monitor
+        # Device-unique secret behind SGX-style sealing: data sealed by
+        # an enclave can only be unsealed on this device by an enclave
+        # with the same measurement.
+        self._sealing_secret = sealing_secret or b"\x00" * 32
+
+    def sealing_key_for(self, measurement: bytes) -> bytes:
+        """Measurement-bound symmetric sealing key (secure-world only)."""
+        from repro.crypto.hmac import hkdf
+
+        return hkdf(self._sealing_secret, salt=b"sanctuary-seal",
+                    info=measurement, length=16)
+
+
+class Platform:
+    """A fully booted device: SoC + secure world + commodity OS.
+
+    This is the object everything above the hardware builds on: the
+    SANCTUARY runtime takes a :class:`Platform`, and the OMG protocol
+    takes a SANCTUARY runtime.
+    """
+
+    def __init__(self, soc: Soc, secure_world: SecureWorld,
+                 commodity_os: CommodityOs,
+                 manufacturer_root: CertificateAuthority) -> None:
+        self.soc = soc
+        self.secure_world = secure_world
+        self.commodity_os = commodity_os
+        self.manufacturer_root = manufacturer_root
+
+    @property
+    def monitor(self) -> SecureMonitor:
+        return self.secure_world.monitor
+
+
+def make_platform(soc: Soc | None = None,
+                  seed: bytes = b"platform-seed",
+                  key_bits: int = 1024,
+                  tamper_boot_stage: str | None = None) -> Platform:
+    """Boot a complete simulated device.
+
+    ``tamper_boot_stage`` flips a byte in the named boot image before
+    verification — used by the secure-boot attack tests; booting then
+    raises :class:`SecureBootError`.
+    """
+    from repro.hw.soc import make_hikey960
+
+    if soc is None:
+        soc = make_hikey960(trng_seed=seed + b".trng")
+    # Manufacturer root of trust and platform CA (deterministic, cached).
+    root_key = deterministic_keypair(seed + b"|root-key", key_bits)
+    root_ca = CertificateAuthority("manufacturer-root", root_key)
+    platform_key = deterministic_keypair(seed + b"|platform-key", key_bits)
+    platform_ca = root_ca.subordinate("platform-ca", platform_key)
+
+    # Secure boot: BL2 -> trusted OS -> SANCTUARY library image.
+    images = []
+    for stage, payload in (
+        ("bl2", b"BL2 second-stage bootloader v1"),
+        ("trusted-os", b"tiny trusted OS v1"),
+        ("sanctuary-library", b"SL: Zircon-based SANCTUARY library v1"),
+        ("commodity-os", b"Android-like commodity OS v1"),
+    ):
+        image = sign_image(stage, payload, root_key)
+        if tamper_boot_stage == stage:
+            tampered = bytearray(image.code)
+            tampered[0] ^= 0xFF
+            image = BootImage(stage, bytes(tampered), image.signature)
+        images.append(image)
+    firmware = TrustedFirmware(root_key.public_key)
+    firmware.verify_and_boot(images)  # raises SecureBootError on tamper
+
+    trusted_os = TrustedOs()
+    trusted_os.register(KeyMasterTa(platform_ca, seed, key_bits))
+    trusted_os.register(PeripheralGatewayTa(soc))
+    monitor = SecureMonitor(soc, trusted_os)
+    sealing_secret = HmacDrbg(seed, b"sealing-secret").generate(32)
+    secure_world = SecureWorld(soc, firmware, trusted_os, monitor,
+                               sealing_secret)
+    commodity_os = CommodityOs(soc, monitor)
+    return Platform(soc, secure_world, commodity_os, root_ca)

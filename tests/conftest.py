@@ -1,0 +1,59 @@
+"""Shared fixtures.
+
+RSA keys are deterministic and process-cached (see
+``repro.crypto.keycache``), so reusing seeds across tests makes fresh
+platforms cheap after the first construction.  The pretrained model is
+trained once ever and cached on disk under ``.cache/``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+TEST_KEY_BITS = 768  # smallest size that fits OAEP-SHA256 payloads
+
+
+@pytest.fixture(scope="session")
+def key_bits() -> int:
+    return TEST_KEY_BITS
+
+
+@pytest.fixture()
+def platform():
+    """A freshly booted platform (cheap: cached deterministic keys)."""
+    from repro.trustzone import make_platform
+
+    return make_platform(key_bits=TEST_KEY_BITS)
+
+
+@pytest.fixture(scope="session")
+def standard_model_and_meta():
+    """The pretrained int8 tiny_conv (trains on first ever run)."""
+    from repro.eval.pretrained import standard_model
+
+    return standard_model()
+
+
+@pytest.fixture(scope="session")
+def pretrained_model(standard_model_and_meta):
+    return standard_model_and_meta[0]
+
+
+@pytest.fixture(scope="session")
+def tiny_model():
+    """A small hand-built int8 model (fast, no training needed)."""
+    from tests.helpers import build_tiny_int8_model
+
+    return build_tiny_int8_model()
+
+
+@pytest.fixture()
+def omg_session(platform, pretrained_model):
+    """A session through preparation + initialization."""
+    from repro.core import KeywordSpotterApp, OmgSession, User, Vendor
+
+    vendor = Vendor("ml-vendor", pretrained_model, key_bits=TEST_KEY_BITS)
+    session = OmgSession(platform, vendor, User(), KeywordSpotterApp())
+    session.prepare()
+    session.initialize()
+    return session

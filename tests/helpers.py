@@ -1,0 +1,90 @@
+"""Shared test helpers: small hand-built models and utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tflm.model import Model, ModelMetadata
+from repro.tflm.ops.conv import Conv2D
+from repro.tflm.ops.fully_connected import FullyConnected
+from repro.tflm.ops.softmax import (
+    SOFTMAX_OUTPUT_SCALE,
+    SOFTMAX_OUTPUT_ZERO_POINT,
+    Softmax,
+)
+from repro.tflm.quantize import choose_weight_qparams
+from repro.tflm.tensor import QuantParams, TensorSpec
+
+__all__ = ["build_tiny_int8_model", "build_float_mlp"]
+
+
+def build_tiny_int8_model(seed: int = 5, num_classes: int = 4,
+                          height: int = 8, width: int = 6) -> Model:
+    """A miniature conv -> FC -> softmax int8 model for fast tests."""
+    rng = np.random.default_rng(seed)
+    conv_w = rng.normal(0, 0.4, size=(3, 3, 3, 1))
+    conv_b = rng.normal(0, 0.1, size=3)
+    oh, ow = -(-height // 2), -(-width // 2)
+    fc_in = oh * ow * 3
+    fc_w = rng.normal(0, 0.3, size=(num_classes, fc_in))
+    fc_b = rng.normal(0, 0.1, size=num_classes)
+
+    input_q = QuantParams(scale=1 / 255.0, zero_point=-128)
+    conv_w_q = choose_weight_qparams(conv_w)
+    conv_out_q = QuantParams(scale=0.02, zero_point=-80)
+    fc_w_q = choose_weight_qparams(fc_w)
+    logits_q = QuantParams(scale=0.1, zero_point=0)
+
+    model = Model(metadata=ModelMetadata(
+        name="tiny-test", version=1,
+        labels=tuple(f"class{i}" for i in range(num_classes))))
+    model.add_tensor(TensorSpec("input", (1, height, width, 1), "int8",
+                                input_q))
+    model.add_tensor(TensorSpec("conv_w", conv_w.shape, "int8", conv_w_q),
+                     conv_w_q.quantize(conv_w))
+    bias_scale = input_q.scale * conv_w_q.scale
+    model.add_tensor(TensorSpec("conv_b", (3,), "int32",
+                                QuantParams(bias_scale, 0)),
+                     np.round(conv_b / bias_scale).astype(np.int32))
+    model.add_tensor(TensorSpec("conv_out", (1, oh, ow, 3), "int8",
+                                conv_out_q))
+    model.add_tensor(TensorSpec("fc_w", fc_w.shape, "int8", fc_w_q),
+                     fc_w_q.quantize(fc_w))
+    fc_bias_scale = conv_out_q.scale * fc_w_q.scale
+    model.add_tensor(TensorSpec("fc_b", (num_classes,), "int32",
+                                QuantParams(fc_bias_scale, 0)),
+                     np.round(fc_b / fc_bias_scale).astype(np.int32))
+    model.add_tensor(TensorSpec("logits", (1, num_classes), "int8",
+                                logits_q))
+    model.add_tensor(TensorSpec(
+        "probs", (1, num_classes), "int8",
+        QuantParams(SOFTMAX_OUTPUT_SCALE, SOFTMAX_OUTPUT_ZERO_POINT)))
+    model.add_operator(Conv2D(["input", "conv_w", "conv_b"], ["conv_out"],
+                              {"stride": (2, 2), "padding": "same",
+                               "activation": "relu"}))
+    model.add_operator(FullyConnected(["conv_out", "fc_w", "fc_b"],
+                                      ["logits"], {}))
+    model.add_operator(Softmax(["logits"], ["probs"], {}))
+    model.inputs = ["input"]
+    model.outputs = ["probs"]
+    model.validate()
+    return model
+
+
+def build_float_mlp(seed: int = 9, in_features: int = 10,
+                    num_classes: int = 3) -> Model:
+    """A minimal float32 FC -> softmax model."""
+    rng = np.random.default_rng(seed)
+    weights = rng.normal(0, 0.5, size=(num_classes, in_features))
+    model = Model(metadata=ModelMetadata(name="mlp-test", version=1))
+    model.add_tensor(TensorSpec("input", (1, in_features), "float32"))
+    model.add_tensor(TensorSpec("w", weights.shape, "float32"),
+                     weights.astype(np.float32))
+    model.add_tensor(TensorSpec("logits", (1, num_classes), "float32"))
+    model.add_tensor(TensorSpec("probs", (1, num_classes), "float32"))
+    model.add_operator(FullyConnected(["input", "w"], ["logits"], {}))
+    model.add_operator(Softmax(["logits"], ["probs"], {}))
+    model.inputs = ["input"]
+    model.outputs = ["probs"]
+    model.validate()
+    return model

@@ -1,0 +1,200 @@
+"""Streaming feature extraction and the command recognizer."""
+
+import numpy as np
+import pytest
+
+from repro.audio.features import FingerprintExtractor
+from repro.audio.speech_commands import LABELS, SyntheticSpeechCommands
+from repro.audio.streaming import (
+    CommandRecognizer,
+    Detection,
+    RecognizerConfig,
+    StreamingFeatureExtractor,
+)
+from repro.errors import AudioError
+
+
+# --- streaming features --------------------------------------------------
+
+def test_streaming_initial_state_is_silence():
+    stream = StreamingFeatureExtractor()
+    assert stream.fingerprint().shape == (49, 43)
+    assert not stream.fingerprint().any()
+    assert stream.frames_produced == 0
+
+
+def test_streaming_produces_frames_per_shift():
+    stream = StreamingFeatureExtractor()
+    # One window + two shifts: 480 + 2*320 = 1120 samples -> 3 frames.
+    produced = stream.feed(np.zeros(1120, dtype=np.int16))
+    assert produced == 3
+    assert stream.frames_produced == 3
+
+
+def test_streaming_chunk_size_invariance():
+    """Feeding sample-by-sample chunks equals feeding one big chunk."""
+    clip = SyntheticSpeechCommands().render("yes", 0).samples
+    whole = StreamingFeatureExtractor()
+    whole.feed(clip)
+    chunked = StreamingFeatureExtractor()
+    for start in range(0, len(clip), 700):
+        chunked.feed(clip[start:start + 700])
+    assert np.array_equal(whole.fingerprint(), chunked.fingerprint())
+
+
+def test_streaming_matches_batch_extractor_after_full_clip():
+    """After exactly one clip, the rolling window equals the batch
+    fingerprint of that clip."""
+    clip = SyntheticSpeechCommands().render("go", 1).samples
+    stream = StreamingFeatureExtractor()
+    stream.feed(clip)
+    batch = FingerprintExtractor().extract(clip)
+    rolled = stream.fingerprint()
+    # The stream has produced 49 frames for a 16000-sample clip.
+    assert stream.frames_produced == 49
+    assert np.array_equal(rolled, batch)
+
+
+def test_streaming_window_slides():
+    stream = StreamingFeatureExtractor()
+    loud = (np.sin(np.arange(16000) * 0.3) * 20000).astype(np.int16)
+    stream.feed(loud)
+    with_signal = stream.fingerprint().copy()
+    stream.feed(np.zeros(16000, dtype=np.int16))
+    after_silence = stream.fingerprint()
+    assert not np.array_equal(with_signal, after_silence)
+    assert after_silence.mean() < with_signal.mean()
+
+
+def test_streaming_rejects_wrong_dtype():
+    with pytest.raises(AudioError):
+        StreamingFeatureExtractor().feed(np.zeros(100, dtype=np.float32))
+
+
+def test_stream_time_accounting():
+    stream = StreamingFeatureExtractor()
+    stream.feed(np.zeros(8000, dtype=np.int16))
+    assert stream.stream_time_ms == pytest.approx(500.0)
+
+
+# --- command recognizer --------------------------------------------------
+
+def one_hot(label: str, value: float = 0.9) -> np.ndarray:
+    scores = np.full(len(LABELS), (1 - value) / (len(LABELS) - 1))
+    scores[LABELS.index(label)] = value
+    return scores
+
+
+def test_recognizer_requires_minimum_count():
+    recognizer = CommandRecognizer(LABELS)
+    assert recognizer.feed(one_hot("yes"), 0.0) is None
+    assert recognizer.feed(one_hot("yes"), 100.0) is None
+    detection = recognizer.feed(one_hot("yes"), 200.0)
+    assert isinstance(detection, Detection)
+    assert detection.label == "yes"
+    assert detection.score > 0.8
+
+
+def test_recognizer_threshold_blocks_weak_scores():
+    recognizer = CommandRecognizer(
+        LABELS, RecognizerConfig(detection_threshold=0.95))
+    for t in range(5):
+        assert recognizer.feed(one_hot("no", 0.7), t * 100.0) is None
+
+
+def test_recognizer_ignores_rejection_classes():
+    recognizer = CommandRecognizer(LABELS)
+    for t in range(6):
+        assert recognizer.feed(one_hot("silence"), t * 100.0) is None
+        assert recognizer.feed(one_hot("unknown"), t * 100.0 + 50) is None
+
+
+def test_recognizer_suppression_window():
+    recognizer = CommandRecognizer(
+        LABELS, RecognizerConfig(suppression_ms=1500))
+    detections = []
+    for t in range(0, 2000, 100):
+        result = recognizer.feed(one_hot("stop"), float(t))
+        if result:
+            detections.append(result)
+    assert len(detections) == 2  # once at start, once after 1.5 s
+    assert detections[1].time_ms - detections[0].time_ms >= 1500
+
+
+def test_recognizer_smooths_flicker():
+    """One noisy frame inside a run of 'up' must not flip the output."""
+    recognizer = CommandRecognizer(LABELS)
+    sequence = ["up", "up", "down", "up", "up"]
+    last_detection = None
+    for index, label in enumerate(sequence):
+        result = recognizer.feed(one_hot(label, 0.9), index * 100.0)
+        if result:
+            last_detection = result
+    assert last_detection is not None
+    assert last_detection.label == "up"
+
+
+def test_recognizer_window_expires_old_scores():
+    recognizer = CommandRecognizer(
+        LABELS, RecognizerConfig(average_window_ms=300, minimum_count=2))
+    recognizer.feed(one_hot("left"), 0.0)
+    recognizer.feed(one_hot("left"), 100.0)
+    # Far in the future: history is empty again, so no detection even
+    # with a strong single score.
+    assert recognizer.feed(one_hot("right"), 10_000.0) is None
+
+
+def test_recognizer_validates_inputs():
+    with pytest.raises(AudioError):
+        CommandRecognizer([])
+    recognizer = CommandRecognizer(LABELS)
+    with pytest.raises(AudioError):
+        recognizer.feed(np.zeros(5), 0.0)
+
+
+def test_recognizer_reset():
+    recognizer = CommandRecognizer(LABELS)
+    for t in range(4):
+        recognizer.feed(one_hot("go"), t * 100.0)
+    assert recognizer.detections
+    recognizer.reset()
+    assert recognizer.feed(one_hot("go"), 1e6) is None  # count reset
+
+
+# --- end-to-end streaming recognition ----------------------------------------
+
+def test_streaming_end_to_end_with_model(pretrained_model):
+    """A continuous stream with two embedded keywords yields exactly
+    those two detections, in order."""
+    from repro.tflm.interpreter import Interpreter
+    from repro.train.convert import fingerprint_to_int8
+
+    dataset = SyntheticSpeechCommands()
+    interpreter = Interpreter(pretrained_model)
+    stream = StreamingFeatureExtractor()
+    recognizer = CommandRecognizer(
+        LABELS, RecognizerConfig(detection_threshold=0.35,
+                                 average_window_ms=400))
+
+    silence = dataset.render("silence", 0).samples
+    audio = np.concatenate([
+        silence,
+        dataset.render("yes", 2).samples,
+        silence,
+        dataset.render("stop", 4).samples,
+        silence,
+    ])
+    chunk = 320  # one shift at a time
+    for start in range(0, len(audio), chunk):
+        produced = stream.feed(audio[start:start + chunk])
+        if not produced:
+            continue
+        index, scores = interpreter.classify(
+            fingerprint_to_int8(stream.fingerprint()))
+        probs = (scores.astype(np.float64) + 128) / 256.0
+        recognizer.feed(probs, stream.stream_time_ms)
+
+    found = [d.label for d in recognizer.detections]
+    assert "yes" in found
+    assert "stop" in found
+    assert found.index("yes") < found.index("stop")

@@ -1,0 +1,176 @@
+"""WAVE codec and the fixed-point DSP front end."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.audio.dsp import (
+    FFT_SIZE,
+    NUM_BINS,
+    apply_window_q15,
+    fixed_point_fft,
+    fixed_point_fft_batch,
+    hann_window_q15,
+    power_spectrum_fixed,
+    power_spectrum_fixed_batch,
+    power_spectrum_float,
+)
+from repro.audio.wave_io import decode_wave, encode_wave, read_wave, write_wave
+from repro.errors import AudioError
+
+RNG = np.random.default_rng(0)
+
+
+# --- WAVE --------------------------------------------------------------------
+
+def test_wave_roundtrip():
+    samples = (RNG.standard_normal(1000) * 8000).astype(np.int16)
+    blob = encode_wave(samples, 16000)
+    decoded, rate = decode_wave(blob)
+    assert rate == 16000
+    assert np.array_equal(decoded, samples)
+
+
+def test_wave_file_roundtrip(tmp_path):
+    samples = (np.sin(np.arange(480)) * 1000).astype(np.int16)
+    path = str(tmp_path / "clip.wav")
+    write_wave(path, samples, 8000)
+    decoded, rate = read_wave(path)
+    assert rate == 8000
+    assert np.array_equal(decoded, samples)
+
+
+def test_wave_rejects_wrong_dtype_and_shape():
+    with pytest.raises(AudioError):
+        encode_wave(np.zeros(10, dtype=np.float32))
+    with pytest.raises(AudioError):
+        encode_wave(np.zeros((10, 2), dtype=np.int16))
+
+
+def test_wave_decode_rejects_garbage():
+    with pytest.raises(AudioError):
+        decode_wave(b"not a wave file at all")
+    with pytest.raises(AudioError):
+        decode_wave(b"RIFF\x00\x00\x00\x00WAVE")  # missing chunks
+
+
+def test_wave_decode_skips_extra_chunks():
+    samples = np.ones(8, dtype=np.int16)
+    blob = bytearray(encode_wave(samples))
+    # Inject a LIST chunk between fmt and data.
+    insert_at = blob.find(b"data")
+    extra = b"LIST" + (4).to_bytes(4, "little") + b"info"
+    patched = bytes(blob[:insert_at]) + extra + bytes(blob[insert_at:])
+    # Fix RIFF size field.
+    size = len(patched) - 8
+    patched = patched[:4] + size.to_bytes(4, "little") + patched[8:]
+    decoded, _ = decode_wave(patched)
+    assert np.array_equal(decoded, samples)
+
+
+def test_wave_rejects_stereo():
+    import struct
+
+    samples = np.ones(4, dtype=np.int16)
+    blob = bytearray(encode_wave(samples))
+    fmt_at = blob.find(b"fmt ") + 8
+    blob[fmt_at + 2:fmt_at + 4] = struct.pack("<H", 2)  # channels = 2
+    with pytest.raises(AudioError):
+        decode_wave(bytes(blob))
+
+
+@given(st.lists(st.integers(-32768, 32767), min_size=1, max_size=500))
+@settings(max_examples=30, deadline=None)
+def test_wave_roundtrip_property(values):
+    samples = np.array(values, dtype=np.int16)
+    decoded, _ = decode_wave(encode_wave(samples))
+    assert np.array_equal(decoded, samples)
+
+
+# --- window ------------------------------------------------------------------
+
+def test_hann_window_shape_and_range():
+    window = hann_window_q15(480)
+    assert window[0] == 0 and window[-1] == 0
+    assert window.max() == 32767
+    assert np.all(window >= 0)
+
+
+def test_apply_window_q15():
+    frame = np.full(480, 1000, dtype=np.int64)
+    window = hann_window_q15(480)
+    result = apply_window_q15(frame, window)
+    assert result[0] == 0
+    assert abs(int(result[240]) - 1000) <= 1
+
+
+def test_apply_window_length_mismatch():
+    with pytest.raises(AudioError):
+        apply_window_q15(np.zeros(100, dtype=np.int64),
+                         hann_window_q15(480))
+
+
+# --- fixed-point FFT -----------------------------------------------------------
+
+def test_fft_pure_tone_peak_bin():
+    t = np.arange(480) / 16000
+    for freq in (500, 1000, 3000, 6000):
+        tone = (np.sin(2 * np.pi * freq * t) * 10000).astype(np.int16)
+        power = power_spectrum_fixed(tone, hann_window_q15(480))
+        expected_bin = round(freq * FFT_SIZE / 16000)
+        assert abs(int(np.argmax(power)) - expected_bin) <= 1
+
+
+def test_fft_matches_float_reference_on_dominant_bins():
+    frame = (RNG.standard_normal(480) * 3000).astype(np.int16)
+    window = hann_window_q15(480)
+    fixed = power_spectrum_fixed(frame, window).astype(np.float64)
+    reference = power_spectrum_float(frame, window)
+    mask = reference > reference.max() * 1e-2
+    relative = np.abs(fixed[mask] - reference[mask]) / reference[mask]
+    assert np.median(relative) < 0.1
+
+
+def test_fft_zero_input_zero_output():
+    re, im, shift = fixed_point_fft(np.zeros(480, dtype=np.int64))
+    assert shift == 9
+    assert not re.any() and not im.any()
+
+
+def test_fft_dc_input():
+    re, im, _ = fixed_point_fft(np.full(FFT_SIZE, 512, dtype=np.int64))
+    # Scaled by 2^-9 * N = 512; truncating shifts lose ~1 LSB per stage.
+    assert int(re[0]) == pytest.approx(512, rel=0.05)
+    assert abs(int(re[1])) < int(re[0]) / 100
+
+
+def test_fft_batch_matches_single():
+    frames = (RNG.standard_normal((5, 480)) * 2000).astype(np.int64)
+    batch_re, batch_im, _ = fixed_point_fft_batch(frames)
+    for i in range(5):
+        single_re, single_im, _ = fixed_point_fft(frames[i])
+        assert np.array_equal(batch_re[i], single_re)
+        assert np.array_equal(batch_im[i], single_im)
+
+
+def test_fft_rejects_oversized_input():
+    with pytest.raises(AudioError):
+        fixed_point_fft(np.zeros(FFT_SIZE + 1, dtype=np.int64))
+    with pytest.raises(AudioError):
+        fixed_point_fft_batch(np.zeros((2, FFT_SIZE + 1), dtype=np.int64))
+
+
+def test_power_spectrum_has_256_bins():
+    assert len(power_spectrum_fixed(np.zeros(480, dtype=np.int16))) == NUM_BINS
+    assert power_spectrum_fixed_batch(
+        np.zeros((3, 480), dtype=np.int16)).shape == (3, NUM_BINS)
+
+
+def test_parseval_energy_scaling():
+    """Fixed and float spectra have comparable total energy."""
+    frame = (RNG.standard_normal(480) * 5000).astype(np.int16)
+    window = hann_window_q15(480)
+    fixed_total = float(power_spectrum_fixed(frame, window).sum())
+    float_total = float(power_spectrum_float(frame, window).sum())
+    assert fixed_total == pytest.approx(float_total, rel=0.1)

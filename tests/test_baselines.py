@@ -1,0 +1,103 @@
+"""Native baseline and the HE/SMPC cost models."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.crypto_baselines import (
+    HeCostModel,
+    SmpcCostModel,
+    interactive_layers,
+)
+from repro.baselines.native import NativeKeywordSpotter
+from repro.trustzone.worlds import make_platform
+from tests.helpers import build_tiny_int8_model
+
+KEY_BITS = 768
+
+
+@pytest.fixture()
+def native(platform, pretrained_model):
+    return NativeKeywordSpotter(platform, pretrained_model)
+
+
+def test_native_recognizes(native):
+    from repro.audio.speech_commands import LABELS, SyntheticSpeechCommands
+
+    clip = SyntheticSpeechCommands().render("yes", 0)
+    result = native.recognize_clip(clip.samples)
+    assert result.label in LABELS
+    assert result.inference_ms > 0
+
+
+def test_native_inference_matches_table1_native_row(native):
+    from repro.audio.features import FingerprintExtractor
+    from repro.audio.speech_commands import SyntheticSpeechCommands
+
+    clip = SyntheticSpeechCommands().render("up", 1)
+    fingerprint = FingerprintExtractor().extract(clip.samples)
+    result = native.recognize_fingerprint(fingerprint)
+    assert result.inference_ms == pytest.approx(3.79, rel=0.02)
+
+
+def test_native_is_faster_than_omg_by_l2_penalty(native, pretrained_model):
+    from repro.hw.timing import DEFAULT_PROFILE, VirtualClock
+    from repro.tflm.interpreter import Interpreter
+
+    protected = Interpreter(pretrained_model)
+    protected.attach_timing(VirtualClock(), 2.4e9, l2_excluded=True)
+    ratio = (protected.estimate_cycles()
+             / native.interpreter.estimate_cycles())
+    assert ratio == pytest.approx(1 + DEFAULT_PROFILE.l2_exclusion_penalty,
+                                  rel=1e-3)
+
+
+def test_native_stores_plaintext_model_on_flash(native, platform):
+    from repro.hw.memory import World
+
+    blob = platform.soc.flash.load(native.flash_path, World.NORMAL)
+    assert blob.startswith(b"OMGM")
+
+
+# --- crypto cost models ---------------------------------------------------
+
+def test_interactive_layer_count(pretrained_model):
+    # tiny_conv: fused conv relu + softmax -> at least 2 interactive steps.
+    assert interactive_layers(pretrained_model) >= 2
+
+
+def test_he_estimate_shape(pretrained_model):
+    estimate = HeCostModel().estimate(pretrained_model)
+    assert estimate.latency_ms > 100_000        # minutes, not milliseconds
+    assert estimate.network_rounds == 2
+    assert estimate.communication_bytes < 10 ** 7
+
+
+def test_smpc_estimate_shape(pretrained_model):
+    estimate = SmpcCostModel().estimate(pretrained_model)
+    assert estimate.latency_ms > 10_000
+    assert estimate.communication_bytes > 500 * 10 ** 6   # ~0.9 GB
+    assert estimate.network_rounds >= 3
+
+
+def test_crypto_baselines_orders_of_magnitude_slower(pretrained_model):
+    """The §II claim (via Slalom [27]): TEEs beat crypto by orders of
+    magnitude.  OMG inference is ~3.87 ms."""
+    omg_ms = 3.87
+    he = HeCostModel().estimate(pretrained_model)
+    smpc = SmpcCostModel().estimate(pretrained_model)
+    assert he.slowdown_vs(omg_ms) > 10_000
+    assert smpc.slowdown_vs(omg_ms) > 1_000
+    # HE trades communication for compute; SMPC the reverse: the paper's
+    # §I framing is that communication is SMPC's bottleneck.
+    assert he.communication_bytes < smpc.communication_bytes // 100
+
+
+def test_baseline_estimates_scale_with_model(pretrained_model):
+    tiny = build_tiny_int8_model()
+    he = HeCostModel()
+    assert he.estimate(tiny).latency_ms < he.estimate(pretrained_model).latency_ms
+
+
+def test_slowdown_vs_zero_reference(pretrained_model):
+    estimate = HeCostModel().estimate(pretrained_model)
+    assert estimate.slowdown_vs(0.0) == float("inf")

@@ -1,0 +1,66 @@
+"""CLI surface: parser wiring and command behaviour."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_parser_rejects_unknown_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["fly"])
+
+
+def test_parser_defaults():
+    args = build_parser().parse_args(["table1"])
+    assert args.command == "table1"
+    assert args.per_class == 10
+    args = build_parser().parse_args(["recognize", "yes", "--index", "4"])
+    assert args.word == "yes" and args.index == 4 and args.speaker is None
+    args = build_parser().parse_args(["train", "--arch", "conv_pool",
+                                      "--epochs", "3"])
+    assert args.arch == "conv_pool" and args.epochs == 3
+
+
+def test_info_command(capsys, standard_model_and_meta):
+    assert main(["info"]) == 0
+    out = capsys.readouterr().out
+    assert "HiKey 960" in out
+    assert "MACs/inference: 404,800" in out
+
+
+def test_recognize_command_success(capsys, standard_model_and_meta):
+    assert main(["recognize", "yes", "--index", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "recognized: 'yes'" in out
+
+
+def test_recognize_command_rejects_bad_word(standard_model_and_meta):
+    from repro.errors import AudioError
+
+    with pytest.raises(AudioError):
+        main(["recognize", "banana"])
+
+
+def test_attack_command_all_blocked(capsys, standard_model_and_meta):
+    assert main(["attack"]) == 0
+    out = capsys.readouterr().out
+    assert "SUCCEEDED" not in out
+    assert out.count("blocked") >= 5
+
+
+def test_protocol_command(capsys, standard_model_and_meta):
+    assert main(["protocol"]) == 0
+    out = capsys.readouterr().out
+    assert "I. preparation" in out
+    assert "recognized:" in out
+
+
+def test_table1_command_small(capsys, standard_model_and_meta):
+    assert main(["table1", "--per-class", "2"]) == 0
+    out = capsys.readouterr().out
+    assert 'TensorFlow Lite "micro" (OMG)' in out

@@ -1,0 +1,176 @@
+"""License management and the vendor/user protocol parties."""
+
+import pytest
+
+from repro.core.license import LicensePolicy, LicenseState
+from repro.core.parties import User, Vendor
+from repro.crypto.keycache import deterministic_keypair
+from repro.errors import AttestationError, LicenseError, ProtocolError
+from repro.sanctuary.attestation import AttestationReport, measure
+from repro.crypto.cert import CertificateAuthority
+from tests.helpers import build_tiny_int8_model
+
+KEY_BITS = 768
+
+ROOT_KEY = deterministic_keypair(b"party-root", KEY_BITS)
+ROOT = CertificateAuthority("root", ROOT_KEY)
+PLATFORM = ROOT.subordinate(
+    "platform", deterministic_keypair(b"party-platform", KEY_BITS))
+ENCLAVE_KEY = deterministic_keypair(b"party-enclave", KEY_BITS)
+MEASUREMENT = measure(b"enclave code")
+
+
+def make_report(name="sa#1"):
+    leaf = PLATFORM.issue(name, ENCLAVE_KEY.public_key)
+    return AttestationReport.create(
+        name, MEASUREMENT, ENCLAVE_KEY, b"challenge-16byte",
+        (leaf, PLATFORM.certificate, ROOT.certificate))
+
+
+def make_vendor(**kwargs):
+    return Vendor("v", build_tiny_int8_model(), key_bits=KEY_BITS, **kwargs)
+
+
+# --- license state ----------------------------------------------------------
+
+def test_license_unlimited_by_default():
+    state = LicenseState("sa#1", LicensePolicy())
+    for _ in range(10):
+        state.authorize_key_release(now_ms=1e9)
+    assert state.key_requests == 10
+
+
+def test_license_expiry():
+    state = LicenseState("sa#1", LicensePolicy(valid_until_ms=1000.0))
+    state.authorize_key_release(now_ms=999.0)
+    with pytest.raises(LicenseError, match="expired"):
+        state.authorize_key_release(now_ms=1001.0)
+
+
+def test_license_max_requests():
+    state = LicenseState("sa#1", LicensePolicy(max_key_requests=2))
+    state.authorize_key_release(0.0)
+    state.authorize_key_release(0.0)
+    with pytest.raises(LicenseError, match="exhausted"):
+        state.authorize_key_release(0.0)
+
+
+def test_license_revocation():
+    state = LicenseState("sa#1", LicensePolicy())
+    state.revoke()
+    with pytest.raises(LicenseError, match="revoked"):
+        state.authorize_key_release(0.0)
+
+
+# --- vendor -----------------------------------------------------------------
+
+def test_vendor_rejects_bad_attestation():
+    vendor = make_vendor()
+    report = make_report()
+    with pytest.raises(AttestationError):
+        vendor.accept_attestation(report, measure(b"other code"),
+                                  ROOT.public_key)
+    with pytest.raises(ProtocolError):
+        vendor.provision_model("sa#1")
+
+
+def test_vendor_provisions_after_attestation():
+    vendor = make_vendor()
+    vendor.accept_attestation(make_report(), MEASUREMENT, ROOT.public_key)
+    encrypted = vendor.provision_model("sa#1")
+    assert encrypted.enclave_id == "sa#1"
+    assert encrypted.model_version == 1
+    assert vendor.provisioned_count == 1
+    assert vendor.model_bytes not in encrypted.blob
+
+
+def test_vendor_key_release_is_wrapped_for_enclave():
+    vendor = make_vendor()
+    vendor.accept_attestation(make_report(), MEASUREMENT, ROOT.public_key)
+    encrypted = vendor.provision_model("sa#1")
+    wrapped = vendor.release_key("sa#1", now_ms=0.0)
+    key = ENCLAVE_KEY.decrypt_oaep(wrapped.wrapped)
+    from repro.core.provisioning import decrypt_model
+
+    assert decrypt_model(encrypted, key) == vendor.model_bytes
+    assert vendor.keys_released == 1
+
+
+def test_vendor_key_release_requires_provisioning():
+    vendor = make_vendor()
+    vendor.accept_attestation(make_report(), MEASUREMENT, ROOT.public_key)
+    with pytest.raises(ProtocolError):
+        vendor.release_key("sa#1", 0.0)
+
+
+def test_vendor_enforces_license_on_release():
+    vendor = make_vendor()
+    vendor.accept_attestation(make_report(), MEASUREMENT, ROOT.public_key,
+                              policy=LicensePolicy(max_key_requests=1))
+    vendor.provision_model("sa#1")
+    vendor.release_key("sa#1", 0.0)
+    with pytest.raises(LicenseError):
+        vendor.release_key("sa#1", 0.0)
+
+
+def test_vendor_revocation_blocks_release():
+    vendor = make_vendor()
+    vendor.accept_attestation(make_report(), MEASUREMENT, ROOT.public_key)
+    vendor.provision_model("sa#1")
+    vendor.revoke("sa#1")
+    with pytest.raises(LicenseError):
+        vendor.release_key("sa#1", 0.0)
+    with pytest.raises(LicenseError):
+        vendor.license_state("ghost")
+
+
+def test_vendor_per_enclave_keys_differ():
+    vendor = make_vendor()
+    vendor.accept_attestation(make_report("sa#1"), MEASUREMENT,
+                              ROOT.public_key)
+    vendor.accept_attestation(make_report("sa#2"), MEASUREMENT,
+                              ROOT.public_key)
+    enc1 = vendor.provision_model("sa#1")
+    enc2 = vendor.provision_model("sa#2")
+    assert enc1.key_nonce != enc2.key_nonce
+    assert enc1.blob != enc2.blob
+
+
+def test_vendor_model_update_invalidates_old_state():
+    vendor = make_vendor()
+    vendor.accept_attestation(make_report(), MEASUREMENT, ROOT.public_key)
+    vendor.provision_model("sa#1")
+    new_model = build_tiny_int8_model(seed=6)
+    new_model.metadata = type(new_model.metadata)(
+        name=new_model.metadata.name, version=2,
+        labels=new_model.metadata.labels)
+    vendor.update_model(new_model)
+    assert vendor.model_version == 2
+    with pytest.raises(ProtocolError):
+        vendor.release_key("sa#1", 0.0)  # nonce cleared; must re-provision
+    encrypted = vendor.provision_model("sa#1")
+    assert encrypted.model_version == 2
+
+
+def test_vendor_update_requires_version_increase():
+    vendor = make_vendor()
+    with pytest.raises(ProtocolError):
+        vendor.update_model(build_tiny_int8_model())  # same version 1
+
+
+# --- user -----------------------------------------------------------------
+
+def test_user_verifies_and_remembers():
+    user = User()
+    report = make_report()
+    user.verify_enclave(report, MEASUREMENT, ROOT.public_key)
+    assert user.trusts("sa#1")
+    assert not user.trusts("sa#2")
+
+
+def test_user_rejects_bad_report():
+    user = User()
+    with pytest.raises(AttestationError):
+        user.verify_enclave(make_report(), measure(b"evil"),
+                            ROOT.public_key)
+    assert not user.trusts("sa#1")

@@ -1,0 +1,125 @@
+"""Sealed storage: measurement- and device-bound model persistence."""
+
+import numpy as np
+import pytest
+
+from repro.audio.features import FingerprintExtractor
+from repro.audio.speech_commands import SyntheticSpeechCommands
+from repro.core.omg import KeywordSpotterApp, OmgSession
+from repro.core.parties import User, Vendor
+from repro.errors import AuthenticationError, ProtocolError
+from repro.trustzone.worlds import make_platform
+
+KEY_BITS = 768
+
+
+def make_session(pretrained_model, seed=b"platform-seed", app=None):
+    platform = make_platform(seed=seed, key_bits=KEY_BITS)
+    vendor = Vendor("ml-vendor", pretrained_model, key_bits=KEY_BITS)
+    session = OmgSession(platform, vendor, User(),
+                         app or KeywordSpotterApp())
+    return session
+
+
+def test_sealing_key_is_measurement_bound(platform):
+    k1 = platform.secure_world.sealing_key_for(b"measurement-1")
+    k2 = platform.secure_world.sealing_key_for(b"measurement-2")
+    assert k1 != k2
+    assert len(k1) == 16
+
+
+def test_context_receives_sealing_key(omg_session):
+    ctx = omg_session.ctx
+    assert ctx.sealing_key == \
+        omg_session.platform.secure_world.sealing_key_for(ctx.measurement)
+
+
+def test_seal_requires_unlocked_model(pretrained_model):
+    session = make_session(pretrained_model)
+    session.prepare()
+    with pytest.raises(ProtocolError):
+        session.app.save_sealed(session.ctx)
+
+
+def test_seal_restore_roundtrip_without_vendor(pretrained_model):
+    """Personalize, seal, tear down, relaunch — and restore the adapted
+    model with zero vendor interaction (the offline story)."""
+    dataset = SyntheticSpeechCommands()
+    extractor = FingerprintExtractor()
+    session = make_session(pretrained_model)
+    session.prepare()
+    session.initialize()
+
+    fingerprints = np.stack([
+        extractor.extract(dataset.render("yes", 60 + i).samples)
+        for i in range(4)])
+    labels = np.full(4, 2)  # 'yes'
+    session.app.personalize(session.ctx, fingerprints, labels)
+    personalized_version = session.app.model_version
+    probe = extractor.extract(dataset.render("yes", 70).samples)
+    before = session.recognize_fingerprint(probe)
+    session.app.save_sealed(session.ctx)
+    session.teardown()
+
+    key_releases = session.vendor.keys_released
+    # Relaunch the same app code on the same platform.
+    app2 = KeywordSpotterApp()
+    runtime = session.runtime
+    instance = runtime.launch(app2)
+    app2.load_sealed(instance.ctx)
+    assert app2.model_version == personalized_version
+    after = app2.recognize_fingerprint(instance.ctx, probe)
+    assert after.label_index == before.label_index
+    assert np.array_equal(after.scores, before.scores)
+    assert session.vendor.keys_released == key_releases  # fully offline
+
+
+def test_sealed_blob_is_ciphertext_on_flash(omg_session):
+    session = omg_session
+    path = session.app.save_sealed(session.ctx)
+    blob = session.platform.commodity_os.flash_load(path)
+    assert not blob.startswith(b"OMGM")
+    assert session.vendor.model_bytes[:64] not in blob
+
+
+def test_tampered_sealed_blob_rejected(omg_session):
+    session = omg_session
+    path = session.app.save_sealed(session.ctx)
+    blob = bytearray(session.platform.commodity_os.flash_load(path))
+    blob[30] ^= 0xFF
+    session.platform.commodity_os.flash_store(path, bytes(blob))
+    with pytest.raises(AuthenticationError):
+        session.app.load_sealed(session.ctx)
+
+
+def test_different_code_version_cannot_unseal(pretrained_model):
+    """A modified app (different measurement) cannot open the seal."""
+    session = make_session(pretrained_model)
+    session.prepare()
+    session.initialize()
+    session.app.save_sealed(session.ctx)
+    session.teardown()
+
+    class KeywordSpotterV2(KeywordSpotterApp):
+        code_version = "2.0-evil"
+
+    evil = KeywordSpotterV2()
+    instance = session.runtime.launch(evil)
+    with pytest.raises(AuthenticationError):
+        evil.load_sealed(instance.ctx)
+
+
+def test_other_device_cannot_unseal(pretrained_model):
+    """The sealed blob is device-bound: device B cannot open it."""
+    session_a = make_session(pretrained_model, seed=b"device-A")
+    session_a.prepare()
+    session_a.initialize()
+    path = session_a.app.save_sealed(session_a.ctx)
+    blob = session_a.platform.commodity_os.flash_load(path)
+
+    session_b = make_session(pretrained_model, seed=b"device-B")
+    session_b.prepare()
+    session_b.initialize()
+    session_b.platform.commodity_os.flash_store(path, blob)
+    with pytest.raises(AuthenticationError):
+        session_b.app.load_sealed(session_b.ctx)

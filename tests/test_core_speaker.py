@@ -1,0 +1,196 @@
+"""Speaker verification: embeddings, EER, and the enclave app."""
+
+import numpy as np
+import pytest
+
+from repro.audio.features import FingerprintExtractor
+from repro.audio.speech_commands import SyntheticSpeechCommands
+from repro.core.speaker import SpeakerVerifier, equal_error_rate
+from repro.core.speaker_app import SpeakerVerifierApp
+from repro.errors import ProtocolError, ReproError
+
+PASSPHRASE = "go"
+# Household speakers chosen with distinct vocal-tract scales (0.75 to
+# 1.31); randomly drawn speaker sets can collide in scale, which is the
+# realistic hard case but not what this smoke test exercises.
+SPEAKERS = ["frank", "judy", "victor", "wendy", "alice"]
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return SyntheticSpeechCommands()
+
+
+@pytest.fixture(scope="module")
+def extractor():
+    return FingerprintExtractor()
+
+
+@pytest.fixture(scope="module")
+def fingerprints(dataset, extractor):
+    """Per speaker: 4 enrollment + 4 test fingerprints of the passphrase."""
+    data = {}
+    for speaker in SPEAKERS:
+        enroll = [extractor.extract(
+            dataset.render(PASSPHRASE, i, speaker=speaker).samples)
+            for i in range(4)]
+        test = [extractor.extract(
+            dataset.render(PASSPHRASE, 10 + i, speaker=speaker).samples)
+            for i in range(4)]
+        data[speaker] = (enroll, test)
+    return data
+
+
+@pytest.fixture(scope="module")
+def verifier(pretrained_model, fingerprints):
+    v = SpeakerVerifier(pretrained_model, threshold=0.9)
+    for speaker, (enroll, _) in fingerprints.items():
+        v.enroll(speaker, enroll)
+    return v
+
+
+def test_speaker_traits_are_stable_and_distinct(dataset):
+    scale_a, rate_a = dataset.speaker_traits("alice")
+    assert dataset.speaker_traits("alice") == (scale_a, rate_a)
+    scale_b, _ = dataset.speaker_traits("bob")
+    assert scale_a != scale_b
+
+
+def test_speaker_conditioned_render_is_deterministic(dataset):
+    a = dataset.render("go", 0, speaker="alice")
+    b = dataset.render("go", 0, speaker="alice")
+    assert np.array_equal(a.samples, b.samples)
+    c = dataset.render("go", 0, speaker="bob")
+    assert not np.array_equal(a.samples, c.samples)
+
+
+def test_embedding_is_unit_norm(verifier, fingerprints):
+    embedding = verifier.embed(fingerprints[SPEAKERS[0]][0][0])
+    assert np.linalg.norm(embedding) == pytest.approx(1.0)
+
+
+def test_enrollment_requirements(pretrained_model, fingerprints):
+    v = SpeakerVerifier(pretrained_model)
+    enroll, _ = fingerprints[SPEAKERS[0]]
+    with pytest.raises(ReproError):
+        v.enroll("x", enroll[:2])
+    with pytest.raises(ProtocolError):
+        v.score("ghost", enroll[0])
+    with pytest.raises(ReproError):
+        SpeakerVerifier(pretrained_model, threshold=1.5)
+
+
+def test_enroll_unenroll_cycle(pretrained_model, fingerprints):
+    v = SpeakerVerifier(pretrained_model)
+    enroll, test = fingerprints[SPEAKERS[0]]
+    v.enroll("alice", enroll)
+    assert v.is_enrolled("alice")
+    assert isinstance(v.score("alice", test[0]), float)
+    v.unenroll("alice")
+    assert not v.is_enrolled("alice")
+
+
+def test_genuine_scores_exceed_impostor_on_average(verifier, fingerprints):
+    genuine, impostor = [], []
+    for speaker, (_, test) in fingerprints.items():
+        for fingerprint in test:
+            for claimed in SPEAKERS:
+                score = verifier.score(claimed, fingerprint)
+                (genuine if claimed == speaker else impostor).append(score)
+    assert np.mean(genuine) > np.mean(impostor) + 0.1
+
+
+def test_equal_error_rate_reasonable(verifier, fingerprints):
+    """Text-dependent verification on the tiny trunk: EER well below
+    chance (50 %) — this is a groundwork demo, not a production system."""
+    genuine, impostor = [], []
+    for speaker, (_, test) in fingerprints.items():
+        for fingerprint in test:
+            for claimed in SPEAKERS:
+                score = verifier.score(claimed, fingerprint)
+                (genuine if claimed == speaker else impostor).append(score)
+    eer = equal_error_rate(genuine, impostor)
+    assert eer < 0.3
+
+
+def test_eer_helper_degenerate_cases():
+    assert equal_error_rate([0.9, 0.95], [0.1, 0.2]) == 0.0
+    assert equal_error_rate([0.1], [0.9]) == 1.0
+    with pytest.raises(ReproError):
+        equal_error_rate([], [0.5])
+
+
+def test_template_bytes_requires_enrollment(verifier):
+    blob = verifier.template_bytes(SPEAKERS[0])
+    assert len(blob) == 8 * 22 * 8  # float64 * (22 freq x 8 channels)
+    with pytest.raises(ProtocolError):
+        verifier.template_bytes("ghost")
+
+
+# --- the enclave app --------------------------------------------------------
+
+@pytest.fixture()
+def speaker_session(platform, pretrained_model, dataset):
+    from repro.core.omg import OmgSession
+    from repro.core.parties import User, Vendor
+
+    vendor = Vendor("ml-vendor", pretrained_model, key_bits=768)
+    session = OmgSession(platform, vendor, User(),
+                         SpeakerVerifierApp(threshold=0.9))
+    session.prepare()
+    session.initialize()
+    return session
+
+
+def test_app_enroll_and_verify(speaker_session, dataset):
+    session = speaker_session
+    app = session.app
+    clips = [dataset.render(PASSPHRASE, i, speaker="alice").samples
+             for i in range(4)]
+    app.enroll_speaker(session.ctx, "alice", clips)
+    probe = dataset.render(PASSPHRASE, 20, speaker="alice").samples
+    result = app.verify_speaker(session.ctx, "alice", probe)
+    assert result.score > 0.8
+    assert result.threshold == 0.9
+
+
+def test_app_biometric_template_is_enclave_protected(speaker_session,
+                                                     dataset):
+    """The §I motivation: biometric templates must not be stealable."""
+    from repro.errors import MemoryAccessError
+
+    session = speaker_session
+    app = session.app
+    clips = [dataset.render(PASSPHRASE, i, speaker="bob").samples
+             for i in range(4)]
+    app.enroll_speaker(session.ctx, "bob", clips)
+    address, length = app.template_location(session.ctx, "bob")
+    # The enclave itself can read its template back...
+    stored = session.ctx.memory.read(
+        address - session.ctx.memory.region.base, length)
+    assert stored == app.verifier.template_bytes("bob")
+    # ...the commodity OS cannot.
+    with pytest.raises(MemoryAccessError):
+        session.platform.commodity_os.read_memory(address, length)
+    # And nothing biometric ever reached flash.
+    assert stored not in session.platform.soc.flash.raw_bytes()
+
+
+def test_app_requires_unlocked_model(platform, pretrained_model, dataset):
+    from repro.core.omg import OmgSession
+    from repro.core.parties import User, Vendor
+
+    vendor = Vendor("ml-vendor", pretrained_model, key_bits=768)
+    session = OmgSession(platform, vendor, User(), SpeakerVerifierApp())
+    session.prepare()  # no initialize(): model still sealed
+    clips = [dataset.render(PASSPHRASE, i).samples for i in range(4)]
+    with pytest.raises(ProtocolError):
+        session.app.enroll_speaker(session.ctx, "alice", clips)
+
+
+def test_app_measurement_differs_from_keyword_spotter():
+    from repro.core.omg import KeywordSpotterApp
+    from repro.sanctuary.lifecycle import SanctuaryRuntime
+
+    assert (SanctuaryRuntime.expected_measurement(SpeakerVerifierApp())
+            != SanctuaryRuntime.expected_measurement(KeywordSpotterApp()))

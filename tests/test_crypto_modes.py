@@ -1,0 +1,136 @@
+"""AES-CTR and AES-GCM: NIST vectors, tamper detection, properties."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.aes import AES
+from repro.crypto.modes import GCM, ctr_keystream_xor, gcm_decrypt, gcm_encrypt
+from repro.errors import AuthenticationError, KeyError_
+
+KEY = bytes.fromhex("feffe9928665731c6d6a8f9467308308")
+IV = bytes.fromhex("cafebabefacedbaddecaf888")
+PT4 = bytes.fromhex(
+    "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72"
+    "1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b39")
+AAD = bytes.fromhex("feedfacedeadbeeffeedfacedeadbeefabaddad2")
+
+
+def test_gcm_nist_case_2_empty_aad():
+    gcm = GCM(b"\x00" * 16)
+    ct, tag = gcm.encrypt(b"\x00" * 12, b"\x00" * 16)
+    assert ct.hex() == "0388dace60b6a392f328c2b971b2fe78"
+    assert tag.hex() == "ab6e47d42cec13bdf53a67b21257bddf"
+
+
+def test_gcm_nist_case_4_with_aad():
+    ct, tag = GCM(KEY).encrypt(IV, PT4, AAD)
+    assert ct.hex() == (
+        "42831ec2217774244b7221b784d0d49ce3aa212f2c02a4e035c17e2329aca12e"
+        "21d514b25466931c7d8f6a5aac84aa051ba30b396a0aac973d58e091")
+    assert tag.hex() == "5bc94fbc3221a5db94fae95ae7121a47"
+
+
+def test_gcm_roundtrip_with_aad():
+    gcm = GCM(KEY)
+    ct, tag = gcm.encrypt(IV, PT4, AAD)
+    assert gcm.decrypt(IV, ct, tag, AAD) == PT4
+
+
+def test_gcm_detects_ciphertext_tamper():
+    gcm = GCM(KEY)
+    ct, tag = gcm.encrypt(IV, PT4, AAD)
+    tampered = bytes([ct[0] ^ 1]) + ct[1:]
+    with pytest.raises(AuthenticationError):
+        gcm.decrypt(IV, tampered, tag, AAD)
+
+
+def test_gcm_detects_tag_tamper():
+    gcm = GCM(KEY)
+    ct, tag = gcm.encrypt(IV, PT4)
+    bad_tag = bytes([tag[0] ^ 0x80]) + tag[1:]
+    with pytest.raises(AuthenticationError):
+        gcm.decrypt(IV, ct, bad_tag)
+
+
+def test_gcm_detects_aad_mismatch():
+    gcm = GCM(KEY)
+    ct, tag = gcm.encrypt(IV, PT4, AAD)
+    with pytest.raises(AuthenticationError):
+        gcm.decrypt(IV, ct, tag, AAD + b"x")
+
+
+def test_gcm_wrong_key_fails():
+    ct, tag = GCM(KEY).encrypt(IV, PT4)
+    with pytest.raises(AuthenticationError):
+        GCM(b"\x01" * 16).decrypt(IV, ct, tag)
+
+
+def test_gcm_wrong_nonce_fails():
+    gcm = GCM(KEY)
+    ct, tag = gcm.encrypt(IV, PT4)
+    with pytest.raises(AuthenticationError):
+        gcm.decrypt(b"\x00" * 12, ct, tag)
+
+
+def test_gcm_empty_plaintext():
+    gcm = GCM(KEY)
+    ct, tag = gcm.encrypt(IV, b"")
+    assert ct == b""
+    assert gcm.decrypt(IV, ct, tag) == b""
+
+
+def test_gcm_non_96bit_nonce():
+    gcm = GCM(KEY)
+    long_nonce = bytes(range(20))
+    ct, tag = gcm.encrypt(long_nonce, PT4)
+    assert gcm.decrypt(long_nonce, ct, tag) == PT4
+
+
+def test_gcm_rejects_empty_nonce():
+    with pytest.raises(KeyError_):
+        GCM(KEY).encrypt(b"", b"data")
+
+
+def test_one_shot_helpers_roundtrip():
+    blob = gcm_encrypt(KEY, IV, PT4, AAD)
+    assert blob.startswith(IV)
+    assert gcm_decrypt(KEY, blob, AAD) == PT4
+
+
+def test_one_shot_decrypt_rejects_short_blob():
+    with pytest.raises(AuthenticationError):
+        gcm_decrypt(KEY, b"tooshort")
+
+
+def test_ctr_keystream_is_xor_involution():
+    cipher = AES(KEY)
+    counter = b"\x00" * 15 + b"\x01"
+    data = bytes(range(100))
+    once = ctr_keystream_xor(cipher, counter, data)
+    assert once != data
+    assert ctr_keystream_xor(cipher, counter, once) == data
+
+
+def test_ctr_counter_must_be_16_bytes():
+    with pytest.raises(KeyError_):
+        ctr_keystream_xor(AES(KEY), b"\x00" * 8, b"data")
+
+
+def test_ctr_sp800_38a_vector():
+    # SP 800-38A F.5.1 CTR-AES128 block 1.
+    cipher = AES(bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c"))
+    counter = bytes.fromhex("f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff")
+    pt = bytes.fromhex("6bc1bee22e409f96e93d7e117393172a")
+    assert ctr_keystream_xor(cipher, counter, pt).hex() == \
+        "874d6191b620e3261bef6864990db6ce"
+
+
+@given(st.binary(max_size=300), st.binary(max_size=40),
+       st.binary(min_size=12, max_size=12), st.binary(min_size=16, max_size=16))
+@settings(max_examples=40, deadline=None)
+def test_gcm_roundtrip_property(plaintext, aad, nonce, key):
+    gcm = GCM(key)
+    ct, tag = gcm.encrypt(nonce, plaintext, aad)
+    assert len(ct) == len(plaintext)
+    assert gcm.decrypt(nonce, ct, tag, aad) == plaintext

@@ -1,0 +1,173 @@
+"""DRBG determinism, the OMG KDF, and the certificate hierarchy."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.cert import CertificateAuthority, verify_chain
+from repro.crypto.kdf import MODEL_KEY_SIZE, derive_model_key
+from repro.crypto.keycache import deterministic_keypair
+from repro.crypto.rng import HmacDrbg, default_rng
+from repro.errors import CertificateError, CryptoError
+
+ROOT_KEY = deterministic_keypair(b"cert-root", 768)
+PLATFORM_KEY = deterministic_keypair(b"cert-platform", 768)
+LEAF_KEY = deterministic_keypair(b"cert-leaf", 768)
+
+
+# --- DRBG -----------------------------------------------------------------
+
+def test_drbg_deterministic():
+    assert HmacDrbg(b"seed").generate(64) == HmacDrbg(b"seed").generate(64)
+
+
+def test_drbg_seed_sensitivity():
+    assert HmacDrbg(b"seed1").generate(32) != HmacDrbg(b"seed2").generate(32)
+
+
+def test_drbg_personalization_sensitivity():
+    assert (HmacDrbg(b"s", b"a").generate(32)
+            != HmacDrbg(b"s", b"b").generate(32))
+
+
+def test_drbg_stream_continuity():
+    """Sequential generates never repeat output."""
+    rng = HmacDrbg(b"stream")
+    seen = set()
+    for _ in range(50):
+        chunk = rng.generate(16)
+        assert chunk not in seen
+        seen.add(chunk)
+
+
+def test_drbg_reseed_changes_stream():
+    a = HmacDrbg(b"seed")
+    b = HmacDrbg(b"seed")
+    b.reseed(b"new entropy")
+    assert a.generate(32) != b.generate(32)
+
+
+def test_drbg_rejects_empty_seed():
+    with pytest.raises(CryptoError):
+        HmacDrbg(b"")
+
+
+def test_drbg_rejects_negative_length():
+    with pytest.raises(CryptoError):
+        HmacDrbg(b"x").generate(-1)
+
+
+def test_drbg_zero_length():
+    assert HmacDrbg(b"x").generate(0) == b""
+
+
+def test_default_rng_stable():
+    assert default_rng().generate(8) == default_rng().generate(8)
+
+
+@given(st.integers(min_value=1, max_value=10 ** 12))
+@settings(max_examples=60, deadline=None)
+def test_randint_below_in_range(bound):
+    rng = HmacDrbg(b"bound-test")
+    value = rng.randint_below(bound)
+    assert 0 <= value < bound
+
+
+@given(st.integers(min_value=2, max_value=512))
+@settings(max_examples=30, deadline=None)
+def test_random_odd_has_exact_bits(bits):
+    value = HmacDrbg(b"odd-test").random_odd(bits)
+    assert value.bit_length() == bits
+    assert value % 2 == 1
+
+
+# --- KDF ------------------------------------------------------------------
+
+def test_kdf_deterministic():
+    pk = ROOT_KEY.public_key
+    a = derive_model_key(pk, b"nonce-12345678", b"vendor-secret")
+    b = derive_model_key(pk, b"nonce-12345678", b"vendor-secret")
+    assert a == b
+    assert len(a) == MODEL_KEY_SIZE
+
+
+def test_kdf_nonce_sensitivity():
+    """Fresh nonce => fresh key: the rollback-protection property."""
+    pk = ROOT_KEY.public_key
+    assert (derive_model_key(pk, b"nonce-aaaaaaaa", b"secret")
+            != derive_model_key(pk, b"nonce-bbbbbbbb", b"secret"))
+
+
+def test_kdf_enclave_key_sensitivity():
+    assert (derive_model_key(ROOT_KEY.public_key, b"nonce-123456", b"s")
+            != derive_model_key(PLATFORM_KEY.public_key, b"nonce-123456", b"s"))
+
+
+def test_kdf_vendor_secret_required():
+    """PK and nonce are public; the vendor secret gates the key."""
+    pk = ROOT_KEY.public_key
+    assert (derive_model_key(pk, b"nonce-12345678", b"secret-a")
+            != derive_model_key(pk, b"nonce-12345678", b"secret-b"))
+    with pytest.raises(CryptoError):
+        derive_model_key(pk, b"nonce-12345678", b"")
+
+
+def test_kdf_rejects_short_nonce():
+    with pytest.raises(CryptoError):
+        derive_model_key(ROOT_KEY.public_key, b"short", b"secret")
+
+
+# --- certificates ---------------------------------------------------------
+
+def _chain():
+    root = CertificateAuthority("root", ROOT_KEY)
+    platform = root.subordinate("platform", PLATFORM_KEY)
+    leaf = platform.issue("enclave-1", LEAF_KEY.public_key)
+    return root, platform, leaf
+
+
+def test_chain_verifies():
+    root, platform, leaf = _chain()
+    verify_chain([leaf, platform.certificate, root.certificate],
+                 root.public_key)
+
+
+def test_self_signed_root_verifies():
+    root, _, _ = _chain()
+    verify_chain([root.certificate], root.public_key)
+
+
+def test_empty_chain_rejected():
+    root, _, _ = _chain()
+    with pytest.raises(CertificateError):
+        verify_chain([], root.public_key)
+
+
+def test_wrong_root_rejected():
+    root, platform, leaf = _chain()
+    with pytest.raises(CertificateError):
+        verify_chain([leaf, platform.certificate, root.certificate],
+                     LEAF_KEY.public_key)
+
+
+def test_broken_issuer_linkage_rejected():
+    root, platform, leaf = _chain()
+    with pytest.raises(CertificateError, match="issuer mismatch"):
+        verify_chain([leaf, root.certificate], root.public_key)
+
+
+def test_forged_certificate_rejected():
+    """A certificate signed by the wrong CA fails verification."""
+    root, platform, _ = _chain()
+    rogue_ca = CertificateAuthority("platform", LEAF_KEY)  # impostor name
+    forged = rogue_ca.issue("enclave-1", LEAF_KEY.public_key)
+    with pytest.raises(CertificateError, match="bad signature"):
+        verify_chain([forged, platform.certificate, root.certificate],
+                     root.public_key)
+
+
+def test_serials_increment():
+    root, platform, _ = _chain()
+    first = platform.issue("a", LEAF_KEY.public_key)
+    second = platform.issue("b", LEAF_KEY.public_key)
+    assert second.serial == first.serial + 1

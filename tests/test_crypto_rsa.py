@@ -1,0 +1,132 @@
+"""RSA: keygen, signatures, OAEP, serialization, derivations."""
+
+import pytest
+
+from repro.crypto.keycache import deterministic_keypair
+from repro.crypto.rng import HmacDrbg
+from repro.crypto.rsa import RsaPublicKey, generate_keypair
+from repro.errors import AuthenticationError, CryptoError, KeyError_
+
+KEY = deterministic_keypair(b"test-rsa", 768)
+OTHER = deterministic_keypair(b"test-rsa-2", 768)
+
+
+def test_keypair_is_consistent():
+    assert KEY.n == KEY.p * KEY.q
+    assert KEY.p != KEY.q
+    phi = (KEY.p - 1) * (KEY.q - 1)
+    assert (KEY.d * KEY.e) % phi == 1
+
+
+def test_modulus_has_requested_bits():
+    assert KEY.n.bit_length() == 768
+
+
+def test_keygen_is_deterministic():
+    a = generate_keypair(768, HmacDrbg(b"same-seed"))
+    b = generate_keypair(768, HmacDrbg(b"same-seed"))
+    assert a == b
+
+
+def test_keygen_differs_by_seed():
+    assert KEY.n != OTHER.n
+
+
+def test_keygen_rejects_tiny_modulus():
+    with pytest.raises(KeyError_):
+        generate_keypair(256)
+
+
+def test_sign_verify_roundtrip():
+    signature = KEY.sign(b"attestation payload")
+    assert KEY.public_key.verify(b"attestation payload", signature)
+
+
+def test_verify_rejects_modified_message():
+    signature = KEY.sign(b"original")
+    assert not KEY.public_key.verify(b"0riginal", signature)
+
+
+def test_verify_rejects_wrong_key():
+    signature = KEY.sign(b"message")
+    assert not OTHER.public_key.verify(b"message", signature)
+
+
+def test_verify_rejects_garbage_signature():
+    assert not KEY.public_key.verify(b"message", b"\x00" * KEY.size_bytes)
+    assert not KEY.public_key.verify(b"message", b"short")
+
+
+def test_signature_is_deterministic():
+    assert KEY.sign(b"m") == KEY.sign(b"m")
+
+
+def test_oaep_roundtrip():
+    rng = HmacDrbg(b"oaep-rng")
+    ct = KEY.public_key.encrypt_oaep(b"model key 16B!!!", rng)
+    assert KEY.decrypt_oaep(ct) == b"model key 16B!!!"
+
+
+def test_oaep_is_randomized():
+    rng = HmacDrbg(b"oaep-rng2")
+    first = KEY.public_key.encrypt_oaep(b"same", rng)
+    second = KEY.public_key.encrypt_oaep(b"same", rng)
+    assert first != second
+    assert KEY.decrypt_oaep(first) == KEY.decrypt_oaep(second) == b"same"
+
+
+def test_oaep_wrong_key_fails():
+    rng = HmacDrbg(b"oaep-rng3")
+    ct = KEY.public_key.encrypt_oaep(b"secret", rng)
+    with pytest.raises(AuthenticationError):
+        OTHER.decrypt_oaep(ct)
+
+
+def test_oaep_tamper_fails():
+    rng = HmacDrbg(b"oaep-rng4")
+    ct = bytearray(KEY.public_key.encrypt_oaep(b"secret", rng))
+    ct[-1] ^= 1
+    with pytest.raises(AuthenticationError):
+        KEY.decrypt_oaep(bytes(ct))
+
+
+def test_oaep_label_mismatch_fails():
+    rng = HmacDrbg(b"oaep-rng5")
+    ct = KEY.public_key.encrypt_oaep(b"secret", rng, label=b"A")
+    with pytest.raises(AuthenticationError):
+        KEY.decrypt_oaep(ct, label=b"B")
+    # And the matching label succeeds.
+    ct2 = KEY.public_key.encrypt_oaep(b"secret", rng, label=b"A")
+    assert KEY.decrypt_oaep(ct2, label=b"A") == b"secret"
+
+
+def test_oaep_plaintext_size_limit():
+    rng = HmacDrbg(b"oaep-rng6")
+    max_len = KEY.size_bytes - 2 * 32 - 2
+    KEY.public_key.encrypt_oaep(b"x" * max_len, rng)
+    with pytest.raises(CryptoError):
+        KEY.public_key.encrypt_oaep(b"x" * (max_len + 1), rng)
+
+
+def test_public_key_serialization_roundtrip():
+    blob = KEY.public_key.to_bytes()
+    parsed = RsaPublicKey.from_bytes(blob)
+    assert parsed == KEY.public_key
+    assert parsed.fingerprint() == KEY.public_key.fingerprint()
+
+
+def test_public_key_parse_rejects_truncated():
+    with pytest.raises(KeyError_):
+        RsaPublicKey.from_bytes(b"\x00\x00")
+
+
+def test_derive_symmetric_key_contexts_differ():
+    a = KEY.derive_symmetric_key(b"context-a")
+    b = KEY.derive_symmetric_key(b"context-b")
+    assert a != b
+    assert len(a) == 16
+    assert KEY.derive_symmetric_key(b"context-a") == a
+
+
+def test_keycache_returns_same_object():
+    assert deterministic_keypair(b"test-rsa", 768) is KEY

@@ -1,0 +1,87 @@
+"""SHA-256: known-answer vectors, incremental hashing, properties."""
+
+import hashlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.sha256 import SHA256, sha256
+
+# FIPS 180-4 / NIST CAVP known-answer vectors.
+KAT = [
+    (b"", "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"),
+    (b"abc",
+     "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"),
+    (b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+     "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"),
+    (b"a" * 1_000_000,
+     "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"),
+]
+
+
+@pytest.mark.parametrize("message,expected", KAT)
+def test_known_answer_vectors(message, expected):
+    assert sha256(message).hex() == expected
+
+
+def test_one_shot_equals_hashlib_on_structured_input():
+    data = bytes(range(256)) * 17
+    assert sha256(data) == hashlib.sha256(data).digest()
+
+
+def test_incremental_equals_one_shot():
+    h = SHA256()
+    h.update(b"hello ")
+    h.update(b"world")
+    assert h.digest() == sha256(b"hello world")
+
+
+def test_digest_is_idempotent():
+    h = SHA256(b"payload")
+    first = h.digest()
+    assert h.digest() == first
+    h.update(b" more")
+    assert h.digest() != first
+
+
+def test_copy_forks_state():
+    h = SHA256(b"common prefix|")
+    clone = h.copy()
+    h.update(b"left")
+    clone.update(b"right")
+    assert h.digest() == sha256(b"common prefix|left")
+    assert clone.digest() == sha256(b"common prefix|right")
+
+
+def test_hexdigest_matches_digest():
+    h = SHA256(b"xyz")
+    assert bytes.fromhex(h.hexdigest()) == h.digest()
+
+
+def test_update_rejects_non_bytes():
+    with pytest.raises(TypeError):
+        SHA256().update("not bytes")
+
+
+@pytest.mark.parametrize("size", [55, 56, 57, 63, 64, 65, 119, 120, 128])
+def test_padding_boundaries(size):
+    """Sizes around the 64-byte block / 56-byte length boundary."""
+    data = b"\xa5" * size
+    assert sha256(data) == hashlib.sha256(data).digest()
+
+
+@given(st.binary(max_size=2048))
+@settings(max_examples=80, deadline=None)
+def test_matches_hashlib_property(data):
+    assert sha256(data) == hashlib.sha256(data).digest()
+
+
+@given(st.binary(max_size=512), st.integers(min_value=0, max_value=512))
+@settings(max_examples=40, deadline=None)
+def test_incremental_split_invariance(data, split):
+    split = min(split, len(data))
+    h = SHA256()
+    h.update(data[:split])
+    h.update(data[split:])
+    assert h.digest() == sha256(data)

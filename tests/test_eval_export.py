@@ -1,0 +1,84 @@
+"""Results export: JSON structure and CLI integration."""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.eval.export import collect_results, export_results
+
+
+@pytest.fixture(scope="module")
+def results(standard_model_and_meta):
+    return collect_results(per_class=2, key_bits=768)
+
+
+def test_results_structure(results):
+    assert set(results) == {"paper", "table1", "model", "world_switch",
+                            "crypto_baselines", "online_tee"}
+    assert results["paper"]["venue"] == "DATE 2020"
+
+
+def test_results_table1_consistency(results):
+    table1 = results["table1"]
+    assert table1["native"]["accuracy_paper"] == 0.75
+    assert table1["omg"]["runtime_ms_paper"] == 387.0
+    # Identical artifact => identical accuracy in both rows.
+    assert table1["native"]["accuracy"] == table1["omg"]["accuracy"]
+    assert table1["omg"]["runtime_ms"] > table1["native"]["runtime_ms"]
+
+
+def test_results_model_section(results):
+    model = results["model"]
+    assert model["macs_per_inference"] == 404_800
+    assert 45_000 < model["artifact_bytes"] < 60_000
+    assert model["parameters"] == 53_460
+
+
+def test_results_baseline_ordering(results):
+    baselines = results["crypto_baselines"]
+    assert baselines["he"]["slowdown"] > 1e4
+    assert baselines["smpc"]["slowdown"] > 1e3
+    assert (baselines["smpc"]["communication_bytes"]
+            > baselines["he"]["communication_bytes"])
+    assert results["online_tee"]["offline"] is None
+    assert results["online_tee"]["wifi"] > 0
+
+
+def test_results_are_json_serializable(results, tmp_path):
+    path = str(tmp_path / "results.json")
+    with open(path, "w") as handle:
+        json.dump(results, handle)
+    with open(path) as handle:
+        assert json.load(handle)["model"]["macs_per_inference"] == 404_800
+
+
+def test_export_writes_file(tmp_path, standard_model_and_meta):
+    path = str(tmp_path / "out.json")
+    returned = export_results(path, per_class=2, key_bits=768)
+    assert os.path.exists(path)
+    with open(path) as handle:
+        loaded = json.load(handle)
+    assert loaded["table1"]["native"]["accuracy"] == \
+        returned["table1"]["native"]["accuracy"]
+
+
+def test_cli_export_dataset(tmp_path, capsys):
+    target = str(tmp_path / "corpus")
+    assert main(["export-dataset", target, "--per-class", "1"]) == 0
+    assert "wrote 12 WAVE files" in capsys.readouterr().out
+    from repro.audio.wave_io import read_wave
+
+    samples, rate = read_wave(os.path.join(target, "yes", "00000.wav"))
+    assert rate == 16000
+    assert samples.shape == (16000,)
+
+
+def test_cli_export_parser():
+    from repro.cli import build_parser
+
+    args = build_parser().parse_args(["export", "/tmp/x.json"])
+    assert args.command == "export" and args.output == "/tmp/x.json"
+    args = build_parser().parse_args(["export-dataset", "/tmp/d"])
+    assert args.per_class == 2

@@ -1,0 +1,60 @@
+"""Smoke tests: every example script runs to completion.
+
+Each example executes in a subprocess against the installed package
+(the pretrained artifact is already cached by earlier fixtures, so these
+are minutes of simulated time but seconds of wall time).  The slow
+training demo is exercised with a reduced recipe via environment-free
+patching — it is excluded here and covered by the CLI train test path.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "protocol_walkthrough.py",
+    "offline_assistant.py",
+    "streaming_recognition.py",
+    "personal_device.py",
+]
+
+
+def run_example(name: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, name)],
+        capture_output=True, text=True, timeout=600)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def ensure_pretrained(standard_model_and_meta):
+    """Train/caches the artifact before the subprocesses need it."""
+
+
+@pytest.mark.parametrize("name", FAST_EXAMPLES)
+def test_example_runs(name):
+    result = run_example(name)
+    assert result.returncode == 0, result.stderr[-2000:]
+
+
+def test_quickstart_output_shape():
+    result = run_example("quickstart.py")
+    assert "protocol transcript" in result.stdout
+    assert "I. preparation" in result.stdout
+    assert result.stdout.count("[ok]") >= 3  # most words recognized
+
+
+def test_walkthrough_blocks_every_attack():
+    result = run_example("protocol_walkthrough.py")
+    assert "SUCCEEDED" not in result.stdout
+    assert result.stdout.count("blocked") >= 6
+
+
+def test_personal_device_gates_intruder():
+    result = run_example("personal_device.py")
+    assert "REJECTED" in result.stdout
+    assert "0 vendor interactions" in result.stdout

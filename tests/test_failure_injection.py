@@ -1,0 +1,139 @@
+"""Failure injection: faults must fail closed, never leak."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EnclaveLifecycleError, MemoryAccessError
+from repro.baselines.voiceguard import (
+    NetworkCondition,
+    TYPICAL_NETWORKS,
+    VoiceGuardModel,
+)
+from repro.sanctuary.enclave import SanctuaryApp
+from repro.sanctuary.lifecycle import EnclaveState, SanctuaryRuntime
+from repro.trustzone.worlds import make_platform
+
+KEY_BITS = 768
+
+
+class FaultyApp(SanctuaryApp):
+    """Writes a secret, then crashes on demand."""
+
+    name = "faulty"
+    SECRET = b"IN-MEMORY-SECRET" * 16
+
+    def on_boot(self, ctx):
+        allocation = ctx.heap.alloc(len(self.SECRET))
+        ctx.memory.write(allocation.offset, self.SECRET)
+
+    def handle(self, ctx, request):
+        if request == b"CRASH":
+            raise RuntimeError("SA segfault (simulated)")
+        return b"ok"
+
+
+@pytest.fixture()
+def faulty_instance(platform):
+    runtime = SanctuaryRuntime(platform)
+    return runtime.launch(FaultyApp(), heap_bytes=1 << 20)
+
+
+def test_app_fault_panics_the_enclave(platform, faulty_instance):
+    assert faulty_instance.invoke(b"ping") == b"ok"
+    with pytest.raises(RuntimeError):
+        faulty_instance.invoke(b"CRASH")
+    assert faulty_instance.state is EnclaveState.TORN_DOWN
+
+
+def test_panic_scrubs_the_secret(platform, faulty_instance):
+    region = faulty_instance.region
+    with pytest.raises(RuntimeError):
+        faulty_instance.invoke(b"CRASH")
+    # After the panic the region is open again — and zeroed.
+    data = platform.commodity_os.read_memory(region.base, region.size)
+    assert FaultyApp.SECRET not in data
+    assert data == b"\x00" * region.size
+
+
+def test_panic_returns_core_to_os(platform, faulty_instance):
+    from repro.hw.core import CoreState
+
+    core_id = faulty_instance.core_id
+    with pytest.raises(RuntimeError):
+        faulty_instance.invoke(b"CRASH")
+    assert platform.soc.core(core_id).state is CoreState.OS
+
+
+def test_no_further_invokes_after_panic(faulty_instance):
+    with pytest.raises(RuntimeError):
+        faulty_instance.invoke(b"CRASH")
+    with pytest.raises(EnclaveLifecycleError):
+        faulty_instance.invoke(b"ping")
+
+
+def test_explicit_panic_is_idempotent(faulty_instance):
+    faulty_instance.panic()
+    assert faulty_instance.state is EnclaveState.TORN_DOWN
+    faulty_instance.panic()  # second call is a no-op
+
+
+def test_oversized_heap_request_fails_cleanly(platform):
+    """Heap exhaustion inside on_boot propagates without corrupting the
+    platform (and the region is still properly managed)."""
+    from repro.errors import SanctuaryError
+
+    class GreedyApp(SanctuaryApp):
+        name = "greedy"
+
+        def on_boot(self, ctx):
+            ctx.heap.alloc(1 << 30)
+
+        def handle(self, ctx, request):
+            return b""
+
+    runtime = SanctuaryRuntime(platform)
+    with pytest.raises(SanctuaryError, match="exhausted"):
+        runtime.launch(GreedyApp(), heap_bytes=1 << 20)
+
+
+def test_audio_request_larger_than_secure_shm(platform):
+    """An SA asking for more audio than its shared region fits."""
+    from repro.errors import SanctuaryError
+
+    class HungryListener(SanctuaryApp):
+        name = "hungry"
+
+        def handle(self, ctx, request):
+            ctx.record_audio(10_000_000)
+            return b""
+
+    runtime = SanctuaryRuntime(platform)
+    instance = runtime.launch(HungryListener(), heap_bytes=1 << 20)
+    with pytest.raises(SanctuaryError, match="exceeds"):
+        instance.invoke(b"go")
+    # Fault path fail-closed as well.
+    assert instance.state is EnclaveState.TORN_DOWN
+
+
+# --- VoiceGuard model unit tests (used by bench A6) -------------------------
+
+def test_voiceguard_latency_components():
+    model = VoiceGuardModel(server_inference_ms=1.0,
+                            protocol_overhead_ms=2.0)
+    wifi = NetworkCondition("wifi", rtt_ms=10.0, uplink_mbps=8.0)
+    latency = model.query_latency_ms(wifi, audio_bytes=1000)
+    assert latency == pytest.approx(10.0 + 1.0 + 1.0 + 2.0)
+
+
+def test_voiceguard_offline_unavailable():
+    model = VoiceGuardModel()
+    offline = [c for c in TYPICAL_NETWORKS if not c.available][0]
+    assert model.query_latency_ms(offline) is None
+
+
+def test_voiceguard_comparison_rows():
+    rows = VoiceGuardModel().compare_against_omg(omg_ms=8.5)
+    names = [name for name, _, _ in rows]
+    assert names == [c.name for c in TYPICAL_NETWORKS]
+    offline_row = [r for r in rows if r[0] == "offline"][0]
+    assert offline_row[1] is None and offline_row[2] is None

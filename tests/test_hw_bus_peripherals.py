@@ -1,0 +1,158 @@
+"""System bus filtering and peripheral (TZPC) behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.audio.speech_commands import PlaybackSource
+from repro.errors import MemoryAccessError, PeripheralError
+from repro.hw.memory import MemoryRegion, RegionPolicy, World
+from repro.hw.peripherals import FlashStorage, Microphone, Trng
+from repro.hw.soc import make_hikey960
+
+
+@pytest.fixture()
+def soc():
+    return make_hikey960()
+
+
+# --- bus ---------------------------------------------------------------
+
+def test_bus_roundtrip_and_counters(soc):
+    soc.bus.write(0x100, b"data", World.NORMAL, 0)
+    assert soc.bus.read(0x100, 4, World.NORMAL, 0) == b"data"
+    assert soc.bus.completed_transactions == 2
+    assert soc.bus.denied_transactions == 0
+
+
+def test_bus_denies_and_counts(soc):
+    base = soc.secure_region.base
+    with pytest.raises(MemoryAccessError):
+        soc.bus.read(base, 4, World.NORMAL, 0)
+    assert soc.bus.denied_transactions == 1
+
+
+def test_bus_secure_write_to_carveout(soc):
+    base = soc.secure_region.base
+    soc.bus.write(base, b"tee", World.SECURE, 0)
+    assert soc.bus.read(base, 3, World.SECURE, 0) == b"tee"
+
+
+def test_bus_enforces_dynamic_policy(soc):
+    region = soc.allocate_region("locked", 4096)
+    soc.tzasc.configure(region, RegionPolicy(bound_core=1,
+                                             dma_allowed=False))
+    soc.bus.write(region.base, b"ok", World.NORMAL, 1)
+    with pytest.raises(MemoryAccessError):
+        soc.bus.write(region.base, b"no", World.NORMAL, 0)
+    with pytest.raises(MemoryAccessError):
+        soc.bus.read(region.base, 2, World.NORMAL, None, is_dma=True)
+
+
+def test_bus_duplicate_peripheral_rejected(soc):
+    with pytest.raises(PeripheralError):
+        soc.bus.attach_peripheral(FlashStorage())
+
+
+def test_bus_unknown_peripheral(soc):
+    with pytest.raises(PeripheralError):
+        soc.bus.peripheral("gpu")
+
+
+def test_bus_peripheral_listing(soc):
+    assert soc.bus.peripherals() == ["flash", "microphone", "trng"]
+
+
+# --- microphone -------------------------------------------------------------
+
+def test_microphone_requires_source(soc):
+    with pytest.raises(PeripheralError):
+        soc.microphone.record(100, World.NORMAL)
+
+
+def test_microphone_plays_queued_audio(soc):
+    source = PlaybackSource()
+    clip = (np.arange(200) % 100).astype(np.int16)
+    source.queue_clip(clip)
+    soc.microphone.attach_source(source)
+    captured = soc.microphone.record(200, World.NORMAL)
+    assert np.array_equal(captured, clip)
+
+
+def test_microphone_pads_silence_when_queue_empty(soc):
+    source = PlaybackSource()
+    source.queue_clip(np.ones(50, dtype=np.int16))
+    soc.microphone.attach_source(source)
+    captured = soc.microphone.record(100, World.NORMAL)
+    assert np.array_equal(captured[:50], np.ones(50, dtype=np.int16))
+    assert np.array_equal(captured[50:], np.zeros(50, dtype=np.int16))
+
+
+def test_microphone_secure_assignment_blocks_normal_world(soc):
+    source = PlaybackSource()
+    source.queue_clip(np.ones(10, dtype=np.int16))
+    soc.microphone.attach_source(source)
+    soc.microphone.assign_secure()
+    with pytest.raises(PeripheralError):
+        soc.microphone.record(10, World.NORMAL)
+    soc.microphone.record(10, World.SECURE)
+    soc.microphone.assign_normal()
+    soc.microphone.record(10, World.NORMAL)
+
+
+def test_microphone_access_log(soc):
+    source = PlaybackSource()
+    source.queue_clip(np.zeros(10, dtype=np.int16))
+    soc.microphone.attach_source(source)
+    soc.microphone.record(10, World.SECURE)
+    assert ("record", World.SECURE) in soc.microphone.access_log
+
+
+def test_playback_source_spans_multiple_clips():
+    source = PlaybackSource()
+    source.queue_clip(np.full(30, 1, dtype=np.int16))
+    source.queue_clip(np.full(30, 2, dtype=np.int16))
+    out = source.record(50)
+    assert np.all(out[:30] == 1) and np.all(out[30:50] == 2)
+    rest = source.record(20)
+    assert np.all(rest[:10] == 2) and np.all(rest[10:] == 0)
+
+
+# --- flash -------------------------------------------------------------------
+
+def test_flash_store_load_delete(soc):
+    soc.flash.store("a/b.bin", b"payload", World.NORMAL)
+    assert soc.flash.exists("a/b.bin")
+    assert soc.flash.load("a/b.bin", World.NORMAL) == b"payload"
+    soc.flash.delete("a/b.bin", World.NORMAL)
+    assert not soc.flash.exists("a/b.bin")
+
+
+def test_flash_missing_file(soc):
+    with pytest.raises(PeripheralError):
+        soc.flash.load("nope", World.NORMAL)
+
+
+def test_flash_raw_image_concatenates_everything(soc):
+    soc.flash.store("x", b"AAA", World.NORMAL)
+    soc.flash.store("y", b"BBB", World.NORMAL)
+    assert soc.flash.raw_bytes() == b"AAABBB"
+    assert soc.flash.paths() == ["x", "y"]
+
+
+# --- TRNG ---------------------------------------------------------------
+
+def test_trng_deterministic_per_seed():
+    a = Trng(b"seed-1")
+    b = Trng(b"seed-1")
+    c = Trng(b"seed-2")
+    assert (a.read_entropy(16, World.SECURE)
+            == b.read_entropy(16, World.SECURE))
+    assert (a.read_entropy(16, World.SECURE)
+            != c.read_entropy(16, World.SECURE))
+
+
+def test_trng_secure_assignment():
+    trng = Trng(b"seed")
+    trng.assign_secure()
+    with pytest.raises(PeripheralError):
+        trng.read_entropy(8, World.NORMAL)

@@ -1,0 +1,109 @@
+"""Cache hierarchy: geometry, LRU, invalidation, exclusion."""
+
+import pytest
+
+from repro.errors import HardwareError
+from repro.hw.cache import Cache, CacheConfig, CacheHierarchy
+
+
+def small_cache(ways=2, sets=4, line=64):
+    return Cache(CacheConfig(size_bytes=ways * sets * line, line_bytes=line,
+                             ways=ways), name="test")
+
+
+def test_config_geometry():
+    config = CacheConfig(size_bytes=64 * 1024, line_bytes=64, ways=4)
+    assert config.num_sets == 256
+
+
+def test_config_rejects_nondivisible():
+    with pytest.raises(HardwareError):
+        CacheConfig(size_bytes=1000, line_bytes=64, ways=4)
+
+
+def test_miss_then_hit():
+    cache = small_cache()
+    assert cache.access(0x100) is False
+    assert cache.access(0x100) is True
+    assert cache.access(0x108) is True  # same line
+    assert cache.stats.hits == 2
+    assert cache.stats.misses == 1
+
+
+def test_lru_eviction():
+    cache = small_cache(ways=2, sets=1, line=64)
+    cache.access(0 * 64)
+    cache.access(1 * 64)
+    cache.access(0 * 64)          # refresh line 0 -> line 1 is LRU
+    cache.access(2 * 64)          # evicts line 1
+    assert cache.access(0 * 64) is True
+    assert cache.access(1 * 64) is False
+
+
+def test_secure_and_normal_lines_are_distinct():
+    cache = small_cache()
+    cache.access(0x100, secure=False)
+    assert cache.access(0x100, secure=True) is False
+
+
+def test_invalidate_all():
+    cache = small_cache()
+    for address in range(0, 512, 64):
+        cache.access(address)
+    assert cache.resident_lines() > 0
+    cache.invalidate_all()
+    assert cache.resident_lines() == 0
+    assert cache.stats.invalidations > 0
+    assert cache.access(0x0) is False
+
+
+def test_contains_address():
+    cache = small_cache()
+    cache.access(0x200)
+    assert cache.contains_address(0x200)
+    assert cache.contains_address(0x23F)  # same 64B line
+    assert not cache.contains_address(0x300)
+
+
+def test_exclusion_forces_misses():
+    cache = small_cache()
+    cache.exclude_range(0x1000, 0x1000)
+    assert cache.access(0x1400) is False
+    assert cache.access(0x1400) is False  # never allocated
+    assert not cache.contains_address(0x1400)
+    cache.clear_exclusions()
+    cache.access(0x1400)
+    assert cache.access(0x1400) is True
+
+
+def test_miss_rate():
+    cache = small_cache()
+    cache.access(0x0)
+    cache.access(0x0)
+    assert cache.stats.miss_rate == pytest.approx(0.5)
+    assert Cache(CacheConfig(512, 64, 2)).stats.miss_rate == 0.0
+
+
+def test_hierarchy_levels():
+    hierarchy = CacheHierarchy.for_cores([0, 1])
+    assert hierarchy.access(0, 0x4000) == "dram"
+    assert hierarchy.access(0, 0x4000) == "l1"
+    # Another core misses its own L1 but hits the shared L2.
+    assert hierarchy.access(1, 0x4000) == "l2"
+
+
+def test_hierarchy_unknown_core():
+    hierarchy = CacheHierarchy.for_cores([0])
+    with pytest.raises(HardwareError):
+        hierarchy.access(7, 0x0)
+
+
+def test_l2_exclusion_models_sanctuary_partitioning():
+    """With the enclave range excluded from L2, another core can never
+    observe enclave lines there — the §III-B cache defense."""
+    hierarchy = CacheHierarchy.for_cores([0, 1])
+    hierarchy.l2.exclude_range(0x10000, 0x1000)
+    hierarchy.access(0, 0x10040)
+    hierarchy.access(0, 0x10040)
+    assert not hierarchy.l2.contains_address(0x10040)
+    assert hierarchy.access(1, 0x10040) == "dram"

@@ -1,0 +1,205 @@
+"""CPU core state machine and the HiKey 960 SoC model."""
+
+import pytest
+
+from repro.errors import CoreStateError, HardwareError
+from repro.hw.core import CoreState, CpuCore
+from repro.hw.soc import GiB, Soc, SocConfig, make_hikey960
+from repro.hw.timing import VirtualClock
+
+
+# --- core state machine -----------------------------------------------------
+
+def make_core():
+    return CpuCore(0, 2.4e9, big=True)
+
+
+def test_core_starts_in_os_state():
+    assert make_core().state is CoreState.OS
+
+
+def test_sanctuary_cycle():
+    core = make_core()
+    core.shutdown()
+    assert core.state is CoreState.OFF
+    core.boot_sanctuary("enclave-x")
+    assert core.state is CoreState.SANCTUARY
+    assert core.owner == "enclave-x"
+    core.shutdown()
+    assert core.owner is None
+    core.return_to_os()
+    assert core.state is CoreState.OS
+    assert core.transitions == 4
+
+
+def test_cannot_boot_sanctuary_from_os():
+    with pytest.raises(CoreStateError):
+        make_core().boot_sanctuary("x")
+
+
+def test_cannot_return_to_os_from_sanctuary_directly():
+    core = make_core()
+    core.shutdown()
+    core.boot_sanctuary("x")
+    with pytest.raises(CoreStateError):
+        core.return_to_os()
+
+
+def test_world_switch_from_os_and_back():
+    core = make_core()
+    previous = core.enter_secure()
+    assert previous is CoreState.OS
+    assert core.state is CoreState.SECURE
+    core.exit_secure(previous)
+    assert core.state is CoreState.OS
+
+
+def test_world_switch_from_sanctuary_and_back():
+    core = make_core()
+    core.shutdown()
+    core.boot_sanctuary("x")
+    previous = core.enter_secure()
+    core.exit_secure(previous)
+    assert core.state is CoreState.SANCTUARY
+
+
+def test_exit_secure_rejects_bad_resume_state():
+    core = make_core()
+    core.enter_secure()
+    with pytest.raises(CoreStateError):
+        core.exit_secure(CoreState.OFF)
+
+
+def test_cannot_shutdown_from_secure():
+    core = make_core()
+    core.enter_secure()
+    with pytest.raises(CoreStateError):
+        core.shutdown()
+
+
+def test_rejects_nonpositive_frequency():
+    with pytest.raises(CoreStateError):
+        CpuCore(0, 0, big=False)
+
+
+def test_seconds_for_cycles():
+    assert make_core().seconds_for_cycles(2.4e9) == pytest.approx(1.0)
+
+
+# --- SoC ---------------------------------------------------------------------
+
+def test_hikey960_configuration():
+    soc = make_hikey960()
+    assert soc.config.dram_bytes == 3 * GiB
+    assert len(soc.cores) == 8
+    big = [c for c in soc.cores if c.big]
+    little = [c for c in soc.cores if not c.big]
+    assert len(big) == 4 and len(little) == 4
+    assert all(c.freq_hz == 2.4e9 for c in big)
+    assert all(c.freq_hz == 1.8e9 for c in little)
+    assert soc.fastest_core_hz() == 2.4e9
+
+
+def test_secure_carveout_configured():
+    soc = make_hikey960()
+    policy = soc.tzasc.policy_for(Soc.SECURE_REGION)
+    assert policy is not None and policy.secure_only
+
+
+def test_region_allocation_is_disjoint_and_aligned():
+    soc = make_hikey960()
+    first = soc.allocate_region("a", 5000)
+    second = soc.allocate_region("b", 12000)
+    assert first.base % 4096 == 0 and second.base % 4096 == 0
+    assert first.size >= 5000 and second.size >= 12000
+    assert not first.overlaps(second)
+    assert not first.overlaps(soc.secure_region)
+
+
+def test_region_allocation_exhaustion():
+    config = SocConfig(name="tiny", dram_bytes=1 << 20, big_cores=1,
+                       big_freq_hz=1e9, little_cores=0, little_freq_hz=1e9,
+                       secure_carveout_bytes=1 << 18)
+    soc = Soc(config)
+    with pytest.raises(HardwareError):
+        soc.allocate_region("too-big", 1 << 21)
+
+
+def test_least_busy_core_prefers_idle_big():
+    soc = make_hikey960()
+    for core in soc.cores:
+        core.load = 0.9
+    soc.core(2).load = 0.1
+    assert soc.least_busy_os_core().core_id == 2
+
+
+def test_least_busy_skips_non_os_cores():
+    soc = make_hikey960()
+    soc.core(0).load = 0.0
+    soc.core(0).shutdown()
+    chosen = soc.least_busy_os_core()
+    assert chosen.core_id != 0
+
+
+def test_least_busy_falls_back_to_little_cores():
+    soc = make_hikey960()
+    for core in soc.cores:
+        if core.big:
+            core.shutdown()
+    assert not soc.least_busy_os_core().big
+
+
+def test_no_core_available():
+    config = SocConfig(name="uni", dram_bytes=1 << 22, big_cores=1,
+                       big_freq_hz=1e9, little_cores=0, little_freq_hz=1e9,
+                       secure_carveout_bytes=1 << 20)
+    soc = Soc(config)
+    soc.core(0).shutdown()
+    with pytest.raises(HardwareError):
+        soc.least_busy_os_core()
+
+
+def test_unknown_core_id():
+    with pytest.raises(HardwareError):
+        make_hikey960().core(42)
+
+
+def test_architecture_summary_shape():
+    summary = make_hikey960().architecture_summary()
+    assert summary["dram_gib"] == pytest.approx(3.0)
+    assert len(summary["cores"]) == 8
+    assert {"microphone", "flash", "trng"} <= set(summary["peripherals"])
+
+
+def test_zero_core_soc_rejected():
+    with pytest.raises(HardwareError):
+        Soc(SocConfig(name="none", dram_bytes=1 << 20, big_cores=0,
+                      big_freq_hz=1e9, little_cores=0, little_freq_hz=1e9))
+
+
+# --- virtual clock ----------------------------------------------------------
+
+def test_clock_advances():
+    clock = VirtualClock()
+    clock.advance_ms(1.5)
+    clock.advance_us(500)
+    assert clock.now_ms == pytest.approx(2.0)
+    assert clock.now_s == pytest.approx(0.002)
+
+
+def test_clock_cycles_at_frequency():
+    clock = VirtualClock()
+    clock.advance_cycles(2_400_000, 2.4e9)
+    assert clock.now_ms == pytest.approx(1.0)
+
+
+def test_clock_rejects_backwards():
+    with pytest.raises(ValueError):
+        VirtualClock().advance_ns(-1)
+
+
+def test_clock_elapsed_since():
+    clock = VirtualClock()
+    start = clock.now_ns
+    clock.advance_ms(3)
+    assert clock.elapsed_since_ns(start) == 3_000_000

@@ -1,0 +1,161 @@
+"""Physical memory and TZASC filtering."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MemoryAccessError
+from repro.hw.memory import (
+    AccessType,
+    MemoryRegion,
+    PhysicalMemory,
+    RegionPolicy,
+    Tzasc,
+    World,
+)
+
+
+# --- PhysicalMemory ---------------------------------------------------------
+
+def test_memory_read_write_roundtrip():
+    mem = PhysicalMemory(1 << 20)
+    mem.write(0x1234, b"hello enclave")
+    assert mem.read(0x1234, 13) == b"hello enclave"
+
+
+def test_memory_unwritten_reads_zero():
+    mem = PhysicalMemory(1 << 20)
+    assert mem.read(0x8000, 16) == b"\x00" * 16
+
+
+def test_memory_cross_page_write():
+    mem = PhysicalMemory(1 << 20)
+    data = bytes(range(200)) * 50  # 10000 bytes, spans 3+ pages
+    mem.write(4096 - 100, data)
+    assert mem.read(4096 - 100, len(data)) == data
+
+
+def test_memory_out_of_range_rejected():
+    mem = PhysicalMemory(4096)
+    with pytest.raises(MemoryAccessError):
+        mem.read(4090, 10)
+    with pytest.raises(MemoryAccessError):
+        mem.write(4096, b"x")
+    with pytest.raises(MemoryAccessError):
+        mem.read(-1, 1)
+
+
+def test_memory_scrub_zeroizes():
+    mem = PhysicalMemory(1 << 16)
+    mem.write(100, b"secret model weights")
+    mem.scrub(100, 20)
+    assert mem.read(100, 20) == b"\x00" * 20
+
+
+def test_memory_is_sparse():
+    mem = PhysicalMemory(3 * 1024 ** 3)  # 3 GB address space
+    mem.write(2 * 1024 ** 3, b"high write")
+    assert mem.resident_bytes <= 8192
+
+
+def test_memory_rejects_nonpositive_size():
+    with pytest.raises(MemoryAccessError):
+        PhysicalMemory(0)
+
+
+@given(st.integers(min_value=0, max_value=60000), st.binary(min_size=1, max_size=5000))
+@settings(max_examples=40, deadline=None)
+def test_memory_roundtrip_property(address, data):
+    mem = PhysicalMemory(1 << 16)
+    if address + len(data) > mem.size:
+        with pytest.raises(MemoryAccessError):
+            mem.write(address, data)
+    else:
+        mem.write(address, data)
+        assert mem.read(address, len(data)) == data
+
+
+# --- regions ----------------------------------------------------------------
+
+def test_region_contains_and_overlap():
+    region = MemoryRegion("r", 1000, 100)
+    assert region.contains(1000)
+    assert region.contains(1050, 50)
+    assert not region.contains(1050, 51)
+    assert not region.contains(999)
+    assert region.overlaps(MemoryRegion("s", 1099, 10))
+    assert not region.overlaps(MemoryRegion("s", 1100, 10))
+
+
+# --- TZASC -----------------------------------------------------------------
+
+@pytest.fixture()
+def tzasc():
+    controller = Tzasc()
+    controller.configure(MemoryRegion("secure", 0x1000, 0x1000),
+                         RegionPolicy(secure_only=True))
+    controller.configure(MemoryRegion("enclave", 0x3000, 0x1000),
+                         RegionPolicy(bound_core=2, dma_allowed=False))
+    return controller
+
+
+def test_open_memory_unrestricted(tzasc):
+    tzasc.check(0x9000, 64, World.NORMAL, 0, AccessType.READ)
+    tzasc.check(0x9000, 64, World.NORMAL, None, AccessType.WRITE, is_dma=True)
+
+
+def test_secure_region_blocks_normal_world(tzasc):
+    with pytest.raises(MemoryAccessError):
+        tzasc.check(0x1000, 16, World.NORMAL, 0, AccessType.READ)
+    tzasc.check(0x1000, 16, World.SECURE, 0, AccessType.READ)
+
+
+def test_bound_region_allows_only_bound_core(tzasc):
+    tzasc.check(0x3000, 16, World.NORMAL, 2, AccessType.WRITE)
+    with pytest.raises(MemoryAccessError):
+        tzasc.check(0x3000, 16, World.NORMAL, 3, AccessType.WRITE)
+
+
+def test_bound_region_allows_secure_world(tzasc):
+    """§III-B: the secure world retains access for attestation/IO."""
+    tzasc.check(0x3000, 16, World.SECURE, None, AccessType.READ)
+
+
+def test_bound_region_blocks_dma(tzasc):
+    with pytest.raises(MemoryAccessError):
+        tzasc.check(0x3000, 16, World.NORMAL, None, AccessType.READ,
+                    is_dma=True)
+
+
+def test_straddling_access_checked_against_all_regions(tzasc):
+    """A read crossing into a protected region is rejected."""
+    with pytest.raises(MemoryAccessError):
+        tzasc.check(0x2FF0, 0x20, World.NORMAL, 0, AccessType.READ)
+
+
+def test_access_ending_at_region_start_allowed(tzasc):
+    tzasc.check(0x2FE0, 0x20, World.NORMAL, 0, AccessType.READ)
+
+
+def test_overlapping_region_configs_rejected(tzasc):
+    with pytest.raises(MemoryAccessError):
+        tzasc.configure(MemoryRegion("other", 0x3800, 0x1000),
+                        RegionPolicy())
+
+
+def test_reconfigure_same_name_allowed(tzasc):
+    tzasc.configure(MemoryRegion("enclave", 0x3000, 0x1000),
+                    RegionPolicy(bound_core=5))
+    assert tzasc.policy_for("enclave").bound_core == 5
+
+
+def test_remove_unlocks_region(tzasc):
+    tzasc.remove("enclave")
+    tzasc.check(0x3000, 16, World.NORMAL, 0, AccessType.READ)
+    assert tzasc.policy_for("enclave") is None
+    assert tzasc.region("enclave") is None
+
+
+def test_regions_sorted_by_base(tzasc):
+    names = [region.name for region, _ in tzasc.regions()]
+    assert names == ["secure", "enclave"]

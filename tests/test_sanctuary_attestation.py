@@ -1,0 +1,112 @@
+"""Enclave measurement and attestation report verification."""
+
+import pytest
+
+from repro.crypto.cert import CertificateAuthority
+from repro.crypto.keycache import deterministic_keypair
+from repro.errors import AttestationError
+from repro.sanctuary.attestation import AttestationReport, measure, verify_report
+
+KEY_BITS = 768
+ROOT_KEY = deterministic_keypair(b"att-root", KEY_BITS)
+PLATFORM_KEY = deterministic_keypair(b"att-platform", KEY_BITS)
+ENCLAVE_KEY = deterministic_keypair(b"att-enclave", KEY_BITS)
+
+ROOT = CertificateAuthority("root", ROOT_KEY)
+PLATFORM = ROOT.subordinate("platform", PLATFORM_KEY)
+
+
+def make_report(name="sa-1", memory=b"SL+SA code", challenge=b"c" * 16,
+                key=ENCLAVE_KEY, chain=None):
+    if chain is None:
+        leaf = PLATFORM.issue(name, key.public_key)
+        chain = (leaf, PLATFORM.certificate, ROOT.certificate)
+    return AttestationReport.create(name, measure(memory), key, challenge,
+                                    chain)
+
+
+def test_measure_is_deterministic_and_sensitive():
+    assert measure(b"code") == measure(b"code")
+    assert measure(b"code") != measure(b"c0de")
+    assert len(measure(b"")) == 32
+
+
+def test_valid_report_verifies():
+    report = make_report()
+    verify_report(report, measure(b"SL+SA code"), ROOT.public_key,
+                  expected_challenge=b"c" * 16)
+
+
+def test_report_rejects_wrong_measurement():
+    report = make_report(memory=b"tampered code")
+    with pytest.raises(AttestationError, match="measurement"):
+        verify_report(report, measure(b"SL+SA code"), ROOT.public_key)
+
+
+def test_report_rejects_stale_challenge():
+    report = make_report(challenge=b"old-challenge-00")
+    with pytest.raises(AttestationError, match="challenge"):
+        verify_report(report, measure(b"SL+SA code"), ROOT.public_key,
+                      expected_challenge=b"fresh-challenge!")
+
+
+def test_report_challenge_optional():
+    report = make_report()
+    verify_report(report, measure(b"SL+SA code"), ROOT.public_key)
+
+
+def test_report_rejects_untrusted_root():
+    report = make_report()
+    with pytest.raises(AttestationError):
+        verify_report(report, measure(b"SL+SA code"),
+                      ENCLAVE_KEY.public_key)
+
+
+def test_report_rejects_key_substitution():
+    """Report signed by a different key than the certified one."""
+    impostor = deterministic_keypair(b"att-impostor", KEY_BITS)
+    leaf = PLATFORM.issue("sa-1", ENCLAVE_KEY.public_key)
+    chain = (leaf, PLATFORM.certificate, ROOT.certificate)
+    report = AttestationReport.create("sa-1", measure(b"SL+SA code"),
+                                      impostor, b"c" * 16, chain)
+    with pytest.raises(AttestationError, match="certified key"):
+        verify_report(report, measure(b"SL+SA code"), ROOT.public_key)
+
+
+def test_report_rejects_name_mismatch():
+    """Certificate subject must match the claimed enclave name."""
+    leaf = PLATFORM.issue("other-enclave", ENCLAVE_KEY.public_key)
+    chain = (leaf, PLATFORM.certificate, ROOT.certificate)
+    report = AttestationReport.create("sa-1", measure(b"m"), ENCLAVE_KEY,
+                                      b"c" * 16, chain)
+    with pytest.raises(AttestationError, match="subject"):
+        verify_report(report, measure(b"m"), ROOT.public_key)
+
+
+def test_report_rejects_forged_signature():
+    report = make_report()
+    forged = AttestationReport(
+        enclave_name=report.enclave_name,
+        measurement=report.measurement,
+        public_key=report.public_key,
+        challenge=report.challenge,
+        certificate_chain=report.certificate_chain,
+        signature=bytes(len(report.signature)),
+    )
+    with pytest.raises(AttestationError, match="signature"):
+        verify_report(forged, measure(b"SL+SA code"), ROOT.public_key)
+
+
+def test_report_rejects_empty_chain():
+    report = AttestationReport.create("sa-1", measure(b"m"), ENCLAVE_KEY,
+                                      b"c" * 16, ())
+    with pytest.raises(AttestationError, match="chain"):
+        verify_report(report, measure(b"m"), ROOT.public_key)
+
+
+def test_payload_binds_all_fields():
+    base = make_report()
+    renamed = make_report(name="sa-2")
+    assert base.payload() != renamed.payload()
+    rechallenged = make_report(challenge=b"d" * 16)
+    assert base.payload() != rechallenged.payload()

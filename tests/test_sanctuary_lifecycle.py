@@ -1,0 +1,225 @@
+"""SANCTUARY enclave life cycle: setup, boot, execute, suspend, teardown."""
+
+import pytest
+
+from repro.errors import EnclaveLifecycleError, MemoryAccessError
+from repro.hw.core import CoreState
+from repro.sanctuary.enclave import SanctuaryApp
+from repro.sanctuary.lifecycle import EnclaveState, SanctuaryRuntime
+from repro.sanctuary.attestation import verify_report
+from repro.trustzone.worlds import make_platform
+
+KEY_BITS = 768
+
+
+class EchoApp(SanctuaryApp):
+    name = "echo"
+
+    def __init__(self):
+        self.boots = 0
+
+    def on_boot(self, ctx):
+        self.boots += 1
+
+    def handle(self, ctx, request):
+        return b"echo:" + request
+
+
+class SecretApp(SanctuaryApp):
+    """Writes a recognizable secret into its private memory."""
+
+    name = "secret"
+    SECRET = b"TOP-SECRET-WEIGHTS" * 8
+
+    def on_boot(self, ctx):
+        allocation = ctx.heap.alloc(len(self.SECRET))
+        ctx.memory.write(allocation.offset, self.SECRET)
+        ctx.app_state["offset"] = allocation.offset
+
+    def handle(self, ctx, request):
+        offset = ctx.app_state["offset"]
+        return ctx.memory.read(offset, len(self.SECRET))
+
+
+@pytest.fixture()
+def platform():
+    return make_platform(key_bits=KEY_BITS)
+
+
+@pytest.fixture()
+def runtime(platform):
+    return SanctuaryRuntime(platform)
+
+
+def test_launch_produces_active_attested_instance(platform, runtime):
+    app = EchoApp()
+    instance = runtime.launch(app, heap_bytes=1 << 20)
+    assert instance.state is EnclaveState.ACTIVE
+    assert app.boots == 1
+    verify_report(instance.report,
+                  SanctuaryRuntime.expected_measurement(app),
+                  platform.manufacturer_root.public_key)
+
+
+def test_launch_assigns_least_busy_core(platform, runtime):
+    for core in platform.soc.cores:
+        core.load = 0.5
+    platform.soc.core(3).load = 0.0
+    instance = runtime.launch(EchoApp(), heap_bytes=1 << 20)
+    assert instance.core_id == 3
+    assert platform.soc.core(3).state is CoreState.SANCTUARY
+    assert platform.soc.core(3).owner == instance.instance_name
+
+
+def test_invoke_round_trip(runtime):
+    instance = runtime.launch(EchoApp(), heap_bytes=1 << 20)
+    assert instance.invoke(b"ping") == b"echo:ping"
+    assert instance.invoke(b"pong") == b"echo:pong"
+
+
+def test_enclave_memory_locked_while_active(platform, runtime):
+    instance = runtime.launch(SecretApp(), heap_bytes=1 << 20)
+    instance.invoke(b"touch")
+    with pytest.raises(MemoryAccessError):
+        platform.commodity_os.read_memory(instance.region.base, 64)
+    with pytest.raises(MemoryAccessError):
+        platform.commodity_os.dma_read(instance.region.base, 64)
+
+
+def test_tampered_code_changes_measurement(platform, runtime):
+    from repro.attacks.adversary import NormalWorldAdversary
+
+    app = EchoApp()
+    instance = runtime.launch(
+        app, heap_bytes=1 << 20,
+        pre_lock_hook=NormalWorldAdversary.code_tamper_hook())
+    expected = SanctuaryRuntime.expected_measurement(app)
+    assert instance.report.measurement != expected
+    from repro.errors import AttestationError
+
+    with pytest.raises(AttestationError):
+        verify_report(instance.report, expected,
+                      platform.manufacturer_root.public_key)
+
+
+def test_suspend_keeps_memory_locked_and_frees_core(platform, runtime):
+    instance = runtime.launch(SecretApp(), heap_bytes=1 << 20)
+    core_id = instance.core_id
+    instance.suspend()
+    assert instance.state is EnclaveState.SUSPENDED
+    assert platform.soc.core(core_id).state is CoreState.OS
+    with pytest.raises(MemoryAccessError):
+        platform.commodity_os.read_memory(instance.region.base, 64)
+
+
+def test_suspend_invalidates_l1(platform, runtime):
+    instance = runtime.launch(SecretApp(), heap_bytes=1 << 20)
+    core_id = instance.core_id
+    platform.soc.caches.l1[core_id].access(instance.region.base)
+    instance.suspend()
+    assert platform.soc.caches.l1[core_id].resident_lines() == 0
+
+
+def test_resume_rebinds_to_fresh_core(platform, runtime):
+    instance = runtime.launch(SecretApp(), heap_bytes=1 << 20)
+    original_core = instance.core_id
+    instance.suspend()
+    # Make the original core busy so resume picks a different one.
+    platform.commodity_os.set_core_load(original_core, 0.99)
+    secret = instance.invoke(b"read")  # auto-resume
+    assert secret == SecretApp.SECRET
+    assert instance.state is EnclaveState.ACTIVE
+    assert instance.core_id != original_core
+    assert instance.costs.resume_count == 1
+
+
+def test_explicit_resume_requires_suspended_state(runtime):
+    instance = runtime.launch(EchoApp(), heap_bytes=1 << 20)
+    with pytest.raises(EnclaveLifecycleError):
+        instance.resume()
+
+
+def test_suspend_requires_active_state(runtime):
+    instance = runtime.launch(EchoApp(), heap_bytes=1 << 20)
+    instance.suspend()
+    with pytest.raises(EnclaveLifecycleError):
+        instance.suspend()
+
+
+def test_teardown_scrubs_and_unlocks(platform, runtime):
+    instance = runtime.launch(SecretApp(), heap_bytes=1 << 20)
+    instance.invoke(b"touch")
+    region = instance.region
+    instance.teardown()
+    assert instance.state is EnclaveState.TORN_DOWN
+    data = platform.commodity_os.read_memory(region.base, region.size)
+    assert data == b"\x00" * region.size
+    assert SecretApp.SECRET not in data
+
+
+def test_teardown_returns_core_to_os(platform, runtime):
+    instance = runtime.launch(EchoApp(), heap_bytes=1 << 20)
+    core_id = instance.core_id
+    instance.teardown()
+    assert platform.soc.core(core_id).state is CoreState.OS
+
+
+def test_teardown_from_suspended_state(platform, runtime):
+    instance = runtime.launch(SecretApp(), heap_bytes=1 << 20)
+    instance.suspend()
+    instance.teardown()
+    data = platform.commodity_os.read_memory(instance.region.base, 256)
+    assert data == b"\x00" * 256
+
+
+def test_teardown_is_final(runtime):
+    instance = runtime.launch(EchoApp(), heap_bytes=1 << 20)
+    instance.teardown()
+    with pytest.raises(EnclaveLifecycleError):
+        instance.teardown()
+    with pytest.raises(EnclaveLifecycleError):
+        instance.invoke(b"x")
+
+
+def test_lifecycle_costs_recorded(platform, runtime):
+    profile = platform.soc.profile
+    instance = runtime.launch(EchoApp(), heap_bytes=1 << 20)
+    instance.suspend()
+    instance.resume()
+    instance.teardown()
+    costs = instance.costs
+    eps = 1e-6  # clock quantization to whole nanoseconds
+    assert costs.setup_ms >= profile.enclave_setup_ms - eps
+    assert costs.boot_ms >= profile.enclave_boot_ms - eps
+    assert costs.attest_ms >= profile.rsa_sign_ms - eps
+    assert costs.suspend_ms >= profile.enclave_suspend_ms - eps
+    assert costs.resume_ms >= profile.enclave_resume_ms - eps
+    assert costs.teardown_ms >= profile.enclave_teardown_ms - eps
+    assert costs.total_ms() > 0
+
+
+def test_multiple_enclaves_coexist_isolated(platform, runtime):
+    first = runtime.launch(SecretApp(), heap_bytes=1 << 20)
+    second = runtime.launch(EchoApp(), heap_bytes=1 << 20)
+    assert first.core_id != second.core_id
+    assert not first.region.overlaps(second.region)
+    assert second.invoke(b"hi") == b"echo:hi"
+    assert first.invoke(b"read") == SecretApp.SECRET
+    # Each enclave's memory is inaccessible to the other's core.
+    with pytest.raises(MemoryAccessError):
+        platform.soc.bus.read(first.region.base, 16,
+                              first.ctx.memory._world, second.core_id)
+
+
+def test_expected_measurement_tracks_code_version(runtime):
+    class V2(EchoApp):
+        code_version = "2.0"
+
+    assert (SanctuaryRuntime.expected_measurement(EchoApp())
+            != SanctuaryRuntime.expected_measurement(V2()))
+
+
+def test_unique_instance_names(runtime):
+    a = runtime.launch(EchoApp(), heap_bytes=1 << 20)
+    b = runtime.launch(EchoApp(), heap_bytes=1 << 20)
+    assert a.instance_name != b.instance_name

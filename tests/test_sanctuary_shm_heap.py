@@ -1,0 +1,174 @@
+"""Shared-memory channels, message queues, and the SL heap."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MemoryAccessError, SanctuaryError
+from repro.hw.memory import MemoryRegion, RegionPolicy, World
+from repro.hw.soc import make_hikey960
+from repro.sanctuary.library import SlHeap
+from repro.sanctuary.shm import MessageQueue, SharedRegion
+
+
+@pytest.fixture()
+def soc():
+    return make_hikey960()
+
+
+@pytest.fixture()
+def open_region(soc):
+    region = soc.allocate_region("shm-test", 8192)
+    soc.tzasc.configure(region, RegionPolicy())
+    return SharedRegion(soc, region, World.NORMAL, core_id=0)
+
+
+# --- SharedRegion ---------------------------------------------------------
+
+def test_shared_region_roundtrip(open_region):
+    open_region.write(16, b"payload")
+    assert open_region.read(16, 7) == b"payload"
+    assert open_region.size == 8192
+
+
+def test_shared_region_bounds(open_region):
+    with pytest.raises(MemoryAccessError):
+        open_region.read(8190, 4)
+    with pytest.raises(MemoryAccessError):
+        open_region.write(-1, b"x")
+    with pytest.raises(MemoryAccessError):
+        open_region.write(8191, b"xy")
+
+
+def test_shared_region_charges_time(soc, open_region):
+    before = soc.clock.now_ns
+    open_region.write(0, b"x" * 4096)
+    assert soc.clock.now_ns > before
+
+
+def test_shared_region_attribution_enforced(soc):
+    region = soc.allocate_region("bound-shm", 4096)
+    soc.tzasc.configure(region, RegionPolicy(bound_core=2))
+    bound_view = SharedRegion(soc, region, World.NORMAL, core_id=2)
+    bound_view.write(0, b"ok")
+    os_view = bound_view.with_attribution(World.NORMAL, 0)
+    with pytest.raises(MemoryAccessError):
+        os_view.read(0, 2)
+    secure_view = bound_view.with_attribution(World.SECURE, None)
+    assert secure_view.read(0, 2) == b"ok"
+
+
+# --- MessageQueue ---------------------------------------------------------
+
+def test_queue_send_receive(open_region):
+    queue = MessageQueue(open_region)
+    assert queue.try_receive() is None
+    assert queue.try_send(b"request-1")
+    assert queue.try_receive() == b"request-1"
+    assert queue.try_receive() is None
+
+
+def test_queue_full_slot_blocks_send(open_region):
+    queue = MessageQueue(open_region)
+    assert queue.try_send(b"first")
+    assert not queue.try_send(b"second")
+    queue.try_receive()
+    assert queue.try_send(b"second")
+
+
+def test_queue_rejects_oversized_message(open_region):
+    queue = MessageQueue(open_region)
+    with pytest.raises(MemoryAccessError):
+        queue.try_send(b"x" * (queue.capacity + 1))
+    assert queue.try_send(b"x" * queue.capacity)
+
+
+def test_queue_empty_message(open_region):
+    queue = MessageQueue(open_region)
+    assert queue.try_send(b"")
+    assert queue.try_receive() == b""
+
+
+def test_queue_cross_view_delivery(soc, open_region):
+    """Sender and receiver use different attributions of one region."""
+    sender = MessageQueue(open_region)
+    receiver = sender.view_for(World.NORMAL, 1)
+    sender.try_send(b"hello across views")
+    assert receiver.try_receive() == b"hello across views"
+
+
+# --- SlHeap -----------------------------------------------------------------
+
+def test_heap_alloc_free_cycle():
+    heap = SlHeap(0, 1024)
+    a = heap.alloc(100)
+    b = heap.alloc(200)
+    assert a.offset % 16 == 0 and b.offset % 16 == 0
+    assert a.offset + a.size <= b.offset or b.offset + b.size <= a.offset
+    assert heap.live_allocations == 2
+    heap.free(a)
+    heap.free(b)
+    assert heap.live_allocations == 0
+    assert heap.free_bytes == 1024
+
+
+def test_heap_alignment():
+    heap = SlHeap(0, 1024)
+    heap.alloc(3)
+    b = heap.alloc(5, align=64)
+    assert b.offset % 64 == 0
+
+
+def test_heap_exhaustion():
+    heap = SlHeap(0, 256)
+    heap.alloc(200)
+    with pytest.raises(SanctuaryError, match="exhausted"):
+        heap.alloc(100)
+
+
+def test_heap_coalescing_allows_reuse():
+    heap = SlHeap(0, 300)
+    a = heap.alloc(96)
+    b = heap.alloc(96)
+    heap.free(a)
+    heap.free(b)
+    # Coalesced: a single 300-byte allocation must now fit.
+    heap.alloc(288)
+
+
+def test_heap_double_free_rejected():
+    heap = SlHeap(0, 256)
+    a = heap.alloc(32)
+    heap.free(a)
+    with pytest.raises(SanctuaryError, match="double free"):
+        heap.free(a)
+
+
+def test_heap_invalid_sizes():
+    with pytest.raises(SanctuaryError):
+        SlHeap(0, 0)
+    heap = SlHeap(0, 256)
+    with pytest.raises(SanctuaryError):
+        heap.alloc(0)
+
+
+def test_heap_respects_base_offset():
+    heap = SlHeap(4096, 512)
+    a = heap.alloc(64)
+    assert a.offset >= 4096
+
+
+@given(st.lists(st.integers(min_value=1, max_value=120), min_size=1,
+                max_size=25))
+@settings(max_examples=50, deadline=None)
+def test_heap_allocations_never_overlap(sizes):
+    heap = SlHeap(0, 8192)
+    live = []
+    for index, size in enumerate(sizes):
+        allocation = heap.alloc(size)
+        live.append(allocation)
+        if index % 3 == 2:
+            heap.free(live.pop(0))
+    spans = sorted((a.offset, a.offset + a.size) for a in live)
+    for (_, end), (start, _) in zip(spans, spans[1:]):
+        assert end <= start

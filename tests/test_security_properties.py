@@ -1,0 +1,197 @@
+"""End-to-end security properties under the paper's adversary model
+(§IV): a normal-world attacker with full OS control.
+
+Each test drives a real attack through the simulated hardware and
+asserts the architectural defense stops it — and, where the defense is
+deliberately absent (native baseline), that the attack succeeds, to show
+the tests have teeth.
+"""
+
+import numpy as np
+import pytest
+
+from repro.attacks.adversary import NormalWorldAdversary
+from repro.attacks.rollback import RollbackAttack
+from repro.baselines.native import NativeKeywordSpotter
+from repro.core.omg import KeywordSpotterApp, OmgSession
+from repro.core.parties import User, Vendor
+from repro.errors import AuthenticationError
+from repro.tflm.model import ModelMetadata
+from repro.trustzone.worlds import make_platform
+from tests.helpers import build_tiny_int8_model
+
+KEY_BITS = 768
+
+
+@pytest.fixture()
+def deployed(platform, pretrained_model):
+    vendor = Vendor("ml-vendor", pretrained_model, key_bits=KEY_BITS)
+    session = OmgSession(platform, vendor, User(), KeywordSpotterApp())
+    session.prepare()
+    session.initialize()
+    return session, NormalWorldAdversary(platform)
+
+
+# --- P1: enclave memory is two-way isolated ---------------------------------
+
+def test_p1_memory_probe_fails(deployed):
+    session, adversary = deployed
+    outcome = adversary.probe_memory(session.instance.region)
+    assert not outcome.succeeded, outcome.detail
+
+
+def test_p1_memory_corruption_fails(deployed):
+    session, adversary = deployed
+    outcome = adversary.corrupt_memory(session.instance.region)
+    assert not outcome.succeeded
+    # And the enclave still works afterwards.
+    from repro.audio.speech_commands import SyntheticSpeechCommands
+
+    clip = SyntheticSpeechCommands().render("yes", 0)
+    assert session.recognize_clip(clip.samples).label
+
+
+def test_p1_dma_attack_fails(deployed):
+    session, adversary = deployed
+    outcome = adversary.dma_attack(session.instance.region)
+    assert not outcome.succeeded
+
+
+def test_p1_secure_shm_also_protected(deployed):
+    session, adversary = deployed
+    outcome = adversary.probe_memory(session.instance.secure_shm_region)
+    assert not outcome.succeeded
+
+
+# --- P2: model plaintext never reaches attacker-visible storage ---------------
+
+def test_p2_flash_holds_only_ciphertext(deployed):
+    _, adversary = deployed
+    outcome = adversary.search_flash_for_model()
+    assert not outcome.succeeded, outcome.detail
+
+
+def test_p2_flash_image_has_no_weight_bytes(deployed):
+    session, adversary = deployed
+    image = adversary.image_flash()
+    model_bytes = session.vendor.model_bytes
+    # No 32-byte window of the plaintext model appears on flash.
+    for offset in range(0, len(model_bytes) - 32, 4096):
+        assert model_bytes[offset:offset + 32] not in image
+
+
+def test_p2_native_baseline_leaks_model(platform, pretrained_model):
+    """Contrast: without OMG the model is trivially stolen from flash."""
+    NativeKeywordSpotter(platform, pretrained_model)
+    adversary = NormalWorldAdversary(platform)
+    outcome = adversary.search_flash_for_model()
+    assert outcome.succeeded
+
+
+# --- P3: code tampering is caught by attestation ---------------------------
+
+def test_p3_tampered_enclave_fails_attestation(platform, pretrained_model):
+    from repro.errors import AttestationError
+    from repro.sanctuary.lifecycle import SanctuaryRuntime
+
+    vendor = Vendor("ml-vendor", pretrained_model, key_bits=KEY_BITS)
+    app = KeywordSpotterApp()
+    runtime = SanctuaryRuntime(platform)
+    instance = runtime.launch(
+        app, pre_lock_hook=NormalWorldAdversary.code_tamper_hook())
+    expected = SanctuaryRuntime.expected_measurement(app)
+    with pytest.raises(AttestationError):
+        vendor.accept_attestation(instance.report, expected,
+                                  platform.manufacturer_root.public_key)
+    # The vendor never provisions, so no ciphertext (let alone a key)
+    # ever reaches the tampered enclave.
+    assert vendor.provisioned_count == 0
+
+
+# --- P4: license withholding and rollback protection -------------------------
+
+def test_p4_rollback_attack_fails(deployed):
+    session, _ = deployed
+    attack = RollbackAttack(session)
+    model_name = session.vendor._model.metadata.name
+    _, old_blob = attack.capture_current_artifact(model_name, 1)
+
+    new_model = build_tiny_int8_model()
+    new_model.metadata = ModelMetadata(name=model_name, version=2,
+                                       labels=new_model.metadata.labels)
+    session.vendor.update_model(new_model)
+    session.vendor.accept_attestation(
+        session.instance.report,
+        type(session.runtime).expected_measurement(session.app),
+        session.platform.manufacturer_root.public_key)
+    session.vendor.provision_model(session.instance.instance_name)
+
+    outcome = attack.replay(old_blob, new_version=2, model_name=model_name)
+    assert not outcome.succeeded, outcome.detail
+
+
+def test_p4_tampered_ciphertext_rejected(deployed):
+    session, adversary = deployed
+    path = [p for p in session.platform.soc.flash.paths()
+            if p.startswith("omg/")][0]
+    adversary.tamper_flash(path, flip_offset=100)
+    wrapped = session.vendor.release_key(session.instance.instance_name,
+                                         session.clock.now_ms)
+    with pytest.raises(AuthenticationError):
+        session.app.unlock_model(session.ctx, wrapped,
+                                 session.vendor._model.metadata.name)
+
+
+# --- P5: teardown leaves no residue ---------------------------------------
+
+def test_p5_teardown_scrubs_all_enclave_memory(deployed):
+    session, adversary = deployed
+    region = session.instance.region
+    session.teardown()
+    outcome = adversary.scan_for_residue(region)
+    assert not outcome.succeeded, outcome.detail
+
+
+def test_p5_teardown_invalidates_l1(deployed):
+    session, _ = deployed
+    core_id = session.instance.core_id
+    caches = session.platform.soc.caches
+    caches.l1[core_id].access(session.instance.region.base)
+    session.teardown()
+    assert caches.l1[core_id].resident_lines() == 0
+
+
+# --- P6: microphone path is secure-world-only -------------------------------
+
+def test_p6_mic_snoop_fails_after_secure_assignment(deployed, platform):
+    session, adversary = deployed
+    from repro.audio.speech_commands import SyntheticSpeechCommands
+
+    clip = SyntheticSpeechCommands().render("no", 1)
+    session.recognize_via_microphone(clip.samples)
+    outcome = adversary.snoop_microphone()
+    assert not outcome.succeeded
+
+
+def test_p6_mic_snoop_succeeds_without_protection(platform):
+    """Contrast: before TZPC assignment the mic is normal-world-open."""
+    from repro.audio.speech_commands import PlaybackSource
+
+    source = PlaybackSource()
+    source.queue_clip(np.ones(1600, dtype=np.int16))
+    platform.soc.microphone.attach_source(source)
+    adversary = NormalWorldAdversary(platform)
+    outcome = adversary.snoop_microphone()
+    assert outcome.succeeded
+
+
+def test_p6_audio_never_in_os_accessible_memory(deployed):
+    """During the trusted-input path, raw PCM exists only in the
+    enclave-bound shared region."""
+    session, adversary = deployed
+    from repro.audio.speech_commands import SyntheticSpeechCommands
+
+    clip = SyntheticSpeechCommands().render("right", 2)
+    session.recognize_via_microphone(clip.samples)
+    outcome = adversary.probe_memory(session.instance.secure_shm_region)
+    assert not outcome.succeeded

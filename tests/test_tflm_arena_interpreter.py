@@ -1,0 +1,183 @@
+"""Arena planning and the interpreter execution loop."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InterpreterError
+from repro.hw.timing import DEFAULT_PROFILE, VirtualClock
+from repro.tflm.arena import plan_arena
+from repro.tflm.interpreter import Interpreter
+from repro.tflm.model import Model, ModelMetadata
+from repro.tflm.ops.reshape import Reshape
+from repro.tflm.tensor import TensorSpec
+from tests.helpers import build_float_mlp, build_tiny_int8_model
+
+
+def chain_model(num_stages=5, size=64):
+    """x -> r1 -> r2 -> ... linear chain of reshapes."""
+    model = Model(metadata=ModelMetadata(name="chain"))
+    model.add_tensor(TensorSpec("x", (size,), "float32"))
+    previous = "x"
+    for index in range(num_stages):
+        name = f"r{index}"
+        model.add_tensor(TensorSpec(name, (size,), "float32"))
+        model.add_operator(Reshape([previous], [name]))
+        previous = name
+    model.inputs = ["x"]
+    model.outputs = [previous]
+    model.validate()
+    return model
+
+
+# --- arena planner ----------------------------------------------------------
+
+def test_plan_covers_all_activation_tensors():
+    model = build_tiny_int8_model()
+    plan = plan_arena(model)
+    activation_names = set(model.tensors) - set(model.constants)
+    assert set(plan.offsets) == activation_names
+    assert plan.arena_bytes > 0
+
+
+def test_live_tensors_never_overlap():
+    model = build_tiny_int8_model()
+    plan = plan_arena(model)
+    # conv_out and logits are simultaneously live (logits is produced
+    # from conv_out), so they must not share bytes.
+    conv = plan.offsets["conv_out"]
+    logits = plan.offsets["logits"]
+    conv_size = model.tensors["conv_out"].num_bytes
+    logits_size = model.tensors["logits"].num_bytes
+    assert conv + conv_size <= logits or logits + logits_size <= conv
+
+
+def test_dead_tensors_can_share_memory():
+    """In a long chain, non-adjacent tensors reuse arena space."""
+    model = chain_model(num_stages=6, size=1024)
+    plan = plan_arena(model)
+    total = sum(model.tensors[name].num_bytes for name in plan.offsets)
+    assert plan.arena_bytes < total  # reuse happened
+
+
+def test_offsets_aligned():
+    plan = plan_arena(build_tiny_int8_model())
+    assert all(offset % 16 == 0 for offset in plan.offsets.values())
+
+
+# --- interpreter --------------------------------------------------------------
+
+def test_interpreter_requires_inputs():
+    interpreter = Interpreter(build_tiny_int8_model())
+    with pytest.raises(InterpreterError, match="inputs not set"):
+        interpreter.invoke()
+
+
+def test_interpreter_rejects_wrong_input_name_and_shape():
+    interpreter = Interpreter(build_tiny_int8_model())
+    with pytest.raises(InterpreterError):
+        interpreter.set_input("nope", np.zeros((1,), dtype=np.int8))
+    from repro.errors import ModelFormatError
+
+    with pytest.raises(ModelFormatError):
+        interpreter.set_input("input", np.zeros((1, 2, 2, 1), dtype=np.int8))
+
+
+def test_interpreter_output_gating():
+    interpreter = Interpreter(build_tiny_int8_model())
+    with pytest.raises(InterpreterError):
+        interpreter.get_output("probs")
+    interpreter.set_input("input",
+                          np.zeros((1, 8, 6, 1), dtype=np.int8))
+    interpreter.invoke()
+    probs = interpreter.get_output("probs")
+    assert probs.shape == (1, 4)
+    with pytest.raises(InterpreterError):
+        interpreter.get_output("conv_out")
+
+
+def test_interpreter_arena_limit():
+    model = build_tiny_int8_model()
+    needed = plan_arena(model).arena_bytes
+    Interpreter(model, arena_limit_bytes=needed)
+    with pytest.raises(InterpreterError, match="arena"):
+        Interpreter(model, arena_limit_bytes=needed - 1)
+
+
+def test_classify_convenience():
+    interpreter = Interpreter(build_tiny_int8_model())
+    x = np.random.default_rng(1).integers(-128, 127, size=(1, 8, 6, 1),
+                                          dtype=np.int8)
+    index, scores = interpreter.classify(x)
+    assert 0 <= index < 4
+    assert scores.shape == (4,)
+    assert index == int(np.argmax(scores))
+
+
+def test_classify_is_deterministic():
+    interpreter = Interpreter(build_tiny_int8_model())
+    x = np.full((1, 8, 6, 1), 3, dtype=np.int8)
+    first = interpreter.classify(x)
+    second = interpreter.classify(x)
+    assert first[0] == second[0]
+    assert np.array_equal(first[1], second[1])
+    assert interpreter.total_invokes == 2
+
+
+def test_invoke_stats_accounting():
+    interpreter = Interpreter(build_tiny_int8_model())
+    interpreter.set_input("input", np.zeros((1, 8, 6, 1), dtype=np.int8))
+    stats = interpreter.invoke()
+    assert stats.ops == 3
+    assert stats.macs == interpreter.model.total_macs()
+    assert stats.cycles > 0
+
+
+def test_timing_charges_attached_clock():
+    clock = VirtualClock()
+    interpreter = Interpreter(build_tiny_int8_model())
+    interpreter.attach_timing(clock, 2.4e9)
+    interpreter.set_input("input", np.zeros((1, 8, 6, 1), dtype=np.int8))
+    stats = interpreter.invoke()
+    assert clock.now_ms == pytest.approx(stats.simulated_ms)
+    assert stats.simulated_ms > 0
+
+
+def test_l2_exclusion_penalty_applied():
+    base = Interpreter(build_tiny_int8_model())
+    base.attach_timing(VirtualClock(), 2.4e9, l2_excluded=False)
+    excluded = Interpreter(build_tiny_int8_model())
+    excluded.attach_timing(VirtualClock(), 2.4e9, l2_excluded=True)
+    ratio = excluded.estimate_cycles() / base.estimate_cycles()
+    # estimate_cycles truncates to whole cycles; tolerance covers that.
+    assert ratio == pytest.approx(1 + DEFAULT_PROFILE.l2_exclusion_penalty,
+                                  rel=1e-4)
+
+
+def test_estimate_matches_invoke():
+    interpreter = Interpreter(build_tiny_int8_model())
+    interpreter.attach_timing(VirtualClock(), 1e9)
+    interpreter.set_input("input", np.zeros((1, 8, 6, 1), dtype=np.int8))
+    stats = interpreter.invoke()
+    assert stats.cycles == pytest.approx(interpreter.estimate_cycles(),
+                                         rel=1e-9)
+
+
+def test_attach_timing_rejects_bad_frequency():
+    interpreter = Interpreter(build_tiny_int8_model())
+    with pytest.raises(InterpreterError):
+        interpreter.attach_timing(VirtualClock(), 0)
+
+
+def test_float_model_executes():
+    interpreter = Interpreter(build_float_mlp())
+    index, scores = interpreter.classify(
+        np.ones((1, 10), dtype=np.float32))
+    assert scores.sum() == pytest.approx(1.0, abs=1e-5)
+
+
+def test_classify_requires_single_io():
+    model = build_float_mlp()
+    model.outputs = ["logits", "probs"]
+    interpreter = Interpreter(model)
+    with pytest.raises(InterpreterError):
+        interpreter.classify(np.ones((1, 10), dtype=np.float32))

@@ -1,0 +1,401 @@
+"""Reference kernels: float correctness vs naive implementations, int8
+consistency with the dequantized computation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InterpreterError
+from repro.tflm.ops.activations import Relu, Relu6
+from repro.tflm.ops.conv import Conv2D, DepthwiseConv2D, conv_output_size, same_padding
+from repro.tflm.ops.fully_connected import FullyConnected
+from repro.tflm.ops.pooling import AveragePool2D, MaxPool2D
+from repro.tflm.ops.reshape import Dequantize, Quantize, Reshape
+from repro.tflm.ops.softmax import Softmax
+from repro.tflm.quantize import choose_activation_qparams, choose_weight_qparams
+from repro.tflm.tensor import QuantParams, TensorSpec
+
+RNG = np.random.default_rng(42)
+
+
+def naive_conv2d(x, w, b, stride, padding):
+    """Straightforward loop conv for cross-checking (NHWC / OHWI)."""
+    _, h, wd, c = x.shape
+    oc, kh, kw, _ = w.shape
+    sh, sw = stride
+    if padding == "same":
+        pt, pb = same_padding(h, kh, sh)
+        pl, pr = same_padding(wd, kw, sw)
+        x = np.pad(x, ((0, 0), (pt, pb), (pl, pr), (0, 0)))
+    oh = (x.shape[1] - kh) // sh + 1
+    ow = (x.shape[2] - kw) // sw + 1
+    out = np.zeros((1, oh, ow, oc))
+    for i in range(oh):
+        for j in range(ow):
+            patch = x[0, i * sh:i * sh + kh, j * sw:j * sw + kw, :]
+            for o in range(oc):
+                out[0, i, j, o] = (patch * w[o].transpose(0, 1, 2)).sum() + b[o]
+    return out
+
+
+# --- geometry helpers -----------------------------------------------------
+
+def test_conv_output_size():
+    assert conv_output_size(49, 8, 2, "same") == 25
+    assert conv_output_size(43, 10, 2, "same") == 22
+    assert conv_output_size(10, 3, 1, "valid") == 8
+    with pytest.raises(InterpreterError):
+        conv_output_size(10, 3, 1, "weird")
+
+
+def test_same_padding_split():
+    before, after = same_padding(49, 8, 2)
+    assert before + after == max((25 - 1) * 2 + 8 - 49, 0)
+    assert after - before in (0, 1)
+
+
+# --- float conv -------------------------------------------------------------
+
+def float_conv_setup(h=9, w=7, c=2, oc=3, kh=3, kw=4, stride=(2, 2),
+                     padding="same"):
+    specs = {
+        "x": TensorSpec("x", (1, h, w, c), "float32"),
+        "w": TensorSpec("w", (oc, kh, kw, c), "float32"),
+        "b": TensorSpec("b", (oc,), "float32"),
+    }
+    oh = conv_output_size(h, kh, stride[0], padding)
+    ow = conv_output_size(w, kw, stride[1], padding)
+    specs["y"] = TensorSpec("y", (1, oh, ow, oc), "float32")
+    tensors = {
+        "x": RNG.normal(size=(1, h, w, c)).astype(np.float32),
+        "w": RNG.normal(size=(oc, kh, kw, c)).astype(np.float32),
+        "b": RNG.normal(size=oc).astype(np.float32),
+    }
+    return specs, tensors
+
+
+@pytest.mark.parametrize("padding", ["same", "valid"])
+@pytest.mark.parametrize("stride", [(1, 1), (2, 2), (2, 1)])
+def test_conv2d_float_matches_naive(padding, stride):
+    specs, tensors = float_conv_setup(stride=stride, padding=padding)
+    oh = conv_output_size(9, 3, stride[0], padding)
+    ow = conv_output_size(7, 4, stride[1], padding)
+    specs["y"] = TensorSpec("y", (1, oh, ow, 3), "float32")
+    op = Conv2D(["x", "w", "b"], ["y"], {"stride": stride,
+                                         "padding": padding})
+    op.validate(specs)
+    op.run(tensors, specs)
+    expected = naive_conv2d(tensors["x"].astype(np.float64),
+                            tensors["w"].astype(np.float64),
+                            tensors["b"].astype(np.float64),
+                            stride, padding)
+    assert np.allclose(tensors["y"], expected, atol=1e-4)
+
+
+def test_conv2d_fused_relu():
+    specs, tensors = float_conv_setup()
+    op = Conv2D(["x", "w", "b"], ["y"], {"stride": (2, 2), "padding": "same",
+                                         "activation": "relu"})
+    op.run(tensors, specs)
+    assert tensors["y"].min() >= 0.0
+
+
+def test_conv2d_validates_shapes():
+    specs, tensors = float_conv_setup()
+    specs["y"] = TensorSpec("y", (1, 9, 9, 3), "float32")
+    op = Conv2D(["x", "w", "b"], ["y"], {"stride": (2, 2), "padding": "same"})
+    with pytest.raises(InterpreterError):
+        op.validate(specs)
+
+
+def test_conv2d_channel_mismatch():
+    specs, tensors = float_conv_setup()
+    specs["w"] = TensorSpec("w", (3, 3, 4, 5), "float32")
+    op = Conv2D(["x", "w", "b"], ["y"], {"stride": (2, 2), "padding": "same"})
+    with pytest.raises(InterpreterError, match="channels"):
+        op.validate(specs)
+
+
+def test_conv2d_cost_counts_macs():
+    specs, _ = float_conv_setup()
+    op = Conv2D(["x", "w", "b"], ["y"], {"stride": (2, 2), "padding": "same"})
+    cost = op.cost(specs)
+    oh, ow = specs["y"].shape[1:3]
+    assert cost.macs == oh * ow * 3 * 3 * 4 * 2
+
+
+# --- int8 conv ---------------------------------------------------------------
+
+def int8_conv_setup():
+    x_real = RNG.uniform(0, 1, size=(1, 9, 7, 1))
+    w_real = RNG.normal(0, 0.3, size=(4, 3, 3, 1))
+    b_real = RNG.normal(0, 0.1, size=4)
+    x_q = QuantParams(1 / 255.0, -128)
+    w_q = choose_weight_qparams(w_real)
+    out_q = choose_activation_qparams(-2.0, 2.0)
+    bias_scale = x_q.scale * w_q.scale
+    specs = {
+        "x": TensorSpec("x", (1, 9, 7, 1), "int8", x_q),
+        "w": TensorSpec("w", (4, 3, 3, 1), "int8", w_q),
+        "b": TensorSpec("b", (4,), "int32", QuantParams(bias_scale, 0)),
+        "y": TensorSpec("y", (1, 5, 4, 4), "int8", out_q),
+    }
+    tensors = {
+        "x": x_q.quantize(x_real),
+        "w": w_q.quantize(w_real),
+        "b": np.round(b_real / bias_scale).astype(np.int32),
+    }
+    return specs, tensors, (x_real, w_real, b_real, out_q)
+
+
+def test_conv2d_int8_close_to_float():
+    specs, tensors, (x_real, w_real, b_real, out_q) = int8_conv_setup()
+    op = Conv2D(["x", "w", "b"], ["y"], {"stride": (2, 2), "padding": "same"})
+    op.validate(specs)
+    op.run(tensors, specs)
+    result_real = out_q.dequantize(tensors["y"])
+    expected = naive_conv2d(x_real, w_real, b_real, (2, 2), "same")
+    assert np.abs(result_real - expected).max() < 6 * out_q.scale
+
+
+def test_conv2d_int8_fused_relu_clamps_at_zero_point():
+    specs, tensors, (_, _, _, out_q) = int8_conv_setup()
+    op = Conv2D(["x", "w", "b"], ["y"],
+                {"stride": (2, 2), "padding": "same", "activation": "relu"})
+    op.run(tensors, specs)
+    assert tensors["y"].min() >= out_q.zero_point
+
+
+def test_conv2d_int8_zero_point_padding():
+    """SAME padding must pad with the input zero point, not with 0."""
+    specs, tensors, (x_real, w_real, b_real, out_q) = int8_conv_setup()
+    op = Conv2D(["x", "w", "b"], ["y"], {"stride": (2, 2), "padding": "same"})
+    op.run(tensors, specs)
+    # Border output depends on correct padding; compare to float conv
+    # which pads with real 0.0 == dequantized zero_point.
+    corner_real = out_q.dequantize(tensors["y"])[0, 0, 0, :]
+    expected = naive_conv2d(x_real, w_real, b_real, (2, 2), "same")[0, 0, 0, :]
+    assert np.abs(corner_real - expected).max() < 6 * out_q.scale
+
+
+# --- depthwise conv -----------------------------------------------------------
+
+def test_depthwise_float_matches_manual():
+    x = RNG.normal(size=(1, 6, 6, 3)).astype(np.float32)
+    w = RNG.normal(size=(1, 3, 3, 3)).astype(np.float32)
+    specs = {
+        "x": TensorSpec("x", (1, 6, 6, 3), "float32"),
+        "w": TensorSpec("w", (1, 3, 3, 3), "float32"),
+        "y": TensorSpec("y", (1, 6, 6, 3), "float32"),
+    }
+    tensors = {"x": x, "w": w}
+    op = DepthwiseConv2D(["x", "w"], ["y"], {"stride": (1, 1),
+                                             "padding": "same"})
+    op.validate(specs)
+    op.run(tensors, specs)
+    # Manual check at an interior point.
+    i, j = 3, 3
+    patch = x[0, i - 1:i + 2, j - 1:j + 2, :]
+    expected = (patch * w[0]).sum(axis=(0, 1))
+    assert np.allclose(tensors["y"][0, i, j, :], expected, atol=1e-5)
+
+
+def test_depthwise_channel_mismatch():
+    specs = {
+        "x": TensorSpec("x", (1, 6, 6, 3), "float32"),
+        "w": TensorSpec("w", (1, 3, 3, 4), "float32"),
+        "y": TensorSpec("y", (1, 6, 6, 4), "float32"),
+    }
+    op = DepthwiseConv2D(["x", "w"], ["y"], {"stride": (1, 1),
+                                             "padding": "same"})
+    with pytest.raises(InterpreterError):
+        op.validate(specs)
+
+
+# --- fully connected ----------------------------------------------------------
+
+def test_fully_connected_float():
+    x = RNG.normal(size=(1, 2, 3, 1)).astype(np.float32)
+    w = RNG.normal(size=(4, 6)).astype(np.float32)
+    b = RNG.normal(size=4).astype(np.float32)
+    specs = {
+        "x": TensorSpec("x", (1, 2, 3, 1), "float32"),
+        "w": TensorSpec("w", (4, 6), "float32"),
+        "b": TensorSpec("b", (4,), "float32"),
+        "y": TensorSpec("y", (1, 4), "float32"),
+    }
+    tensors = {"x": x, "w": w, "b": b}
+    op = FullyConnected(["x", "w", "b"], ["y"], {})
+    op.validate(specs)
+    op.run(tensors, specs)
+    assert np.allclose(tensors["y"], x.reshape(1, -1) @ w.T + b, atol=1e-5)
+
+
+def test_fully_connected_int8_close_to_float():
+    x_real = RNG.uniform(-1, 1, size=(1, 8))
+    w_real = RNG.normal(0, 0.4, size=(3, 8))
+    x_q = choose_activation_qparams(-1, 1)
+    w_q = choose_weight_qparams(w_real)
+    out_q = choose_activation_qparams(-4, 4)
+    specs = {
+        "x": TensorSpec("x", (1, 8), "int8", x_q),
+        "w": TensorSpec("w", (3, 8), "int8", w_q),
+        "y": TensorSpec("y", (1, 3), "int8", out_q),
+    }
+    tensors = {"x": x_q.quantize(x_real), "w": w_q.quantize(w_real)}
+    op = FullyConnected(["x", "w"], ["y"], {})
+    op.validate(specs)
+    op.run(tensors, specs)
+    result = out_q.dequantize(tensors["y"])
+    expected = x_real @ w_real.T
+    assert np.abs(result - expected).max() < 6 * out_q.scale
+
+
+def test_fully_connected_validates_element_count():
+    specs = {
+        "x": TensorSpec("x", (1, 7), "float32"),
+        "w": TensorSpec("w", (3, 8), "float32"),
+        "y": TensorSpec("y", (1, 3), "float32"),
+    }
+    op = FullyConnected(["x", "w"], ["y"], {})
+    with pytest.raises(InterpreterError):
+        op.validate(specs)
+
+
+# --- activations ---------------------------------------------------------------
+
+def test_relu_float_and_int8():
+    specs_f = {"x": TensorSpec("x", (4,), "float32"),
+               "y": TensorSpec("y", (4,), "float32")}
+    tensors = {"x": np.array([-1.0, 0.0, 2.0, -0.1], dtype=np.float32)}
+    Relu(["x"], ["y"]).run(tensors, specs_f)
+    assert tensors["y"].tolist() == [0.0, 0.0, 2.0, 0.0]
+
+    quant = QuantParams(0.1, -20)
+    specs_q = {"x": TensorSpec("x", (3,), "int8", quant),
+               "y": TensorSpec("y", (3,), "int8", quant)}
+    tensors_q = {"x": np.array([-50, -20, 30], dtype=np.int8)}
+    Relu(["x"], ["y"]).run(tensors_q, specs_q)
+    # real 0.0 corresponds to q = -20
+    assert tensors_q["y"].tolist() == [-20, -20, 30]
+
+
+def test_relu6_clamps_upper():
+    quant = QuantParams(0.1, -128)
+    specs = {"x": TensorSpec("x", (3,), "int8", quant),
+             "y": TensorSpec("y", (3,), "int8", quant)}
+    tensors = {"x": np.array([-128, -60, 127], dtype=np.int8)}
+    Relu6(["x"], ["y"]).run(tensors, specs)
+    # real 6.0 -> q = 6/0.1 - 128 = -68
+    assert tensors["y"].tolist() == [-128, -68, -68]
+
+
+def test_relu_spec_mismatch_rejected():
+    specs = {"x": TensorSpec("x", (4,), "float32"),
+             "y": TensorSpec("y", (3,), "float32")}
+    with pytest.raises(InterpreterError):
+        Relu(["x"], ["y"]).validate(specs)
+
+
+# --- softmax -------------------------------------------------------------
+
+def test_softmax_float_sums_to_one():
+    specs = {"x": TensorSpec("x", (1, 5), "float32"),
+             "y": TensorSpec("y", (1, 5), "float32")}
+    tensors = {"x": np.array([[1.0, 2.0, 3.0, 4.0, 100.0]],
+                             dtype=np.float32)}
+    Softmax(["x"], ["y"]).run(tensors, specs)
+    assert tensors["y"].sum() == pytest.approx(1.0)
+    assert tensors["y"].argmax() == 4
+
+
+def test_softmax_int8_output_convention():
+    logits_q = QuantParams(0.2, 0)
+    out_q = QuantParams(1 / 256.0, -128)
+    specs = {"x": TensorSpec("x", (1, 3), "int8", logits_q),
+             "y": TensorSpec("y", (1, 3), "int8", out_q)}
+    op = Softmax(["x"], ["y"])
+    op.validate(specs)
+    tensors = {"x": np.array([[0, 10, 20]], dtype=np.int8)}
+    op.run(tensors, specs)
+    probs = out_q.dequantize(tensors["y"])
+    assert probs.sum() == pytest.approx(1.0, abs=0.02)
+    assert tensors["y"][0].argmax() == 2
+
+
+def test_softmax_rejects_nonstandard_int8_output():
+    specs = {"x": TensorSpec("x", (1, 3), "int8", QuantParams(0.2, 0)),
+             "y": TensorSpec("y", (1, 3), "int8", QuantParams(0.2, 0))}
+    with pytest.raises(InterpreterError):
+        Softmax(["x"], ["y"]).validate(specs)
+
+
+# --- pooling --------------------------------------------------------------
+
+def test_max_pool_float():
+    x = np.arange(16, dtype=np.float32).reshape(1, 4, 4, 1)
+    specs = {"x": TensorSpec("x", (1, 4, 4, 1), "float32"),
+             "y": TensorSpec("y", (1, 2, 2, 1), "float32")}
+    tensors = {"x": x}
+    op = MaxPool2D(["x"], ["y"], {"filter": (2, 2), "stride": (2, 2),
+                                  "padding": "valid"})
+    op.validate(specs)
+    op.run(tensors, specs)
+    assert tensors["y"].reshape(-1).tolist() == [5, 7, 13, 15]
+
+
+def test_avg_pool_int8_rounds():
+    quant = QuantParams(1.0, 0)
+    x = np.array([[1, 2], [3, 5]], dtype=np.int8).reshape(1, 2, 2, 1)
+    specs = {"x": TensorSpec("x", (1, 2, 2, 1), "int8", quant),
+             "y": TensorSpec("y", (1, 1, 1, 1), "int8", quant)}
+    tensors = {"x": x}
+    op = AveragePool2D(["x"], ["y"], {"filter": (2, 2), "stride": (2, 2),
+                                      "padding": "valid"})
+    op.run(tensors, specs)
+    assert tensors["y"].reshape(-1).tolist() == [3]  # 2.75 -> 3
+
+
+def test_pool_shape_validation():
+    specs = {"x": TensorSpec("x", (1, 4, 4, 1), "float32"),
+             "y": TensorSpec("y", (1, 3, 3, 1), "float32")}
+    op = MaxPool2D(["x"], ["y"], {"filter": (2, 2), "stride": (2, 2),
+                                  "padding": "valid"})
+    with pytest.raises(InterpreterError):
+        op.validate(specs)
+
+
+# --- reshape / casts ---------------------------------------------------------
+
+def test_reshape_preserves_data():
+    specs = {"x": TensorSpec("x", (2, 6), "float32"),
+             "y": TensorSpec("y", (3, 4), "float32")}
+    x = np.arange(12, dtype=np.float32).reshape(2, 6)
+    tensors = {"x": x}
+    op = Reshape(["x"], ["y"])
+    op.validate(specs)
+    op.run(tensors, specs)
+    assert np.array_equal(tensors["y"].reshape(-1), x.reshape(-1))
+
+
+def test_reshape_rejects_element_mismatch():
+    specs = {"x": TensorSpec("x", (2, 6), "float32"),
+             "y": TensorSpec("y", (5,), "float32")}
+    with pytest.raises(InterpreterError):
+        Reshape(["x"], ["y"]).validate(specs)
+
+
+def test_quantize_dequantize_cycle():
+    quant = QuantParams(0.05, 3)
+    specs = {"f": TensorSpec("f", (4,), "float32"),
+             "q": TensorSpec("q", (4,), "int8", quant),
+             "f2": TensorSpec("f2", (4,), "float32")}
+    tensors = {"f": np.array([-0.3, 0.0, 0.2, 1.0], dtype=np.float32)}
+    Quantize(["f"], ["q"]).run(tensors, specs)
+    Dequantize(["q"], ["f2"]).run(tensors, specs)
+    assert np.abs(tensors["f2"] - tensors["f"]).max() <= 0.5 * quant.scale
+
+
+def test_unknown_tensor_name_rejected():
+    specs = {"x": TensorSpec("x", (4,), "float32")}
+    with pytest.raises(InterpreterError):
+        Relu(["missing"], ["x"]).validate(specs)

@@ -1,0 +1,268 @@
+"""Extended operator set: elementwise, LUT activations, pad, mean."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InterpreterError
+from repro.tflm.ops.elementwise import Add, Concatenate, Mul
+from repro.tflm.ops.lut import (
+    LOGISTIC_OUTPUT_QUANT,
+    TANH_OUTPUT_QUANT,
+    Logistic,
+    Mean,
+    Pad,
+    Tanh,
+)
+from repro.tflm.tensor import QuantParams, TensorSpec
+
+RNG = np.random.default_rng(21)
+
+
+def float_specs(*names, shape=(2, 3)):
+    return {name: TensorSpec(name, shape, "float32") for name in names}
+
+
+# --- Add / Mul -------------------------------------------------------------
+
+def test_add_float():
+    specs = float_specs("a", "b", "y")
+    tensors = {"a": np.ones((2, 3), dtype=np.float32),
+               "b": np.full((2, 3), 2.0, dtype=np.float32)}
+    Add(["a", "b"], ["y"]).run(tensors, specs)
+    assert np.all(tensors["y"] == 3.0)
+
+
+def test_add_fused_relu():
+    specs = float_specs("a", "b", "y")
+    tensors = {"a": np.full((2, 3), -5.0, dtype=np.float32),
+               "b": np.ones((2, 3), dtype=np.float32)}
+    Add(["a", "b"], ["y"], {"activation": "relu"}).run(tensors, specs)
+    assert np.all(tensors["y"] == 0.0)
+
+
+def test_add_int8_rescales_operands():
+    qa = QuantParams(0.1, 0)
+    qb = QuantParams(0.05, 10)
+    qy = QuantParams(0.2, -5)
+    specs = {"a": TensorSpec("a", (4,), "int8", qa),
+             "b": TensorSpec("b", (4,), "int8", qb),
+             "y": TensorSpec("y", (4,), "int8", qy)}
+    a_real = np.array([1.0, -0.5, 0.0, 2.0])
+    b_real = np.array([0.5, 0.5, -1.0, 1.0])
+    tensors = {"a": qa.quantize(a_real), "b": qb.quantize(b_real)}
+    op = Add(["a", "b"], ["y"])
+    op.validate(specs)
+    op.run(tensors, specs)
+    result = qy.dequantize(tensors["y"])
+    assert np.abs(result - (a_real + b_real)).max() < 0.25
+
+
+def test_mul_float_and_int8():
+    specs = float_specs("a", "b", "y")
+    tensors = {"a": np.full((2, 3), 3.0, dtype=np.float32),
+               "b": np.full((2, 3), -2.0, dtype=np.float32)}
+    Mul(["a", "b"], ["y"]).run(tensors, specs)
+    assert np.all(tensors["y"] == -6.0)
+
+    quant = QuantParams(0.05, 0)
+    qy = QuantParams(0.05, 0)
+    specs_q = {"a": TensorSpec("a", (3,), "int8", quant),
+               "b": TensorSpec("b", (3,), "int8", quant),
+               "y": TensorSpec("y", (3,), "int8", qy)}
+    a_real = np.array([1.0, -1.0, 0.5])
+    b_real = np.array([2.0, 2.0, 2.0])
+    tensors_q = {"a": quant.quantize(a_real), "b": quant.quantize(b_real)}
+    Mul(["a", "b"], ["y"]).run(tensors_q, specs_q)
+    result = qy.dequantize(tensors_q["y"])
+    assert np.abs(result - a_real * b_real).max() < 0.2
+
+
+def test_binary_shape_mismatch_rejected():
+    specs = {"a": TensorSpec("a", (2, 3), "float32"),
+             "b": TensorSpec("b", (3, 2), "float32"),
+             "y": TensorSpec("y", (2, 3), "float32")}
+    with pytest.raises(InterpreterError):
+        Add(["a", "b"], ["y"]).validate(specs)
+
+
+def test_binary_dtype_mismatch_rejected():
+    specs = {"a": TensorSpec("a", (2,), "float32"),
+             "b": TensorSpec("b", (2,), "int8", QuantParams(1.0, 0)),
+             "y": TensorSpec("y", (2,), "float32")}
+    with pytest.raises(InterpreterError):
+        Mul(["a", "b"], ["y"]).validate(specs)
+
+
+# --- Concatenate ------------------------------------------------------------
+
+def test_concatenate_last_axis():
+    specs = {"a": TensorSpec("a", (2, 2), "float32"),
+             "b": TensorSpec("b", (2, 3), "float32"),
+             "y": TensorSpec("y", (2, 5), "float32")}
+    tensors = {"a": np.zeros((2, 2), dtype=np.float32),
+               "b": np.ones((2, 3), dtype=np.float32)}
+    op = Concatenate(["a", "b"], ["y"], {"axis": -1})
+    op.validate(specs)
+    op.run(tensors, specs)
+    assert tensors["y"].shape == (2, 5)
+    assert np.all(tensors["y"][:, 2:] == 1.0)
+
+
+def test_concatenate_requantizes_mismatched_int8():
+    qa = QuantParams(0.1, 0)
+    qb = QuantParams(0.2, 5)
+    specs = {"a": TensorSpec("a", (2,), "int8", qa),
+             "b": TensorSpec("b", (2,), "int8", qb),
+             "y": TensorSpec("y", (4,), "int8", qa)}
+    a_real = np.array([1.0, -1.0])
+    b_real = np.array([2.0, 0.4])
+    tensors = {"a": qa.quantize(a_real), "b": qb.quantize(b_real)}
+    Concatenate(["a", "b"], ["y"], {"axis": 0}).run(tensors, specs)
+    result = qa.dequantize(tensors["y"])
+    assert np.abs(result - np.concatenate([a_real, b_real])).max() < 0.15
+
+
+def test_concatenate_dimension_checks():
+    specs = {"a": TensorSpec("a", (2, 2), "float32"),
+             "b": TensorSpec("b", (3, 2), "float32"),
+             "y": TensorSpec("y", (2, 4), "float32")}
+    with pytest.raises(InterpreterError):
+        Concatenate(["a", "b"], ["y"], {"axis": 1}).validate(specs)
+    specs_bad_total = {"a": TensorSpec("a", (2, 2), "float32"),
+                       "b": TensorSpec("b", (2, 2), "float32"),
+                       "y": TensorSpec("y", (2, 5), "float32")}
+    with pytest.raises(InterpreterError):
+        Concatenate(["a", "b"], ["y"], {"axis": 1}).validate(specs_bad_total)
+
+
+# --- Tanh / Logistic -----------------------------------------------------
+
+@pytest.mark.parametrize("op_cls,function,out_quant", [
+    (Tanh, np.tanh, TANH_OUTPUT_QUANT),
+    (Logistic, lambda x: 1 / (1 + np.exp(-x)), LOGISTIC_OUTPUT_QUANT),
+])
+def test_lut_activation_matches_float(op_cls, function, out_quant):
+    in_quant = QuantParams(0.05, 3)
+    specs = {"x": TensorSpec("x", (256,), "int8", in_quant),
+             "y": TensorSpec("y", (256,), "int8", out_quant)}
+    x = np.arange(-128, 128, dtype=np.int8)
+    tensors = {"x": x}
+    op = op_cls(["x"], ["y"])
+    op.validate(specs)
+    op.run(tensors, specs)
+    result = out_quant.dequantize(tensors["y"])
+    expected = function(in_quant.dequantize(x))
+    assert np.abs(result - expected).max() <= out_quant.scale
+
+
+def test_lut_activation_float_path():
+    specs = float_specs("x", "y", shape=(5,))
+    tensors = {"x": np.linspace(-3, 3, 5).astype(np.float32)}
+    Tanh(["x"], ["y"]).run(tensors, specs)
+    assert np.allclose(tensors["y"], np.tanh(tensors["x"]), atol=1e-6)
+
+
+def test_lut_activation_rejects_wrong_output_quant():
+    specs = {"x": TensorSpec("x", (4,), "int8", QuantParams(0.1, 0)),
+             "y": TensorSpec("y", (4,), "int8", QuantParams(0.1, 0))}
+    with pytest.raises(InterpreterError):
+        Tanh(["x"], ["y"]).validate(specs)
+
+
+def test_logistic_output_range():
+    in_quant = QuantParams(0.1, 0)
+    specs = {"x": TensorSpec("x", (3,), "int8", in_quant),
+             "y": TensorSpec("y", (3,), "int8", LOGISTIC_OUTPUT_QUANT)}
+    tensors = {"x": np.array([-128, 0, 127], dtype=np.int8)}
+    Logistic(["x"], ["y"]).run(tensors, specs)
+    real = LOGISTIC_OUTPUT_QUANT.dequantize(tensors["y"])
+    assert np.all((real >= 0.0) & (real <= 1.0))
+    assert real[0] < real[1] < real[2]
+
+
+# --- Pad / Mean ---------------------------------------------------------------
+
+def test_pad_float_zeros():
+    specs = {"x": TensorSpec("x", (2, 2), "float32"),
+             "y": TensorSpec("y", (4, 3), "float32")}
+    tensors = {"x": np.ones((2, 2), dtype=np.float32)}
+    op = Pad(["x"], ["y"], {"paddings": ((1, 1), (0, 1))})
+    op.validate(specs)
+    op.run(tensors, specs)
+    assert tensors["y"].shape == (4, 3)
+    assert tensors["y"][0].sum() == 0.0
+    assert tensors["y"][1, :2].sum() == 2.0
+
+
+def test_pad_int8_uses_zero_point():
+    quant = QuantParams(0.1, -7)
+    specs = {"x": TensorSpec("x", (2,), "int8", quant),
+             "y": TensorSpec("y", (4,), "int8", quant)}
+    tensors = {"x": np.array([5, 5], dtype=np.int8)}
+    Pad(["x"], ["y"], {"paddings": ((1, 1),)}).run(tensors, specs)
+    assert tensors["y"].tolist() == [-7, 5, 5, -7]
+
+
+def test_pad_validates_shape():
+    specs = {"x": TensorSpec("x", (2, 2), "float32"),
+             "y": TensorSpec("y", (3, 3), "float32")}
+    with pytest.raises(InterpreterError):
+        Pad(["x"], ["y"], {"paddings": ((1, 1), (1, 1))}).validate(specs)
+    with pytest.raises(InterpreterError):
+        Pad(["x"], ["y"], {"paddings": ((1, 0),)}).validate(specs)
+
+
+def test_mean_global_average_pool():
+    specs = {"x": TensorSpec("x", (1, 4, 4, 2), "float32"),
+             "y": TensorSpec("y", (1, 1, 1, 2), "float32")}
+    x = RNG.random((1, 4, 4, 2)).astype(np.float32)
+    tensors = {"x": x}
+    op = Mean(["x"], ["y"], {"axes": (1, 2)})
+    op.validate(specs)
+    op.run(tensors, specs)
+    assert np.allclose(tensors["y"][0, 0, 0],
+                       x.mean(axis=(1, 2))[0], atol=1e-6)
+
+
+def test_mean_int8():
+    quant = QuantParams(0.5, 0)
+    specs = {"x": TensorSpec("x", (1, 4), "int8", quant),
+             "y": TensorSpec("y", (1, 1), "int8", quant)}
+    tensors = {"x": np.array([[2, 4, 6, 8]], dtype=np.int8)}
+    Mean(["x"], ["y"], {"axes": (1,)}).run(tensors, specs)
+    assert tensors["y"][0, 0] == 5
+
+
+def test_mean_requires_axes():
+    specs = {"x": TensorSpec("x", (1, 4), "float32"),
+             "y": TensorSpec("y", (1, 1), "float32")}
+    with pytest.raises(InterpreterError):
+        Mean(["x"], ["y"], {}).validate(specs)
+
+
+def test_new_ops_serialize_roundtrip():
+    """The extended ops survive the OMGM format."""
+    from repro.tflm.model import Model, ModelMetadata
+    from repro.tflm.serialize import deserialize_model, serialize_model
+
+    model = Model(metadata=ModelMetadata(name="ext"))
+    model.add_tensor(TensorSpec("x", (1, 4), "float32"))
+    model.add_tensor(TensorSpec("pad", (1, 6), "float32"))
+    model.add_tensor(TensorSpec("act", (1, 6), "float32"))
+    model.add_tensor(TensorSpec("y", (1, 1), "float32"))
+    model.add_operator(Pad(["x"], ["pad"], {"paddings": ((0, 0), (1, 1))}))
+    model.add_operator(Tanh(["pad"], ["act"]))
+    model.add_operator(Mean(["act"], ["y"], {"axes": (1,)}))
+    model.inputs = ["x"]
+    model.outputs = ["y"]
+    restored = deserialize_model(serialize_model(model))
+    assert [op.opcode for op in restored.operators] == ["pad", "tanh",
+                                                        "mean"]
+    from repro.tflm.interpreter import Interpreter
+
+    interpreter = Interpreter(restored)
+    interpreter.set_input("x", np.ones((1, 4), dtype=np.float32))
+    interpreter.invoke()
+    result = interpreter.get_output("y")
+    expected = np.tanh(np.array([0, 1, 1, 1, 1, 0])).mean()
+    assert result[0, 0] == pytest.approx(expected, abs=1e-6)

@@ -1,0 +1,156 @@
+"""Tensor specs and TFLite-compatible quantization arithmetic."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ModelFormatError
+from repro.tflm.quantize import (
+    choose_activation_qparams,
+    choose_weight_qparams,
+    multiply_by_quantized_multiplier,
+    quantize_multiplier,
+    requantize_int32,
+)
+from repro.tflm.tensor import QuantParams, TensorSpec
+
+
+# --- QuantParams ------------------------------------------------------------
+
+def test_quant_roundtrip_within_half_scale():
+    params = QuantParams(scale=0.05, zero_point=-10)
+    real = np.array([-1.0, 0.0, 0.5, 2.3])
+    q = params.quantize(real)
+    back = params.dequantize(q)
+    assert np.all(np.abs(back - real) <= 0.5 * params.scale + 1e-12)
+
+
+def test_quantize_saturates():
+    params = QuantParams(scale=0.01, zero_point=0)
+    q = params.quantize(np.array([100.0, -100.0]))
+    assert q.tolist() == [127, -128]
+
+
+def test_quant_rejects_bad_scale():
+    with pytest.raises(ModelFormatError):
+        QuantParams(scale=0.0, zero_point=0)
+    with pytest.raises(ModelFormatError):
+        QuantParams(scale=-1.0, zero_point=0)
+
+
+def test_uint8_quantization():
+    params = QuantParams(scale=1.0, zero_point=128)
+    q = params.quantize(np.array([-128.0, 0.0, 127.0]), dtype="uint8")
+    assert q.dtype == np.uint8
+    assert q.tolist() == [0, 128, 255]
+
+
+# --- TensorSpec --------------------------------------------------------------
+
+def test_tensor_spec_geometry():
+    spec = TensorSpec("t", (2, 3, 4), "float32")
+    assert spec.num_elements == 24
+    assert spec.num_bytes == 96
+    assert spec.empty_array().shape == (2, 3, 4)
+
+
+def test_tensor_spec_int8_requires_quant():
+    with pytest.raises(ModelFormatError):
+        TensorSpec("t", (1,), "int8")
+
+
+def test_tensor_spec_rejects_bad_dtype_and_shape():
+    with pytest.raises(ModelFormatError):
+        TensorSpec("t", (1,), "float64")
+    with pytest.raises(ModelFormatError):
+        TensorSpec("t", (0, 2), "float32")
+
+
+def test_tensor_spec_validate_array():
+    spec = TensorSpec("t", (2, 2), "int32", QuantParams(1.0, 0))
+    spec.validate_array(np.zeros((2, 2), dtype=np.int32))
+    with pytest.raises(ModelFormatError):
+        spec.validate_array(np.zeros((2, 3), dtype=np.int32))
+    with pytest.raises(ModelFormatError):
+        spec.validate_array(np.zeros((2, 2), dtype=np.int64))
+
+
+# --- parameter choice --------------------------------------------------------
+
+def test_activation_qparams_cover_range_and_zero():
+    params = choose_activation_qparams(0.0, 6.0)
+    assert params.dequantize(np.array([params.zero_point]))[0] == pytest.approx(0.0)
+    q_top = params.quantize(np.array([6.0]))
+    assert params.dequantize(q_top)[0] == pytest.approx(6.0, abs=params.scale)
+
+
+def test_activation_qparams_nudge_includes_zero():
+    params = choose_activation_qparams(2.0, 8.0)  # range nudged to [0, 8]
+    assert params.zero_point == -128
+
+
+def test_activation_qparams_degenerate_range():
+    params = choose_activation_qparams(0.0, 0.0)
+    assert params.scale == 1.0
+
+
+def test_activation_qparams_rejects_invalid():
+    with pytest.raises(ModelFormatError):
+        choose_activation_qparams(2.0, 1.0)
+
+
+def test_weight_qparams_symmetric():
+    weights = np.array([-0.5, 0.25, 0.1])
+    params = choose_weight_qparams(weights)
+    assert params.zero_point == 0
+    assert params.scale == pytest.approx(0.5 / 127)
+
+
+def test_weight_qparams_all_zero():
+    params = choose_weight_qparams(np.zeros(4))
+    assert params.scale > 0
+
+
+# --- fixed-point multiplier ---------------------------------------------------
+
+@pytest.mark.parametrize("real", [0.25, 0.5, 0.9999, 1.0, 1.5, 0.0003, 77.7])
+def test_quantize_multiplier_reconstructs(real):
+    mult, shift = quantize_multiplier(real)
+    assert (1 << 30) <= mult <= (1 << 31)
+    assert mult / (1 << 31) * 2.0 ** shift == pytest.approx(real, rel=1e-6)
+
+
+def test_quantize_multiplier_rejects_out_of_range():
+    with pytest.raises(ModelFormatError):
+        quantize_multiplier(0.0)
+    with pytest.raises(ModelFormatError):
+        quantize_multiplier(-1.0)
+
+
+@given(st.integers(min_value=-(2 ** 20), max_value=2 ** 20),
+       st.floats(min_value=1e-4, max_value=8.0))
+@settings(max_examples=100, deadline=None)
+def test_fixed_point_multiply_matches_float(value, real_multiplier):
+    mult, shift = quantize_multiplier(real_multiplier)
+    result = multiply_by_quantized_multiplier(np.array([value]), mult, shift)
+    expected = value * real_multiplier
+    # Fixed-point result is within 1 ULP of the rounded float result.
+    assert abs(result[0] - round(expected)) <= 1
+
+
+def test_requantize_int32_known_case():
+    out_q = QuantParams(scale=0.1, zero_point=5)
+    acc = np.array([100, -100, 0], dtype=np.int64)
+    # real value = acc * (0.02 * 0.05) = acc * 0.001
+    result = requantize_int32(acc, 0.02, 0.05, out_q)
+    # 100 * 0.001 / 0.1 + 5 = 6 ; -100 -> 4 ; 0 -> 5
+    assert result.tolist() == [6, 4, 5]
+    assert result.dtype == np.int8
+
+
+def test_requantize_saturates_to_int8():
+    out_q = QuantParams(scale=0.001, zero_point=0)
+    acc = np.array([10 ** 6, -(10 ** 6)], dtype=np.int64)
+    result = requantize_int32(acc, 0.1, 0.1, out_q)
+    assert result.tolist() == [127, -128]

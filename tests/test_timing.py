@@ -1,0 +1,63 @@
+"""Timing profile: calibration invariants that anchor Table I."""
+
+import pytest
+
+from repro.hw.timing import DEFAULT_PROFILE, TimingProfile
+
+# tiny_conv work per inference (analytic, paper §VI architecture).
+TINY_CONV_MACS = 404_800
+TINY_CONV_ELEMENTS = 25 * 22 * 8 + 12 + 4 * 12
+TINY_CONV_OPS = 3
+CORE_HZ = 2.4e9
+
+
+def _inference_ms(profile: TimingProfile, l2_excluded: bool) -> float:
+    cycles = (TINY_CONV_MACS * profile.cycles_per_mac
+              + TINY_CONV_ELEMENTS * profile.cycles_per_element
+              + TINY_CONV_OPS * profile.cycles_per_op_dispatch)
+    if l2_excluded:
+        cycles *= 1 + profile.l2_exclusion_penalty
+    return cycles / CORE_HZ * 1e3
+
+
+def test_native_runtime_calibrated_to_379ms():
+    """100 inferences on the 2.4 GHz core must land near 379 ms."""
+    total = 100 * _inference_ms(DEFAULT_PROFILE, l2_excluded=False)
+    assert total == pytest.approx(379.0, rel=0.01)
+
+
+def test_omg_runtime_calibrated_to_387ms():
+    total = 100 * _inference_ms(DEFAULT_PROFILE, l2_excluded=True)
+    assert total == pytest.approx(387.0, rel=0.01)
+
+
+def test_l2_penalty_matches_published_ratio():
+    assert 1 + DEFAULT_PROFILE.l2_exclusion_penalty == pytest.approx(
+        387.0 / 379.0, rel=0.002)
+
+
+def test_world_switch_matches_sanctuary_paper():
+    assert DEFAULT_PROFILE.sa_world_switch_ms == pytest.approx(0.3)
+
+
+def test_realtime_factor_order_of_magnitude():
+    """Paper: RTF 0.004x over 100 s of audio."""
+    rtf = 100 * _inference_ms(DEFAULT_PROFILE, False) / 1000.0 / 100.0
+    # 379 ms / 100 s = 0.00379; the paper rounds to 0.004.
+    assert rtf == pytest.approx(0.004, rel=0.1)
+
+
+def test_profile_is_immutable():
+    with pytest.raises(AttributeError):
+        DEFAULT_PROFILE.cycles_per_mac = 1.0
+
+
+def test_field_summary_covers_all_fields():
+    summary = DEFAULT_PROFILE.field_summary()
+    assert summary["cycles_per_mac"] == DEFAULT_PROFILE.cycles_per_mac
+    assert len(summary) == len(TimingProfile.__dataclass_fields__)
+
+
+def test_custom_profile_changes_costs():
+    fast = TimingProfile(cycles_per_mac=1.0)
+    assert _inference_ms(fast, False) < _inference_ms(DEFAULT_PROFILE, False)

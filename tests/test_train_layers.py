@@ -1,0 +1,168 @@
+"""Training layers: numerical gradient checks and behaviours."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.train.layers import (
+    ConvLayer,
+    DenseLayer,
+    DropoutLayer,
+    FlattenLayer,
+    ReluLayer,
+    softmax_cross_entropy,
+)
+from repro.train.network import build_tiny_conv
+
+RNG = np.random.default_rng(7)
+
+
+def numerical_gradient(loss_fn, array, index, eps=1e-6):
+    array[index] += eps
+    plus = loss_fn()
+    array[index] -= 2 * eps
+    minus = loss_fn()
+    array[index] += eps
+    return (plus - minus) / (2 * eps)
+
+
+def loss_through(layers, x, y):
+    out = x
+    for layer in layers:
+        out = layer.forward(out, training=True)
+    loss, dlogits = softmax_cross_entropy(out, y)
+    return loss, dlogits
+
+
+def check_param_gradients(layers, x, y, layer, samples=4):
+    loss, dlogits = loss_through(layers, x, y)
+    grad = dlogits
+    for item in reversed(layers):
+        grad = item.backward(grad)
+    for key, param in layer.params().items():
+        analytic = layer.grads()[key]
+        flat_indices = RNG.choice(param.size, size=min(samples, param.size),
+                                  replace=False)
+        for flat in flat_indices:
+            index = np.unravel_index(flat, param.shape)
+            numeric = numerical_gradient(
+                lambda: loss_through(layers, x, y)[0], param, index)
+            assert analytic[index] == pytest.approx(numeric, rel=1e-4,
+                                                    abs=1e-7), key
+
+
+def test_conv_gradients():
+    conv = ConvLayer(1, 3, (3, 3), stride=(2, 2), rng=RNG)
+    layers = [conv, FlattenLayer(), DenseLayer(3 * 4 * 3, 3, rng=RNG)]
+    x = RNG.random((5, 7, 5, 1))
+    y = RNG.integers(0, 3, size=5)
+    check_param_gradients(layers, x, y, conv)
+
+
+def test_dense_gradients():
+    dense = DenseLayer(12, 4, rng=RNG)
+    layers = [FlattenLayer(), dense]
+    x = RNG.random((6, 3, 4))
+    y = RNG.integers(0, 4, size=6)
+    check_param_gradients(layers, x, y, dense)
+
+
+def test_input_gradient_through_full_stack():
+    """Numerical check of d(loss)/d(input) through conv+relu+dense."""
+    layers = [ConvLayer(1, 2, (3, 3), stride=(1, 1), rng=RNG),
+              ReluLayer(), FlattenLayer(),
+              DenseLayer(2 * 5 * 4, 3, rng=RNG)]
+    x = RNG.random((2, 5, 4, 1))
+    y = np.array([0, 2])
+    loss, dlogits = loss_through(layers, x, y)
+    grad = dlogits
+    for layer in reversed(layers):
+        grad = layer.backward(grad)
+    index = (0, 2, 2, 0)
+    numeric = numerical_gradient(lambda: loss_through(layers, x, y)[0],
+                                 x, index)
+    assert grad[index] == pytest.approx(numeric, rel=1e-4, abs=1e-7)
+
+
+def test_conv_valid_padding_shape():
+    conv = ConvLayer(2, 4, (3, 3), stride=(1, 1), padding="valid", rng=RNG)
+    out = conv.forward(RNG.random((1, 8, 8, 2)), training=False)
+    assert out.shape == (1, 6, 6, 4)
+
+
+def test_conv_same_padding_shape():
+    conv = ConvLayer(1, 8, (8, 10), stride=(2, 2), padding="same", rng=RNG)
+    out = conv.forward(RNG.random((1, 49, 43, 1)), training=False)
+    assert out.shape == (1, 25, 22, 8)
+
+
+def test_conv_unknown_padding():
+    conv = ConvLayer(1, 1, (3, 3), padding="diagonal", rng=RNG)
+    with pytest.raises(ReproError):
+        conv.forward(RNG.random((1, 5, 5, 1)), training=False)
+
+
+def test_relu_masks_backward():
+    relu = ReluLayer()
+    x = np.array([[-1.0, 2.0], [3.0, -4.0]])
+    out = relu.forward(x, training=True)
+    assert out.tolist() == [[0.0, 2.0], [3.0, 0.0]]
+    grad = relu.backward(np.ones_like(x))
+    assert grad.tolist() == [[0.0, 1.0], [1.0, 0.0]]
+
+
+def test_dropout_inference_is_identity():
+    dropout = DropoutLayer(0.5, rng=RNG)
+    x = RNG.random((4, 4))
+    assert np.array_equal(dropout.forward(x, training=False), x)
+
+
+def test_dropout_training_scales_kept_units():
+    dropout = DropoutLayer(0.5, rng=np.random.default_rng(0))
+    x = np.ones((2000,))
+    out = dropout.forward(x, training=True)
+    kept = out[out > 0]
+    assert np.allclose(kept, 2.0)  # inverted dropout scaling
+    assert 0.35 < len(kept) / len(x) < 0.65
+    assert out.mean() == pytest.approx(1.0, abs=0.1)
+
+
+def test_dropout_backward_uses_same_mask():
+    dropout = DropoutLayer(0.5, rng=np.random.default_rng(0))
+    x = np.ones((100,))
+    out = dropout.forward(x, training=True)
+    grad = dropout.backward(np.ones((100,)))
+    assert np.array_equal(grad > 0, out > 0)
+
+
+def test_dropout_rejects_bad_rate():
+    with pytest.raises(ReproError):
+        DropoutLayer(1.0)
+    with pytest.raises(ReproError):
+        DropoutLayer(-0.1)
+
+
+def test_softmax_cross_entropy_known_value():
+    logits = np.array([[0.0, 0.0]])
+    loss, dlogits = softmax_cross_entropy(logits, np.array([0]))
+    assert loss == pytest.approx(np.log(2))
+    assert dlogits[0].tolist() == pytest.approx([-0.5, 0.5])
+
+
+def test_softmax_cross_entropy_stable_for_large_logits():
+    logits = np.array([[1000.0, 0.0]])
+    loss, _ = softmax_cross_entropy(logits, np.array([0]))
+    assert np.isfinite(loss) and loss < 1e-6
+
+
+def test_tiny_conv_structure():
+    net = build_tiny_conv()
+    assert net.parameter_count() == 8 * 8 * 10 * 1 + 8 + 4400 * 12 + 12
+    out = net.forward(RNG.random((2, 49, 43, 1)))
+    assert out.shape == (2, 12)
+
+
+def test_tiny_conv_rejects_wrong_input_shape():
+    net = build_tiny_conv()
+    with pytest.raises(ReproError):
+        net.forward(RNG.random((1, 48, 43, 1)))

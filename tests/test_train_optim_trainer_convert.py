@@ -1,0 +1,182 @@
+"""Optimizers, the training loop, and int8 conversion."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.tflm.interpreter import Interpreter
+from repro.tflm.serialize import serialize_model
+from repro.train.convert import (
+    convert_tiny_conv_float,
+    convert_tiny_conv_int8,
+    fingerprint_to_int8,
+)
+from repro.train.layers import DenseLayer
+from repro.train.network import TrainableNetwork, build_tiny_conv
+from repro.train.optimizer import Adam, SgdMomentum
+from repro.train.trainer import TrainConfig, TrainHistory, train_network
+
+RNG = np.random.default_rng(11)
+
+
+def toy_problem(n=200, features=8, classes=3):
+    """Linearly separable blobs."""
+    centers = RNG.normal(0, 3.0, size=(classes, features))
+    y = RNG.integers(0, classes, size=n)
+    x = centers[y] + RNG.normal(0, 0.5, size=(n, features))
+    return x, y
+
+
+def toy_net(features=8, classes=3):
+    return TrainableNetwork([DenseLayer(features, classes, rng=RNG)],
+                            (features,), classes)
+
+
+# --- optimizers ---------------------------------------------------------------
+
+@pytest.mark.parametrize("optimizer_cls,kwargs", [
+    (SgdMomentum, {"learning_rate": 0.1}),
+    (Adam, {"learning_rate": 0.05}),
+])
+def test_optimizers_fit_separable_problem(optimizer_cls, kwargs):
+    x, y = toy_problem()
+    net = toy_net()
+    optimizer = optimizer_cls(net.layers, **kwargs)
+    history = train_network(net, x, y, TrainConfig(epochs=20, batch_size=32),
+                            optimizer=optimizer)
+    assert history.losses[-1] < history.losses[0]
+    assert net.accuracy(x, y) > 0.9
+
+
+def test_sgd_rejects_bad_learning_rate():
+    with pytest.raises(ReproError):
+        SgdMomentum([], learning_rate=0)
+
+
+def test_momentum_accelerates_versus_plain_sgd():
+    x, y = toy_problem()
+    plain = toy_net()
+    train_network(plain, x, y, TrainConfig(epochs=5, batch_size=32),
+                  optimizer=SgdMomentum(plain.layers, 0.05, momentum=0.0))
+    momentum = toy_net()
+    train_network(momentum, x, y, TrainConfig(epochs=5, batch_size=32),
+                  optimizer=SgdMomentum(momentum.layers, 0.05, momentum=0.9))
+    assert momentum.accuracy(x, y) >= plain.accuracy(x, y) - 0.05
+
+
+# --- trainer -------------------------------------------------------------------
+
+def test_trainer_records_history():
+    x, y = toy_problem()
+    net = toy_net()
+    history = train_network(net, x, y, TrainConfig(epochs=4), x[:40], y[:40])
+    assert len(history.losses) == 4
+    assert len(history.val_accuracies) == 4
+    assert history.final_val_accuracy == history.val_accuracies[-1]
+
+
+def test_trainer_rejects_empty_or_mismatched_data():
+    net = toy_net()
+    with pytest.raises(ReproError):
+        train_network(net, np.zeros((0, 8)), np.zeros(0, dtype=int))
+    with pytest.raises(ReproError):
+        train_network(net, np.zeros((4, 8)), np.zeros(3, dtype=int))
+
+
+def test_trainer_is_seed_deterministic():
+    x, y = toy_problem()
+
+    def fresh_net():
+        rng = np.random.default_rng(123)
+        return TrainableNetwork([DenseLayer(8, 3, rng=rng)], (8,), 3)
+
+    h1 = train_network(fresh_net(), x, y, TrainConfig(epochs=3, seed=5))
+    h2 = train_network(fresh_net(), x, y, TrainConfig(epochs=3, seed=5))
+    assert h1.losses == h2.losses
+
+
+def test_lr_decay_applied():
+    x, y = toy_problem()
+    net = toy_net()
+    optimizer = SgdMomentum(net.layers, learning_rate=0.1)
+    train_network(net, x, y,
+                  TrainConfig(epochs=4, lr_decay_epochs=2,
+                              lr_decay_factor=0.1),
+                  optimizer=optimizer)
+    assert optimizer.learning_rate == pytest.approx(0.01)
+
+
+def test_empty_history():
+    assert np.isnan(TrainHistory().final_val_accuracy)
+
+
+# --- conversion ------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def small_trained_tiny_conv():
+    """Train a tiny_conv briefly on synthetic-structured random data."""
+    rng = np.random.default_rng(3)
+    n = 240
+    y = rng.integers(0, 12, size=n)
+    x = rng.random((n, 49, 43, 1)) * 0.2
+    # Give each class a localized bright patch so it is learnable.
+    for i in range(n):
+        row = (y[i] * 4) % 45
+        x[i, row:row + 4, 10:30, 0] += 0.7
+    net = build_tiny_conv()
+    train_network(net, x, y, TrainConfig(epochs=6, learning_rate=0.05))
+    return net, x, y
+
+
+def test_int8_conversion_agreement(small_trained_tiny_conv):
+    net, x, y = small_trained_tiny_conv
+    model = convert_tiny_conv_int8(net, x[:64])
+    interpreter = Interpreter(model)
+    float_preds = net.predict(x[:60])
+    agree = 0
+    for i in range(60):
+        fingerprint = (x[i, :, :, 0] * 255).astype(np.uint8)
+        index, _ = interpreter.classify(fingerprint_to_int8(fingerprint))
+        agree += int(index == float_preds[i])
+    assert agree >= 54  # >= 90 % agreement float vs int8
+
+
+def test_float_conversion_exact_agreement(small_trained_tiny_conv):
+    net, x, _ = small_trained_tiny_conv
+    model = convert_tiny_conv_float(net)
+    interpreter = Interpreter(model)
+    for i in range(10):
+        index, scores = interpreter.classify(
+            x[i:i + 1].astype(np.float32))
+        assert index == net.predict(x[i:i + 1])[0]
+
+
+def test_model_size_in_paper_band(small_trained_tiny_conv):
+    """Paper: 'about 49 kB in size'."""
+    net, x, _ = small_trained_tiny_conv
+    model = convert_tiny_conv_int8(net, x[:64])
+    size = len(serialize_model(model))
+    assert 45_000 < size < 60_000
+    assert model.weight_bytes() == pytest.approx(53520, abs=100)
+
+
+def test_convert_carries_metadata(small_trained_tiny_conv):
+    net, x, _ = small_trained_tiny_conv
+    model = convert_tiny_conv_int8(net, x[:32], labels=("a", "b"),
+                                   name="kws", version=7)
+    assert model.metadata.name == "kws"
+    assert model.metadata.version == 7
+    assert model.metadata.labels == ("a", "b")
+
+
+def test_convert_requires_calibration_data(small_trained_tiny_conv):
+    net, x, _ = small_trained_tiny_conv
+    with pytest.raises(ReproError):
+        convert_tiny_conv_int8(net, x[:0])
+
+
+def test_fingerprint_to_int8_mapping():
+    fingerprint = np.array([[0, 128, 255]], dtype=np.uint8)
+    q = fingerprint_to_int8(fingerprint)
+    assert q.shape == (1, 1, 3, 1)
+    assert q.reshape(-1).tolist() == [-128, 0, 127]

@@ -1,0 +1,138 @@
+"""On-device personalization: feature submodel + head adaptation."""
+
+import numpy as np
+import pytest
+
+from repro.audio.features import FingerprintExtractor
+from repro.audio.speech_commands import LABELS, SyntheticSpeechCommands
+from repro.errors import ReproError
+from repro.tflm.interpreter import Interpreter
+from repro.train.convert import fingerprint_to_int8
+from repro.train.personalize import (
+    PersonalizationConfig,
+    adapt_classifier,
+    feature_submodel,
+)
+from tests.helpers import build_float_mlp, build_tiny_int8_model
+
+
+@pytest.fixture(scope="module")
+def user_examples(pretrained_model):
+    """A few utterances the stock model gets wrong (or barely right)."""
+    dataset = SyntheticSpeechCommands()
+    extractor = FingerprintExtractor()
+    fingerprints, labels = [], []
+    interpreter = Interpreter(pretrained_model)
+    for word in ("yes", "no", "up", "down"):
+        for index in range(6):
+            utterance = dataset.render(word, 50 + index)
+            fingerprint = extractor.extract(utterance.samples)
+            fingerprints.append(fingerprint)
+            labels.append(utterance.label_idx)
+    return np.stack(fingerprints), np.array(labels)
+
+
+def test_feature_submodel_structure(pretrained_model):
+    trunk = feature_submodel(pretrained_model)
+    assert "fully_connected" not in [op.opcode for op in trunk.operators]
+    assert trunk.inputs == pretrained_model.inputs
+    assert trunk.outputs == ["conv_out"]
+
+
+def test_feature_submodel_matches_full_model(pretrained_model):
+    """The trunk produces the same intermediate as the full graph."""
+    trunk = feature_submodel(pretrained_model)
+    dataset = SyntheticSpeechCommands()
+    fingerprint = FingerprintExtractor().extract(
+        dataset.render("go", 0).samples)
+    x = fingerprint_to_int8(fingerprint)
+    trunk_interp = Interpreter(trunk)
+    trunk_interp.set_input("input", x)
+    trunk_interp.invoke()
+    features = trunk_interp.get_output("conv_out")
+    assert features.shape == (1, 25, 22, 8)
+    assert features.dtype == np.int8
+
+
+def test_feature_submodel_requires_fc(pretrained_model):
+    mlp = build_float_mlp()
+    trunk = feature_submodel(mlp)  # FC is the head; trunk is empty path
+    assert trunk.outputs == ["input"]
+
+
+def test_adapt_improves_on_user_examples(pretrained_model, user_examples):
+    fingerprints, labels = user_examples
+    before = Interpreter(pretrained_model)
+    correct_before = sum(
+        before.classify(fingerprint_to_int8(fp))[0] == label
+        for fp, label in zip(fingerprints, labels))
+
+    adapted = adapt_classifier(pretrained_model, fingerprints, labels)
+    after = Interpreter(adapted)
+    correct_after = sum(
+        after.classify(fingerprint_to_int8(fp))[0] == label
+        for fp, label in zip(fingerprints, labels))
+    assert correct_after >= correct_before
+    assert correct_after >= int(0.8 * len(labels))
+
+
+def test_adapt_preserves_trunk_and_metadata(pretrained_model,
+                                            user_examples):
+    fingerprints, labels = user_examples
+    adapted = adapt_classifier(pretrained_model, fingerprints, labels)
+    assert np.array_equal(adapted.constants["conv_weights"],
+                          pretrained_model.constants["conv_weights"])
+    assert adapted.metadata.version == pretrained_model.metadata.version + 1
+    assert adapted.metadata.labels == pretrained_model.metadata.labels
+    assert "personalized" in adapted.metadata.description
+
+
+def test_adapt_does_not_forget_other_classes(pretrained_model,
+                                             user_examples):
+    """Replay regularization keeps held-out accuracy close to stock."""
+    fingerprints, labels = user_examples
+    adapted = adapt_classifier(pretrained_model, fingerprints, labels)
+    dataset = SyntheticSpeechCommands()
+    extractor = FingerprintExtractor()
+    subset = dataset.paper_test_subset(per_class=4)
+    stock = Interpreter(pretrained_model)
+    tuned = Interpreter(adapted)
+    stock_correct = tuned_correct = 0
+    for utterance in subset:
+        x = fingerprint_to_int8(extractor.extract(utterance.samples))
+        stock_correct += stock.classify(x)[0] == utterance.label_idx
+        tuned_correct += tuned.classify(x)[0] == utterance.label_idx
+    assert tuned_correct >= stock_correct - len(subset) // 8
+
+
+def test_adapt_validates_inputs(pretrained_model, user_examples):
+    fingerprints, labels = user_examples
+    with pytest.raises(ReproError):
+        adapt_classifier(pretrained_model, fingerprints[:3], labels[:2])
+    with pytest.raises(ReproError):
+        adapt_classifier(pretrained_model, fingerprints[:1], labels[:1])
+
+
+def test_adapt_custom_version(pretrained_model, user_examples):
+    fingerprints, labels = user_examples
+    adapted = adapt_classifier(pretrained_model, fingerprints, labels,
+                               new_version=41)
+    assert adapted.metadata.version == 41
+
+
+def test_adapt_inside_enclave(omg_session, user_examples):
+    """The full in-enclave path: personalize() swaps the interpreter,
+    charges time, and nothing lands in untrusted storage."""
+    fingerprints, labels = user_examples
+    session = omg_session
+    flash_before = set(session.platform.soc.flash.paths())
+    version_before = session.app.model_version
+    clock_before = session.clock.now_ms
+    session.app.personalize(session.ctx, fingerprints, labels)
+    assert session.app.model_version == version_before + 1
+    assert session.clock.now_ms > clock_before
+    assert set(session.platform.soc.flash.paths()) == flash_before
+    # Still recognizes.
+    dataset = SyntheticSpeechCommands()
+    result = session.recognize_clip(dataset.render("yes", 51).samples)
+    assert result.label in LABELS

@@ -1,0 +1,134 @@
+"""Model watermarking: embedding, robustness, false positives."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.tflm.quantize import choose_weight_qparams
+from repro.train.watermark import (
+    WatermarkKey,
+    bit_error_rate,
+    embed_watermark,
+    extract_watermark,
+    verify_ownership,
+)
+
+RNG = np.random.default_rng(99)
+KEY = WatermarkKey(seed=42, num_bits=64)
+
+
+@pytest.fixture(scope="module")
+def weights():
+    return RNG.normal(0, 0.2, size=(12, 400))
+
+
+@pytest.fixture(scope="module")
+def marked(weights):
+    return embed_watermark(weights, KEY)
+
+
+def test_key_payload_is_deterministic():
+    assert np.array_equal(KEY.payload(), WatermarkKey(42, 64).payload())
+    assert not np.array_equal(KEY.payload(),
+                              WatermarkKey(43, 64).payload())
+
+
+def test_embedding_achieves_zero_ber(weights, marked):
+    assert bit_error_rate(marked, KEY) == 0.0
+    assert verify_ownership(marked, KEY)
+
+
+def test_unmarked_model_does_not_verify(weights):
+    ber = bit_error_rate(weights, KEY)
+    assert 0.25 < ber < 0.75  # ~ coin flips
+    assert not verify_ownership(weights, KEY)
+
+
+def test_wrong_key_does_not_verify(marked):
+    impostor = WatermarkKey(seed=7, num_bits=64)
+    assert not verify_ownership(marked, impostor)
+
+
+def test_embedding_barely_changes_weights(weights, marked):
+    relative = np.linalg.norm(marked - weights) / np.linalg.norm(weights)
+    assert relative < 0.15
+
+
+def test_watermark_survives_int8_quantization(marked):
+    """The deployed artifact is int8; the mark must survive it."""
+    quant = choose_weight_qparams(marked)
+    roundtripped = quant.dequantize(quant.quantize(marked))
+    assert verify_ownership(roundtripped, KEY)
+
+
+def test_watermark_survives_mild_noise(marked):
+    """Fine-tuning-scale perturbations keep the mark readable."""
+    noisy = marked + RNG.normal(0, 0.005, size=marked.shape)
+    assert verify_ownership(noisy, KEY)
+
+
+def test_watermark_destroyed_by_large_noise(marked):
+    """Destroying the mark costs destroying the model (weights swamped)."""
+    wrecked = marked + RNG.normal(0, 1.0, size=marked.shape)
+    assert bit_error_rate(wrecked, KEY) > 0.2
+
+
+def test_extract_returns_bits(marked):
+    bits = extract_watermark(marked, KEY)
+    assert bits.shape == (64,)
+    assert set(np.unique(bits)) <= {0, 1}
+
+
+def test_embed_rejects_tiny_tensor():
+    with pytest.raises(ReproError):
+        embed_watermark(np.zeros(8), WatermarkKey(1, 64))
+    with pytest.raises(ReproError):
+        extract_watermark(np.zeros(8), WatermarkKey(1, 64))
+
+
+def test_watermarked_model_keeps_function(pretrained_model):
+    """Embed into the real tiny_conv head; accuracy must not move."""
+    from repro.audio.features import FingerprintExtractor
+    from repro.audio.speech_commands import SyntheticSpeechCommands
+    from repro.tflm.interpreter import Interpreter
+    from repro.tflm.model import Model
+    from repro.tflm.tensor import TensorSpec
+    from repro.train.convert import fingerprint_to_int8
+
+    key = WatermarkKey(seed=2024, num_bits=128)
+    fc_spec = pretrained_model.tensors["fc_weights"]
+    fc_float = fc_spec.quant.dequantize(
+        pretrained_model.constants["fc_weights"])
+    marked = embed_watermark(fc_float, key)
+    assert verify_ownership(marked, key)
+
+    from repro.tflm.quantize import choose_weight_qparams as cwq
+
+    new_q = cwq(marked)
+    clone = Model(metadata=pretrained_model.metadata)
+    for name, spec in pretrained_model.tensors.items():
+        if name == "fc_weights":
+            clone.add_tensor(TensorSpec(name, spec.shape, "int8", new_q),
+                             new_q.quantize(marked))
+        else:
+            clone.add_tensor(spec, pretrained_model.constants.get(name))
+    for op in pretrained_model.operators:
+        clone.add_operator(type(op)(op.inputs, op.outputs, op.params))
+    clone.inputs = list(pretrained_model.inputs)
+    clone.outputs = list(pretrained_model.outputs)
+    clone.validate()
+
+    dataset = SyntheticSpeechCommands()
+    extractor = FingerprintExtractor()
+    subset = dataset.paper_test_subset(per_class=3)
+    stock = Interpreter(pretrained_model)
+    watermarked = Interpreter(clone)
+    stock_correct = marked_correct = 0
+    for utterance in subset:
+        x = fingerprint_to_int8(extractor.extract(utterance.samples))
+        stock_correct += stock.classify(x)[0] == utterance.label_idx
+        marked_correct += watermarked.classify(x)[0] == utterance.label_idx
+    assert marked_correct >= stock_correct - 2
+    # And the mark survives the int8 artifact.
+    recovered = new_q.dequantize(clone.constants["fc_weights"])
+    assert verify_ownership(recovered, key)

@@ -1,0 +1,173 @@
+"""The architecture zoo and the generic int8 converter."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.tflm.interpreter import Interpreter
+from repro.tflm.serialize import deserialize_model, serialize_model
+from repro.train import TrainConfig, train_network
+from repro.train.convert import fingerprint_to_int8
+from repro.train.layers import MaxPoolLayer, ReluLayer, softmax_cross_entropy
+from repro.train.zoo import (
+    ZOO,
+    build_architecture,
+    build_conv_pool,
+    build_fc_baseline,
+    build_low_latency_conv,
+    convert_network_int8,
+)
+
+RNG = np.random.default_rng(17)
+
+
+def synthetic_task(n=180, classes=12):
+    y = RNG.integers(0, classes, size=n)
+    x = RNG.random((n, 49, 43, 1)) * 0.2
+    for i in range(n):
+        row = (y[i] * 4) % 45
+        x[i, row:row + 4, 10:30, 0] += 0.7
+    return x, y
+
+
+@pytest.fixture(scope="module")
+def task():
+    return synthetic_task()
+
+
+# --- max-pool layer -----------------------------------------------------------
+
+def test_maxpool_forward_values():
+    pool = MaxPoolLayer((2, 2))
+    x = np.arange(16, dtype=np.float64).reshape(1, 4, 4, 1)
+    out = pool.forward(x, training=True)
+    assert out.reshape(-1).tolist() == [5, 7, 13, 15]
+
+
+def test_maxpool_backward_routes_to_argmax():
+    pool = MaxPoolLayer((2, 2))
+    x = np.arange(16, dtype=np.float64).reshape(1, 4, 4, 1)
+    pool.forward(x, training=True)
+    dout = np.ones((1, 2, 2, 1))
+    dx = pool.backward(dout)
+    assert dx.sum() == 4.0
+    assert dx[0, 1, 1, 0] == 1.0  # position of 5
+    assert dx[0, 0, 0, 0] == 0.0
+
+
+def test_maxpool_gradient_check():
+    pool = MaxPoolLayer((2, 2))
+    x = RNG.random((2, 6, 4, 3))
+    out = pool.forward(x, training=True)
+    dout = RNG.random(out.shape)
+    dx = pool.backward(dout)
+    index = (0, 1, 1, 0)
+    eps = 1e-6
+    x[index] += eps
+    plus = (pool.forward(x, training=True) * dout).sum()
+    x[index] -= 2 * eps
+    minus = (pool.forward(x, training=True) * dout).sum()
+    x[index] += eps
+    numeric = (plus - minus) / (2 * eps)
+    assert dx[index] == pytest.approx(numeric, abs=1e-5)
+
+
+# --- zoo builders -----------------------------------------------------------
+
+def test_zoo_contains_the_paper_model():
+    assert "tiny_conv" in ZOO
+    assert set(ZOO) == {"tiny_conv", "conv_pool", "low_latency_conv",
+                        "fc_baseline"}
+
+
+def test_unknown_architecture_rejected():
+    with pytest.raises(ReproError):
+        build_architecture("transformer_xxl")
+
+
+@pytest.mark.parametrize("name", sorted(ZOO))
+def test_zoo_forward_shapes(name):
+    network = build_architecture(name)
+    out = network.forward(RNG.random((2, 49, 43, 1)))
+    assert out.shape == (2, 12)
+
+
+@pytest.mark.parametrize("name", sorted(ZOO))
+def test_zoo_backward_runs(name):
+    network = build_architecture(name)
+    x = RNG.random((4, 49, 43, 1))
+    y = RNG.integers(0, 12, size=4)
+    logits = network.forward(x, training=True)
+    _, dlogits = softmax_cross_entropy(logits, y)
+    network.backward(dlogits)  # must not raise
+    for layer in network.layers:
+        for grad in layer.grads().values():
+            assert np.isfinite(grad).all()
+
+
+def test_mac_ordering_matches_design():
+    """The classic trade-off: conv_pool > tiny_conv > low_latency."""
+    x, _ = synthetic_task(n=8)
+    macs = {}
+    for name in ("tiny_conv", "conv_pool", "low_latency_conv"):
+        network = build_architecture(name)
+        model = convert_network_int8(network, x[:8], name=name)
+        macs[name] = model.total_macs()
+    assert macs["conv_pool"] > macs["tiny_conv"] > macs["low_latency_conv"]
+
+
+# --- generic converter ------------------------------------------------------
+
+@pytest.mark.parametrize("name", sorted(ZOO))
+def test_generic_converter_agreement(name, task):
+    x, y = task
+    network = build_architecture(name)
+    train_network(network, x, y, TrainConfig(epochs=4, learning_rate=0.05))
+    model = convert_network_int8(network, x[:48], name=name)
+    interpreter = Interpreter(model)
+    float_predictions = network.predict(x[:30])
+    agree = 0
+    for i in range(30):
+        fingerprint = (x[i, :, :, 0] * 255).astype(np.uint8)
+        index, _ = interpreter.classify(fingerprint_to_int8(fingerprint))
+        agree += int(index == float_predictions[i])
+    assert agree >= 27  # >= 90 % float/int8 agreement
+
+
+def test_generic_converter_serializes(task):
+    x, y = task
+    network = build_conv_pool()
+    model = convert_network_int8(network, x[:16], name="conv_pool",
+                                 labels=("a",) * 12, version=3)
+    restored = deserialize_model(serialize_model(model))
+    assert restored.metadata.version == 3
+    opcodes = [op.opcode for op in restored.operators]
+    assert opcodes.count("conv_2d") == 2
+    assert "max_pool_2d" in opcodes
+    assert opcodes[-1] == "softmax"
+
+
+def test_generic_converter_requires_calibration(task):
+    x, _ = task
+    with pytest.raises(ReproError):
+        convert_network_int8(build_fc_baseline(), x[:0])
+
+
+def test_generic_converter_handles_multi_dense(task):
+    """fc_baseline has three dense layers with interleaved ReLUs."""
+    x, _ = task
+    model = convert_network_int8(build_fc_baseline(), x[:16])
+    opcodes = [op.opcode for op in model.operators]
+    assert opcodes == ["fully_connected"] * 3 + ["softmax"]
+    fused = [op.params.get("activation") for op in model.operators[:3]]
+    assert fused == ["relu", "relu", None]
+
+
+def test_low_latency_conv_is_smallest(task):
+    x, _ = task
+    sizes = {}
+    for name in ("tiny_conv", "low_latency_conv", "fc_baseline"):
+        model = convert_network_int8(build_architecture(name), x[:8],
+                                     name=name)
+        sizes[name] = len(serialize_model(model))
+    assert sizes["low_latency_conv"] < sizes["tiny_conv"] < sizes["fc_baseline"]

@@ -1,0 +1,101 @@
+"""Wire encodings: certificates and attestation reports as bytes."""
+
+import pytest
+
+from repro.crypto.cert import Certificate, CertificateAuthority
+from repro.crypto.keycache import deterministic_keypair
+from repro.errors import AttestationError, CertificateError
+from repro.sanctuary.attestation import AttestationReport, measure, verify_report
+
+KEY_BITS = 768
+ROOT_KEY = deterministic_keypair(b"wire-root", KEY_BITS)
+LEAF_KEY = deterministic_keypair(b"wire-leaf", KEY_BITS)
+ROOT = CertificateAuthority("root", ROOT_KEY)
+
+
+def make_report():
+    leaf = ROOT.issue("sa#1", LEAF_KEY.public_key)
+    return AttestationReport.create(
+        "sa#1", measure(b"code"), LEAF_KEY, b"challenge-abcdef",
+        (leaf, ROOT.certificate))
+
+
+# --- certificates -------------------------------------------------------
+
+def test_certificate_roundtrip():
+    cert = ROOT.issue("subject", LEAF_KEY.public_key)
+    restored, consumed = Certificate.from_bytes(cert.to_bytes())
+    assert restored == cert
+    assert consumed == len(cert.to_bytes())
+
+
+def test_certificate_roundtrip_preserves_verifiability():
+    cert = ROOT.issue("subject", LEAF_KEY.public_key)
+    restored, _ = Certificate.from_bytes(cert.to_bytes())
+    assert ROOT.public_key.verify(restored.tbs_bytes(), restored.signature)
+
+
+def test_certificate_parse_with_trailing_data():
+    cert = ROOT.certificate
+    blob = cert.to_bytes()
+    restored, consumed = Certificate.from_bytes(blob + b"trailing")
+    assert restored == cert
+    assert consumed == len(blob)
+
+
+@pytest.mark.parametrize("cut", [2, 10, -10, -1])
+def test_certificate_truncation_rejected(cut):
+    blob = ROOT.certificate.to_bytes()
+    with pytest.raises(CertificateError):
+        Certificate.from_bytes(blob[:cut])
+
+
+# --- attestation reports ----------------------------------------------------
+
+def test_report_roundtrip():
+    report = make_report()
+    restored = AttestationReport.from_bytes(report.to_bytes())
+    assert restored == report
+
+
+def test_report_roundtrip_still_verifies():
+    report = make_report()
+    restored = AttestationReport.from_bytes(report.to_bytes())
+    verify_report(restored, measure(b"code"), ROOT.public_key,
+                  expected_challenge=b"challenge-abcdef")
+
+
+def test_report_truncation_rejected():
+    blob = make_report().to_bytes()
+    with pytest.raises(AttestationError):
+        AttestationReport.from_bytes(blob[:20])
+
+
+def test_report_field_tamper_breaks_signature():
+    """Flipping a byte in the serialized measurement must be caught by
+    signature verification after parsing."""
+    report = make_report()
+    blob = bytearray(report.to_bytes())
+    # The measurement starts after the name field (4 + len + 4).
+    name_len = int.from_bytes(blob[:4], "big")
+    blob[8 + name_len] ^= 0xFF
+    tampered = AttestationReport.from_bytes(bytes(blob))
+    with pytest.raises(AttestationError):
+        verify_report(tampered, tampered.measurement, ROOT.public_key)
+
+
+def test_report_transits_secure_channel(pretrained_model):
+    """End-to-end: prepare() delivers a byte-serialized report through
+    the TLS-like channel and the vendor verifies the parsed copy."""
+    from repro.core.omg import KeywordSpotterApp, OmgSession
+    from repro.core.parties import User, Vendor
+    from repro.trustzone.worlds import make_platform
+
+    platform = make_platform(key_bits=KEY_BITS)
+    vendor = Vendor("v", pretrained_model, key_bits=KEY_BITS)
+    session = OmgSession(platform, vendor, User(), KeywordSpotterApp())
+    session.prepare()
+    assert vendor.provisioned_count == 1
+    step2 = [s for s in session.transcript.steps if s.number == 2][0]
+    # The wire bytes include the full certificate chain.
+    assert step2.bytes_moved > len(session.instance.report.signature)
