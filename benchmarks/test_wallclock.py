@@ -1,0 +1,61 @@
+"""Wall-clock speedup benchmark: vectorized hot paths vs scalar references.
+
+Writes ``BENCH_wallclock.json`` at the repo root with baseline
+(reference-implementation) and current timings for every stage, then
+asserts the acceptance floors: >= 5x on the crypto provisioning
+round-trip and >= 2x on 100 keyword-spotting inferences.  Simulated
+(virtual-clock) timings are out of scope here — ``tests/test_timing.py``
+pins those, and they are identical for both kernel sets.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.eval.bench import (
+    CRYPTO_MIN_SPEEDUP,
+    DEFAULT_REPORT_PATH,
+    INFERENCE_MIN_SPEEDUP,
+    run_benchmarks,
+    write_report,
+)
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+@pytest.fixture(scope="module")
+def wallclock_report(pretrained_model):
+    report = run_benchmarks(model=pretrained_model)
+    path = write_report(report, os.path.join(_REPO_ROOT, DEFAULT_REPORT_PATH))
+    report["path"] = path
+    return report
+
+
+@pytest.mark.slow
+def test_report_written(wallclock_report):
+    assert os.path.exists(wallclock_report["path"])
+    assert set(wallclock_report["stages"]) == {
+        "crypto_provisioning_roundtrip", "inference_kws_100",
+        "dsp_streaming_10s", "provisioning_end_to_end",
+    }
+
+
+@pytest.mark.slow
+def test_crypto_speedup_floor(wallclock_report):
+    stage = wallclock_report["stages"]["crypto_provisioning_roundtrip"]
+    assert stage["speedup"] >= CRYPTO_MIN_SPEEDUP, stage
+
+
+@pytest.mark.slow
+def test_inference_speedup_floor(wallclock_report):
+    stage = wallclock_report["stages"]["inference_kws_100"]
+    assert stage["speedup"] >= INFERENCE_MIN_SPEEDUP, stage
+
+
+@pytest.mark.slow
+def test_dsp_and_provisioning_not_slower(wallclock_report):
+    for name in ("dsp_streaming_10s", "provisioning_end_to_end"):
+        stage = wallclock_report["stages"][name]
+        assert stage["speedup"] >= 1.0, (name, stage)

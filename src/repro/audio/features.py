@@ -91,6 +91,26 @@ class FingerprintExtractor:
             power = power_spectrum_float(frame, self._window)
         return self._compress(power[np.newaxis, :])[0]
 
+    def frame_features_batch(self, frames: np.ndarray) -> np.ndarray:
+        """(N, window_samples) int16 -> (N, features_per_frame) uint8.
+
+        One vectorized FFT pass over all N frames; bit-identical to N
+        :meth:`frame_features` calls.
+        """
+        if frames.ndim != 2 or frames.shape[1] != self.config.window_samples:
+            raise AudioError(
+                f"frames must be (N, {self.config.window_samples}), "
+                f"got {frames.shape}"
+            )
+        if self.use_fixed_point:
+            power = power_spectrum_fixed_batch(
+                frames, self._window).astype(np.float64)
+        else:
+            power = np.stack([
+                power_spectrum_float(frame, self._window) for frame in frames
+            ])
+        return self._compress(power)
+
     def _compress(self, power: np.ndarray) -> np.ndarray:
         """(N, NUM_BINS) power -> (N, features_per_frame) uint8."""
         k = self.config.average_bins
@@ -119,15 +139,6 @@ class FingerprintExtractor:
             clip = clip[:expected]
         window = self.config.window_samples
         shift = self.config.shift_samples
-        frames = np.stack([
-            clip[i * shift:i * shift + window]
-            for i in range(self.config.num_frames)
-        ])
-        if self.use_fixed_point:
-            power = power_spectrum_fixed_batch(
-                frames, self._window).astype(np.float64)
-        else:
-            power = np.stack([
-                power_spectrum_float(frame, self._window) for frame in frames
-            ])
-        return self._compress(power)
+        frames = np.lib.stride_tricks.sliding_window_view(
+            clip, window)[::shift][:self.config.num_frames]
+        return self.frame_features_batch(frames)

@@ -28,11 +28,20 @@ class StreamingFeatureExtractor:
     frame of features is produced and the oldest frame is dropped, so
     :meth:`fingerprint` is always the most recent
     ``num_frames x features_per_frame`` window (zero history at start).
+
+    All frames that become ready within one :meth:`feed` call are
+    computed in a single batched FFT pass, and the samples shared
+    between overlapping 30 ms windows are kept in the pending buffer
+    rather than re-copied per frame.  ``reference=True`` restores the
+    original one-frame-at-a-time loop (bit-identical output; used by the
+    equivalence tests and the wall-clock benchmark baseline).
     """
 
-    def __init__(self, config: FeatureConfig | None = None) -> None:
+    def __init__(self, config: FeatureConfig | None = None,
+                 reference: bool = False) -> None:
         self.config = config or FeatureConfig()
         self._extractor = FingerprintExtractor(self.config)
+        self._reference = reference
         self._frames = np.zeros(
             (self.config.num_frames, self.config.features_per_frame),
             dtype=np.uint8)
@@ -49,14 +58,30 @@ class StreamingFeatureExtractor:
         self._pending = np.concatenate([self._pending, samples])
         window = self.config.window_samples
         shift = self.config.shift_samples
-        produced = 0
-        while len(self._pending) >= window:
-            frame_features = self._extractor.frame_features(
-                self._pending[:window])
-            self._frames = np.vstack([self._frames[1:],
-                                      frame_features[np.newaxis, :]])
-            self._pending = self._pending[shift:]
-            produced += 1
+        if self._reference:
+            produced = 0
+            while len(self._pending) >= window:
+                frame_features = self._extractor.frame_features(
+                    self._pending[:window])
+                self._frames = np.vstack([self._frames[1:],
+                                          frame_features[np.newaxis, :]])
+                self._pending = self._pending[shift:]
+                produced += 1
+            self.frames_produced += produced
+            return produced
+        if len(self._pending) < window:
+            return 0
+        produced = (len(self._pending) - window) // shift + 1
+        frames = np.lib.stride_tricks.sliding_window_view(
+            self._pending, window)[::shift][:produced]
+        features = self._extractor.frame_features_batch(frames)
+        keep = self.config.num_frames
+        if produced >= keep:
+            self._frames = features[-keep:].copy()
+        else:
+            self._frames = np.concatenate(
+                [self._frames[produced:], features])
+        self._pending = self._pending[produced * shift:]
         self.frames_produced += produced
         return produced
 

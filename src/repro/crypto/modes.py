@@ -4,17 +4,51 @@ OMG provisions the vendor's model as AES-GCM ciphertext: confidentiality
 protects the IP, the tag binds the ciphertext to the per-enclave key and
 nonce so a tampered or rolled-back model fails authentication inside the
 enclave (paper §V, steps 3-6).
+
+Both primitives have two implementations.  The fast path generates every
+CTR counter block in one pass and encrypts them with the batched T-table
+AES (:meth:`repro.crypto.aes.AES.encrypt_blocks`), and runs GHASH with
+precomputed byte-multiplication tables applied as numpy gathers — long
+messages are folded lane-parallel so the sequential Horner chain shrinks
+by the lane width.  The scalar reference path (the original per-block
+code) is retained for the randomized equivalence tests; construct
+``GCM(key, reference=True)`` or call the ``*_reference`` helpers to use
+it.
 """
 
 from __future__ import annotations
 
+import contextlib
 import struct
+
+import numpy as np
 
 from repro.crypto.aes import AES
 from repro.crypto.hmac import constant_time_eq
 from repro.errors import AuthenticationError, KeyError_
 
-__all__ = ["ctr_keystream_xor", "GCM", "gcm_encrypt", "gcm_decrypt"]
+__all__ = ["ctr_keystream_xor", "ctr_keystream_xor_reference",
+           "GCM", "gcm_encrypt", "gcm_decrypt", "reference_mode"]
+
+_MASK64 = (1 << 64) - 1
+
+# Default for GCM(reference=...).  reference_mode() flips it so callers
+# that construct GCM indirectly (e.g. core.provisioning via gcm_encrypt)
+# can be timed against the scalar baseline without API changes.
+_DEFAULT_REFERENCE = False
+
+
+@contextlib.contextmanager
+def reference_mode():
+    """Force GCM instances constructed inside the block onto the scalar
+    reference path.  Benchmark-only knob; output is bit-identical."""
+    global _DEFAULT_REFERENCE
+    saved = _DEFAULT_REFERENCE
+    _DEFAULT_REFERENCE = True
+    try:
+        yield
+    finally:
+        _DEFAULT_REFERENCE = saved
 
 
 def _inc32(counter: bytes) -> bytes:
@@ -22,8 +56,9 @@ def _inc32(counter: bytes) -> bytes:
     return prefix + struct.pack(">I", (value + 1) & 0xFFFFFFFF)
 
 
-def ctr_keystream_xor(cipher: AES, initial_counter: bytes, data: bytes) -> bytes:
-    """XOR ``data`` with the AES-CTR keystream starting at ``initial_counter``."""
+def ctr_keystream_xor_reference(cipher: AES, initial_counter: bytes,
+                                data: bytes) -> bytes:
+    """Scalar reference: one :meth:`AES.encrypt_block` per 16-byte block."""
     if len(initial_counter) != 16:
         raise KeyError_("CTR counter block must be 16 bytes")
     out = bytearray(len(data))
@@ -37,21 +72,57 @@ def ctr_keystream_xor(cipher: AES, initial_counter: bytes, data: bytes) -> bytes
     return bytes(out)
 
 
-class GCM:
-    """AES-GCM (NIST SP 800-38D) with an 8-bit-table GHASH.
+def ctr_keystream_xor(cipher: AES, initial_counter: bytes, data: bytes) -> bytes:
+    """XOR ``data`` with the AES-CTR keystream starting at ``initial_counter``.
 
-    The per-key 256-entry multiplication table makes GHASH roughly 30x
-    faster than bitwise GF(2^128) multiplication, which matters because
-    the model-provisioning benchmarks re-encrypt models of up to a few
-    hundred kB.
+    All counter blocks are generated in one pass and encrypted as a
+    single batch, so the cost per block is a few numpy operations
+    instead of a full Python round function.
+    """
+    if len(initial_counter) != 16:
+        raise KeyError_("CTR counter block must be 16 bytes")
+    if not data:
+        return b""
+    n_blocks = (len(data) + 15) // 16
+    counters = np.empty((n_blocks, 16), dtype=np.uint8)
+    counters[:, :12] = np.frombuffer(initial_counter[:12], dtype=np.uint8)
+    start = struct.unpack(">I", initial_counter[12:])[0]
+    values = ((start + np.arange(n_blocks, dtype=np.uint64))
+              & 0xFFFFFFFF).astype(np.uint32)
+    counters[:, 12:] = values.astype(">u4").view(np.uint8).reshape(-1, 4)
+    keystream = cipher.encrypt_blocks(counters).reshape(-1)[:len(data)]
+    return (np.frombuffer(data, dtype=np.uint8) ^ keystream).tobytes()
+
+
+class GCM:
+    """AES-GCM (NIST SP 800-38D) with table-driven GHASH.
+
+    GHASH multiplication by H uses sixteen 256-entry byte tables (one
+    per byte position), so one block costs 16 table lookups and XORs.
+    For long inputs the blocks are additionally folded into ``_LANES``
+    parallel accumulators — each Horner step multiplies all lanes by
+    H^_LANES at once with numpy gathers — which is what keeps
+    provisioning of multi-kB models off the per-block Python path.
     """
 
     tag_size = 16
+    _LANES = 64          # lane width of the batched GHASH fold
+    _BATCH_MIN = 256     # below this many blocks the scalar tables win
 
-    def __init__(self, key: bytes) -> None:
+    def __init__(self, key: bytes, reference: bool | None = None) -> None:
         self._aes = AES(key)
+        if reference is None:
+            reference = _DEFAULT_REFERENCE
+        self._reference = reference
         h = int.from_bytes(self._aes.encrypt_block(b"\x00" * 16), "big")
-        self._table = self._build_ghash_table(h)
+        self._h = h
+        self._table = self._build_table_fast(h)
+        # _tbl16[k][b] = S8^(15-k) applied to table[b]; x*H is then just
+        # XOR_k _tbl16[k][byte_k(x)] — no shifts in the hot loop.
+        self._tbl16 = self._expand_tables(self._table)
+        self._lane_tables: tuple[np.ndarray, np.ndarray] | None = None
+
+    # --- reference field arithmetic (retained for equivalence tests) ---
 
     @staticmethod
     def _gf_mul(x: int, y: int) -> int:
@@ -96,32 +167,141 @@ class GCM:
                 x ^= _REDUCE[i]
         return x
 
-    def _ghash(self, aad: bytes, ciphertext: bytes) -> bytes:
+    # --- fast table construction ---------------------------------------
+
+    @staticmethod
+    def _build_table_fast(h: int) -> list[int]:
+        """Same values as :meth:`_build_ghash_table` without _gf_mul.
+
+        ``(b << 120) * H`` is GF(2)-linear in ``b``: compute the eight
+        single-bit products by repeated multiply-by-x, then XOR-combine.
+        """
+        table = [0] * 256
+        value = h  # (1 << 127) is the field identity, so f(0x80) = H
+        for bit in range(7, -1, -1):
+            table[1 << bit] = value
+            value = (value >> 1) ^ (0xE1 << 120 if value & 1 else 0)
+        for b in range(1, 256):
+            lsb = b & -b
+            if b != lsb:
+                table[b] = table[b ^ lsb] ^ table[lsb]
+        return table
+
+    @staticmethod
+    def _expand_tables(table: list[int]) -> list[list[int]]:
+        tables = [table]
+        for _ in range(15):
+            prev = tables[0]
+            tables.insert(0, [(x >> 8) ^ _RED8[x & 0xFF] for x in prev])
+        return tables
+
+    def _mul_h(self, x: int) -> int:
+        """x * H via the expanded byte tables (16 lookups)."""
+        tbl = self._tbl16
+        result = 0
+        for k in range(16):
+            result ^= tbl[k][x & 0xFF]
+            x >>= 8
+        return result
+
+    # --- batched GHASH --------------------------------------------------
+
+    def _build_lane_tables(self) -> tuple[np.ndarray, np.ndarray]:
+        """(16, 256) hi/lo uint64 gather tables for multiply-by-H^_LANES."""
+        k = self._h
+        for _ in range(self._LANES - 1):
+            k = self._mul_h(k)
+        base = self._build_table_fast(k)
+        hi = np.empty((16, 256), dtype=np.uint64)
+        lo = np.empty((16, 256), dtype=np.uint64)
+        hi[15] = np.array([v >> 64 for v in base], dtype=np.uint64)
+        lo[15] = np.array([v & _MASK64 for v in base], dtype=np.uint64)
+        for row in range(15, 0, -1):
+            dropped = (lo[row] & np.uint64(0xFF)).astype(np.intp)
+            lo[row - 1] = ((lo[row] >> np.uint64(8))
+                           | (hi[row] << np.uint64(56))) ^ _RED8_LO[dropped]
+            hi[row - 1] = (hi[row] >> np.uint64(8)) ^ _RED8_HI[dropped]
+        return hi, lo
+
+    def _ghash_blocks_batched(self, blocks: np.ndarray) -> int:
+        """GHASH of (N, 16) uint8 blocks from a zero initial state."""
+        lanes = self._LANES
+        if self._lane_tables is None:
+            self._lane_tables = self._build_lane_tables()
+        tbl_hi, tbl_lo = self._lane_tables
+        pad = (-len(blocks)) % lanes
+        if pad:
+            # Leading zero blocks leave the Horner state at zero, so the
+            # padded sequence hashes to the same value.
+            blocks = np.concatenate(
+                [np.zeros((pad, 16), dtype=np.uint8), blocks])
+        words = np.ascontiguousarray(blocks).view(">u8").astype(np.uint64)
+        rows = words.reshape(-1, lanes, 2)
+        state_hi = rows[0, :, 0].copy()
+        state_lo = rows[0, :, 1].copy()
+        mask = np.uint64(0xFF)
+        for row in rows[1:]:
+            new_hi = np.zeros_like(state_hi)
+            new_lo = np.zeros_like(state_lo)
+            for k in range(16):
+                if k < 8:
+                    idx = ((state_lo >> np.uint64(8 * k)) & mask).astype(np.intp)
+                else:
+                    idx = ((state_hi >> np.uint64(8 * (k - 8))) & mask).astype(np.intp)
+                new_hi ^= tbl_hi[k][idx]
+                new_lo ^= tbl_lo[k][idx]
+            state_hi = new_hi ^ row[:, 0]
+            state_lo = new_lo ^ row[:, 1]
+        # Combine the lane accumulators: Y = sum_l S_l * H^(lanes - l).
+        result = 0
+        for l in range(lanes):
+            result = self._mul_h(
+                result ^ (int(state_hi[l]) << 64) ^ int(state_lo[l]))
+        return result
+
+    def _ghash_segments(self, segments: tuple[bytes, ...]) -> int:
+        """GHASH (zero-padded segments each a whole number of blocks)."""
+        padded = b"".join(
+            seg + b"\x00" * ((-len(seg)) % 16) for seg in segments)
+        n_blocks = len(padded) // 16
+        if self._reference:
+            state = 0
+            for offset in range(0, len(padded), 16):
+                state = self._ghash_block(state, padded[offset:offset + 16])
+            return state
+        if n_blocks >= self._BATCH_MIN:
+            blocks = np.frombuffer(padded, dtype=np.uint8).reshape(-1, 16)
+            return self._ghash_blocks_batched(blocks)
         state = 0
-        for data in (aad, ciphertext):
-            for offset in range(0, len(data), 16):
-                block = data[offset:offset + 16].ljust(16, b"\x00")
-                state = self._ghash_block(state, block)
+        mul_h = self._mul_h
+        for offset in range(0, len(padded), 16):
+            state = mul_h(
+                state ^ int.from_bytes(padded[offset:offset + 16], "big"))
+        return state
+
+    def _ghash(self, aad: bytes, ciphertext: bytes) -> bytes:
         lengths = struct.pack(">QQ", len(aad) * 8, len(ciphertext) * 8)
-        state = self._ghash_block(state, lengths)
+        state = self._ghash_segments((aad, ciphertext, lengths))
         return state.to_bytes(16, "big")
 
     def _j0(self, nonce: bytes) -> bytes:
         if len(nonce) == 12:
             return nonce + b"\x00\x00\x00\x01"
-        state = 0
-        for offset in range(0, len(nonce), 16):
-            block = nonce[offset:offset + 16].ljust(16, b"\x00")
-            state = self._ghash_block(state, block)
-        state = self._ghash_block(state, struct.pack(">QQ", 0, len(nonce) * 8))
+        state = self._ghash_segments(
+            (nonce, struct.pack(">QQ", 0, len(nonce) * 8)))
         return state.to_bytes(16, "big")
+
+    def _ctr(self, counter: bytes, data: bytes) -> bytes:
+        if self._reference:
+            return ctr_keystream_xor_reference(self._aes, counter, data)
+        return ctr_keystream_xor(self._aes, counter, data)
 
     def encrypt(self, nonce: bytes, plaintext: bytes, aad: bytes = b"") -> tuple[bytes, bytes]:
         """Return ``(ciphertext, tag)`` for ``plaintext`` under ``nonce``."""
         if not nonce:
             raise KeyError_("GCM nonce must be non-empty")
         j0 = self._j0(nonce)
-        ciphertext = ctr_keystream_xor(self._aes, _inc32(j0), plaintext)
+        ciphertext = self._ctr(_inc32(j0), plaintext)
         s = self._ghash(aad, ciphertext)
         tag = bytes(a ^ b for a, b in zip(self._aes.encrypt_block(j0), s))
         return ciphertext, tag
@@ -133,7 +313,7 @@ class GCM:
         expected = bytes(a ^ b for a, b in zip(self._aes.encrypt_block(j0), s))
         if not constant_time_eq(expected, tag):
             raise AuthenticationError("GCM tag verification failed")
-        return ctr_keystream_xor(self._aes, _inc32(j0), ciphertext)
+        return self._ctr(_inc32(j0), ciphertext)
 
 
 # Reduction constants for the 8 low bits falling off during a >>8 shift.
@@ -153,6 +333,15 @@ def _build_reduce() -> list[int]:
 
 
 _REDUCE = _build_reduce()
+
+# _RED8[b]: reduction for a whole dropped byte b == XOR of _REDUCE bits.
+_RED8 = [0] * 256
+for _b in range(256):
+    for _i in range(8):
+        if (_b >> _i) & 1:
+            _RED8[_b] ^= _REDUCE[_i]
+_RED8_HI = np.array([v >> 64 for v in _RED8], dtype=np.uint64)
+_RED8_LO = np.array([v & _MASK64 for v in _RED8], dtype=np.uint64)
 
 
 def gcm_encrypt(key: bytes, nonce: bytes, plaintext: bytes, aad: bytes = b"") -> bytes:

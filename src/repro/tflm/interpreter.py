@@ -1,10 +1,21 @@
 """The TFLM-like interpreter: arena allocation + ordered kernel dispatch.
 
-Functionally it executes the graph with numpy reference kernels; for the
+Functionally it executes the graph with numpy kernels; for the
 evaluation it also *accounts time*: each op's (MACs, elements) cost is
 converted to cycles via the :class:`TimingProfile` and charged to an
 attached virtual clock at the executing core's frequency, with the L2
 exclusion penalty applied when the enclave runs cache-partitioned.
+
+Construction builds a precomputed *invoke plan*: per-op static cost
+(shapes never change between invokes), plus whatever each kernel
+pre-resolves via :meth:`Op.plan` (flattened/cast weight matrices,
+padding geometry).  ``invoke()`` is then pure dispatch + GEMM, and
+``op.cost()`` runs exactly once per op per interpreter lifetime.  The
+host wall-clock speed of all this is deliberately decoupled from the
+*simulated* cycle accounting, which uses the same arithmetic as before
+and stays bit-identical.  ``reference_kernels=True`` restores the
+original per-invoke behavior (loop kernels, costs recomputed every
+time) and exists for the wall-clock benchmark baseline.
 """
 
 from __future__ import annotations
@@ -36,7 +47,8 @@ class InvokeStats:
 class Interpreter:
     """Executes one model; owns tensor buffers planned into an arena."""
 
-    def __init__(self, model: Model, arena_limit_bytes: int | None = None) -> None:
+    def __init__(self, model: Model, arena_limit_bytes: int | None = None,
+                 reference_kernels: bool = False) -> None:
         model.validate()
         self.model = model
         self.plan: ArenaPlan = plan_arena(model)
@@ -49,6 +61,18 @@ class Interpreter:
         self._tensors: dict[str, np.ndarray] = dict(model.constants)
         self._inputs_set: set[str] = set()
         self._invoked = False
+        self._reference_kernels = reference_kernels
+        # The invoke plan: per-op cached cost + kernel-specific
+        # precomputed state.  Shapes are static, so both are computed
+        # exactly once here; invoke() never calls op.cost() again.
+        if reference_kernels:
+            self._invoke_plan = None
+        else:
+            self._invoke_plan = [
+                (op, op.cost(model.tensors),
+                 op.plan(self._tensors, model.tensors))
+                for op in model.operators
+            ]
         # Timing attachment (optional).
         self._clock: VirtualClock | None = None
         self._freq_hz = 0.0
@@ -74,6 +98,11 @@ class Interpreter:
     def _is_float_graph(self) -> bool:
         return self.model.tensors[self.model.inputs[0]].dtype == "float32"
 
+    def _op_costs(self) -> list[OpCost]:
+        if self._invoke_plan is not None:
+            return [cost for _, cost, _ in self._invoke_plan]
+        return [op.cost(self.model.tensors) for op in self.model.operators]
+
     def estimate_cycles(self) -> int:
         """Cycles one invoke will cost under the attached profile."""
         profile = self._profile
@@ -81,8 +110,7 @@ class Interpreter:
         if self._is_float_graph():
             mac_cycles *= profile.float_mac_multiplier
         total = 0.0
-        for op in self.model.operators:
-            cost: OpCost = op.cost(self.model.tensors)
+        for cost in self._op_costs():
             total += (cost.macs * mac_cycles
                       + cost.elements * profile.cycles_per_element
                       + profile.cycles_per_op_dispatch)
@@ -95,8 +123,12 @@ class Interpreter:
     def set_input(self, name: str, array: np.ndarray) -> None:
         if name not in self.model.inputs:
             raise InterpreterError(f"{name!r} is not a model input")
-        self.model.tensors[name].validate_array(np.asarray(array))
-        self._tensors[name] = np.asarray(array)
+        # Copy on ingest: np.asarray would keep a view of the caller's
+        # buffer, so later caller-side mutation would corrupt the next
+        # invoke.
+        array = np.array(array, copy=True)
+        self.model.tensors[name].validate_array(array)
+        self._tensors[name] = array
         self._inputs_set.add(name)
 
     def invoke(self) -> InvokeStats:
@@ -105,12 +137,24 @@ class Interpreter:
         if missing:
             raise InterpreterError(f"inputs not set: {sorted(missing)}")
         stats = InvokeStats()
-        for op in self.model.operators:
-            op.run(self._tensors, self.model.tensors)
-            cost = op.cost(self.model.tensors)
-            stats.macs += cost.macs
-            stats.elements += cost.elements
-            stats.ops += 1
+        if self._invoke_plan is not None:
+            for op, cost, op_plan in self._invoke_plan:
+                if op_plan is not None:
+                    op.run(self._tensors, self.model.tensors, plan=op_plan)
+                else:
+                    op.run(self._tensors, self.model.tensors)
+                stats.macs += cost.macs
+                stats.elements += cost.elements
+                stats.ops += 1
+        else:
+            # Reference mode: the original pre-plan behavior, for the
+            # wall-clock benchmark baseline.
+            for op in self.model.operators:
+                op.run_reference(self._tensors, self.model.tensors)
+                cost = op.cost(self.model.tensors)
+                stats.macs += cost.macs
+                stats.elements += cost.elements
+                stats.ops += 1
         profile = self._profile
         mac_cycles = profile.cycles_per_mac
         if self._is_float_graph():

@@ -53,6 +53,30 @@ class Op:
             specs: dict[str, TensorSpec]) -> None:
         raise NotImplementedError
 
+    def run_reference(self, tensors: dict[str, np.ndarray],
+                      specs: dict[str, TensorSpec]) -> None:
+        """Reference (scalar/loop) implementation, when one exists.
+
+        Kernels with a vectorized fast path override this with the
+        original loop implementation; the default just runs :meth:`run`.
+        The interpreter's ``reference_kernels`` mode and the equivalence
+        tests call it — nothing on the hot path does.
+        """
+        self.run(tensors, specs)
+
+    def plan(self, tensors: dict[str, np.ndarray],
+             specs: dict[str, TensorSpec]):
+        """Precompute static per-op state for repeated invokes.
+
+        Called once at interpreter construction with the constant
+        tensors; whatever it returns is passed back to :meth:`run` as
+        the ``plan`` keyword on every invoke.  Shapes, padding geometry
+        and weight layouts are all static, so kernels can pre-resolve
+        them here and keep ``run`` pure dispatch + GEMM.  Returning
+        ``None`` (the default) means the op has nothing to precompute.
+        """
+        return None
+
     def cost(self, specs: dict[str, TensorSpec]) -> OpCost:
         return OpCost()
 

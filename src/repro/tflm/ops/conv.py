@@ -12,7 +12,11 @@ import numpy as np
 
 from repro.errors import InterpreterError
 from repro.tflm.ops.base import Op, OpCost, register_op
-from repro.tflm.quantize import requantize_int32
+from repro.tflm.quantize import (
+    multiply_by_quantized_multiplier,
+    quantize_multiplier,
+    requantize_int32,
+)
 from repro.tflm.tensor import TensorSpec
 
 __all__ = ["conv_output_size", "same_padding", "Conv2D", "DepthwiseConv2D"]
@@ -35,9 +39,10 @@ def same_padding(input_size: int, kernel: int, stride: int) -> tuple[int, int]:
     return before, total - before
 
 
-def _im2col(x: np.ndarray, kh: int, kw: int, stride_h: int, stride_w: int,
-            pad: tuple[int, int, int, int], pad_value) -> np.ndarray:
-    """(1, H, W, C) -> (out_h * out_w, kh * kw * C) patch matrix."""
+def _im2col_reference(x: np.ndarray, kh: int, kw: int, stride_h: int,
+                      stride_w: int, pad: tuple[int, int, int, int],
+                      pad_value) -> np.ndarray:
+    """Reference loop: one patch copy per output position."""
     _, h, w, c = x.shape
     pt, pb, pl, pr = pad
     padded = np.full((1, h + pt + pb, w + pl + pr, c), pad_value,
@@ -57,8 +62,40 @@ def _im2col(x: np.ndarray, kh: int, kw: int, stride_h: int, stride_w: int,
     return cols
 
 
+def _im2col(x: np.ndarray, kh: int, kw: int, stride_h: int, stride_w: int,
+            pad: tuple[int, int, int, int], pad_value) -> np.ndarray:
+    """(1, H, W, C) -> (out_h * out_w, kh * kw * C) patch matrix.
+
+    Stride-trick fast path: every patch is a view into the padded
+    input via :func:`np.lib.stride_tricks.sliding_window_view`, so the
+    only copy is the final reshape into the GEMM layout.  Identical
+    output to :func:`_im2col_reference` (pinned by randomized tests).
+    """
+    _, h, w, c = x.shape
+    pt, pb, pl, pr = pad
+    padded = np.full((h + pt + pb, w + pl + pr, c), pad_value,
+                     dtype=x.dtype)
+    padded[pt:pt + h, pl:pl + w, :] = x[0]
+    # (H'-kh+1, W'-kw+1, C, kh, kw) windows, subsampled by the strides.
+    windows = np.lib.stride_tricks.sliding_window_view(
+        padded, (kh, kw), axis=(0, 1))[::stride_h, ::stride_w]
+    out_h, out_w = windows.shape[0], windows.shape[1]
+    # -> (out_h, out_w, kh, kw, C) -> (spatial, kh * kw * C).
+    cols = windows.transpose(0, 1, 3, 4, 2)
+    return cols.reshape(out_h * out_w, kh * kw * c)
+
+
 class _ConvBase(Op):
     """Shared shape/padding logic for Conv2D and DepthwiseConv2D."""
+
+    @staticmethod
+    def _resolve_padding(x_shape, kh, kw, sh, sw, padding
+                         ) -> tuple[int, int, int, int]:
+        if padding == "same":
+            pt, pb = same_padding(x_shape[1], kh, sh)
+            pl, pr = same_padding(x_shape[2], kw, sw)
+            return pt, pb, pl, pr
+        return 0, 0, 0, 0
 
     def _geometry(self, specs: dict[str, TensorSpec]):
         x_spec = specs[self.inputs[0]]
@@ -105,22 +142,82 @@ class Conv2D(_ConvBase):
         out_w = conv_output_size(x_spec.shape[2], kw, sw, padding)
         return (1, out_h, out_w, out_c)
 
-    def run(self, tensors, specs):
+    def plan(self, tensors, specs):
+        """Pre-resolve padding, pre-flatten/cast weights, pre-quantize
+        the requantization multiplier."""
+        if self.inputs[1] not in tensors:
+            return None
+        x_spec, w_spec, sh, sw, padding = self._geometry(specs)
+        out_spec = specs[self.outputs[0]]
+        weights = tensors[self.inputs[1]]
+        bias = tensors[self.inputs[2]] if len(self.inputs) > 2 else None
+        out_c, kh, kw, in_c = w_spec.shape
+        pad = self._resolve_padding(x_spec.shape, kh, kw, sh, sw, padding)
+        if x_spec.dtype == "float32":
+            flat_w_t = np.ascontiguousarray(
+                weights.reshape(out_c, -1).astype(np.float32).T)
+            return {"pad": pad, "flat_w_t": flat_w_t, "bias": bias,
+                    "requant": None}
+        # int8: GEMM runs in float64 (exact — per-term products are
+        # < 2^16 and accumulations far below 2^53), which hits BLAS
+        # instead of numpy's slow integer matmul.
+        flat_w_t = np.ascontiguousarray(
+            weights.reshape(out_c, -1).astype(np.float64).T)
+        bias = bias.astype(np.int64) if bias is not None else None
+        out_q = out_spec.quant
+        multiplier, shift = quantize_multiplier(
+            x_spec.quant.scale * w_spec.quant.scale / out_q.scale)
+        return {"pad": pad, "flat_w_t": flat_w_t, "bias": bias,
+                "requant": (multiplier, shift, out_q.zero_point)}
+
+    def run(self, tensors, specs, plan=None):
+        x = tensors[self.inputs[0]]
+        x_spec, w_spec, sh, sw, padding = self._geometry(specs)
+        out_spec = specs[self.outputs[0]]
+        out_c, kh, kw, in_c = w_spec.shape
+        fused_relu = self.params.get("activation") == "relu"
+        is_float = x_spec.dtype == "float32"
+        if plan is None:
+            plan = self.plan(tensors, specs)
+        pad, flat_w_t, bias = plan["pad"], plan["flat_w_t"], plan["bias"]
+
+        if is_float:
+            cols = _im2col(x, kh, kw, sh, sw, pad, 0.0)
+            acc = cols.astype(np.float32) @ flat_w_t
+            if bias is not None:
+                acc = acc + bias
+            if fused_relu:
+                acc = np.maximum(acc, 0.0)
+            tensors[self.outputs[0]] = acc.reshape(out_spec.shape).astype(np.float32)
+            return
+
+        # int8 path: accumulate (x - zp_x) * w exactly (see plan()).
+        zp_x = x_spec.quant.zero_point
+        cols = _im2col(x, kh, kw, sh, sw, pad,
+                       np.int8(zp_x)).astype(np.float64) - zp_x
+        acc = (cols @ flat_w_t).astype(np.int64)
+        if bias is not None:
+            acc = acc + bias
+        multiplier, shift, zero_point = plan["requant"]
+        scaled = multiply_by_quantized_multiplier(acc, multiplier, shift)
+        result = np.clip(scaled + zero_point, -128, 127).astype(np.int8)
+        if fused_relu:
+            result = np.maximum(result, np.int8(zero_point))
+        tensors[self.outputs[0]] = result.reshape(out_spec.shape)
+
+    def run_reference(self, tensors, specs):
+        """The original per-patch loop implementation, kept verbatim."""
         x = tensors[self.inputs[0]]
         weights = tensors[self.inputs[1]]
         bias = tensors[self.inputs[2]] if len(self.inputs) > 2 else None
         x_spec, w_spec, sh, sw, padding = self._geometry(specs)
         out_spec = specs[self.outputs[0]]
         out_c, kh, kw, in_c = weights.shape
-        if padding == "same":
-            pt, pb = same_padding(x.shape[1], kh, sh)
-            pl, pr = same_padding(x.shape[2], kw, sw)
-        else:
-            pt = pb = pl = pr = 0
+        pad = self._resolve_padding(x.shape, kh, kw, sh, sw, padding)
         fused_relu = self.params.get("activation") == "relu"
 
         if x_spec.dtype == "float32":
-            cols = _im2col(x, kh, kw, sh, sw, (pt, pb, pl, pr), 0.0)
+            cols = _im2col_reference(x, kh, kw, sh, sw, pad, 0.0)
             flat_w = weights.reshape(out_c, -1).astype(np.float32)
             acc = cols.astype(np.float32) @ flat_w.T
             if bias is not None:
@@ -130,10 +227,9 @@ class Conv2D(_ConvBase):
             tensors[self.outputs[0]] = acc.reshape(out_spec.shape).astype(np.float32)
             return
 
-        # int8 path: accumulate (x - zp_x) * w in int32.
         zp_x = x_spec.quant.zero_point
-        cols = _im2col(x, kh, kw, sh, sw, (pt, pb, pl, pr),
-                       np.int8(zp_x)).astype(np.int32) - zp_x
+        cols = _im2col_reference(x, kh, kw, sh, sw, pad,
+                                 np.int8(zp_x)).astype(np.int32) - zp_x
         flat_w = weights.reshape(out_c, -1).astype(np.int32)
         acc = cols @ flat_w.T
         if bias is not None:
@@ -171,24 +267,79 @@ class DepthwiseConv2D(_ConvBase):
         out_w = conv_output_size(x_spec.shape[2], kw, sw, padding)
         return (1, out_h, out_w, channels)
 
-    def run(self, tensors, specs):
+    def plan(self, tensors, specs):
+        """Pre-resolve padding, pre-flatten/cast the filter, pre-quantize
+        the requantization multiplier."""
+        if self.inputs[1] not in tensors:
+            return None
+        x_spec, w_spec, sh, sw, padding = self._geometry(specs)
+        out_spec = specs[self.outputs[0]]
+        weights = tensors[self.inputs[1]]
+        bias = tensors[self.inputs[2]] if len(self.inputs) > 2 else None
+        _, kh, kw, channels = w_spec.shape
+        pad = self._resolve_padding(x_spec.shape, kh, kw, sh, sw, padding)
+        if x_spec.dtype == "float32":
+            flat_w = weights.reshape(kh * kw, channels).astype(np.float32)
+            return {"pad": pad, "flat_w": flat_w, "bias": bias,
+                    "requant": None}
+        flat_w = weights.reshape(kh * kw, channels).astype(np.float64)
+        bias = bias.astype(np.int64) if bias is not None else None
+        out_q = out_spec.quant
+        multiplier, shift = quantize_multiplier(
+            x_spec.quant.scale * w_spec.quant.scale / out_q.scale)
+        return {"pad": pad, "flat_w": flat_w, "bias": bias,
+                "requant": (multiplier, shift, out_q.zero_point)}
+
+    def run(self, tensors, specs, plan=None):
+        x = tensors[self.inputs[0]]
+        x_spec, w_spec, sh, sw, padding = self._geometry(specs)
+        out_spec = specs[self.outputs[0]]
+        _, kh, kw, channels = w_spec.shape
+        fused_relu = self.params.get("activation") == "relu"
+        is_float = x_spec.dtype == "float32"
+        if plan is None:
+            plan = self.plan(tensors, specs)
+        pad, flat_w, bias = plan["pad"], plan["flat_w"], plan["bias"]
+
+        pad_value = 0.0 if is_float else np.int8(x_spec.quant.zero_point)
+        cols = _im2col(x, kh, kw, sh, sw, pad, pad_value)
+        # cols: (spatial, kh*kw*channels) -> (spatial, kh*kw, channels)
+        cols = cols.reshape(cols.shape[0], kh * kw, channels)
+        if is_float:
+            acc = np.einsum("skc,kc->sc", cols.astype(np.float32), flat_w)
+            if bias is not None:
+                acc = acc + bias
+            if fused_relu:
+                acc = np.maximum(acc, 0.0)
+            tensors[self.outputs[0]] = acc.reshape(out_spec.shape).astype(np.float32)
+            return
+        # int8: exact float64 accumulation (see Conv2D.plan).
+        zp_x = x_spec.quant.zero_point
+        acc = np.einsum("skc,kc->sc", cols.astype(np.float64) - zp_x,
+                        flat_w).astype(np.int64)
+        if bias is not None:
+            acc = acc + bias
+        multiplier, shift, zero_point = plan["requant"]
+        scaled = multiply_by_quantized_multiplier(acc, multiplier, shift)
+        result = np.clip(scaled + zero_point, -128, 127).astype(np.int8)
+        if fused_relu:
+            result = np.maximum(result, np.int8(zero_point))
+        tensors[self.outputs[0]] = result.reshape(out_spec.shape)
+
+    def run_reference(self, tensors, specs):
+        """The original per-patch loop implementation, kept verbatim."""
         x = tensors[self.inputs[0]]
         weights = tensors[self.inputs[1]]
         bias = tensors[self.inputs[2]] if len(self.inputs) > 2 else None
         x_spec, w_spec, sh, sw, padding = self._geometry(specs)
         out_spec = specs[self.outputs[0]]
         _, kh, kw, channels = weights.shape
-        if padding == "same":
-            pt, pb = same_padding(x.shape[1], kh, sh)
-            pl, pr = same_padding(x.shape[2], kw, sw)
-        else:
-            pt = pb = pl = pr = 0
+        pad = self._resolve_padding(x.shape, kh, kw, sh, sw, padding)
         fused_relu = self.params.get("activation") == "relu"
 
         is_float = x_spec.dtype == "float32"
         pad_value = 0.0 if is_float else np.int8(x_spec.quant.zero_point)
-        cols = _im2col(x, kh, kw, sh, sw, (pt, pb, pl, pr), pad_value)
-        # cols: (spatial, kh*kw*channels) -> (spatial, kh*kw, channels)
+        cols = _im2col_reference(x, kh, kw, sh, sw, pad, pad_value)
         cols = cols.reshape(cols.shape[0], kh * kw, channels)
         flat_w = weights.reshape(kh * kw, channels)
         if is_float:

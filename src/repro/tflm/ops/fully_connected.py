@@ -6,7 +6,11 @@ import numpy as np
 
 from repro.errors import InterpreterError
 from repro.tflm.ops.base import Op, OpCost, register_op
-from repro.tflm.quantize import requantize_int32
+from repro.tflm.quantize import (
+    multiply_by_quantized_multiplier,
+    quantize_multiplier,
+    requantize_int32,
+)
 
 __all__ = ["FullyConnected"]
 
@@ -42,7 +46,58 @@ class FullyConnected(Op):
                 f"(1, {out_features})"
             )
 
-    def run(self, tensors, specs):
+    def plan(self, tensors, specs):
+        """Pre-transpose/cast weights, pre-quantize the requant multiplier."""
+        if self.inputs[1] not in tensors:
+            return None
+        x_spec = specs[self.inputs[0]]
+        w_spec = specs[self.inputs[1]]
+        out_spec = specs[self.outputs[0]]
+        weights = tensors[self.inputs[1]]
+        bias = tensors[self.inputs[2]] if len(self.inputs) > 2 else None
+        if x_spec.dtype == "float32":
+            w_t = np.ascontiguousarray(weights.astype(np.float32).T)
+            return {"w_t": w_t, "bias": bias, "requant": None}
+        # int8: exact float64 GEMM (see Conv2D.plan for the bound).
+        w_t = np.ascontiguousarray(weights.astype(np.float64).T)
+        bias = bias.astype(np.int64) if bias is not None else None
+        out_q = out_spec.quant
+        multiplier, shift = quantize_multiplier(
+            x_spec.quant.scale * w_spec.quant.scale / out_q.scale)
+        return {"w_t": w_t, "bias": bias,
+                "requant": (multiplier, shift, out_q.zero_point)}
+
+    def run(self, tensors, specs, plan=None):
+        x_spec = specs[self.inputs[0]]
+        out_spec = specs[self.outputs[0]]
+        x = tensors[self.inputs[0]].reshape(1, -1)
+        fused_relu = self.params.get("activation") == "relu"
+        if plan is None:
+            plan = self.plan(tensors, specs)
+        w_t, bias = plan["w_t"], plan["bias"]
+
+        if x_spec.dtype == "float32":
+            acc = x.astype(np.float32) @ w_t
+            if bias is not None:
+                acc = acc + bias
+            if fused_relu:
+                acc = np.maximum(acc, 0.0)
+            tensors[self.outputs[0]] = acc.astype(np.float32)
+            return
+
+        zp_x = x_spec.quant.zero_point
+        acc = ((x.astype(np.float64) - zp_x) @ w_t).astype(np.int64)
+        if bias is not None:
+            acc = acc + bias
+        multiplier, shift, zero_point = plan["requant"]
+        scaled = multiply_by_quantized_multiplier(acc, multiplier, shift)
+        result = np.clip(scaled + zero_point, -128, 127).astype(np.int8)
+        if fused_relu:
+            result = np.maximum(result, np.int8(zero_point))
+        tensors[self.outputs[0]] = result.reshape(out_spec.shape)
+
+    def run_reference(self, tensors, specs):
+        """Original implementation: weights re-cast on every call."""
         x_spec = specs[self.inputs[0]]
         w_spec = specs[self.inputs[1]]
         out_spec = specs[self.outputs[0]]

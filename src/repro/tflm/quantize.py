@@ -79,18 +79,19 @@ def multiply_by_quantized_multiplier(value: np.ndarray, multiplier: int,
                                      shift: int) -> np.ndarray:
     """gemmlowp-style fixed-point multiply used for requantization.
 
-    Computes ``round(value * multiplier * 2^shift / 2^31)`` with
-    round-half-away-from-zero at both rounding points, on int64 to avoid
-    overflow (real kernels use 32x32->64 multiplies too).
+    Computes ``round(value * multiplier * 2^shift / 2^31)`` on int64 to
+    avoid overflow (real kernels use 32x32->64 multiplies too).
     """
     value = value.astype(np.int64)
     left_shift = max(shift, 0)
     right_shift = max(-shift, 0)
     product = (value << left_shift) * int(multiplier)
-    # SaturatingRoundingDoublingHighMul: (2*a*b + 2^30-ish) >> 31 with
-    # round-half-away-from-zero.
+    # SaturatingRoundingDoublingHighMul: (2*a*b + nudge) / 2^31 where the
+    # division truncates toward zero as in C++, not numpy's floor shift —
+    # floor would push every negative non-exact quotient one LSB low.
     nudge = np.where(product >= 0, 1 << 30, 1 - (1 << 30)).astype(np.int64)
-    high = (product + nudge) >> 31
+    summed = product + nudge
+    high = np.where(summed >= 0, summed >> 31, -((-summed) >> 31))
     if right_shift:
         mask = (np.int64(1) << right_shift) - 1
         remainder = high & mask

@@ -1,0 +1,296 @@
+"""Randomized equivalence tests: vectorized fast paths vs scalar references.
+
+Every hot path rewritten for wall-clock speed keeps its original
+implementation as a reference; these tests pin bit-for-bit equality
+between the two on seeded random inputs, plus the regressions the
+rewrite fixed (cost() recomputed per invoke, set_input storing a view).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.audio.features import FeatureConfig, FingerprintExtractor
+from repro.audio.streaming import StreamingFeatureExtractor
+from repro.crypto.aes import AES
+from repro.crypto.modes import (
+    GCM,
+    ctr_keystream_xor,
+    ctr_keystream_xor_reference,
+    gcm_decrypt,
+    gcm_encrypt,
+    reference_mode,
+)
+from repro.tflm.interpreter import Interpreter
+from repro.tflm.ops.conv import (
+    Conv2D,
+    DepthwiseConv2D,
+    _im2col,
+    _im2col_reference,
+    conv_output_size,
+)
+from repro.tflm.tensor import QuantParams, TensorSpec
+
+from tests.helpers import build_float_mlp, build_tiny_int8_model
+
+# --- AES block batching ------------------------------------------------
+
+
+@pytest.mark.parametrize("key_size", [16, 24, 32])
+def test_encrypt_blocks_matches_scalar(key_size):
+    rng = np.random.default_rng(key_size)
+    cipher = AES(bytes(rng.integers(0, 256, size=key_size, dtype=np.uint8)))
+    for n in (1, 2, 33, 257):
+        blocks = rng.integers(0, 256, size=(n, 16), dtype=np.uint8)
+        batched = cipher.encrypt_blocks(blocks)
+        for i in range(n):
+            assert bytes(batched[i]) == cipher.encrypt_block(bytes(blocks[i]))
+        assert np.array_equal(cipher.decrypt_blocks(batched), blocks)
+
+
+def test_decrypt_blocks_matches_scalar():
+    rng = np.random.default_rng(7)
+    cipher = AES(b"\x13" * 16)
+    blocks = rng.integers(0, 256, size=(65, 16), dtype=np.uint8)
+    batched = cipher.decrypt_blocks(blocks)
+    for i in range(len(blocks)):
+        assert bytes(batched[i]) == cipher.decrypt_block(bytes(blocks[i]))
+
+
+# --- CTR / GCM ---------------------------------------------------------
+
+
+@pytest.mark.parametrize("size", [0, 1, 15, 16, 17, 4096, 4100])
+def test_ctr_keystream_matches_reference(size):
+    rng = np.random.default_rng(size)
+    cipher = AES(b"\x2b" * 16)
+    counter = b"\x00" * 10 + b"\xff\xff\xff\xff\xff\xfe"  # wraps the u32
+    data = bytes(rng.integers(0, 256, size=size, dtype=np.uint8))
+    assert (ctr_keystream_xor(cipher, counter, data)
+            == ctr_keystream_xor_reference(cipher, counter, data))
+
+
+@pytest.mark.parametrize("size", [0, 16, 100, GCM._BATCH_MIN * 16 - 16,
+                                  GCM._BATCH_MIN * 16 + 16, 50000])
+def test_gcm_fast_matches_reference(size):
+    """Ciphertext AND tag identical across the batching threshold."""
+    rng = np.random.default_rng(size + 1)
+    key = bytes(rng.integers(0, 256, size=32, dtype=np.uint8))
+    nonce = bytes(rng.integers(0, 256, size=12, dtype=np.uint8))
+    aad = bytes(rng.integers(0, 256, size=37, dtype=np.uint8))
+    plaintext = bytes(rng.integers(0, 256, size=size, dtype=np.uint8))
+    ct_fast, tag_fast = GCM(key).encrypt(nonce, plaintext, aad)
+    ct_ref, tag_ref = GCM(key, reference=True).encrypt(nonce, plaintext, aad)
+    assert ct_fast == ct_ref
+    assert tag_fast == tag_ref
+    # Cross-decrypt: each implementation authenticates the other's output.
+    assert GCM(key, reference=True).decrypt(nonce, ct_fast, tag_fast, aad) \
+        == plaintext
+    assert GCM(key).decrypt(nonce, ct_ref, tag_ref, aad) == plaintext
+
+
+def test_reference_mode_context_flips_default():
+    key = b"\x55" * 16
+    blob = gcm_encrypt(key, b"\x01" * 12, b"hello world", b"aad")
+    with reference_mode():
+        blob_ref = gcm_encrypt(key, b"\x01" * 12, b"hello world", b"aad")
+        assert gcm_decrypt(key, blob, b"aad") == b"hello world"
+    assert blob == blob_ref
+    assert GCM(key)._reference is False
+
+
+# --- im2col / conv kernels --------------------------------------------
+
+
+@pytest.mark.parametrize("dtype,pad_value", [(np.int8, np.int8(-5)),
+                                             (np.float32, 0.0)])
+def test_im2col_matches_reference(dtype, pad_value):
+    rng = np.random.default_rng(42)
+    for h, w, c, kh, kw, sh, sw, pad in [
+        (8, 6, 1, 3, 3, 1, 1, (1, 1, 1, 1)),
+        (8, 6, 3, 3, 3, 2, 2, (1, 0, 1, 0)),
+        (10, 10, 4, 5, 1, 2, 1, (2, 2, 0, 0)),
+        (7, 9, 2, 1, 1, 1, 3, (0, 0, 0, 0)),
+        (5, 5, 8, 4, 4, 3, 2, (1, 2, 2, 1)),
+    ]:
+        if dtype == np.int8:
+            x = rng.integers(-128, 128, size=(1, h, w, c)).astype(np.int8)
+        else:
+            x = rng.normal(size=(1, h, w, c)).astype(np.float32)
+        fast = _im2col(x, kh, kw, sh, sw, pad, pad_value)
+        ref = _im2col_reference(x, kh, kw, sh, sw, pad, pad_value)
+        assert fast.dtype == ref.dtype
+        assert np.array_equal(fast, ref), (h, w, c, kh, kw, sh, sw, pad)
+
+
+def _conv_case(op_cls, dtype, stride, padding, seed):
+    """Build specs/tensors for one randomized conv op and run both paths."""
+    rng = np.random.default_rng(seed)
+    h, w, in_c = 9, 7, 3
+    kh, kw = 3, 3
+    out_c = in_c if op_cls is DepthwiseConv2D else 5
+    w_shape = ((1, kh, kw, in_c) if op_cls is DepthwiseConv2D
+               else (out_c, kh, kw, in_c))
+    out_h = conv_output_size(h, kh, stride[0], padding)
+    out_w = conv_output_size(w, kw, stride[1], padding)
+
+    specs = {}
+    tensors = {}
+    if dtype == "float32":
+        specs["x"] = TensorSpec("x", (1, h, w, in_c), "float32")
+        specs["w"] = TensorSpec("w", w_shape, "float32")
+        specs["b"] = TensorSpec("b", (out_c,), "float32")
+        specs["y"] = TensorSpec("y", (1, out_h, out_w, out_c), "float32")
+        tensors["x"] = rng.normal(size=(1, h, w, in_c)).astype(np.float32)
+        tensors["w"] = rng.normal(size=w_shape).astype(np.float32)
+        tensors["b"] = rng.normal(size=out_c).astype(np.float32)
+    else:
+        x_q = QuantParams(scale=0.05, zero_point=int(rng.integers(-20, 20)))
+        w_q = QuantParams(scale=0.01, zero_point=0)
+        out_q = QuantParams(scale=0.07, zero_point=int(rng.integers(-30, 30)))
+        specs["x"] = TensorSpec("x", (1, h, w, in_c), "int8", x_q)
+        specs["w"] = TensorSpec("w", w_shape, "int8", w_q)
+        specs["b"] = TensorSpec("b", (out_c,), "int32",
+                                QuantParams(x_q.scale * w_q.scale, 0))
+        specs["y"] = TensorSpec("y", (1, out_h, out_w, out_c), "int8", out_q)
+        tensors["x"] = rng.integers(-128, 128,
+                                    size=(1, h, w, in_c)).astype(np.int8)
+        tensors["w"] = rng.integers(-127, 128, size=w_shape).astype(np.int8)
+        tensors["b"] = rng.integers(-500, 500, size=out_c).astype(np.int32)
+
+    op = op_cls(["x", "w", "b"], ["y"],
+                {"stride": stride, "padding": padding,
+                 "activation": "relu" if seed % 2 else None})
+    fast_tensors = dict(tensors)
+    op.run(fast_tensors, specs, plan=op.plan(tensors, specs))
+    ref_tensors = dict(tensors)
+    op.run_reference(ref_tensors, specs)
+    assert fast_tensors["y"].dtype == ref_tensors["y"].dtype
+    if dtype == "int8":
+        assert np.array_equal(fast_tensors["y"], ref_tensors["y"]), (
+            op_cls.__name__, stride, padding, seed)
+    else:
+        np.testing.assert_allclose(fast_tensors["y"], ref_tensors["y"],
+                                   rtol=1e-5, atol=1e-6)
+
+
+@pytest.mark.parametrize("op_cls", [Conv2D, DepthwiseConv2D])
+@pytest.mark.parametrize("dtype", ["int8", "float32"])
+@pytest.mark.parametrize("stride,padding", [((1, 1), "same"),
+                                            ((2, 2), "same"),
+                                            ((1, 1), "valid"),
+                                            ((2, 1), "valid")])
+def test_conv_fast_matches_reference(op_cls, dtype, stride, padding):
+    for seed in range(4):
+        _conv_case(op_cls, dtype, stride, padding, seed)
+
+
+# --- interpreter: plans, cost caching, input copying -------------------
+
+
+@pytest.mark.parametrize("build", [build_tiny_int8_model, build_float_mlp])
+def test_interpreter_fast_matches_reference(build):
+    model = build()
+    rng = np.random.default_rng(3)
+    fast = Interpreter(model)
+    ref = Interpreter(model, reference_kernels=True)
+    name = model.inputs[0]
+    spec = model.tensors[name]
+    for _ in range(5):
+        if spec.dtype == "int8":
+            x = rng.integers(-128, 128, size=spec.shape).astype(np.int8)
+        else:
+            x = rng.normal(size=spec.shape).astype(np.float32)
+        fast.set_input(name, x)
+        ref.set_input(name, x)
+        s_fast, s_ref = fast.invoke(), ref.invoke()
+        out_fast = fast.get_output(model.outputs[0])
+        out_ref = ref.get_output(model.outputs[0])
+        if spec.dtype == "int8":
+            # Integer arithmetic is exact, so the paths are bit-equal.
+            assert np.array_equal(out_fast, out_ref)
+        else:
+            # float32 GEMMs sum in layout-dependent order; equality only
+            # holds to rounding error.
+            np.testing.assert_allclose(out_fast, out_ref, rtol=1e-5,
+                                       atol=1e-6)
+        # The simulated accounting must not see the kernel swap.
+        assert (s_fast.macs, s_fast.elements, s_fast.ops, s_fast.cycles) \
+            == (s_ref.macs, s_ref.elements, s_ref.ops, s_ref.cycles)
+
+
+def test_cost_called_at_most_once_per_op():
+    """Regression: invoke() used to call op.cost() twice per op, per call."""
+    model = build_tiny_int8_model()
+    counts = {}
+    for op in model.operators:
+        original = op.cost
+
+        def counting_cost(specs, _op=op, _original=original):
+            counts[_op] = counts.get(_op, 0) + 1
+            return _original(specs)
+
+        op.cost = counting_cost
+    interp = Interpreter(model)
+    x = np.zeros(model.tensors[model.inputs[0]].shape, dtype=np.int8)
+    interp.set_input(model.inputs[0], x)
+    for _ in range(5):
+        interp.invoke()
+    interp.estimate_cycles()
+    interp.estimate_cycles()
+    assert counts, "cost() never observed"
+    assert all(n <= 1 for n in counts.values()), counts
+
+
+def test_set_input_copies_caller_buffer():
+    """Regression: set_input stored a view, so caller-side mutation
+    after set_input() leaked into the next invoke."""
+    model = build_tiny_int8_model()
+    name = model.inputs[0]
+    shape = model.tensors[name].shape
+    rng = np.random.default_rng(11)
+    x = rng.integers(-128, 128, size=shape).astype(np.int8)
+    pristine = x.copy()
+
+    clean = Interpreter(model)
+    clean.set_input(name, pristine)
+    clean.invoke()
+    expected = clean.get_output(model.outputs[0]).copy()
+
+    interp = Interpreter(model)
+    interp.set_input(name, x)
+    x[:] = 0  # mutate the caller's buffer after handing it over
+    interp.invoke()
+    assert np.array_equal(interp.get_output(model.outputs[0]), expected)
+
+
+# --- streaming DSP -----------------------------------------------------
+
+
+def test_streaming_batched_matches_reference():
+    cfg = FeatureConfig()
+    rng = np.random.default_rng(21)
+    fast = StreamingFeatureExtractor(cfg)
+    ref = StreamingFeatureExtractor(cfg, reference=True)
+    for _ in range(30):
+        chunk = rng.integers(-3000, 3000,
+                             size=int(rng.integers(0, 3000))).astype(np.int16)
+        assert fast.feed(chunk) == ref.feed(chunk)
+        assert np.array_equal(fast.fingerprint(), ref.fingerprint())
+    assert fast.frames_produced == ref.frames_produced
+    assert fast.frames_produced > 0
+
+
+def test_extract_matches_per_frame_features():
+    cfg = FeatureConfig()
+    rng = np.random.default_rng(22)
+    ext = FingerprintExtractor(cfg)
+    clip = rng.integers(-8000, 8000, size=cfg.clip_samples).astype(np.int16)
+    batched = ext.extract(clip)
+    shift, window = cfg.shift_samples, cfg.window_samples
+    per_frame = np.stack([
+        ext.frame_features(clip[i * shift:i * shift + window])
+        for i in range(cfg.num_frames)
+    ])
+    assert np.array_equal(batched, per_frame)
