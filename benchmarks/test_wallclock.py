@@ -10,19 +10,34 @@ pins those, and they are identical for both kernel sets.
 
 from __future__ import annotations
 
+import json
 import os
+import platform as host_platform
 
 import pytest
 
 from repro.eval.bench import (
     CRYPTO_MIN_SPEEDUP,
     DEFAULT_REPORT_PATH,
+    HOOK_OVERHEAD_MAX,
     INFERENCE_MIN_SPEEDUP,
     run_benchmarks,
     write_report,
 )
 
 _REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+# The committed report (read at import time, before the fixture below
+# overwrites the file with this run's numbers).  The hook-overhead
+# regression check compares fresh wall-clock against these.
+_COMMITTED_PATH = os.path.join(_REPO_ROOT, DEFAULT_REPORT_PATH)
+_COMMITTED = (json.load(open(_COMMITTED_PATH))
+              if os.path.exists(_COMMITTED_PATH) else None)
+
+# Stages whose hot loops predate the fault-injection hooks; regressions
+# here would mean the hooks are not free when disabled.
+_NO_FAULTS_STAGES = ("crypto_provisioning_roundtrip", "inference_kws_100",
+                     "dsp_streaming_10s", "provisioning_end_to_end")
 
 
 @pytest.fixture(scope="module")
@@ -38,7 +53,7 @@ def test_report_written(wallclock_report):
     assert os.path.exists(wallclock_report["path"])
     assert set(wallclock_report["stages"]) == {
         "crypto_provisioning_roundtrip", "inference_kws_100",
-        "dsp_streaming_10s", "provisioning_end_to_end",
+        "dsp_streaming_10s", "provisioning_end_to_end", "fault_hooks",
     }
 
 
@@ -59,3 +74,33 @@ def test_dsp_and_provisioning_not_slower(wallclock_report):
     for name in ("dsp_streaming_10s", "provisioning_end_to_end"):
         stage = wallclock_report["stages"][name]
         assert stage["speedup"] >= 1.0, (name, stage)
+
+
+# --- fault-injection hooks must be free when disabled -----------------------
+
+@pytest.mark.slow
+def test_no_faults_path_within_2pct_of_committed(wallclock_report):
+    """Every pre-hook hot path must stay within HOOK_OVERHEAD_MAX of the
+    committed report's wall-clock.  Absolute host seconds only compare
+    meaningfully on the host that produced the committed numbers, so
+    other machines fall back to the (host-independent) speedup floors
+    asserted above."""
+    if _COMMITTED is None:
+        pytest.skip("no committed report to regress against")
+    if _COMMITTED["host"]["platform"] != host_platform.platform():
+        pytest.skip("committed report is from a different host")
+    for name in _NO_FAULTS_STAGES:
+        committed = _COMMITTED["stages"][name]["current_s"]
+        fresh = wallclock_report["stages"][name]["current_s"]
+        assert fresh <= committed * HOOK_OVERHEAD_MAX, (
+            f"{name}: {fresh:.4f}s vs committed {committed:.4f}s "
+            f"(> {(HOOK_OVERHEAD_MAX - 1) * 100:.0f}% overhead)")
+
+
+@pytest.mark.slow
+def test_hook_sites_cheap_even_when_armed(wallclock_report):
+    """Sanity bound on the armed path: an installed empty plan may not
+    make the hook-heavy workload pathologically slower (the disabled
+    path is the one that must be free; armed dispatch stays modest)."""
+    stage = wallclock_report["stages"]["fault_hooks"]
+    assert stage["current_s"] <= stage["baseline_s"] * 1.5, stage

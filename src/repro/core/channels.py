@@ -12,13 +12,16 @@ from __future__ import annotations
 
 import struct
 
+from repro.core.retry import DEFAULT_RETRYABLE, BackoffPolicy, retry_call
 from repro.crypto.hmac import hkdf
 from repro.crypto.modes import GCM
 from repro.crypto.rng import HmacDrbg
 from repro.crypto.rsa import RsaPrivateKey, RsaPublicKey
-from repro.errors import ProtocolError
+from repro.errors import ChannelTimeout, ProtocolError
+from repro.faults import hooks as _faults
 
-__all__ = ["SecureChannel", "ChannelEndpoint"]
+__all__ = ["SecureChannel", "ChannelEndpoint", "ReliableRequester",
+           "ReliableResponder"]
 
 
 class ChannelEndpoint:
@@ -38,21 +41,42 @@ class ChannelEndpoint:
 
     def seal(self, plaintext: bytes) -> bytes:
         """Encrypt one record for the peer."""
-        nonce = self._nonce(self._send_seq)
-        ciphertext, tag = self._send_gcm.encrypt(nonce, plaintext)
+        record = self.seal_at(self._send_seq, plaintext)
         self._send_seq += 1
-        record = ciphertext + tag
-        self.bytes_sent += len(record)
         return record
 
     def open(self, record: bytes) -> bytes:
         """Decrypt and verify one record from the peer."""
+        plaintext = self.open_at(self._recv_seq, record)
+        self._recv_seq += 1
+        return plaintext
+
+    def seal_at(self, sequence: int, plaintext: bytes) -> bytes:
+        """Encrypt one record at an explicit sequence number.
+
+        Retransmissions use the *same* sequence, so the reliable layer
+        below re-seals deterministically (same key, same nonce, same
+        plaintext — identical ciphertext, nothing new leaks) and the
+        peer can deduplicate by sequence.  Does not advance the
+        implicit-sequence counters used by :meth:`seal`/:meth:`open`.
+        """
+        nonce = self._nonce(sequence)
+        ciphertext, tag = self._send_gcm.encrypt(nonce, plaintext)
+        record = ciphertext + tag
+        if _faults.PLAN is not None:
+            record = _faults.PLAN.channel_frame("channel.seal", record)
+        self.bytes_sent += len(record)
+        return record
+
+    def open_at(self, sequence: int, record: bytes) -> bytes:
+        """Decrypt one record at an explicit sequence number."""
+        if _faults.PLAN is not None:
+            record = _faults.PLAN.channel_frame("channel.open", record)
         if len(record) < GCM.tag_size:
             raise ProtocolError("channel record too short")
-        nonce = self._nonce(self._recv_seq)
+        nonce = self._nonce(sequence)
         ciphertext, tag = record[:-GCM.tag_size], record[-GCM.tag_size:]
         plaintext = self._recv_gcm.decrypt(nonce, ciphertext, tag)
-        self._recv_seq += 1
         self.bytes_received += len(record)
         return plaintext
 
@@ -90,3 +114,108 @@ class SecureChannel:
         client_key = hkdf(master, b"omg-channel", b"client->server", 16)
         server_key = hkdf(master, b"omg-channel", b"server->client", 16)
         return ChannelEndpoint(send_key=server_key, recv_key=client_key)
+
+
+# --- reliable request/response on top of a lossy relay ---------------------
+
+_FRAME_SEQ = struct.Struct(">Q")
+
+
+class ReliableRequester:
+    """At-most-once RPC over an untrusted, lossy relay.
+
+    Each request carries an explicit sequence number (the GCM nonce is
+    derived from it), so a retransmission is byte-identical and the
+    responder can deduplicate.  Failed deliveries — dropped frames,
+    corrupted frames (GCM tag failure), injected faults — are retried
+    with exponential backoff on the *virtual* clock, bounded by the
+    policy and an optional per-request deadline.
+    """
+
+    def __init__(self, endpoint: ChannelEndpoint, clock,
+                 policy: BackoffPolicy | None = None,
+                 backoff_rng: HmacDrbg | None = None) -> None:
+        self.endpoint = endpoint
+        self.clock = clock
+        self.policy = policy or BackoffPolicy()
+        self._rng = backoff_rng or HmacDrbg(b"reliable-requester")
+        self._seq = 0
+        self.attempts = 0
+
+    def request(self, payload: bytes, deliver,
+                fatal: tuple[type[BaseException], ...] = (),
+                timeout_ms: float | None = None,
+                description: str = "request") -> bytes:
+        """Send ``payload``; return the peer's response plaintext.
+
+        ``deliver`` is the untrusted relay: it takes the request frame
+        and returns the response frame (or ``None`` for a lost
+        response).  Raises :class:`~repro.errors.RetryExhausted` or
+        :class:`~repro.errors.ChannelTimeout` when resilience runs out.
+        """
+        sequence = self._seq
+        self._seq += 1
+        deadline = (None if timeout_ms is None
+                    else self.clock.now_ms + timeout_ms)
+
+        def attempt() -> bytes:
+            self.attempts += 1
+            # Re-seal every attempt: a corrupt-on-seal fault mangles
+            # only that attempt's copy of the frame.
+            frame = (_FRAME_SEQ.pack(sequence)
+                     + self.endpoint.seal_at(sequence, payload))
+            response = deliver(frame)
+            if response is None:
+                raise ChannelTimeout(f"{description}: no response "
+                                     f"for sequence {sequence}")
+            if len(response) < _FRAME_SEQ.size:
+                raise ProtocolError(f"{description}: runt response frame")
+            (response_seq,) = _FRAME_SEQ.unpack(
+                response[:_FRAME_SEQ.size])
+            if response_seq != sequence:
+                raise ProtocolError(
+                    f"{description}: response for sequence "
+                    f"{response_seq}, expected {sequence}")
+            return self.endpoint.open_at(response_seq,
+                                         response[_FRAME_SEQ.size:])
+
+        return retry_call(
+            attempt, clock=self.clock, policy=self.policy, rng=self._rng,
+            retryable=DEFAULT_RETRYABLE, fatal=fatal,
+            deadline_ms=deadline, description=description)
+
+
+class ReliableResponder:
+    """Peer of :class:`ReliableRequester`: dedupes by sequence number.
+
+    The handler runs exactly once per sequence; a replayed frame (the
+    response was lost, the requester retried) returns the cached
+    response without re-executing — this is what makes retried
+    provisioning steps idempotent end to end.
+    """
+
+    def __init__(self, endpoint: ChannelEndpoint, handler) -> None:
+        self.endpoint = endpoint
+        self.handler = handler
+        self._responses: dict[int, bytes] = {}
+        self.handled = 0
+        self.replays = 0
+
+    def handle_frame(self, frame: bytes) -> bytes:
+        if len(frame) < _FRAME_SEQ.size:
+            raise ProtocolError("runt request frame")
+        (sequence,) = _FRAME_SEQ.unpack(frame[:_FRAME_SEQ.size])
+        response = self._responses.get(sequence)
+        if response is not None:
+            self.replays += 1
+        else:
+            payload = self.endpoint.open_at(sequence,
+                                            frame[_FRAME_SEQ.size:])
+            response = self.handler(payload)
+            self._responses[sequence] = response
+            self.handled += 1
+        # Re-seal per transmission: sealing at a fixed sequence is
+        # deterministic, so a replay is byte-identical on a clean wire
+        # while a corruption fault mangles only this copy.
+        return (_FRAME_SEQ.pack(sequence)
+                + self.endpoint.seal_at(sequence, response))

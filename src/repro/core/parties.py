@@ -49,6 +49,11 @@ class Vendor:
         self._enclaves: dict[str, RsaPublicKey] = {}
         self._nonces: dict[str, bytes] = {}
         self._licenses: dict[str, LicenseState] = {}
+        # Retransmission caches: responses bound to a client request
+        # nonce, so a replayed retry is answered idempotently instead
+        # of re-consuming license state or rotating KDF nonces.
+        self._provision_cache: dict[tuple[str, bytes], EncryptedModel] = {}
+        self._release_cache: dict[tuple[str, bytes], WrappedKey] = {}
         self.provisioned_count = 0
         self.keys_released = 0
 
@@ -76,33 +81,52 @@ class Vendor:
         self._licenses[report.enclave_name] = LicenseState(
             report.enclave_name, policy or LicensePolicy())
 
-    def provision_model(self, enclave_id: str) -> EncryptedModel:
+    def provision_model(self, enclave_id: str,
+                        request_nonce: bytes | None = None) -> EncryptedModel:
         """Step 3 of Fig. 2: Enc(model, K_U) for a registered enclave.
 
         A fresh nonce n is drawn per (enclave, model version); K_U =
         KDF(PK, n) never leaves the vendor here — only the ciphertext.
+
+        ``request_nonce`` makes the call idempotent for retransmission:
+        a replay with the same nonce returns the cached ciphertext
+        instead of rotating the KDF nonce (which would strand a
+        partially provisioned enclave with an undecryptable blob).
         """
         pk = self._enclaves.get(enclave_id)
         if pk is None:
             raise ProtocolError(
                 f"enclave {enclave_id!r} has not passed attestation"
             )
+        if request_nonce is not None:
+            cached = self._provision_cache.get((enclave_id, request_nonce))
+            if cached is not None:
+                return cached
         nonce = self._rng.generate(16)
         self._nonces[enclave_id] = nonce
         key = derive_model_key(pk, nonce, self._master_secret)
         self.provisioned_count += 1
-        return encrypt_model(
+        encrypted = encrypt_model(
             self._model_bytes, key, enclave_id,
             self._model.metadata.name, self.model_version, nonce, self._rng,
         )
+        if request_nonce is not None:
+            self._provision_cache[(enclave_id, request_nonce)] = encrypted
+        return encrypted
 
     # --- initialization phase -----------------------------------------------
 
-    def release_key(self, enclave_id: str, now_ms: float) -> WrappedKey:
+    def release_key(self, enclave_id: str, now_ms: float,
+                    request_nonce: bytes | None = None) -> WrappedKey:
         """Step 5 of Fig. 2: send K_U if (and only if) the license allows.
 
         The key is wrapped under the enclave's attested public key, so a
         normal-world relay cannot learn it.
+
+        ``request_nonce`` binds the release to one client request: a
+        replayed retry with the same nonce gets the *same* wrapped key
+        back without consuming another license request — no double
+        spend, no matter how many times a flaky channel retransmits.
         """
         pk = self._enclaves.get(enclave_id)
         nonce = self._nonces.get(enclave_id)
@@ -111,14 +135,21 @@ class Vendor:
                 f"no provisioning state for enclave {enclave_id!r}"
             )
         license_state = self._licenses[enclave_id]
+        if request_nonce is not None:
+            cached = self._release_cache.get((enclave_id, request_nonce))
+            if cached is not None and not license_state.revoked:
+                return cached
         license_state.authorize_key_release(now_ms)  # raises LicenseError
         key = derive_model_key(pk, nonce, self._master_secret)
         self.keys_released += 1
-        return WrappedKey(
+        wrapped = WrappedKey(
             enclave_id=enclave_id,
             model_version=self.model_version,
             wrapped=pk.encrypt_oaep(key, self._rng),
         )
+        if request_nonce is not None:
+            self._release_cache[(enclave_id, request_nonce)] = wrapped
+        return wrapped
 
     # --- management -----------------------------------------------------
 
@@ -126,6 +157,10 @@ class Vendor:
         """Stop releasing K_U to this enclave (license revocation)."""
         if enclave_id in self._licenses:
             self._licenses[enclave_id].revoke()
+        # A revoked enclave must not be able to replay a cached release.
+        self._release_cache = {key: value
+                               for key, value in self._release_cache.items()
+                               if key[0] != enclave_id}
 
     def license_state(self, enclave_id: str) -> LicenseState:
         if enclave_id not in self._licenses:
@@ -147,6 +182,8 @@ class Vendor:
         self._model_bytes = serialize_model(new_model)
         self.model_version = new_model.metadata.version
         self._nonces.clear()
+        self._provision_cache.clear()
+        self._release_cache.clear()
 
 
 class User:

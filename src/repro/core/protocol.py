@@ -10,7 +10,10 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 
-__all__ = ["Phase", "StepIo", "ProtocolStep", "ProtocolTranscript"]
+from repro.errors import ChannelTimeout
+
+__all__ = ["Phase", "StepIo", "ProtocolStep", "ProtocolTranscript",
+           "StepTimeouts", "DEFAULT_STEP_TIMEOUTS"]
 
 
 class Phase(enum.Enum):
@@ -55,15 +58,62 @@ class ProtocolStep:
         return self.end_ms - self.start_ms
 
 
+@dataclass(frozen=True)
+class StepTimeouts:
+    """Per-step virtual-clock budgets for the Fig. 2 protocol.
+
+    ``budgets_ms`` maps a step number to the maximum simulated duration
+    allowed for that step (retries and backoff included — both advance
+    the virtual clock); ``default_ms`` applies to unlisted steps, and
+    ``None`` means unlimited.  Budget violations surface as
+    :class:`~repro.errors.ChannelTimeout`, the typed liveness bound the
+    chaos harness asserts on.
+    """
+
+    budgets_ms: dict[int, float] = field(default_factory=dict)
+    default_ms: float | None = None
+
+    def budget_for(self, number: int) -> float | None:
+        return self.budgets_ms.get(number, self.default_ms)
+
+    def deadline_for(self, number: int, start_ms: float) -> float | None:
+        """Absolute deadline for a step starting at ``start_ms``."""
+        budget = self.budget_for(number)
+        return None if budget is None else start_ms + budget
+
+    def check(self, number: int, start_ms: float, end_ms: float) -> None:
+        budget = self.budget_for(number)
+        if budget is not None and end_ms - start_ms > budget:
+            raise ChannelTimeout(
+                f"protocol step {number} took {end_ms - start_ms:.1f} ms, "
+                f"budget is {budget:.1f} ms")
+
+
+# Generous simulated budgets: far above the healthy-path Fig. 2 costs,
+# tight enough that a fault storm fails typed instead of spinning.
+DEFAULT_STEP_TIMEOUTS = StepTimeouts(
+    budgets_ms={
+        2: 60_000.0,   # attestation to the vendor
+        3: 120_000.0,  # encrypted model transfer
+        4: 60_000.0,   # flash install
+        5: 60_000.0,   # key release
+        6: 120_000.0,  # in-enclave decrypt
+    },
+)
+
+
 @dataclass
 class ProtocolTranscript:
     """Ordered record of executed steps."""
 
     steps: list[ProtocolStep] = field(default_factory=list)
+    timeouts: StepTimeouts | None = None
 
     def record(self, number: int, phase: Phase, io: StepIo,
                bytes_moved: int, start_ms: float, end_ms: float,
                name: str | None = None) -> ProtocolStep:
+        if self.timeouts is not None:
+            self.timeouts.check(number, start_ms, end_ms)
         step = ProtocolStep(
             number=number,
             name=name or FIG2_STEPS.get(number, f"step {number}"),

@@ -1,0 +1,110 @@
+"""Bounded retry with exponential backoff + jitter on the virtual clock.
+
+All delays are *simulated* milliseconds: a retry loop advances the
+platform's :class:`~repro.hw.timing.VirtualClock` instead of sleeping,
+so Table I timings stay deterministic and fault schedules replay bit
+for bit.  Jitter is drawn from a seeded DRBG and is sized so the delay
+sequence is always monotone non-decreasing (property-pinned by
+``tests/test_retry_backoff.py``): the jittered delay for attempt *i*
+never exceeds the un-jittered delay for attempt *i + 1* because the
+policy requires ``1 + jitter_frac <= factor``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.rng import HmacDrbg
+from repro.errors import (
+    AuthenticationError,
+    ChannelTimeout,
+    FaultInjected,
+    ProtocolError,
+    ReproError,
+    RetryExhausted,
+)
+
+__all__ = ["BackoffPolicy", "retry_call", "DEFAULT_RETRYABLE"]
+
+# Transient failures a resilient protocol layer may retry: injected
+# faults, malformed/lost frames (AuthenticationError covers corruption
+# caught by GCM), and step-local timeouts.  Fatal refusals (e.g.
+# LicenseError) are excluded per call site via ``fatal``.
+DEFAULT_RETRYABLE: tuple[type[BaseException], ...] = (
+    FaultInjected, ProtocolError, AuthenticationError, ChannelTimeout,
+)
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Exponential backoff schedule: ``base * factor**i``, capped.
+
+    ``jitter_frac`` scales a DRBG-uniform addend in
+    ``[0, jitter_frac * nominal)``; it must not exceed ``factor - 1`` so
+    that consecutive delays never decrease.
+    """
+
+    base_ms: float = 5.0
+    factor: float = 2.0
+    max_ms: float = 500.0
+    max_attempts: int = 8
+    jitter_frac: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.base_ms <= 0 or self.max_ms <= 0:
+            raise ReproError("backoff delays must be positive")
+        if self.factor < 1.0:
+            raise ReproError("backoff factor must be >= 1")
+        if self.max_attempts < 1:
+            raise ReproError("need at least one attempt")
+        if not 0.0 <= self.jitter_frac <= self.factor - 1.0:
+            raise ReproError(
+                "jitter_frac must lie in [0, factor - 1] to keep the "
+                "delay sequence monotone")
+
+    def delay_ms(self, attempt: int, rng: HmacDrbg) -> float:
+        """Delay before retry number ``attempt`` (0-based), jittered."""
+        nominal = self.base_ms * self.factor ** attempt
+        uniform = int.from_bytes(rng.generate(8), "big") / 2.0 ** 64
+        return min(nominal * (1.0 + self.jitter_frac * uniform), self.max_ms)
+
+    def delays_ms(self, rng: HmacDrbg) -> list[float]:
+        """The full delay schedule (``max_attempts - 1`` entries)."""
+        return [self.delay_ms(i, rng) for i in range(self.max_attempts - 1)]
+
+
+def retry_call(fn, *, clock, policy: BackoffPolicy, rng: HmacDrbg,
+               retryable: tuple[type[BaseException], ...] = DEFAULT_RETRYABLE,
+               fatal: tuple[type[BaseException], ...] = (),
+               deadline_ms: float | None = None,
+               description: str = "operation"):
+    """Call ``fn`` until it succeeds, retries run out, or time runs out.
+
+    - ``retryable`` exceptions trigger a backoff (virtual-clock advance)
+      and another attempt; anything else propagates immediately.
+    - ``fatal`` wins over ``retryable``: those propagate immediately
+      even if they subclass a retryable type (vendor refusals).
+    - ``deadline_ms`` is an absolute virtual-clock deadline; once passed,
+      :class:`ChannelTimeout` is raised instead of another attempt.
+    - After ``policy.max_attempts`` failures, :class:`RetryExhausted`
+      chains the last error.
+    """
+    last: BaseException | None = None
+    for attempt in range(policy.max_attempts):
+        if deadline_ms is not None and clock.now_ms > deadline_ms:
+            raise ChannelTimeout(
+                f"{description}: deadline of {deadline_ms:.1f} ms passed "
+                f"after {attempt} attempts (now {clock.now_ms:.1f} ms)"
+            ) from last
+        try:
+            return fn()
+        except retryable as exc:
+            if isinstance(exc, fatal):
+                raise
+            last = exc
+            if attempt + 1 < policy.max_attempts:
+                clock.advance_ms(policy.delay_ms(attempt, rng))
+    raise RetryExhausted(
+        f"{description}: gave up after {policy.max_attempts} attempts "
+        f"({type(last).__name__}: {last})"
+    ) from last

@@ -10,6 +10,9 @@ from __future__ import annotations
 
 from repro.crypto.hmac import hmac_sha256
 from repro.errors import CryptoError
+# Only the dependency-free hooks module: repro.faults.plan imports this
+# module for its own DRBG, so importing the plan here would be circular.
+from repro.faults import hooks as _faults
 
 __all__ = ["HmacDrbg", "default_rng"]
 
@@ -38,7 +41,14 @@ class HmacDrbg:
         self._reseed_counter = 1
 
     def generate(self, num_bytes: int) -> bytes:
-        """Return ``num_bytes`` pseudo-random bytes."""
+        """Return ``num_bytes`` pseudo-random bytes.
+
+        An ``rng.generate``/``exhaust`` fault models the underlying
+        entropy source failing mid-protocol (the DRBG state itself is
+        untouched, so a retry can succeed).
+        """
+        if _faults.PLAN is not None:
+            _faults.PLAN.rng_generate(num_bytes)
         if num_bytes < 0:
             raise CryptoError("cannot generate a negative number of bytes")
         out = b""

@@ -81,5 +81,28 @@ class LicenseError(ProtocolError):
     """The vendor refused or revoked the model license."""
 
 
+class FaultInjected(ReproError):
+    """A deterministic fault-injection rule fired (see :mod:`repro.faults`).
+
+    Raised at an instrumented hook site when the installed
+    :class:`~repro.faults.FaultPlan` decides the operation fails.  The
+    stack must treat it exactly like the real-world fault it models
+    (bus error, entropy exhaustion, lost frame, enclave crash): retry,
+    fail closed, or abort — never leak.
+    """
+
+
+class RetryExhausted(ReproError):
+    """A bounded retry loop used all its attempts without succeeding."""
+
+
+class ChannelTimeout(ReproError):
+    """A protocol step exceeded its virtual-clock deadline."""
+
+
+class ProvisioningAborted(ProtocolError):
+    """Provisioning gave up after resume rounds were exhausted."""
+
+
 class AudioError(ReproError):
     """Audio decoding or feature extraction failed."""

@@ -32,6 +32,11 @@ DEFAULT_REPORT_PATH = "BENCH_wallclock.json"
 CRYPTO_MIN_SPEEDUP = 5.0
 INFERENCE_MIN_SPEEDUP = 2.0
 
+# Fault-injection hooks must be free when no plan is installed: the
+# no-faults path may not regress more than this factor against the
+# committed report's numbers (same host only — see test_wallclock.py).
+HOOK_OVERHEAD_MAX = 1.02
+
 
 def _best_of(fn, repeats: int) -> float:
     """Minimum wall-clock of ``repeats`` runs (noise-robust)."""
@@ -172,6 +177,48 @@ def bench_provisioning(model, repeats: int = 3) -> dict:
     return _stage(baseline, current, repeats=repeats)
 
 
+def bench_fault_hooks(repeats: int = 5) -> dict:
+    """Cost of the fault-injection hook sites, disabled vs armed.
+
+    The workload hammers every instrumented site — bus reads/writes,
+    scrubs, DRBG generates, channel seal/open — first with no plan
+    installed (``baseline_s``: the production no-faults path, one
+    attribute load + ``None`` check per site) and then with an armed
+    empty :class:`~repro.faults.FaultPlan` (``current_s``: full dispatch
+    with zero matching rules).  The disabled path is additionally
+    regression-checked against the committed report by
+    ``benchmarks/test_wallclock.py``.
+    """
+    from repro import faults
+    from repro.core.channels import ChannelEndpoint
+    from repro.crypto.rng import HmacDrbg
+    from repro.hw.bus import SystemBus
+    from repro.hw.memory import PhysicalMemory, Tzasc, World
+
+    def workload():
+        bus = SystemBus(PhysicalMemory(1 << 20), Tzasc())
+        payload = bytes(64)
+        for i in range(400):
+            address = (i * 64) % (1 << 19)
+            bus.write(address, payload, World.SECURE, core_id=None)
+            bus.read(address, 64, World.SECURE, None)
+        for i in range(50):
+            bus.memory.scrub((i * 4096) % (1 << 19), 4096)
+        drbg = HmacDrbg(b"bench-hooks")
+        for _ in range(200):
+            drbg.generate(16)
+        a = ChannelEndpoint(send_key=b"k" * 16, recv_key=b"r" * 16)
+        b = ChannelEndpoint(send_key=b"r" * 16, recv_key=b"k" * 16)
+        for i in range(50):
+            b.open_at(i, a.seal_at(i, payload))
+
+    disabled = _best_of(workload, repeats)
+    with faults.installed(faults.FaultPlan(0, [])):
+        armed = _best_of(workload, repeats)
+    return _stage(disabled, armed, repeats=repeats,
+                  armed_overhead=armed / disabled - 1.0 if disabled else 0.0)
+
+
 def run_benchmarks(model=None, model_bytes: bytes | None = None) -> dict:
     """Run every stage; returns the report dict (see DEFAULT_REPORT_PATH)."""
     if model is None:
@@ -185,6 +232,7 @@ def run_benchmarks(model=None, model_bytes: bytes | None = None) -> dict:
         "inference_kws_100": bench_inference(model),
         "dsp_streaming_10s": bench_dsp(),
         "provisioning_end_to_end": bench_provisioning(model),
+        "fault_hooks": bench_fault_hooks(),
     }
     return {
         "host": {

@@ -1,0 +1,452 @@
+"""Chaos harness: the end-to-end KWS pipeline under seeded fault storms.
+
+Each schedule installs a :func:`~repro.faults.random_plan` for one seed
+and drives the full OMG flow — platform bring-up, attestation,
+provisioning over the reliable channel, keyword recognition, teardown —
+with bounded crash recovery.  Two invariants are checked for every seed:
+
+* **liveness** — the run either completes or fails with a *typed*
+  :class:`~repro.errors.ReproError`; no hangs, no bare exceptions
+  escaping the resilience layers;
+* **safety** — no model plaintext and no recognition-input bytes are
+  ever observable outside the enclave (untrusted flash, or resident
+  DRAM not covered by a live TZASC lock), and no license request is
+  double-spent no matter how often the lossy channel retransmits.
+
+Because every source of randomness (fault triggers, corruption bits,
+backoff jitter, attestation challenges) is DRBG-seeded and time is a
+virtual clock, a schedule's fault transcript is bit-for-bit reproducible
+from its seed — the transcripts are the debugging artifact CI uploads.
+
+Run standalone::
+
+    PYTHONPATH=src python -m repro.eval.chaos --seeds 20 --out chaos-out
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.channels import (ReliableRequester, ReliableResponder,
+                                 SecureChannel)
+from repro.core.omg import KeywordSpotterApp
+from repro.core.parties import Vendor
+from repro.core.protocol import DEFAULT_STEP_TIMEOUTS, ProtocolTranscript
+from repro.core.provisioning import ProvisioningClient, VendorServer
+from repro.core.retry import BackoffPolicy
+from repro.crypto.keycache import deterministic_keypair
+from repro.crypto.rng import HmacDrbg
+from repro.errors import ProtocolError, ReproError
+from repro.faults import FaultPlan, installed, random_plan
+from repro.sanctuary.lifecycle import (EnclaveState, SanctuaryRuntime)
+from repro.trustzone import make_platform
+
+__all__ = ["ChaosResult", "run_chaos_schedule", "write_chaos_transcripts",
+           "default_chaos_model"]
+
+_HEAP_BYTES = 1 << 20
+_KEY_BITS = 768
+_VENDOR_SEED = b"vendor-seed"
+_MARKER_LEN = 48
+
+
+@dataclass
+class ChaosResult:
+    """Outcome of one seeded chaos schedule, plus its reproducible log."""
+
+    seed: int
+    completed: bool = False
+    error: str | None = None          # typed error class name, if any
+    error_message: str = ""
+    untyped: bool = False             # liveness violation: non-ReproError
+    rounds: int = 0                   # provisioning rounds across sessions
+    recoveries: int = 0               # crash-recovery relaunches used
+    attempts: int = 0                 # channel request attempts (retries incl.)
+    replays: int = 0                  # deduplicated retransmissions
+    recognitions: list[str] = field(default_factory=list)
+    rules: list[str] = field(default_factory=list)
+    fault_lines: list[str] = field(default_factory=list)
+    key_requests: dict[str, int] = field(default_factory=dict)
+    safety_violations: list[str] = field(default_factory=list)
+
+    @property
+    def live(self) -> bool:
+        """Liveness invariant: completed, or failed with a typed error."""
+        return self.completed or (self.error is not None and not self.untyped)
+
+    @property
+    def safe(self) -> bool:
+        """Safety invariant: nothing leaked, nothing double-spent."""
+        return not self.safety_violations
+
+    def transcript(self) -> str:
+        """Human-readable per-seed artifact (uploaded by the CI job)."""
+        lines = [
+            f"chaos schedule seed={self.seed}",
+            f"completed={self.completed} live={self.live} safe={self.safe}",
+            f"error={self.error or '-'} {self.error_message}".rstrip(),
+            f"rounds={self.rounds} recoveries={self.recoveries} "
+            f"attempts={self.attempts} replays={self.replays}",
+            f"recognitions={','.join(self.recognitions) or '-'}",
+            "rules:",
+            *(f"  {rule}" for rule in self.rules),
+            "faults fired:",
+            *(f"  {line}" for line in self.fault_lines),
+        ]
+        if self.key_requests:
+            lines.append("license key requests:")
+            lines.extend(f"  {eid}: {n}"
+                         for eid, n in sorted(self.key_requests.items()))
+        if self.safety_violations:
+            lines.append("SAFETY VIOLATIONS:")
+            lines.extend(f"  {v}" for v in self.safety_violations)
+        return "\n".join(lines) + "\n"
+
+
+def default_chaos_model():
+    """A miniature int8 conv/FC/softmax KWS model (fast to provision)."""
+    from repro.tflm.model import Model, ModelMetadata
+    from repro.tflm.ops.conv import Conv2D
+    from repro.tflm.ops.fully_connected import FullyConnected
+    from repro.tflm.ops.softmax import (SOFTMAX_OUTPUT_SCALE,
+                                        SOFTMAX_OUTPUT_ZERO_POINT, Softmax)
+    from repro.tflm.quantize import choose_weight_qparams
+    from repro.tflm.tensor import QuantParams, TensorSpec
+
+    rng = np.random.default_rng(11)
+    height, width, classes = 8, 6, 4
+    conv_w = rng.normal(0, 0.4, size=(3, 3, 3, 1))
+    conv_b = rng.normal(0, 0.1, size=3)
+    oh, ow = -(-height // 2), -(-width // 2)
+    fc_w = rng.normal(0, 0.3, size=(classes, oh * ow * 3))
+    fc_b = rng.normal(0, 0.1, size=classes)
+
+    input_q = QuantParams(scale=1 / 255.0, zero_point=-128)
+    conv_w_q = choose_weight_qparams(conv_w)
+    conv_out_q = QuantParams(scale=0.02, zero_point=-80)
+    fc_w_q = choose_weight_qparams(fc_w)
+
+    model = Model(metadata=ModelMetadata(
+        name="chaos-kws", version=1,
+        labels=tuple(f"kw{i}" for i in range(classes))))
+    model.add_tensor(TensorSpec("input", (1, height, width, 1), "int8",
+                                input_q))
+    model.add_tensor(TensorSpec("conv_w", conv_w.shape, "int8", conv_w_q),
+                     conv_w_q.quantize(conv_w))
+    bias_scale = input_q.scale * conv_w_q.scale
+    model.add_tensor(TensorSpec("conv_b", (3,), "int32",
+                                QuantParams(bias_scale, 0)),
+                     np.round(conv_b / bias_scale).astype(np.int32))
+    model.add_tensor(TensorSpec("conv_out", (1, oh, ow, 3), "int8",
+                                conv_out_q))
+    model.add_tensor(TensorSpec("fc_w", fc_w.shape, "int8", fc_w_q),
+                     fc_w_q.quantize(fc_w))
+    fc_bias_scale = conv_out_q.scale * fc_w_q.scale
+    model.add_tensor(TensorSpec("fc_b", (classes,), "int32",
+                                QuantParams(fc_bias_scale, 0)),
+                     np.round(fc_b / fc_bias_scale).astype(np.int32))
+    model.add_tensor(TensorSpec("logits", (1, classes), "int8",
+                                QuantParams(0.1, 0)))
+    model.add_tensor(TensorSpec(
+        "probs", (1, classes), "int8",
+        QuantParams(SOFTMAX_OUTPUT_SCALE, SOFTMAX_OUTPUT_ZERO_POINT)))
+    model.add_operator(Conv2D(["input", "conv_w", "conv_b"], ["conv_out"],
+                              {"stride": (2, 2), "padding": "same",
+                               "activation": "relu"}))
+    model.add_operator(FullyConnected(["conv_out", "fc_w", "fc_b"],
+                                      ["logits"], {}))
+    model.add_operator(Softmax(["logits"], ["probs"], {}))
+    model.inputs = ["input"]
+    model.outputs = ["probs"]
+    model.validate()
+    return model
+
+
+_WARMED: set[tuple[int, int]] = set()
+
+
+def _warm_key_cache(key_bits: int, enclave_count: int) -> None:
+    """Pre-generate every RSA key a schedule can touch, before any plan.
+
+    Key generation is memoized process-wide (:mod:`repro.crypto.keycache`),
+    so whether its DRBG draws happen inside a schedule depends on cache
+    state — which would make fault op-counters differ between a cold and
+    a warm process.  Warming the cache *outside* the installed plan pins
+    the instrumented-operation sequence, so equal seeds always produce
+    equal transcripts.
+    """
+    if (key_bits, enclave_count) in _WARMED:
+        return
+    platform = make_platform(key_bits=key_bits)
+    trusted_os = platform.secure_world.trusted_os
+    for _ in range(enclave_count):
+        trusted_os.invoke("keymaster", "issue_enclave_key",
+                          enclave_name="chaos-warmup")
+    deterministic_keypair(_VENDOR_SEED + b"|vendor-key", key_bits)
+    _WARMED.add((key_bits, enclave_count))
+
+
+def _plaintext_marker(blob: bytes, length: int = _MARKER_LEN) -> bytes:
+    """A high-entropy slice of ``blob`` to grep untrusted surfaces for.
+
+    A low-entropy window (a run of zero bias bytes, say) would false-
+    positive against scrubbed memory, so prefer the byte-diverse one.
+    """
+    best = blob[:length]
+    best_score = len(set(best))
+    for start in range(0, max(1, len(blob) - length), 64):
+        window = blob[start:start + length]
+        score = len(set(window))
+        if score > best_score:
+            best, best_score = window, score
+    return best
+
+
+def _scan_for_leaks(platform, markers: dict[str, bytes]) -> list[str]:
+    """Search every untrusted surface for secret markers.
+
+    Untrusted = flash (normal-world persistent storage) plus any
+    resident DRAM that is not currently covered by a TZASC region lock
+    (secure-only or core-bound).  Quarantined enclave regions stay
+    locked, so their residue is — correctly — out of reach.
+    """
+    violations = []
+    soc = platform.soc
+    flash_image = soc.flash.raw_bytes()
+    locked = [region for region, policy in soc.tzasc.regions()
+              if policy.secure_only or policy.bound_core is not None]
+    for name, marker in markers.items():
+        if not marker:
+            continue
+        if marker in flash_image:
+            violations.append(f"{name} plaintext found in untrusted flash")
+        for base, length in soc.memory.resident_runs():
+            window = bytearray(soc.memory.read(base, length))
+            for region in locked:
+                lo = max(base, region.base)
+                hi = min(base + length, region.end)
+                if lo < hi:
+                    window[lo - base:hi - base] = bytes(hi - lo)
+            if marker in bytes(window):
+                violations.append(
+                    f"{name} plaintext resident in unlocked DRAM "
+                    f"(run base {base:#x})")
+                break
+    return violations
+
+
+class _ChaosSession:
+    """One enclave session: launch/recover, provision, recognize."""
+
+    def __init__(self, platform, runtime, vendor, app, seed: int) -> None:
+        self.platform = platform
+        self.runtime = runtime
+        self.vendor = vendor
+        self.app = app
+        self.seed = seed
+        self.clock = platform.soc.clock
+        self.instance = None
+        self.sessions = 0
+        self._provisioned_for = None  # instance the model is unlocked for
+
+    def _new_client(self) -> ProvisioningClient:
+        """Fresh channel + vendor server + client for one session."""
+        self.sessions += 1
+        tag = f"{self.seed}:{self.sessions}".encode()
+        channel_rng = HmacDrbg(b"chaos-channel|" + tag)
+        enclave_end, key_exchange = SecureChannel.connect(
+            self.vendor.public_key, channel_rng)
+        vendor_end = SecureChannel.accept(self.vendor.signing_key,
+                                          key_exchange)
+        server = VendorServer(
+            self.vendor, SanctuaryRuntime.expected_measurement(self.app),
+            self.platform.manufacturer_root.public_key, self.clock)
+        responder = self._responder = ReliableResponder(vendor_end,
+                                                        server.handle)
+        requester = ReliableRequester(
+            enclave_end, self.clock, BackoffPolicy(),
+            backoff_rng=HmacDrbg(b"chaos-backoff|" + tag))
+        return ProvisioningClient(
+            self.app, self.instance, requester, responder.handle_frame,
+            self.clock,
+            transcript=ProtocolTranscript(timeouts=DEFAULT_STEP_TIMEOUTS),
+            nonce_rng=HmacDrbg(b"chaos-nonce|" + tag))
+
+    def provision(self, result: ChaosResult) -> None:
+        if self.instance is None:
+            self.instance = self.runtime.launch(self.app,
+                                                heap_bytes=_HEAP_BYTES)
+        client = self._new_client()
+        try:
+            client.run()
+            self._provisioned_for = self.instance
+        finally:
+            result.rounds += client.rounds
+            result.attempts += client.requester.attempts
+            result.replays += self._responder.replays
+
+    def needs_provisioning(self) -> bool:
+        """A fresh or recovered enclave re-runs Fig. 2 steps 2-6; a
+        merely suspended one resumes on the next invoke."""
+        return self.instance is None or self.instance is not self._provisioned_for
+
+    def recognize(self, index: int) -> str:
+        """Ping through the untrusted mailbox, then classify one input."""
+        pong = self.instance.invoke(b"P")
+        if not pong.startswith(b"PONG:"):
+            raise ProtocolError(f"malformed ping response {pong!r}")
+        shape = self.app.interpreter.model.tensors[
+            self.app.interpreter.model.inputs[0]].shape
+        rng = np.random.default_rng(self.seed * 7919 + index)
+        fingerprint = rng.integers(
+            0, 256, size=(shape[1], shape[2]), dtype=np.uint8)
+        self._last_input = fingerprint.tobytes()
+        label = self.app.recognize_fingerprint(
+            self.instance.ctx, fingerprint).label
+        if index % 2 == 1:
+            # Exercise the suspend/resume path (and its fault window);
+            # the next invoke resumes on a fresh core.
+            self.instance.suspend()
+        return label
+
+    def after_failure(self) -> None:
+        """Fail-closed recovery: scrub-audit + re-attest, or refuse."""
+        instance, self.instance = self.instance, None
+        if instance is None:
+            crashed = self.runtime.crashed
+            if not crashed or crashed[-1].state is not EnclaveState.TORN_DOWN:
+                return  # failed before an enclave existed: plain relaunch
+            instance = crashed[-1]
+        elif instance.state is EnclaveState.ACTIVE:
+            # Session is poisoned (e.g. corrupted code image): tear it
+            # down — which itself verifies the scrub — before relaunch.
+            instance.teardown()
+        self.instance = self.runtime.recover(instance)
+
+
+def run_chaos_schedule(seed: int, model=None, *, max_recoveries: int = 3,
+                       recognition_count: int = 3,
+                       max_rules: int = 4) -> ChaosResult:
+    """Run the full pipeline under ``random_plan(seed)``; never hang.
+
+    Returns a :class:`ChaosResult` whose ``live``/``safe`` properties are
+    the invariants ``tests/test_chaos_e2e.py`` asserts for every seed.
+    """
+    if model is None:
+        model = default_chaos_model()
+    _warm_key_cache(_KEY_BITS, max_recoveries + 2)
+    plan = random_plan(seed, max_rules=max_rules)
+    result = ChaosResult(seed=seed, rules=[repr(rule) for rule in plan.rules])
+
+    with installed(plan):
+        platform = make_platform(key_bits=_KEY_BITS)
+        runtime = SanctuaryRuntime(platform)
+        session = _ChaosSession(platform, runtime, None, None, seed)
+        recoveries = 0
+        try:
+            vendor = Vendor("chaos-vendor", model, seed=_VENDOR_SEED,
+                            key_bits=_KEY_BITS)
+            app = KeywordSpotterApp()
+            session.vendor, session.app = vendor, app
+            while True:
+                try:
+                    if session.needs_provisioning():
+                        session.provision(result)
+                    while len(result.recognitions) < recognition_count:
+                        result.recognitions.append(
+                            session.recognize(len(result.recognitions)))
+                    session.instance.panic()  # clean, scrub-verified exit
+                    result.completed = True
+                    break
+                except ReproError:
+                    if recoveries >= max_recoveries:
+                        raise
+                    recoveries += 1
+                    session.after_failure()
+            result.recoveries = recoveries
+        except ReproError as exc:
+            result.error = type(exc).__name__
+            result.error_message = str(exc)
+            result.recoveries = recoveries
+        except Exception as exc:  # noqa: BLE001 — liveness violation
+            result.error = type(exc).__name__
+            result.error_message = str(exc)
+            result.untyped = True
+
+    result.fault_lines = plan.transcript_lines()
+
+    # Safety sweep over everything the normal world can observe.
+    if session.vendor is not None:
+        markers = {"model": _plaintext_marker(session.vendor.model_bytes)}
+        last_input = getattr(session, "_last_input", b"")
+        if last_input:
+            markers["input"] = _plaintext_marker(last_input)
+        result.safety_violations.extend(_scan_for_leaks(platform, markers))
+        for instance in runtime.instances + runtime.crashed:
+            enclave_id = instance.instance_name
+            try:
+                state = session.vendor.license_state(enclave_id)
+            except ReproError:
+                continue  # never attested: no license to audit
+            result.key_requests[enclave_id] = state.key_requests
+            if state.key_requests > 1:
+                result.safety_violations.append(
+                    f"license double-spend: {enclave_id} consumed "
+                    f"{state.key_requests} key requests")
+    return result
+
+
+def write_chaos_transcripts(results: list[ChaosResult],
+                            out_dir: str) -> str:
+    """Write per-seed transcripts plus a summary.json; return the dir."""
+    os.makedirs(out_dir, exist_ok=True)
+    for result in results:
+        path = os.path.join(out_dir, f"chaos-seed-{result.seed:04d}.txt")
+        with open(path, "w") as handle:
+            handle.write(result.transcript())
+    summary = {
+        "schedules": len(results),
+        "completed": sum(r.completed for r in results),
+        "typed_failures": sum(bool(r.error) and not r.untyped
+                              for r in results),
+        "liveness_violations": [r.seed for r in results if not r.live],
+        "safety_violations": [r.seed for r in results if not r.safe],
+        "total_faults_fired": sum(len(r.fault_lines) for r in results),
+    }
+    with open(os.path.join(out_dir, "summary.json"), "w") as handle:
+        json.dump(summary, handle, indent=2, sort_keys=True)
+    return out_dir
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seeds", type=int, default=20,
+                        help="number of schedules (seeds 0..N-1)")
+    parser.add_argument("--first-seed", type=int, default=0)
+    parser.add_argument("--out", default="chaos-out",
+                        help="directory for per-seed transcripts")
+    args = parser.parse_args(argv)
+
+    results = []
+    for seed in range(args.first_seed, args.first_seed + args.seeds):
+        result = run_chaos_schedule(seed)
+        status = ("ok" if result.completed
+                  else f"typed:{result.error}" if result.live
+                  else f"LIVENESS:{result.error}")
+        print(f"seed {seed:4d}  {status:30s} faults={len(result.fault_lines)}"
+              f" recoveries={result.recoveries} safe={result.safe}")
+        results.append(result)
+    write_chaos_transcripts(results, args.out)
+    bad = [r.seed for r in results if not (r.live and r.safe)]
+    print(f"{len(results)} schedules, {sum(r.completed for r in results)} "
+          f"completed, violations: {bad or 'none'}")
+    return 1 if bad else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

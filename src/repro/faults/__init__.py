@@ -1,0 +1,41 @@
+"""Deterministic fault injection for every layer of the stack.
+
+Usage::
+
+    from repro import faults
+
+    plan = faults.FaultPlan(seed=7, rules=[
+        faults.drop_nth_bus_write(3),
+        faults.crash_enclave_in_state("attested"),
+    ])
+    with faults.installed(plan):
+        ...run the workload...
+    print("\\n".join(plan.transcript_lines()))
+
+While no plan is installed the hooks reduce to one attribute load and a
+``None`` check per site — see :mod:`repro.faults.hooks`.
+"""
+
+from repro.faults.hooks import current, install, installed, uninstall
+from repro.faults.plan import (
+    FaultEvent,
+    FaultPlan,
+    FaultRule,
+    corrupt_channel_frame,
+    corrupt_nth_bus_read,
+    corrupt_nth_bus_write,
+    crash_enclave_in_state,
+    drop_channel_frame,
+    drop_nth_bus_write,
+    random_plan,
+    rng_exhaustion_at,
+    skip_nth_scrub,
+)
+
+__all__ = [
+    "FaultEvent", "FaultPlan", "FaultRule",
+    "install", "installed", "uninstall", "current",
+    "drop_nth_bus_write", "corrupt_nth_bus_write", "corrupt_nth_bus_read",
+    "skip_nth_scrub", "rng_exhaustion_at", "corrupt_channel_frame",
+    "drop_channel_frame", "crash_enclave_in_state", "random_plan",
+]

@@ -1,0 +1,363 @@
+"""Deterministic, seeded fault plans.
+
+A :class:`FaultPlan` is a set of declarative :class:`FaultRule`\\ s plus a
+seeded DRBG.  Instrumented sites across the stack dispatch into the
+installed plan (see :mod:`repro.faults.hooks`); when a rule matches, the
+plan either mutates the operation (corrupt bytes, drop a write) or
+raises :class:`~repro.errors.FaultInjected`.  Every firing is appended
+to an in-order transcript, and because all trigger decisions and
+corruption bytes come from the plan's own DRBG, re-running the same
+seed against the same workload reproduces the transcript bit for bit.
+
+Hook sites and the actions they honor:
+
+=================  =============================  =========================
+site               actions                        effect
+=================  =============================  =========================
+``bus.write``      ``drop``, ``corrupt``,         write silently lost /
+                   ``error``                      payload bit-flipped /
+                                                  bus error raised
+``bus.read``       ``corrupt``, ``error``         returned bytes flipped /
+                                                  bus error raised
+``memory.scrub``   ``skip``                       zeroization silently
+                                                  skipped (teardown must
+                                                  catch it by read-back)
+``rng.generate``   ``exhaust``                    entropy source fails
+``channel.seal``   ``corrupt``, ``drop``          frame mangled on the
+``channel.open``                                  wire / lost in transit
+``lifecycle``      ``crash``                      enclave crashes while in
+                                                  the matched state
+=================  =============================  =========================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import FaultInjected, ReproError
+
+# NOTE: repro.crypto.rng is imported lazily inside FaultPlan/random_plan.
+# Instrumented modules (rng.py among them) import repro.faults.hooks,
+# which triggers this package's __init__ — a module-level rng import
+# here would close that cycle.
+
+__all__ = [
+    "FaultRule", "FaultEvent", "FaultPlan",
+    "drop_nth_bus_write", "corrupt_nth_bus_write", "corrupt_nth_bus_read",
+    "skip_nth_scrub", "rng_exhaustion_at", "corrupt_channel_frame",
+    "drop_channel_frame", "crash_enclave_in_state", "random_plan",
+]
+
+SITES = ("bus.write", "bus.read", "memory.scrub", "rng.generate",
+         "channel.seal", "channel.open", "lifecycle")
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One declarative fault: *where*, *what*, and *when*.
+
+    Exactly one of ``nth`` (fire on the nth matching operation at the
+    site, 1-based) or ``probability`` (fire on each matching operation
+    with this chance, drawn from the plan DRBG) selects the trigger.
+    ``state`` additionally filters ``lifecycle`` events by enclave
+    state/phase name.  ``max_fires`` bounds how often the rule fires.
+    """
+
+    site: str
+    action: str
+    nth: int | None = None
+    probability: float = 0.0
+    state: str | None = None
+    max_fires: int = 1
+
+    def __post_init__(self) -> None:
+        if self.site not in SITES:
+            raise ReproError(f"unknown fault site {self.site!r}")
+        if self.nth is not None and self.nth < 1:
+            raise ReproError("nth is 1-based and must be >= 1")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ReproError("probability must be within [0, 1]")
+        if self.nth is None and self.probability == 0.0:
+            raise ReproError("rule needs a trigger: nth or probability")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One rule firing, as recorded in the plan transcript."""
+
+    index: int        # 0-based position in the transcript
+    site: str
+    action: str
+    op_index: int     # 1-based count of operations seen at the site
+    detail: str
+
+    def line(self) -> str:
+        return (f"{self.index:04d} {self.site} op={self.op_index} "
+                f"{self.action} {self.detail}")
+
+
+# Sentinel returned by bus_write when the transaction is dropped.
+DROPPED = object()
+
+
+class FaultPlan:
+    """Seeded rule set + per-site counters + firing transcript."""
+
+    def __init__(self, seed: bytes | int, rules: list[FaultRule]) -> None:
+        from repro.crypto.rng import HmacDrbg
+
+        if isinstance(seed, int):
+            seed = seed.to_bytes(16, "big", signed=False)
+        self.seed = seed
+        self.rules = list(rules)
+        self._drbg = HmacDrbg(seed or b"\x00", b"fault-plan")
+        self._by_site: dict[str, list[FaultRule]] = {}
+        for rule in self.rules:
+            self._by_site.setdefault(rule.site, []).append(rule)
+        self._op_counts: dict[str, int] = {}
+        self._fire_counts: dict[int, int] = {}
+        self.events: list[FaultEvent] = []
+        # Reentrancy guard: the plan's own DRBG runs through the
+        # instrumented HmacDrbg.generate, which must not re-enter.
+        self._busy = False
+
+    # --- bookkeeping ------------------------------------------------------
+
+    def transcript_lines(self) -> list[str]:
+        return [event.line() for event in self.events]
+
+    def fired(self, site: str | None = None) -> int:
+        if site is None:
+            return len(self.events)
+        return sum(1 for e in self.events if e.site == site)
+
+    def _record(self, rule: FaultRule, site: str, op_index: int,
+                detail: str) -> None:
+        self.events.append(FaultEvent(
+            index=len(self.events), site=site, action=rule.action,
+            op_index=op_index, detail=detail))
+
+    def _match(self, site: str, state: str | None = None) -> FaultRule | None:
+        """Count one operation at ``site``; return the rule that fires."""
+        op_index = self._op_counts.get(site, 0) + 1
+        self._op_counts[site] = op_index
+        for rule in self._by_site.get(site, ()):
+            if self._fire_counts.get(id(rule), 0) >= rule.max_fires:
+                continue
+            if rule.state is not None and rule.state != state:
+                continue
+            if rule.nth is not None:
+                if op_index != rule.nth:
+                    continue
+            elif self._uniform() >= rule.probability:
+                continue
+            self._fire_counts[id(rule)] = (
+                self._fire_counts.get(id(rule), 0) + 1)
+            return rule
+        return None
+
+    def _uniform(self) -> float:
+        return int.from_bytes(self._drbg.generate(8), "big") / 2.0 ** 64
+
+    def _flip(self, data: bytes) -> bytes:
+        """Deterministically flip one bit of ``data`` (non-empty)."""
+        position = self._drbg.randint_below(len(data))
+        mask = 1 << self._drbg.randint_below(8)
+        mutated = bytearray(data)
+        mutated[position] ^= mask
+        return bytes(mutated)
+
+    # --- hook-site dispatch ----------------------------------------------
+    #
+    # Each method counts one operation, evaluates the rules, and either
+    # passes the payload through, mutates it, or raises FaultInjected.
+    # All of them are no-ops while the plan itself is running (_busy).
+
+    def bus_write(self, address: int, data: bytes):
+        """Returns the (possibly corrupted) payload, or ``DROPPED``."""
+        if self._busy:
+            return data
+        self._busy = True
+        try:
+            rule = self._match("bus.write")
+            if rule is None:
+                return data
+            op = self._op_counts["bus.write"]
+            if rule.action == "drop":
+                self._record(rule, "bus.write", op, f"addr={address:#x}")
+                return DROPPED
+            if rule.action == "corrupt" and data:
+                self._record(rule, "bus.write", op, f"addr={address:#x}")
+                return self._flip(data)
+            if rule.action == "error":
+                self._record(rule, "bus.write", op, f"addr={address:#x}")
+                raise FaultInjected(
+                    f"injected bus error on write to {address:#x}")
+            return data
+        finally:
+            self._busy = False
+
+    def bus_read(self, address: int, data: bytes) -> bytes:
+        if self._busy:
+            return data
+        self._busy = True
+        try:
+            rule = self._match("bus.read")
+            if rule is None:
+                return data
+            op = self._op_counts["bus.read"]
+            if rule.action == "corrupt" and data:
+                self._record(rule, "bus.read", op, f"addr={address:#x}")
+                return self._flip(data)
+            if rule.action == "error":
+                self._record(rule, "bus.read", op, f"addr={address:#x}")
+                raise FaultInjected(
+                    f"injected bus error on read of {address:#x}")
+            return data
+        finally:
+            self._busy = False
+
+    def memory_scrub(self, address: int, length: int) -> bool:
+        """False means the zeroization is silently skipped."""
+        if self._busy:
+            return True
+        self._busy = True
+        try:
+            rule = self._match("memory.scrub")
+            if rule is None or rule.action != "skip":
+                return True
+            self._record(rule, "memory.scrub",
+                         self._op_counts["memory.scrub"],
+                         f"addr={address:#x} len={length}")
+            return False
+        finally:
+            self._busy = False
+
+    def rng_generate(self, num_bytes: int) -> None:
+        if self._busy:
+            return
+        self._busy = True
+        try:
+            rule = self._match("rng.generate")
+            if rule is not None and rule.action == "exhaust":
+                self._record(rule, "rng.generate",
+                             self._op_counts["rng.generate"],
+                             f"requested={num_bytes}")
+                raise FaultInjected("injected entropy-source exhaustion")
+        finally:
+            self._busy = False
+
+    def channel_frame(self, site: str, record: bytes) -> bytes:
+        """``site`` is ``channel.seal`` or ``channel.open``."""
+        if self._busy:
+            return record
+        self._busy = True
+        try:
+            rule = self._match(site)
+            if rule is None:
+                return record
+            op = self._op_counts[site]
+            if rule.action == "corrupt" and record:
+                self._record(rule, site, op, f"len={len(record)}")
+                return self._flip(record)
+            if rule.action == "drop":
+                self._record(rule, site, op, f"len={len(record)}")
+                raise FaultInjected(f"injected frame loss at {site}")
+            return record
+        finally:
+            self._busy = False
+
+    def lifecycle(self, event: str, state: str) -> None:
+        if self._busy:
+            return
+        self._busy = True
+        try:
+            rule = self._match("lifecycle", state=state)
+            if rule is not None and rule.action == "crash":
+                self._record(rule, "lifecycle",
+                             self._op_counts["lifecycle"],
+                             f"event={event} state={state}")
+                raise FaultInjected(
+                    f"injected enclave crash at {event} (state {state})")
+        finally:
+            self._busy = False
+
+
+# --- declarative rule constructors ----------------------------------------
+
+def drop_nth_bus_write(n: int, max_fires: int = 1) -> FaultRule:
+    """The nth bus write is silently lost (flaky interconnect)."""
+    return FaultRule("bus.write", "drop", nth=n, max_fires=max_fires)
+
+
+def corrupt_nth_bus_write(n: int, max_fires: int = 1) -> FaultRule:
+    """One bit of the nth bus write flips in flight."""
+    return FaultRule("bus.write", "corrupt", nth=n, max_fires=max_fires)
+
+
+def corrupt_nth_bus_read(n: int, max_fires: int = 1) -> FaultRule:
+    """One bit of the nth bus read flips on the return path."""
+    return FaultRule("bus.read", "corrupt", nth=n, max_fires=max_fires)
+
+
+def skip_nth_scrub(n: int) -> FaultRule:
+    """The nth memory zeroization silently does nothing."""
+    return FaultRule("memory.scrub", "skip", nth=n)
+
+
+def rng_exhaustion_at(n: int, max_fires: int = 1) -> FaultRule:
+    """The nth DRBG generate call fails (entropy source exhausted)."""
+    return FaultRule("rng.generate", "exhaust", nth=n, max_fires=max_fires)
+
+
+def corrupt_channel_frame(n: int, direction: str = "send",
+                          max_fires: int = 1) -> FaultRule:
+    """A secure-channel frame is mangled on the untrusted wire."""
+    site = "channel.seal" if direction == "send" else "channel.open"
+    return FaultRule(site, "corrupt", nth=n, max_fires=max_fires)
+
+
+def drop_channel_frame(n: int, direction: str = "send",
+                       max_fires: int = 1) -> FaultRule:
+    """A secure-channel frame never arrives."""
+    site = "channel.seal" if direction == "send" else "channel.open"
+    return FaultRule(site, "drop", nth=n, max_fires=max_fires)
+
+
+def crash_enclave_in_state(state: str, nth: int = 1,
+                           max_fires: int = 1) -> FaultRule:
+    """The enclave crashes the nth time it is observed in ``state``."""
+    return FaultRule("lifecycle", "crash", nth=nth, state=state,
+                     max_fires=max_fires)
+
+
+# --- randomized schedules for the chaos harness ---------------------------
+
+def random_plan(seed: int, max_rules: int = 4) -> FaultPlan:
+    """A seeded random fault schedule for :mod:`repro.eval.chaos`.
+
+    Rule choice, trigger indices, and the plan's own corruption DRBG all
+    derive from ``seed``, so equal seeds yield equal schedules *and*
+    equal transcripts over a deterministic workload.
+    """
+    from repro.crypto.rng import HmacDrbg
+
+    chooser = HmacDrbg(seed.to_bytes(16, "big", signed=False),
+                       b"chaos-schedule")
+    menu = (
+        lambda n: drop_nth_bus_write(1 + n % 40),
+        lambda n: corrupt_nth_bus_write(1 + n % 40),
+        lambda n: corrupt_nth_bus_read(1 + n % 60),
+        lambda n: skip_nth_scrub(1 + n % 3),
+        lambda n: rng_exhaustion_at(1 + n % 25),
+        lambda n: corrupt_channel_frame(1 + n % 8, "send"),
+        lambda n: corrupt_channel_frame(1 + n % 8, "recv"),
+        lambda n: drop_channel_frame(1 + n % 8, "send"),
+        lambda n: drop_channel_frame(1 + n % 8, "recv"),
+        lambda n: crash_enclave_in_state("attested"),
+        lambda n: crash_enclave_in_state("active", nth=1 + n % 4),
+    )
+    num_rules = 1 + chooser.randint_below(max_rules)
+    rules = [menu[chooser.randint_below(len(menu))](chooser.randint_below(64))
+             for _ in range(num_rules)]
+    return FaultPlan(seed, rules)

@@ -10,6 +10,8 @@ makes the attack tests meaningful.
 from __future__ import annotations
 
 from repro.errors import MemoryAccessError, PeripheralError
+from repro.faults import hooks as _faults
+from repro.faults.plan import DROPPED as _DROPPED
 from repro.hw.memory import AccessType, PhysicalMemory, Tzasc, World
 from repro.hw.peripherals import Peripheral
 
@@ -38,7 +40,10 @@ class SystemBus:
             self.denied_transactions += 1
             raise
         self.completed_transactions += 1
-        return self.memory.read(address, length)
+        data = self.memory.read(address, length)
+        if _faults.PLAN is not None:
+            data = _faults.PLAN.bus_read(address, data)
+        return data
 
     def write(self, address: int, data: bytes, world: World,
               core_id: int | None, is_dma: bool = False) -> None:
@@ -50,6 +55,12 @@ class SystemBus:
             self.denied_transactions += 1
             raise
         self.completed_transactions += 1
+        if _faults.PLAN is not None:
+            data = _faults.PLAN.bus_write(address, data)
+            if data is _DROPPED:
+                # The transaction is acknowledged but never lands — the
+                # silent-loss fault a flaky interconnect produces.
+                return
         self.memory.write(address, data)
 
     # --- peripherals ------------------------------------------------------

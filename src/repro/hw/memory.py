@@ -13,6 +13,7 @@ import enum
 from dataclasses import dataclass
 
 from repro.errors import MemoryAccessError
+from repro.faults import hooks as _faults
 
 __all__ = [
     "World", "AccessType", "RegionPolicy", "MemoryRegion",
@@ -117,13 +118,41 @@ class PhysicalMemory:
             offset += chunk
 
     def scrub(self, address: int, length: int) -> None:
-        """Zeroize a range (used at enclave teardown)."""
+        """Zeroize a range (used at enclave teardown).
+
+        A ``memory.scrub``/``skip`` fault models the zeroization
+        silently failing; callers that guarantee fail-closed behavior
+        must verify by read-back (see ``EnclaveInstance.teardown``).
+        """
+        if _faults.PLAN is not None:
+            if not _faults.PLAN.memory_scrub(address, length):
+                return
         self.write(address, b"\x00" * length)
 
     @property
     def resident_bytes(self) -> int:
         """Bytes of host memory actually backing the address space."""
         return len(self._pages) * _PAGE
+
+    def resident_runs(self) -> list[tuple[int, int]]:
+        """Contiguous resident spans as sorted (address, length) pairs.
+
+        Only memory that was ever written is resident, so auditors (the
+        chaos harness's secret-residue scan) can sweep the whole address
+        space without materializing 3 GB of zeros.
+        """
+        if not self._pages:
+            return []
+        runs: list[tuple[int, int]] = []
+        indices = sorted(self._pages)
+        start = prev = indices[0]
+        for index in indices[1:]:
+            if index != prev + 1:
+                runs.append((start * _PAGE, (prev - start + 1) * _PAGE))
+                start = index
+            prev = index
+        runs.append((start * _PAGE, (prev - start + 1) * _PAGE))
+        return runs
 
 
 class Tzasc:

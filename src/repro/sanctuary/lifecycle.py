@@ -22,9 +22,15 @@ import enum
 from dataclasses import dataclass
 
 from repro.crypto.rng import HmacDrbg
-from repro.errors import EnclaveLifecycleError, ProtocolError
+from repro.errors import (
+    EnclaveLifecycleError,
+    FaultInjected,
+    ProtocolError,
+    SanctuaryError,
+)
+from repro.faults import hooks as _faults
 from repro.hw.memory import MemoryRegion, RegionPolicy, World
-from repro.sanctuary.attestation import AttestationReport, measure
+from repro.sanctuary.attestation import AttestationReport, measure, verify_report
 from repro.sanctuary.enclave import EnclaveContext, SanctuaryApp
 from repro.sanctuary.library import SL_IMAGE, SlHeap
 from repro.sanctuary.shm import MessageQueue, SharedRegion
@@ -40,6 +46,12 @@ class EnclaveState(enum.Enum):
     ACTIVE = "active"
     SUSPENDED = "suspended"
     TORN_DOWN = "torn-down"
+
+
+def _fault_event(event: str, state: str) -> None:
+    """Fire one lifecycle fault hook (free when no plan is installed)."""
+    if _faults.PLAN is not None:
+        _faults.PLAN.lifecycle(event, state)
 
 
 @dataclass
@@ -75,6 +87,7 @@ class EnclaveInstance:
         self.secure_shm_region = secure_shm_region
         self._heap_offset = heap_offset
         self.state = EnclaveState.ACTIVE
+        self.quarantined = False
         self.core_id: int | None = None
         self.ctx: EnclaveContext | None = None
         self.report: AttestationReport | None = None
@@ -111,6 +124,9 @@ class EnclaveInstance:
         if payload is None:
             raise EnclaveLifecycleError("request vanished from mailbox")
         try:
+            # Inside the fail-closed envelope: an injected crash here is
+            # indistinguishable from an SA fault and panics the enclave.
+            _fault_event("invoke", self.state.value)
             response = self.app.handle(self.ctx, payload)
         except ProtocolError:
             # A malformed request from the untrusted world is *handled*
@@ -142,6 +158,11 @@ class EnclaveInstance:
     def suspend(self) -> None:
         """Return the core to the OS; keep the enclave memory locked."""
         self._require_active()
+        try:
+            _fault_event("suspend", self.state.value)
+        except FaultInjected:
+            self.panic()
+            raise
         runtime = self._runtime
         soc = runtime.platform.soc
         monitor = runtime.platform.monitor
@@ -164,6 +185,11 @@ class EnclaveInstance:
             raise EnclaveLifecycleError(
                 f"cannot resume from state {self.state.value}"
             )
+        try:
+            _fault_event("resume", self.state.value)
+        except FaultInjected:
+            self.panic()
+            raise
         runtime = self._runtime
         soc = runtime.platform.soc
         monitor = runtime.platform.monitor
@@ -181,7 +207,16 @@ class EnclaveInstance:
         self.state = EnclaveState.ACTIVE
 
     def teardown(self) -> None:
-        """Invalidate L1, scrub memory, unlock, hand the core back."""
+        """Invalidate L1, scrub memory, verify, unlock, hand back the core.
+
+        The scrub is verified by read-back before any region is
+        unlocked: if zeroization silently failed (a ``memory.scrub``
+        fault, or broken hardware), the regions stay TZASC-locked — the
+        enclave is *quarantined* rather than its secrets exposed, and
+        :class:`~repro.errors.SanctuaryError` reports the violation.
+        That is the fail-closed guarantee every crash path inherits via
+        :meth:`panic`.
+        """
         if self.state is EnclaveState.TORN_DOWN:
             raise EnclaveLifecycleError("enclave already torn down")
         runtime = self._runtime
@@ -199,13 +234,25 @@ class EnclaveInstance:
         scrubbed_mib = (self.region.size + self.secure_shm_region.size) / _MiB
         soc.clock.advance_ms(soc.profile.enclave_teardown_ms
                              + soc.profile.scrub_ms_per_mib * scrubbed_mib)
-        monitor.unlock_region(self.region.name)
-        monitor.unlock_region(self.secure_shm_region.name)
-        monitor.unlock_region(self.os_shm_region.name)
         self.costs.teardown_ms += soc.clock.now_ms - start
         self.state = EnclaveState.TORN_DOWN
         self.core_id = None
         self.ctx = None
+        for region in (self.region, self.secure_shm_region):
+            residue = soc.memory.read(region.base, region.size)
+            if residue.count(0) != len(residue):
+                self.quarantined = True
+                # Re-seal with no bound core: the core just went back to
+                # the untrusted OS, so a core-bound policy would let the
+                # OS read the residue from that very core.
+                monitor.seal_region(self.region)
+                monitor.seal_region(self.secure_shm_region)
+                raise SanctuaryError(
+                    f"scrub verification failed for region "
+                    f"{region.name!r}: leaving it locked (quarantined)")
+        monitor.unlock_region(self.region.name)
+        monitor.unlock_region(self.secure_shm_region.name)
+        monitor.unlock_region(self.os_shm_region.name)
 
     # --- internals ----------------------------------------------------------
 
@@ -233,6 +280,9 @@ class SanctuaryRuntime:
         self._counter = 0
         self._rng = attestation_rng or HmacDrbg(b"sanctuary-runtime")
         self.instances: list[EnclaveInstance] = []
+        # Instances that crashed during launch (before being returned to
+        # the caller); kept so the recovery path can audit their scrub.
+        self.crashed: list[EnclaveInstance] = []
 
     @staticmethod
     def expected_measurement(app: SanctuaryApp) -> bytes:
@@ -332,6 +382,54 @@ class SanctuaryRuntime:
                 measurement),
         )
         instance.ctx = ctx
-        app.on_boot(ctx)
+        try:
+            app.on_boot(ctx)
+            # The enclave is measured, attested, and initialized — the
+            # last window in which a launch-time crash can strike.
+            _fault_event("attested", "attested")
+        except Exception:
+            # Fail closed: whatever killed the SA during initialization
+            # (heap exhaustion, injected crash) must not leave its heap
+            # readable.  Scrub + unlock via panic, then surface.
+            self.crashed.append(instance)
+            instance.panic()
+            raise
         self.instances.append(instance)
         return instance
+
+    def recover(self, instance: EnclaveInstance,
+                heap_bytes: int | None = None,
+                challenge: bytes | None = None) -> EnclaveInstance:
+        """Restart a crashed enclave — only if it failed closed.
+
+        Before any relaunch is allowed to serve, the old instance's
+        memory is audited for unscrubbed residue (a quarantined region
+        refuses recovery outright) and the fresh instance's attestation
+        report is re-verified against the expected measurement.  Both
+        gates raise instead of serving: a crash may cost availability,
+        never confidentiality.
+        """
+        if instance.state is not EnclaveState.TORN_DOWN:
+            raise EnclaveLifecycleError(
+                f"cannot recover an enclave in state {instance.state.value}")
+        soc = self.platform.soc
+        for region in (instance.region, instance.secure_shm_region):
+            residue = soc.memory.read(region.base, region.size)
+            if residue.count(0) != len(residue):
+                raise SanctuaryError(
+                    f"fail-closed violation: region {region.name!r} of "
+                    f"{instance.instance_name!r} holds unscrubbed residue; "
+                    "restart refused")
+        if heap_bytes is None:
+            heap_bytes = instance.region.size - instance._heap_offset
+        fresh = self.launch(instance.app, heap_bytes=heap_bytes,
+                            challenge=challenge)
+        expected = self.expected_measurement(instance.app)
+        try:
+            verify_report(fresh.report, expected,
+                          self.platform.manufacturer_root.public_key)
+        except Exception:
+            self.crashed.append(fresh)
+            fresh.panic()
+            raise
+        return fresh

@@ -115,6 +115,93 @@ def test_audio_request_larger_than_secure_shm(platform):
     assert instance.state is EnclaveState.TORN_DOWN
 
 
+# --- injected lifecycle crashes (deterministic fault plans) -----------------
+
+def test_attested_state_crash_scrubs_heap(platform):
+    """A crash injected in the ATTESTED window — after on_boot wrote the
+    secret, before the instance is handed out — must leave the heap
+    scrubbed and the crashed instance auditable via runtime.crashed."""
+    from repro import faults
+    from repro.errors import FaultInjected
+
+    runtime = SanctuaryRuntime(platform)
+    plan = faults.FaultPlan(21, [faults.crash_enclave_in_state("attested")])
+    with faults.installed(plan):
+        with pytest.raises(FaultInjected, match="attested"):
+            runtime.launch(FaultyApp(), heap_bytes=1 << 20)
+
+    assert runtime.instances == []          # never handed to the caller
+    assert len(runtime.crashed) == 1
+    crashed = runtime.crashed[0]
+    assert crashed.state is EnclaveState.TORN_DOWN
+    data = platform.commodity_os.read_memory(crashed.region.base,
+                                             crashed.region.size)
+    assert FaultyApp.SECRET not in data
+    assert data == b"\x00" * crashed.region.size
+    assert plan.transcript_lines() == [
+        "0000 lifecycle op=1 crash event=attested state=attested"]
+
+
+def test_attested_crash_with_failed_scrub_quarantines(platform):
+    """Crash plus a silently-skipped zeroization: the region must stay
+    TZASC-locked (quarantined) and recovery must be refused — fail
+    closed trades availability for confidentiality, never the reverse."""
+    from repro import faults
+    from repro.errors import SanctuaryError
+
+    runtime = SanctuaryRuntime(platform)
+    plan = faults.FaultPlan(22, [
+        faults.crash_enclave_in_state("attested"),
+        faults.skip_nth_scrub(1),
+    ])
+    with faults.installed(plan):
+        with pytest.raises(SanctuaryError, match="quarantined"):
+            runtime.launch(FaultyApp(), heap_bytes=1 << 20)
+
+    crashed = runtime.crashed[0]
+    assert crashed.quarantined
+    # The unscrubbed secret is unreachable: the region lock survived.
+    with pytest.raises(MemoryAccessError):
+        platform.commodity_os.read_memory(crashed.region.base,
+                                          crashed.region.size)
+    with pytest.raises(SanctuaryError, match="restart refused"):
+        runtime.recover(crashed)
+
+
+def test_recovery_after_clean_crash_reattests(platform):
+    """recover() audits the scrub, relaunches, and re-verifies the fresh
+    attestation report before the instance may serve again."""
+    from repro import faults
+    from repro.errors import FaultInjected
+
+    runtime = SanctuaryRuntime(platform)
+    plan = faults.FaultPlan(23, [faults.crash_enclave_in_state("attested")])
+    with faults.installed(plan):
+        with pytest.raises(FaultInjected):
+            runtime.launch(FaultyApp(), heap_bytes=1 << 20)
+        # Recovery runs under the same (now spent) plan — resilience
+        # must work while injection is still armed.
+        fresh = runtime.recover(runtime.crashed[0])
+
+    assert fresh.state is EnclaveState.ACTIVE
+    assert fresh.instance_name != runtime.crashed[0].instance_name
+    assert fresh.invoke(b"ping") == b"ok"
+
+
+def test_invoke_crash_during_active_state_panics(platform, faulty_instance):
+    from repro import faults
+    from repro.errors import FaultInjected
+
+    plan = faults.FaultPlan(24, [faults.crash_enclave_in_state("active")])
+    with faults.installed(plan):
+        with pytest.raises(FaultInjected):
+            faulty_instance.invoke(b"ping")
+    assert faulty_instance.state is EnclaveState.TORN_DOWN
+    data = platform.commodity_os.read_memory(faulty_instance.region.base,
+                                             faulty_instance.region.size)
+    assert FaultyApp.SECRET not in data
+
+
 # --- VoiceGuard model unit tests (used by bench A6) -------------------------
 
 def test_voiceguard_latency_components():

@@ -1,0 +1,165 @@
+"""Property tests for the backoff schedule and the retry driver.
+
+The hypothesis properties pin the three contract points of
+:class:`repro.core.retry.BackoffPolicy`: delays are monotone
+non-decreasing, bounded by ``max_ms``, and bit-identical for equal DRBG
+seeds (the determinism the chaos transcripts rely on).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.retry import BackoffPolicy, retry_call
+from repro.crypto.rng import HmacDrbg
+from repro.errors import (ChannelTimeout, FaultInjected, LicenseError,
+                          ProtocolError, ReproError, RetryExhausted)
+from repro.hw.timing import VirtualClock
+
+
+def _policies():
+    return st.builds(
+        BackoffPolicy,
+        base_ms=st.floats(min_value=0.1, max_value=50.0,
+                          allow_nan=False, allow_infinity=False),
+        factor=st.floats(min_value=1.0, max_value=4.0,
+                         allow_nan=False, allow_infinity=False),
+        max_ms=st.floats(min_value=50.0, max_value=5000.0,
+                         allow_nan=False, allow_infinity=False),
+        max_attempts=st.integers(min_value=2, max_value=12),
+        # The policy invariant: jitter_frac <= factor - 1.  Build it
+        # from a fraction of the admissible interval.
+        jitter_frac=st.just(0.0),
+    ).flatmap(lambda p: st.floats(min_value=0.0, max_value=1.0).map(
+        lambda t: BackoffPolicy(
+            base_ms=p.base_ms, factor=p.factor, max_ms=p.max_ms,
+            max_attempts=p.max_attempts,
+            jitter_frac=t * (p.factor - 1.0))))
+
+
+@settings(max_examples=60, deadline=None)
+@given(policy=_policies(), seed=st.binary(min_size=1, max_size=16))
+def test_delays_monotone_nondecreasing(policy, seed):
+    delays = policy.delays_ms(HmacDrbg(seed))
+    assert all(a <= b + 1e-9 for a, b in zip(delays, delays[1:]))
+
+
+@settings(max_examples=60, deadline=None)
+@given(policy=_policies(), seed=st.binary(min_size=1, max_size=16))
+def test_delays_bounded_and_positive(policy, seed):
+    delays = policy.delays_ms(HmacDrbg(seed))
+    assert len(delays) == policy.max_attempts - 1
+    assert all(0.0 < d <= policy.max_ms for d in delays)
+
+
+@settings(max_examples=60, deadline=None)
+@given(policy=_policies(), seed=st.binary(min_size=1, max_size=16))
+def test_equal_seeds_give_bit_identical_schedules(policy, seed):
+    first = policy.delays_ms(HmacDrbg(seed))
+    second = policy.delays_ms(HmacDrbg(seed))
+    assert first == second  # exact float equality, not approx
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.binary(min_size=1, max_size=16))
+def test_jitter_stays_below_next_nominal(seed):
+    """The monotonicity mechanism itself: jittered delay i never exceeds
+    un-jittered delay i+1 (before the cap)."""
+    policy = BackoffPolicy(base_ms=2.0, factor=2.0, max_ms=1e9,
+                           max_attempts=10, jitter_frac=1.0)
+    rng = HmacDrbg(seed)
+    for attempt in range(policy.max_attempts - 2):
+        jittered = policy.delay_ms(attempt, rng)
+        next_nominal = policy.base_ms * policy.factor ** (attempt + 1)
+        assert jittered <= next_nominal + 1e-9
+
+
+def test_policy_invariants_enforced():
+    with pytest.raises(ReproError, match="monotone"):
+        BackoffPolicy(factor=1.5, jitter_frac=0.6)
+    with pytest.raises(ReproError, match="positive"):
+        BackoffPolicy(base_ms=0.0)
+    with pytest.raises(ReproError, match="factor"):
+        BackoffPolicy(factor=0.5)
+    with pytest.raises(ReproError, match="attempt"):
+        BackoffPolicy(max_attempts=0)
+
+
+# --- retry_call behavior ----------------------------------------------------
+
+def _harness(policy=None):
+    return dict(clock=VirtualClock(), policy=policy or BackoffPolicy(),
+                rng=HmacDrbg(b"retry-test"))
+
+
+def test_retry_call_retries_then_succeeds():
+    kw = _harness()
+    calls = []
+
+    def flaky():
+        calls.append(1)
+        if len(calls) < 3:
+            raise FaultInjected("transient")
+        return "done"
+
+    assert retry_call(flaky, **kw) == "done"
+    assert len(calls) == 3
+    assert kw["clock"].now_ms > 0.0  # backoff advanced the virtual clock
+
+
+def test_retry_exhausted_chains_last_error():
+    kw = _harness(BackoffPolicy(max_attempts=3))
+
+    def always_fails():
+        raise ProtocolError("still broken")
+
+    with pytest.raises(RetryExhausted, match="3 attempts") as info:
+        retry_call(always_fails, **kw)
+    assert isinstance(info.value.__cause__, ProtocolError)
+
+
+def test_fatal_wins_over_retryable():
+    kw = _harness()
+    calls = []
+
+    def refused():
+        calls.append(1)
+        raise LicenseError("revoked")  # subclasses retryable ProtocolError
+
+    with pytest.raises(LicenseError):
+        retry_call(refused, fatal=(LicenseError,), **kw)
+    assert len(calls) == 1  # no retry of a refusal
+
+
+def test_non_retryable_propagates_immediately():
+    kw = _harness()
+    with pytest.raises(ZeroDivisionError):
+        retry_call(lambda: 1 / 0, **kw)
+
+
+def test_deadline_raises_channel_timeout():
+    kw = _harness(BackoffPolicy(base_ms=100.0, factor=2.0, max_ms=1e6,
+                                max_attempts=50, jitter_frac=0.0))
+    deadline = kw["clock"].now_ms + 250.0
+
+    def always_fails():
+        raise FaultInjected("transient")
+
+    with pytest.raises(ChannelTimeout, match="deadline"):
+        retry_call(always_fails, deadline_ms=deadline, **kw)
+    # The loop stopped because of time, well before 50 attempts' worth
+    # of backoff was spent.
+    assert kw["clock"].now_ms < 1000.0
+
+
+def test_retry_schedule_is_deterministic_end_to_end():
+    def run():
+        kw = _harness(BackoffPolicy(max_attempts=6))
+        try:
+            retry_call(lambda: (_ for _ in ()).throw(FaultInjected("x")),
+                       **kw)
+        except RetryExhausted:
+            pass
+        return kw["clock"].now_ms
+
+    assert run() == run()
