@@ -17,6 +17,7 @@ import platform as host_platform
 import pytest
 
 from repro.eval.bench import (
+    ANALYSIS_MAX_SECONDS,
     CRYPTO_MIN_SPEEDUP,
     DEFAULT_REPORT_PATH,
     HOOK_OVERHEAD_MAX,
@@ -54,6 +55,7 @@ def test_report_written(wallclock_report):
     assert set(wallclock_report["stages"]) == {
         "crypto_provisioning_roundtrip", "inference_kws_100",
         "dsp_streaming_10s", "provisioning_end_to_end", "fault_hooks",
+        "static_analysis",
     }
 
 
@@ -74,6 +76,17 @@ def test_dsp_and_provisioning_not_slower(wallclock_report):
     for name in ("dsp_streaming_10s", "provisioning_end_to_end"):
         stage = wallclock_report["stages"][name]
         assert stage["speedup"] >= 1.0, (name, stage)
+
+
+# --- the invariant checker itself must stay fast ----------------------------
+
+@pytest.mark.slow
+def test_static_analysis_suite_within_budget(wallclock_report):
+    """The analysis job runs before the tests in CI; keep its full-tree
+    wall-clock inside ANALYSIS_MAX_SECONDS as the rule battery grows."""
+    stage = wallclock_report["stages"]["static_analysis"]
+    assert stage["current_s"] <= ANALYSIS_MAX_SECONDS, stage
+    assert stage["speedup"] >= 1.0, stage
 
 
 # --- fault-injection hooks must be free when disabled -----------------------

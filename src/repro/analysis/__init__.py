@@ -1,0 +1,100 @@
+"""AST-based invariant checker for the OMG reproduction.
+
+The runtime enforces the paper's security argument dynamically — the
+TZASC blocks normal-world reads, teardown scrubs enclave memory, the
+chaos harness scans physical memory for plaintext.  This package checks
+the same invariants *statically*, on every code path, including the ones
+no test executes:
+
+``secret-taint``
+    Intra-procedural dataflow from declared secret sources (AES keys,
+    license keys, decrypted model bytes, trusted-path audio buffers)
+    into leak sinks: logging/print, interpolated exception messages,
+    ``str``/``repr``, untrusted-flash writes, normal-world bus writes.
+``layering``
+    The import DAG errors -> faults -> crypto -> hw -> {tflm, audio} ->
+    trustzone -> {sanctuary, train} -> core -> {attacks, baselines} ->
+    eval -> cli.  ``repro.hw`` must never import ``repro.sanctuary``.
+``determinism``
+    No wall clocks, no OS entropy, no implicitly-seeded RNG: fault and
+    chaos transcripts are only replayable because every bit of
+    randomness and time flows through seeded DRBGs and the virtual
+    clock.
+``zeroization``
+    Every function that registers a fresh secret-bearing region must
+    scrub/tear it down (directly or transitively) on all explicit exit
+    paths, or hand ownership to its caller.
+
+True-by-design exceptions carry an inline waiver::
+
+    t0 = time.perf_counter()  # analysis: allow(determinism)
+
+Run as ``python -m repro.analysis [paths]`` or ``repro-omg analyze``.
+The committed baseline (:mod:`repro.analysis.baseline`) is empty by
+construction; any finding fails the run.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.engine import (
+    AnalysisResult,
+    Finding,
+    ModuleInfo,
+    load_module,
+    run_analysis,
+)
+from repro.analysis.reporting import (
+    baseline_path,
+    load_baseline,
+    render_human,
+    render_json,
+)
+
+__all__ = [
+    "AnalysisResult",
+    "Finding",
+    "ModuleInfo",
+    "baseline_path",
+    "load_baseline",
+    "load_module",
+    "main",
+    "render_human",
+    "render_json",
+    "run_analysis",
+]
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point shared by ``python -m repro.analysis`` and the CLI."""
+    import argparse
+    import os
+    import sys
+
+    import repro.analysis.rules  # noqa: F401  (registers RULES)
+    from repro.analysis.engine import RULES
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="static invariant checks for the OMG reproduction")
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories (default: the "
+                             "installed repro package)")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="machine-readable JSON report")
+    parser.add_argument("--rule", action="append", default=None,
+                        metavar="NAME", choices=sorted(RULES),
+                        help="run only this rule (repeatable)")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore the committed baseline file")
+    args = parser.parse_args(argv)
+
+    paths = args.paths
+    if not paths:
+        import repro
+
+        paths = [os.path.dirname(os.path.abspath(repro.__file__))]
+    baseline = None if args.no_baseline else load_baseline()
+    result = run_analysis(paths, rules=args.rule, baseline=baseline)
+    out = render_json(result) if args.as_json else render_human(result)
+    print(out, file=sys.stdout)
+    return 1 if result.findings else 0

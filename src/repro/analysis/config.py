@@ -1,0 +1,166 @@
+"""Repo-specific configuration consumed by the checkers.
+
+Everything the rules treat as "secret", "forbidden", or "a layer" is
+declared here rather than hard-coded in rule logic, so adding a rule or
+extending one is a config edit plus ~50 lines of visitor code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+# --- layering ---------------------------------------------------------------
+
+# Import DAG rank per top-level subpackage of ``repro`` (low imports
+# nothing above it).  A module may import strictly lower ranks or its
+# own package.  ``analysis`` is self-contained by design: the checker
+# must be runnable on a broken tree, so it may import only itself.
+LAYER_RANKS: dict[str, int] = {
+    "errors": 0,
+    "faults": 1,
+    "crypto": 2,
+    "hw": 3,
+    "tflm": 4,
+    "audio": 4,
+    "trustzone": 5,
+    "sanctuary": 6,
+    "train": 6,
+    "core": 7,
+    "attacks": 8,
+    "baselines": 8,
+    "eval": 9,
+    "cli": 10,
+    "analysis": 10,
+}
+ROOT_RANK = 11  # the ``repro`` package root re-exports the top layers
+SELF_CONTAINED = frozenset({"analysis"})
+
+# --- determinism ------------------------------------------------------------
+
+# Wall clocks and OS entropy make fault/chaos transcripts unreplayable.
+FORBIDDEN_CALLS: dict[str, str] = {
+    "time.time": "use the platform VirtualClock (soc.clock.now_ms)",
+    "time.time_ns": "use the platform VirtualClock (soc.clock.now_ms)",
+    "time.monotonic": "use the platform VirtualClock (soc.clock.now_ms)",
+    "time.monotonic_ns": "use the platform VirtualClock (soc.clock.now_ms)",
+    "time.perf_counter": "use the platform VirtualClock; wall-clock "
+                         "benchmarks need an explicit waiver",
+    "time.perf_counter_ns": "use the platform VirtualClock; wall-clock "
+                            "benchmarks need an explicit waiver",
+    "datetime.datetime.now": "derive timestamps from soc.clock.now_ms",
+    "datetime.datetime.utcnow": "derive timestamps from soc.clock.now_ms",
+    "datetime.datetime.today": "derive timestamps from soc.clock.now_ms",
+    "datetime.date.today": "derive timestamps from soc.clock.now_ms",
+    "os.urandom": "use repro.crypto.rng.HmacDrbg(seed)",
+    "os.getrandom": "use repro.crypto.rng.HmacDrbg(seed)",
+    "uuid.uuid1": "derive identifiers from a seeded HmacDrbg",
+    "uuid.uuid4": "derive identifiers from a seeded HmacDrbg",
+}
+
+# Modules whose mere import signals hidden global entropy / wall-clock
+# state.  ``random`` is the stdlib's implicitly-seeded global Mersenne
+# Twister; ``secrets`` wraps os.urandom.
+FORBIDDEN_MODULES: dict[str, str] = {
+    "random": "use numpy.random.default_rng(seed) or "
+              "repro.crypto.rng.HmacDrbg",
+    "secrets": "use repro.crypto.rng.HmacDrbg(seed)",
+}
+
+# Constructors that take an optional seed and fall back to OS entropy
+# when called without one — the call site must pass it explicitly.
+SEEDED_CONSTRUCTORS = frozenset({
+    "numpy.random.default_rng",
+    "numpy.random.RandomState",
+})
+
+# numpy's module-level RNG functions share one hidden global state.
+NUMPY_GLOBAL_RNG = frozenset({
+    "bytes", "choice", "normal", "permutation", "rand", "randint",
+    "randn", "random", "random_sample", "seed", "shuffle", "standard_normal",
+    "uniform",
+})
+
+# --- secret taint -----------------------------------------------------------
+
+# Parameters with these names are secret at function entry (AES keys in
+# crypto/aes.py and keycache.py, license keys in core/parties.py /
+# core/provisioning.py, plaintext model bytes, sealing keys).
+SECRET_PARAMS = frozenset({
+    "key", "aes_key", "sealing_key", "master_secret", "license_key",
+    "secret", "private_key", "model_bytes", "plaintext", "key_schedule",
+})
+
+# Calls whose *result* is secret: key derivation, decryption (output is
+# plaintext model/key material), deterministic key generation, and the
+# trusted-path audio capture (user privacy, paper property S2).
+SECRET_CALLS = frozenset({
+    "decrypt_model", "decrypt_oaep", "derive_model_key",
+    "deterministic_keypair", "gcm_decrypt", "generate_keypair",
+    "key_schedule", "record_audio", "sealing_key_for",
+})
+
+# Attribute reads that are secret regardless of the object they hang
+# off: long-lived key material held by parties/contexts.
+SECRET_ATTRIBUTES = frozenset({
+    "_master_secret", "_model_bytes", "private_key", "sealing_key",
+    "signing_key",
+})
+
+# Calls that *declassify*: their result is safe even with secret
+# arguments (sizes/types, ciphertext, signatures, digests).
+DECLASSIFIERS = frozenset({
+    "bool", "encrypt_model", "encrypt_oaep", "fingerprint", "gcm_encrypt",
+    "hkdf", "hkdf_expand", "hkdf_extract", "hmac_sha256", "id",
+    "isinstance", "len", "measure", "seal", "seal_at", "sha256", "sign",
+    "type",
+})
+
+# Logging-style method names (flagged when the receiver looks like a
+# logger); the repo has no logging framework, but code that grows one
+# must not feed it secrets.
+LOG_METHODS = frozenset({
+    "critical", "debug", "error", "exception", "info", "log", "warning",
+})
+
+# Untrusted persistence sinks: anything written here is, by the threat
+# model, attacker-readable (flash via OS services, host files).
+UNTRUSTED_WRITE_CALLS = frozenset({"store_untrusted", "write_wave"})
+UNTRUSTED_WRITE_RECEIVERS = frozenset({"flash"})  # e.g. soc.flash.store
+
+# --- zeroization ------------------------------------------------------------
+
+# Registering a fresh secret-bearing region (first argument is a local,
+# not an already-owned ``self.<attr>``) creates a scrub obligation.
+ZEROIZE_ACQUIRE = frozenset({"lock_region_to_core"})
+
+# Calls that discharge the obligation, directly or via the call graph
+# (``panic`` -> ``teardown`` -> ``scrub``).
+ZEROIZE_RELEASE = frozenset({"panic", "scrub", "teardown", "unlock_region"})
+
+
+@dataclass(frozen=True)
+class AnalysisConfig:
+    """One immutable bundle of the tables above (tests swap pieces)."""
+
+    layer_ranks: dict[str, int] = field(
+        default_factory=lambda: dict(LAYER_RANKS))
+    root_rank: int = ROOT_RANK
+    self_contained: frozenset = SELF_CONTAINED
+    forbidden_calls: dict = field(
+        default_factory=lambda: dict(FORBIDDEN_CALLS))
+    forbidden_modules: dict = field(
+        default_factory=lambda: dict(FORBIDDEN_MODULES))
+    seeded_constructors: frozenset = SEEDED_CONSTRUCTORS
+    numpy_global_rng: frozenset = NUMPY_GLOBAL_RNG
+    secret_params: frozenset = SECRET_PARAMS
+    secret_calls: frozenset = SECRET_CALLS
+    secret_attributes: frozenset = SECRET_ATTRIBUTES
+    declassifiers: frozenset = DECLASSIFIERS
+    log_methods: frozenset = LOG_METHODS
+    untrusted_write_calls: frozenset = UNTRUSTED_WRITE_CALLS
+    untrusted_write_receivers: frozenset = UNTRUSTED_WRITE_RECEIVERS
+    zeroize_acquire: frozenset = ZEROIZE_ACQUIRE
+    zeroize_release: frozenset = ZEROIZE_RELEASE
+
+
+DEFAULT_CONFIG = AnalysisConfig()

@@ -1,0 +1,271 @@
+"""Analysis engine: module loading, waivers, rule registry, runner.
+
+The engine is deliberately dependency-free (stdlib ``ast`` only): it
+must be able to run over a tree whose runtime imports are broken, and
+it must never import the code it is judging.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from dataclasses import dataclass, field
+
+from repro.analysis.config import DEFAULT_CONFIG, AnalysisConfig
+
+__all__ = [
+    "AnalysisResult",
+    "Finding",
+    "ModuleInfo",
+    "RULES",
+    "Rule",
+    "dotted_name",
+    "import_aliases",
+    "load_module",
+    "register",
+    "run_analysis",
+]
+
+_WAIVER_RE = re.compile(r"#\s*analysis:\s*allow\(([^)]*)\)")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+    hint: str = ""
+
+    def identity(self) -> tuple[str, str, str]:
+        """Baseline identity: location-free so line drift never unbaselines."""
+        return (self.rule, self.path.replace(os.sep, "/"), self.message)
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule, "path": self.path.replace(os.sep, "/"),
+            "line": self.line, "col": self.col,
+            "message": self.message, "hint": self.hint,
+        }
+
+
+@dataclass
+class ModuleInfo:
+    """A parsed source file plus everything rules need to judge it."""
+
+    path: str
+    module: str               # dotted name, e.g. ``repro.hw.bus``
+    tree: ast.Module
+    lines: list[str]
+    waivers: dict[int, set[str]]
+
+    @property
+    def package(self) -> str:
+        """Top-level subpackage under ``repro`` (``(root)`` for the
+        package ``__init__``, ``""`` when not part of ``repro``)."""
+        parts = self.module.split(".")
+        if "repro" not in parts:
+            return ""
+        index = parts.index("repro")
+        rest = parts[index + 1:]
+        return rest[0] if rest else "(root)"
+
+    def waived(self, finding: Finding) -> bool:
+        """A waiver covers its own line and the line directly below it
+        (comment-above style for statements too long to annotate)."""
+        for line in (finding.line, finding.line - 1):
+            rules = self.waivers.get(line)
+            if rules and (finding.rule in rules or "*" in rules):
+                return True
+        return False
+
+
+class Rule:
+    """Base class: subclass, set ``name``/``description``, register.
+
+    ``check`` runs once per module; rules that need the whole program
+    (call graphs) override ``check_project`` instead and leave
+    ``check`` returning nothing.
+    """
+
+    name = ""
+    description = ""
+
+    def check(self, module: ModuleInfo, config: AnalysisConfig):
+        return ()
+
+    def check_project(self, modules: list[ModuleInfo],
+                      config: AnalysisConfig):
+        return ()
+
+
+RULES: dict[str, Rule] = {}
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    RULES[cls.name] = cls()
+    return cls
+
+
+# --- module loading ---------------------------------------------------------
+
+
+def _module_name(path: str) -> str:
+    """Dotted module name by walking up through ``__init__.py`` parents."""
+    path = os.path.abspath(path)
+    parts = [os.path.splitext(os.path.basename(path))[0]]
+    parent = os.path.dirname(path)
+    while os.path.exists(os.path.join(parent, "__init__.py")):
+        parts.append(os.path.basename(parent))
+        parent = os.path.dirname(parent)
+    if parts[0] == "__init__":
+        parts = parts[1:] or parts
+    return ".".join(reversed(parts))
+
+
+def _parse_waivers(lines: list[str]) -> dict[int, set[str]]:
+    waivers: dict[int, set[str]] = {}
+    for number, text in enumerate(lines, start=1):
+        match = _WAIVER_RE.search(text)
+        if match:
+            names = {part.strip() for part in match.group(1).split(",")}
+            waivers[number] = {name for name in names if name}
+    return waivers
+
+
+def load_module(path: str) -> ModuleInfo:
+    with open(path, encoding="utf-8") as handle:
+        source = handle.read()
+    tree = ast.parse(source, filename=path)
+    lines = source.splitlines()
+    return ModuleInfo(path=path, module=_module_name(path), tree=tree,
+                      lines=lines, waivers=_parse_waivers(lines))
+
+
+def iter_python_files(paths: list[str]) -> list[str]:
+    files: list[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames[:] = sorted(d for d in dirnames
+                                     if d != "__pycache__")
+                files.extend(os.path.join(dirpath, name)
+                             for name in sorted(filenames)
+                             if name.endswith(".py"))
+        elif path.endswith(".py"):
+            files.append(path)
+    return files
+
+
+# --- shared AST helpers -----------------------------------------------------
+
+
+def import_aliases(tree: ast.Module) -> dict[str, str]:
+    """Map local names to the absolute dotted names they were imported
+    as (``np`` -> ``numpy``, ``urandom`` -> ``os.urandom``)."""
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                target = alias.name if alias.asname else alias.name.split(".")[0]
+                aliases[local] = target
+        elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                aliases[alias.asname or alias.name] = (
+                    f"{node.module}.{alias.name}")
+    return aliases
+
+
+def dotted_name(node: ast.AST, aliases: dict[str, str] | None = None
+                ) -> str | None:
+    """``a.b.c`` for Name/Attribute chains, with the root resolved
+    through the import alias map; ``None`` for anything else."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    root = node.id
+    if aliases and root in aliases:
+        root = aliases[root]
+    parts.append(root)
+    return ".".join(reversed(parts))
+
+
+# --- runner -----------------------------------------------------------------
+
+
+@dataclass
+class AnalysisResult:
+    findings: list[Finding] = field(default_factory=list)
+    waived: list[Finding] = field(default_factory=list)
+    baselined: list[Finding] = field(default_factory=list)
+    files: int = 0
+    rules: list[str] = field(default_factory=list)
+
+
+def run_analysis(paths: list[str], rules: list[str] | None = None,
+                 config: AnalysisConfig = DEFAULT_CONFIG,
+                 baseline: list[dict] | None = None) -> AnalysisResult:
+    """Parse every ``.py`` under ``paths`` and run the selected rules."""
+    import repro.analysis.rules  # noqa: F401  (registers the rule set)
+
+    selected = [RULES[name] for name in sorted(rules or RULES)]
+    result = AnalysisResult(rules=[rule.name for rule in selected])
+    modules: list[ModuleInfo] = []
+    for path in iter_python_files(paths):
+        result.files += 1
+        try:
+            modules.append(load_module(path))
+        except SyntaxError as error:
+            result.findings.append(Finding(
+                path=path, line=error.lineno or 0, col=error.offset or 0,
+                rule="syntax", message=f"cannot parse: {error.msg}"))
+
+    raw: list[tuple[ModuleInfo | None, Finding]] = []
+    for rule in selected:
+        for module in modules:
+            raw.extend((module, f) for f in rule.check(module, config))
+        raw.extend(_attach_modules(modules,
+                                   rule.check_project(modules, config)))
+
+    baseline_ids = {(e["rule"], e["path"], e["message"])
+                    for e in (baseline or [])}
+    seen: set[tuple] = set()
+    for module, finding in raw:
+        key = (finding.rule, finding.path, finding.line, finding.message)
+        if key in seen:
+            continue
+        seen.add(key)
+        if module is not None and module.waived(finding):
+            result.waived.append(finding)
+        elif _in_baseline(finding, baseline_ids):
+            result.baselined.append(finding)
+        else:
+            result.findings.append(finding)
+    result.findings.sort()
+    result.waived.sort()
+    result.baselined.sort()
+    return result
+
+
+def _attach_modules(modules: list[ModuleInfo], findings):
+    by_path = {module.path: module for module in modules}
+    return [(by_path.get(f.path), f) for f in findings]
+
+
+def _in_baseline(finding: Finding, baseline_ids: set[tuple]) -> bool:
+    rule, path, message = finding.identity()
+    for b_rule, b_path, b_message in baseline_ids:
+        if rule == b_rule and message == b_message and (
+                path.endswith(b_path) or b_path.endswith(path)):
+            return True
+    return False

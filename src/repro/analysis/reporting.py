@@ -1,0 +1,58 @@
+"""Human and JSON reporters plus the committed-baseline loader.
+
+The baseline file ships empty by construction: the merged tree has zero
+findings, and the file exists only so a future emergency (a finding
+that must land before its fix) has a sanctioned, reviewable place to be
+recorded instead of a waiver scattered in code.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.analysis.engine import AnalysisResult
+
+__all__ = ["baseline_path", "load_baseline", "render_human", "render_json"]
+
+
+def baseline_path() -> str:
+    return os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                        "baseline.json")
+
+
+def load_baseline(path: str | None = None) -> list[dict]:
+    path = path or baseline_path()
+    if not os.path.exists(path):
+        return []
+    with open(path, encoding="utf-8") as handle:
+        data = json.load(handle)
+    return list(data.get("findings", []))
+
+
+def render_human(result: AnalysisResult) -> str:
+    lines: list[str] = []
+    for finding in result.findings:
+        lines.append(f"{finding.path}:{finding.line}:{finding.col}: "
+                     f"[{finding.rule}] {finding.message}")
+        if finding.hint:
+            lines.append(f"    fix: {finding.hint}")
+    summary = (f"{result.files} files, {len(result.rules)} rules: "
+               f"{len(result.findings)} finding(s)")
+    if result.waived:
+        summary += f", {len(result.waived)} waived"
+    if result.baselined:
+        summary += f", {len(result.baselined)} baselined"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(result: AnalysisResult) -> str:
+    return json.dumps({
+        "version": 1,
+        "files": result.files,
+        "rules": result.rules,
+        "findings": [f.to_dict() for f in result.findings],
+        "waived": [f.to_dict() for f in result.waived],
+        "baselined": [f.to_dict() for f in result.baselined],
+    }, indent=2, sort_keys=True)

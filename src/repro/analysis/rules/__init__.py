@@ -1,0 +1,8 @@
+"""Rule battery: importing this package registers every checker."""
+
+from repro.analysis.rules import (  # noqa: F401
+    determinism,
+    layering,
+    taint,
+    zeroization,
+)

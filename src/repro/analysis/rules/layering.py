@@ -1,0 +1,103 @@
+"""``layering``: enforce the one-way import DAG between subsystems.
+
+The simulated stack mirrors the hardware it models: ``hw`` (SoC) knows
+nothing of ``trustzone`` (firmware), which knows nothing of
+``sanctuary`` (enclave runtime), which knows nothing of ``core`` (the
+OMG protocol), which knows nothing of ``eval``/``cli``.  A back-edge —
+say ``repro.hw`` importing ``repro.sanctuary`` — would let "hardware"
+behaviour depend on enclave policy, exactly the confusion the paper's
+threat model forbids.
+
+Only module-scope imports are judged: a function-local import is the
+sanctioned dependency-inversion escape hatch (``repro.faults.plan``
+pulls its DRBG from ``repro.crypto`` lazily, breaking what would
+otherwise be a cycle with the fault hooks).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.engine import Finding, ModuleInfo, Rule, register
+
+
+def _module_scope_imports(tree: ast.Module):
+    """Import nodes executed at import time (module and class body,
+    including under module-level ``if``/``try``), skipping anything
+    inside a function and ``if TYPE_CHECKING:`` blocks."""
+    stack: list[ast.stmt] = list(tree.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if isinstance(node, ast.If) and _is_type_checking(node.test):
+            stack.extend(node.orelse)
+            continue
+        if isinstance(node, (ast.Import, ast.ImportFrom)):
+            yield node
+            continue
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.stmt):
+                stack.append(child)
+            elif isinstance(child, (ast.ExceptHandler,)):
+                stack.extend(child.body)
+
+
+def _is_type_checking(test: ast.expr) -> bool:
+    return (isinstance(test, ast.Name) and test.id == "TYPE_CHECKING") or (
+        isinstance(test, ast.Attribute) and test.attr == "TYPE_CHECKING")
+
+
+def _imported_repro_targets(node) -> list[str]:
+    """Dotted ``repro...`` names a module-scope import pulls in."""
+    if isinstance(node, ast.Import):
+        return [alias.name for alias in node.names
+                if alias.name == "repro" or alias.name.startswith("repro.")]
+    if isinstance(node, ast.ImportFrom) and not node.level and node.module:
+        if node.module == "repro" or node.module.startswith("repro."):
+            return [node.module]
+    return []
+
+
+@register
+class LayeringRule(Rule):
+    name = "layering"
+    description = "enforce the hw -> trustzone -> sanctuary -> core -> " \
+                  "eval/cli import DAG"
+
+    def check(self, module: ModuleInfo, config: AnalysisConfig):
+        importer = module.package
+        if not importer:
+            return
+        importer_rank = (config.root_rank if importer == "(root)"
+                         else config.layer_ranks.get(importer))
+        for node in _module_scope_imports(module.tree):
+            for target in _imported_repro_targets(node):
+                parts = target.split(".")
+                importee = parts[1] if len(parts) > 1 else "(root)"
+                if importee == importer:
+                    continue
+                if importer in config.self_contained:
+                    yield Finding(
+                        path=module.path, line=node.lineno,
+                        col=node.col_offset, rule=self.name,
+                        message=f"self-contained package {importer!r} "
+                                f"imports {target}",
+                        hint="the checker must run on a broken tree; "
+                             "keep repro.analysis stdlib-only")
+                    continue
+                importee_rank = (config.root_rank if importee == "(root)"
+                                 else config.layer_ranks.get(importee))
+                if importer_rank is None or importee_rank is None:
+                    continue
+                if importee_rank >= importer_rank:
+                    yield Finding(
+                        path=module.path, line=node.lineno,
+                        col=node.col_offset, rule=self.name,
+                        message=f"layer back-edge: {importer} (rank "
+                                f"{importer_rank}) imports {importee} "
+                                f"(rank {importee_rank})",
+                        hint="depend downward only; if the lower layer "
+                             "needs a callback, invert it (protocol "
+                             "object or function-local import)")

@@ -1,0 +1,282 @@
+"""``secret-taint``: intra-procedural dataflow from secrets to leaks.
+
+Sources (:mod:`repro.analysis.config`): parameters named like key
+material, calls that return plaintext (``decrypt_model``,
+``gcm_decrypt``, ``derive_model_key``, ``record_audio``, ...), and
+attribute reads of long-lived secrets (``.sealing_key``,
+``._master_secret``).  Taint propagates through assignments,
+arithmetic, f-strings, containers, and — conservatively — through any
+call that is not a declared declassifier (``encrypt_*``, ``len``,
+digests, signatures).
+
+Sinks are the ways secret bits have historically escaped enclaves in
+source code: ``print``/logging, interpolation into exception messages,
+``str``/``repr``/``.hex()``, writes to untrusted flash
+(``store_untrusted``, ``flash.store``, ``write_wave``), file handles
+from ``open``, and ``bus.write`` calls routed to ``World.NORMAL``
+memory.
+
+The analysis is per-scope (each function body, plus the module top
+level) and flow-insensitive within a scope: assignments are iterated to
+a fixpoint, then every sink expression is judged.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.engine import (
+    Finding,
+    ModuleInfo,
+    Rule,
+    dotted_name,
+    import_aliases,
+    register,
+)
+
+_STRINGIFIERS = frozenset({"ascii", "format", "repr", "str"})
+
+
+def _scope_walk(body):
+    """Every node in a scope, not descending into nested functions."""
+    stack = list(body)
+    while stack:
+        node = stack.pop()
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.Lambda)):
+                continue
+            stack.append(child)
+
+
+def _call_tail(func: ast.expr) -> str | None:
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+def _target_names(target: ast.expr):
+    if isinstance(target, ast.Name):
+        yield target.id
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            yield from _target_names(element)
+    elif isinstance(target, ast.Starred):
+        yield from _target_names(target.value)
+
+
+class _Scope:
+    """Taint state and judgements for one function/module body."""
+
+    def __init__(self, module: ModuleInfo, body, params,
+                 aliases: dict[str, str], config: AnalysisConfig) -> None:
+        self.module = module
+        self.body = body
+        self.aliases = aliases
+        self.config = config
+        self.tainted: set[str] = {name for name in params
+                                  if name in config.secret_params}
+        self.file_handles: set[str] = set()
+
+    # --- taint propagation -------------------------------------------------
+
+    def solve(self) -> None:
+        changed = True
+        while changed:
+            changed = False
+            for node in _scope_walk(self.body):
+                changed |= self._apply(node)
+
+    def _apply(self, node: ast.AST) -> bool:
+        targets_value: list[tuple[ast.expr, ast.expr]] = []
+        if isinstance(node, ast.Assign):
+            targets_value = [(t, node.value) for t in node.targets]
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            if node.value is not None:
+                targets_value = [(node.target, node.value)]
+        elif isinstance(node, ast.NamedExpr):
+            targets_value = [(node.target, node.value)]
+        elif isinstance(node, ast.For):
+            targets_value = [(node.target, node.iter)]
+        elif isinstance(node, ast.withitem) and node.optional_vars is not None:
+            targets_value = [(node.optional_vars, node.context_expr)]
+        changed = False
+        for target, value in targets_value:
+            names = set(_target_names(target))
+            if not names:
+                continue
+            if self.is_tainted(value) and not names <= self.tainted:
+                self.tainted |= names
+                changed = True
+            if (isinstance(value, ast.Call)
+                    and _call_tail(value.func) == "open"
+                    and not names <= self.file_handles):
+                self.file_handles |= names
+                changed = True
+        return changed
+
+    def is_tainted(self, node: ast.expr | None) -> bool:
+        if node is None:
+            return False
+        if isinstance(node, ast.Name):
+            return node.id in self.tainted
+        if isinstance(node, ast.Attribute):
+            if node.attr in self.config.secret_attributes:
+                return True
+            return self.is_tainted(node.value)
+        if isinstance(node, ast.Call):
+            tail = _call_tail(node.func)
+            if tail in self.config.declassifiers:
+                return False
+            if tail in self.config.secret_calls:
+                return True
+            inputs = list(node.args) + [kw.value for kw in node.keywords]
+            if isinstance(node.func, ast.Attribute):
+                inputs.append(node.func.value)
+            return any(self.is_tainted(arg) for arg in inputs)
+        if isinstance(node, ast.Subscript):
+            return self.is_tainted(node.value)
+        if isinstance(node, ast.JoinedStr):
+            return any(self.is_tainted(part.value) for part in node.values
+                       if isinstance(part, ast.FormattedValue))
+        if isinstance(node, ast.BinOp):
+            return self.is_tainted(node.left) or self.is_tainted(node.right)
+        if isinstance(node, ast.BoolOp):
+            return any(self.is_tainted(value) for value in node.values)
+        if isinstance(node, ast.UnaryOp):
+            return self.is_tainted(node.operand)
+        if isinstance(node, ast.IfExp):
+            return self.is_tainted(node.body) or self.is_tainted(node.orelse)
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            return any(self.is_tainted(element) for element in node.elts)
+        if isinstance(node, ast.Dict):
+            return any(self.is_tainted(part)
+                       for part in (*node.keys, *node.values)
+                       if part is not None)
+        if isinstance(node, ast.Starred):
+            return self.is_tainted(node.value)
+        if isinstance(node, ast.Await):
+            return self.is_tainted(node.value)
+        return False
+
+    # --- sinks -------------------------------------------------------------
+
+    def findings(self):
+        consumed: set[int] = set()
+        out: list[Finding] = []
+        for node in _scope_walk(self.body):
+            if isinstance(node, ast.Raise):
+                out.extend(self._check_raise(node, consumed))
+            elif isinstance(node, ast.Call):
+                out.extend(self._check_call(node))
+            elif isinstance(node, ast.JoinedStr) and id(node) not in consumed:
+                if self.is_tainted(node):
+                    out.append(self._finding(
+                        node, "secret interpolated into an f-string",
+                        "interpolate len()/type() or a digest, never the "
+                        "secret bytes"))
+        return out
+
+    def _check_raise(self, node: ast.Raise, consumed: set[int]):
+        exc = node.exc
+        if not isinstance(exc, ast.Call):
+            return
+        for arg in (*exc.args, *(kw.value for kw in exc.keywords)):
+            if self.is_tainted(arg):
+                for sub in ast.walk(arg):
+                    if isinstance(sub, ast.JoinedStr):
+                        consumed.add(id(sub))
+                yield self._finding(
+                    node, "secret flows into an exception message",
+                    "report sizes or identifiers, never key/plaintext "
+                    "material (it ends up in normal-world logs)")
+                break
+
+    def _check_call(self, node: ast.Call):
+        tail = _call_tail(node.func)
+        args = list(node.args) + [kw.value for kw in node.keywords]
+        any_tainted_arg = any(self.is_tainted(arg) for arg in args)
+        receiver = (node.func.value
+                    if isinstance(node.func, ast.Attribute) else None)
+
+        if tail == "print" and receiver is None and any_tainted_arg:
+            yield self._finding(node, "secret passed to print()",
+                                "print derived metadata, not the secret")
+        elif tail in _STRINGIFIERS and receiver is None and any_tainted_arg:
+            yield self._finding(
+                node, f"secret passed to {tail}()",
+                "stringified secrets leak via messages and transcripts")
+        elif tail == "hex" and receiver is not None and not args \
+                and self.is_tainted(receiver):
+            yield self._finding(node, "secret stringified via .hex()",
+                                "hex-encoding is not declassification")
+        elif tail in self.config.log_methods and receiver is not None:
+            dotted = dotted_name(node.func, self.aliases) or ""
+            if "log" in dotted.split(".")[0].lower() or "logg" in dotted:
+                if any_tainted_arg:
+                    yield self._finding(
+                        node, "secret passed to a logging call",
+                        "log derived metadata, never secret bytes")
+        elif tail in self.config.untrusted_write_calls and any_tainted_arg:
+            yield self._finding(
+                node, f"secret written to untrusted storage via {tail}()",
+                "encrypt or seal before anything leaves the enclave")
+        elif tail == "store" and receiver is not None and any_tainted_arg:
+            dotted = dotted_name(receiver, self.aliases) or ""
+            if dotted.split(".")[-1] in self.config.untrusted_write_receivers:
+                yield self._finding(
+                    node, "secret written to untrusted flash",
+                    "encrypt or seal before anything leaves the enclave")
+        elif tail == "write" and isinstance(receiver, ast.Name) \
+                and receiver.id in self.file_handles and any_tainted_arg:
+            yield self._finding(
+                node, "secret written to a host file",
+                "host files are outside every trust boundary here")
+        elif tail == "write" and receiver is not None and any_tainted_arg:
+            dotted = dotted_name(receiver, self.aliases) or ""
+            if dotted.split(".")[-1] == "bus" and any(
+                    (dotted_name(arg, self.aliases) or "").endswith(
+                        "World.NORMAL") for arg in args):
+                yield self._finding(
+                    node, "secret written to normal-world memory",
+                    "route secret bytes through enclave-locked regions "
+                    "only")
+
+    def _finding(self, node: ast.AST, message: str, hint: str) -> Finding:
+        return Finding(path=self.module.path, line=node.lineno,
+                       col=node.col_offset, rule=SecretTaintRule.name,
+                       message=message, hint=hint)
+
+
+def _param_names(func: ast.FunctionDef) -> list[str]:
+    args = func.args
+    params = [a.arg for a in (*args.posonlyargs, *args.args,
+                              *args.kwonlyargs)]
+    for extra in (args.vararg, args.kwarg):
+        if extra is not None:
+            params.append(extra.arg)
+    return params
+
+
+@register
+class SecretTaintRule(Rule):
+    name = "secret-taint"
+    description = "dataflow from key/plaintext/audio secrets into " \
+                  "logging, messages, and untrusted writes"
+
+    def check(self, module: ModuleInfo, config: AnalysisConfig):
+        aliases = import_aliases(module.tree)
+        scopes = [_Scope(module, module.tree.body, (), aliases, config)]
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                scopes.append(_Scope(module, node.body, _param_names(node),
+                                     aliases, config))
+        findings: list[Finding] = []
+        for scope in scopes:
+            scope.solve()
+            findings.extend(scope.findings())
+        return findings

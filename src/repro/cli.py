@@ -8,6 +8,7 @@ Commands::
     attack      run the adversary battery against a live deployment
     recognize   deploy OMG and recognize one synthetic utterance
     train       train a zoo architecture and report its trade-off numbers
+    analyze     run the static invariant checkers over the source tree
 
 Every command runs entirely offline on the simulated HiKey 960.
 """
@@ -59,6 +60,20 @@ def build_parser() -> argparse.ArgumentParser:
                           help="write synthetic utterances as .wav files")
     wavs.add_argument("directory", help="output directory")
     wavs.add_argument("--per-class", type=int, default=2)
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="run the static invariant checkers (secret-taint, layering, "
+             "determinism, zeroization)")
+    analyze.add_argument("paths", nargs="*",
+                         help="files or directories (default: the "
+                              "installed repro package)")
+    analyze.add_argument("--json", action="store_true",
+                         help="machine-readable JSON report")
+    analyze.add_argument("--rule", action="append", metavar="NAME",
+                         help="run only this rule (repeatable)")
+    analyze.add_argument("--no-baseline", action="store_true",
+                         help="ignore the committed baseline file")
     return parser
 
 
@@ -194,8 +209,22 @@ def _cmd_export_dataset(args) -> int:
     return 0
 
 
+def _cmd_analyze(args) -> int:
+    from repro.analysis import main as analysis_main
+
+    argv = list(args.paths)
+    if args.json:
+        argv.append("--json")
+    for rule in args.rule or ():
+        argv.extend(["--rule", rule])
+    if args.no_baseline:
+        argv.append("--no-baseline")
+    return analysis_main(argv)
+
+
 _COMMANDS = {
     "info": _cmd_info,
+    "analyze": _cmd_analyze,
     "table1": _cmd_table1,
     "protocol": _cmd_protocol,
     "attack": _cmd_attack,

@@ -50,7 +50,9 @@ def embed_watermark(weights: np.ndarray, key: WatermarkKey,
     preserved.
     """
     if weights.size < key.num_bits:
-        raise ReproError(
+        # The payload *length* is public geometry; the secret part of a
+        # WatermarkKey is the projection seed, which never leaves here.
+        raise ReproError(  # analysis: allow(secret-taint)
             f"cannot embed {key.num_bits} bits into {weights.size} weights"
         )
     original = weights.reshape(-1).astype(np.float64)

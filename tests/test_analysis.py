@@ -1,0 +1,337 @@
+"""Static-analysis engine: every rule catches its planted violation,
+stays quiet on the clean twin, honours waivers, and the real tree under
+``src/repro`` merges with zero findings."""
+
+from __future__ import annotations
+
+import json
+import os
+import textwrap
+
+import pytest
+
+from repro.analysis import (
+    load_baseline,
+    render_human,
+    render_json,
+    run_analysis,
+)
+from repro.analysis.engine import RULES, load_module
+
+pytestmark = pytest.mark.analysis
+
+_SRC_REPRO = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "src", "repro")
+
+
+@pytest.fixture
+def fixture_tree(tmp_path):
+    """Writer for fake ``repro.<pkg>.<mod>`` files under tmp_path."""
+    def write(relpath: str, source: str) -> str:
+        path = tmp_path / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        parent = path.parent
+        while parent != tmp_path.parent:
+            init = parent / "__init__.py"
+            if not init.exists():
+                init.write_text("")
+            if parent.name == "repro":
+                break
+            parent = parent.parent
+        path.write_text(textwrap.dedent(source))
+        return str(path)
+    return write
+
+
+def _run(path_or_dir, rule=None):
+    rules = [rule] if rule else None
+    return run_analysis([path_or_dir], rules=rules)
+
+
+def _messages(result):
+    return [f.message for f in result.findings]
+
+
+# --- determinism ------------------------------------------------------------
+
+def test_determinism_flags_wall_clock_and_entropy(fixture_tree):
+    path = fixture_tree("repro/hw/bad_time.py", """\
+        import time
+        import os
+        from random import choice
+
+
+        def stamp():
+            return time.time()
+
+
+        def entropy():
+            return os.urandom(16)
+        """)
+    result = _run(path, rule="determinism")
+    messages = _messages(result)
+    assert any("time.time()" in m for m in messages)
+    assert any("os.urandom()" in m for m in messages)
+    assert any("nondeterministic module 'random'" in m for m in messages)
+
+
+def test_determinism_requires_explicit_rng_seed(fixture_tree):
+    path = fixture_tree("repro/train/bad_rng.py", """\
+        import numpy as np
+
+
+        def implicit():
+            return np.random.default_rng()
+
+
+        def global_state(n):
+            return np.random.permutation(n)
+        """)
+    messages = _messages(_run(path, rule="determinism"))
+    assert any("without an explicit seed" in m for m in messages)
+    assert any("global-state RNG" in m for m in messages)
+
+
+def test_determinism_clean_on_seeded_virtual_clock_code(fixture_tree):
+    path = fixture_tree("repro/train/good_rng.py", """\
+        import numpy as np
+
+
+        def seeded(seed):
+            rng = np.random.default_rng(seed)
+            return rng.normal(size=4)
+
+
+        def timed(soc):
+            return soc.clock.now_ms
+        """)
+    assert _run(path, rule="determinism").findings == []
+
+
+# --- layering ---------------------------------------------------------------
+
+def test_layering_flags_back_edge(fixture_tree):
+    path = fixture_tree("repro/hw/bad_import.py", """\
+        from repro.sanctuary import enclave
+
+
+        def peek():
+            return enclave
+        """)
+    messages = _messages(_run(path, rule="layering"))
+    assert messages == ["layer back-edge: hw (rank 3) imports sanctuary "
+                        "(rank 6)"]
+
+
+def test_layering_allows_downward_and_lazy_imports(fixture_tree):
+    path = fixture_tree("repro/sanctuary/good_import.py", """\
+        from repro.hw import memory
+        from repro.crypto import rng
+
+
+        def lazy():
+            from repro.core import omg  # sanctioned inversion escape
+            return omg, memory, rng
+        """)
+    assert _run(path, rule="layering").findings == []
+
+
+def test_layering_keeps_analysis_self_contained():
+    analysis_dir = os.path.join(_SRC_REPRO, "analysis")
+    result = _run(analysis_dir, rule="layering")
+    assert result.findings == []
+    # And the rule would catch a runtime import from the checker.
+    module = load_module(os.path.join(analysis_dir, "engine.py"))
+    assert module.package == "analysis"
+
+
+def test_layering_self_contained_violation(fixture_tree):
+    path = fixture_tree("repro/analysis/bad_dep.py", """\
+        from repro.crypto import aes
+        """)
+    messages = _messages(_run(path, rule="layering"))
+    assert messages == ["self-contained package 'analysis' imports "
+                        "repro.crypto"]
+
+
+# --- secret-taint -----------------------------------------------------------
+
+def test_taint_flags_exception_interpolation_and_print(fixture_tree):
+    path = fixture_tree("repro/crypto/bad_leak.py", """\
+        def unwrap(key: bytes, blob: bytes) -> bytes:
+            material = key
+            if not blob:
+                raise ValueError(f"no blob for key {material!r}")
+            print("debug:", material)
+            return blob
+        """)
+    messages = _messages(_run(path, rule="secret-taint"))
+    assert "secret flows into an exception message" in messages
+    assert "secret passed to print()" in messages
+
+
+def test_taint_flags_untrusted_write_of_decrypted_model(fixture_tree):
+    path = fixture_tree("repro/core/bad_store.py", """\
+        def persist(ctx, encrypted, key):
+            model_bytes = decrypt_model(encrypted, key)
+            ctx.store_untrusted("omg/model.bin", model_bytes)
+        """)
+    messages = _messages(_run(path, rule="secret-taint"))
+    assert messages == [
+        "secret written to untrusted storage via store_untrusted()"]
+
+
+def test_taint_clean_on_declassified_flows(fixture_tree):
+    path = fixture_tree("repro/core/good_flow.py", """\
+        def provision(ctx, model_bytes, key, nonce):
+            blob = gcm_encrypt(key, nonce, model_bytes)
+            ctx.store_untrusted("omg/model.enc", blob)
+            raise ValueError(f"key must be 16 bytes, got {len(key)}")
+        """)
+    assert _run(path, rule="secret-taint").findings == []
+
+
+# --- zeroization ------------------------------------------------------------
+
+def test_zeroization_flags_unscrubbed_exits(fixture_tree):
+    path = fixture_tree("repro/sanctuary/bad_scrub.py", """\
+        def launch_leaky(monitor, soc, region):
+            monitor.lock_region_to_core(region, 1)
+            if region.size > 4096:
+                raise ValueError("oversized enclave region")
+            return None
+        """)
+    messages = _messages(_run(path, rule="zeroization"))
+    assert any("propagate an exception" in m for m in messages)
+    assert any("returns without scrubbing" in m for m in messages)
+
+
+def test_zeroization_accepts_finally_panic_and_transfer(fixture_tree):
+    path = fixture_tree("repro/sanctuary/good_scrub.py", """\
+        def launch_guarded(monitor, soc, region):
+            monitor.lock_region_to_core(region, 1)
+            try:
+                soc.boot()
+            finally:
+                soc.memory.scrub(region.base, region.size)
+
+
+        def launch_failclosed(runtime, monitor, region, instance):
+            monitor.lock_region_to_core(region, 1)
+            try:
+                instance.boot()
+            except Exception:
+                instance.panic()
+                raise
+            return instance
+
+
+        def rebind(self, monitor):
+            monitor.lock_region_to_core(self.region, 2)
+        """)
+    assert _run(path, rule="zeroization").findings == []
+
+
+def test_zeroization_release_is_transitive_via_call_graph(fixture_tree):
+    path = fixture_tree("repro/sanctuary/transitive.py", """\
+        def cleanup(soc, region):
+            soc.memory.scrub(region.base, region.size)
+
+
+        def launch_indirect(monitor, soc, region):
+            monitor.lock_region_to_core(region, 1)
+            try:
+                soc.boot()
+            except Exception:
+                cleanup(soc, region)
+                raise
+            return region
+        """)
+    assert _run(path, rule="zeroization").findings == []
+
+
+# --- waivers, baseline, reporters ------------------------------------------
+
+def test_waiver_suppresses_single_rule(fixture_tree):
+    path = fixture_tree("repro/eval/waived.py", """\
+        import time
+
+
+        def bench():
+            t0 = time.perf_counter()  # analysis: allow(determinism)
+            # analysis: allow(determinism)
+            t1 = time.perf_counter()
+            return t1 - t0
+        """)
+    result = _run(path, rule="determinism")
+    assert result.findings == []
+    assert len(result.waived) == 2
+
+
+def test_waiver_does_not_cover_other_rules(fixture_tree):
+    path = fixture_tree("repro/eval/miswaived.py", """\
+        import time
+
+
+        def bench():
+            return time.perf_counter()  # analysis: allow(secret-taint)
+        """)
+    result = _run(path, rule="determinism")
+    assert len(result.findings) == 1
+
+
+def test_syntax_error_is_a_finding(fixture_tree):
+    path = fixture_tree("repro/hw/broken.py", "def oops(:\n")
+    result = _run(path)
+    assert [f.rule for f in result.findings] == ["syntax"]
+
+
+def test_reporters_and_rule_registry(fixture_tree):
+    path = fixture_tree("repro/hw/one_bad.py", """\
+        import time
+
+
+        def stamp():
+            return time.time()
+        """)
+    result = _run(path)
+    human = render_human(result)
+    assert "[determinism]" in human and "fix:" in human
+    payload = json.loads(render_json(result))
+    assert payload["findings"][0]["rule"] == "determinism"
+    assert set(RULES) == {"determinism", "layering", "secret-taint",
+                          "zeroization"}
+
+
+def test_rule_filter_accepted_in_fresh_process(fixture_tree):
+    """``--rule`` choices must be populated before any analysis runs —
+    registration is lazy, so an in-process test can pass on import-order
+    luck that a cold ``python -m repro.analysis`` invocation lacks."""
+    import subprocess
+    import sys
+
+    path = fixture_tree("repro/hw/empty.py", "X = 1\n")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.analysis", "--rule", "zeroization",
+         path],
+        capture_output=True, text=True,
+        env={**os.environ, "PYTHONPATH": os.pathsep.join(sys.path)})
+    assert "invalid choice" not in proc.stderr, proc.stderr
+    assert proc.returncode == 0, (proc.stdout, proc.stderr)
+
+
+# --- the real tree ----------------------------------------------------------
+
+def test_committed_baseline_is_empty():
+    assert load_baseline() == []
+
+
+def test_full_suite_over_src_repro_is_clean():
+    result = run_analysis([_SRC_REPRO], baseline=load_baseline())
+    assert result.findings == [], render_human(result)
+    # The intentional wall-clock harness + one conservative-taint site
+    # are waived inline, not baselined.
+    assert len(result.waived) == 3
+    assert result.baselined == []
+    assert result.files > 100

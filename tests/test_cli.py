@@ -64,3 +64,31 @@ def test_table1_command_small(capsys, standard_model_and_meta):
     assert main(["table1", "--per-class", "2"]) == 0
     out = capsys.readouterr().out
     assert 'TensorFlow Lite "micro" (OMG)' in out
+
+
+def test_analyze_command_clean_tree(capsys):
+    assert main(["analyze"]) == 0  # defaults to the installed package
+    out = capsys.readouterr().out
+    assert "0 finding(s)" in out
+
+
+def test_analyze_command_json_and_rule_filter(capsys):
+    import json
+
+    assert main(["analyze", "--json", "--rule", "layering",
+                 "--rule", "determinism"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["rules"] == ["determinism", "layering"]
+    assert payload["findings"] == []
+
+
+def test_analyze_command_fails_on_violation(tmp_path, capsys):
+    bad = tmp_path / "repro" / "hw"
+    bad.mkdir(parents=True)
+    (tmp_path / "repro" / "__init__.py").write_text("")
+    (bad / "__init__.py").write_text("")
+    (bad / "clockful.py").write_text(
+        "import time\n\n\ndef stamp():\n    return time.time()\n")
+    assert main(["analyze", str(tmp_path)]) == 1
+    out = capsys.readouterr().out
+    assert "[determinism]" in out
