@@ -22,6 +22,7 @@ from repro.eval.bench import (
     DEFAULT_REPORT_PATH,
     HOOK_OVERHEAD_MAX,
     INFERENCE_MIN_SPEEDUP,
+    SERVING_MIN_SPEEDUP,
     run_benchmarks,
     write_report,
 )
@@ -55,8 +56,17 @@ def test_report_written(wallclock_report):
     assert set(wallclock_report["stages"]) == {
         "crypto_provisioning_roundtrip", "inference_kws_100",
         "dsp_streaming_10s", "provisioning_end_to_end", "fault_hooks",
-        "static_analysis",
+        "static_analysis", "serving_throughput",
     }
+
+
+@pytest.mark.slow
+def test_all_stages_report_variance(wallclock_report):
+    """Every stage carries the spread across repeats next to the best-of
+    timing, so a flaky-host run is visible in the committed report."""
+    for name, stage in wallclock_report["stages"].items():
+        assert stage["baseline_std_s"] >= 0.0, (name, stage)
+        assert stage["current_std_s"] >= 0.0, (name, stage)
 
 
 @pytest.mark.slow
@@ -76,6 +86,25 @@ def test_dsp_and_provisioning_not_slower(wallclock_report):
     for name in ("dsp_streaming_10s", "provisioning_end_to_end"):
         stage = wallclock_report["stages"][name]
         assert stage["speedup"] >= 1.0, (name, stage)
+
+
+# --- multi-session serving ---------------------------------------------------
+
+@pytest.mark.slow
+def test_serving_throughput_floor(wallclock_report):
+    """Batched serving must beat the sequential one-enclave path by the
+    acceptance floor at the largest batch size, with sane latency
+    percentiles at every batch size."""
+    stage = wallclock_report["stages"]["serving_throughput"]
+    assert stage["speedup"] >= SERVING_MIN_SPEEDUP, stage
+    assert stage["baseline_wall_rps"] > 0, stage
+    for batch, row in stage["batches"].items():
+        assert row["wall_rps"] > 0, (batch, row)
+        assert row["sim_ms_per_request"] > 0, (batch, row)
+        assert row["p95_ms"] >= row["p50_ms"] > 0, (batch, row)
+    largest = max(stage["batches"])
+    assert (stage["batches"][largest]["sim_ms_per_request"]
+            < stage["baseline_sim_ms_per_request"]), stage
 
 
 # --- the invariant checker itself must stay fast ----------------------------

@@ -28,6 +28,7 @@ LAYER_RANKS: dict[str, int] = {
     "core": 7,
     "attacks": 8,
     "baselines": 8,
+    "serve": 8,
     "eval": 9,
     "cli": 10,
     "analysis": 10,

@@ -9,6 +9,7 @@ Commands::
     recognize   deploy OMG and recognize one synthetic utterance
     train       train a zoo architecture and report its trade-off numbers
     analyze     run the static invariant checkers over the source tree
+    serve-bench benchmark multi-session serving vs the sequential path
 
 Every command runs entirely offline on the simulated HiKey 960.
 """
@@ -74,6 +75,20 @@ def build_parser() -> argparse.ArgumentParser:
                          help="run only this rule (repeatable)")
     analyze.add_argument("--no-baseline", action="store_true",
                          help="ignore the committed baseline file")
+
+    serve_bench = sub.add_parser(
+        "serve-bench",
+        help="benchmark multi-session enclave serving against the "
+             "sequential one-enclave path")
+    serve_bench.add_argument("--requests", type=int, default=24,
+                             help="requests per timed run")
+    serve_bench.add_argument("--repeats", type=int, default=3,
+                             help="timed repetitions per configuration")
+    serve_bench.add_argument("--workers", type=int, default=2,
+                             help="enclave workers in the pool")
+    serve_bench.add_argument("--out", default=None, metavar="PATH",
+                             help="merge the serving stage into this "
+                                  "BENCH_wallclock.json report")
     return parser
 
 
@@ -222,6 +237,38 @@ def _cmd_analyze(args) -> int:
     return analysis_main(argv)
 
 
+def _cmd_serve_bench(args) -> int:
+    import json
+
+    from repro.eval.bench import SERVING_MIN_SPEEDUP, bench_serving
+
+    stage = bench_serving(requests=args.requests, repeats=args.repeats,
+                          num_workers=args.workers)
+    print(f"sequential baseline: {stage['baseline_wall_rps']:.0f} req/s "
+          f"wall, {stage['baseline_sim_ms_per_request']:.2f} ms/req "
+          f"simulated")
+    for batch, row in stage["batches"].items():
+        print(f"batch {batch:>2}: {row['wall_rps']:.0f} req/s wall, "
+              f"{row['sim_ms_per_request']:.2f} ms/req simulated, "
+              f"p50 {row['p50_ms']:.2f} ms / p95 {row['p95_ms']:.2f} ms")
+    print(f"speedup at largest batch: {stage['speedup']:.1f}x "
+          f"(floor {SERVING_MIN_SPEEDUP}x)")
+    if args.out:
+        try:
+            with open(args.out) as fh:
+                report = json.load(fh)
+        except FileNotFoundError:
+            report = {"stages": {}, "thresholds": {}}
+        report.setdefault("stages", {})["serving_throughput"] = stage
+        report.setdefault("thresholds", {})["serving_throughput"] = \
+            SERVING_MIN_SPEEDUP
+        with open(args.out, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"merged serving stage into {args.out}")
+    return 0 if stage["speedup"] >= SERVING_MIN_SPEEDUP else 1
+
+
 _COMMANDS = {
     "info": _cmd_info,
     "analyze": _cmd_analyze,
@@ -232,6 +279,7 @@ _COMMANDS = {
     "train": _cmd_train,
     "export": _cmd_export,
     "export-dataset": _cmd_export_dataset,
+    "serve-bench": _cmd_serve_bench,
 }
 
 

@@ -11,6 +11,7 @@ the bytes.  Traffic counters feed the protocol benchmarks.
 from __future__ import annotations
 
 import struct
+from collections import OrderedDict
 
 from repro.core.retry import DEFAULT_RETRYABLE, BackoffPolicy, retry_call
 from repro.crypto.hmac import hkdf
@@ -192,14 +193,28 @@ class ReliableResponder:
     response was lost, the requester retried) returns the cached
     response without re-executing — this is what makes retried
     provisioning steps idempotent end to end.
+
+    The replay cache is an LRU bounded by ``max_cached``, so a
+    long-lived responder (the serving path keeps one per session) holds
+    a constant amount of memory regardless of traffic volume.  Retries
+    arrive within a handful of sequence numbers of the head, so any
+    reasonable bound keeps idempotency; a replay of a sequence old
+    enough to have been evicted is refused rather than re-executed
+    (at-most-once beats availability here).
     """
 
-    def __init__(self, endpoint: ChannelEndpoint, handler) -> None:
+    def __init__(self, endpoint: ChannelEndpoint, handler,
+                 max_cached: int = 1024) -> None:
+        if max_cached <= 0:
+            raise ProtocolError("responder cache bound must be positive")
         self.endpoint = endpoint
         self.handler = handler
-        self._responses: dict[int, bytes] = {}
+        self.max_cached = max_cached
+        self._responses: OrderedDict[int, bytes] = OrderedDict()
+        self._evicted_horizon = -1
         self.handled = 0
         self.replays = 0
+        self.evictions = 0
 
     def handle_frame(self, frame: bytes) -> bytes:
         if len(frame) < _FRAME_SEQ.size:
@@ -208,12 +223,22 @@ class ReliableResponder:
         response = self._responses.get(sequence)
         if response is not None:
             self.replays += 1
+            self._responses.move_to_end(sequence)
         else:
+            if sequence <= self._evicted_horizon:
+                raise ProtocolError(
+                    f"replay of evicted sequence {sequence}; cannot "
+                    "guarantee at-most-once execution")
             payload = self.endpoint.open_at(sequence,
                                             frame[_FRAME_SEQ.size:])
             response = self.handler(payload)
             self._responses[sequence] = response
             self.handled += 1
+            while len(self._responses) > self.max_cached:
+                evicted_seq, _ = self._responses.popitem(last=False)
+                self._evicted_horizon = max(self._evicted_horizon,
+                                            evicted_seq)
+                self.evictions += 1
         # Re-seal per transmission: sealing at a fixed sequence is
         # deterministic, so a replay is byte-identical on a clean wire
         # while a corruption fault mangles only this copy.

@@ -29,7 +29,7 @@ from repro.sanctuary.enclave import EnclaveContext, SanctuaryApp
 from repro.sanctuary.lifecycle import EnclaveInstance, SanctuaryRuntime
 from repro.tflm.interpreter import Interpreter
 from repro.tflm.serialize import deserialize_model
-from repro.train.convert import fingerprint_to_int8
+from repro.train.convert import fingerprint_to_int8, fingerprints_to_int8
 from repro.trustzone.worlds import Platform
 
 __all__ = ["KeywordSpotterApp", "RecognitionResult", "OmgSession"]
@@ -122,6 +122,21 @@ class KeywordSpotterApp(SanctuaryApp):
             label=label, label_index=index, scores=scores,
             inference_ms=inference_ms, total_ms=ctx.clock.now_ms - start,
         )
+
+    def recognize_fingerprints(self, ctx: EnclaveContext,
+                               fingerprints: np.ndarray
+                               ) -> tuple[np.ndarray, np.ndarray]:
+        """Classify a batch of uint8 fingerprints in one batched invoke.
+
+        Returns ``(label_indices, score_rows)``.  Bit-exact against N
+        :meth:`recognize_fingerprint` calls (see ``Op.run_batch``); the
+        simulated clock is charged once for the whole batch with
+        per-op dispatch amortized across it.
+        """
+        if self.interpreter is None:
+            raise ProtocolError("model has not been unlocked yet")
+        return self.interpreter.classify_batch(
+            fingerprints_to_int8(fingerprints))
 
     def recognize_clip(self, ctx: EnclaveContext,
                        samples: np.ndarray) -> RecognitionResult:
@@ -224,7 +239,10 @@ class KeywordSpotterApp(SanctuaryApp):
 
         ``b'P'`` ping; ``b'R' + u32 num_samples`` record that much audio
         via the trusted path and classify it, returning
-        ``u8 label_index + u16 label_len + label + scores-int8``.
+        ``u8 label_index + u16 label_len + label + scores-int8``;
+        ``b'F' + uint8 fingerprint bytes`` classify one precomputed
+        fingerprint, returning ``u8 label_index + scores-int8`` (the
+        sequential serving baseline's query opcode).
         """
         if not request:
             raise ProtocolError("empty mailbox request")
@@ -241,6 +259,21 @@ class KeywordSpotterApp(SanctuaryApp):
             scores = np.asarray(result.scores, dtype=np.int8).tobytes()
             return (bytes([result.label_index])
                     + struct.pack("<H", len(label)) + label + scores)
+        if opcode == b"F":
+            if self.interpreter is None:
+                raise ProtocolError("model has not been unlocked yet")
+            spec = self.interpreter.model.tensors[
+                self.interpreter.model.inputs[0]]
+            frames, bins = spec.shape[1], spec.shape[2]
+            if len(request) != 1 + frames * bins:
+                raise ProtocolError(
+                    f"fingerprint request needs {frames * bins} bytes, "
+                    f"got {len(request) - 1}")
+            fingerprint = np.frombuffer(
+                request[1:], dtype=np.uint8).reshape(frames, bins)
+            result = self.recognize_fingerprint(ctx, fingerprint)
+            scores = np.asarray(result.scores, dtype=np.int8).tobytes()
+            return bytes([result.label_index]) + scores
         raise ProtocolError(f"unknown opcode {opcode!r}")
 
 
@@ -256,7 +289,8 @@ class OmgSession:
                  app: KeywordSpotterApp | None = None,
                  heap_bytes: int = 4 * MiB,
                  license_policy: LicensePolicy | None = None,
-                 channel_seed: bytes = b"omg-channel-seed") -> None:
+                 channel_seed: bytes = b"omg-channel-seed",
+                 core_id: int | None = None) -> None:
         self.platform = platform
         self.vendor = vendor
         self.user = user or User()
@@ -265,6 +299,7 @@ class OmgSession:
         self.transcript = ProtocolTranscript()
         self.instance: EnclaveInstance | None = None
         self._heap_bytes = heap_bytes
+        self._core_id = core_id
         self._license_policy = license_policy
         self._channel_rng = HmacDrbg(channel_seed)
         self._mic_source = PlaybackSource(
@@ -292,7 +327,7 @@ class OmgSession:
         expected = SanctuaryRuntime.expected_measurement(self.app)
 
         self.instance = self.runtime.launch(
-            self.app, heap_bytes=self._heap_bytes)
+            self.app, heap_bytes=self._heap_bytes, core_id=self._core_id)
         report = self.instance.report
         root_pk = self.platform.manufacturer_root.public_key
 

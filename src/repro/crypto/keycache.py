@@ -1,23 +1,190 @@
-"""Deterministic RSA key pairs with process-level caching.
+"""Key-material caches: deterministic RSA pairs, session secrets, keystreams.
 
 Every key in the simulation is derived deterministically from a context
 string, so identical contexts always yield identical keys.  Caching the
 (expensive, pure-Python) prime generation per context makes repeated
 platform construction — every test builds platforms — cheap after the
 first time.
+
+The serving path (``repro.serve``) adds two more caches:
+
+* :class:`SecretCache` — a bounded LRU for per-session secrets (open
+  license grants, session keys).  Eviction *scrubs* the stored material
+  in place before dropping the reference, so a capacity-limited cache
+  never leaves stale key bytes lying around in host memory longer than
+  its own bookkeeping.
+* :class:`KeystreamCache` — per-session AES-CTR keystream chunks for
+  the zero-copy rings.  GCM costs ~0.6 ms per call at any size (numpy
+  dispatch overhead), which would dominate per-request serving; bulk
+  keystream generated once per 64 KB chunk and XORed in place is
+  microseconds per request.  Chunks regenerate deterministically from
+  (session key, position) after eviction, so bounding the cache never
+  loses data.
 """
 
 from __future__ import annotations
 
+import struct
+from collections import OrderedDict
 from functools import lru_cache
 
+import numpy as np
+
+from repro.crypto.aes import AES
+from repro.crypto.modes import ctr_keystream_xor
 from repro.crypto.rng import HmacDrbg
 from repro.crypto.rsa import RsaPrivateKey, generate_keypair
+from repro.errors import CryptoError
 
-__all__ = ["deterministic_keypair"]
+__all__ = ["deterministic_keypair", "scrub_secret", "SecretCache",
+           "KeystreamCache"]
 
 
 @lru_cache(maxsize=256)
 def deterministic_keypair(context: bytes, bits: int = 1024) -> RsaPrivateKey:
     """RSA key pair derived (and memoized) from ``context``."""
     return generate_keypair(bits, HmacDrbg(context, b"keycache"))
+
+
+def scrub_secret(buf) -> None:
+    """Zeroize a mutable secret buffer in place.
+
+    Accepts ``bytearray``, ``memoryview``, and numpy arrays — the three
+    mutable shapes secrets take in the caches below.  Immutable values
+    (``bytes``) cannot be scrubbed in place and are ignored; callers
+    that need scrub-on-evict must store mutable buffers.
+    """
+    if isinstance(buf, np.ndarray):
+        buf[...] = 0
+    elif isinstance(buf, (bytearray, memoryview)):
+        buf[:] = b"\x00" * len(buf)
+
+
+class SecretCache:
+    """Bounded LRU for secret values, scrubbed on eviction.
+
+    ``get``/``put`` refresh recency; when the cache is full the least
+    recently used entry is evicted and its value passed through
+    :func:`scrub_secret` first.  ``discard``/``clear`` scrub too, so
+    the only way material leaves this cache unscrubbed is an immutable
+    ``bytes`` value (see :func:`scrub_secret`).
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise CryptoError("SecretCache capacity must be positive")
+        self.capacity = capacity
+        self._entries: OrderedDict = OrderedDict()
+        self.evictions = 0
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, cache_key) -> bool:
+        return cache_key in self._entries
+
+    def get(self, cache_key, default=None):
+        if cache_key not in self._entries:
+            self.misses += 1
+            return default
+        self.hits += 1
+        self._entries.move_to_end(cache_key)
+        return self._entries[cache_key]
+
+    def put(self, cache_key, value) -> None:
+        if cache_key in self._entries:
+            self._entries.move_to_end(cache_key)
+            self._entries[cache_key] = value
+            return
+        while len(self._entries) >= self.capacity:
+            _, evicted = self._entries.popitem(last=False)
+            scrub_secret(evicted)
+            self.evictions += 1
+        self._entries[cache_key] = value
+
+    def get_or_create(self, cache_key, factory):
+        value = self.get(cache_key)
+        if value is None:
+            value = factory()
+            self.put(cache_key, value)
+        return value
+
+    def discard(self, cache_key) -> None:
+        value = self._entries.pop(cache_key, None)
+        if value is not None:
+            scrub_secret(value)
+
+    def clear(self) -> None:
+        for value in self._entries.values():
+            scrub_secret(value)
+        self._entries.clear()
+
+
+class KeystreamCache:
+    """Per-session AES-CTR keystream chunks for in-place seal/open.
+
+    Chunk ``i`` of a session is the CTR keystream for counter blocks
+    ``[i * blocks_per_chunk, (i + 1) * blocks_per_chunk)`` under the
+    session key with an all-zero 12-byte counter prefix.  Positions map
+    to chunks deterministically, so an evicted chunk is simply
+    regenerated — the cache bounds memory, never correctness.
+
+    XOR-at-position is only safe when each keystream byte covers one
+    message byte; the serving layer guarantees that by giving every
+    session a strictly advancing position (request and response streams
+    use disjoint lanes).
+    """
+
+    def __init__(self, capacity: int = 32, chunk_bytes: int = 65536) -> None:
+        if chunk_bytes <= 0 or chunk_bytes % 16:
+            raise CryptoError("chunk_bytes must be a positive multiple of 16")
+        self.chunk_bytes = chunk_bytes
+        self._chunks = SecretCache(capacity)
+        self._ciphers: dict[bytes, AES] = {}
+
+    @property
+    def evictions(self) -> int:
+        return self._chunks.evictions
+
+    def _chunk(self, session_id: int, key: bytes, index: int) -> np.ndarray:
+        cached = self._chunks.get((session_id, index))
+        if cached is not None:
+            return cached
+        cipher = self._ciphers.get(key)
+        if cipher is None:
+            cipher = AES(key)
+            self._ciphers[key] = cipher
+        blocks_per_chunk = self.chunk_bytes // 16
+        counter = b"\x00" * 12 + struct.pack(">I", index * blocks_per_chunk)
+        chunk = np.frombuffer(
+            ctr_keystream_xor(cipher, counter, b"\x00" * self.chunk_bytes),
+            dtype=np.uint8).copy()
+        self._chunks.put((session_id, index), chunk)
+        return chunk
+
+    def take(self, session_id: int, key: bytes, start: int,
+             length: int) -> np.ndarray:
+        """Keystream bytes ``[start, start + length)`` for one session."""
+        if start < 0 or length < 0:
+            raise CryptoError("keystream position must be non-negative")
+        first = start // self.chunk_bytes
+        last = (start + length - 1) // self.chunk_bytes if length else first
+        parts = []
+        for index in range(first, last + 1):
+            chunk = self._chunk(session_id, key, index)
+            lo = max(start - index * self.chunk_bytes, 0)
+            hi = min(start + length - index * self.chunk_bytes,
+                     self.chunk_bytes)
+            if first == last:
+                return chunk[lo:hi]
+            # Fetching the next chunk may evict (and scrub, in place)
+            # this one, so spans that cross chunks must copy out.
+            parts.append(chunk[lo:hi].copy())
+        return np.concatenate(parts)
+
+    def forget_session(self, session_id: int, max_chunks: int = 4096) -> None:
+        """Scrub and drop every cached chunk of one session."""
+        for index in range(max_chunks):
+            self._chunks.discard((session_id, index))

@@ -106,3 +106,7 @@ class ProvisioningAborted(ProtocolError):
 
 class AudioError(ReproError):
     """Audio decoding or feature extraction failed."""
+
+
+class ServeError(ReproError):
+    """The multi-session serving layer hit an invalid state."""

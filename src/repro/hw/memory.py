@@ -80,7 +80,10 @@ class PhysicalMemory:
         if size <= 0:
             raise MemoryAccessError("memory size must be positive")
         self.size = size
-        self._pages: dict[int, bytearray] = {}
+        # Page backing is either a private bytearray or, after pin(), a
+        # writable memoryview slice of one contiguous pinned buffer.
+        self._pages: dict[int, bytearray | memoryview] = {}
+        self._pins: dict[tuple[int, int], bytearray] = {}
 
     def _check_range(self, address: int, length: int) -> None:
         if address < 0 or length < 0 or address + length > self.size:
@@ -116,6 +119,44 @@ class PhysicalMemory:
                 self._pages[page_index] = page
             page[page_offset:page_offset + chunk] = data[offset:offset + chunk]
             offset += chunk
+
+    def pin(self, address: int, length: int) -> memoryview:
+        """Back ``[address, address + length)`` with one contiguous buffer.
+
+        Zero-copy shared-memory rings need a stable host buffer that
+        numpy arrays can alias, while the page-sparse ``read``/``write``/
+        ``scrub`` paths must keep seeing the same bytes.  ``pin``
+        replaces the covered pages' backing with writable views of a
+        single buffer (preserving current contents) and returns a
+        memoryview of exactly the requested range.  Bus traffic and raw
+        accesses stay fully coherent with mapped views afterwards.
+
+        Re-pinning the identical page range returns a view of the same
+        buffer (so both ends of a ring can map it); a partially
+        overlapping pin is refused.
+        """
+        self._check_range(address, length)
+        if length <= 0:
+            raise MemoryAccessError("pin length must be positive")
+        first, last = address // _PAGE, (address + length - 1) // _PAGE
+        start = address - first * _PAGE
+        for (f, l), buf in self._pins.items():
+            if first <= l and f <= last:
+                if (f, l) == (first, last):
+                    return memoryview(buf)[start:start + length]
+                raise MemoryAccessError(
+                    f"pin [{address:#x}, {address + length:#x}) overlaps "
+                    "an existing pinned window")
+        buf = bytearray((last - first + 1) * _PAGE)
+        view = memoryview(buf)
+        for index in range(first, last + 1):
+            offset = (index - first) * _PAGE
+            page = self._pages.get(index)
+            if page is not None:
+                view[offset:offset + _PAGE] = page
+            self._pages[index] = view[offset:offset + _PAGE]
+        self._pins[(first, last)] = buf
+        return view[start:start + length]
 
     def scrub(self, address: int, length: int) -> None:
         """Zeroize a range (used at enclave teardown).

@@ -119,6 +119,40 @@ class Soc:
             candidates = [c for c in candidates if c.big]
         return min(candidates, key=lambda c: (c.load, c.core_id))
 
+    def os_big_cores(self) -> list[CpuCore]:
+        """Big cores still running the OS, in core-id order.
+
+        The serving worker pool pins one enclave per big core; it asks
+        for the candidate set up front so placement is explicit rather
+        than load-dependent.
+        """
+        from repro.hw.core import CoreState
+
+        return [c for c in self.cores
+                if c.big and c.state is CoreState.OS]
+
+    def claim_os_core(self, core_id: int) -> CpuCore:
+        """Pick a *specific* OS core to repurpose for an enclave.
+
+        Same invariant as :meth:`least_busy_os_core`: the commodity OS
+        keeps at least one core, and the requested core must actually
+        be running the OS (not already bound to another enclave).
+        """
+        from repro.hw.core import CoreState
+
+        core = self.core(core_id)
+        if core.state is not CoreState.OS:
+            raise HardwareError(
+                f"core {core_id} is not running the OS "
+                f"(state {core.state.value})")
+        remaining = [c for c in self.cores if c.state is CoreState.OS]
+        if len(remaining) <= 1:
+            raise HardwareError(
+                "no OS core available to repurpose (the commodity OS "
+                "keeps its last core)"
+            )
+        return core
+
     def architecture_summary(self) -> dict:
         """Structural description used by the Fig. 1 harness."""
         return {

@@ -298,13 +298,18 @@ class SanctuaryRuntime:
                os_shm_bytes: int = 256 * _KiB,
                secure_shm_bytes: int = 64 * _KiB,
                challenge: bytes | None = None,
-               pre_lock_hook=None) -> EnclaveInstance:
+               pre_lock_hook=None,
+               core_id: int | None = None) -> EnclaveInstance:
         """Run setup + boot + attestation; return an ACTIVE instance.
 
         ``pre_lock_hook(soc, region)`` is invoked after the OS copies
         the code but *before* the TZASC lock — the window a real
         attacker has to tamper with enclave code.  Tampering is caught
         by measurement, which the attack tests verify.
+
+        ``core_id`` pins the enclave to a specific OS core (the serving
+        worker pool places one enclave per big core); by default the
+        least-busy OS core is repurposed.
         """
         soc = self.platform.soc
         monitor = self.platform.monitor
@@ -323,7 +328,8 @@ class SanctuaryRuntime:
         soc.bus.write(region.base, code, World.NORMAL, core_id=0)
         if pre_lock_hook is not None:
             pre_lock_hook(soc, region)
-        core = soc.least_busy_os_core()
+        core = (soc.least_busy_os_core() if core_id is None
+                else soc.claim_os_core(core_id))
         core.shutdown()
         monitor.lock_region_to_core(region, core.core_id)
         monitor.lock_region_to_core(secure_shm_region, core.core_id)

@@ -1,0 +1,68 @@
+"""Wire format for serving traffic over the zero-copy rings.
+
+A frame is a plaintext routing header followed by a sealed payload::
+
+    [session_id u32][request_seq u32][payload ^ keystream]
+
+The header is routing metadata the untrusted OS needs to demultiplex;
+the payload (a fingerprint on the request ring, a classification result
+on the response ring) is XOR-sealed under a per-session, per-direction
+AES-CTR keystream served by :class:`~repro.crypto.keycache
+.KeystreamCache`.  Each direction uses its own derived key and a
+position of ``request_seq * payload_len``, so every keystream byte
+covers exactly one message byte — the CTR discipline that makes XOR
+sealing sound.
+
+Seal and open are *in place* on ring-slot views: no intermediate
+buffers, no per-message allocation.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro.crypto.hmac import hkdf
+from repro.errors import ServeError
+
+__all__ = ["HEADER", "derive_lane_keys", "seal_into", "open_in_place"]
+
+HEADER = struct.Struct("<II")  # session_id, request_seq
+
+_LANE_SALT = b"omg-serve-v1"
+
+
+def derive_lane_keys(master: bytes) -> tuple[bytes, bytes]:
+    """Per-direction AES keys for one session: (request, response)."""
+    return (hkdf(master, _LANE_SALT, b"lane-request", 16),
+            hkdf(master, _LANE_SALT, b"lane-response", 16))
+
+
+def seal_into(slot: np.ndarray, session_id: int, request_seq: int,
+              payload: np.ndarray, keystream: np.ndarray) -> int:
+    """Write header + sealed payload into a reserved ring slot.
+
+    Returns the frame length to pass to ``SlotRing.commit``.
+    """
+    total = HEADER.size + payload.size
+    if total > slot.size:
+        raise ServeError(
+            f"frame of {total} bytes exceeds slot of {slot.size}")
+    slot[:HEADER.size] = np.frombuffer(
+        HEADER.pack(session_id, request_seq), dtype=np.uint8)
+    np.bitwise_xor(payload, keystream, out=slot[HEADER.size:total])
+    return total
+
+
+def open_in_place(frame: np.ndarray) -> tuple[int, int, np.ndarray]:
+    """Parse a peeked frame: (session_id, request_seq, sealed payload).
+
+    The returned payload still aliases ring memory; the caller XORs the
+    keystream into it (in place) and must copy anything it keeps before
+    releasing the slot.
+    """
+    if frame.size < HEADER.size:
+        raise ServeError("runt serving frame")
+    session_id, request_seq = HEADER.unpack(bytes(frame[:HEADER.size]))
+    return session_id, request_seq, frame[HEADER.size:]

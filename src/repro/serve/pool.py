@@ -1,0 +1,105 @@
+"""Enclave worker pool: one pinned SANCTUARY instance per big core.
+
+The HiKey 960 has four A73 big cores; SANCTUARY binds an enclave's
+memory to exactly one core, so the natural scaling unit is one
+keyword-spotter enclave per big core.  Each worker is a full
+:class:`~repro.core.omg.OmgSession` — attested, provisioned, and
+unlocked once at pool construction — and then serves batches for its
+whole lifetime: steady-state requests never touch the vendor again
+(the vendor's ``provisioned_count``/``keys_released`` counters stay
+flat, which the serve tests pin).
+
+Batches are round-robined across workers.  When no big core is
+available for pinning the pool degrades to a single worker placed by
+the default (least-busy) policy — the sequential fallback.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.omg import KeywordSpotterApp, OmgSession
+from repro.core.parties import User, Vendor
+from repro.errors import ProtocolError, ServeError
+from repro.trustzone.worlds import Platform
+
+__all__ = ["EnclaveWorker", "EnclaveWorkerPool"]
+
+
+class EnclaveWorker:
+    """One pinned enclave plus its serving counters."""
+
+    def __init__(self, session: OmgSession, core_id: int | None) -> None:
+        self.session = session
+        self.core_id = core_id
+        self.batches = 0
+        self.requests = 0
+
+    def run_batch(self, fingerprints: np.ndarray
+                  ) -> tuple[np.ndarray, np.ndarray]:
+        """Classify a fingerprint batch inside the fail-closed envelope.
+
+        Mirrors ``EnclaveInstance.invoke``: a malformed request
+        (``ProtocolError``) is refused and the enclave lives on; any
+        other fault panics the enclave — scrub and unlock — before the
+        error surfaces to the caller.
+        """
+        session = self.session
+        try:
+            labels, scores = session.app.recognize_fingerprints(
+                session.ctx, fingerprints)
+        except ProtocolError:
+            raise
+        except Exception:
+            session.instance.panic()
+            raise
+        self.batches += 1
+        self.requests += len(fingerprints)
+        return labels, scores
+
+
+class EnclaveWorkerPool:
+    """Launch, pin, and round-robin a set of enclave workers."""
+
+    def __init__(self, platform: Platform, vendor: Vendor,
+                 num_workers: int | None = None,
+                 heap_bytes: int | None = None) -> None:
+        soc = platform.soc
+        # Collect placement targets up front so the pool's layout is
+        # explicit, not a side effect of launch-time load.
+        big_ids = [core.core_id for core in soc.os_big_cores()]
+        if num_workers is None:
+            num_workers = max(1, len(big_ids))
+        if num_workers < 1:
+            raise ServeError("worker pool needs at least one worker")
+        placements: list[int | None] = list(big_ids[:num_workers])
+        while len(placements) < num_workers:
+            # Sequential fallback: no big core left to pin — let the
+            # runtime place the worker wherever an OS core remains.
+            placements.append(None)
+
+        self.workers: list[EnclaveWorker] = []
+        for index, core_id in enumerate(placements):
+            session = OmgSession(
+                platform, vendor, User(), KeywordSpotterApp(),
+                channel_seed=b"serve-worker-%d" % index,
+                core_id=core_id,
+            )
+            session.prepare()
+            session.initialize()
+            self.workers.append(
+                EnclaveWorker(session, session.instance.core_id))
+        self._next = 0
+
+    def __len__(self) -> int:
+        return len(self.workers)
+
+    def next_worker(self) -> EnclaveWorker:
+        """Round-robin assignment of the next batch."""
+        worker = self.workers[self._next]
+        self._next = (self._next + 1) % len(self.workers)
+        return worker
+
+    def teardown(self) -> None:
+        for worker in self.workers:
+            worker.session.teardown()

@@ -1,0 +1,81 @@
+"""Request scheduler: group per-session requests into dispatch batches.
+
+Two triggers, both on the *virtual* clock:
+
+* **size** — ``max_batch`` requests are waiting; dispatch immediately.
+* **deadline** — the oldest waiting request has aged past
+  ``deadline_ms``; dispatch whatever is there.
+
+The deadline bounds per-request queueing latency, the size cap bounds
+batch memory and keeps the batched-invoke working set small.  Arrival
+order is preserved within and across batches.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.errors import ServeError
+from repro.hw.timing import VirtualClock
+
+__all__ = ["BatchScheduler"]
+
+
+class BatchScheduler:
+    """FIFO batcher with a size trigger and a virtual-clock deadline."""
+
+    def __init__(self, clock: VirtualClock, max_batch: int = 8,
+                 deadline_ms: float = 2.0) -> None:
+        if max_batch < 1:
+            raise ServeError("max_batch must be at least 1")
+        if deadline_ms < 0:
+            raise ServeError("deadline_ms must be non-negative")
+        self.clock = clock
+        self.max_batch = max_batch
+        self.deadline_ms = deadline_ms
+        self._pending: deque = deque()
+        self.submitted = 0
+        self.batches = 0
+        self.full_batches = 0
+        self.deadline_flushes = 0
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def submit(self, item) -> None:
+        """Queue one request; arrival time is stamped now."""
+        self._pending.append((self.clock.now_ms, item))
+        self.submitted += 1
+
+    def ready(self) -> bool:
+        """Would :meth:`next_batch` dispatch right now?"""
+        if len(self._pending) >= self.max_batch:
+            return True
+        if not self._pending:
+            return False
+        oldest_ms, _ = self._pending[0]
+        return self.clock.now_ms - oldest_ms >= self.deadline_ms
+
+    def next_batch(self) -> list:
+        """Pop the next batch (up to ``max_batch`` items, FIFO).
+
+        Call only when :meth:`ready` — dispatching early would trade
+        batching efficiency away silently.
+        """
+        if not self.ready():
+            raise ServeError("no batch is ready to dispatch")
+        return self._take(self.max_batch)
+
+    def flush(self) -> list:
+        """Pop everything pending regardless of triggers (shutdown)."""
+        return self._take(len(self._pending)) if self._pending else []
+
+    def _take(self, limit: int) -> list:
+        size = min(limit, len(self._pending))
+        batch = [self._pending.popleft()[1] for _ in range(size)]
+        self.batches += 1
+        if size >= self.max_batch:
+            self.full_batches += 1
+        else:
+            self.deadline_flushes += 1
+        return batch

@@ -1,0 +1,295 @@
+"""The serving front end: sessions, rings, batching, dispatch.
+
+Data path for one request (client session *S*, sequence *q*):
+
+1. *S* seals its fingerprint in place into a reserved slot of the
+   **ingress ring** (XOR with its request-lane keystream) and commits.
+2. The dispatcher drains the ring, opens each frame in place, and hands
+   (session, seq, fingerprint) to the :class:`BatchScheduler`.
+3. When a batch is ready (size or deadline trigger) the dispatcher
+   round-robins it to an enclave worker, which runs **one batched
+   invoke** for the whole group — bit-exact against per-request
+   invokes — inside the fail-closed envelope.
+4. Results are sealed per session into the **egress ring**; the client
+   mux opens them in place and completes the per-session futures.
+
+Security properties preserved (paper §IV):
+
+* The model never leaves an enclave — workers hold it; the rings only
+  ever carry fingerprints and score vectors.
+* Per-session key isolation — lane keys are derived per session and
+  held in a scrub-on-evict :class:`~repro.crypto.keycache.SecretCache`;
+  one session's traffic is opaque to every other session and to the OS
+  relaying the ring memory.
+* Steady-state requests never re-enter provisioning: workers are
+  attested/provisioned once at pool construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.crypto.keycache import KeystreamCache, SecretCache
+from repro.crypto.rng import HmacDrbg
+from repro.errors import ServeError
+from repro.hw.memory import RegionPolicy, World
+from repro.sanctuary.shm import SharedRegion, SlotRing
+from repro.serve.frames import (HEADER, derive_lane_keys, open_in_place,
+                                seal_into)
+from repro.serve.pool import EnclaveWorkerPool
+from repro.serve.scheduler import BatchScheduler
+
+__all__ = ["ServeConfig", "SessionHandle", "ServingService"]
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Tunables for one :class:`ServingService`."""
+
+    max_batch: int = 8
+    deadline_ms: float = 2.0
+    ring_slots: int = 64
+    num_workers: int | None = None
+    session_capacity: int = 64
+    keystream_chunk_bytes: int = 65536
+    session_seed: bytes = b"omg-serve-sessions"
+
+
+@dataclass
+class SessionHandle:
+    """Client-side state of one open serving session."""
+
+    session_id: int
+    request_key: bytes
+    response_key: bytes
+    next_seq: int = 0
+    pending: dict = field(default_factory=dict)   # seq -> submit now_ms
+    results: dict = field(default_factory=dict)   # seq -> (label, scores)
+
+    def take_result(self, seq: int):
+        """Pop the completed (label_index, scores) for one request."""
+        if seq not in self.results:
+            raise ServeError(
+                f"session {self.session_id}: request {seq} not completed")
+        return self.results.pop(seq)
+
+
+class ServingService:
+    """Multi-session serving over one worker pool and one ring pair."""
+
+    def __init__(self, platform, vendor, config: ServeConfig | None = None,
+                 pool: EnclaveWorkerPool | None = None) -> None:
+        self.config = config or ServeConfig()
+        self.platform = platform
+        self.clock = platform.soc.clock
+        self.pool = pool or EnclaveWorkerPool(
+            platform, vendor, num_workers=self.config.num_workers)
+
+        app = self.pool.workers[0].session.app
+        interpreter = app.interpreter
+        spec = interpreter.model.tensors[interpreter.model.inputs[0]]
+        self.fingerprint_shape = (spec.shape[1], spec.shape[2])
+        self.request_bytes = spec.shape[1] * spec.shape[2]
+        self.num_labels = len(app.labels)
+        self.response_bytes = 1 + self.num_labels
+
+        soc = platform.soc
+        slot_bytes = HEADER.size + max(self.request_bytes,
+                                       self.response_bytes)
+        ring_bytes = SlotRing.bytes_needed(self.config.ring_slots, slot_bytes)
+        # Pins are page-granular: keep the two rings on disjoint pages.
+        egress_offset = (ring_bytes + 4095) & ~4095
+        region = soc.allocate_region("serve-rings",
+                                     egress_offset + ring_bytes)
+        # The rings are untrusted OS-shared transport (payloads are
+        # sealed), so the region stays world-open like the mailboxes.
+        platform.monitor.configure_region(region, RegionPolicy())
+        client_core = soc.least_busy_os_core(prefer_big=False).core_id
+        service_core = self.pool.workers[0].core_id
+        client_shm = SharedRegion(soc, region, World.NORMAL, client_core)
+        service_shm = SharedRegion(soc, region, World.NORMAL, service_core)
+        # Ingress: client produces, dispatcher consumes.  Egress: the
+        # reverse.  Each endpoint maps the same pinned window.
+        self._ingress_prod = SlotRing(client_shm, 0, self.config.ring_slots,
+                                      slot_bytes, reset=True)
+        self._ingress_cons = SlotRing(service_shm, 0, self.config.ring_slots,
+                                      slot_bytes)
+        self._egress_prod = SlotRing(service_shm, egress_offset,
+                                     self.config.ring_slots, slot_bytes,
+                                     reset=True)
+        self._egress_cons = SlotRing(client_shm, egress_offset,
+                                     self.config.ring_slots, slot_bytes)
+
+        self.scheduler = BatchScheduler(self.clock,
+                                        max_batch=self.config.max_batch,
+                                        deadline_ms=self.config.deadline_ms)
+        # Service-side session secrets: lane keys live in a bounded LRU
+        # that scrubs on eviction; each side keeps its own keystream
+        # cache (the client is not supposed to share state with the
+        # dispatcher beyond the established keys).
+        self._session_keys = SecretCache(self.config.session_capacity)
+        self._client_keystreams = KeystreamCache(
+            capacity=2 * self.config.session_capacity,
+            chunk_bytes=self.config.keystream_chunk_bytes)
+        self._service_keystreams = KeystreamCache(
+            capacity=2 * self.config.session_capacity,
+            chunk_bytes=self.config.keystream_chunk_bytes)
+        self._session_rng = HmacDrbg(self.config.session_seed)
+        self._handles: dict[int, SessionHandle] = {}
+        self._next_session = 0
+        self.latencies_ms: list[float] = []
+        self.requests_completed = 0
+
+    # --- sessions ------------------------------------------------------
+
+    def open_session(self) -> SessionHandle:
+        """Establish one client session: derive and cache its lane keys.
+
+        Session establishment is local key derivation — the enclave
+        workers were attested and provisioned at pool construction, so
+        opening the Nth session costs no vendor interaction.
+        """
+        session_id = self._next_session
+        self._next_session += 1
+        master = self._session_rng.generate(16)
+        request_key, response_key = derive_lane_keys(master)
+        self._session_keys.put(session_id,
+                               (bytearray(request_key),
+                                bytearray(response_key)))
+        handle = SessionHandle(session_id, request_key, response_key)
+        self._handles[session_id] = handle
+        return handle
+
+    def close_session(self, handle: SessionHandle) -> None:
+        self._handles.pop(handle.session_id, None)
+        self._session_keys.discard(handle.session_id)
+        self._client_keystreams.forget_session(handle.session_id)
+        self._service_keystreams.forget_session(handle.session_id)
+
+    def _service_keys(self, session_id: int) -> tuple[bytes, bytes]:
+        keys = self._session_keys.get(session_id)
+        if keys is None:
+            raise ServeError(f"no open session {session_id}")
+        return bytes(keys[0]), bytes(keys[1])
+
+    # --- client side ---------------------------------------------------
+
+    def submit(self, handle: SessionHandle, fingerprint: np.ndarray) -> int:
+        """Seal one uint8 fingerprint into the ingress ring; return seq."""
+        flat = np.ascontiguousarray(fingerprint, dtype=np.uint8).reshape(-1)
+        if flat.size != self.request_bytes:
+            raise ServeError(
+                f"fingerprint must be {self.fingerprint_shape}, "
+                f"got {fingerprint.shape}")
+        slot = self._ingress_prod.try_reserve()
+        if slot is None:
+            raise ServeError("ingress ring full; run dispatch() first")
+        seq = handle.next_seq
+        handle.next_seq += 1
+        keystream = self._client_keystreams.take(
+            handle.session_id, handle.request_key,
+            seq * self.request_bytes, self.request_bytes)
+        length = seal_into(slot, handle.session_id, seq, flat, keystream)
+        self._ingress_prod.commit(length)
+        handle.pending[seq] = self.clock.now_ms
+        return seq
+
+    def poll_responses(self) -> int:
+        """Client mux: open completed responses in place, fill futures."""
+        delivered = 0
+        while (frame := self._egress_cons.try_peek()) is not None:
+            session_id, seq, sealed = open_in_place(frame)
+            handle = self._handles.get(session_id)
+            if handle is None:
+                self._egress_cons.release()
+                continue
+            keystream = self._client_keystreams.take(
+                session_id, handle.response_key,
+                seq * self.response_bytes, self.response_bytes)
+            sealed ^= keystream   # open in place
+            label = int(sealed[0])
+            scores = sealed[1:].copy().view(np.int8)
+            self._egress_cons.release()
+            submitted = handle.pending.pop(seq, None)
+            if submitted is not None:
+                self.latencies_ms.append(self.clock.now_ms - submitted)
+            handle.results[seq] = (label, scores)
+            self.requests_completed += 1
+            delivered += 1
+        return delivered
+
+    # --- dispatcher side -----------------------------------------------
+
+    def _ingest(self) -> None:
+        """Drain the ingress ring into the scheduler (open in place)."""
+        while (frame := self._ingress_cons.try_peek()) is not None:
+            session_id, seq, sealed = open_in_place(frame)
+            request_key, _ = self._service_keys(session_id)
+            keystream = self._service_keystreams.take(
+                session_id, request_key,
+                seq * self.request_bytes, self.request_bytes)
+            sealed ^= keystream   # open in place
+            fingerprint = sealed.reshape(self.fingerprint_shape).copy()
+            self._ingress_cons.release()
+            self.scheduler.submit((session_id, seq, fingerprint))
+
+    def _run_batch(self, batch: list) -> None:
+        soc = self.platform.soc
+        fingerprints = np.stack([item[2] for item in batch])
+        worker = self.pool.next_worker()
+        # One world-switch round trip per *batch*, not per request —
+        # the scheduling win the simulated clock sees.
+        soc.clock.advance_ms(2 * soc.profile.sa_world_switch_ms)
+        labels, scores = worker.run_batch(fingerprints)
+        int8_scores = np.asarray(scores, dtype=np.int8)
+        for row, (session_id, seq, _) in enumerate(batch):
+            slot = self._egress_prod.try_reserve()
+            if slot is None:
+                raise ServeError("egress ring full; poll_responses() first")
+            payload = np.empty(self.response_bytes, dtype=np.uint8)
+            payload[0] = labels[row]
+            payload[1:] = int8_scores[row].view(np.uint8)
+            _, response_key = self._service_keys(session_id)
+            keystream = self._service_keystreams.take(
+                session_id, response_key,
+                seq * self.response_bytes, self.response_bytes)
+            length = seal_into(slot, session_id, seq, payload, keystream)
+            self._egress_prod.commit(length)
+
+    def dispatch(self, force: bool = False) -> int:
+        """Ingest, batch, and run everything currently dispatchable.
+
+        ``force`` flushes sub-deadline leftovers too (end of a drive
+        loop).  Returns the number of batches executed.
+        """
+        self._ingest()
+        ran = 0
+        while self.scheduler.ready():
+            self._run_batch(self.scheduler.next_batch())
+            ran += 1
+        if force and len(self.scheduler):
+            self._run_batch(self.scheduler.flush())
+            ran += 1
+        return ran
+
+    # --- convenience ---------------------------------------------------
+
+    def serve(self, handle: SessionHandle,
+              fingerprint: np.ndarray) -> tuple[int, np.ndarray]:
+        """Submit one request and drive it to completion (batch of 1)."""
+        seq = self.submit(handle, fingerprint)
+        self.dispatch(force=True)
+        self.poll_responses()
+        return handle.take_result(seq)
+
+    def latency_percentiles(self) -> dict[str, float]:
+        if not self.latencies_ms:
+            return {"p50_ms": 0.0, "p95_ms": 0.0}
+        lat = np.asarray(self.latencies_ms)
+        return {"p50_ms": float(np.percentile(lat, 50)),
+                "p95_ms": float(np.percentile(lat, 95))}
+
+    def teardown(self) -> None:
+        self.pool.teardown()

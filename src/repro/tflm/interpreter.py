@@ -176,6 +176,113 @@ class Interpreter:
         self._invoked = True
         return stats
 
+    # --- batched execution (multi-session serving) ---------------------
+
+    def invoke_batch(self, inputs: dict[str, np.ndarray]) -> InvokeStats:
+        """Run the graph once across a leading batch axis.
+
+        ``inputs`` maps every model input to an array of shape
+        ``(batch,) + spec.shape[1:]`` (activation specs carry a unit
+        leading dim).  Outputs land in :meth:`get_output_batch` with the
+        same convention.  Results are bit-exact against ``batch``
+        sequential :meth:`invoke` calls: kernels without an order-safe
+        vectorized path run the per-sample fallback, and the exact-int8
+        GEMMs are reassociation-free (see ``Op.run_batch``).
+
+        Cycle accounting scales MAC/element work by the batch but
+        charges each op's dispatch cost once — the simulated face of the
+        same amortization the host sees.
+        """
+        missing = set(self.model.inputs) - set(inputs)
+        if missing:
+            raise InterpreterError(f"inputs not set: {sorted(missing)}")
+        batch = None
+        tensors: dict[str, np.ndarray] = dict(self.model.constants)
+        batched: set[str] = set()
+        for name, array in inputs.items():
+            spec = self.model.tensors[name]
+            if name not in self.model.inputs:
+                raise InterpreterError(f"{name!r} is not a model input")
+            if spec.shape[0] != 1:
+                raise InterpreterError(
+                    f"input {name!r} has leading dim {spec.shape[0]}; "
+                    "batching needs unit leading dims")
+            array = np.array(array, copy=True)
+            if array.ndim != len(spec.shape) or array.shape[1:] != spec.shape[1:]:
+                raise InterpreterError(
+                    f"batched input {name!r} must be (batch,) + "
+                    f"{spec.shape[1:]}, got {array.shape}")
+            if array.dtype != np.dtype(spec.dtype):
+                raise InterpreterError(
+                    f"batched input {name!r} must be {spec.dtype}, "
+                    f"got {array.dtype}")
+            if batch is None:
+                batch = array.shape[0]
+            elif array.shape[0] != batch:
+                raise InterpreterError("batched inputs disagree on batch size")
+            tensors[name] = array
+            batched.add(name)
+        if not batch:
+            raise InterpreterError("batch must be at least 1")
+
+        stats = InvokeStats()
+        if self._invoke_plan is not None:
+            for op, cost, op_plan in self._invoke_plan:
+                op.run_batch(tensors, self.model.tensors, batch, batched,
+                             plan=op_plan)
+                stats.macs += cost.macs * batch
+                stats.elements += cost.elements * batch
+                stats.ops += 1
+        else:
+            for op in self.model.operators:
+                op.run_batch(tensors, self.model.tensors, batch, batched,
+                             reference=True)
+                cost = op.cost(self.model.tensors)
+                stats.macs += cost.macs * batch
+                stats.elements += cost.elements * batch
+                stats.ops += 1
+        profile = self._profile
+        mac_cycles = profile.cycles_per_mac
+        if self._is_float_graph():
+            mac_cycles *= profile.float_mac_multiplier
+        cycles = (stats.macs * mac_cycles
+                  + stats.elements * profile.cycles_per_element
+                  + stats.ops * profile.cycles_per_op_dispatch)
+        if self._l2_excluded:
+            cycles *= 1.0 + profile.l2_exclusion_penalty
+        stats.cycles = int(cycles)
+        if self._clock is not None:
+            before = self._clock.now_ms
+            self._clock.advance_cycles(stats.cycles, self._freq_hz)
+            stats.simulated_ms = self._clock.now_ms - before
+        elif self._freq_hz:
+            stats.simulated_ms = stats.cycles / self._freq_hz * 1e3
+        self.last_stats = stats
+        self.total_invokes += batch
+        self._batch_outputs = {name: tensors[name]
+                               for name in self.model.outputs}
+        self._last_batch = batch
+        return stats
+
+    def get_output_batch(self, name: str) -> np.ndarray:
+        if name not in self.model.outputs:
+            raise InterpreterError(f"{name!r} is not a model output")
+        outputs = getattr(self, "_batch_outputs", None)
+        if outputs is None:
+            raise InterpreterError("invoke_batch() has not been called yet")
+        return outputs[name]
+
+    def classify_batch(self, batch_array: np.ndarray
+                       ) -> tuple[np.ndarray, np.ndarray]:
+        """Batched :meth:`classify`: argmax indices + score rows."""
+        if len(self.model.inputs) != 1 or len(self.model.outputs) != 1:
+            raise InterpreterError(
+                "classify_batch() needs a single-input/output model")
+        self.invoke_batch({self.model.inputs[0]: batch_array})
+        scores = self.get_output_batch(self.model.outputs[0])
+        scores = scores.reshape(scores.shape[0], -1)
+        return np.argmax(scores, axis=1), scores
+
     def get_output(self, name: str) -> np.ndarray:
         if name not in self.model.outputs:
             raise InterpreterError(f"{name!r} is not a model output")

@@ -64,6 +64,50 @@ class Op:
         """
         self.run(tensors, specs)
 
+    def run_batch(self, tensors: dict[str, np.ndarray],
+                  specs: dict[str, TensorSpec], batch: int,
+                  batched: set[str], plan=None,
+                  reference: bool = False) -> None:
+        """Run the op across a leading batch axis.
+
+        ``tensors`` holds constants at their declared shapes and every
+        name in ``batched`` as ``(batch,) + spec.shape[1:]`` (activation
+        specs all carry a unit leading dim).  The default implementation
+        slices one sample at a time, reshapes it back to the spec shape,
+        runs the ordinary single-sample kernel, and restacks the
+        outputs — bit-exact against sequential invokes by construction.
+        Kernels with an order-safe vectorized path (the exact-integer
+        int8 GEMMs) override this; float32 GEMMs stay on the per-sample
+        loop because BLAS may reorder accumulation across shapes.
+        """
+        frame = dict(tensors)
+        stacked: dict[str, np.ndarray] = {}
+        for n in range(batch):
+            for name in batched:
+                if name in frame:
+                    frame[name] = tensors[name][n].reshape(specs[name].shape)
+            if reference:
+                self.run_reference(frame, specs)
+            elif plan is not None:
+                self.run(frame, specs, plan=plan)
+            else:
+                self.run(frame, specs)
+            for name in self.outputs:
+                out = frame[name]
+                spec = specs[name]
+                if spec.shape[0] != 1:
+                    raise InterpreterError(
+                        f"{self.opcode}: cannot batch output {name!r} "
+                        f"with leading dim {spec.shape[0]}"
+                    )
+                if name not in stacked:
+                    stacked[name] = np.empty(
+                        (batch,) + spec.shape[1:], dtype=out.dtype)
+                stacked[name][n] = out.reshape(spec.shape[1:])
+        for name in self.outputs:
+            tensors[name] = stacked[name]
+            batched.add(name)
+
     def plan(self, tensors: dict[str, np.ndarray],
              specs: dict[str, TensorSpec]):
         """Precompute static per-op state for repeated invokes.

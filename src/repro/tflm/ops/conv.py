@@ -85,6 +85,29 @@ def _im2col(x: np.ndarray, kh: int, kw: int, stride_h: int, stride_w: int,
     return cols.reshape(out_h * out_w, kh * kw * c)
 
 
+def _im2col_batch(x: np.ndarray, kh: int, kw: int, stride_h: int,
+                  stride_w: int, pad: tuple[int, int, int, int],
+                  pad_value) -> tuple[np.ndarray, int, int]:
+    """(N, H, W, C) -> ((N * out_h * out_w, kh * kw * C), out_h, out_w).
+
+    The batched sibling of :func:`_im2col`: one padded allocation and
+    one sliding-window view cover every sample, so the per-sample cost
+    collapses to a slice of the final reshape.  Row ``n * out_h * out_w
+    + s`` equals row ``s`` of ``_im2col(x[n:n+1], ...)`` exactly.
+    """
+    n, h, w, c = x.shape
+    pt, pb, pl, pr = pad
+    padded = np.full((n, h + pt + pb, w + pl + pr, c), pad_value,
+                     dtype=x.dtype)
+    padded[:, pt:pt + h, pl:pl + w, :] = x
+    windows = np.lib.stride_tricks.sliding_window_view(
+        padded, (kh, kw), axis=(1, 2))[:, ::stride_h, ::stride_w]
+    out_h, out_w = windows.shape[1], windows.shape[2]
+    # (n, out_h, out_w, C, kh, kw) -> (n * spatial, kh * kw * C).
+    cols = windows.transpose(0, 1, 2, 4, 5, 3)
+    return cols.reshape(n * out_h * out_w, kh * kw * c), out_h, out_w
+
+
 class _ConvBase(Op):
     """Shared shape/padding logic for Conv2D and DepthwiseConv2D."""
 
@@ -204,6 +227,39 @@ class Conv2D(_ConvBase):
         if fused_relu:
             result = np.maximum(result, np.int8(zero_point))
         tensors[self.outputs[0]] = result.reshape(out_spec.shape)
+
+    def run_batch(self, tensors, specs, batch, batched, plan=None,
+                  reference=False):
+        """Vectorized int8 batch: one im2col + one GEMM across samples.
+
+        Bit-exact against the per-sample loop: the GEMM accumulates in
+        exact float64 integer arithmetic (see :meth:`plan`), so row
+        grouping cannot change any sum.  float32 graphs fall back to the
+        per-sample default, where BLAS ordering is pinned per sample.
+        """
+        x_spec, w_spec, sh, sw, padding = self._geometry(specs)
+        if (reference or plan is None or x_spec.dtype == "float32"
+                or self.inputs[0] not in batched):
+            return super().run_batch(tensors, specs, batch, batched,
+                                     plan=plan, reference=reference)
+        x = tensors[self.inputs[0]]
+        out_spec = specs[self.outputs[0]]
+        out_c, kh, kw, in_c = w_spec.shape
+        fused_relu = self.params.get("activation") == "relu"
+        pad, flat_w_t, bias = plan["pad"], plan["flat_w_t"], plan["bias"]
+        zp_x = x_spec.quant.zero_point
+        cols, _, _ = _im2col_batch(x, kh, kw, sh, sw, pad, np.int8(zp_x))
+        acc = ((cols.astype(np.float64) - zp_x) @ flat_w_t).astype(np.int64)
+        if bias is not None:
+            acc = acc + bias
+        multiplier, shift, zero_point = plan["requant"]
+        scaled = multiply_by_quantized_multiplier(acc, multiplier, shift)
+        result = np.clip(scaled + zero_point, -128, 127).astype(np.int8)
+        if fused_relu:
+            result = np.maximum(result, np.int8(zero_point))
+        tensors[self.outputs[0]] = result.reshape(
+            (batch,) + out_spec.shape[1:])
+        batched.add(self.outputs[0])
 
     def run_reference(self, tensors, specs):
         """The original per-patch loop implementation, kept verbatim."""
@@ -325,6 +381,35 @@ class DepthwiseConv2D(_ConvBase):
         if fused_relu:
             result = np.maximum(result, np.int8(zero_point))
         tensors[self.outputs[0]] = result.reshape(out_spec.shape)
+
+    def run_batch(self, tensors, specs, batch, batched, plan=None,
+                  reference=False):
+        """Vectorized int8 batch (exact arithmetic; see Conv2D.run_batch)."""
+        x_spec, w_spec, sh, sw, padding = self._geometry(specs)
+        if (reference or plan is None or x_spec.dtype == "float32"
+                or self.inputs[0] not in batched):
+            return super().run_batch(tensors, specs, batch, batched,
+                                     plan=plan, reference=reference)
+        x = tensors[self.inputs[0]]
+        out_spec = specs[self.outputs[0]]
+        _, kh, kw, channels = w_spec.shape
+        fused_relu = self.params.get("activation") == "relu"
+        pad, flat_w, bias = plan["pad"], plan["flat_w"], plan["bias"]
+        zp_x = x_spec.quant.zero_point
+        cols, _, _ = _im2col_batch(x, kh, kw, sh, sw, pad, np.int8(zp_x))
+        cols = cols.reshape(cols.shape[0], kh * kw, channels)
+        acc = np.einsum("skc,kc->sc", cols.astype(np.float64) - zp_x,
+                        flat_w).astype(np.int64)
+        if bias is not None:
+            acc = acc + bias
+        multiplier, shift, zero_point = plan["requant"]
+        scaled = multiply_by_quantized_multiplier(acc, multiplier, shift)
+        result = np.clip(scaled + zero_point, -128, 127).astype(np.int8)
+        if fused_relu:
+            result = np.maximum(result, np.int8(zero_point))
+        tensors[self.outputs[0]] = result.reshape(
+            (batch,) + out_spec.shape[1:])
+        batched.add(self.outputs[0])
 
     def run_reference(self, tensors, specs):
         """The original per-patch loop implementation, kept verbatim."""

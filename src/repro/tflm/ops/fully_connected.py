@@ -96,6 +96,36 @@ class FullyConnected(Op):
             result = np.maximum(result, np.int8(zero_point))
         tensors[self.outputs[0]] = result.reshape(out_spec.shape)
 
+    def run_batch(self, tensors, specs, batch, batched, plan=None,
+                  reference=False):
+        """Vectorized int8 batch: one (batch, in) @ (in, out) GEMM.
+
+        Exact float64 integer arithmetic (see Conv2D.plan), so the
+        batched GEMM is bit-identical to ``batch`` sequential ones.
+        float32 falls back to the order-pinned per-sample default.
+        """
+        x_spec = specs[self.inputs[0]]
+        if (reference or plan is None or x_spec.dtype == "float32"
+                or self.inputs[0] not in batched):
+            return super().run_batch(tensors, specs, batch, batched,
+                                     plan=plan, reference=reference)
+        out_spec = specs[self.outputs[0]]
+        x = tensors[self.inputs[0]].reshape(batch, -1)
+        fused_relu = self.params.get("activation") == "relu"
+        w_t, bias = plan["w_t"], plan["bias"]
+        zp_x = x_spec.quant.zero_point
+        acc = ((x.astype(np.float64) - zp_x) @ w_t).astype(np.int64)
+        if bias is not None:
+            acc = acc + bias
+        multiplier, shift, zero_point = plan["requant"]
+        scaled = multiply_by_quantized_multiplier(acc, multiplier, shift)
+        result = np.clip(scaled + zero_point, -128, 127).astype(np.int8)
+        if fused_relu:
+            result = np.maximum(result, np.int8(zero_point))
+        tensors[self.outputs[0]] = result.reshape(
+            (batch,) + out_spec.shape[1:])
+        batched.add(self.outputs[0])
+
     def run_reference(self, tensors, specs):
         """Original implementation: weights re-cast on every call."""
         x_spec = specs[self.inputs[0]]

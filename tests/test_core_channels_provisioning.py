@@ -177,3 +177,96 @@ def test_from_bytes_rejects_garbage():
 def test_flash_path_convention():
     path = flash_path_for("omg-keyword-spotter", "tiny_conv", 3)
     assert path == "omg/omg-keyword-spotter/tiny_conv-v3.enc"
+
+
+# --- reliable responder replay-cache bound --------------------------------
+
+def bounded_responder(max_cached):
+    """A requester/responder pair whose responder cache holds max_cached."""
+    from repro.core.channels import ReliableRequester, ReliableResponder
+    from repro.hw.timing import VirtualClock
+
+    client, server = connected_pair()
+    handled = []
+
+    def handler(payload):
+        handled.append(payload)
+        return b"ack:" + payload
+
+    requester = ReliableRequester(client, VirtualClock())
+    responder = ReliableResponder(server, handler, max_cached=max_cached)
+    return requester, responder, handled
+
+
+def test_responder_rejects_nonpositive_cache_bound():
+    _, server = connected_pair()
+    with pytest.raises(ProtocolError):
+        from repro.core.channels import ReliableResponder
+        ReliableResponder(server, lambda payload: payload, max_cached=0)
+
+
+def test_responder_evicts_beyond_cache_bound():
+    requester, responder, handled = bounded_responder(max_cached=3)
+    for index in range(8):
+        response = requester.request(b"req-%d" % index,
+                                     responder.handle_frame)
+        assert response == b"ack:req-%d" % index
+    assert len(handled) == 8
+    assert responder.evictions == 5  # 8 handled, 3 retained
+
+
+def test_responder_serves_recent_replay_without_reexecution():
+    requester, responder, handled = bounded_responder(max_cached=4)
+
+    frames = []
+
+    def capture_and_deliver(frame):
+        frames.append(frame)
+        return responder.handle_frame(frame)
+
+    requester.request(b"payload", capture_and_deliver)
+    assert len(handled) == 1
+    # The requester's response was "lost"; it retransmits the same frame.
+    replayed = responder.handle_frame(frames[0])
+    assert replayed[8:] != b""  # still a sealed response frame
+    assert len(handled) == 1    # handler did NOT run again
+    assert responder.replays == 1
+
+
+def test_responder_refuses_replay_of_evicted_sequence():
+    requester, responder, handled = bounded_responder(max_cached=2)
+
+    first_frames = []
+
+    def capture_first(frame):
+        first_frames.append(frame)
+        return responder.handle_frame(frame)
+
+    requester.request(b"old", capture_first)
+    # Enough fresh traffic to push sequence 0 out of the cache.
+    for index in range(3):
+        requester.request(b"new-%d" % index, responder.handle_frame)
+    assert responder.evictions >= 1
+    with pytest.raises(ProtocolError, match="evicted sequence"):
+        responder.handle_frame(first_frames[0])
+    assert len(handled) == 4  # the stale replay never re-executed
+
+
+def test_responder_replay_refreshes_lru_recency():
+    requester, responder, handled = bounded_responder(max_cached=2)
+
+    frames = []
+
+    def capture(frame):
+        frames.append(frame)
+        return responder.handle_frame(frame)
+
+    requester.request(b"a", capture)   # seq 0
+    requester.request(b"b", capture)   # seq 1
+    responder.handle_frame(frames[0])  # replay seq 0: now most recent
+    requester.request(b"c", capture)   # seq 2 evicts seq 1, not seq 0
+    responder.handle_frame(frames[0])  # seq 0 still cached
+    assert responder.replays == 2
+    with pytest.raises(ProtocolError, match="evicted sequence"):
+        responder.handle_frame(frames[1])
+    assert len(handled) == 3

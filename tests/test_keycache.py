@@ -1,0 +1,157 @@
+"""Session-secret caches: LRU bounds, scrub-on-evict, keystream equality.
+
+The serving layer keeps per-session lane keys in a :class:`SecretCache`
+and seals ring traffic with :class:`KeystreamCache` chunks.  Both caches
+must bound memory without ever weakening the key-isolation story: an
+evicted secret is zeroized in place, and an evicted keystream chunk
+regenerates bit-identically from (key, position).
+"""
+
+import numpy as np
+import pytest
+
+from repro.crypto.aes import AES
+from repro.crypto.keycache import (
+    KeystreamCache,
+    SecretCache,
+    scrub_secret,
+)
+from repro.crypto.modes import ctr_keystream_xor
+from repro.errors import CryptoError
+
+
+def test_scrub_secret_zeroizes_mutable_buffers():
+    buf = bytearray(b"\xffsecret\xff")
+    scrub_secret(buf)
+    assert buf == bytes(len(buf))
+
+    arr = np.full(16, 0xAB, dtype=np.uint8)
+    scrub_secret(arr)
+    assert not arr.any()
+
+    view = memoryview(bytearray(b"\x01\x02"))
+    scrub_secret(view)
+    assert view.tobytes() == b"\x00\x00"
+
+    scrub_secret(b"immutable")  # ignored, must not raise
+
+
+def test_secret_cache_rejects_nonpositive_capacity():
+    with pytest.raises(CryptoError):
+        SecretCache(0)
+    with pytest.raises(CryptoError):
+        SecretCache(-3)
+
+
+def test_secret_cache_lru_eviction_scrubs_in_place():
+    cache = SecretCache(2)
+    first = bytearray(b"\xaa" * 16)
+    second = bytearray(b"\xbb" * 16)
+    cache.put("first", first)
+    cache.put("second", second)
+    # Touch "first" so "second" becomes the LRU victim.
+    assert cache.get("first") is first
+    cache.put("third", bytearray(b"\xcc" * 16))
+
+    assert cache.evictions == 1
+    assert "second" not in cache
+    assert second == bytes(16)   # scrubbed in place on eviction
+    assert first == b"\xaa" * 16  # survivors untouched
+
+
+def test_secret_cache_counters_and_get_or_create():
+    cache = SecretCache(4)
+    assert cache.get("missing") is None
+    assert cache.misses == 1
+    made = cache.get_or_create("made", lambda: bytearray(b"\x01"))
+    assert cache.misses == 2
+    assert cache.get_or_create("made", lambda: bytearray(b"\x02")) is made
+    assert cache.hits == 1
+
+
+def test_secret_cache_discard_and_clear_scrub():
+    cache = SecretCache(4)
+    kept = bytearray(b"\x11" * 8)
+    dropped = bytearray(b"\x22" * 8)
+    cache.put("kept", kept)
+    cache.put("dropped", dropped)
+    cache.discard("dropped")
+    assert dropped == bytes(8)
+    cache.clear()
+    assert kept == bytes(8)
+    assert len(cache) == 0
+
+
+def _direct_keystream(key: bytes, start: int, length: int) -> bytes:
+    """Reference keystream straight from AES-CTR, no cache involved."""
+    base = (start // 16) * 16
+    end = start + length
+    padded = ctr_keystream_xor(
+        AES(key), b"\x00" * 12 + (start // 16).to_bytes(4, "big"),
+        b"\x00" * (((end - base + 15) // 16) * 16))
+    return padded[start - base:start - base + length]
+
+
+@pytest.mark.parametrize("start,length", [
+    (0, 16),          # chunk-aligned
+    (5, 40),          # unaligned inside one chunk
+    (60, 16),         # straddles a chunk boundary (chunk_bytes=64)
+    (120, 80),        # spans two whole boundaries
+    (64, 0),          # empty span
+])
+def test_keystream_cache_matches_direct_ctr(start, length):
+    key = bytes(range(16))
+    cache = KeystreamCache(capacity=8, chunk_bytes=64)
+    got = cache.take(7, key, start, length).tobytes()
+    assert got == _direct_keystream(key, start, length)
+
+
+def test_keystream_cache_regenerates_after_eviction():
+    key = bytes(range(16, 32))
+    cache = KeystreamCache(capacity=2, chunk_bytes=64)
+    expected = cache.take(1, key, 0, 64).tobytes()
+    # Two more chunks evict (and scrub) chunk 0.
+    cache.take(1, key, 64, 64)
+    cache.take(1, key, 128, 64)
+    assert cache.evictions >= 1
+    assert cache.take(1, key, 0, 64).tobytes() == expected
+
+
+def test_keystream_cache_sessions_are_independent():
+    key_a, key_b = bytes(16), bytes(range(16))
+    cache = KeystreamCache(capacity=8, chunk_bytes=64)
+    stream_a = cache.take(1, key_a, 0, 32).tobytes()
+    stream_b = cache.take(2, key_b, 0, 32).tobytes()
+    assert stream_a != stream_b
+    cache.forget_session(1)
+    # Session 2 is untouched; session 1 regenerates identically.
+    assert cache.take(2, key_b, 0, 32).tobytes() == stream_b
+    assert cache.take(1, key_a, 0, 32).tobytes() == stream_a
+
+
+def test_keystream_cache_validates_parameters():
+    with pytest.raises(CryptoError):
+        KeystreamCache(chunk_bytes=0)
+    with pytest.raises(CryptoError):
+        KeystreamCache(chunk_bytes=24)  # not a multiple of 16
+    cache = KeystreamCache(chunk_bytes=64)
+    with pytest.raises(CryptoError):
+        cache.take(1, bytes(16), -1, 16)
+    with pytest.raises(CryptoError):
+        cache.take(1, bytes(16), 0, -1)
+
+
+@pytest.mark.analysis
+def test_keycache_and_serve_pass_zeroization_rules():
+    """The caches and the serving layer stay analysis-clean: no secret
+    leaks, no unscrubbed acquisitions, no wall-clock reads."""
+    import os
+
+    import repro
+    from repro.analysis import run_analysis
+
+    root = os.path.dirname(repro.__file__)
+    targets = [os.path.join(root, "crypto", "keycache.py"),
+               os.path.join(root, "serve")]
+    result = run_analysis(targets)
+    assert result.findings == [], [f.message for f in result.findings]

@@ -1,0 +1,292 @@
+"""Multi-session enclave serving: scheduler, worker pool, service, baseline.
+
+These tests pin the serving layer's contract: batches form on size or
+virtual-clock deadline, workers are pinned one-per-big-core and fail
+closed, results are bit-exact against direct classification, sessions
+are cryptographically isolated, and steady-state traffic never touches
+the vendor again after pool construction.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.parties import Vendor
+from repro.errors import ServeError
+from repro.hw.timing import VirtualClock
+from repro.sanctuary.lifecycle import EnclaveState
+from repro.serve import (
+    BatchScheduler,
+    EnclaveWorkerPool,
+    SequentialBaseline,
+    ServeConfig,
+    ServingService,
+)
+from repro.tflm.interpreter import Interpreter
+from repro.train.convert import fingerprint_to_int8
+from repro.trustzone.worlds import make_platform
+
+from .helpers import build_tiny_int8_model
+
+pytestmark = pytest.mark.serve
+
+KEY_BITS = 768
+
+
+def make_stack(seed=b"serve-test", **config):
+    model = build_tiny_int8_model()
+    platform = make_platform(seed=seed, key_bits=KEY_BITS)
+    vendor = Vendor("ml-vendor", model, key_bits=KEY_BITS)
+    config.setdefault("num_workers", 2)
+    service = ServingService(platform, vendor, ServeConfig(**config))
+    return platform, vendor, service, model
+
+
+def tiny_fingerprints(count, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 256, size=(count, 8, 6), dtype=np.uint8)
+
+
+def expected_results(model, fingerprints):
+    interpreter = Interpreter(model)
+    return [interpreter.classify(fingerprint_to_int8(fp))
+            for fp in fingerprints]
+
+
+# --- scheduler -----------------------------------------------------------
+
+def test_scheduler_size_trigger():
+    scheduler = BatchScheduler(VirtualClock(), max_batch=3, deadline_ms=50.0)
+    scheduler.submit("a")
+    scheduler.submit("b")
+    assert not scheduler.ready()
+    scheduler.submit("c")
+    assert scheduler.ready()
+    assert scheduler.next_batch() == ["a", "b", "c"]
+    assert scheduler.full_batches == 1
+    assert scheduler.deadline_flushes == 0
+
+
+def test_scheduler_deadline_trigger_on_virtual_clock():
+    clock = VirtualClock()
+    scheduler = BatchScheduler(clock, max_batch=8, deadline_ms=2.0)
+    scheduler.submit("only")
+    assert not scheduler.ready()
+    clock.advance_ms(1.9)
+    assert not scheduler.ready()
+    clock.advance_ms(0.2)
+    assert scheduler.ready()  # the oldest request aged past the deadline
+    assert scheduler.next_batch() == ["only"]
+    assert scheduler.deadline_flushes == 1
+
+
+def test_scheduler_next_batch_requires_ready():
+    scheduler = BatchScheduler(VirtualClock(), max_batch=4)
+    scheduler.submit("x")
+    with pytest.raises(ServeError, match="no batch is ready"):
+        scheduler.next_batch()
+
+
+def test_scheduler_flush_takes_everything():
+    scheduler = BatchScheduler(VirtualClock(), max_batch=4)
+    assert scheduler.flush() == []
+    for item in range(6):
+        scheduler.submit(item)
+    assert scheduler.next_batch() == [0, 1, 2, 3]
+    assert scheduler.flush() == [4, 5]
+    assert len(scheduler) == 0
+    assert scheduler.submitted == 6
+    assert scheduler.batches == 2
+
+
+def test_scheduler_validates_parameters():
+    with pytest.raises(ServeError):
+        BatchScheduler(VirtualClock(), max_batch=0)
+    with pytest.raises(ServeError):
+        BatchScheduler(VirtualClock(), deadline_ms=-1.0)
+
+
+# --- worker pool ---------------------------------------------------------
+
+def test_pool_pins_one_worker_per_big_core():
+    model = build_tiny_int8_model()
+    platform = make_platform(seed=b"serve-pool", key_bits=KEY_BITS)
+    vendor = Vendor("ml-vendor", model, key_bits=KEY_BITS)
+    pool = EnclaveWorkerPool(platform, vendor, num_workers=2)
+
+    core_ids = [worker.core_id for worker in pool.workers]
+    big_ids = {core.core_id for core in platform.soc.cores if core.big}
+    assert len(set(core_ids)) == 2
+    assert set(core_ids) <= big_ids
+    # Round-robin: four batches land two on each worker.
+    assert [pool.next_worker().core_id for _ in range(4)] == core_ids * 2
+    pool.teardown()
+
+
+def test_pool_sequential_fallback_without_big_cores():
+    model = build_tiny_int8_model()
+    platform = make_platform(seed=b"serve-fallback", key_bits=KEY_BITS)
+    soc = platform.soc
+    # Occupy all but one big core so only one pinned placement remains.
+    for core in list(soc.os_big_cores())[1:]:
+        soc.claim_os_core(core.core_id)
+    vendor = Vendor("ml-vendor", model, key_bits=KEY_BITS)
+    pool = EnclaveWorkerPool(platform, vendor, num_workers=2)
+
+    fingerprints = tiny_fingerprints(2)
+    expected = expected_results(model, fingerprints)
+    for worker in pool.workers:  # both placements actually serve
+        labels, scores = worker.run_batch(fingerprints)
+        for row, (exp_label, exp_scores) in enumerate(expected):
+            assert labels[row] == exp_label
+            assert np.array_equal(scores[row], exp_scores)
+    pool.teardown()
+
+
+def test_worker_fails_closed_on_internal_fault():
+    model = build_tiny_int8_model()
+    platform = make_platform(seed=b"serve-panic", key_bits=KEY_BITS)
+    vendor = Vendor("ml-vendor", model, key_bits=KEY_BITS)
+    pool = EnclaveWorkerPool(platform, vendor, num_workers=1)
+    worker = pool.workers[0]
+
+    def explode(ctx, fingerprints):
+        raise RuntimeError("bitflip in the matmul")
+
+    worker.session.app.recognize_fingerprints = explode
+    with pytest.raises(RuntimeError):
+        worker.run_batch(tiny_fingerprints(2))
+    # The enclave panicked: scrubbed and torn down, not left running
+    # with decrypted model state.
+    assert worker.session.instance.state is EnclaveState.TORN_DOWN
+
+
+# --- serving service -----------------------------------------------------
+
+def test_service_end_to_end_matches_direct_classify():
+    platform, vendor, service, model = make_stack(max_batch=4)
+    provisioned = vendor.provisioned_count
+    released = vendor.keys_released
+
+    sessions = [service.open_session() for _ in range(2)]
+    fingerprints = tiny_fingerprints(8, seed=3)
+    expected = expected_results(model, fingerprints)
+
+    sequences = []
+    for index, fingerprint in enumerate(fingerprints):
+        handle = sessions[index % 2]
+        sequences.append((handle, service.submit(handle, fingerprint)))
+        if (index + 1) % 4 == 0:
+            assert service.dispatch() >= 1
+            service.poll_responses()
+
+    for index, (handle, seq) in enumerate(sequences):
+        label, scores = handle.take_result(seq)
+        exp_label, exp_scores = expected[index]
+        assert label == exp_label
+        assert np.array_equal(scores, exp_scores)
+
+    # Steady-state serving never re-provisions: the vendor interaction
+    # happened once per worker at pool construction.
+    assert vendor.provisioned_count == provisioned
+    assert vendor.keys_released == released
+    assert service.requests_completed == 8
+    assert service.scheduler.full_batches == 2
+    percentiles = service.latency_percentiles()
+    assert percentiles["p95_ms"] >= percentiles["p50_ms"] > 0
+    service.teardown()
+
+
+def test_service_deadline_flushes_partial_batch():
+    platform, _, service, model = make_stack(max_batch=8, deadline_ms=2.0)
+    handle = service.open_session()
+    fingerprint = tiny_fingerprints(1)[0]
+    seq = service.submit(handle, fingerprint)
+    assert service.dispatch() == 0  # below batch size, under deadline
+    platform.soc.clock.advance_ms(2.5)
+    assert service.dispatch() == 1  # deadline trigger, no force needed
+    service.poll_responses()
+    label, scores = handle.take_result(seq)
+    exp_label, exp_scores = expected_results(model, [fingerprint])[0]
+    assert label == exp_label
+    assert np.array_equal(scores, exp_scores)
+    service.teardown()
+
+
+def test_service_sessions_have_isolated_keys():
+    _, _, service, _ = make_stack()
+    first = service.open_session()
+    second = service.open_session()
+    assert first.session_id != second.session_id
+    assert first.request_key != second.request_key
+    assert first.response_key != second.response_key
+    assert first.request_key != first.response_key
+    service.teardown()
+
+
+def test_service_refuses_frames_for_closed_session():
+    _, _, service, _ = make_stack()
+    handle = service.open_session()
+    service.close_session(handle)
+    service.submit(handle, tiny_fingerprints(1)[0])
+    with pytest.raises(ServeError, match="no open session"):
+        service.dispatch(force=True)
+    service.teardown()
+
+
+def test_service_skips_responses_of_sessions_closed_in_flight():
+    _, _, service, _ = make_stack()
+    handle = service.open_session()
+    service.submit(handle, tiny_fingerprints(1)[0])
+    service.dispatch(force=True)   # response is sitting in the egress ring
+    service.close_session(handle)
+    assert service.poll_responses() == 0
+    assert service.requests_completed == 0
+    service.teardown()
+
+
+def test_service_ingress_ring_full_raises():
+    _, _, service, _ = make_stack(ring_slots=4, num_workers=1)
+    handle = service.open_session()
+    fingerprints = tiny_fingerprints(4)
+    for fingerprint in fingerprints[:3]:  # capacity is ring_slots - 1
+        service.submit(handle, fingerprint)
+    with pytest.raises(ServeError, match="ingress ring full"):
+        service.submit(handle, fingerprints[3])
+    service.teardown()
+
+
+def test_service_rejects_malformed_fingerprint():
+    _, _, service, _ = make_stack()
+    handle = service.open_session()
+    with pytest.raises(ServeError, match="fingerprint must be"):
+        service.submit(handle, np.zeros((5, 5), dtype=np.uint8))
+    service.teardown()
+
+
+def test_serve_convenience_roundtrip():
+    _, _, service, model = make_stack(num_workers=1)
+    handle = service.open_session()
+    fingerprint = tiny_fingerprints(1, seed=9)[0]
+    label, scores = service.serve(handle, fingerprint)
+    exp_label, exp_scores = expected_results(model, [fingerprint])[0]
+    assert label == exp_label
+    assert np.array_equal(scores, exp_scores)
+    service.teardown()
+
+
+# --- sequential baseline -------------------------------------------------
+
+def test_sequential_baseline_matches_direct_classify():
+    model = build_tiny_int8_model()
+    platform = make_platform(seed=b"serve-baseline", key_bits=KEY_BITS)
+    vendor = Vendor("ml-vendor", model, key_bits=KEY_BITS)
+    baseline = SequentialBaseline(platform, vendor)
+
+    fingerprints = tiny_fingerprints(3, seed=11)
+    expected = expected_results(model, fingerprints)
+    for fingerprint, (exp_label, exp_scores) in zip(fingerprints, expected):
+        label, scores = baseline.request(fingerprint)
+        assert label == exp_label
+        assert np.array_equal(scores, exp_scores)
+    assert baseline.requests == 3
+    baseline.teardown()

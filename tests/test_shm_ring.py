@@ -1,0 +1,185 @@
+"""Zero-copy shared-memory rings: pinning, mapping, and SlotRing.
+
+The serving data path depends on three properties of this layer:
+pinned windows stay coherent with raw bus traffic (so scrubs and
+adversary probes see the same bytes as mapped views), mapping enforces
+the TZASC policy with the mapper's own attribution, and the SPSC ring
+protocol is correct across wraparound and the full/empty boundary.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import MemoryAccessError
+from repro.hw.memory import AccessType, RegionPolicy, World
+from repro.sanctuary.shm import SharedRegion, SlotRing
+from repro.trustzone.worlds import make_platform
+
+KEY_BITS = 768
+
+
+@pytest.fixture()
+def platform():
+    return make_platform(seed=b"shm-ring-test", key_bits=KEY_BITS)
+
+
+def _open_region(platform, name, size):
+    region = platform.soc.allocate_region(name, size)
+    platform.monitor.configure_region(region, RegionPolicy())
+    return region
+
+
+def test_pin_is_coherent_with_bus_and_scrub(platform):
+    soc = platform.soc
+    region = _open_region(platform, "pin-coherence", 4096)
+    shm = SharedRegion(soc, region, World.NORMAL, 4)
+
+    window = shm.map(0, 256)
+    window[:4] = (1, 2, 3, 4)
+    # The mapped write is visible to a raw bus read ...
+    assert shm.read(0, 4) == bytes([1, 2, 3, 4])
+    # ... and a bus write is visible through the mapping.
+    shm.write(8, b"\xaa\xbb")
+    assert window[8] == 0xAA and window[9] == 0xBB
+    # Scrubbing the physical range zeroes the pinned backing too.
+    soc.memory.scrub(region.base, 256)
+    assert not window.any()
+
+
+def test_identical_repin_aliases_same_buffer(platform):
+    soc = platform.soc
+    region = _open_region(platform, "pin-alias", 4096)
+    producer = SharedRegion(soc, region, World.NORMAL, 4)
+    consumer = SharedRegion(soc, region, World.NORMAL, 5)
+
+    a = producer.map(0, 128)
+    b = consumer.map(0, 128)
+    a[0] = 42
+    assert b[0] == 42  # same pinned host buffer, two attributions
+
+
+def test_partially_overlapping_pin_is_refused(platform):
+    soc = platform.soc
+    region = _open_region(platform, "pin-overlap", 3 * 4096)
+    shm = SharedRegion(soc, region, World.NORMAL, 4)
+
+    shm.map(0, 4096)
+    with pytest.raises(MemoryAccessError, match="overlaps"):
+        shm.map(4000, 4096)  # straddles the already-pinned page
+    # A window on disjoint pages is fine.
+    shm.map(4096, 4096)
+
+
+def test_map_bounds_checked(platform):
+    region = _open_region(platform, "map-bounds", 4096)
+    shm = SharedRegion(platform.soc, region, World.NORMAL, 4)
+    with pytest.raises(MemoryAccessError, match="outside region"):
+        shm.map(4090, 64)
+    with pytest.raises(MemoryAccessError):
+        shm.map(-4, 8)
+
+
+def test_map_enforces_tzasc_policy(platform):
+    soc = platform.soc
+    secure = soc.allocate_region("map-secure", 4096)
+    platform.monitor.configure_region(secure, RegionPolicy(secure_only=True))
+    normal_view = SharedRegion(soc, secure, World.NORMAL, 4)
+    with pytest.raises(MemoryAccessError, match="secure-only"):
+        normal_view.map(0, 64)
+    # The secure world can still map it.
+    SharedRegion(soc, secure, World.SECURE, None).map(0, 64)
+
+    bound = soc.allocate_region("map-bound", 4096)
+    platform.monitor.configure_region(bound, RegionPolicy(bound_core=1))
+    wrong_core = SharedRegion(soc, bound, World.NORMAL, 2)
+    with pytest.raises(MemoryAccessError, match="core-bound"):
+        wrong_core.map(0, 64)
+    SharedRegion(soc, bound, World.NORMAL, 1).map(0, 64)
+
+
+def _ring_pair(platform, num_slots=4, slot_bytes=16):
+    region = _open_region(
+        platform, "ring", SlotRing.bytes_needed(num_slots, slot_bytes))
+    producer = SlotRing(SharedRegion(platform.soc, region, World.NORMAL, 4),
+                        0, num_slots, slot_bytes, reset=True)
+    consumer = SlotRing(SharedRegion(platform.soc, region, World.NORMAL, 5),
+                        0, num_slots, slot_bytes)
+    return producer, consumer
+
+
+def test_slot_ring_roundtrip_and_wraparound(platform):
+    producer, consumer = _ring_pair(platform)
+    for round_index in range(3):  # 3 full cycles forces wraparound
+        for value in range(3):
+            slot = producer.try_reserve()
+            assert slot is not None
+            message = bytes([round_index, value] * 8)
+            slot[:16] = np.frombuffer(message, dtype=np.uint8)
+            producer.commit(16)
+        assert len(consumer) == 3
+        for value in range(3):
+            frame = consumer.try_peek()
+            assert frame is not None
+            assert frame.tobytes() == bytes([round_index, value] * 8)
+            consumer.release()
+        assert consumer.try_peek() is None
+
+
+def test_slot_ring_full_and_empty_boundaries(platform):
+    producer, consumer = _ring_pair(platform, num_slots=4)
+    # One slot is sacrificed: capacity is num_slots - 1.
+    for _ in range(3):
+        slot = producer.try_reserve()
+        assert slot is not None
+        producer.commit(4)
+    assert producer.try_reserve() is None
+    assert len(producer) == 3
+    consumer.release()
+    assert producer.try_reserve() is not None  # one slot freed
+
+
+def test_slot_ring_release_on_empty_raises(platform):
+    _, consumer = _ring_pair(platform)
+    with pytest.raises(MemoryAccessError, match="empty ring"):
+        consumer.release()
+
+
+def test_slot_ring_peek_is_in_place(platform):
+    producer, consumer = _ring_pair(platform)
+    slot = producer.try_reserve()
+    slot[:4] = (1, 1, 1, 1)
+    producer.commit(4)
+    frame = consumer.try_peek()
+    frame ^= 0xFF  # consumer opens the frame in place
+    # The mutation happened in ring memory, not a copy.
+    again = consumer.try_peek()
+    assert again.tobytes() == b"\xfe\xfe\xfe\xfe"
+    consumer.release()
+
+
+def test_slot_ring_commit_charges_clock(platform):
+    producer, _ = _ring_pair(platform)
+    clock = platform.soc.clock
+    slot = producer.try_reserve()
+    slot[:8] = 7
+    before = clock.now_ms
+    producer.commit(8)
+    assert clock.now_ms > before  # header + payload crossed the bus
+    # Peek/release on the consumer side is free by design (zero copy);
+    # reserving the next slot is also free.
+    after_commit = clock.now_ms
+    producer.try_reserve()
+    assert clock.now_ms == after_commit
+
+
+def test_slot_ring_validates_parameters(platform):
+    region = _open_region(platform, "ring-params", 4096)
+    shm = SharedRegion(platform.soc, region, World.NORMAL, 4)
+    with pytest.raises(MemoryAccessError, match="at least 2"):
+        SlotRing(shm, 0, 1, 16)
+    with pytest.raises(MemoryAccessError, match="positive"):
+        SlotRing(shm, 0, 4, 0)
+    ring = SlotRing(shm, 0, 4, 16, reset=True)
+    ring.try_reserve()
+    with pytest.raises(MemoryAccessError, match="commit length"):
+        ring.commit(17)
