@@ -49,8 +49,10 @@ def deterministic_keypair(context: bytes, bits: int = 1024) -> RsaPrivateKey:
 def scrub_secret(buf) -> None:
     """Zeroize a mutable secret buffer in place.
 
-    Accepts ``bytearray``, ``memoryview``, and numpy arrays — the three
-    mutable shapes secrets take in the caches below.  Immutable values
+    Accepts ``bytearray``, ``memoryview``, and numpy arrays — the
+    mutable shapes secrets take in the caches below — and recurses into
+    tuples/lists so composite entries (e.g. a session's pair of lane
+    keys) are scrubbed element by element.  Immutable values
     (``bytes``) cannot be scrubbed in place and are ignored; callers
     that need scrub-on-evict must store mutable buffers.
     """
@@ -58,6 +60,9 @@ def scrub_secret(buf) -> None:
         buf[...] = 0
     elif isinstance(buf, (bytearray, memoryview)):
         buf[:] = b"\x00" * len(buf)
+    elif isinstance(buf, (tuple, list)):
+        for item in buf:
+            scrub_secret(item)
 
 
 class SecretCache:
@@ -116,6 +121,13 @@ class SecretCache:
         if value is not None:
             scrub_secret(value)
 
+    def discard_if(self, predicate) -> int:
+        """Scrub and drop every entry whose cache key matches."""
+        victims = [k for k in self._entries if predicate(k)]
+        for cache_key in victims:
+            self.discard(cache_key)
+        return len(victims)
+
     def clear(self) -> None:
         for value in self._entries.values():
             scrub_secret(value)
@@ -125,16 +137,20 @@ class SecretCache:
 class KeystreamCache:
     """Per-session AES-CTR keystream chunks for in-place seal/open.
 
-    Chunk ``i`` of a session is the CTR keystream for counter blocks
-    ``[i * blocks_per_chunk, (i + 1) * blocks_per_chunk)`` under the
-    session key with an all-zero 12-byte counter prefix.  Positions map
+    Chunk ``i`` of a lane is the CTR keystream for counter blocks
+    ``[i * blocks_per_chunk, (i + 1) * blocks_per_chunk)`` under that
+    lane's key with an all-zero 12-byte counter prefix.  Positions map
     to chunks deterministically, so an evicted chunk is simply
     regenerated — the cache bounds memory, never correctness.
 
-    XOR-at-position is only safe when each keystream byte covers one
-    message byte; the serving layer guarantees that by giving every
-    session a strictly advancing position (request and response streams
-    use disjoint lanes).
+    Chunks are cached under ``(session_id, key, index)``: the lane key
+    is part of a chunk's identity, so one session's request and
+    response lanes (same session id, different derived keys) can never
+    alias each other's keystream bytes — reusing one lane's chunk for
+    the other would seal two plaintexts under the same pad, the classic
+    two-time-pad leak.  XOR-at-position is then safe because within a
+    lane each keystream byte covers exactly one message byte (the
+    serving layer gives every lane a strictly advancing position).
     """
 
     def __init__(self, capacity: int = 32, chunk_bytes: int = 65536) -> None:
@@ -142,26 +158,30 @@ class KeystreamCache:
             raise CryptoError("chunk_bytes must be a positive multiple of 16")
         self.chunk_bytes = chunk_bytes
         self._chunks = SecretCache(capacity)
-        self._ciphers: dict[bytes, AES] = {}
+        # AES key schedules, keyed by (session_id, lane key) so session
+        # teardown can drop every schedule it owns — key material must
+        # not outlive forget_session.
+        self._ciphers: dict[tuple[int, bytes], AES] = {}
 
     @property
     def evictions(self) -> int:
         return self._chunks.evictions
 
     def _chunk(self, session_id: int, key: bytes, index: int) -> np.ndarray:
-        cached = self._chunks.get((session_id, index))
+        cache_key = (session_id, key, index)
+        cached = self._chunks.get(cache_key)
         if cached is not None:
             return cached
-        cipher = self._ciphers.get(key)
+        cipher = self._ciphers.get((session_id, key))
         if cipher is None:
             cipher = AES(key)
-            self._ciphers[key] = cipher
+            self._ciphers[session_id, key] = cipher
         blocks_per_chunk = self.chunk_bytes // 16
         counter = b"\x00" * 12 + struct.pack(">I", index * blocks_per_chunk)
         chunk = np.frombuffer(
             ctr_keystream_xor(cipher, counter, b"\x00" * self.chunk_bytes),
             dtype=np.uint8).copy()
-        self._chunks.put((session_id, index), chunk)
+        self._chunks.put(cache_key, chunk)
         return chunk
 
     def take(self, session_id: int, key: bytes, start: int,
@@ -184,7 +204,9 @@ class KeystreamCache:
             parts.append(chunk[lo:hi].copy())
         return np.concatenate(parts)
 
-    def forget_session(self, session_id: int, max_chunks: int = 4096) -> None:
-        """Scrub and drop every cached chunk of one session."""
-        for index in range(max_chunks):
-            self._chunks.discard((session_id, index))
+    def forget_session(self, session_id: int) -> None:
+        """Scrub and drop one session's chunks (every lane) and its
+        AES key schedules."""
+        self._chunks.discard_if(lambda k: k[0] == session_id)
+        for cipher_key in [k for k in self._ciphers if k[0] == session_id]:
+            del self._ciphers[cipher_key]

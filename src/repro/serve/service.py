@@ -125,10 +125,12 @@ class ServingService:
         self.scheduler = BatchScheduler(self.clock,
                                         max_batch=self.config.max_batch,
                                         deadline_ms=self.config.deadline_ms)
-        # Service-side session secrets: lane keys live in a bounded LRU
-        # that scrubs on eviction; each side keeps its own keystream
-        # cache (the client is not supposed to share state with the
-        # dispatcher beyond the established keys).
+        # Service-side session secrets: lane keys live in a scrub-on-
+        # discard cache whose capacity is enforced at open_session (an
+        # admission limit — live sessions are never silently evicted);
+        # each side keeps its own keystream cache (the client is not
+        # supposed to share state with the dispatcher beyond the
+        # established keys).
         self._session_keys = SecretCache(self.config.session_capacity)
         self._client_keystreams = KeystreamCache(
             capacity=2 * self.config.session_capacity,
@@ -141,6 +143,8 @@ class ServingService:
         self._next_session = 0
         self.latencies_ms: list[float] = []
         self.requests_completed = 0
+        self.frames_dropped = 0
+        self.responses_dropped = 0
 
     # --- sessions ------------------------------------------------------
 
@@ -150,7 +154,16 @@ class ServingService:
         Session establishment is local key derivation — the enclave
         workers were attested and provisioned at pool construction, so
         opening the Nth session costs no vendor interaction.
+
+        Refuses beyond ``session_capacity``: silently LRU-evicting a
+        still-open session's keys would strand its in-flight frames
+        (and wedge the ring behind them), so the capacity is an
+        admission limit, not an eviction policy.
         """
+        if len(self._session_keys) >= self.config.session_capacity:
+            raise ServeError(
+                f"session capacity {self.config.session_capacity} "
+                f"reached; close_session() one before opening another")
         session_id = self._next_session
         self._next_session += 1
         master = self._session_rng.generate(16)
@@ -168,10 +181,12 @@ class ServingService:
         self._client_keystreams.forget_session(handle.session_id)
         self._service_keystreams.forget_session(handle.session_id)
 
-    def _service_keys(self, session_id: int) -> tuple[bytes, bytes]:
+    def _service_keys(self, session_id: int) -> tuple[bytes, bytes] | None:
+        """This session's (request, response) lane keys, or ``None``
+        for a session the service no longer (or never) knew."""
         keys = self._session_keys.get(session_id)
         if keys is None:
-            raise ServeError(f"no open session {session_id}")
+            return None
         return bytes(keys[0]), bytes(keys[1])
 
     # --- client side ---------------------------------------------------
@@ -226,14 +241,34 @@ class ServingService:
         """Drain the ingress ring into the scheduler (open in place)."""
         while (frame := self._ingress_cons.try_peek()) is not None:
             session_id, seq, sealed = open_in_place(frame)
-            request_key, _ = self._service_keys(session_id)
+            keys = self._service_keys(session_id)
+            if keys is None:
+                # Unknown or closed session: drop the frame and move
+                # on.  Raising with the slot still at the ring head
+                # would wedge every session behind one dead frame.
+                self._ingress_cons.release()
+                self.frames_dropped += 1
+                continue
             keystream = self._service_keystreams.take(
-                session_id, request_key,
+                session_id, keys[0],
                 seq * self.request_bytes, self.request_bytes)
             sealed ^= keystream   # open in place
             fingerprint = sealed.reshape(self.fingerprint_shape).copy()
             self._ingress_cons.release()
             self.scheduler.submit((session_id, seq, fingerprint))
+
+    def _egress_free(self) -> int:
+        return self.config.ring_slots - 1 - len(self._egress_prod)
+
+    def _require_egress_room(self, batch_size: int) -> None:
+        """Backpressure *before* popping a batch off the scheduler.
+
+        Requests stay queued (nothing accepted is ever dropped); the
+        caller polls responses to drain the ring, then dispatches
+        again.
+        """
+        if self._egress_free() < batch_size:
+            raise ServeError("egress ring full; poll_responses() first")
 
     def _run_batch(self, batch: list) -> None:
         soc = self.platform.soc
@@ -245,15 +280,21 @@ class ServingService:
         labels, scores = worker.run_batch(fingerprints)
         int8_scores = np.asarray(scores, dtype=np.int8)
         for row, (session_id, seq, _) in enumerate(batch):
+            keys = self._service_keys(session_id)
+            if keys is None:
+                # Session closed while its request was in flight:
+                # there is no one to seal for — drop this response,
+                # keep the rest of the batch.
+                self.responses_dropped += 1
+                continue
             slot = self._egress_prod.try_reserve()
-            if slot is None:
+            if slot is None:   # unreachable: room was checked per batch
                 raise ServeError("egress ring full; poll_responses() first")
             payload = np.empty(self.response_bytes, dtype=np.uint8)
             payload[0] = labels[row]
             payload[1:] = int8_scores[row].view(np.uint8)
-            _, response_key = self._service_keys(session_id)
             keystream = self._service_keystreams.take(
-                session_id, response_key,
+                session_id, keys[1],
                 seq * self.response_bytes, self.response_bytes)
             length = seal_into(slot, session_id, seq, payload, keystream)
             self._egress_prod.commit(length)
@@ -262,14 +303,19 @@ class ServingService:
         """Ingest, batch, and run everything currently dispatchable.
 
         ``force`` flushes sub-deadline leftovers too (end of a drive
-        loop).  Returns the number of batches executed.
+        loop).  Returns the number of batches executed.  Raises (with
+        every undispatched request still queued) when the egress ring
+        cannot hold the next batch's responses.
         """
         self._ingest()
         ran = 0
         while self.scheduler.ready():
+            self._require_egress_room(
+                min(len(self.scheduler), self.config.max_batch))
             self._run_batch(self.scheduler.next_batch())
             ran += 1
         if force and len(self.scheduler):
+            self._require_egress_room(len(self.scheduler))
             self._run_batch(self.scheduler.flush())
             ran += 1
         return ran

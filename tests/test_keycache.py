@@ -33,6 +33,15 @@ def test_scrub_secret_zeroizes_mutable_buffers():
     scrub_secret(view)
     assert view.tobytes() == b"\x00\x00"
 
+    # Composite entries (e.g. a session's lane-key pair) scrub
+    # element by element.
+    pair = (bytearray(b"\xaa" * 16), bytearray(b"\xbb" * 16))
+    scrub_secret(pair)
+    assert pair[0] == bytes(16) and pair[1] == bytes(16)
+    nested = [bytearray(b"\x01"), (bytearray(b"\x02"),)]
+    scrub_secret(nested)
+    assert nested[0] == b"\x00" and nested[1][0] == b"\x00"
+
     scrub_secret(b"immutable")  # ignored, must not raise
 
 
@@ -82,6 +91,18 @@ def test_secret_cache_discard_and_clear_scrub():
     assert len(cache) == 0
 
 
+def test_secret_cache_discard_if_scrubs_matches_only():
+    cache = SecretCache(8)
+    mine = bytearray(b"\x33" * 8)
+    other = bytearray(b"\x44" * 8)
+    cache.put((1, 0), mine)
+    cache.put((2, 0), other)
+    assert cache.discard_if(lambda k: k[0] == 1) == 1
+    assert mine == bytes(8)
+    assert other == b"\x44" * 8
+    assert (2, 0) in cache
+
+
 def _direct_keystream(key: bytes, start: int, length: int) -> bytes:
     """Reference keystream straight from AES-CTR, no cache involved."""
     base = (start // 16) * 16
@@ -115,6 +136,34 @@ def test_keystream_cache_regenerates_after_eviction():
     cache.take(1, key, 128, 64)
     assert cache.evictions >= 1
     assert cache.take(1, key, 0, 64).tobytes() == expected
+
+
+def test_keystream_cache_lanes_never_share_chunks():
+    """Two keys under ONE session id (the request/response lane split)
+    must yield independent keystreams.  Caching chunks by (session,
+    index) alone would hand the second lane the first lane's pad — a
+    two-time pad across the two directions."""
+    request_key, response_key = bytes(range(16)), bytes(range(16, 32))
+    cache = KeystreamCache(capacity=8, chunk_bytes=64)
+    request_stream = cache.take(5, request_key, 0, 48).tobytes()
+    response_stream = cache.take(5, response_key, 0, 48).tobytes()
+    assert request_stream != response_stream
+    assert request_stream == _direct_keystream(request_key, 0, 48)
+    assert response_stream == _direct_keystream(response_key, 0, 48)
+
+
+def test_keystream_cache_forget_session_drops_both_lanes_and_ciphers():
+    request_key, response_key = bytes(range(16)), bytes(range(16, 32))
+    cache = KeystreamCache(capacity=8, chunk_bytes=64)
+    cache.take(1, request_key, 0, 64)
+    cache.take(1, response_key, 0, 64)
+    cache.take(2, request_key, 0, 64)
+    cache.forget_session(1)
+    # No chunk and no AES key schedule of session 1 survives; session
+    # 2's entries are untouched.
+    assert all(k[0] != 1 for k in cache._chunks._entries)
+    assert all(k[0] != 1 for k in cache._ciphers)
+    assert any(k[0] == 2 for k in cache._ciphers)
 
 
 def test_keystream_cache_sessions_are_independent():

@@ -223,13 +223,85 @@ def test_service_sessions_have_isolated_keys():
     service.teardown()
 
 
-def test_service_refuses_frames_for_closed_session():
-    _, _, service, _ = make_stack()
+def test_service_drops_frames_for_closed_session_without_wedging():
+    """A dead frame at the ring head must not take the service down:
+    it is dropped (slot released) and other sessions keep serving."""
+    _, _, service, model = make_stack()
+    closed = service.open_session()
+    live = service.open_session()
+    service.close_session(closed)
+    service.submit(closed, tiny_fingerprints(1)[0])
+    fingerprint = tiny_fingerprints(1, seed=5)[0]
+    seq = service.submit(live, fingerprint)
+    assert service.dispatch(force=True) == 1
+    assert service.frames_dropped == 1
+    service.poll_responses()
+    label, scores = live.take_result(seq)
+    exp_label, exp_scores = expected_results(model, [fingerprint])[0]
+    assert label == exp_label
+    assert np.array_equal(scores, exp_scores)
+    service.teardown()
+
+
+def test_service_drops_responses_for_sessions_closed_mid_flight():
+    """Closing a session between ingest and batch execution drops only
+    that session's response; the rest of the batch completes."""
+    _, _, service, model = make_stack(max_batch=4)
+    doomed = service.open_session()
+    live = service.open_session()
+    service.submit(doomed, tiny_fingerprints(1)[0])
+    fingerprint = tiny_fingerprints(1, seed=7)[0]
+    seq = service.submit(live, fingerprint)
+    service._ingest()            # both requests now sit in the scheduler
+    service.close_session(doomed)
+    assert service.dispatch(force=True) == 1
+    assert service.responses_dropped == 1
+    service.poll_responses()
+    label, scores = live.take_result(seq)
+    exp_label, exp_scores = expected_results(model, [fingerprint])[0]
+    assert label == exp_label
+    assert np.array_equal(scores, exp_scores)
+    service.teardown()
+
+
+def test_service_open_session_refuses_beyond_capacity():
+    """Capacity is an admission limit: the Nth+1 open_session is
+    refused instead of silently evicting a live session's keys."""
+    _, _, service, _ = make_stack(session_capacity=2)
+    first = service.open_session()
+    service.open_session()
+    with pytest.raises(ServeError, match="session capacity"):
+        service.open_session()
+    service.close_session(first)
+    third = service.open_session()   # freed by the close
+    assert third.session_id not in (first.session_id,)
+    service.teardown()
+
+
+def test_service_egress_backpressure_never_drops_requests():
+    """A full egress ring raises *before* a batch is popped; after the
+    client drains responses every queued request still completes."""
+    _, _, service, model = make_stack(ring_slots=4, max_batch=4,
+                                      num_workers=1)
     handle = service.open_session()
-    service.close_session(handle)
-    service.submit(handle, tiny_fingerprints(1)[0])
-    with pytest.raises(ServeError, match="no open session"):
+    fingerprints = tiny_fingerprints(6, seed=13)
+    expected = expected_results(model, fingerprints)
+
+    first_wave = [service.submit(handle, fp) for fp in fingerprints[:3]]
+    service.dispatch(force=True)          # egress now holds 3 of 3 slots
+    second_wave = [service.submit(handle, fp) for fp in fingerprints[3:]]
+    with pytest.raises(ServeError, match="egress ring full"):
         service.dispatch(force=True)
+    service.poll_responses()              # client drains the ring
+    service.dispatch(force=True)          # queued requests still there
+    service.poll_responses()
+
+    for seq, (exp_label, exp_scores) in zip(first_wave + second_wave,
+                                            expected):
+        label, scores = handle.take_result(seq)
+        assert label == exp_label
+        assert np.array_equal(scores, exp_scores)
+    assert service.requests_completed == 6
     service.teardown()
 
 
