@@ -23,6 +23,7 @@ from repro.eval.bench import (
     HOOK_OVERHEAD_MAX,
     INFERENCE_MIN_SPEEDUP,
     SERVING_MIN_SPEEDUP,
+    TELEMETRY_OVERHEAD_MAX,
     run_benchmarks,
     write_report,
 )
@@ -56,7 +57,7 @@ def test_report_written(wallclock_report):
     assert set(wallclock_report["stages"]) == {
         "crypto_provisioning_roundtrip", "inference_kws_100",
         "dsp_streaming_10s", "provisioning_end_to_end", "fault_hooks",
-        "static_analysis", "serving_throughput",
+        "static_analysis", "serving_throughput", "telemetry_overhead",
     }
 
 
@@ -145,4 +146,40 @@ def test_hook_sites_cheap_even_when_armed(wallclock_report):
     make the hook-heavy workload pathologically slower (the disabled
     path is the one that must be free; armed dispatch stays modest)."""
     stage = wallclock_report["stages"]["fault_hooks"]
+    assert stage["current_s"] <= stage["baseline_s"] * 1.5, stage
+
+
+# --- telemetry must be free when disabled -----------------------------------
+
+@pytest.mark.slow
+def test_telemetry_disabled_serving_within_3pct_of_committed(
+        wallclock_report):
+    """Serving throughput with the obs hook sites present but no bundle
+    installed must stay within TELEMETRY_OVERHEAD_MAX of the committed
+    report (same-host comparison only, like the fault-hook guard)."""
+    if _COMMITTED is None:
+        pytest.skip("no committed report to regress against")
+    if _COMMITTED["host"]["platform"] != host_platform.platform():
+        pytest.skip("committed report is from a different host")
+    committed_stage = _COMMITTED["stages"].get("telemetry_overhead")
+    if committed_stage is None:
+        pytest.skip("committed report predates the telemetry stage")
+    committed = committed_stage["baseline_s"]
+    fresh = wallclock_report["stages"]["telemetry_overhead"]["baseline_s"]
+    assert fresh <= committed * TELEMETRY_OVERHEAD_MAX, (
+        f"telemetry-disabled serving: {fresh:.4f}s vs committed "
+        f"{committed:.4f}s "
+        f"(> {(TELEMETRY_OVERHEAD_MAX - 1) * 100:.0f}% overhead)")
+
+
+@pytest.mark.slow
+def test_telemetry_enabled_overhead_is_recorded_and_bounded(
+        wallclock_report):
+    """The enabled path records its overhead in the report and stays
+    within an order-of-magnitude sanity bound (spans and metrics do
+    real work; "free" is only required of the disabled path)."""
+    stage = wallclock_report["stages"]["telemetry_overhead"]
+    assert "enabled_overhead" in stage, stage
+    assert stage["spans_recorded"] > 0, stage
+    assert stage["metrics_registered"] > 0, stage
     assert stage["current_s"] <= stage["baseline_s"] * 1.5, stage

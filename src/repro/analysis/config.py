@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 LAYER_RANKS: dict[str, int] = {
     "errors": 0,
     "faults": 1,
+    "obs": 1,
     "crypto": 2,
     "hw": 3,
     "tflm": 4,
@@ -112,8 +113,8 @@ SECRET_ATTRIBUTES = frozenset({
 DECLASSIFIERS = frozenset({
     "bool", "encrypt_model", "encrypt_oaep", "fingerprint", "gcm_encrypt",
     "hkdf", "hkdf_expand", "hkdf_extract", "hmac_sha256", "id",
-    "isinstance", "len", "measure", "seal", "seal_at", "sha256", "sign",
-    "type",
+    "isinstance", "len", "measure", "redact", "seal", "seal_at", "sha256",
+    "sign", "type",
 })
 
 # Logging-style method names (flagged when the receiver looks like a
@@ -127,6 +128,22 @@ LOG_METHODS = frozenset({
 # model, attacker-readable (flash via OS services, host files).
 UNTRUSTED_WRITE_CALLS = frozenset({"store_untrusted", "write_wave"})
 UNTRUSTED_WRITE_RECEIVERS = frozenset({"flash"})  # e.g. soc.flash.store
+
+# Telemetry sinks (repro.obs): everything stored in a span or metric is
+# exported to normal-world artifacts (Chrome traces, Prometheus text),
+# so secret-tainted values must be summarized through ``redact``/``len``
+# first.  A call is a telemetry sink when its method name is below AND
+# its receiver's dotted path mentions one of the receiver words (a
+# ``span``/``tracer``/``metrics``/... object or the ``repro.obs``
+# module itself).
+TELEMETRY_SINK_METHODS = frozenset({
+    "add_event", "inc", "observe", "record_span", "set", "set_attribute",
+    "set_attributes", "span", "start_span",
+})
+TELEMETRY_SINK_RECEIVERS = frozenset({
+    "counter", "gauge", "histogram", "meter", "metrics", "obs", "span",
+    "telemetry", "tracer",
+})
 
 # --- zeroization ------------------------------------------------------------
 
@@ -160,6 +177,8 @@ class AnalysisConfig:
     log_methods: frozenset = LOG_METHODS
     untrusted_write_calls: frozenset = UNTRUSTED_WRITE_CALLS
     untrusted_write_receivers: frozenset = UNTRUSTED_WRITE_RECEIVERS
+    telemetry_sink_methods: frozenset = TELEMETRY_SINK_METHODS
+    telemetry_sink_receivers: frozenset = TELEMETRY_SINK_RECEIVERS
     zeroize_acquire: frozenset = ZEROIZE_ACQUIRE
     zeroize_release: frozenset = ZEROIZE_RELEASE
 

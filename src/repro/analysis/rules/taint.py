@@ -13,8 +13,10 @@ Sinks are the ways secret bits have historically escaped enclaves in
 source code: ``print``/logging, interpolation into exception messages,
 ``str``/``repr``/``.hex()``, writes to untrusted flash
 (``store_untrusted``, ``flash.store``, ``write_wave``), file handles
-from ``open``, and ``bus.write`` calls routed to ``World.NORMAL``
-memory.
+from ``open``, ``bus.write`` calls routed to ``World.NORMAL`` memory,
+and telemetry sinks — span attributes/events and metric observations on
+``repro.obs`` objects, whose contents are exported to normal-world
+artifacts (``redact``/``len`` are the sanctioned declassifiers).
 
 The analysis is per-scope (each function body, plus the module top
 level) and flow-insensitive within a scope: assignments are iterated to
@@ -214,6 +216,20 @@ class _Scope:
                 and self.is_tainted(receiver):
             yield self._finding(node, "secret stringified via .hex()",
                                 "hex-encoding is not declassification")
+        elif tail in self.config.telemetry_sink_methods \
+                and receiver is not None and any_tainted_arg:
+            # Receiver may itself be a call (registry.histogram(...).
+            # observe(...)); judge the innermost dotted path.
+            target = receiver.func if isinstance(receiver, ast.Call) \
+                else receiver
+            dotted = (dotted_name(target, self.aliases) or "").lower()
+            parts = {part.lstrip("_") for part in dotted.split(".")}
+            if parts & self.config.telemetry_sink_receivers:
+                yield self._finding(
+                    node, "secret flows into a telemetry sink",
+                    "spans and metrics are exported to normal-world "
+                    "artifacts; pass redact()ed summaries or len(), "
+                    "never key/plaintext bytes")
         elif tail in self.config.log_methods and receiver is not None:
             dotted = dotted_name(node.func, self.aliases) or ""
             if "log" in dotted.split(".")[0].lower() or "logg" in dotted:

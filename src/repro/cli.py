@@ -10,6 +10,7 @@ Commands::
     train       train a zoo architecture and report its trade-off numbers
     analyze     run the static invariant checkers over the source tree
     serve-bench benchmark multi-session serving vs the sequential path
+    trace       run a traced provision→serve pass and export telemetry
 
 Every command runs entirely offline on the simulated HiKey 960.
 """
@@ -86,9 +87,35 @@ def build_parser() -> argparse.ArgumentParser:
                              help="timed repetitions per configuration")
     serve_bench.add_argument("--workers", type=int, default=2,
                              help="enclave workers in the pool")
+    serve_bench.add_argument("--seed", type=int, default=7,
+                             help="seed for the synthetic request traffic")
     serve_bench.add_argument("--out", default=None, metavar="PATH",
                              help="merge the serving stage into this "
                                   "BENCH_wallclock.json report")
+    serve_bench.add_argument("--trace-out", default=None, metavar="PATH",
+                             help="additionally run one traced serving "
+                                  "pass and write a Chrome-trace JSON")
+
+    trace = sub.add_parser(
+        "trace",
+        help="run a traced provision→serve pass and export the "
+             "virtual-clock telemetry")
+    trace.add_argument("--requests", type=int, default=12,
+                       help="requests to serve")
+    trace.add_argument("--batch", type=int, default=4,
+                       help="scheduler max batch size")
+    trace.add_argument("--workers", type=int, default=2,
+                       help="enclave workers in the pool")
+    trace.add_argument("--sessions", type=int, default=2,
+                       help="concurrent client sessions")
+    trace.add_argument("--seed", type=int, default=7,
+                       help="seed for the synthetic request traffic")
+    trace.add_argument("--op-profile", action="store_true",
+                       help="record a span per interpreter op")
+    trace.add_argument("--out", default=None, metavar="PATH",
+                       help="write Chrome-trace JSON (chrome://tracing)")
+    trace.add_argument("--prom", default=None, metavar="PATH",
+                       help="write a Prometheus text-format snapshot")
     return parser
 
 
@@ -243,7 +270,7 @@ def _cmd_serve_bench(args) -> int:
     from repro.eval.bench import SERVING_MIN_SPEEDUP, bench_serving
 
     stage = bench_serving(requests=args.requests, repeats=args.repeats,
-                          num_workers=args.workers)
+                          num_workers=args.workers, seed=args.seed)
     print(f"sequential baseline: {stage['baseline_wall_rps']:.0f} req/s "
           f"wall, {stage['baseline_sim_ms_per_request']:.2f} ms/req "
           f"simulated")
@@ -266,7 +293,41 @@ def _cmd_serve_bench(args) -> int:
             json.dump(report, fh, indent=2, sort_keys=True)
             fh.write("\n")
         print(f"merged serving stage into {args.out}")
+    if args.trace_out:
+        from repro.eval.trace_run import run_traced_serving
+        from repro.obs import write_chrome_trace
+
+        telemetry, _ = run_traced_serving(
+            requests=args.requests, num_workers=args.workers,
+            seed=args.seed)
+        write_chrome_trace(telemetry.tracer, args.trace_out)
+        print(f"wrote {len(telemetry.tracer.buffer)} spans to "
+              f"{args.trace_out}")
     return 0 if stage["speedup"] >= SERVING_MIN_SPEEDUP else 1
+
+
+def _cmd_trace(args) -> int:
+    from repro.eval.trace_run import run_traced_serving
+    from repro.obs import render_summary, to_prometheus, write_chrome_trace
+
+    telemetry, stats = run_traced_serving(
+        requests=args.requests, max_batch=args.batch,
+        num_workers=args.workers, num_sessions=args.sessions,
+        seed=args.seed, op_profiling=args.op_profile)
+    print(render_summary(telemetry))
+    print(f"served {stats.requests_completed} requests in "
+          f"{stats.batches} batches "
+          f"({stats.deadline_flushes} deadline flushes), "
+          f"p50 {stats.p50_ms:.2f} ms / p95 {stats.p95_ms:.2f} ms "
+          f"simulated")
+    if args.out:
+        write_chrome_trace(telemetry.tracer, args.out)
+        print(f"wrote Chrome trace: {args.out}")
+    if args.prom:
+        with open(args.prom, "w") as fh:
+            fh.write(to_prometheus(telemetry.metrics))
+        print(f"wrote Prometheus snapshot: {args.prom}")
+    return 0
 
 
 _COMMANDS = {
@@ -280,6 +341,7 @@ _COMMANDS = {
     "export": _cmd_export,
     "export-dataset": _cmd_export_dataset,
     "serve-bench": _cmd_serve_bench,
+    "trace": _cmd_trace,
 }
 
 

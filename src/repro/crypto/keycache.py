@@ -35,6 +35,7 @@ from repro.crypto.modes import ctr_keystream_xor
 from repro.crypto.rng import HmacDrbg
 from repro.crypto.rsa import RsaPrivateKey, generate_keypair
 from repro.errors import CryptoError
+from repro.obs import hooks as _obs
 
 __all__ = ["deterministic_keypair", "scrub_secret", "SecretCache",
            "KeystreamCache"]
@@ -171,7 +172,15 @@ class KeystreamCache:
         cache_key = (session_id, key, index)
         cached = self._chunks.get(cache_key)
         if cached is not None:
+            if _obs.TELEMETRY is not None:
+                _obs.TELEMETRY.metrics.counter(
+                    "omg_keystream_cache_hits_total",
+                    "keystream chunks served from cache").inc()
             return cached
+        if _obs.TELEMETRY is not None:
+            _obs.TELEMETRY.metrics.counter(
+                "omg_keystream_cache_misses_total",
+                "keystream chunks generated (CTR run)").inc()
         cipher = self._ciphers.get((session_id, key))
         if cipher is None:
             cipher = AES(key)

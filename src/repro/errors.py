@@ -110,3 +110,7 @@ class AudioError(ReproError):
 
 class ServeError(ReproError):
     """The multi-session serving layer hit an invalid state."""
+
+
+class ObsError(ReproError):
+    """The observability layer was misused (bad metric, span state...)."""

@@ -46,6 +46,11 @@ HOOK_OVERHEAD_MAX = 1.02
 # wall-clock over src/repro must stay bounded as rules grow.
 ANALYSIS_MAX_SECONDS = 10.0
 
+# Telemetry must be free when no bundle is installed: serving throughput
+# with the obs hooks present but disabled may not regress more than this
+# factor against the committed report (same host only).
+TELEMETRY_OVERHEAD_MAX = 1.03
+
 
 def _timed_runs(fn, repeats: int) -> list[float]:
     """Wall-clock of each of ``repeats`` runs.
@@ -277,7 +282,7 @@ def bench_static_analysis(repeats: int = 2) -> dict:
 
 def bench_serving(requests: int = 24, batch_sizes: tuple = (1, 4, 8),
                   repeats: int = 3, num_workers: int = 2,
-                  num_sessions: int = 3) -> dict:
+                  num_sessions: int = 3, seed: int = 7) -> dict:
     """Multi-session serving vs the sequential one-enclave path.
 
     Baseline: ``requests`` queries through :class:`SequentialBaseline`
@@ -301,7 +306,7 @@ def bench_serving(requests: int = 24, batch_sizes: tuple = (1, 4, 8),
     from repro.trustzone.worlds import make_platform
 
     model, _ = standard_model()
-    rng = np.random.default_rng(7)
+    rng = np.random.default_rng(seed)
     fingerprints = rng.integers(0, 256, size=(requests, 49, 43),
                                 dtype=np.uint8)
 
@@ -368,6 +373,72 @@ def bench_serving(requests: int = 24, batch_sizes: tuple = (1, 4, 8),
     )
 
 
+def bench_telemetry(requests: int = 24, repeats: int = 3,
+                    num_workers: int = 2, num_sessions: int = 3,
+                    batch: int = 8, seed: int = 7) -> dict:
+    """Cost of the observability hook sites, disabled vs installed.
+
+    The workload is one steady-state serving pass (the hottest
+    instrumented path: dispatch, batch invoke, ring transfers, keystream
+    cache).  ``baseline_s`` runs it with no telemetry bundle installed —
+    the production path, one module-attribute load + ``None`` check per
+    site — and ``current_s`` repeats it under an installed
+    :class:`~repro.obs.Telemetry` (spans recorded, metrics updated).
+    The disabled path is regression-checked against the committed
+    report by ``benchmarks/test_wallclock.py`` under
+    :data:`TELEMETRY_OVERHEAD_MAX`.
+    """
+    from repro.core.parties import Vendor
+    from repro.eval.pretrained import standard_model
+    from repro.obs import Telemetry, hooks as obs_hooks
+    from repro.serve import ServeConfig, ServingService
+    from repro.trustzone.worlds import make_platform
+
+    model, _ = standard_model()
+    rng = np.random.default_rng(seed)
+    fingerprints = rng.integers(0, 256, size=(requests, 49, 43),
+                                dtype=np.uint8)
+
+    def build(tag: bytes):
+        plat = make_platform(seed=b"bench-telemetry-" + tag, key_bits=768)
+        vendor = Vendor("ml-vendor", model, key_bits=768)
+        service = ServingService(
+            plat, vendor,
+            ServeConfig(max_batch=batch, num_workers=num_workers))
+        handles = [service.open_session() for _ in range(num_sessions)]
+        return plat, service, handles
+
+    def driver(service, handles):
+        def body():
+            for index, fingerprint in enumerate(fingerprints):
+                service.submit(handles[index % num_sessions], fingerprint)
+                if (index + 1) % batch == 0:
+                    service.dispatch()
+                    service.poll_responses()
+            service.dispatch(force=True)
+            service.poll_responses()
+        return body
+
+    _, service, handles = build(b"off")
+    disabled, disabled_std = _measure(driver(service, handles), repeats)
+    service.teardown()
+
+    plat, service, handles = build(b"on")
+    telemetry = Telemetry(plat.soc.clock)
+    with obs_hooks.installed(telemetry):
+        enabled, enabled_std = _measure(driver(service, handles), repeats)
+    spans = telemetry.tracer.buffer.appended
+    service.teardown()
+
+    return _stage(
+        disabled, enabled, disabled_std, enabled_std,
+        requests=requests, repeats=repeats, batch=batch,
+        enabled_overhead=enabled / disabled - 1.0 if disabled else 0.0,
+        spans_recorded=spans,
+        metrics_registered=len(telemetry.metrics),
+    )
+
+
 def run_benchmarks(model=None, model_bytes: bytes | None = None) -> dict:
     """Run every stage; returns the report dict (see DEFAULT_REPORT_PATH)."""
     if model is None:
@@ -384,6 +455,7 @@ def run_benchmarks(model=None, model_bytes: bytes | None = None) -> dict:
         "fault_hooks": bench_fault_hooks(),
         "static_analysis": bench_static_analysis(),
         "serving_throughput": bench_serving(),
+        "telemetry_overhead": bench_telemetry(),
     }
     return {
         "host": {

@@ -43,6 +43,7 @@ from repro.crypto.keycache import deterministic_keypair
 from repro.crypto.rng import HmacDrbg
 from repro.errors import ProtocolError, ReproError
 from repro.faults import FaultPlan, installed, random_plan
+from repro.obs import hooks as _obs
 from repro.sanctuary.lifecycle import (EnclaveState, SanctuaryRuntime)
 from repro.trustzone import make_platform
 
@@ -342,6 +343,11 @@ def run_chaos_schedule(seed: int, model=None, *, max_recoveries: int = 3,
     _warm_key_cache(_KEY_BITS, max_recoveries + 2)
     plan = random_plan(seed, max_rules=max_rules)
     result = ChaosResult(seed=seed, rules=[repr(rule) for rule in plan.rules])
+    chaos_span = None
+    if _obs.TELEMETRY is not None:
+        chaos_span = _obs.TELEMETRY.tracer.start_span(
+            "chaos.schedule",
+            attributes={"seed": seed, "rules": len(plan.rules)})
 
     with installed(plan):
         platform = make_platform(key_bits=_KEY_BITS)
@@ -379,6 +385,15 @@ def run_chaos_schedule(seed: int, model=None, *, max_recoveries: int = 3,
             result.untyped = True
 
     result.fault_lines = plan.transcript_lines()
+    if chaos_span is not None:
+        # Fault-tagged span: every fired fault becomes a span event, so
+        # a trace of a chaos run shows *when* each fault struck.
+        for line in result.fault_lines:
+            chaos_span.add_event("fault", detail=line)
+        chaos_span.set_attributes(
+            completed=result.completed, error=result.error or "",
+            faults=len(result.fault_lines), recoveries=result.recoveries)
+        chaos_span.end()
 
     # Safety sweep over everything the normal world can observe.
     if session.vendor is not None:

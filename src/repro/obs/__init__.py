@@ -1,0 +1,75 @@
+"""Secret-safe observability: virtual-clock tracing, metrics, exporters.
+
+The subsystem has four pieces (see docs/ARCHITECTURE.md "Observability"):
+
+* :mod:`repro.obs.trace` — ``Span``/``Tracer`` stamped on the platform
+  :class:`~repro.hw.timing.VirtualClock` with cycle and wall-clock dual
+  stamps, context propagation across the enclave boundary, and a
+  bounded ``TraceBuffer``;
+* :mod:`repro.obs.metrics` — counters, gauges, fixed-bucket histograms;
+* :mod:`repro.obs.export` — Chrome-trace JSON, Prometheus text, and a
+  human summary;
+* :mod:`repro.obs.redact` — the secret-safety gate every value passes
+  before it may be stored in a span or metric.
+
+A :class:`Telemetry` bundle ties one tracer and one registry together
+and is turned on process-wide via :mod:`repro.obs.hooks` (the same
+zero-cost global-``None`` pattern as :mod:`repro.faults.hooks`):
+
+    telemetry = Telemetry(platform.soc.clock)
+    with obs.hooks.installed(telemetry):
+        ...provision and serve...
+    obs.write_chrome_trace(telemetry.tracer, "trace.json")
+"""
+
+from __future__ import annotations
+
+from repro.obs import hooks
+from repro.obs.export import (
+    render_summary,
+    to_chrome_trace,
+    to_prometheus,
+    write_chrome_trace,
+)
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.redact import redact
+from repro.obs.trace import (
+    DEFAULT_FREQ_HZ,
+    Span,
+    SpanContext,
+    TraceBuffer,
+    Tracer,
+)
+
+__all__ = [
+    "Counter", "DEFAULT_BUCKETS", "DEFAULT_FREQ_HZ", "Gauge", "Histogram",
+    "MetricsRegistry", "Span", "SpanContext", "Telemetry", "TraceBuffer",
+    "Tracer", "hooks", "redact", "render_summary", "to_chrome_trace",
+    "to_prometheus", "write_chrome_trace",
+]
+
+
+class Telemetry:
+    """One tracer + one metrics registry + feature flags.
+
+    ``op_profiling`` turns on per-operator spans inside
+    :meth:`repro.tflm.interpreter.Interpreter.invoke` (off by default —
+    it is the only instrumentation hot enough to need its own flag).
+    """
+
+    def __init__(self, clock, trace_capacity: int = 4096,
+                 freq_hz: float = DEFAULT_FREQ_HZ,
+                 op_profiling: bool = False) -> None:
+        self.tracer = Tracer(clock, capacity=trace_capacity, freq_hz=freq_hz)
+        self.metrics = MetricsRegistry()
+        self.op_profiling = bool(op_profiling)
+
+    @property
+    def clock(self):
+        return self.tracer.clock

@@ -1,0 +1,165 @@
+"""Exporters: Chrome-trace JSON, Prometheus text format, human summary.
+
+The Chrome trace is loadable in ``chrome://tracing`` / Perfetto: spans
+become complete ("X") events whose timeline is the **virtual clock**
+(microseconds of simulated time), with the wall-clock and cycle stamps
+carried in ``args`` so both time bases survive the export.  The
+Prometheus exporter emits the text exposition format (counters, gauges,
+cumulative ``le`` histogram buckets).  Everything serialized here has
+already passed the :func:`repro.obs.redact` gate when it entered a span
+or metric; exporters never touch raw values.
+"""
+
+from __future__ import annotations
+
+import json
+
+__all__ = [
+    "to_chrome_trace", "write_chrome_trace", "to_prometheus",
+    "render_summary",
+]
+
+
+# --- Chrome trace -----------------------------------------------------------
+
+def _tid(span) -> int:
+    core = span.attributes.get("core")
+    return core if isinstance(core, int) and not isinstance(core, bool) else 0
+
+
+def to_chrome_trace(tracer) -> dict:
+    """Render finished spans as a ``chrome://tracing``-loadable object."""
+    events: list[dict] = [{
+        "name": "process_name", "ph": "M", "pid": 1, "tid": 0,
+        "args": {"name": "repro-omg (virtual clock)"},
+    }]
+    for span in tracer.buffer:
+        if not span.ended:
+            continue
+        args = dict(span.attributes)
+        args["trace_id"] = span.trace_id
+        args["span_id"] = span.span_id
+        if span.parent_id:
+            args["parent_id"] = span.parent_id
+        args["wall_us"] = span.duration_wall_ns / 1e3
+        args["cycles"] = span.cycles_at()
+        if span.events:
+            args["events"] = [
+                {"name": e["name"], "v_us": e["v_ns"] / 1e3,
+                 "attributes": e["attributes"]}
+                for e in span.events
+            ]
+        events.append({
+            "name": span.name, "cat": "obs", "ph": "X",
+            "ts": span.start_v_ns / 1e3,
+            "dur": span.duration_v_ns / 1e3,
+            "pid": 1, "tid": _tid(span), "args": args,
+        })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(tracer, path) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(to_chrome_trace(tracer), handle, indent=1)
+        handle.write("\n")
+
+
+# --- Prometheus text format -------------------------------------------------
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace(
+        "\n", "\\n")
+
+
+def _labels_text(labels: dict, extra: tuple = ()) -> str:
+    pairs = [(k, str(v)) for k, v in labels.items()] + list(extra)
+    if not pairs:
+        return ""
+    body = ",".join(f'{k}="{_escape_label(v)}"' for k, v in pairs)
+    return "{" + body + "}"
+
+
+def _number(value) -> str:
+    return format(float(value), ".10g")
+
+
+def to_prometheus(registry) -> str:
+    """Prometheus text exposition of every instrument in ``registry``."""
+    lines: list[str] = []
+    for instrument in registry:
+        name = instrument.name
+        if instrument.help:
+            lines.append(f"# HELP {name} {instrument.help}")
+        lines.append(f"# TYPE {name} {instrument.kind}")
+        for key, state in instrument._sorted_series():
+            labels = dict(key)
+            if instrument.kind == "histogram":
+                cumulative = 0
+                for bound, count in zip(instrument.buckets, state["counts"]):
+                    cumulative += count
+                    lines.append(
+                        f"{name}_bucket"
+                        f"{_labels_text(labels, (('le', _number(bound)),))}"
+                        f" {cumulative}")
+                cumulative += state["counts"][-1]
+                lines.append(
+                    f"{name}_bucket{_labels_text(labels, (('le', '+Inf'),))}"
+                    f" {cumulative}")
+                lines.append(f"{name}_sum{_labels_text(labels)}"
+                             f" {_number(state['sum'])}")
+                lines.append(f"{name}_count{_labels_text(labels)}"
+                             f" {state['count']}")
+            else:
+                lines.append(
+                    f"{name}{_labels_text(labels)} {_number(state)}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# --- human summary ----------------------------------------------------------
+
+def render_summary(telemetry) -> str:
+    """A terminal-friendly digest of spans and metrics."""
+    tracer = telemetry.tracer
+    lines = ["== spans (virtual clock) =="]
+    groups: dict = {}
+    for span in tracer.buffer:
+        if not span.ended:
+            continue
+        entry = groups.setdefault(span.name, [0, 0, 0])
+        entry[0] += 1
+        entry[1] += span.duration_v_ns
+        entry[2] += span.duration_wall_ns
+    if not groups:
+        lines.append("  (no finished spans)")
+    width = max((len(name) for name in groups), default=0)
+    for name in sorted(groups):
+        count, v_ns, wall_ns = groups[name]
+        lines.append(
+            f"  {name:<{width}}  n={count:<5d} total={v_ns / 1e6:9.3f} ms"
+            f"  mean={v_ns / count / 1e6:8.3f} ms"
+            f"  wall={wall_ns / 1e6:8.3f} ms")
+    if tracer.buffer.dropped:
+        lines.append(f"  (buffer dropped {tracer.buffer.dropped} spans"
+                     f" beyond capacity {tracer.buffer.capacity})")
+    lines.append("")
+    lines.append("== metrics ==")
+    snapshot = telemetry.metrics.snapshot()
+    if not snapshot:
+        lines.append("  (no metrics)")
+    for name, data in snapshot.items():
+        for series in data["series"]:
+            labels = series["labels"]
+            suffix = ("" if not labels else " {"
+                      + ", ".join(f"{k}={v}" for k, v in labels.items())
+                      + "}")
+            if data["kind"] == "histogram":
+                instrument = telemetry.metrics.get(name)
+                p50 = instrument.quantile(0.5, **labels)
+                p95 = instrument.quantile(0.95, **labels)
+                lines.append(
+                    f"  {name}{suffix}: count={series['count']}"
+                    f" sum={series['sum']:.3f}"
+                    f" p50={p50:.3f} p95={p95:.3f}")
+            else:
+                lines.append(f"  {name}{suffix}: {series['value']:g}")
+    return "\n".join(lines) + "\n"

@@ -30,6 +30,7 @@ from repro.errors import (
 )
 from repro.faults import hooks as _faults
 from repro.hw.memory import MemoryRegion, RegionPolicy, World
+from repro.obs import hooks as _obs
 from repro.sanctuary.attestation import AttestationReport, measure, verify_report
 from repro.sanctuary.enclave import EnclaveContext, SanctuaryApp
 from repro.sanctuary.library import SL_IMAGE, SlHeap
@@ -52,6 +53,20 @@ def _fault_event(event: str, state: str) -> None:
     """Fire one lifecycle fault hook (free when no plan is installed)."""
     if _faults.PLAN is not None:
         _faults.PLAN.lifecycle(event, state)
+
+
+def _phase_span(name: str, start_ms: float, clock, parent=None,
+                **attributes) -> None:
+    """Record one already-measured lifecycle phase as a finished span.
+
+    Lifecycle phases account their cost on the virtual clock first
+    (``costs.*_ms``), so the span is recorded retroactively from the
+    phase's start stamp.  Free when telemetry is off.
+    """
+    if _obs.TELEMETRY is not None:
+        _obs.TELEMETRY.tracer.record_span(
+            name, int(start_ms * 1e6), clock.now_ns, parent=parent,
+            **attributes)
 
 
 @dataclass
@@ -111,6 +126,17 @@ class EnclaveInstance:
         Resumes the enclave first if it was suspended (paper §V: a new
         core is allocated when a query arrives).
         """
+        telemetry = _obs.TELEMETRY
+        if telemetry is None:
+            return self._invoke(request, None)
+        with telemetry.tracer.span("enclave.invoke",
+                                   enclave=self.instance_name):
+            # The span identity crosses the enclave boundary as 16
+            # opaque bytes; the SA side re-attaches by extraction, the
+            # same way it would in separate address spaces.
+            return self._invoke(request, telemetry.tracer.inject())
+
+    def _invoke(self, request: bytes, span_ctx: bytes | None) -> bytes:
         if self.state is EnclaveState.TORN_DOWN:
             raise EnclaveLifecycleError("enclave has been torn down")
         if self.state is EnclaveState.SUSPENDED:
@@ -127,7 +153,7 @@ class EnclaveInstance:
             # Inside the fail-closed envelope: an injected crash here is
             # indistinguishable from an SA fault and panics the enclave.
             _fault_event("invoke", self.state.value)
-            response = self.app.handle(self.ctx, payload)
+            response = self._handle_payload(payload, span_ctx)
         except ProtocolError:
             # A malformed request from the untrusted world is *handled*
             # input validation, not an enclave fault: refuse and live on.
@@ -144,6 +170,19 @@ class EnclaveInstance:
         if out is None:
             raise EnclaveLifecycleError("response vanished from mailbox")
         return out
+
+    def _handle_payload(self, payload: bytes,
+                        span_ctx: bytes | None) -> bytes:
+        """SA-side request handling, re-parented to the caller's span."""
+        if span_ctx is None or _obs.TELEMETRY is None:
+            return self.app.handle(self.ctx, payload)
+        tracer = _obs.TELEMETRY.tracer
+        with tracer.span("sa.handle", parent=tracer.extract(span_ctx),
+                         enclave=self.instance_name) as span:
+            response = self.app.handle(self.ctx, payload)
+            span.set_attribute("request_bytes", len(payload))
+            span.set_attribute("response_bytes", len(response))
+        return response
 
     def panic(self) -> None:
         """Abnormal termination: like teardown, but unconditional.
@@ -178,6 +217,8 @@ class EnclaveInstance:
         self.costs.suspend_count += 1
         self.state = EnclaveState.SUSPENDED
         self.core_id = None
+        _phase_span("enclave.suspend", start, soc.clock,
+                    enclave=self.instance_name)
 
     def resume(self) -> None:
         """Allocate a fresh core and rebind the locked memory to it."""
@@ -205,6 +246,8 @@ class EnclaveInstance:
         self.core_id = core.core_id
         self._rebuild_context_views()
         self.state = EnclaveState.ACTIVE
+        _phase_span("enclave.resume", start, soc.clock,
+                    enclave=self.instance_name, core=core.core_id)
 
     def teardown(self) -> None:
         """Invalidate L1, scrub memory, verify, unlock, hand back the core.
@@ -238,6 +281,8 @@ class EnclaveInstance:
         self.state = EnclaveState.TORN_DOWN
         self.core_id = None
         self.ctx = None
+        _phase_span("enclave.teardown", start, soc.clock,
+                    enclave=self.instance_name, scrubbed_mib=scrubbed_mib)
         for region in (self.region, self.secure_shm_region):
             residue = soc.memory.read(region.base, region.size)
             if residue.count(0) != len(residue):
@@ -315,6 +360,10 @@ class SanctuaryRuntime:
         monitor = self.platform.monitor
         self._counter += 1
         name = f"{app.name}#{self._counter}"
+        telemetry = _obs.TELEMETRY
+        launch_span = (telemetry.tracer.start_span(
+            "enclave.launch", attributes={"enclave": name})
+            if telemetry is not None else None)
 
         # --- Setup (paper §III-B step 1) --------------------------------
         start = soc.clock.now_ms
@@ -339,6 +388,8 @@ class SanctuaryRuntime:
         instance = EnclaveInstance(self, name, app, region, os_shm_region,
                                    secure_shm_region, heap_offset=len(code))
         instance.costs.setup_ms = soc.clock.now_ms - start
+        _phase_span("enclave.setup", start, soc.clock, parent=launch_span,
+                    enclave=name, core=core.core_id)
 
         # --- Boot: measure, issue identity, start the core ---------------
         start = soc.clock.now_ms
@@ -357,6 +408,8 @@ class SanctuaryRuntime:
         core.boot_sanctuary(name)
         soc.clock.advance_ms(soc.profile.enclave_boot_ms)
         instance.costs.boot_ms = soc.clock.now_ms - start
+        _phase_span("enclave.boot", start, soc.clock, parent=launch_span,
+                    enclave=name)
 
         # --- Attestation report -------------------------------------------
         start = soc.clock.now_ms
@@ -366,6 +419,8 @@ class SanctuaryRuntime:
                                           challenge, chain)
         soc.clock.advance_ms(soc.profile.rsa_sign_ms)
         instance.costs.attest_ms = soc.clock.now_ms - start
+        _phase_span("enclave.attest", start, soc.clock, parent=launch_span,
+                    enclave=name)
         instance.report = report
         instance.core_id = core.core_id
 
@@ -399,7 +454,13 @@ class SanctuaryRuntime:
             # readable.  Scrub + unlock via panic, then surface.
             self.crashed.append(instance)
             instance.panic()
+            if launch_span is not None:
+                launch_span.set_attribute("crashed", True)
+                launch_span.end()
             raise
+        if launch_span is not None:
+            launch_span.set_attribute("core", core.core_id)
+            launch_span.end()
         self.instances.append(instance)
         return instance
 

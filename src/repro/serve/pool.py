@@ -21,6 +21,7 @@ import numpy as np
 from repro.core.omg import KeywordSpotterApp, OmgSession
 from repro.core.parties import User, Vendor
 from repro.errors import ProtocolError, ServeError
+from repro.obs import hooks as _obs
 from repro.trustzone.worlds import Platform
 
 __all__ = ["EnclaveWorker", "EnclaveWorkerPool"]
@@ -44,6 +45,22 @@ class EnclaveWorker:
         other fault panics the enclave — scrub and unlock — before the
         error surfaces to the caller.
         """
+        session = self.session
+        telemetry = _obs.TELEMETRY
+        if telemetry is None:
+            return self._invoke(fingerprints)
+        core = -1 if self.core_id is None else self.core_id
+        with telemetry.tracer.span("enclave.batch_invoke",
+                                   core=core, batch=len(fingerprints)):
+            result = self._invoke(fingerprints)
+        telemetry.metrics.counter(
+            "omg_worker_requests_total",
+            "requests served, per pinned worker core").inc(
+                len(fingerprints), core=core)
+        return result
+
+    def _invoke(self, fingerprints: np.ndarray
+                ) -> tuple[np.ndarray, np.ndarray]:
         session = self.session
         try:
             labels, scores = session.app.recognize_fingerprints(

@@ -35,13 +35,17 @@ from repro.crypto.keycache import KeystreamCache, SecretCache
 from repro.crypto.rng import HmacDrbg
 from repro.errors import ServeError
 from repro.hw.memory import RegionPolicy, World
+from repro.obs import hooks as _obs
 from repro.sanctuary.shm import SharedRegion, SlotRing
 from repro.serve.frames import (HEADER, derive_lane_keys, open_in_place,
                                 seal_into)
 from repro.serve.pool import EnclaveWorkerPool
 from repro.serve.scheduler import BatchScheduler
 
-__all__ = ["ServeConfig", "SessionHandle", "ServingService"]
+__all__ = ["ServeConfig", "ServingStats", "SessionHandle", "ServingService"]
+
+# Batch-size histogram bounds: powers-ish of 2 around typical max_batch.
+_BATCH_BUCKETS = (1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0, 24.0, 32.0)
 
 
 @dataclass(frozen=True)
@@ -74,6 +78,27 @@ class SessionHandle:
             raise ServeError(
                 f"session {self.session_id}: request {seq} not completed")
         return self.results.pop(seq)
+
+
+@dataclass(frozen=True)
+class ServingStats:
+    """One structured snapshot of a service's counters.
+
+    The only sanctioned way to read serving health — the underlying
+    counters are private so instrumentation and tests cannot drift
+    against loose attributes.
+    """
+
+    requests_completed: int
+    frames_dropped: int
+    responses_dropped: int
+    batches: int
+    full_batches: int
+    deadline_flushes: int
+    open_sessions: int
+    queue_depth: int
+    p50_ms: float
+    p95_ms: float
 
 
 class ServingService:
@@ -142,9 +167,9 @@ class ServingService:
         self._handles: dict[int, SessionHandle] = {}
         self._next_session = 0
         self.latencies_ms: list[float] = []
-        self.requests_completed = 0
-        self.frames_dropped = 0
-        self.responses_dropped = 0
+        self._requests_completed = 0
+        self._frames_dropped = 0
+        self._responses_dropped = 0
 
     # --- sessions ------------------------------------------------------
 
@@ -173,6 +198,12 @@ class ServingService:
                                 bytearray(response_key)))
         handle = SessionHandle(session_id, request_key, response_key)
         self._handles[session_id] = handle
+        if _obs.TELEMETRY is not None:
+            metrics = _obs.TELEMETRY.metrics
+            metrics.counter("omg_serve_sessions_opened_total",
+                            "serving sessions established").inc()
+            metrics.gauge("omg_serve_open_sessions",
+                          "currently open sessions").set(len(self._handles))
         return handle
 
     def close_session(self, handle: SessionHandle) -> None:
@@ -180,6 +211,12 @@ class ServingService:
         self._session_keys.discard(handle.session_id)
         self._client_keystreams.forget_session(handle.session_id)
         self._service_keystreams.forget_session(handle.session_id)
+        if _obs.TELEMETRY is not None:
+            metrics = _obs.TELEMETRY.metrics
+            metrics.counter("omg_serve_sessions_closed_total",
+                            "serving sessions torn down").inc()
+            metrics.gauge("omg_serve_open_sessions",
+                          "currently open sessions").set(len(self._handles))
 
     def _service_keys(self, session_id: int) -> tuple[bytes, bytes] | None:
         """This session's (request, response) lane keys, or ``None``
@@ -229,10 +266,22 @@ class ServingService:
             self._egress_cons.release()
             submitted = handle.pending.pop(seq, None)
             if submitted is not None:
-                self.latencies_ms.append(self.clock.now_ms - submitted)
+                latency_ms = self.clock.now_ms - submitted
+                self.latencies_ms.append(latency_ms)
+                if _obs.TELEMETRY is not None:
+                    # Per-session latency distribution (p50/p95 come out
+                    # of the histogram; session ids are not secret).
+                    _obs.TELEMETRY.metrics.histogram(
+                        "omg_serve_latency_ms",
+                        "request latency on the virtual clock",
+                    ).observe(latency_ms, session=session_id)
             handle.results[seq] = (label, scores)
-            self.requests_completed += 1
+            self._requests_completed += 1
             delivered += 1
+        if delivered and _obs.TELEMETRY is not None:
+            _obs.TELEMETRY.metrics.counter(
+                "omg_serve_responses_total",
+                "responses delivered to sessions").inc(delivered)
         return delivered
 
     # --- dispatcher side -----------------------------------------------
@@ -247,7 +296,11 @@ class ServingService:
                 # on.  Raising with the slot still at the ring head
                 # would wedge every session behind one dead frame.
                 self._ingress_cons.release()
-                self.frames_dropped += 1
+                self._frames_dropped += 1
+                if _obs.TELEMETRY is not None:
+                    _obs.TELEMETRY.metrics.counter(
+                        "omg_serve_frames_dropped_total",
+                        "ingress frames for unknown/closed sessions").inc()
                 continue
             keystream = self._service_keystreams.take(
                 session_id, keys[0],
@@ -271,6 +324,18 @@ class ServingService:
             raise ServeError("egress ring full; poll_responses() first")
 
     def _run_batch(self, batch: list) -> None:
+        telemetry = _obs.TELEMETRY
+        if telemetry is None:
+            self._execute_batch(batch)
+            return
+        with telemetry.tracer.span("serve.batch", batch=len(batch)) as span:
+            self._execute_batch(batch)
+            span.set_attribute("egress_occupancy", len(self._egress_prod))
+        telemetry.metrics.histogram(
+            "omg_serve_batch_size", "requests per executed batch",
+            buckets=_BATCH_BUCKETS).observe(len(batch))
+
+    def _execute_batch(self, batch: list) -> None:
         soc = self.platform.soc
         fingerprints = np.stack([item[2] for item in batch])
         worker = self.pool.next_worker()
@@ -285,7 +350,11 @@ class ServingService:
                 # Session closed while its request was in flight:
                 # there is no one to seal for — drop this response,
                 # keep the rest of the batch.
-                self.responses_dropped += 1
+                self._responses_dropped += 1
+                if _obs.TELEMETRY is not None:
+                    _obs.TELEMETRY.metrics.counter(
+                        "omg_serve_responses_dropped_total",
+                        "responses for sessions closed mid-flight").inc()
                 continue
             slot = self._egress_prod.try_reserve()
             if slot is None:   # unreachable: room was checked per batch
@@ -307,7 +376,27 @@ class ServingService:
         every undispatched request still queued) when the egress ring
         cannot hold the next batch's responses.
         """
+        telemetry = _obs.TELEMETRY
+        if telemetry is None:
+            return self._dispatch(force)
+        with telemetry.tracer.span("serve.dispatch", force=force) as span:
+            ran = self._dispatch(force)
+            span.set_attribute("batches", ran)
+        return ran
+
+    def _dispatch(self, force: bool) -> int:
         self._ingest()
+        if _obs.TELEMETRY is not None:
+            metrics = _obs.TELEMETRY.metrics
+            metrics.gauge("omg_serve_queue_depth",
+                          "requests waiting in the batch scheduler"
+                          ).set(len(self.scheduler))
+            metrics.gauge("omg_serve_ingress_occupancy",
+                          "frames in the ingress ring after ingest"
+                          ).set(len(self._ingress_cons))
+            metrics.gauge("omg_serve_egress_occupancy",
+                          "frames waiting in the egress ring"
+                          ).set(len(self._egress_prod))
         ran = 0
         while self.scheduler.ready():
             self._require_egress_room(
@@ -336,6 +425,22 @@ class ServingService:
         lat = np.asarray(self.latencies_ms)
         return {"p50_ms": float(np.percentile(lat, 50)),
                 "p95_ms": float(np.percentile(lat, 95))}
+
+    def stats(self) -> ServingStats:
+        """The structured health snapshot (see :class:`ServingStats`)."""
+        percentiles = self.latency_percentiles()
+        return ServingStats(
+            requests_completed=self._requests_completed,
+            frames_dropped=self._frames_dropped,
+            responses_dropped=self._responses_dropped,
+            batches=self.scheduler.batches,
+            full_batches=self.scheduler.full_batches,
+            deadline_flushes=self.scheduler.deadline_flushes,
+            open_sessions=len(self._handles),
+            queue_depth=len(self.scheduler),
+            p50_ms=percentiles["p50_ms"],
+            p95_ms=percentiles["p95_ms"],
+        )
 
     def teardown(self) -> None:
         self.pool.teardown()

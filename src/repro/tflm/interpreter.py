@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.errors import InterpreterError
 from repro.hw.timing import DEFAULT_PROFILE, TimingProfile, VirtualClock
+from repro.obs import hooks as _obs
 from repro.tflm.arena import ArenaPlan, plan_arena
 from repro.tflm.model import Model
 from repro.tflm.ops.base import OpCost
@@ -98,6 +99,20 @@ class Interpreter:
     def _is_float_graph(self) -> bool:
         return self.model.tensors[self.model.inputs[0]].dtype == "float32"
 
+    @staticmethod
+    def _op_profiler():
+        """The tracer for per-op spans, or ``None``.
+
+        Per-op spans are the one instrumentation hot enough to sit
+        behind its own flag (``Telemetry(op_profiling=True)``): they
+        wrap every kernel dispatch, so the plain loops below stay
+        untouched unless explicitly asked for.
+        """
+        telemetry = _obs.TELEMETRY
+        if telemetry is None or not telemetry.op_profiling:
+            return None
+        return telemetry.tracer
+
     def _op_costs(self) -> list[OpCost]:
         if self._invoke_plan is not None:
             return [cost for _, cost, _ in self._invoke_plan]
@@ -137,7 +152,20 @@ class Interpreter:
         if missing:
             raise InterpreterError(f"inputs not set: {sorted(missing)}")
         stats = InvokeStats()
-        if self._invoke_plan is not None:
+        tracer = self._op_profiler()
+        if self._invoke_plan is not None and tracer is not None:
+            for op, cost, op_plan in self._invoke_plan:
+                with tracer.span(f"op.{type(op).__name__}", macs=cost.macs,
+                                 elements=cost.elements):
+                    if op_plan is not None:
+                        op.run(self._tensors, self.model.tensors,
+                               plan=op_plan)
+                    else:
+                        op.run(self._tensors, self.model.tensors)
+                stats.macs += cost.macs
+                stats.elements += cost.elements
+                stats.ops += 1
+        elif self._invoke_plan is not None:
             for op, cost, op_plan in self._invoke_plan:
                 if op_plan is not None:
                     op.run(self._tensors, self.model.tensors, plan=op_plan)
@@ -226,7 +254,18 @@ class Interpreter:
             raise InterpreterError("batch must be at least 1")
 
         stats = InvokeStats()
-        if self._invoke_plan is not None:
+        tracer = self._op_profiler()
+        if self._invoke_plan is not None and tracer is not None:
+            for op, cost, op_plan in self._invoke_plan:
+                with tracer.span(f"op.{type(op).__name__}", batch=batch,
+                                 macs=cost.macs * batch,
+                                 elements=cost.elements * batch):
+                    op.run_batch(tensors, self.model.tensors, batch,
+                                 batched, plan=op_plan)
+                stats.macs += cost.macs * batch
+                stats.elements += cost.elements * batch
+                stats.ops += 1
+        elif self._invoke_plan is not None:
             for op, cost, op_plan in self._invoke_plan:
                 op.run_batch(tensors, self.model.tensors, batch, batched,
                              plan=op_plan)

@@ -26,6 +26,45 @@ def test_parser_defaults():
     assert args.arch == "conv_pool" and args.epochs == 3
 
 
+def test_parser_serve_bench_flags():
+    args = build_parser().parse_args(
+        ["serve-bench", "--seed", "11", "--trace-out", "trace.json"])
+    assert args.seed == 11
+    assert args.trace_out == "trace.json"
+    assert args.requests == 24 and args.workers == 2
+
+
+def test_parser_trace_defaults_and_flags():
+    args = build_parser().parse_args(["trace"])
+    assert args.command == "trace"
+    assert args.requests == 12 and args.batch == 4
+    assert args.sessions == 2 and args.seed == 7
+    assert not args.op_profile
+    assert args.out is None and args.prom is None
+    args = build_parser().parse_args(
+        ["trace", "--op-profile", "--out", "t.json", "--prom", "m.prom",
+         "--seed", "3"])
+    assert args.op_profile and args.out == "t.json"
+    assert args.prom == "m.prom" and args.seed == 3
+
+
+def test_trace_command_writes_exports(tmp_path, capsys,
+                                      standard_model_and_meta):
+    import json
+
+    out = tmp_path / "trace.json"
+    prom = tmp_path / "metrics.prom"
+    assert main(["trace", "--requests", "4", "--batch", "2",
+                 "--workers", "1", "--sessions", "1",
+                 "--out", str(out), "--prom", str(prom)]) == 0
+    printed = capsys.readouterr().out
+    assert "== spans (virtual clock) ==" in printed
+    assert "served 4 requests" in printed
+    doc = json.loads(out.read_text())
+    assert any(e.get("ph") == "X" for e in doc["traceEvents"])
+    assert "omg_serve_responses_total 4" in prom.read_text()
+
+
 def test_info_command(capsys, standard_model_and_meta):
     assert main(["info"]) == 0
     out = capsys.readouterr().out

@@ -105,6 +105,48 @@ def test_scheduler_validates_parameters():
         BatchScheduler(VirtualClock(), deadline_ms=-1.0)
 
 
+def test_scheduler_flush_on_empty_queue_counts_no_batch():
+    """An empty flush is a no-op, not a zero-length batch: none of the
+    dispatch counters may move."""
+    scheduler = BatchScheduler(VirtualClock(), max_batch=4)
+    assert scheduler.flush() == []
+    assert scheduler.flush() == []
+    assert scheduler.batches == 0
+    assert scheduler.full_batches == 0
+    assert scheduler.deadline_flushes == 0
+
+
+def test_scheduler_two_sessions_share_one_deadline_flush():
+    """Requests from two sessions stamped at the same virtual instant
+    age past the deadline together and leave in ONE batch, FIFO."""
+    clock = VirtualClock()
+    scheduler = BatchScheduler(clock, max_batch=8, deadline_ms=2.0)
+    scheduler.submit(("session-a", 0))
+    scheduler.submit(("session-b", 0))  # same now_ms: no clock advance
+    clock.advance_ms(2.0)
+    assert scheduler.ready()
+    assert scheduler.next_batch() == [("session-a", 0), ("session-b", 0)]
+    assert scheduler.deadline_flushes == 1
+    assert not scheduler.ready()
+
+
+def test_scheduler_deadline_fires_mid_drain():
+    """Draining a full batch takes (virtual) time; the leftover partial
+    batch crosses its deadline during that drain and must become ready
+    again without new submissions."""
+    clock = VirtualClock()
+    scheduler = BatchScheduler(clock, max_batch=4, deadline_ms=2.0)
+    for item in range(5):
+        scheduler.submit(item)
+    assert scheduler.next_batch() == [0, 1, 2, 3]
+    assert not scheduler.ready()      # the straggler is still young
+    clock.advance_ms(2.5)             # batch execution on the worker
+    assert scheduler.ready()          # ...ages it past the deadline
+    assert scheduler.next_batch() == [4]
+    assert scheduler.full_batches == 1
+    assert scheduler.deadline_flushes == 1
+
+
 # --- worker pool ---------------------------------------------------------
 
 def test_pool_pins_one_worker_per_big_core():
@@ -189,10 +231,12 @@ def test_service_end_to_end_matches_direct_classify():
     # happened once per worker at pool construction.
     assert vendor.provisioned_count == provisioned
     assert vendor.keys_released == released
-    assert service.requests_completed == 8
-    assert service.scheduler.full_batches == 2
-    percentiles = service.latency_percentiles()
-    assert percentiles["p95_ms"] >= percentiles["p50_ms"] > 0
+    stats = service.stats()
+    assert stats.requests_completed == 8
+    assert stats.full_batches == 2
+    assert stats.open_sessions == 2
+    assert stats.queue_depth == 0
+    assert stats.p95_ms >= stats.p50_ms > 0
     service.teardown()
 
 
@@ -234,7 +278,7 @@ def test_service_drops_frames_for_closed_session_without_wedging():
     fingerprint = tiny_fingerprints(1, seed=5)[0]
     seq = service.submit(live, fingerprint)
     assert service.dispatch(force=True) == 1
-    assert service.frames_dropped == 1
+    assert service.stats().frames_dropped == 1
     service.poll_responses()
     label, scores = live.take_result(seq)
     exp_label, exp_scores = expected_results(model, [fingerprint])[0]
@@ -255,7 +299,7 @@ def test_service_drops_responses_for_sessions_closed_mid_flight():
     service._ingest()            # both requests now sit in the scheduler
     service.close_session(doomed)
     assert service.dispatch(force=True) == 1
-    assert service.responses_dropped == 1
+    assert service.stats().responses_dropped == 1
     service.poll_responses()
     label, scores = live.take_result(seq)
     exp_label, exp_scores = expected_results(model, [fingerprint])[0]
@@ -301,7 +345,7 @@ def test_service_egress_backpressure_never_drops_requests():
         label, scores = handle.take_result(seq)
         assert label == exp_label
         assert np.array_equal(scores, exp_scores)
-    assert service.requests_completed == 6
+    assert service.stats().requests_completed == 6
     service.teardown()
 
 
@@ -312,7 +356,7 @@ def test_service_skips_responses_of_sessions_closed_in_flight():
     service.dispatch(force=True)   # response is sitting in the egress ring
     service.close_session(handle)
     assert service.poll_responses() == 0
-    assert service.requests_completed == 0
+    assert service.stats().requests_completed == 0
     service.teardown()
 
 
@@ -343,6 +387,29 @@ def test_serve_convenience_roundtrip():
     exp_label, exp_scores = expected_results(model, [fingerprint])[0]
     assert label == exp_label
     assert np.array_equal(scores, exp_scores)
+    service.teardown()
+
+
+def test_service_stats_is_a_frozen_snapshot():
+    """stats() returns one immutable value object, not live references:
+    serving more traffic must not mutate an already-taken snapshot."""
+    _, _, service, _ = make_stack(max_batch=2)
+    handle = service.open_session()
+    before = service.stats()
+    assert before.requests_completed == 0
+    assert before.open_sessions == 1
+
+    for fingerprint in tiny_fingerprints(2, seed=21):
+        service.submit(handle, fingerprint)
+    service.dispatch()
+    service.poll_responses()
+
+    after = service.stats()
+    assert before.requests_completed == 0      # old snapshot unchanged
+    assert after.requests_completed == 2
+    assert after.batches == 1
+    with pytest.raises(Exception):             # frozen dataclass
+        after.requests_completed = 99
     service.teardown()
 
 
