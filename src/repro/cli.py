@@ -81,8 +81,13 @@ def build_parser() -> argparse.ArgumentParser:
         "serve-bench",
         help="benchmark multi-session enclave serving against the "
              "sequential one-enclave path")
-    serve_bench.add_argument("--requests", type=int, default=24,
+    serve_bench.add_argument("--requests", type=int, default=64,
                              help="requests per timed run")
+    serve_bench.add_argument("--batch-sizes", default="1,4,8,16,32",
+                             metavar="LIST",
+                             help="comma-separated dispatch batch sizes "
+                                  "to sweep (default: %(default)s); the "
+                                  "speedup floor gates the largest")
     serve_bench.add_argument("--repeats", type=int, default=3,
                              help="timed repetitions per configuration")
     serve_bench.add_argument("--workers", type=int, default=2,
@@ -269,7 +274,20 @@ def _cmd_serve_bench(args) -> int:
 
     from repro.eval.bench import SERVING_MIN_SPEEDUP, bench_serving
 
-    stage = bench_serving(requests=args.requests, repeats=args.repeats,
+    try:
+        batch_sizes = tuple(int(token) for token in
+                            args.batch_sizes.split(",") if token.strip())
+    except ValueError:
+        print(f"--batch-sizes must be comma-separated integers, "
+              f"got {args.batch_sizes!r}")
+        return 2
+    if not batch_sizes or min(batch_sizes) < 1:
+        print(f"--batch-sizes needs at least one positive size, "
+              f"got {args.batch_sizes!r}")
+        return 2
+
+    stage = bench_serving(requests=args.requests,
+                          batch_sizes=batch_sizes, repeats=args.repeats,
                           num_workers=args.workers, seed=args.seed)
     print(f"sequential baseline: {stage['baseline_wall_rps']:.0f} req/s "
           f"wall, {stage['baseline_sim_ms_per_request']:.2f} ms/req "

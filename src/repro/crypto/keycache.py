@@ -76,7 +76,7 @@ class SecretCache:
     ``bytes`` value (see :func:`scrub_secret`).
     """
 
-    def __init__(self, capacity: int) -> None:
+    def __init__(self, capacity: int, on_evict=None) -> None:
         if capacity <= 0:
             raise CryptoError("SecretCache capacity must be positive")
         self.capacity = capacity
@@ -84,6 +84,10 @@ class SecretCache:
         self.evictions = 0
         self.hits = 0
         self.misses = 0
+        # Called with the cache key after an entry is scrubbed and
+        # dropped (capacity eviction or explicit discard), so owners can
+        # account for what left the cache.
+        self._on_evict = on_evict
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -105,9 +109,11 @@ class SecretCache:
             self._entries[cache_key] = value
             return
         while len(self._entries) >= self.capacity:
-            _, evicted = self._entries.popitem(last=False)
+            evicted_key, evicted = self._entries.popitem(last=False)
             scrub_secret(evicted)
             self.evictions += 1
+            if self._on_evict is not None:
+                self._on_evict(evicted_key)
         self._entries[cache_key] = value
 
     def get_or_create(self, cache_key, factory):
@@ -121,6 +127,8 @@ class SecretCache:
         value = self._entries.pop(cache_key, None)
         if value is not None:
             scrub_secret(value)
+            if self._on_evict is not None:
+                self._on_evict(cache_key)
 
     def discard_if(self, predicate) -> int:
         """Scrub and drop every entry whose cache key matches."""
@@ -158,29 +166,41 @@ class KeystreamCache:
         if chunk_bytes <= 0 or chunk_bytes % 16:
             raise CryptoError("chunk_bytes must be a positive multiple of 16")
         self.chunk_bytes = chunk_bytes
-        self._chunks = SecretCache(capacity)
+        self._chunks = SecretCache(capacity, on_evict=self._chunk_evicted)
         # AES key schedules, keyed by (session_id, lane key) so session
         # teardown can drop every schedule it owns — key material must
         # not outlive forget_session.
         self._ciphers: dict[tuple[int, bytes], AES] = {}
+        # Chunks generated ahead of demand that no take() has touched
+        # yet; one that leaves the cache while still in this set was
+        # wasted work.
+        self._prefetched_unused: set = set()
+        self.prefetches = 0
+        self.prefetch_waste = 0
 
     @property
     def evictions(self) -> int:
         return self._chunks.evictions
 
-    def _chunk(self, session_id: int, key: bytes, index: int) -> np.ndarray:
-        cache_key = (session_id, key, index)
-        cached = self._chunks.get(cache_key)
-        if cached is not None:
+    @property
+    def hits(self) -> int:
+        return self._chunks.hits
+
+    @property
+    def misses(self) -> int:
+        return self._chunks.misses
+
+    def _chunk_evicted(self, cache_key) -> None:
+        if cache_key in self._prefetched_unused:
+            self._prefetched_unused.discard(cache_key)
+            self.prefetch_waste += 1
             if _obs.TELEMETRY is not None:
                 _obs.TELEMETRY.metrics.counter(
-                    "omg_keystream_cache_hits_total",
-                    "keystream chunks served from cache").inc()
-            return cached
-        if _obs.TELEMETRY is not None:
-            _obs.TELEMETRY.metrics.counter(
-                "omg_keystream_cache_misses_total",
-                "keystream chunks generated (CTR run)").inc()
+                    "omg_keystream_prefetch_waste_total",
+                    "prefetched keystream chunks scrubbed unused").inc()
+
+    def _generate(self, session_id: int, key: bytes,
+                  index: int) -> np.ndarray:
         cipher = self._ciphers.get((session_id, key))
         if cipher is None:
             cipher = AES(key)
@@ -190,8 +210,56 @@ class KeystreamCache:
         chunk = np.frombuffer(
             ctr_keystream_xor(cipher, counter, b"\x00" * self.chunk_bytes),
             dtype=np.uint8).copy()
-        self._chunks.put(cache_key, chunk)
+        self._chunks.put((session_id, key, index), chunk)
         return chunk
+
+    def _chunk(self, session_id: int, key: bytes, index: int) -> np.ndarray:
+        cache_key = (session_id, key, index)
+        cached = self._chunks.get(cache_key)
+        if cached is not None:
+            self._prefetched_unused.discard(cache_key)
+            if _obs.TELEMETRY is not None:
+                _obs.TELEMETRY.metrics.counter(
+                    "omg_keystream_cache_hits_total",
+                    "keystream chunks served from cache").inc()
+            return cached
+        if _obs.TELEMETRY is not None:
+            _obs.TELEMETRY.metrics.counter(
+                "omg_keystream_cache_misses_total",
+                "keystream chunks generated (CTR run)").inc()
+        return self._generate(session_id, key, index)
+
+    def prefetch(self, session_id: int, key: bytes, position: int,
+                 depth: int = 2) -> int:
+        """Precompute the chunks covering ``position`` onward.
+
+        Generates up to ``depth`` consecutive chunks starting at the one
+        containing ``position``, skipping chunks already cached.  The
+        serving dispatch loop calls this before a batch's inference runs
+        so sealing the responses never waits on AES-CTR generation.
+        Returns the number of chunks actually generated.
+        """
+        if position < 0:
+            raise CryptoError("keystream position must be non-negative")
+        if depth <= 0:
+            return 0
+        first = position // self.chunk_bytes
+        generated = 0
+        for index in range(first, first + depth):
+            cache_key = (session_id, key, index)
+            if cache_key in self._chunks:
+                continue
+            self._generate(session_id, key, index)
+            self._prefetched_unused.add(cache_key)
+            generated += 1
+        if generated:
+            self.prefetches += generated
+            if _obs.TELEMETRY is not None:
+                _obs.TELEMETRY.metrics.counter(
+                    "omg_keystream_prefetch_total",
+                    "keystream chunks generated ahead of demand"
+                ).inc(generated)
+        return generated
 
     def take(self, session_id: int, key: bytes, start: int,
              length: int) -> np.ndarray:

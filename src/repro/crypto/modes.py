@@ -28,7 +28,8 @@ from repro.crypto.hmac import constant_time_eq
 from repro.errors import AuthenticationError, KeyError_
 
 __all__ = ["ctr_keystream_xor", "ctr_keystream_xor_reference",
-           "GCM", "gcm_encrypt", "gcm_decrypt", "reference_mode"]
+           "GCM", "gcm_encrypt", "gcm_decrypt", "reference_mode",
+           "FrameTagKey", "frame_tags_batched"]
 
 _MASK64 = (1 << 64) - 1
 
@@ -211,17 +212,7 @@ class GCM:
         k = self._h
         for _ in range(self._LANES - 1):
             k = self._mul_h(k)
-        base = self._build_table_fast(k)
-        hi = np.empty((16, 256), dtype=np.uint64)
-        lo = np.empty((16, 256), dtype=np.uint64)
-        hi[15] = np.array([v >> 64 for v in base], dtype=np.uint64)
-        lo[15] = np.array([v & _MASK64 for v in base], dtype=np.uint64)
-        for row in range(15, 0, -1):
-            dropped = (lo[row] & np.uint64(0xFF)).astype(np.intp)
-            lo[row - 1] = ((lo[row] >> np.uint64(8))
-                           | (hi[row] << np.uint64(56))) ^ _RED8_LO[dropped]
-            hi[row - 1] = (hi[row] >> np.uint64(8)) ^ _RED8_HI[dropped]
-        return hi, lo
+        return _gather_tables(self._build_table_fast(k))
 
     def _ghash_blocks_batched(self, blocks: np.ndarray) -> int:
         """GHASH of (N, 16) uint8 blocks from a zero initial state."""
@@ -342,6 +333,242 @@ for _b in range(256):
             _RED8[_b] ^= _REDUCE[_i]
 _RED8_HI = np.array([v >> 64 for v in _RED8], dtype=np.uint64)
 _RED8_LO = np.array([v & _MASK64 for v in _RED8], dtype=np.uint64)
+
+
+def _gather_tables(base: list[int]) -> tuple[np.ndarray, np.ndarray]:
+    """(16, 256) hi/lo uint64 gather tables from a byte table for K.
+
+    ``x * K == XOR_k table[k][byte_k(x)]`` where ``byte_k`` is byte
+    significance ``k`` (LSB is 0) — the layout both the lane fold and
+    the multi-message sweep gather against.
+    """
+    hi = np.empty((16, 256), dtype=np.uint64)
+    lo = np.empty((16, 256), dtype=np.uint64)
+    hi[15] = np.array([v >> 64 for v in base], dtype=np.uint64)
+    lo[15] = np.array([v & _MASK64 for v in base], dtype=np.uint64)
+    for row in range(15, 0, -1):
+        dropped = (lo[row] & np.uint64(0xFF)).astype(np.intp)
+        lo[row - 1] = ((lo[row] >> np.uint64(8))
+                       | (hi[row] << np.uint64(56))) ^ _RED8_LO[dropped]
+        hi[row - 1] = (hi[row] >> np.uint64(8)) ^ _RED8_HI[dropped]
+    return hi, lo
+
+
+# --- detached frame tags (serving rings) -----------------------------------
+
+def _check_j0(j0: bytes) -> bytes:
+    j0 = bytes(j0)
+    if len(j0) != 16:
+        raise KeyError_("frame tag J0 must be 16 bytes")
+    if j0 == b"\x00" * 16:
+        # E_k(0^16) is the GHASH key H itself; masking a tag with it
+        # would hand the MAC key to anyone holding one tagged frame.
+        raise KeyError_("frame tag J0 must be nonzero")
+    return j0
+
+
+def _tag_padded(aad: bytes, ciphertext: bytes) -> bytes:
+    """The GHASH input for one detached-tag message: zero-padded AAD,
+    zero-padded ciphertext, then the bit-length block."""
+    return (aad + b"\x00" * ((-len(aad)) % 16)
+            + ciphertext + b"\x00" * ((-len(ciphertext)) % 16)
+            + struct.pack(">QQ", len(aad) * 8, len(ciphertext) * 8))
+
+
+class FrameTagKey:
+    """One lane's frame-MAC key: AES-GCM's tag arm over a detached
+    ciphertext.
+
+    ``tag = E_k(J0) ^ GHASH_H(aad, ciphertext)`` with ``H =
+    E_k(0^128)`` — exactly the tag AES-GCM would emit for that
+    ciphertext.  The serving rings encrypt under a *different* per-lane
+    CTR key (encrypt-then-MAC): the tag key must be separate because a
+    sealing lane's first 16 keystream bytes *are* ``E_k(0^16)``, i.e.
+    the GHASH key of that lane's AES key.
+
+    Tables are built lazily so sessions that never move traffic pay
+    nothing; :func:`frame_tags_batched` amortizes the per-block Horner
+    sweep across a whole dispatch batch of frames.
+    """
+
+    def __init__(self, key: bytes) -> None:
+        self._aes = AES(bytes(key))
+        self._tbl16: list[list[int]] | None = None
+        self._planes: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+
+    @property
+    def _h(self) -> int:
+        return int.from_bytes(self._aes.encrypt_block(b"\x00" * 16), "big")
+
+    def _scalar_tables(self) -> list[list[int]]:
+        if self._tbl16 is None:
+            self._tbl16 = GCM._expand_tables(GCM._build_table_fast(self._h))
+        return self._tbl16
+
+    def _mul(self, x: int) -> int:
+        tbl = self._scalar_tables()
+        result = 0
+        for k in range(16):
+            result ^= tbl[k][x & 0xFF]
+            x >>= 8
+        return result
+
+    def _byte_planes(self, power: int = 1) -> tuple[np.ndarray, np.ndarray]:
+        """Gather planes for multiply-by-H^``power``, in *column* order:
+        plane j multiplies byte j of a big-endian (16,) byte state."""
+        planes = self._planes.get(power)
+        if planes is None:
+            k = self._h
+            for _ in range(power - 1):
+                k = self._mul(k)
+            hi, lo = _gather_tables(GCM._build_table_fast(k))
+            planes = (np.ascontiguousarray(hi[::-1]),
+                      np.ascontiguousarray(lo[::-1]))
+            self._planes[power] = planes
+        return planes
+
+    def tag(self, j0: bytes, aad: bytes, ciphertext: bytes) -> bytes:
+        """Scalar single-frame tag (16 table lookups per block)."""
+        j0 = _check_j0(j0)
+        tbl = self._scalar_tables()
+        padded = _tag_padded(aad, ciphertext)
+        state = 0
+        for offset in range(0, len(padded), 16):
+            x = state ^ int.from_bytes(padded[offset:offset + 16], "big")
+            state = 0
+            for k in range(16):
+                state ^= tbl[k][x & 0xFF]
+                x >>= 8
+        mask = int.from_bytes(self._aes.encrypt_block(j0), "big")
+        return (state ^ mask).to_bytes(16, "big")
+
+    def verify(self, j0: bytes, aad: bytes, ciphertext: bytes,
+               tag: bytes) -> bool:
+        return constant_time_eq(self.tag(j0, aad, ciphertext), tag)
+
+
+# Lane width of the two-level fold for long messages: a message's
+# blocks are interleaved over this many Horner lanes (multiplier
+# H^_FOLD_LANES), cutting the sequential sweep length by the width at
+# the price of _FOLD_LANES combine steps at the end.
+_FOLD_LANES = 8
+
+# Below this many frames under one key, E_k(J0) masks go through the
+# scalar block cipher — the vectorized AES's fixed dispatch cost only
+# amortizes across larger groups.
+_MASK_BATCH_MIN = 48
+
+
+def _mul_state(planes_stack, key_rows, cols, state: np.ndarray) -> np.ndarray:
+    """Multiply every (16,)-byte GHASH state row by its key's table.
+
+    ``state`` is (m, 16) uint8, big-endian; ``planes_stack`` is the
+    (hi, lo) stacks over distinct keys and ``key_rows`` the (m, 1) row
+    map (``None`` for the single-key fast path).
+    """
+    hi_stack, lo_stack = planes_stack
+    if key_rows is None:
+        hi = np.bitwise_xor.reduce(hi_stack[0][cols, state], axis=1)
+        lo = np.bitwise_xor.reduce(lo_stack[0][cols, state], axis=1)
+    else:
+        hi = np.bitwise_xor.reduce(hi_stack[key_rows, cols, state], axis=1)
+        lo = np.bitwise_xor.reduce(lo_stack[key_rows, cols, state], axis=1)
+    m = state.shape[0]
+    out = np.empty_like(state)
+    out[:, :8] = hi.astype(">u8").view(np.uint8).reshape(m, 8)
+    out[:, 8:] = lo.astype(">u8").view(np.uint8).reshape(m, 8)
+    return out
+
+
+def frame_tags_batched(keys, j0s, aads, ciphertexts) -> list[bytes]:
+    """Detached GCM tags for N frames in one table-driven GHASH sweep.
+
+    One Horner step per *block position*, vectorized across every frame
+    (and across the 16 state bytes via the gather planes), instead of N
+    independent per-block chains; long messages additionally fold their
+    own blocks over ``_FOLD_LANES`` parallel lanes, so a kB-scale frame
+    costs ``blocks / lanes + lanes`` steps rather than ``blocks``.
+    Frames may carry different :class:`FrameTagKey`\\ s — each message
+    multiplies by its own key's tables via a stacked-table gather — and
+    different lengths — shorter messages are front-padded with zero
+    blocks, which leave a Horner state of zero unchanged.  Bit-identical
+    to :meth:`FrameTagKey.tag` per frame.
+    """
+    n = len(keys)
+    if not (n == len(j0s) == len(aads) == len(ciphertexts)):
+        raise KeyError_("frame_tags_batched: argument length mismatch")
+    if n == 0:
+        return []
+    messages = [_tag_padded(aad, ct) for aad, ct in zip(aads, ciphertexts)]
+    n_blocks = max(len(message) for message in messages) // 16
+    lanes = _FOLD_LANES if n_blocks >= 2 * _FOLD_LANES else 1
+    n_blocks = (n_blocks + lanes - 1) // lanes * lanes
+    blocks = np.zeros((n, n_blocks * 16), dtype=np.uint8)
+    for i, message in enumerate(messages):
+        blocks[i, blocks.shape[1] - len(message):] = np.frombuffer(
+            message, dtype=np.uint8)
+
+    owners: list[FrameTagKey] = []
+    slots: dict[int, int] = {}
+    key_map = np.empty(n, dtype=np.intp)
+    for i, key in enumerate(keys):
+        slot = slots.get(id(key))
+        if slot is None:
+            slot = slots[id(key)] = len(owners)
+            owners.append(key)
+        key_map[i] = slot
+    single = len(owners) == 1
+    cols = np.arange(16)
+
+    if lanes == 1:
+        planes = (np.stack([key._byte_planes()[0] for key in owners]),
+                  np.stack([key._byte_planes()[1] for key in owners]))
+        key_rows = None if single else key_map[:, None]
+        rows = blocks.reshape(n, n_blocks, 16)
+        state = np.zeros((n, 16), dtype=np.uint8)
+        for j in range(n_blocks):
+            state ^= rows[:, j]
+            state = _mul_state(planes, key_rows, cols, state)
+    else:
+        # Two-level fold: lane l of message i accumulates blocks
+        # l, l+lanes, l+2*lanes, ... under multiplier H^lanes
+        # (multiply-then-xor, so lane sums carry H^(rows-1-r)), then the
+        # lane sums Horner-combine under H, restoring the per-position
+        # exponents of the flat sweep.
+        fold_planes = (
+            np.stack([key._byte_planes(lanes)[0] for key in owners]),
+            np.stack([key._byte_planes(lanes)[1] for key in owners]))
+        fold_rows = None if single else np.repeat(key_map, lanes)[:, None]
+        rows = blocks.reshape(n, n_blocks // lanes, lanes * 16)
+        state = rows[:, 0].reshape(n * lanes, 16).copy()
+        for r in range(1, rows.shape[1]):
+            state = _mul_state(fold_planes, fold_rows, cols, state)
+            state ^= rows[:, r].reshape(n * lanes, 16)
+        planes = (np.stack([key._byte_planes()[0] for key in owners]),
+                  np.stack([key._byte_planes()[1] for key in owners]))
+        key_rows = None if single else key_map[:, None]
+        lane_sums = state.reshape(n, lanes, 16)
+        state = np.zeros((n, 16), dtype=np.uint8)
+        for l in range(lanes):
+            state ^= lane_sums[:, l]
+            state = _mul_state(planes, key_rows, cols, state)
+
+    tags: list[bytes] = [b""] * n
+    for slot, key in enumerate(owners):
+        members = np.nonzero(key_map == slot)[0]
+        if len(members) >= _MASK_BATCH_MIN:
+            j0_blocks = np.stack([
+                np.frombuffer(_check_j0(j0s[i]), dtype=np.uint8)
+                for i in members])
+            sealed = state[members] ^ key._aes.encrypt_blocks(j0_blocks)
+            for position, i in enumerate(members):
+                tags[i] = sealed[position].tobytes()
+        else:
+            for i in members:
+                mask = key._aes.encrypt_block(_check_j0(j0s[i]))
+                tags[i] = (state[i]
+                           ^ np.frombuffer(mask, dtype=np.uint8)).tobytes()
+    return tags
 
 
 def gcm_encrypt(key: bytes, nonce: bytes, plaintext: bytes, aad: bytes = b"") -> bytes:

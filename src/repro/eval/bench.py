@@ -33,6 +33,18 @@ DEFAULT_REPORT_PATH = "BENCH_wallclock.json"
 CRYPTO_MIN_SPEEDUP = 5.0
 INFERENCE_MIN_SPEEDUP = 2.0
 
+# Plan-time kernel fusion must beat the same fast kernels run one op
+# per dispatch (Interpreter(fuse=False)) by at least this factor.  The
+# honest win is modest — fusion removes dispatches and the standalone
+# activation pass, not GEMM work — so the floor asserts "measurably
+# pays for itself", not a vectorization-sized multiple.
+INFERENCE_FUSED_MIN_SPEEDUP = 1.05
+
+# Sealing a dispatch batch of response frames through the pipelined
+# path (resident keystream chunks + one batched GHASH tag sweep) must
+# beat per-frame GCM sealing by at least this factor.
+SEAL_PIPELINE_MIN_SPEEDUP = 2.0
+
 # Multi-session serving must beat the sequential one-enclave path by at
 # least this factor in wall-clock requests/s at the largest batch size.
 SERVING_MIN_SPEEDUP = 3.0
@@ -161,6 +173,142 @@ def bench_inference(model, invokes: int = 100, repeats: int = 3) -> dict:
                   invokes=invokes, repeats=repeats)
 
 
+def bench_inference_fused(invokes: int = 100, repeats: int = 5,
+                          architecture: str = "low_latency_conv") -> dict:
+    """``invokes`` invokes, fused plan vs the same fast kernels unfused.
+
+    Both interpreters run the vectorized kernels; the baseline disables
+    plan-time fusion (``fuse=False``), so the speedup isolates what
+    operator chaining buys — fewer dispatches, no materialized
+    intermediates, requantize folded through activations.  Outputs and
+    simulated cycles are asserted identical first: fusion is a pure
+    host-time win.
+
+    The model is a zoo graph converted with ``fuse_activations=False``,
+    so activations travel as standalone ``relu`` ops — the shape the
+    plan-time fusion pass exists to absorb (the pretrained model folds
+    them at conversion, leaving fusion little to show).
+    ``low_latency_conv`` has the zoo's highest dispatch-and-activation
+    share per MAC, where fusion's win is largest and steadiest.  The
+    two variants are timed in alternation so slow host drift (thermal,
+    scheduling) cancels out of the ratio instead of landing on one
+    side.
+    """
+    from repro.tflm.interpreter import Interpreter
+    from repro.train.zoo import build_architecture, convert_network_int8
+
+    rng = np.random.default_rng(4321)
+    network = build_architecture(architecture)
+    calibration = rng.random((8, 49, 43, 1)) * 0.3
+    model = convert_network_int8(network, calibration,
+                                 fuse_activations=False, name=architecture)
+    spec = model.tensors[model.inputs[0]]
+    inputs = [rng.integers(-128, 128, size=spec.shape, dtype=np.int8)
+              for _ in range(8)]
+
+    fused = Interpreter(model)
+    unfused = Interpreter(model, fuse=False)
+    for x in inputs:
+        fused.set_input(model.inputs[0], x)
+        fused.invoke()
+        unfused.set_input(model.inputs[0], x)
+        unfused.invoke()
+        assert np.array_equal(fused.get_output(model.outputs[0]),
+                              unfused.get_output(model.outputs[0]))
+        assert fused.last_stats.cycles == unfused.last_stats.cycles
+
+    def run(interp):
+        def body():
+            for i in range(invokes):
+                interp.set_input(model.inputs[0], inputs[i % len(inputs)])
+                interp.invoke()
+        return body
+
+    baseline_times: list[float] = []
+    current_times: list[float] = []
+    for _ in range(repeats):
+        baseline_times += _timed_runs(run(unfused), 1)
+        current_times += _timed_runs(run(fused), 1)
+    return _stage(min(baseline_times), min(current_times),
+                  float(np.std(baseline_times)),
+                  float(np.std(current_times)),
+                  invokes=invokes, repeats=repeats,
+                  architecture=architecture)
+
+
+def bench_seal_pipeline(frames: int = 32, payload_bytes: int = 2107,
+                        repeats: int = 5) -> dict:
+    """Sealing one dispatch batch of frames: pipelined vs per-frame GCM.
+
+    Baseline is the unpipelined seal path — each frame independently
+    AES-GCM encrypted (fast table-driven GCM, shared key schedule), the
+    way a seal-per-response egress loop would run.  Current is the
+    dispatcher's pipelined path: keystream chunks already resident in
+    the :class:`~repro.crypto.keycache.KeystreamCache` (prefetch
+    overlaps the batch's inference, so chunk generation is off this
+    critical path), one vectorized XOR across the batch, and one
+    :func:`~repro.crypto.modes.frame_tags_batched` GHASH sweep for all
+    tags.  Both paths are verified to authenticate and decrypt back to
+    the plaintext before timing.
+    """
+    from repro.crypto.keycache import KeystreamCache
+    from repro.crypto.modes import GCM, FrameTagKey, frame_tags_batched
+    from repro.serve.frames import frame_aad, frame_j0
+
+    rng = np.random.default_rng(2718)
+    payloads = rng.integers(0, 256, size=(frames, payload_bytes),
+                            dtype=np.uint8)
+    seal_key = bytes(range(16))
+    tag_key = bytes(range(16, 32))
+    session = 1
+    tagger = FrameTagKey(tag_key)
+    taggers = [tagger] * frames
+    j0s = [frame_j0(seq) for seq in range(frames)]
+    aads = [frame_aad(session, seq) for seq in range(frames)]
+
+    chunk_bytes = 65536
+    total = frames * payload_bytes
+    cache = KeystreamCache(capacity=64, chunk_bytes=chunk_bytes)
+    cache.prefetch(session, seal_key, 0,
+                   depth=(total + chunk_bytes - 1) // chunk_bytes)
+
+    gcm = GCM(seal_key)
+
+    def unpipelined():
+        for seq in range(frames):
+            gcm.encrypt(seq.to_bytes(12, "big"),
+                        payloads[seq].tobytes(), aads[seq])
+
+    def pipelined():
+        keystream = np.empty((frames, payload_bytes), dtype=np.uint8)
+        for seq in range(frames):
+            keystream[seq] = cache.take(session, seal_key,
+                                        seq * payload_bytes, payload_bytes)
+        ciphertexts = payloads ^ keystream
+        return frame_tags_batched(
+            taggers, j0s, aads,
+            [row.tobytes() for row in ciphertexts])
+
+    # Correctness before timing: the pipelined frames open and verify.
+    tags = pipelined()
+    for seq in range(frames):
+        sealed = (payloads[seq]
+                  ^ cache.take(session, seal_key,
+                               seq * payload_bytes, payload_bytes))
+        assert tagger.verify(j0s[seq], aads[seq], sealed.tobytes(),
+                             tags[seq])
+    ct0, tag0 = gcm.encrypt(b"\x00" * 12, payloads[0].tobytes(), aads[0])
+    assert gcm.decrypt(b"\x00" * 12, ct0, tag0,
+                       aads[0]) == payloads[0].tobytes()
+
+    baseline, baseline_std = _measure(unpipelined, repeats)
+    current, current_std = _measure(pipelined, repeats)
+    return _stage(baseline, current, baseline_std, current_std,
+                  frames=frames, payload_bytes=payload_bytes,
+                  repeats=repeats,
+                  keystream_hits=cache.hits, keystream_misses=cache.misses)
+
+
 def bench_dsp(stream_seconds: float = 10.0, repeats: int = 3) -> dict:
     """Streaming feature extraction over ``stream_seconds`` of audio,
     fed in 100 ms chunks: batched FFT path vs per-frame reference."""
@@ -280,7 +428,7 @@ def bench_static_analysis(repeats: int = 2) -> dict:
                   current_std_s=current_std, repeats=repeats)
 
 
-def bench_serving(requests: int = 24, batch_sizes: tuple = (1, 4, 8),
+def bench_serving(requests: int = 64, batch_sizes: tuple = (1, 4, 8, 16, 32),
                   repeats: int = 3, num_workers: int = 2,
                   num_sessions: int = 3, seed: int = 7) -> dict:
     """Multi-session serving vs the sequential one-enclave path.
@@ -325,7 +473,9 @@ def bench_serving(requests: int = 24, batch_sizes: tuple = (1, 4, 8),
 
     batches = {}
     current_s = current_std = None
-    for batch in batch_sizes:
+    # Ascending sweep so ``current_s`` (what the floor gates) is always
+    # the largest batch size, whatever order the caller passed.
+    for batch in sorted(set(batch_sizes)):
         # A fresh platform per batch size keeps core allocation and the
         # virtual clock independent across configurations.
         plat = make_platform(seed=b"bench-serving-%d" % batch, key_bits=768)
@@ -450,6 +600,8 @@ def run_benchmarks(model=None, model_bytes: bytes | None = None) -> dict:
     stages = {
         "crypto_provisioning_roundtrip": bench_crypto(model_bytes),
         "inference_kws_100": bench_inference(model),
+        "inference_fused": bench_inference_fused(),
+        "seal_pipeline": bench_seal_pipeline(),
         "dsp_streaming_10s": bench_dsp(),
         "provisioning_end_to_end": bench_provisioning(model),
         "fault_hooks": bench_fault_hooks(),
@@ -466,6 +618,8 @@ def run_benchmarks(model=None, model_bytes: bytes | None = None) -> dict:
         "thresholds": {
             "crypto_provisioning_roundtrip": CRYPTO_MIN_SPEEDUP,
             "inference_kws_100": INFERENCE_MIN_SPEEDUP,
+            "inference_fused": INFERENCE_FUSED_MIN_SPEEDUP,
+            "seal_pipeline": SEAL_PIPELINE_MIN_SPEEDUP,
             "serving_throughput": SERVING_MIN_SPEEDUP,
         },
         "stages": stages,

@@ -3,15 +3,20 @@
 Data path for one request (client session *S*, sequence *q*):
 
 1. *S* seals its fingerprint in place into a reserved slot of the
-   **ingress ring** (XOR with its request-lane keystream) and commits.
-2. The dispatcher drains the ring, opens each frame in place, and hands
+   **ingress ring** (XOR with its request-lane keystream, plus a
+   detached GCM tag over header + ciphertext) and commits.
+2. The dispatcher drains the ring, verifies the drained tags in one
+   batched GHASH sweep, opens the survivors, and hands
    (session, seq, fingerprint) to the :class:`BatchScheduler`.
 3. When a batch is ready (size or deadline trigger) the dispatcher
-   round-robins it to an enclave worker, which runs **one batched
-   invoke** for the whole group — bit-exact against per-request
-   invokes — inside the fail-closed envelope.
-4. Results are sealed per session into the **egress ring**; the client
-   mux opens them in place and completes the per-session futures.
+   prefetches each session's response-lane keystream, then round-robins
+   the batch to an enclave worker, which runs **one batched invoke**
+   for the whole group — bit-exact against per-request invokes —
+   inside the fail-closed envelope.
+4. Results are sealed per session into the **egress ring** — one
+   vectorized XOR and one batched tag sweep per batch; the client mux
+   verifies and opens them in place and completes the per-session
+   futures.
 
 Security properties preserved (paper §IV):
 
@@ -31,13 +36,17 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.crypto.hmac import constant_time_eq
 from repro.crypto.keycache import KeystreamCache, SecretCache
+from repro.crypto.modes import FrameTagKey, frame_tags_batched
 from repro.crypto.rng import HmacDrbg
 from repro.errors import ServeError
 from repro.hw.memory import RegionPolicy, World
 from repro.obs import hooks as _obs
 from repro.sanctuary.shm import SharedRegion, SlotRing
-from repro.serve.frames import (HEADER, derive_lane_keys, open_in_place,
+from repro.serve.frames import (HEADER, TAG_BYTES, derive_lane_keys,
+                                derive_lane_tag_keys, emit_sealed,
+                                frame_aad, frame_j0, open_in_place,
                                 seal_into)
 from repro.serve.pool import EnclaveWorkerPool
 from repro.serve.scheduler import BatchScheduler
@@ -46,6 +55,11 @@ __all__ = ["ServeConfig", "ServingStats", "SessionHandle", "ServingService"]
 
 # Batch-size histogram bounds: powers-ish of 2 around typical max_batch.
 _BATCH_BUCKETS = (1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0, 24.0, 32.0)
+
+# Below this many frames, tag computation/verification goes through the
+# scalar per-frame sweep — the batched sweep's fixed numpy dispatch
+# cost only amortizes across larger groups.
+_TAG_BATCH_MIN = 4
 
 
 @dataclass(frozen=True)
@@ -59,6 +73,9 @@ class ServeConfig:
     session_capacity: int = 64
     keystream_chunk_bytes: int = 65536
     session_seed: bytes = b"omg-serve-sessions"
+    # Response-lane keystream chunks generated ahead of demand per
+    # session before a batch's inference runs (0 disables prefetch).
+    prefetch_depth: int = 1
 
 
 @dataclass
@@ -68,6 +85,8 @@ class SessionHandle:
     session_id: int
     request_key: bytes
     response_key: bytes
+    request_tagger: FrameTagKey
+    response_tagger: FrameTagKey
     next_seq: int = 0
     pending: dict = field(default_factory=dict)   # seq -> submit now_ms
     results: dict = field(default_factory=dict)   # seq -> (label, scores)
@@ -92,6 +111,7 @@ class ServingStats:
     requests_completed: int
     frames_dropped: int
     responses_dropped: int
+    auth_failures: int
     batches: int
     full_batches: int
     deadline_flushes: int
@@ -122,7 +142,7 @@ class ServingService:
 
         soc = platform.soc
         slot_bytes = HEADER.size + max(self.request_bytes,
-                                       self.response_bytes)
+                                       self.response_bytes) + TAG_BYTES
         ring_bytes = SlotRing.bytes_needed(self.config.ring_slots, slot_bytes)
         # Pins are page-granular: keep the two rings on disjoint pages.
         egress_offset = (ring_bytes + 4095) & ~4095
@@ -157,6 +177,9 @@ class ServingService:
         # supposed to share state with the dispatcher beyond the
         # established keys).
         self._session_keys = SecretCache(self.config.session_capacity)
+        # Frame-tag keys (dispatcher side), keyed by session: dropped on
+        # close_session alongside the lane keys.
+        self._service_taggers: dict[int, tuple[FrameTagKey, FrameTagKey]] = {}
         self._client_keystreams = KeystreamCache(
             capacity=2 * self.config.session_capacity,
             chunk_bytes=self.config.keystream_chunk_bytes)
@@ -170,6 +193,7 @@ class ServingService:
         self._requests_completed = 0
         self._frames_dropped = 0
         self._responses_dropped = 0
+        self._auth_failures = 0
 
     # --- sessions ------------------------------------------------------
 
@@ -193,10 +217,18 @@ class ServingService:
         self._next_session += 1
         master = self._session_rng.generate(16)
         request_key, response_key = derive_lane_keys(master)
+        request_tag_key, response_tag_key = derive_lane_tag_keys(master)
         self._session_keys.put(session_id,
                                (bytearray(request_key),
                                 bytearray(response_key)))
-        handle = SessionHandle(session_id, request_key, response_key)
+        # Each side holds its own tagger objects: the client is not
+        # supposed to share state with the dispatcher beyond the
+        # established keys.
+        self._service_taggers[session_id] = (FrameTagKey(request_tag_key),
+                                             FrameTagKey(response_tag_key))
+        handle = SessionHandle(session_id, request_key, response_key,
+                               FrameTagKey(request_tag_key),
+                               FrameTagKey(response_tag_key))
         self._handles[session_id] = handle
         if _obs.TELEMETRY is not None:
             metrics = _obs.TELEMETRY.metrics
@@ -209,6 +241,7 @@ class ServingService:
     def close_session(self, handle: SessionHandle) -> None:
         self._handles.pop(handle.session_id, None)
         self._session_keys.discard(handle.session_id)
+        self._service_taggers.pop(handle.session_id, None)
         self._client_keystreams.forget_session(handle.session_id)
         self._service_keystreams.forget_session(handle.session_id)
         if _obs.TELEMETRY is not None:
@@ -243,7 +276,8 @@ class ServingService:
         keystream = self._client_keystreams.take(
             handle.session_id, handle.request_key,
             seq * self.request_bytes, self.request_bytes)
-        length = seal_into(slot, handle.session_id, seq, flat, keystream)
+        length = seal_into(slot, handle.session_id, seq, flat, keystream,
+                           handle.request_tagger)
         self._ingress_prod.commit(length)
         handle.pending[seq] = self.clock.now_ms
         return seq
@@ -252,10 +286,18 @@ class ServingService:
         """Client mux: open completed responses in place, fill futures."""
         delivered = 0
         while (frame := self._egress_cons.try_peek()) is not None:
-            session_id, seq, sealed = open_in_place(frame)
+            session_id, seq, sealed, tag = open_in_place(frame)
             handle = self._handles.get(session_id)
             if handle is None:
                 self._egress_cons.release()
+                continue
+            if not handle.response_tagger.verify(
+                    frame_j0(seq), frame_aad(session_id, seq),
+                    sealed.tobytes(), tag):
+                # Tampered or corrupted in the OS-relayed ring: drop
+                # the response, never the session.
+                self._egress_cons.release()
+                self._count_auth_failure()
                 continue
             keystream = self._client_keystreams.take(
                 session_id, handle.response_key,
@@ -286,12 +328,27 @@ class ServingService:
 
     # --- dispatcher side -----------------------------------------------
 
+    def _count_auth_failure(self) -> None:
+        self._auth_failures += 1
+        if _obs.TELEMETRY is not None:
+            _obs.TELEMETRY.metrics.counter(
+                "omg_serve_auth_failures_total",
+                "frames dropped on tag verification failure").inc()
+
     def _ingest(self) -> None:
-        """Drain the ingress ring into the scheduler (open in place)."""
+        """Drain the ingress ring into the scheduler, two-phase.
+
+        Phase one copies every sealed frame out of the ring and releases
+        its slot — the ring drains at memcpy speed regardless of crypto.
+        Phase two verifies all the drained tags in one batched GHASH
+        sweep (scalar below :data:`_TAG_BATCH_MIN`), then XOR-opens the
+        survivors into the scheduler.  Frames that fail authentication
+        are dropped, never the ring or the session.
+        """
+        drained: list = []
         while (frame := self._ingress_cons.try_peek()) is not None:
-            session_id, seq, sealed = open_in_place(frame)
-            keys = self._service_keys(session_id)
-            if keys is None:
+            session_id, seq, sealed, tag = open_in_place(frame)
+            if session_id not in self._service_taggers:
                 # Unknown or closed session: drop the frame and move
                 # on.  Raising with the slot still at the ring head
                 # would wedge every session behind one dead frame.
@@ -302,13 +359,37 @@ class ServingService:
                         "omg_serve_frames_dropped_total",
                         "ingress frames for unknown/closed sessions").inc()
                 continue
+            drained.append((session_id, seq, sealed.copy(), tag))
+            self._ingress_cons.release()
+        if not drained:
+            return
+        if len(drained) >= _TAG_BATCH_MIN:
+            expected = frame_tags_batched(
+                [self._service_taggers[sid][0] for sid, _, _, _ in drained],
+                [frame_j0(seq) for _, seq, _, _ in drained],
+                [frame_aad(sid, seq) for sid, seq, _, _ in drained],
+                [sealed.tobytes() for _, _, sealed, _ in drained])
+            verdicts = [constant_time_eq(want, tag)
+                        for (_, _, _, tag), want in zip(drained, expected)]
+        else:
+            verdicts = [
+                self._service_taggers[sid][0].verify(
+                    frame_j0(seq), frame_aad(sid, seq), sealed.tobytes(),
+                    tag)
+                for sid, seq, sealed, tag in drained]
+        for (session_id, seq, sealed, _), ok in zip(drained, verdicts):
+            if not ok:
+                self._count_auth_failure()
+                continue
+            keys = self._service_keys(session_id)
+            if keys is None:   # unreachable: tagger presence implies keys
+                continue
             keystream = self._service_keystreams.take(
                 session_id, keys[0],
                 seq * self.request_bytes, self.request_bytes)
-            sealed ^= keystream   # open in place
-            fingerprint = sealed.reshape(self.fingerprint_shape).copy()
-            self._ingress_cons.release()
-            self.scheduler.submit((session_id, seq, fingerprint))
+            sealed ^= keystream   # open the drained copy
+            self.scheduler.submit(
+                (session_id, seq, sealed.reshape(self.fingerprint_shape)))
 
     def _egress_free(self) -> int:
         return self.config.ring_slots - 1 - len(self._egress_prod)
@@ -338,12 +419,24 @@ class ServingService:
     def _execute_batch(self, batch: list) -> None:
         soc = self.platform.soc
         fingerprints = np.stack([item[2] for item in batch])
+        # Pipelined keystream prefetch: warm each session's response
+        # lane before inference runs, so sealing afterwards is pure XOR
+        # against cached chunks instead of blocking on AES-CTR.
+        depth = self.config.prefetch_depth
+        if depth > 0:
+            for session_id, seq, _ in batch:
+                keys = self._service_keys(session_id)
+                if keys is not None:
+                    self._service_keystreams.prefetch(
+                        session_id, keys[1], seq * self.response_bytes,
+                        depth)
         worker = self.pool.next_worker()
         # One world-switch round trip per *batch*, not per request —
         # the scheduling win the simulated clock sees.
         soc.clock.advance_ms(2 * soc.profile.sa_world_switch_ms)
         labels, scores = worker.run_batch(fingerprints)
         int8_scores = np.asarray(scores, dtype=np.int8)
+        live = []
         for row, (session_id, seq, _) in enumerate(batch):
             keys = self._service_keys(session_id)
             if keys is None:
@@ -356,16 +449,39 @@ class ServingService:
                         "omg_serve_responses_dropped_total",
                         "responses for sessions closed mid-flight").inc()
                 continue
+            live.append((row, session_id, seq, keys[1]))
+        if not live:
+            return
+        # Batched seal: one vectorized XOR for every response in the
+        # batch (the keystream chunks are warm from the prefetch above),
+        # then one GHASH sweep for every tag.
+        payloads = np.empty((len(live), self.response_bytes), dtype=np.uint8)
+        keystreams = np.empty_like(payloads)
+        for out, (row, session_id, seq, response_key) in enumerate(live):
+            payloads[out, 0] = labels[row]
+            payloads[out, 1:] = int8_scores[row].view(np.uint8)
+            keystreams[out] = self._service_keystreams.take(
+                session_id, response_key,
+                seq * self.response_bytes, self.response_bytes)
+        ciphertexts = payloads ^ keystreams
+        if len(live) >= _TAG_BATCH_MIN:
+            tags = frame_tags_batched(
+                [self._service_taggers[sid][1] for _, sid, _, _ in live],
+                [frame_j0(seq) for _, _, seq, _ in live],
+                [frame_aad(sid, seq) for _, sid, seq, _ in live],
+                [ciphertexts[out].tobytes() for out in range(len(live))])
+        else:
+            tags = [
+                self._service_taggers[sid][1].tag(
+                    frame_j0(seq), frame_aad(sid, seq),
+                    ciphertexts[out].tobytes())
+                for out, (_, sid, seq, _) in enumerate(live)]
+        for out, (_, session_id, seq, _) in enumerate(live):
             slot = self._egress_prod.try_reserve()
             if slot is None:   # unreachable: room was checked per batch
                 raise ServeError("egress ring full; poll_responses() first")
-            payload = np.empty(self.response_bytes, dtype=np.uint8)
-            payload[0] = labels[row]
-            payload[1:] = int8_scores[row].view(np.uint8)
-            keystream = self._service_keystreams.take(
-                session_id, keys[1],
-                seq * self.response_bytes, self.response_bytes)
-            length = seal_into(slot, session_id, seq, payload, keystream)
+            length = emit_sealed(slot, session_id, seq, ciphertexts[out],
+                                 tags[out])
             self._egress_prod.commit(length)
 
     def dispatch(self, force: bool = False) -> int:
@@ -433,6 +549,7 @@ class ServingService:
             requests_completed=self._requests_completed,
             frames_dropped=self._frames_dropped,
             responses_dropped=self._responses_dropped,
+            auth_failures=self._auth_failures,
             batches=self.scheduler.batches,
             full_batches=self.scheduler.full_batches,
             deadline_flushes=self.scheduler.deadline_flushes,

@@ -30,6 +30,7 @@ from repro.obs import hooks as _obs
 from repro.tflm.arena import ArenaPlan, plan_arena
 from repro.tflm.model import Model
 from repro.tflm.ops.base import OpCost
+from repro.tflm.ops.fused import FusedChain, fuse_operators
 
 __all__ = ["InvokeStats", "Interpreter"]
 
@@ -49,31 +50,49 @@ class Interpreter:
     """Executes one model; owns tensor buffers planned into an arena."""
 
     def __init__(self, model: Model, arena_limit_bytes: int | None = None,
-                 reference_kernels: bool = False) -> None:
+                 reference_kernels: bool = False, fuse: bool = True) -> None:
         model.validate()
         self.model = model
         self.plan: ArenaPlan = plan_arena(model)
-        if (arena_limit_bytes is not None
-                and self.plan.arena_bytes > arena_limit_bytes):
-            raise InterpreterError(
-                f"arena needs {self.plan.arena_bytes} bytes, "
-                f"limit is {arena_limit_bytes}"
-            )
         self._tensors: dict[str, np.ndarray] = dict(model.constants)
         self._inputs_set: set[str] = set()
         self._invoked = False
         self._reference_kernels = reference_kernels
-        # The invoke plan: per-op cached cost + kernel-specific
-        # precomputed state.  Shapes are static, so both are computed
-        # exactly once here; invoke() never calls op.cost() again.
+        # The invoke plan: operator chains fused at plan time, each
+        # entry carrying a cached summed cost, the number of constituent
+        # ops (cycle accounting charges dispatch per *constituent*, so
+        # fusion never changes simulated cycles), and kernel-specific
+        # precomputed state.  Shapes are static, so all of it is
+        # computed exactly once here.  ``fuse=False`` keeps the fast
+        # kernels but runs every operator as its own plan entry — the
+        # baseline the ``inference_fused`` benchmark stage compares
+        # against.
         if reference_kernels:
             self._invoke_plan = None
+            self.fused_plan = self.plan
         else:
-            self._invoke_plan = [
-                (op, op.cost(model.tensors),
-                 op.plan(self._tensors, model.tensors))
-                for op in model.operators
-            ]
+            groups = (fuse_operators(model) if fuse
+                      else [[op] for op in model.operators])
+            entries = []
+            for group in groups:
+                if len(group) == 1:
+                    op = group[0]
+                else:
+                    op = FusedChain(group, model.tensors)
+                entries.append((op, op.cost(model.tensors), len(group),
+                                op.plan(self._tensors, model.tensors)))
+            self._invoke_plan = entries
+            # Lifetime-aware arena with fused-away intermediates dropped:
+            # the working set the fused plan actually touches.
+            self.fused_plan = plan_arena(model, fused_ops=[
+                entry[0] for entry in entries])
+        limit_plan = self.fused_plan
+        if (arena_limit_bytes is not None
+                and limit_plan.arena_bytes > arena_limit_bytes):
+            raise InterpreterError(
+                f"arena needs {limit_plan.arena_bytes} bytes, "
+                f"limit is {arena_limit_bytes}"
+            )
         # Timing attachment (optional).
         self._clock: VirtualClock | None = None
         self._freq_hz = 0.0
@@ -113,10 +132,14 @@ class Interpreter:
             return None
         return telemetry.tracer
 
-    def _op_costs(self) -> list[OpCost]:
+    def _op_costs(self) -> list[tuple[OpCost, int]]:
+        """(cost, constituent-op count) per plan entry — fused chains
+        report the summed cost and their member count."""
         if self._invoke_plan is not None:
-            return [cost for _, cost, _ in self._invoke_plan]
-        return [op.cost(self.model.tensors) for op in self.model.operators]
+            return [(cost, n_ops)
+                    for _, cost, n_ops, _ in self._invoke_plan]
+        return [(op.cost(self.model.tensors), 1)
+                for op in self.model.operators]
 
     def estimate_cycles(self) -> int:
         """Cycles one invoke will cost under the attached profile."""
@@ -125,10 +148,10 @@ class Interpreter:
         if self._is_float_graph():
             mac_cycles *= profile.float_mac_multiplier
         total = 0.0
-        for cost in self._op_costs():
+        for cost, n_ops in self._op_costs():
             total += (cost.macs * mac_cycles
                       + cost.elements * profile.cycles_per_element
-                      + profile.cycles_per_op_dispatch)
+                      + n_ops * profile.cycles_per_op_dispatch)
         if self._l2_excluded:
             total *= 1.0 + profile.l2_exclusion_penalty
         return int(total)
@@ -154,7 +177,7 @@ class Interpreter:
         stats = InvokeStats()
         tracer = self._op_profiler()
         if self._invoke_plan is not None and tracer is not None:
-            for op, cost, op_plan in self._invoke_plan:
+            for op, cost, n_ops, op_plan in self._invoke_plan:
                 with tracer.span(f"op.{type(op).__name__}", macs=cost.macs,
                                  elements=cost.elements):
                     if op_plan is not None:
@@ -164,16 +187,16 @@ class Interpreter:
                         op.run(self._tensors, self.model.tensors)
                 stats.macs += cost.macs
                 stats.elements += cost.elements
-                stats.ops += 1
+                stats.ops += n_ops
         elif self._invoke_plan is not None:
-            for op, cost, op_plan in self._invoke_plan:
+            for op, cost, n_ops, op_plan in self._invoke_plan:
                 if op_plan is not None:
                     op.run(self._tensors, self.model.tensors, plan=op_plan)
                 else:
                     op.run(self._tensors, self.model.tensors)
                 stats.macs += cost.macs
                 stats.elements += cost.elements
-                stats.ops += 1
+                stats.ops += n_ops
         else:
             # Reference mode: the original pre-plan behavior, for the
             # wall-clock benchmark baseline.
@@ -256,7 +279,7 @@ class Interpreter:
         stats = InvokeStats()
         tracer = self._op_profiler()
         if self._invoke_plan is not None and tracer is not None:
-            for op, cost, op_plan in self._invoke_plan:
+            for op, cost, n_ops, op_plan in self._invoke_plan:
                 with tracer.span(f"op.{type(op).__name__}", batch=batch,
                                  macs=cost.macs * batch,
                                  elements=cost.elements * batch):
@@ -264,14 +287,14 @@ class Interpreter:
                                  batched, plan=op_plan)
                 stats.macs += cost.macs * batch
                 stats.elements += cost.elements * batch
-                stats.ops += 1
+                stats.ops += n_ops
         elif self._invoke_plan is not None:
-            for op, cost, op_plan in self._invoke_plan:
+            for op, cost, n_ops, op_plan in self._invoke_plan:
                 op.run_batch(tensors, self.model.tensors, batch, batched,
                              plan=op_plan)
                 stats.macs += cost.macs * batch
                 stats.elements += cost.elements * batch
-                stats.ops += 1
+                stats.ops += n_ops
         else:
             for op in self.model.operators:
                 op.run_batch(tensors, self.model.tensors, batch, batched,

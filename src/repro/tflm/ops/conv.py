@@ -13,7 +13,7 @@ import numpy as np
 from repro.errors import InterpreterError
 from repro.tflm.ops.base import Op, OpCost, register_op
 from repro.tflm.quantize import (
-    multiply_by_quantized_multiplier,
+    multiply_by_quantized_multiplier_inplace,
     quantize_multiplier,
     requantize_int32,
 )
@@ -190,8 +190,41 @@ class Conv2D(_ConvBase):
         out_q = out_spec.quant
         multiplier, shift = quantize_multiplier(
             x_spec.quant.scale * w_spec.quant.scale / out_q.scale)
+        # Fold the input zero-point into the bias: sum((x-zp)*w) equals
+        # sum(x*w) - zp*sum(w) per output channel, and every term is an
+        # exact integer, so the GEMM can run on raw int8 codes and skip
+        # a full-array subtraction.
+        zp_x = x_spec.quant.zero_point
+        bias_eff = (-zp_x * flat_w_t.sum(axis=0)).astype(np.int64)
+        if bias is not None:
+            bias_eff = bias_eff + bias
+        fused_relu = self.params.get("activation") == "relu"
+        clip_lo = out_q.zero_point if fused_relu else -128
+        # Persistent per-interpreter scratch: the padded buffer keeps
+        # its zero-point border between invokes (only the interior is
+        # rewritten), and the strided window view over it is built once
+        # so each run is a single gather-cast copy into the GEMM layout.
+        _, h, w, in_channels = x_spec.shape
+        pt, pb, pl, pr = pad
+        padded = np.full((h + pt + pb, w + pl + pr, in_channels),
+                         np.int8(zp_x), dtype=np.int8)
+        windows = np.lib.stride_tricks.sliding_window_view(
+            padded, (kh, kw), axis=(0, 1))[::sh, ::sw].transpose(0, 1, 3, 4, 2)
+        out_h, out_w = windows.shape[0], windows.shape[1]
+        cols = np.empty((out_h * out_w, kh * kw * in_c), dtype=np.float64)
+        scratch = {
+            "padded": padded,
+            "interior": (slice(pt, pt + h), slice(pl, pl + w)),
+            "windows": windows,
+            "cols": cols,
+            "cols_view": cols.reshape(out_h, out_w, kh, kw, in_c),
+            "acc": np.empty((out_h * out_w, out_c), dtype=np.float64),
+            "acc64": np.empty((out_h * out_w, out_c), dtype=np.int64),
+        }
         return {"pad": pad, "flat_w_t": flat_w_t, "bias": bias,
-                "requant": (multiplier, shift, out_q.zero_point)}
+                "requant": (multiplier, shift, out_q.zero_point),
+                "bias_eff": bias_eff, "clip": (clip_lo, 127),
+                "scratch": scratch}
 
     def run(self, tensors, specs, plan=None):
         x = tensors[self.inputs[0]]
@@ -214,19 +247,25 @@ class Conv2D(_ConvBase):
             tensors[self.outputs[0]] = acc.reshape(out_spec.shape).astype(np.float32)
             return
 
-        # int8 path: accumulate (x - zp_x) * w exactly (see plan()).
-        zp_x = x_spec.quant.zero_point
-        cols = _im2col(x, kh, kw, sh, sw, pad,
-                       np.int8(zp_x)).astype(np.float64) - zp_x
-        acc = (cols @ flat_w_t).astype(np.int64)
-        if bias is not None:
-            acc = acc + bias
+        # int8 path: raw-code GEMM with the zero-point folded into the
+        # bias (see plan()), running entirely in preallocated scratch.
+        sc = plan["scratch"]
+        row, col = sc["interior"]
+        sc["padded"][row, col] = x[0]
+        sc["cols_view"][...] = sc["windows"]
+        acc = sc["acc"]
+        np.matmul(sc["cols"], flat_w_t, out=acc)
+        acc64 = sc["acc64"]
+        np.copyto(acc64, acc, casting="unsafe")
+        acc64 += plan["bias_eff"]
         multiplier, shift, zero_point = plan["requant"]
-        scaled = multiply_by_quantized_multiplier(acc, multiplier, shift)
-        result = np.clip(scaled + zero_point, -128, 127).astype(np.int8)
-        if fused_relu:
-            result = np.maximum(result, np.int8(zero_point))
-        tensors[self.outputs[0]] = result.reshape(out_spec.shape)
+        multiply_by_quantized_multiplier_inplace(acc64, multiplier, shift)
+        acc64 += zero_point
+        lo, hi = plan["clip"]
+        np.maximum(acc64, lo, out=acc64)
+        np.minimum(acc64, hi, out=acc64)
+        tensors[self.outputs[0]] = acc64.astype(np.int8).reshape(
+            out_spec.shape)
 
     def run_batch(self, tensors, specs, batch, batched, plan=None,
                   reference=False):
@@ -245,19 +284,18 @@ class Conv2D(_ConvBase):
         x = tensors[self.inputs[0]]
         out_spec = specs[self.outputs[0]]
         out_c, kh, kw, in_c = w_spec.shape
-        fused_relu = self.params.get("activation") == "relu"
-        pad, flat_w_t, bias = plan["pad"], plan["flat_w_t"], plan["bias"]
+        pad, flat_w_t = plan["pad"], plan["flat_w_t"]
         zp_x = x_spec.quant.zero_point
         cols, _, _ = _im2col_batch(x, kh, kw, sh, sw, pad, np.int8(zp_x))
-        acc = ((cols.astype(np.float64) - zp_x) @ flat_w_t).astype(np.int64)
-        if bias is not None:
-            acc = acc + bias
+        acc = (cols.astype(np.float64) @ flat_w_t).astype(np.int64)
+        acc += plan["bias_eff"]
         multiplier, shift, zero_point = plan["requant"]
-        scaled = multiply_by_quantized_multiplier(acc, multiplier, shift)
-        result = np.clip(scaled + zero_point, -128, 127).astype(np.int8)
-        if fused_relu:
-            result = np.maximum(result, np.int8(zero_point))
-        tensors[self.outputs[0]] = result.reshape(
+        multiply_by_quantized_multiplier_inplace(acc, multiplier, shift)
+        acc += zero_point
+        lo, hi = plan["clip"]
+        np.maximum(acc, lo, out=acc)
+        np.minimum(acc, hi, out=acc)
+        tensors[self.outputs[0]] = acc.astype(np.int8).reshape(
             (batch,) + out_spec.shape[1:])
         batched.add(self.outputs[0])
 
@@ -343,8 +381,16 @@ class DepthwiseConv2D(_ConvBase):
         out_q = out_spec.quant
         multiplier, shift = quantize_multiplier(
             x_spec.quant.scale * w_spec.quant.scale / out_q.scale)
+        # Zero-point folding + clip bounds, as in Conv2D.plan.
+        zp_x = x_spec.quant.zero_point
+        bias_eff = (-zp_x * flat_w.sum(axis=0)).astype(np.int64)
+        if bias is not None:
+            bias_eff = bias_eff + bias
+        clip_lo = (out_q.zero_point
+                   if self.params.get("activation") == "relu" else -128)
         return {"pad": pad, "flat_w": flat_w, "bias": bias,
-                "requant": (multiplier, shift, out_q.zero_point)}
+                "requant": (multiplier, shift, out_q.zero_point),
+                "bias_eff": bias_eff, "clip": (clip_lo, 127)}
 
     def run(self, tensors, specs, plan=None):
         x = tensors[self.inputs[0]]
@@ -369,18 +415,18 @@ class DepthwiseConv2D(_ConvBase):
                 acc = np.maximum(acc, 0.0)
             tensors[self.outputs[0]] = acc.reshape(out_spec.shape).astype(np.float32)
             return
-        # int8: exact float64 accumulation (see Conv2D.plan).
-        zp_x = x_spec.quant.zero_point
-        acc = np.einsum("skc,kc->sc", cols.astype(np.float64) - zp_x,
+        # int8: raw-code einsum with folded zero-point (see Conv2D.plan).
+        acc = np.einsum("skc,kc->sc", cols.astype(np.float64),
                         flat_w).astype(np.int64)
-        if bias is not None:
-            acc = acc + bias
+        acc += plan["bias_eff"]
         multiplier, shift, zero_point = plan["requant"]
-        scaled = multiply_by_quantized_multiplier(acc, multiplier, shift)
-        result = np.clip(scaled + zero_point, -128, 127).astype(np.int8)
-        if fused_relu:
-            result = np.maximum(result, np.int8(zero_point))
-        tensors[self.outputs[0]] = result.reshape(out_spec.shape)
+        multiply_by_quantized_multiplier_inplace(acc, multiplier, shift)
+        acc += zero_point
+        lo, hi = plan["clip"]
+        np.maximum(acc, lo, out=acc)
+        np.minimum(acc, hi, out=acc)
+        tensors[self.outputs[0]] = acc.astype(np.int8).reshape(
+            out_spec.shape)
 
     def run_batch(self, tensors, specs, batch, batched, plan=None,
                   reference=False):
@@ -393,21 +439,20 @@ class DepthwiseConv2D(_ConvBase):
         x = tensors[self.inputs[0]]
         out_spec = specs[self.outputs[0]]
         _, kh, kw, channels = w_spec.shape
-        fused_relu = self.params.get("activation") == "relu"
-        pad, flat_w, bias = plan["pad"], plan["flat_w"], plan["bias"]
+        pad, flat_w = plan["pad"], plan["flat_w"]
         zp_x = x_spec.quant.zero_point
         cols, _, _ = _im2col_batch(x, kh, kw, sh, sw, pad, np.int8(zp_x))
         cols = cols.reshape(cols.shape[0], kh * kw, channels)
-        acc = np.einsum("skc,kc->sc", cols.astype(np.float64) - zp_x,
+        acc = np.einsum("skc,kc->sc", cols.astype(np.float64),
                         flat_w).astype(np.int64)
-        if bias is not None:
-            acc = acc + bias
+        acc += plan["bias_eff"]
         multiplier, shift, zero_point = plan["requant"]
-        scaled = multiply_by_quantized_multiplier(acc, multiplier, shift)
-        result = np.clip(scaled + zero_point, -128, 127).astype(np.int8)
-        if fused_relu:
-            result = np.maximum(result, np.int8(zero_point))
-        tensors[self.outputs[0]] = result.reshape(
+        multiply_by_quantized_multiplier_inplace(acc, multiplier, shift)
+        acc += zero_point
+        lo, hi = plan["clip"]
+        np.maximum(acc, lo, out=acc)
+        np.minimum(acc, hi, out=acc)
+        tensors[self.outputs[0]] = acc.astype(np.int8).reshape(
             (batch,) + out_spec.shape[1:])
         batched.add(self.outputs[0])
 

@@ -7,7 +7,7 @@ import numpy as np
 from repro.errors import InterpreterError
 from repro.tflm.ops.base import Op, OpCost, register_op
 from repro.tflm.quantize import (
-    multiply_by_quantized_multiplier,
+    multiply_by_quantized_multiplier_inplace,
     quantize_multiplier,
     requantize_int32,
 )
@@ -64,8 +64,24 @@ class FullyConnected(Op):
         out_q = out_spec.quant
         multiplier, shift = quantize_multiplier(
             x_spec.quant.scale * w_spec.quant.scale / out_q.scale)
+        # Zero-point folding + persistent scratch, as in Conv2D.plan.
+        zp_x = x_spec.quant.zero_point
+        bias_eff = (-zp_x * w_t.sum(axis=0)).astype(np.int64)
+        if bias is not None:
+            bias_eff = bias_eff + bias
+        clip_lo = (out_q.zero_point
+                   if self.params.get("activation") == "relu" else -128)
+        in_features = w_t.shape[0]
+        out_features = w_t.shape[1]
+        scratch = {
+            "xbuf": np.empty((1, in_features), dtype=np.float64),
+            "acc": np.empty((1, out_features), dtype=np.float64),
+            "acc64": np.empty((1, out_features), dtype=np.int64),
+        }
         return {"w_t": w_t, "bias": bias,
-                "requant": (multiplier, shift, out_q.zero_point)}
+                "requant": (multiplier, shift, out_q.zero_point),
+                "bias_eff": bias_eff, "clip": (clip_lo, 127),
+                "scratch": scratch}
 
     def run(self, tensors, specs, plan=None):
         x_spec = specs[self.inputs[0]]
@@ -85,16 +101,23 @@ class FullyConnected(Op):
             tensors[self.outputs[0]] = acc.astype(np.float32)
             return
 
-        zp_x = x_spec.quant.zero_point
-        acc = ((x.astype(np.float64) - zp_x) @ w_t).astype(np.int64)
-        if bias is not None:
-            acc = acc + bias
+        # int8: raw-code GEMM in preallocated scratch with the
+        # zero-point folded into the bias (see plan()).
+        sc = plan["scratch"]
+        sc["xbuf"][0] = x[0]
+        acc = sc["acc"]
+        np.matmul(sc["xbuf"], w_t, out=acc)
+        acc64 = sc["acc64"]
+        np.copyto(acc64, acc, casting="unsafe")
+        acc64 += plan["bias_eff"]
         multiplier, shift, zero_point = plan["requant"]
-        scaled = multiply_by_quantized_multiplier(acc, multiplier, shift)
-        result = np.clip(scaled + zero_point, -128, 127).astype(np.int8)
-        if fused_relu:
-            result = np.maximum(result, np.int8(zero_point))
-        tensors[self.outputs[0]] = result.reshape(out_spec.shape)
+        multiply_by_quantized_multiplier_inplace(acc64, multiplier, shift)
+        acc64 += zero_point
+        lo, hi = plan["clip"]
+        np.maximum(acc64, lo, out=acc64)
+        np.minimum(acc64, hi, out=acc64)
+        tensors[self.outputs[0]] = acc64.astype(np.int8).reshape(
+            out_spec.shape)
 
     def run_batch(self, tensors, specs, batch, batched, plan=None,
                   reference=False):
@@ -111,18 +134,16 @@ class FullyConnected(Op):
                                      plan=plan, reference=reference)
         out_spec = specs[self.outputs[0]]
         x = tensors[self.inputs[0]].reshape(batch, -1)
-        fused_relu = self.params.get("activation") == "relu"
-        w_t, bias = plan["w_t"], plan["bias"]
-        zp_x = x_spec.quant.zero_point
-        acc = ((x.astype(np.float64) - zp_x) @ w_t).astype(np.int64)
-        if bias is not None:
-            acc = acc + bias
+        w_t = plan["w_t"]
+        acc = (x.astype(np.float64) @ w_t).astype(np.int64)
+        acc += plan["bias_eff"]
         multiplier, shift, zero_point = plan["requant"]
-        scaled = multiply_by_quantized_multiplier(acc, multiplier, shift)
-        result = np.clip(scaled + zero_point, -128, 127).astype(np.int8)
-        if fused_relu:
-            result = np.maximum(result, np.int8(zero_point))
-        tensors[self.outputs[0]] = result.reshape(
+        multiply_by_quantized_multiplier_inplace(acc, multiplier, shift)
+        acc += zero_point
+        lo, hi = plan["clip"]
+        np.maximum(acc, lo, out=acc)
+        np.minimum(acc, hi, out=acc)
+        tensors[self.outputs[0]] = acc.astype(np.int8).reshape(
             (batch,) + out_spec.shape[1:])
         batched.add(self.outputs[0])
 

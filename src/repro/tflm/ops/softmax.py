@@ -55,7 +55,9 @@ class Softmax(Op):
         real = x_spec.quant.dequantize(x)
         probs = _stable_softmax(real)
         q = np.round(probs / SOFTMAX_OUTPUT_SCALE) + SOFTMAX_OUTPUT_ZERO_POINT
-        tensors[self.outputs[0]] = np.clip(q, -128, 127).astype(np.int8)
+        np.minimum(q, 127, out=q)
+        np.maximum(q, -128, out=q)
+        tensors[self.outputs[0]] = q.astype(np.int8)
 
     def cost(self, specs):
         # exp + divide per element: charge a few element-ops.

@@ -25,7 +25,7 @@ from repro.tflm.tensor import QuantParams
 __all__ = [
     "choose_activation_qparams", "choose_weight_qparams",
     "quantize_multiplier", "multiply_by_quantized_multiplier",
-    "requantize_int32",
+    "multiply_by_quantized_multiplier_inplace", "requantize_int32",
 ]
 
 
@@ -82,22 +82,34 @@ def multiply_by_quantized_multiplier(value: np.ndarray, multiplier: int,
     Computes ``round(value * multiplier * 2^shift / 2^31)`` on int64 to
     avoid overflow (real kernels use 32x32->64 multiplies too).
     """
-    value = value.astype(np.int64)
-    left_shift = max(shift, 0)
-    right_shift = max(-shift, 0)
-    product = (value << left_shift) * int(multiplier)
-    # SaturatingRoundingDoublingHighMul: (2*a*b + nudge) / 2^31 where the
-    # division truncates toward zero as in C++, not numpy's floor shift —
-    # floor would push every negative non-exact quotient one LSB low.
-    nudge = np.where(product >= 0, 1 << 30, 1 - (1 << 30)).astype(np.int64)
-    summed = product + nudge
-    high = np.where(summed >= 0, summed >> 31, -((-summed) >> 31))
-    if right_shift:
-        mask = (np.int64(1) << right_shift) - 1
-        remainder = high & mask
-        threshold = (mask >> 1) + np.where(high < 0, 1, 0).astype(np.int64)
-        high = (high >> right_shift) + (remainder > threshold).astype(np.int64)
-    return high
+    return multiply_by_quantized_multiplier_inplace(
+        value.astype(np.int64), multiplier, shift)
+
+
+def multiply_by_quantized_multiplier_inplace(acc: np.ndarray, multiplier: int,
+                                             shift: int) -> np.ndarray:
+    """In-place variant for kernels that own a scratch int64 buffer.
+
+    ``acc`` must be int64 and is destroyed; the return value is ``acc``.
+    """
+    if shift > 0:
+        acc <<= shift
+    acc *= int(multiplier)
+    # SaturatingRoundingDoublingHighMul: (2*a*b + nudge) / 2^31 with a
+    # sign-dependent nudge (+2^30 / 1-2^30) and C++ truncating division.
+    # The asymmetric nudge cancels the floor-vs-truncate difference, so
+    # the whole thing collapses to floor((product + 2^30) / 2^31) — one
+    # arithmetic shift, no sign branch.
+    acc += np.int64(1) << 30
+    acc >>= 31
+    if shift < 0:
+        # Rounding right shift: half-up for non-negative, but negatives
+        # need remainder > half (not >=) to bump — equivalent to biasing
+        # by half-1 before the floor shift.  (acc >> 63) is -1/0.
+        acc += acc >> 63
+        acc += np.int64(1) << (-shift - 1)
+        acc >>= -shift
+    return acc
 
 
 def requantize_int32(acc: np.ndarray, input_scale: float, weight_scale: float,

@@ -31,7 +31,11 @@ def test_parser_serve_bench_flags():
         ["serve-bench", "--seed", "11", "--trace-out", "trace.json"])
     assert args.seed == 11
     assert args.trace_out == "trace.json"
-    assert args.requests == 24 and args.workers == 2
+    assert args.requests == 64 and args.workers == 2
+    assert args.batch_sizes == "1,4,8,16,32"
+    args = build_parser().parse_args(
+        ["serve-bench", "--batch-sizes", "8,64,128"])
+    assert args.batch_sizes == "8,64,128"
 
 
 def test_parser_trace_defaults_and_flags():

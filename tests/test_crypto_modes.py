@@ -134,3 +134,83 @@ def test_gcm_roundtrip_property(plaintext, aad, nonce, key):
     ct, tag = gcm.encrypt(nonce, plaintext, aad)
     assert len(ct) == len(plaintext)
     assert gcm.decrypt(nonce, ct, tag, aad) == plaintext
+
+
+# --- detached frame tags --------------------------------------------------
+
+def _frame_tag_fixtures(seed=0):
+    import numpy as np
+
+    from repro.crypto.modes import FrameTagKey
+
+    rng = np.random.default_rng(seed)
+
+    def rb(n):
+        return rng.integers(0, 256, size=n, dtype=np.uint8).tobytes()
+
+    return rng, rb, FrameTagKey
+
+
+def test_frame_tag_matches_gcm_tag_arm():
+    """FrameTagKey.tag IS AES-GCM's tag over a detached ciphertext:
+    E_k(J0) ^ GHASH_H(aad, ct) with H = E_k(0^128)."""
+    rng, rb, FrameTagKey = _frame_tag_fixtures(1)
+    for _ in range(10):
+        key, j0 = rb(16), rb(15) + b"\x01"
+        aad, ct = rb(int(rng.integers(0, 24))), rb(int(rng.integers(0, 300)))
+        gcm = GCM(key)
+        expected = bytes(a ^ b for a, b in zip(
+            gcm._aes.encrypt_block(j0), gcm._ghash(aad, ct)))
+        assert FrameTagKey(key).tag(j0, aad, ct) == expected
+
+
+def test_frame_tags_batched_matches_scalar():
+    """The multi-message sweep (both the flat and the lane-folded
+    paths) is bit-identical to the per-frame scalar tag, across mixed
+    keys and mixed lengths in one call."""
+    from repro.crypto.modes import frame_tags_batched
+
+    rng, rb, FrameTagKey = _frame_tag_fixtures(2)
+    tag_keys = [FrameTagKey(rb(16)) for _ in range(3)]
+    # Short (flat sweep), long (folded sweep), and mixed batches.
+    for sizes in ([1, 13, 30], [300, 2107, 500], [0, 13, 2107, 16]):
+        keys, j0s, aads, cts = [], [], [], []
+        for i, size in enumerate(sizes * 3):
+            keys.append(tag_keys[i % 3])
+            j0s.append(rb(15) + bytes([i + 1]))
+            aads.append(rb(8))
+            cts.append(rb(size))
+        batched = frame_tags_batched(keys, j0s, aads, cts)
+        for i, tag in enumerate(batched):
+            assert tag == keys[i].tag(j0s[i], aads[i], cts[i]), (sizes, i)
+
+
+def test_frame_tag_verify_rejects_any_bit_flip():
+    _, rb, FrameTagKey = _frame_tag_fixtures(3)
+    key = FrameTagKey(rb(16))
+    j0, aad, ct = rb(15) + b"\x01", rb(8), rb(40)
+    tag = key.tag(j0, aad, ct)
+    assert key.verify(j0, aad, ct, tag)
+    flipped = bytearray(ct)
+    flipped[17] ^= 0x80
+    assert not key.verify(j0, aad, bytes(flipped), tag)
+    assert not key.verify(j0, aad[:-1] + b"\xff", ct, tag)
+    assert not key.verify(j0, aad, ct, tag[:-1] + bytes([tag[-1] ^ 1]))
+
+
+def test_frame_tag_rejects_degenerate_j0():
+    """J0 == 0 would mask the tag with the GHASH key itself; wrong
+    sizes are refused outright."""
+    from repro.crypto.modes import frame_tags_batched
+
+    _, rb, FrameTagKey = _frame_tag_fixtures(4)
+    key = FrameTagKey(rb(16))
+    with pytest.raises(KeyError_):
+        key.tag(b"\x00" * 16, b"", b"data")
+    with pytest.raises(KeyError_):
+        key.tag(b"\x01" * 15, b"", b"data")
+    with pytest.raises(KeyError_):
+        frame_tags_batched([key], [b"\x00" * 16], [b""], [b"data"])
+    with pytest.raises(KeyError_):
+        frame_tags_batched([key, key], [b"\x01" * 16], [b""], [b"data"])
+    assert frame_tags_batched([], [], [], []) == []

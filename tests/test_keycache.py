@@ -190,6 +190,80 @@ def test_keystream_cache_validates_parameters():
         cache.take(1, bytes(16), 0, -1)
 
 
+def test_keystream_prefetch_matches_demand_generation():
+    key = bytes(range(16))
+    warm = KeystreamCache(capacity=8, chunk_bytes=64)
+    assert warm.prefetch(3, key, 0, depth=3) == 3
+    assert warm.prefetches == 3
+    # Every byte served out of the prefetched chunks is bit-identical
+    # to the unprefetched (demand-generated) stream.
+    cold = KeystreamCache(capacity=8, chunk_bytes=64)
+    assert (warm.take(3, key, 5, 150).tobytes()
+            == cold.take(3, key, 5, 150).tobytes()
+            == _direct_keystream(key, 5, 150))
+    # The take() was pure cache hits and drained the unused-prefetch set.
+    assert warm.misses == 0
+    assert warm.hits >= 3
+    assert not warm._prefetched_unused
+    # Prefetching already-cached chunks is a no-op.
+    assert warm.prefetch(3, key, 0, depth=3) == 0
+    assert warm.prefetches == 3
+
+
+def test_keystream_prefetch_preserves_lane_isolation():
+    """Prefetching one lane must never hand its chunks to the other
+    lane of the same session (the two-time-pad regression guard)."""
+    session = 9
+    key_req, key_resp = bytes(16), bytes(range(16))
+    cache = KeystreamCache(capacity=8, chunk_bytes=64)
+    cache.prefetch(session, key_resp, 0, depth=2)
+    # The request lane finds nothing prefetched: its take() is a miss
+    # and generates from its own key.
+    req = cache.take(session, key_req, 0, 64).tobytes()
+    resp = cache.take(session, key_resp, 0, 64).tobytes()
+    assert cache.misses == 1  # request lane only
+    assert req != resp
+    assert req == _direct_keystream(key_req, 0, 64)
+    assert resp == _direct_keystream(key_resp, 0, 64)
+
+
+def test_keystream_prefetched_chunks_scrubbed_on_forget_session():
+    key = bytes(range(16))
+    cache = KeystreamCache(capacity=8, chunk_bytes=64)
+    cache.prefetch(4, key, 0, depth=2)
+    chunks = [cache._chunks.get((4, key, index)) for index in range(2)]
+    assert all(chunk.any() for chunk in chunks)
+    cache.forget_session(4)
+    # Zeroized in place, dropped from every index, counted as waste.
+    assert all(not chunk.any() for chunk in chunks)
+    assert all(k[0] != 4 for k in cache._chunks._entries)
+    assert all(k[0] != 4 for k in cache._ciphers)
+    assert not cache._prefetched_unused
+    assert cache.prefetch_waste == 2
+
+
+def test_keystream_prefetch_waste_counts_untouched_evictions():
+    key = bytes(range(16))
+    cache = KeystreamCache(capacity=2, chunk_bytes=64)
+    cache.prefetch(1, key, 0, depth=2)
+    stream = cache.take(1, key, 0, 64).tobytes()  # touch chunk 0 only
+    # Filling the cache evicts both prefetched chunks; only the
+    # untouched one counts as wasted prefetch work.
+    cache.take(1, key, 128, 128)
+    assert cache.prefetch_waste == 1
+    assert cache.evictions >= 2
+    # The evicted chunk regenerates bit-identically on demand.
+    assert cache.take(1, key, 0, 64).tobytes() == stream
+
+
+def test_keystream_prefetch_validates_position():
+    cache = KeystreamCache(capacity=4, chunk_bytes=64)
+    with pytest.raises(CryptoError):
+        cache.prefetch(1, bytes(16), -1)
+    assert cache.prefetch(1, bytes(16), 0, depth=0) == 0
+    assert cache.prefetches == 0
+
+
 @pytest.mark.analysis
 def test_keycache_and_serve_pass_zeroization_rules():
     """The caches and the serving layer stay analysis-clean: no secret

@@ -240,6 +240,86 @@ def test_service_end_to_end_matches_direct_classify():
     service.teardown()
 
 
+def test_service_keystream_prefetch_is_transparent():
+    """Dispatch-loop prefetch changes timing, never bytes: results with
+    prefetch_depth=2 match prefetch_depth=0 exactly, and the response
+    lane's seals become keystream-cache hits."""
+    fingerprints = tiny_fingerprints(6, seed=11)
+    outcomes = {}
+    for depth in (0, 2):
+        platform, _, service, model = make_stack(
+            max_batch=3, prefetch_depth=depth)
+        handle = service.open_session()
+        sequences = [service.submit(handle, fp) for fp in fingerprints]
+        while service.dispatch():
+            service.poll_responses()
+        service.poll_responses()
+        outcomes[depth] = [handle.take_result(seq) for seq in sequences]
+        cache = service._service_keystreams
+        if depth == 0:
+            assert cache.prefetches == 0
+        else:
+            assert cache.prefetches > 0
+            # Chunks covering actual traffic were all consumed by
+            # seals; only the speculative lookahead tail (chunk
+            # indexes past end-of-traffic) may remain untouched.
+            assert all(key[2] >= 1 for key in cache._prefetched_unused)
+            assert len(cache._prefetched_unused) < depth
+        service.teardown()
+    for (label_a, scores_a), (label_b, scores_b) in zip(
+            outcomes[0], outcomes[2]):
+        assert label_a == label_b
+        assert np.array_equal(scores_a, scores_b)
+
+
+def test_service_drops_tampered_ingress_frame():
+    """A frame corrupted in the OS-relayed ring fails the batched tag
+    verify and is dropped; the rest of the batch still serves."""
+    platform, _, service, model = make_stack(max_batch=8)
+    handle = service.open_session()
+    fingerprints = tiny_fingerprints(5, seed=21)
+    expected = expected_results(model, fingerprints)
+    sequences = [service.submit(handle, fp) for fp in fingerprints]
+    # Flip one ciphertext bit of the frame at the ring head, in place.
+    victim = service._ingress_cons.try_peek()
+    victim[10] ^= 0x40
+    service.dispatch(force=True)
+    service.poll_responses()
+    assert service.stats().auth_failures == 1
+    for index, seq in enumerate(sequences):
+        if index == 0:
+            with pytest.raises(ServeError):
+                handle.take_result(seq)
+        else:
+            label, scores = handle.take_result(seq)
+            assert label == expected[index][0]
+            assert np.array_equal(scores, expected[index][1])
+    service.teardown()
+
+
+def test_service_drops_tampered_egress_response():
+    """Tag tampering on the response ring is caught by the client mux:
+    the response is dropped, the session survives."""
+    platform, _, service, model = make_stack(max_batch=2)
+    handle = service.open_session()
+    fingerprints = tiny_fingerprints(2, seed=22)
+    sequences = [service.submit(handle, fp) for fp in fingerprints]
+    service.dispatch(force=True)
+    frame = service._egress_cons.try_peek()
+    frame[-1] ^= 0x01   # corrupt the first response's tag
+    service.poll_responses()
+    assert service.stats().auth_failures == 1
+    with pytest.raises(ServeError):
+        handle.take_result(sequences[0])
+    label, scores = handle.take_result(sequences[1])
+    exp = expected_results(model, fingerprints)[1]
+    assert label == exp[0] and np.array_equal(scores, exp[1])
+    # The session keeps serving after the drop.
+    label2, _ = service.serve(handle, fingerprints[0])
+    assert label2 == expected_results(model, fingerprints)[0][0]
+    service.teardown()
+
+
 def test_service_deadline_flushes_partial_batch():
     platform, _, service, model = make_stack(max_batch=8, deadline_ms=2.0)
     handle = service.open_session()

@@ -265,6 +265,84 @@ def test_set_input_copies_caller_buffer():
     assert np.array_equal(interp.get_output(model.outputs[0]), expected)
 
 
+# --- plan-time fusion: bit-exactness across the whole zoo --------------
+
+
+_ZOO_MODELS: dict = {}
+
+
+def _zoo_model(name: str):
+    """An (untrained, deterministic) zoo network converted with
+    ``fuse_activations=False`` — activations travel as standalone
+    ``relu`` ops, the graph shape the plan-time fusion pass re-fuses.
+    Cached per architecture: the interpreters under test never mutate
+    the model."""
+    if name not in _ZOO_MODELS:
+        from repro.train.zoo import build_architecture, convert_network_int8
+        rng = np.random.default_rng(sum(name.encode()))
+        network = build_architecture(name)
+        calibration = rng.random((8, 49, 43, 1)) * 0.3
+        _ZOO_MODELS[name] = convert_network_int8(
+            network, calibration, fuse_activations=False, name=name)
+    return _ZOO_MODELS[name]
+
+
+def _zoo_names():
+    from repro.train.zoo import ZOO
+    return sorted(ZOO)
+
+
+@pytest.mark.parametrize("name", ["tiny_conv", "conv_pool",
+                                  "low_latency_conv", "fc_baseline"])
+def test_fused_matches_reference_across_zoo(name):
+    """Fused, unfused-fast and reference plans are bit-identical (and
+    cycle-identical) on every zoo architecture — not just the paper's
+    ``tiny_conv``.
+
+    The saturated ±extreme inputs drive every accumulator deep into the
+    negative range, exercising the negative-product requantize rounding
+    (the sign-symmetric floor-shift collapse) through whole graphs, not
+    just the kernel-level unit tests.
+    """
+    assert name in _zoo_names()
+    model = _zoo_model(name)
+    fused = Interpreter(model)
+    unfused = Interpreter(model, fuse=False)
+    ref = Interpreter(model, reference_kernels=True)
+    input_name = model.inputs[0]
+    spec = model.tensors[input_name]
+    rng = np.random.default_rng(31)
+    cases = [rng.integers(-128, 128, size=spec.shape, dtype=np.int8)
+             for _ in range(3)]
+    cases += [np.full(spec.shape, -128, dtype=np.int8),
+              np.full(spec.shape, 127, dtype=np.int8),
+              np.zeros(spec.shape, dtype=np.int8)]
+    for x in cases:
+        stats = []
+        outputs = []
+        for interp in (fused, unfused, ref):
+            interp.set_input(input_name, x)
+            stats.append(interp.invoke())
+            outputs.append(interp.get_output(model.outputs[0]).copy())
+        assert np.array_equal(outputs[0], outputs[1]), name
+        assert np.array_equal(outputs[0], outputs[2]), name
+        # Fusion and kernel choice are invisible to cycle accounting.
+        accounted = {(s.macs, s.elements, s.ops, s.cycles) for s in stats}
+        assert len(accounted) == 1, (name, accounted)
+
+
+@pytest.mark.parametrize("name", ["tiny_conv", "conv_pool",
+                                  "low_latency_conv", "fc_baseline"])
+def test_fusion_pass_engages_on_every_zoo_graph(name):
+    """Each zoo graph (converted with standalone activations) must give
+    the fusion pass something to absorb: the fused plan has fewer
+    dispatch entries than the operator list."""
+    model = _zoo_model(name)
+    fused = Interpreter(model)
+    assert fused._invoke_plan is not None
+    assert len(fused._invoke_plan) < len(model.operators), name
+
+
 # --- streaming DSP -----------------------------------------------------
 
 
