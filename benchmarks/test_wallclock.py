@@ -39,10 +39,13 @@ _COMMITTED_PATH = os.path.join(_REPO_ROOT, DEFAULT_REPORT_PATH)
 _COMMITTED = (json.load(open(_COMMITTED_PATH))
               if os.path.exists(_COMMITTED_PATH) else None)
 
-# Stages whose hot loops predate the fault-injection hooks; regressions
-# here would mean the hooks are not free when disabled.
+# Stages whose hot loops run with no fault plan installed; regressions
+# here would mean the hooks are not free when disabled.  The serving
+# stage guards the serve-layer hook sites (ring reserve, scheduler
+# deadline, keystream cache, worker invoke, frame seal) the same way.
 _NO_FAULTS_STAGES = ("crypto_provisioning_roundtrip", "inference_kws_100",
-                     "dsp_streaming_10s", "provisioning_end_to_end")
+                     "dsp_streaming_10s", "provisioning_end_to_end",
+                     "serving_throughput")
 
 # Stages every full run of run_benchmarks() must produce.  A report may
 # carry more (or, if produced by a partial run — e.g. `repro-omg

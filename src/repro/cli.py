@@ -11,6 +11,7 @@ Commands::
     analyze     run the static invariant checkers over the source tree
     serve-bench benchmark multi-session serving vs the sequential path
     trace       run a traced provision→serve pass and export telemetry
+    chaos       run seeded fault-injection schedules (device or serve)
 
 Every command runs entirely offline on the simulated HiKey 960.
 """
@@ -121,6 +122,21 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write Chrome-trace JSON (chrome://tracing)")
     trace.add_argument("--prom", default=None, metavar="PATH",
                        help="write a Prometheus text-format snapshot")
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run seeded fault-injection schedules and write per-seed "
+             "transcripts")
+    chaos.add_argument("--layer", choices=("device", "serve"),
+                       default="device",
+                       help="device: single-device pipeline chaos; serve: "
+                            "multi-session serving chaos (default: "
+                            "%(default)s)")
+    chaos.add_argument("--seeds", type=int, default=20,
+                       help="number of schedules (seeds first..first+N-1)")
+    chaos.add_argument("--first-seed", type=int, default=0)
+    chaos.add_argument("--out", default="chaos-out",
+                       help="directory for per-seed transcripts")
     return parser
 
 
@@ -348,6 +364,15 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    from repro.eval.chaos import main as chaos_main
+
+    return chaos_main(["--layer", args.layer,
+                       "--seeds", str(args.seeds),
+                       "--first-seed", str(args.first_seed),
+                       "--out", args.out])
+
+
 _COMMANDS = {
     "info": _cmd_info,
     "analyze": _cmd_analyze,
@@ -360,6 +385,7 @@ _COMMANDS = {
     "export-dataset": _cmd_export_dataset,
     "serve-bench": _cmd_serve_bench,
     "trace": _cmd_trace,
+    "chaos": _cmd_chaos,
 }
 
 

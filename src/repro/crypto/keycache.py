@@ -35,6 +35,7 @@ from repro.crypto.modes import ctr_keystream_xor
 from repro.crypto.rng import HmacDrbg
 from repro.crypto.rsa import RsaPrivateKey, generate_keypair
 from repro.errors import CryptoError
+from repro.faults import hooks as _faults
 from repro.obs import hooks as _obs
 
 __all__ = ["deterministic_keypair", "scrub_secret", "SecretCache",
@@ -215,6 +216,12 @@ class KeystreamCache:
 
     def _chunk(self, session_id: int, key: bytes, index: int) -> np.ndarray:
         cache_key = (session_id, key, index)
+        # A keycache.chunk drop fault scrubs the cached chunk before the
+        # lookup, forcing deterministic regeneration.  Chunks are pure
+        # functions of (key, index), so serving output is unchanged —
+        # the fault exercises the eviction/regeneration path under load.
+        if _faults.PLAN is not None and _faults.PLAN.keycache_chunk():
+            self._chunks.discard(cache_key)
         cached = self._chunks.get(cache_key)
         if cached is not None:
             self._prefetched_unused.discard(cache_key)

@@ -429,7 +429,7 @@ def bench_static_analysis(repeats: int = 2) -> dict:
 
 
 def bench_serving(requests: int = 64, batch_sizes: tuple = (1, 4, 8, 16, 32),
-                  repeats: int = 3, num_workers: int = 2,
+                  repeats: int = 5, num_workers: int = 2,
                   num_sessions: int = 3, seed: int = 7) -> dict:
     """Multi-session serving vs the sequential one-enclave path.
 
@@ -523,7 +523,7 @@ def bench_serving(requests: int = 64, batch_sizes: tuple = (1, 4, 8, 16, 32),
     )
 
 
-def bench_telemetry(requests: int = 24, repeats: int = 3,
+def bench_telemetry(requests: int = 24, repeats: int = 5,
                     num_workers: int = 2, num_sessions: int = 3,
                     batch: int = 8, seed: int = 7) -> dict:
     """Cost of the observability hook sites, disabled vs installed.

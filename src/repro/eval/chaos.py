@@ -18,9 +18,23 @@ backoff jitter, attestation challenges) is DRBG-seeded and time is a
 virtual clock, a schedule's fault transcript is bit-for-bit reproducible
 from its seed — the transcripts are the debugging artifact CI uploads.
 
+The harness has two layers, selected with ``--layer``:
+
+* ``device`` (default) — the original single-device pipeline above,
+  under :func:`~repro.faults.random_plan`.
+* ``serve`` — multi-session batched traffic through a
+  :class:`~repro.serve.ServingService` under
+  :func:`~repro.faults.random_serve_plan` (ring frame corruption, ring
+  stalls, scheduler deadline skew, keystream-cache drops, worker-enclave
+  panics).  On top of liveness and the leak scan, the serving layer
+  checks *exactly-once delivery*: every accepted sequence number ends as
+  exactly one response or one typed, counted loss — never a duplicate,
+  never silently missing.
+
 Run standalone::
 
     PYTHONPATH=src python -m repro.eval.chaos --seeds 20 --out chaos-out
+    PYTHONPATH=src python -m repro.eval.chaos --layer serve --seeds 20
 """
 
 from __future__ import annotations
@@ -28,7 +42,8 @@ from __future__ import annotations
 import argparse
 import json
 import os
-from dataclasses import dataclass, field
+from collections import deque
+from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
@@ -42,13 +57,15 @@ from repro.core.retry import BackoffPolicy
 from repro.crypto.keycache import deterministic_keypair
 from repro.crypto.rng import HmacDrbg
 from repro.errors import ProtocolError, ReproError
-from repro.faults import FaultPlan, installed, random_plan
+from repro.faults import FaultPlan, installed, random_plan, random_serve_plan
 from repro.obs import hooks as _obs
 from repro.sanctuary.lifecycle import (EnclaveState, SanctuaryRuntime)
+from repro.serve import ServeConfig, ServingService, Shed
 from repro.trustzone import make_platform
 
 __all__ = ["ChaosResult", "run_chaos_schedule", "write_chaos_transcripts",
-           "default_chaos_model"]
+           "default_chaos_model", "ServeChaosResult",
+           "run_serve_chaos_schedule"]
 
 _HEAP_BYTES = 1 << 20
 _KEY_BITS = 768
@@ -416,6 +433,214 @@ def run_chaos_schedule(seed: int, model=None, *, max_recoveries: int = 3,
     return result
 
 
+@dataclass
+class ServeChaosResult:
+    """Outcome of one seeded *serving* chaos schedule.
+
+    The exactly-once ledger is the heart of it: every accepted sequence
+    number must end as exactly one delivered response or be covered by
+    exactly one counted loss (``auth_failures`` + ``frames_dropped`` +
+    ``responses_dropped``) — duplicates and silent losses both fail the
+    schedule.
+    """
+
+    seed: int
+    completed: bool = False
+    error: str | None = None          # typed error class name, if any
+    error_message: str = ""
+    untyped: bool = False             # liveness violation: non-ReproError
+    sessions: int = 0
+    accepted: int = 0                 # submits that consumed a seq
+    shed: int = 0                     # typed backpressure verdicts seen
+    delivered: int = 0                # distinct responses completed
+    missing: int = 0                  # accepted seqs with no response
+    counted_losses: int = 0           # auth + frame + response drops
+    duplicates: int = 0               # completions beyond distinct seqs
+    rules: list[str] = field(default_factory=list)
+    fault_lines: list[str] = field(default_factory=list)
+    stats: dict = field(default_factory=dict)   # frozen ServingStats
+    safety_violations: list[str] = field(default_factory=list)
+
+    @property
+    def live(self) -> bool:
+        """Liveness invariant: completed, or failed with a typed error."""
+        return self.completed or (self.error is not None and not self.untyped)
+
+    @property
+    def safe(self) -> bool:
+        """Safety: no leaks, no duplicate or unaccounted responses."""
+        return not self.safety_violations
+
+    def transcript(self) -> str:
+        """Per-seed artifact, embedding the frozen stats snapshot."""
+        lines = [
+            f"serve chaos schedule seed={self.seed}",
+            f"completed={self.completed} live={self.live} safe={self.safe}",
+            f"error={self.error or '-'} {self.error_message}".rstrip(),
+            f"sessions={self.sessions} accepted={self.accepted} "
+            f"shed={self.shed} delivered={self.delivered}",
+            f"missing={self.missing} counted_losses={self.counted_losses} "
+            f"duplicates={self.duplicates}",
+            "rules:",
+            *(f"  {rule}" for rule in self.rules),
+            "faults fired:",
+            *(f"  {line}" for line in self.fault_lines),
+            "serving stats:",
+            *(f"  {key}={value}"
+              for key, value in sorted(self.stats.items())),
+        ]
+        if self.safety_violations:
+            lines.append("SAFETY VIOLATIONS:")
+            lines.extend(f"  {v}" for v in self.safety_violations)
+        return "\n".join(lines) + "\n"
+
+
+def run_serve_chaos_schedule(seed: int, model=None, *,
+                             num_sessions: int = 3,
+                             requests_per_session: int = 7,
+                             max_rules: int = 4) -> ServeChaosResult:
+    """Drive batched multi-session traffic under ``random_serve_plan``.
+
+    The serving stack (platform, vendor, worker pool, sessions) is
+    built *outside* the installed plan — serving fault sites count only
+    serving operations, so the schedule's transcript is bit-for-bit
+    reproducible from the seed regardless of process-wide caches.  The
+    service runs in graceful (``strict=False``) mode: ring-full paths
+    shed with typed verdicts, worker panics recover via re-attested
+    relaunch, and the watchdog rescues skew-stalled batches.
+    """
+    if model is None:
+        model = default_chaos_model()
+    plan = random_serve_plan(seed, max_rules=max_rules)
+    result = ServeChaosResult(seed=seed,
+                              rules=[repr(rule) for rule in plan.rules])
+
+    platform = make_platform(key_bits=_KEY_BITS)
+    vendor = Vendor("serve-chaos-vendor", model, seed=_VENDOR_SEED,
+                    key_bits=_KEY_BITS)
+    config = ServeConfig(max_batch=4, deadline_ms=2.0, ring_slots=8,
+                         num_workers=2, strict=False, watchdog_ms=12.0,
+                         prefetch_depth=1)
+    service = ServingService(platform, vendor, config)
+    handles = [service.open_session() for _ in range(num_sessions)]
+    result.sessions = len(handles)
+    clock = platform.soc.clock
+
+    # Deterministic per-seed traffic, round-robined across sessions so
+    # every batch mixes sessions (per-session key isolation under fire).
+    rng = np.random.default_rng(seed * 6007 + 13)
+    traffic: deque = deque()
+    for _ in range(requests_per_session):
+        for index in range(num_sessions):
+            fingerprint = rng.integers(
+                0, 256, size=service.fingerprint_shape, dtype=np.uint8)
+            traffic.append((index, fingerprint))
+    input_markers = {
+        f"input{i}": _plaintext_marker(fp.tobytes())
+        for i, (_, fp) in enumerate(traffic) if i < 3}
+
+    accepted: dict[int, set] = {h.session_id: set() for h in handles}
+    chaos_span = None
+    if _obs.TELEMETRY is not None:
+        chaos_span = _obs.TELEMETRY.tracer.start_span(
+            "chaos.serve_schedule",
+            attributes={"seed": seed, "rules": len(plan.rules)})
+
+    with installed(plan):
+        try:
+            iterations = 0
+            while traffic and iterations < 400:
+                iterations += 1
+                index, fingerprint = traffic[0]
+                verdict = service.submit(handles[index], fingerprint)
+                if isinstance(verdict, Shed):
+                    # Typed backpressure: drain and retry the same
+                    # request — nothing was consumed.
+                    result.shed += 1
+                else:
+                    traffic.popleft()
+                    accepted[handles[index].session_id].add(verdict)
+                    result.accepted += 1
+                service.dispatch()
+                service.poll_responses()
+                clock.advance_ms(0.75)
+            # Drain: anything still queued (sub-deadline leftovers,
+            # requeued batches) flushes here; the egress ring is polled
+            # between rounds so force-flushes always find room.
+            for _ in range(8):
+                service.dispatch(force=True)
+                service.poll_responses()
+                clock.advance_ms(1.0)
+            result.completed = not traffic
+            if traffic:
+                result.error = "ServeError"
+                result.error_message = (
+                    f"{len(traffic)} requests still shed after the "
+                    f"drive-loop budget — wedged ingress")
+        except ReproError as exc:
+            result.error = type(exc).__name__
+            result.error_message = str(exc)
+        except Exception as exc:  # noqa: BLE001 — liveness violation
+            result.error = type(exc).__name__
+            result.error_message = str(exc)
+            result.untyped = True
+
+    result.fault_lines = plan.transcript_lines()
+    stats = service.stats()
+    result.stats = asdict(stats)
+
+    # Exactly-once ledger over the accepted sequence numbers.
+    delivered = 0
+    missing = 0
+    for handle in handles:
+        got = set(handle.results)
+        want = accepted[handle.session_id]
+        delivered += len(got & want)
+        missing += len(want - got)
+        for seq in got - want:
+            result.safety_violations.append(
+                f"session {handle.session_id}: response for seq {seq} "
+                f"that was never accepted")
+    result.delivered = delivered
+    result.missing = missing
+    result.counted_losses = (stats.auth_failures + stats.frames_dropped
+                             + stats.responses_dropped)
+    # requests_completed beyond the distinct results means some seq was
+    # delivered more than once (the second write overwrites the dict).
+    result.duplicates = max(0, stats.requests_completed - delivered)
+    if result.duplicates:
+        result.safety_violations.append(
+            f"{result.duplicates} duplicate response deliveries")
+    if result.completed and missing != result.counted_losses:
+        result.safety_violations.append(
+            f"exactly-once violation: {missing} accepted seqs missing "
+            f"but {result.counted_losses} losses counted")
+    if (result.completed
+            and any("worker.invoke" in line for line in result.fault_lines)
+            and stats.workers_restarted < 1):
+        result.safety_violations.append(
+            "worker panic fired but no re-attested restart happened")
+
+    if chaos_span is not None:
+        for line in result.fault_lines:
+            chaos_span.add_event("fault", detail=line)
+        chaos_span.set_attributes(
+            completed=result.completed, error=result.error or "",
+            faults=len(result.fault_lines),
+            restarts=stats.workers_restarted, shed=result.shed)
+        chaos_span.end()
+
+    # Teardown (tolerates panicked workers), then sweep every untrusted
+    # surface: model plaintext and raw fingerprints must never appear
+    # outside locked/scrubbed enclave memory — the rings only ever
+    # carried sealed bytes.
+    service.teardown()
+    markers = {"model": _plaintext_marker(vendor.model_bytes)}
+    markers.update(input_markers)
+    result.safety_violations.extend(_scan_for_leaks(platform, markers))
+    return result
+
+
 def write_chaos_transcripts(results: list[ChaosResult],
                             out_dir: str) -> str:
     """Write per-seed transcripts plus a summary.json; return the dir."""
@@ -440,6 +665,10 @@ def write_chaos_transcripts(results: list[ChaosResult],
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--layer", choices=("device", "serve"),
+                        default="device",
+                        help="device: single-device pipeline chaos; "
+                             "serve: multi-session serving-stack chaos")
     parser.add_argument("--seeds", type=int, default=20,
                         help="number of schedules (seeds 0..N-1)")
     parser.add_argument("--first-seed", type=int, default=0)
@@ -449,12 +678,18 @@ def main(argv=None) -> int:
 
     results = []
     for seed in range(args.first_seed, args.first_seed + args.seeds):
-        result = run_chaos_schedule(seed)
+        if args.layer == "serve":
+            result = run_serve_chaos_schedule(seed)
+            extra = (f"restarts={result.stats.get('workers_restarted', 0)}"
+                     f" shed={result.shed}")
+        else:
+            result = run_chaos_schedule(seed)
+            extra = f"recoveries={result.recoveries}"
         status = ("ok" if result.completed
                   else f"typed:{result.error}" if result.live
                   else f"LIVENESS:{result.error}")
         print(f"seed {seed:4d}  {status:30s} faults={len(result.fault_lines)}"
-              f" recoveries={result.recoveries} safe={result.safe}")
+              f" {extra} safe={result.safe}")
         results.append(result)
     write_chaos_transcripts(results, args.out)
     bad = [r.seed for r in results if not (r.live and r.safe)]

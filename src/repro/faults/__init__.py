@@ -24,12 +24,18 @@ from repro.faults.plan import (
     corrupt_channel_frame,
     corrupt_nth_bus_read,
     corrupt_nth_bus_write,
+    corrupt_nth_ring_frame,
     crash_enclave_in_state,
     drop_channel_frame,
     drop_nth_bus_write,
+    drop_nth_keystream_chunk,
+    panic_nth_worker_invoke,
     random_plan,
+    random_serve_plan,
     rng_exhaustion_at,
+    skew_nth_deadline,
     skip_nth_scrub,
+    stall_nth_ring_reserve,
 )
 
 __all__ = [
@@ -38,4 +44,7 @@ __all__ = [
     "drop_nth_bus_write", "corrupt_nth_bus_write", "corrupt_nth_bus_read",
     "skip_nth_scrub", "rng_exhaustion_at", "corrupt_channel_frame",
     "drop_channel_frame", "crash_enclave_in_state", "random_plan",
+    "corrupt_nth_ring_frame", "stall_nth_ring_reserve", "skew_nth_deadline",
+    "drop_nth_keystream_chunk", "panic_nth_worker_invoke",
+    "random_serve_plan",
 ]

@@ -27,7 +27,25 @@ site               actions                        effect
 ``channel.open``                                  wire / lost in transit
 ``lifecycle``      ``crash``                      enclave crashes while in
                                                   the matched state
+``serve.ingress``  ``corrupt``                    sealed request frame
+                                                  bit-flipped in the ring
+``serve.egress``   ``corrupt``                    sealed response frame
+                                                  bit-flipped in the ring
+``ring.reserve``   ``stall``                      slot ring reports full
+                                                  (transient stall)
+``sched.deadline`` ``skew``                       batch-deadline check sees
+                                                  a skewed virtual clock
+``keycache.chunk`` ``drop``                       cached keystream chunk
+                                                  scrubbed and dropped
+``worker.invoke``  ``panic``                      enclave worker panics
+                                                  mid-batch
 =================  =============================  =========================
+
+The serving-layer sites (everything below ``lifecycle``) were added
+when the chaos harness grew a ``serve`` mode: they cover the zero-copy
+rings, the batch scheduler, the keystream cache, and the enclave worker
+pool — see :mod:`repro.eval.chaos` and ``docs/ARCHITECTURE.md``
+("Serving resilience & degradation").
 """
 
 from __future__ import annotations
@@ -46,10 +64,15 @@ __all__ = [
     "drop_nth_bus_write", "corrupt_nth_bus_write", "corrupt_nth_bus_read",
     "skip_nth_scrub", "rng_exhaustion_at", "corrupt_channel_frame",
     "drop_channel_frame", "crash_enclave_in_state", "random_plan",
+    "corrupt_nth_ring_frame", "stall_nth_ring_reserve",
+    "skew_nth_deadline", "drop_nth_keystream_chunk",
+    "panic_nth_worker_invoke", "random_serve_plan",
 ]
 
 SITES = ("bus.write", "bus.read", "memory.scrub", "rng.generate",
-         "channel.seal", "channel.open", "lifecycle")
+         "channel.seal", "channel.open", "lifecycle",
+         "serve.ingress", "serve.egress", "ring.reserve",
+         "sched.deadline", "keycache.chunk", "worker.invoke")
 
 
 @dataclass(frozen=True)
@@ -61,6 +84,12 @@ class FaultRule:
     with this chance, drawn from the plan DRBG) selects the trigger.
     ``state`` additionally filters ``lifecycle`` events by enclave
     state/phase name.  ``max_fires`` bounds how often the rule fires.
+    ``span`` widens an ``nth`` trigger to the window ``[nth, nth +
+    span)`` of consecutive operations — how a stall or a clock skew
+    persists over a stretch of activity instead of blinking for one
+    operation.  ``magnitude`` parameterizes actions that need a size —
+    today only ``sched.deadline``/``skew``, where it is the skew in
+    virtual milliseconds.
     """
 
     site: str
@@ -69,12 +98,16 @@ class FaultRule:
     probability: float = 0.0
     state: str | None = None
     max_fires: int = 1
+    span: int = 1
+    magnitude: float = 0.0
 
     def __post_init__(self) -> None:
         if self.site not in SITES:
             raise ReproError(f"unknown fault site {self.site!r}")
         if self.nth is not None and self.nth < 1:
             raise ReproError("nth is 1-based and must be >= 1")
+        if self.span < 1:
+            raise ReproError("span must be >= 1")
         if not 0.0 <= self.probability <= 1.0:
             raise ReproError("probability must be within [0, 1]")
         if self.nth is None and self.probability == 0.0:
@@ -147,7 +180,7 @@ class FaultPlan:
             if rule.state is not None and rule.state != state:
                 continue
             if rule.nth is not None:
-                if op_index != rule.nth:
+                if not rule.nth <= op_index < rule.nth + rule.span:
                     continue
             elif self._uniform() >= rule.probability:
                 continue
@@ -282,6 +315,105 @@ class FaultPlan:
         finally:
             self._busy = False
 
+    # --- serving-layer hook sites ----------------------------------------
+
+    def ring_frame(self, site: str, frame) -> None:
+        """Flip one bit of a sealed ring frame *in place*.
+
+        ``site`` is ``serve.ingress`` or ``serve.egress``; ``frame`` is
+        the mutable slot view (header + ciphertext + tag) as it sits in
+        the OS-relayed ring — exactly the memory an adversarial or
+        flaky relay could touch.  Tag verification downstream must
+        catch the flip and account it (``auth_failures`` or
+        ``frames_dropped``), never wedge the ring.
+        """
+        if self._busy:
+            return
+        self._busy = True
+        try:
+            rule = self._match(site)
+            if rule is None or rule.action != "corrupt" or not len(frame):
+                return
+            position = self._drbg.randint_below(len(frame))
+            frame[position] ^= 1 << self._drbg.randint_below(8)
+            self._record(rule, site, self._op_counts[site],
+                         f"len={len(frame)} byte={position}")
+        finally:
+            self._busy = False
+
+    def ring_stall(self) -> bool:
+        """True when a ``ring.reserve`` stall rule fires: the slot ring
+        reports full for this reservation even though space exists."""
+        if self._busy:
+            return False
+        self._busy = True
+        try:
+            rule = self._match("ring.reserve")
+            if rule is None or rule.action != "stall":
+                return False
+            self._record(rule, "ring.reserve",
+                         self._op_counts["ring.reserve"], "stalled")
+            return True
+        finally:
+            self._busy = False
+
+    def scheduler_skew(self) -> float:
+        """Virtual-clock skew (ms) applied to one batch-deadline check.
+
+        A positive skew makes waiting requests look younger than they
+        are, suppressing the deadline trigger — the serving watchdog
+        must rescue the stuck batch by absolute age.
+        """
+        if self._busy:
+            return 0.0
+        self._busy = True
+        try:
+            rule = self._match("sched.deadline")
+            if rule is None or rule.action != "skew":
+                return 0.0
+            self._record(rule, "sched.deadline",
+                         self._op_counts["sched.deadline"],
+                         f"skew_ms={rule.magnitude}")
+            return rule.magnitude
+        finally:
+            self._busy = False
+
+    def keycache_chunk(self) -> bool:
+        """True when a ``keycache.chunk`` drop rule fires: the cached
+        keystream chunk is scrubbed and must be regenerated (a
+        correctness-neutral availability fault)."""
+        if self._busy:
+            return False
+        self._busy = True
+        try:
+            rule = self._match("keycache.chunk")
+            if rule is None or rule.action != "drop":
+                return False
+            self._record(rule, "keycache.chunk",
+                         self._op_counts["keycache.chunk"], "dropped")
+            return True
+        finally:
+            self._busy = False
+
+    def worker_invoke(self) -> None:
+        """Panic an enclave worker mid-batch (``worker.invoke`` site).
+
+        Raised inside the worker's fail-closed envelope, so the enclave
+        scrubs and unlocks before the pool's recovery machinery
+        relaunches and re-attests it.
+        """
+        if self._busy:
+            return
+        self._busy = True
+        try:
+            rule = self._match("worker.invoke")
+            if rule is not None and rule.action == "panic":
+                self._record(rule, "worker.invoke",
+                             self._op_counts["worker.invoke"], "panic")
+                raise FaultInjected("injected enclave worker panic")
+        finally:
+            self._busy = False
+
 
 # --- declarative rule constructors ----------------------------------------
 
@@ -331,6 +463,38 @@ def crash_enclave_in_state(state: str, nth: int = 1,
                      max_fires=max_fires)
 
 
+def corrupt_nth_ring_frame(n: int, lane: str = "ingress",
+                           max_fires: int = 1) -> FaultRule:
+    """One bit of the nth sealed frame on a serving ring flips."""
+    if lane not in ("ingress", "egress"):
+        raise ReproError(f"ring lane must be ingress or egress, got {lane!r}")
+    return FaultRule(f"serve.{lane}", "corrupt", nth=n, max_fires=max_fires)
+
+
+def stall_nth_ring_reserve(n: int, span: int = 1) -> FaultRule:
+    """``span`` consecutive slot reservations starting at the nth
+    report the ring full (a transient relay stall)."""
+    return FaultRule("ring.reserve", "stall", nth=n, span=span,
+                     max_fires=span)
+
+
+def skew_nth_deadline(n: int, skew_ms: float, span: int = 32) -> FaultRule:
+    """``span`` consecutive deadline checks starting at the nth see the
+    waiting requests as ``skew_ms`` younger than they are."""
+    return FaultRule("sched.deadline", "skew", nth=n, span=span,
+                     max_fires=span, magnitude=skew_ms)
+
+
+def drop_nth_keystream_chunk(n: int, max_fires: int = 1) -> FaultRule:
+    """The nth keystream-cache lookup finds its chunk scrubbed."""
+    return FaultRule("keycache.chunk", "drop", nth=n, max_fires=max_fires)
+
+
+def panic_nth_worker_invoke(n: int, max_fires: int = 1) -> FaultRule:
+    """The nth batch invoke panics its enclave worker mid-flight."""
+    return FaultRule("worker.invoke", "panic", nth=n, max_fires=max_fires)
+
+
 # --- randomized schedules for the chaos harness ---------------------------
 
 def random_plan(seed: int, max_rules: int = 4) -> FaultPlan:
@@ -356,6 +520,34 @@ def random_plan(seed: int, max_rules: int = 4) -> FaultPlan:
         lambda n: drop_channel_frame(1 + n % 8, "recv"),
         lambda n: crash_enclave_in_state("attested"),
         lambda n: crash_enclave_in_state("active", nth=1 + n % 4),
+    )
+    num_rules = 1 + chooser.randint_below(max_rules)
+    rules = [menu[chooser.randint_below(len(menu))](chooser.randint_below(64))
+             for _ in range(num_rules)]
+    return FaultPlan(seed, rules)
+
+
+def random_serve_plan(seed: int, max_rules: int = 4) -> FaultPlan:
+    """A seeded random *serving-layer* fault schedule.
+
+    Draws only from the serving fault domains (ring frames, ring
+    stalls, scheduler skew, keystream drops, worker panics) so a
+    schedule exercises the serving stack's degradation and recovery
+    machinery rather than re-running the device-layer chaos battery.
+    All triggers are ``nth``-based — no probability draws — so the
+    transcript depends only on the per-site operation sequence.
+    """
+    from repro.crypto.rng import HmacDrbg
+
+    chooser = HmacDrbg(seed.to_bytes(16, "big", signed=False),
+                       b"serve-chaos-schedule")
+    menu = (
+        lambda n: corrupt_nth_ring_frame(1 + n % 18, "ingress"),
+        lambda n: corrupt_nth_ring_frame(1 + n % 18, "egress"),
+        lambda n: stall_nth_ring_reserve(1 + n % 18, span=1 + n % 3),
+        lambda n: skew_nth_deadline(1 + n % 8, skew_ms=2.0 + (n % 8)),
+        lambda n: drop_nth_keystream_chunk(1 + n % 12),
+        lambda n: panic_nth_worker_invoke(1 + n % 5),
     )
     num_rules = 1 + chooser.randint_below(max_rules)
     rules = [menu[chooser.randint_below(len(menu))](chooser.randint_below(64))

@@ -15,6 +15,7 @@ import struct
 import numpy as np
 
 from repro.errors import MemoryAccessError
+from repro.faults import hooks as _faults
 from repro.hw.memory import AccessType, MemoryRegion, World
 from repro.hw.soc import Soc
 
@@ -212,8 +213,13 @@ class SlotRing:
         """Next free slot's payload view, or ``None`` when full.
 
         The caller writes (or seals) the message directly into the
-        returned view, then calls :meth:`commit`.
+        returned view, then calls :meth:`commit`.  A ``ring.reserve``
+        stall fault makes the ring report full for this reservation —
+        producers must treat ``None`` as backpressure (shed or retry),
+        exactly as they would a genuinely full ring.
         """
+        if _faults.PLAN is not None and _faults.PLAN.ring_stall():
+            return None
         head = int(self._ctrl[0])
         tail = int(self._ctrl[1])
         if (tail + 1) % self.num_slots == head:

@@ -21,9 +21,11 @@ and moved over zero-copy shared-memory rings:
 from repro.serve.baseline import SequentialBaseline
 from repro.serve.pool import EnclaveWorker, EnclaveWorkerPool
 from repro.serve.scheduler import BatchScheduler
-from repro.serve.service import ServeConfig, ServingService, SessionHandle
+from repro.serve.service import (Rejected, ServeConfig, ServingService,
+                                 ServingStats, SessionHandle, Shed)
 
 __all__ = [
     "BatchScheduler", "EnclaveWorker", "EnclaveWorkerPool",
-    "SequentialBaseline", "ServeConfig", "ServingService", "SessionHandle",
+    "Rejected", "SequentialBaseline", "ServeConfig", "ServingService",
+    "ServingStats", "SessionHandle", "Shed",
 ]

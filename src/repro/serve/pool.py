@@ -12,6 +12,13 @@ flat, which the serve tests pin).
 Batches are round-robined across workers.  When no big core is
 available for pinning the pool degrades to a single worker placed by
 the default (least-busy) policy — the sequential fallback.
+
+Crash recovery: when a worker's enclave panics mid-invoke the fail-
+closed envelope scrubs and unlocks it, and :meth:`restart_worker`
+launches a *fresh* session on the same core — full prepare (attested
+report verified by the vendor again) and provisioning, with a restart-
+unique channel seed so the replacement's transport never reuses the
+dead session's key material.
 """
 
 from __future__ import annotations
@@ -21,7 +28,9 @@ import numpy as np
 from repro.core.omg import KeywordSpotterApp, OmgSession
 from repro.core.parties import User, Vendor
 from repro.errors import ProtocolError, ServeError
+from repro.faults import hooks as _faults
 from repro.obs import hooks as _obs
+from repro.sanctuary.lifecycle import EnclaveState
 from repro.trustzone.worlds import Platform
 
 __all__ = ["EnclaveWorker", "EnclaveWorkerPool"]
@@ -63,6 +72,8 @@ class EnclaveWorker:
                 ) -> tuple[np.ndarray, np.ndarray]:
         session = self.session
         try:
+            if _faults.PLAN is not None:
+                _faults.PLAN.worker_invoke()
             labels, scores = session.app.recognize_fingerprints(
                 session.ctx, fingerprints)
         except ProtocolError:
@@ -81,6 +92,8 @@ class EnclaveWorkerPool:
     def __init__(self, platform: Platform, vendor: Vendor,
                  num_workers: int | None = None,
                  heap_bytes: int | None = None) -> None:
+        self._platform = platform
+        self._vendor = vendor
         soc = platform.soc
         # Collect placement targets up front so the pool's layout is
         # explicit, not a side effect of launch-time load.
@@ -107,6 +120,7 @@ class EnclaveWorkerPool:
             self.workers.append(
                 EnclaveWorker(session, session.instance.core_id))
         self._next = 0
+        self.restarts = 0
 
     def __len__(self) -> int:
         return len(self.workers)
@@ -117,6 +131,44 @@ class EnclaveWorkerPool:
         self._next = (self._next + 1) % len(self.workers)
         return worker
 
+    def restart_worker(self, worker: EnclaveWorker) -> EnclaveWorker:
+        """Replace a panicked worker with a freshly attested session.
+
+        The dead enclave was already scrubbed and unlocked by the fail-
+        closed panic path; here the pool launches a new session pinned
+        to the *same* core (preserving the one-enclave-per-big-core
+        layout), runs the full prepare/initialize handshake — so the
+        vendor re-verifies a fresh attestation report before releasing
+        the model key — and swaps it into the worker slot in place,
+        keeping round-robin order stable.  The channel seed includes
+        the restart ordinal: transport keys are never reused across a
+        worker's incarnations.
+        """
+        try:
+            index = self.workers.index(worker)
+        except ValueError:
+            raise ServeError("restart_worker: unknown worker")
+        self.restarts += 1
+        session = OmgSession(
+            self._platform, self._vendor, User(), KeywordSpotterApp(),
+            channel_seed=b"serve-worker-%d-r%d" % (index, self.restarts),
+            core_id=worker.core_id,
+        )
+        session.prepare()
+        session.initialize()
+        replacement = EnclaveWorker(session, session.instance.core_id)
+        self.workers[index] = replacement
+        if _obs.TELEMETRY is not None:
+            _obs.TELEMETRY.metrics.counter(
+                "omg_serve_workers_restarted_total",
+                "panicked enclave workers relaunched and re-attested"
+            ).inc()
+        return replacement
+
     def teardown(self) -> None:
         for worker in self.workers:
+            # A panicked worker was already scrubbed and unlocked by the
+            # fail-closed envelope; tearing it down again would raise.
+            if worker.session.instance.state is EnclaveState.TORN_DOWN:
+                continue
             worker.session.teardown()

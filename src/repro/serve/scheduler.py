@@ -16,6 +16,7 @@ from __future__ import annotations
 from collections import deque
 
 from repro.errors import ServeError
+from repro.faults import hooks as _faults
 from repro.hw.timing import VirtualClock
 
 __all__ = ["BatchScheduler"]
@@ -38,6 +39,7 @@ class BatchScheduler:
         self.batches = 0
         self.full_batches = 0
         self.deadline_flushes = 0
+        self.requeued = 0
 
     def __len__(self) -> int:
         return len(self._pending)
@@ -48,13 +50,35 @@ class BatchScheduler:
         self.submitted += 1
 
     def ready(self) -> bool:
-        """Would :meth:`next_batch` dispatch right now?"""
+        """Would :meth:`next_batch` dispatch right now?
+
+        A ``sched.deadline`` skew fault subtracts its magnitude (ms)
+        from the oldest request's apparent age, delaying deadline
+        flushes — the fault models a drifting batch timer, not a clock
+        change, so :meth:`oldest_wait_ms` (and hence the watchdog in
+        :class:`~repro.serve.service.ServingService`) is unaffected.
+        """
         if len(self._pending) >= self.max_batch:
             return True
         if not self._pending:
             return False
         oldest_ms, _ = self._pending[0]
-        return self.clock.now_ms - oldest_ms >= self.deadline_ms
+        age_ms = self.clock.now_ms - oldest_ms
+        if _faults.PLAN is not None:
+            age_ms -= _faults.PLAN.scheduler_skew()
+        return age_ms >= self.deadline_ms
+
+    def oldest_wait_ms(self) -> float:
+        """True (skew-immune) age of the oldest pending request in ms.
+
+        ``0.0`` when nothing is pending.  The serving watchdog reads
+        this directly so injected deadline skew can delay batching but
+        never starve a stuck request forever.
+        """
+        if not self._pending:
+            return 0.0
+        oldest_ms, _ = self._pending[0]
+        return self.clock.now_ms - oldest_ms
 
     def next_batch(self) -> list:
         """Pop the next batch (up to ``max_batch`` items, FIFO).
@@ -66,9 +90,30 @@ class BatchScheduler:
             raise ServeError("no batch is ready to dispatch")
         return self._take(self.max_batch)
 
-    def flush(self) -> list:
-        """Pop everything pending regardless of triggers (shutdown)."""
-        return self._take(len(self._pending)) if self._pending else []
+    def flush(self, limit: int | None = None) -> list:
+        """Pop pending items regardless of triggers (shutdown, watchdog).
+
+        ``limit`` caps the batch — the watchdog force-flush uses it to
+        respect ``max_batch`` and egress-ring room; default pops all.
+        """
+        if not self._pending:
+            return []
+        return self._take(len(self._pending) if limit is None else limit)
+
+    def requeue(self, items) -> None:
+        """Push a failed batch back to the *front* of the queue.
+
+        Used by crash recovery: a batch whose worker panicked mid-invoke
+        goes back ahead of everything submitted since, preserving FIFO
+        dispatch order.  Items are re-stamped at now — their original
+        wait already triggered one dispatch; the fresh stamp keeps a
+        single stuck batch from pinning ``ready()`` true forever while
+        the watchdog still sees the true wait via the new arrival time.
+        """
+        now_ms = self.clock.now_ms
+        for item in reversed(list(items)):
+            self._pending.appendleft((now_ms, item))
+            self.requeued += 1
 
     def _take(self, limit: int) -> list:
         size = min(limit, len(self._pending))

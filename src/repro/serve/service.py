@@ -40,7 +40,8 @@ from repro.crypto.hmac import constant_time_eq
 from repro.crypto.keycache import KeystreamCache, SecretCache
 from repro.crypto.modes import FrameTagKey, frame_tags_batched
 from repro.crypto.rng import HmacDrbg
-from repro.errors import ServeError
+from repro.errors import ProtocolError, ServeError
+from repro.faults import hooks as _faults
 from repro.hw.memory import RegionPolicy, World
 from repro.obs import hooks as _obs
 from repro.sanctuary.shm import SharedRegion, SlotRing
@@ -51,7 +52,8 @@ from repro.serve.frames import (HEADER, TAG_BYTES, derive_lane_keys,
 from repro.serve.pool import EnclaveWorkerPool
 from repro.serve.scheduler import BatchScheduler
 
-__all__ = ["ServeConfig", "ServingStats", "SessionHandle", "ServingService"]
+__all__ = ["ServeConfig", "ServingStats", "SessionHandle", "ServingService",
+           "Shed", "Rejected"]
 
 # Batch-size histogram bounds: powers-ish of 2 around typical max_batch.
 _BATCH_BUCKETS = (1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0, 24.0, 32.0)
@@ -76,6 +78,47 @@ class ServeConfig:
     # Response-lane keystream chunks generated ahead of demand per
     # session before a batch's inference runs (0 disables prefetch).
     prefetch_depth: int = 1
+    # Strict mode raises ServeError on ring-full/capacity paths (the
+    # original semantics, which the serve tests pin).  ``strict=False``
+    # turns those paths into typed :class:`Shed`/:class:`Rejected`
+    # results plus a ``requests_shed`` counter — 429-style backpressure
+    # the caller can retry, with the dispatch loop never raising
+    # mid-flight.
+    strict: bool = True
+    # Watchdog deadline: a request stuck past this age (true age, immune
+    # to injected scheduler skew) is force-flushed even though the
+    # batching triggers say "wait".  ``None`` → 10x ``deadline_ms``.
+    watchdog_ms: float | None = None
+    # Upper bound on panicked-worker relaunches over the service's
+    # lifetime; past it a worker crash surfaces as ServeError instead of
+    # recovery (a crash-looping enclave should stop the service, not
+    # spin it).
+    max_worker_restarts: int = 8
+
+
+@dataclass(frozen=True)
+class Shed:
+    """Typed backpressure verdict: this request was *not* accepted.
+
+    Returned by :meth:`ServingService.submit` in graceful
+    (``strict=False``) mode when the ingress ring has no room.  No
+    sequence number was consumed and no state was created — the caller
+    may retry the identical request after draining responses.
+    """
+
+    session_id: int
+    reason: str
+
+
+@dataclass(frozen=True)
+class Rejected:
+    """Typed admission verdict: the session was *not* opened.
+
+    Returned by :meth:`ServingService.open_session` in graceful mode
+    when the session table is at capacity.  Nothing was allocated.
+    """
+
+    reason: str
 
 
 @dataclass
@@ -112,9 +155,13 @@ class ServingStats:
     frames_dropped: int
     responses_dropped: int
     auth_failures: int
+    requests_shed: int
     batches: int
     full_batches: int
     deadline_flushes: int
+    watchdog_flushes: int
+    workers_restarted: int
+    batches_requeued: int
     open_sessions: int
     queue_depth: int
     p50_ms: float
@@ -194,10 +241,16 @@ class ServingService:
         self._frames_dropped = 0
         self._responses_dropped = 0
         self._auth_failures = 0
+        self._requests_shed = 0
+        self._watchdog_flushes = 0
+        self._batches_requeued = 0
+        self._watchdog_ms = (self.config.watchdog_ms
+                             if self.config.watchdog_ms is not None
+                             else 10.0 * self.config.deadline_ms)
 
     # --- sessions ------------------------------------------------------
 
-    def open_session(self) -> SessionHandle:
+    def open_session(self) -> "SessionHandle | Rejected":
         """Establish one client session: derive and cache its lane keys.
 
         Session establishment is local key derivation — the enclave
@@ -207,12 +260,16 @@ class ServingService:
         Refuses beyond ``session_capacity``: silently LRU-evicting a
         still-open session's keys would strand its in-flight frames
         (and wedge the ring behind them), so the capacity is an
-        admission limit, not an eviction policy.
+        admission limit, not an eviction policy.  Strict mode raises;
+        graceful mode returns a typed :class:`Rejected`.
         """
         if len(self._session_keys) >= self.config.session_capacity:
-            raise ServeError(
-                f"session capacity {self.config.session_capacity} "
-                f"reached; close_session() one before opening another")
+            reason = (f"session capacity {self.config.session_capacity} "
+                      f"reached; close_session() one before opening another")
+            if self.config.strict:
+                raise ServeError(reason)
+            self._count_shed()
+            return Rejected(reason)
         session_id = self._next_session
         self._next_session += 1
         master = self._session_rng.generate(16)
@@ -261,8 +318,16 @@ class ServingService:
 
     # --- client side ---------------------------------------------------
 
-    def submit(self, handle: SessionHandle, fingerprint: np.ndarray) -> int:
-        """Seal one uint8 fingerprint into the ingress ring; return seq."""
+    def submit(self, handle: SessionHandle,
+               fingerprint: np.ndarray) -> "int | Shed":
+        """Seal one uint8 fingerprint into the ingress ring; return seq.
+
+        A full (or fault-stalled) ingress ring raises in strict mode and
+        returns a typed :class:`Shed` in graceful mode — the sequence
+        number is only consumed once the slot reservation has succeeded,
+        so a shed request leaves no pending state behind and can be
+        resubmitted verbatim.
+        """
         flat = np.ascontiguousarray(fingerprint, dtype=np.uint8).reshape(-1)
         if flat.size != self.request_bytes:
             raise ServeError(
@@ -270,7 +335,11 @@ class ServingService:
                 f"got {fingerprint.shape}")
         slot = self._ingress_prod.try_reserve()
         if slot is None:
-            raise ServeError("ingress ring full; run dispatch() first")
+            if self.config.strict:
+                raise ServeError("ingress ring full; run dispatch() first")
+            self._count_shed()
+            return Shed(handle.session_id,
+                        "ingress ring full; run dispatch() first")
         seq = handle.next_seq
         handle.next_seq += 1
         keystream = self._client_keystreams.take(
@@ -278,6 +347,10 @@ class ServingService:
             seq * self.request_bytes, self.request_bytes)
         length = seal_into(slot, handle.session_id, seq, flat, keystream,
                            handle.request_tagger)
+        if _faults.PLAN is not None:
+            # Frame corruption models the untrusted OS relay flipping
+            # bits in the sealed slot after the client wrote it.
+            _faults.PLAN.ring_frame("serve.ingress", slot[:length])
         self._ingress_prod.commit(length)
         handle.pending[seq] = self.clock.now_ms
         return seq
@@ -289,7 +362,11 @@ class ServingService:
             session_id, seq, sealed, tag = open_in_place(frame)
             handle = self._handles.get(session_id)
             if handle is None:
+                # Closed mid-flight, or a header corrupted in the
+                # OS-relayed ring: account the drop so every accepted
+                # seq is traceable to a response or a counted loss.
                 self._egress_cons.release()
+                self._count_frame_drop()
                 continue
             if not handle.response_tagger.verify(
                     frame_j0(seq), frame_aad(session_id, seq),
@@ -335,6 +412,21 @@ class ServingService:
                 "omg_serve_auth_failures_total",
                 "frames dropped on tag verification failure").inc()
 
+    def _count_shed(self) -> None:
+        self._requests_shed += 1
+        if _obs.TELEMETRY is not None:
+            _obs.TELEMETRY.metrics.counter(
+                "omg_serve_requests_shed_total",
+                "requests/sessions refused with a typed backpressure "
+                "verdict").inc()
+
+    def _count_frame_drop(self) -> None:
+        self._frames_dropped += 1
+        if _obs.TELEMETRY is not None:
+            _obs.TELEMETRY.metrics.counter(
+                "omg_serve_frames_dropped_total",
+                "ring frames dropped for unknown/closed sessions").inc()
+
     def _ingest(self) -> None:
         """Drain the ingress ring into the scheduler, two-phase.
 
@@ -353,11 +445,7 @@ class ServingService:
                 # on.  Raising with the slot still at the ring head
                 # would wedge every session behind one dead frame.
                 self._ingress_cons.release()
-                self._frames_dropped += 1
-                if _obs.TELEMETRY is not None:
-                    _obs.TELEMETRY.metrics.counter(
-                        "omg_serve_frames_dropped_total",
-                        "ingress frames for unknown/closed sessions").inc()
+                self._count_frame_drop()
                 continue
             drained.append((session_id, seq, sealed.copy(), tag))
             self._ingress_cons.release()
@@ -394,15 +482,20 @@ class ServingService:
     def _egress_free(self) -> int:
         return self.config.ring_slots - 1 - len(self._egress_prod)
 
-    def _require_egress_room(self, batch_size: int) -> None:
+    def _egress_has_room(self, batch_size: int) -> bool:
         """Backpressure *before* popping a batch off the scheduler.
 
         Requests stay queued (nothing accepted is ever dropped); the
         caller polls responses to drain the ring, then dispatches
-        again.
+        again.  Strict mode raises when room is short (the original
+        semantics); graceful mode reports ``False`` so the dispatch
+        loop backs off without losing anything.
         """
-        if self._egress_free() < batch_size:
+        if self._egress_free() >= batch_size:
+            return True
+        if self.config.strict:
             raise ServeError("egress ring full; poll_responses() first")
+        return False
 
     def _run_batch(self, batch: list) -> None:
         telemetry = _obs.TELEMETRY
@@ -434,7 +527,31 @@ class ServingService:
         # One world-switch round trip per *batch*, not per request —
         # the scheduling win the simulated clock sees.
         soc.clock.advance_ms(2 * soc.profile.sa_world_switch_ms)
-        labels, scores = worker.run_batch(fingerprints)
+        try:
+            labels, scores = worker.run_batch(fingerprints)
+        except ProtocolError:
+            # Malformed request — the enclave refused it and lives on;
+            # this is a caller bug, not a crash to recover from.
+            raise
+        except Exception as exc:
+            # The fail-closed envelope already panicked the enclave
+            # (scrub + unlock).  Recover: requeue the batch at the front
+            # of the queue — exactly once, nothing was sealed yet — and
+            # relaunch a fresh, re-attested worker on the same core.
+            self.scheduler.requeue(batch)
+            self._batches_requeued += 1
+            if _obs.TELEMETRY is not None:
+                _obs.TELEMETRY.metrics.counter(
+                    "omg_serve_batches_requeued_total",
+                    "in-flight batches requeued after a worker panic"
+                ).inc()
+            if self.pool.restarts >= self.config.max_worker_restarts:
+                raise ServeError(
+                    f"worker crash-loop: {self.pool.restarts} restarts "
+                    f"reached max_worker_restarts="
+                    f"{self.config.max_worker_restarts}") from exc
+            self.pool.restart_worker(worker)
+            return
         int8_scores = np.asarray(scores, dtype=np.int8)
         live = []
         for row, (session_id, seq, _) in enumerate(batch):
@@ -478,10 +595,22 @@ class ServingService:
                 for out, (_, sid, seq, _) in enumerate(live)]
         for out, (_, session_id, seq, _) in enumerate(live):
             slot = self._egress_prod.try_reserve()
-            if slot is None:   # unreachable: room was checked per batch
-                raise ServeError("egress ring full; poll_responses() first")
+            if slot is None:
+                # Room was checked per batch, so a genuine full here is
+                # unreachable — but an injected ring.reserve stall can
+                # land on this reservation.  The inference already ran;
+                # raising now would lose the whole batch's responses.
+                # Drop just this one, accounted, and seal the rest.
+                self._responses_dropped += 1
+                if _obs.TELEMETRY is not None:
+                    _obs.TELEMETRY.metrics.counter(
+                        "omg_serve_responses_dropped_total",
+                        "responses for sessions closed mid-flight").inc()
+                continue
             length = emit_sealed(slot, session_id, seq, ciphertexts[out],
                                  tags[out])
+            if _faults.PLAN is not None:
+                _faults.PLAN.ring_frame("serve.egress", slot[:length])
             self._egress_prod.commit(length)
 
     def dispatch(self, force: bool = False) -> int:
@@ -515,14 +644,39 @@ class ServingService:
                           ).set(len(self._egress_prod))
         ran = 0
         while self.scheduler.ready():
-            self._require_egress_room(
-                min(len(self.scheduler), self.config.max_batch))
+            if not self._egress_has_room(
+                    min(len(self.scheduler), self.config.max_batch)):
+                break
             self._run_batch(self.scheduler.next_batch())
             ran += 1
-        if force and len(self.scheduler):
-            self._require_egress_room(len(self.scheduler))
-            self._run_batch(self.scheduler.flush())
+        # Watchdog: injected deadline skew can hold ready() false long
+        # past the batching deadline.  A request whose *true* age (the
+        # skew-immune oldest_wait_ms) exceeds the watchdog deadline is
+        # force-flushed anyway — liveness beats batching efficiency.
+        while (not force and len(self.scheduler)
+               and self.scheduler.oldest_wait_ms() >= self._watchdog_ms):
+            if not self._egress_has_room(
+                    min(len(self.scheduler), self.config.max_batch)):
+                break
+            self._run_batch(self.scheduler.flush(self.config.max_batch))
+            self._watchdog_flushes += 1
+            if _obs.TELEMETRY is not None:
+                _obs.TELEMETRY.metrics.counter(
+                    "omg_serve_watchdog_flushes_total",
+                    "batches force-flushed past the watchdog deadline"
+                ).inc()
             ran += 1
+        if force and len(self.scheduler):
+            if self.config.strict:
+                self._egress_has_room(len(self.scheduler))
+                self._run_batch(self.scheduler.flush())
+                ran += 1
+            else:
+                while len(self.scheduler) and self._egress_has_room(
+                        min(len(self.scheduler), self.config.max_batch)):
+                    self._run_batch(
+                        self.scheduler.flush(self.config.max_batch))
+                    ran += 1
         return ran
 
     # --- convenience ---------------------------------------------------
@@ -550,9 +704,13 @@ class ServingService:
             frames_dropped=self._frames_dropped,
             responses_dropped=self._responses_dropped,
             auth_failures=self._auth_failures,
+            requests_shed=self._requests_shed,
             batches=self.scheduler.batches,
             full_batches=self.scheduler.full_batches,
             deadline_flushes=self.scheduler.deadline_flushes,
+            watchdog_flushes=self._watchdog_flushes,
+            workers_restarted=self.pool.restarts,
+            batches_requeued=self._batches_requeued,
             open_sessions=len(self._handles),
             queue_depth=len(self.scheduler),
             p50_ms=percentiles["p50_ms"],
