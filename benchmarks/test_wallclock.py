@@ -170,7 +170,8 @@ def test_no_faults_path_within_2pct_of_committed(wallclock_report):
     committed report's wall-clock.  Absolute host seconds only compare
     meaningfully on the host that produced the committed numbers, so
     other machines fall back to the (host-independent) speedup floors
-    asserted above."""
+    asserted above.  The committed spread widens the bound: a percentage
+    margin tighter than the stage's own run-to-run noise would flake."""
     if _COMMITTED is None:
         pytest.skip("no committed report to regress against")
     if _COMMITTED["host"]["platform"] != host_platform.platform():
@@ -180,10 +181,16 @@ def test_no_faults_path_within_2pct_of_committed(wallclock_report):
         if committed_stage is None:
             continue  # committed report is partial; nothing to regress
         committed = committed_stage["current_s"]
-        fresh = _stage_or_skip(wallclock_report, name)["current_s"]
-        assert fresh <= committed * HOOK_OVERHEAD_MAX, (
+        fresh_stage = _stage_or_skip(wallclock_report, name)
+        # Both runs' spreads matter: within-run std underestimates the
+        # cache/thermal drift between whole pytest invocations.
+        noise = 2.0 * ((committed_stage.get("current_std_s") or 0.0)
+                       + (fresh_stage.get("current_std_s") or 0.0))
+        fresh = fresh_stage["current_s"]
+        assert fresh <= committed * HOOK_OVERHEAD_MAX + noise, (
             f"{name}: {fresh:.4f}s vs committed {committed:.4f}s "
-            f"(> {(HOOK_OVERHEAD_MAX - 1) * 100:.0f}% overhead)")
+            f"(> {(HOOK_OVERHEAD_MAX - 1) * 100:.0f}% overhead "
+            f"+ 2 sigma {noise:.4f}s)")
 
 
 @pytest.mark.slow
@@ -211,12 +218,15 @@ def test_telemetry_disabled_serving_within_3pct_of_committed(
     if committed_stage is None:
         pytest.skip("committed report predates the telemetry stage")
     committed = committed_stage["baseline_s"]
-    fresh = _stage_or_skip(
-        wallclock_report, "telemetry_overhead")["baseline_s"]
-    assert fresh <= committed * TELEMETRY_OVERHEAD_MAX, (
+    fresh_stage = _stage_or_skip(wallclock_report, "telemetry_overhead")
+    noise = 2.0 * ((committed_stage.get("baseline_std_s") or 0.0)
+                   + (fresh_stage.get("baseline_std_s") or 0.0))
+    fresh = fresh_stage["baseline_s"]
+    assert fresh <= committed * TELEMETRY_OVERHEAD_MAX + noise, (
         f"telemetry-disabled serving: {fresh:.4f}s vs committed "
         f"{committed:.4f}s "
-        f"(> {(TELEMETRY_OVERHEAD_MAX - 1) * 100:.0f}% overhead)")
+        f"(> {(TELEMETRY_OVERHEAD_MAX - 1) * 100:.0f}% overhead "
+        f"+ 2 sigma {noise:.4f}s)")
 
 
 @pytest.mark.slow

@@ -7,31 +7,49 @@ the same invariants *statically*, on every code path, including the ones
 no test executes:
 
 ``secret-taint``
-    Intra-procedural dataflow from declared secret sources (AES keys,
+    Interprocedural dataflow from declared secret sources (AES keys,
     license keys, decrypted model bytes, trusted-path audio buffers)
     into leak sinks: logging/print, interpolated exception messages,
-    ``str``/``repr``, untrusted-flash writes, normal-world bus writes.
+    ``str``/``repr``, untrusted-flash writes, normal-world bus writes,
+    telemetry spans/metrics.  Per-function summaries are iterated to a
+    fixpoint over the whole-program call graph, so a secret handed two
+    helpers deep into a sink is reported at the call site.
+``consttime``
+    Constant-time discipline for ``crypto/``: no secret-dependent
+    branches, loop bounds, or table indices (the cache-timing sinks
+    the L1/L2 probes exploit).  The pinned scalar AES reference is
+    allowlisted by qualified name; other modeled leaks carry inline
+    waivers.
 ``layering``
-    The import DAG errors -> faults -> crypto -> hw -> {tflm, audio} ->
-    trustzone -> {sanctuary, train} -> core -> {attacks, baselines} ->
-    eval -> cli.  ``repro.hw`` must never import ``repro.sanctuary``.
+    The import DAG errors -> {faults, obs, sanitizers} -> crypto -> hw
+    -> {tflm, audio} -> trustzone -> {sanctuary, train} -> core ->
+    {attacks, baselines, serve} -> eval -> cli.  ``repro.hw`` must
+    never import ``repro.sanctuary``.
 ``determinism``
     No wall clocks, no OS entropy, no implicitly-seeded RNG: fault and
     chaos transcripts are only replayable because every bit of
     randomness and time flows through seeded DRBGs and the virtual
-    clock.
+    clock.  Import *and* assignment aliases are resolved.
 ``zeroization``
     Every function that registers a fresh secret-bearing region must
-    scrub/tear it down (directly or transitively) on all explicit exit
-    paths, or hand ownership to its caller.
+    scrub/tear it down (directly or transitively) on every CFG path —
+    exception edges and per-continuation ``finally`` copies included —
+    or hand ownership to its caller.
 
 True-by-design exceptions carry an inline waiver::
 
     t0 = time.perf_counter()  # analysis: allow(determinism)
 
+Waivers live in comments only (this docstring's example does not
+count), and a waiver that stops suppressing anything becomes an
+``unused-waiver`` finding itself.
+
 Run as ``python -m repro.analysis [paths]`` or ``repro-omg analyze``.
 The committed baseline (:mod:`repro.analysis.baseline`) is empty by
-construction; any finding fails the run.
+construction; any finding fails the run.  Results are cached by
+content hash (``--no-cache`` to disable): an unchanged tree replays
+instantly, an edited file re-runs per-module rules only on itself
+(whole-program rules re-run whenever anything changed).
 """
 
 from __future__ import annotations
@@ -48,6 +66,7 @@ from repro.analysis.reporting import (
     load_baseline,
     render_human,
     render_json,
+    render_sarif,
 )
 
 __all__ = [
@@ -60,6 +79,7 @@ __all__ = [
     "main",
     "render_human",
     "render_json",
+    "render_sarif",
     "run_analysis",
 ]
 
@@ -71,6 +91,7 @@ def main(argv: list[str] | None = None) -> int:
     import sys
 
     import repro.analysis.rules  # noqa: F401  (registers RULES)
+    from repro.analysis.cache import AnalysisCache, default_cache_path
     from repro.analysis.engine import RULES
 
     parser = argparse.ArgumentParser(
@@ -79,13 +100,22 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("paths", nargs="*",
                         help="files or directories (default: the "
                              "installed repro package)")
+    parser.add_argument("--format", choices=("human", "json", "sarif"),
+                        default="human", dest="format",
+                        help="report format (default: human)")
     parser.add_argument("--json", action="store_true", dest="as_json",
-                        help="machine-readable JSON report")
+                        help="alias for --format json (kept for "
+                             "compatibility)")
     parser.add_argument("--rule", action="append", default=None,
                         metavar="NAME", choices=sorted(RULES),
                         help="run only this rule (repeatable)")
     parser.add_argument("--no-baseline", action="store_true",
                         help="ignore the committed baseline file")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the content-hash result cache")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="directory for the result cache "
+                             "(default: .cache/)")
     args = parser.parse_args(argv)
 
     paths = args.paths
@@ -94,7 +124,19 @@ def main(argv: list[str] | None = None) -> int:
 
         paths = [os.path.dirname(os.path.abspath(repro.__file__))]
     baseline = None if args.no_baseline else load_baseline()
-    result = run_analysis(paths, rules=args.rule, baseline=baseline)
-    out = render_json(result) if args.as_json else render_human(result)
+    cache = None
+    if not args.no_cache:
+        cache_path = (os.path.join(args.cache_dir, "repro-analysis.json")
+                      if args.cache_dir else default_cache_path())
+        cache = AnalysisCache(cache_path)
+    result = run_analysis(paths, rules=args.rule, baseline=baseline,
+                          cache=cache)
+    fmt = "json" if args.as_json else args.format
+    if fmt == "json":
+        out = render_json(result)
+    elif fmt == "sarif":
+        out = render_sarif(result)
+    else:
+        out = render_human(result)
     print(out, file=sys.stdout)
     return 1 if result.findings else 0

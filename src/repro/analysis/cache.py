@@ -1,0 +1,170 @@
+"""Content-hash result cache for ``run_analysis``.
+
+Two granularities:
+
+* **per-file** — findings of a per-module rule, keyed by the file's
+  content digest; editing one file re-runs per-module rules only on
+  that file.
+* **whole-project** — the complete deduplicated raw finding list,
+  keyed by the digests of *every* analyzed file; an unchanged tree
+  skips rule execution *and* parsing (waiver/baseline classification
+  is recomputed, which is cheap).
+
+Whole-program rules (interprocedural taint, zeroization) are only
+cached at project granularity — any single changed file invalidates
+them, which is the sound choice for a fixpoint over the call graph.
+
+Keys also fold in the analysis package's own source digest and a
+stable fingerprint of the active :class:`AnalysisConfig`, so editing a
+rule or a config table invalidates everything automatically.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+
+from repro.analysis.config import AnalysisConfig
+
+__all__ = ["AnalysisCache", "default_cache_path"]
+
+CACHE_VERSION = 1
+_MAX_FILE_ENTRIES = 8192
+_MAX_PROJECT_ENTRIES = 8
+
+
+def default_cache_path() -> str:
+    return os.path.join(".cache", "repro-analysis.json")
+
+
+def _stable(value):
+    """JSON-serializable, deterministically ordered view of a config
+    field (frozensets have no stable repr across processes)."""
+    if isinstance(value, (frozenset, set)):
+        return sorted(str(v) for v in value)
+    if isinstance(value, dict):
+        return {str(k): _stable(v) for k, v in sorted(value.items())}
+    if isinstance(value, (list, tuple)):
+        return [_stable(v) for v in value]
+    return value
+
+
+def config_fingerprint(config: AnalysisConfig) -> str:
+    payload = {f.name: _stable(getattr(config, f.name))
+               for f in dataclasses.fields(config)}
+    return hashlib.sha256(
+        json.dumps(payload, sort_keys=True).encode()).hexdigest()
+
+
+def engine_fingerprint() -> str:
+    """Digest of the analysis package's own sources: a rule edit must
+    never replay results computed by older rule logic."""
+    package_dir = os.path.dirname(os.path.abspath(__file__))
+    digest = hashlib.sha256()
+    for dirpath, dirnames, filenames in os.walk(package_dir):
+        dirnames[:] = sorted(d for d in dirnames if d != "__pycache__")
+        for name in sorted(filenames):
+            if not name.endswith(".py"):
+                continue
+            digest.update(name.encode())
+            with open(os.path.join(dirpath, name), "rb") as handle:
+                digest.update(handle.read())
+    return digest.hexdigest()
+
+
+class AnalysisCache:
+    """One JSON file, loaded eagerly, saved atomically when dirty."""
+
+    def __init__(self, path: str | None = None) -> None:
+        self.path = path or default_cache_path()
+        self._dirty = False
+        self._engine = engine_fingerprint()
+        self._data = {"version": CACHE_VERSION, "files": {}, "project": {}}
+        try:
+            with open(self.path, encoding="utf-8") as handle:
+                data = json.load(handle)
+            if (isinstance(data, dict)
+                    and data.get("version") == CACHE_VERSION
+                    and data.get("engine") == self._engine):
+                self._data["files"] = dict(data.get("files", {}))
+                self._data["project"] = dict(data.get("project", {}))
+        except (OSError, ValueError):
+            pass  # missing or corrupt cache: start cold
+
+    # --- keys ---------------------------------------------------------------
+
+    def _file_key(self, rule: str, path: str, digest: str,
+                  config: AnalysisConfig | None = None) -> str:
+        config_part = self._config_part(config)
+        return f"{rule}|{path}|{digest}|{config_part}"
+
+    def _config_part(self, config: AnalysisConfig | None) -> str:
+        if config is None:
+            return "-"
+        if not hasattr(self, "_config_fp"):
+            self._config_fp: dict[int, str] = {}
+        key = id(config)
+        if key not in self._config_fp:
+            self._config_fp[key] = config_fingerprint(config)[:16]
+        return self._config_fp[key]
+
+    def project_key(self, path_digests: list[tuple[str, str]],
+                    rule_names: list[str], config: AnalysisConfig) -> str:
+        payload = json.dumps([CACHE_VERSION, self._engine,
+                              config_fingerprint(config),
+                              sorted(rule_names), sorted(path_digests)],
+                             sort_keys=True)
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    # --- per-file entries ---------------------------------------------------
+
+    def file_get(self, rule: str, path: str, digest: str):
+        entry = self._data["files"].get(self._file_key(rule, path, digest))
+        if entry is None:
+            return None
+        return list(entry)
+
+    def file_put(self, rule: str, path: str, digest: str,
+                 findings: list[dict]) -> None:
+        self._data["files"][self._file_key(rule, path, digest)] = findings
+        self._dirty = True
+
+    # --- whole-project entries ----------------------------------------------
+
+    def project_get(self, key: str):
+        entry = self._data["project"].get(key)
+        if entry is None:
+            return None
+        return list(entry)
+
+    def project_put(self, key: str, findings: list[dict]) -> None:
+        self._data["project"][key] = findings
+        self._dirty = True
+
+    # --- persistence --------------------------------------------------------
+
+    def save(self) -> None:
+        if not self._dirty:
+            return
+        files = self._data["files"]
+        if len(files) > _MAX_FILE_ENTRIES:
+            drop = len(files) - _MAX_FILE_ENTRIES
+            for key in list(files)[:drop]:
+                del files[key]
+        project = self._data["project"]
+        if len(project) > _MAX_PROJECT_ENTRIES:
+            drop = len(project) - _MAX_PROJECT_ENTRIES
+            for key in list(project)[:drop]:
+                del project[key]
+        payload = {"version": CACHE_VERSION, "engine": self._engine,
+                   "files": files, "project": project}
+        directory = os.path.dirname(self.path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        tmp = f"{self.path}.tmp.{os.getpid()}"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        os.replace(tmp, self.path)
+        self._dirty = False

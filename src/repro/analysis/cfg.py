@@ -1,0 +1,227 @@
+"""Per-function control-flow graphs for path-sensitive rules.
+
+:func:`build_cfg` lowers one function body into a graph of effect
+nodes (each carrying the AST fragments whose calls execute there) plus
+labeled exit nodes — one per ``return``/``raise`` statement and one
+for falling off the end — so a dataflow client can prove a property on
+*every* path rather than on the straight-line approximation the old
+zeroization checker used.
+
+Modeling decisions, chosen to match what a lint can honestly claim:
+
+* ``finally`` bodies are duplicated per continuation (normal, return,
+  raise, break, continue) — the standard lowering — so a *conditional*
+  release inside a finalizer no longer counts as covering every path.
+* Exception edges are statement-granular **inside ``try`` blocks**:
+  every body node gets an edge to every handler entry, which makes
+  handler analysis see the state after any prefix of the body.
+* Outside a ``try``, only explicit ``raise`` statements create raise
+  exits.  Implicit exceptions (any expression can throw) remain out of
+  scope for the static rule — the fault-injection chaos harness owns
+  that ground — and a raise escaping a ``try`` with no matching
+  handler is routed through the finalizer to the enclosing context.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+__all__ = ["CFG", "Node", "build_cfg"]
+
+
+class Node:
+    """One basic step: the AST fragments evaluated here, and successors."""
+
+    __slots__ = ("exprs", "succ")
+
+    def __init__(self, exprs=()):
+        self.exprs = [e for e in exprs if e is not None]
+        self.succ: list[Node] = []
+
+
+@dataclass
+class CFG:
+    entry: Node
+    nodes: list[Node] = field(default_factory=list)
+    # (kind, stmt, node): kind in {fall, return-none, return-value, raise}
+    exits: list[tuple[str, ast.AST, Node]] = field(default_factory=list)
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self.nodes: list[Node] = []
+        self.exits: list[tuple[str, ast.AST, Node]] = []
+
+    def node(self, exprs=()) -> Node:
+        made = Node(exprs)
+        self.nodes.append(made)
+        return made
+
+    def exit(self, kind: str, stmt: ast.AST) -> Node:
+        made = self.node()
+        self.exits.append((kind, stmt, made))
+        return made
+
+    def link(self, preds: list[Node], node: Node) -> None:
+        for pred in preds:
+            pred.succ.append(node)
+
+
+def build_cfg(func: ast.FunctionDef | ast.AsyncFunctionDef) -> CFG:
+    builder = _Builder()
+    entry = builder.node()
+
+    def on_return(preds, stmt, has_value):
+        builder.link(preds, builder.exit(
+            "return-value" if has_value else "return-none", stmt))
+
+    def on_raise(preds, stmt):
+        builder.link(preds, builder.exit("raise", stmt))
+
+    ctx = {"return": on_return, "raise": on_raise,
+           "break": None, "continue": None}
+    out, _ = _block(builder, func.body, [entry], ctx)
+    if out:
+        builder.link(out, builder.exit("fall", func))
+    return CFG(entry=entry, nodes=builder.nodes, exits=builder.exits)
+
+
+def _block(b: _Builder, stmts, preds, ctx):
+    created: list[Node] = []
+    for stmt in stmts:
+        if not preds:
+            break  # unreachable tail
+        preds, nodes = _stmt(b, stmt, preds, ctx)
+        created.extend(nodes)
+    return preds, created
+
+
+def _stmt(b: _Builder, stmt: ast.stmt, preds, ctx):
+    if isinstance(stmt, ast.Return):
+        node = b.node([stmt.value])
+        b.link(preds, node)
+        has_value = stmt.value is not None and not (
+            isinstance(stmt.value, ast.Constant)
+            and stmt.value.value is None)
+        ctx["return"]([node], stmt, has_value)
+        return [], [node]
+    if isinstance(stmt, ast.Raise):
+        node = b.node([stmt.exc])
+        b.link(preds, node)
+        ctx["raise"]([node], stmt)
+        return [], [node]
+    if isinstance(stmt, ast.Break):
+        node = b.node()
+        b.link(preds, node)
+        if ctx["break"] is not None:
+            ctx["break"]([node])
+        return [], [node]
+    if isinstance(stmt, ast.Continue):
+        node = b.node()
+        b.link(preds, node)
+        if ctx["continue"] is not None:
+            ctx["continue"]([node])
+        return [], [node]
+    if isinstance(stmt, ast.If):
+        test = b.node([stmt.test])
+        b.link(preds, test)
+        then_out, then_nodes = _block(b, stmt.body, [test], ctx)
+        else_out, else_nodes = _block(b, stmt.orelse, [test], ctx)
+        return then_out + else_out, [test, *then_nodes, *else_nodes]
+    if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+        return _loop(b, stmt, preds, ctx)
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        header = b.node([item.context_expr for item in stmt.items])
+        b.link(preds, header)
+        out, nodes = _block(b, stmt.body, [header], ctx)
+        return out, [header, *nodes]
+    if isinstance(stmt, ast.Try):
+        return _try(b, stmt, preds, ctx)
+    # Plain statement (assignment, expression, assert, ...): one node.
+    node = b.node([stmt])
+    b.link(preds, node)
+    return [node], [node]
+
+
+def _loop(b: _Builder, stmt, preds, ctx):
+    header = b.node([stmt.test] if isinstance(stmt, ast.While)
+                    else [stmt.iter])
+    b.link(preds, header)
+    break_out: list[Node] = []
+    loop_ctx = dict(ctx)
+    loop_ctx["break"] = break_out.extend
+    loop_ctx["continue"] = lambda p: b.link(p, header)
+    body_out, body_nodes = _block(b, stmt.body, [header], loop_ctx)
+    b.link(body_out, header)
+    else_out, else_nodes = _block(b, stmt.orelse, [header], ctx)
+    return break_out + else_out, [header, *body_nodes, *else_nodes]
+
+
+def _try(b: _Builder, stmt: ast.Try, preds, ctx):
+    created: list[Node] = []
+    anchor = b.node()  # carries the state at try entry into handlers
+    b.link(preds, anchor)
+    created.append(anchor)
+    handler_anchors = [b.node() for _ in stmt.handlers]
+    created.extend(handler_anchors)
+
+    def through_finally(cont):
+        """Duplicate the finalizer in front of a continuation."""
+        def run(preds_in, *args):
+            preds_in = list(preds_in)
+            if not preds_in:
+                return
+            if stmt.finalbody:
+                preds_in, nodes = _block(b, stmt.finalbody, preds_in, ctx)
+                created.extend(nodes)
+                if not preds_in:
+                    return  # the finalizer itself exits on every path
+            cont(preds_in, *args)
+        return run
+
+    def raise_in_body(preds_in, rstmt):
+        # Caught by some handler, or escapes through the finalizer.
+        for handler_anchor in handler_anchors:
+            b.link(preds_in, handler_anchor)
+        through_finally(ctx["raise"])(preds_in, rstmt)
+
+    body_ctx = {
+        "return": through_finally(ctx["return"]),
+        "raise": raise_in_body,
+        "break": (through_finally(ctx["break"])
+                  if ctx["break"] is not None else None),
+        "continue": (through_finally(ctx["continue"])
+                     if ctx["continue"] is not None else None),
+    }
+    body_out, body_nodes = _block(b, stmt.body, [anchor], body_ctx)
+    created.extend(body_nodes)
+
+    # Statement-granular implicit exception edges: any prefix of the
+    # body may have run when a handler is entered.
+    for node in (anchor, *body_nodes):
+        for handler_anchor in handler_anchors:
+            node.succ.append(handler_anchor)
+
+    # Handlers and orelse: their own exceptions are not re-caught here.
+    escape_ctx = {
+        "return": through_finally(ctx["return"]),
+        "raise": through_finally(ctx["raise"]),
+        "break": body_ctx["break"],
+        "continue": body_ctx["continue"],
+    }
+    normal_out: list[Node] = []
+    for handler, handler_anchor in zip(stmt.handlers, handler_anchors):
+        handler_out, handler_nodes = _block(
+            b, handler.body, [handler_anchor], escape_ctx)
+        created.extend(handler_nodes)
+        normal_out.extend(handler_out)
+    if body_out:
+        orelse_out, orelse_nodes = _block(b, stmt.orelse, body_out,
+                                          escape_ctx)
+        created.extend(orelse_nodes)
+        normal_out.extend(orelse_out)
+
+    after: list[Node] = []
+    through_finally(after.extend)(normal_out)
+    return after, created

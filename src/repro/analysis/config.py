@@ -19,6 +19,7 @@ LAYER_RANKS: dict[str, int] = {
     "errors": 0,
     "faults": 1,
     "obs": 1,
+    "sanitizers": 1,
     "crypto": 2,
     "hw": 3,
     "tflm": 4,
@@ -90,6 +91,7 @@ NUMPY_GLOBAL_RNG = frozenset({
 SECRET_PARAMS = frozenset({
     "key", "aes_key", "sealing_key", "master_secret", "license_key",
     "secret", "private_key", "model_bytes", "plaintext", "key_schedule",
+    "schedule",
 })
 
 # Calls whose *result* is secret: key derivation, decryption (output is
@@ -108,13 +110,27 @@ SECRET_ATTRIBUTES = frozenset({
     "signing_key",
 })
 
+# Attribute reads that are public *geometry* even on secret objects:
+# lengths, shapes and declared bit-widths carry no key material, and
+# treating them as tainted forced waivers on honest error messages.
+PUBLIC_ATTRIBUTES = frozenset({
+    # geometry / sizes
+    "dtype", "nbytes", "ndim", "num_bits", "shape", "size",
+    # identifiers and classification output (the system's public API
+    # surface: recognized label + timing the caller observes anyway)
+    "inference_ms", "label", "metadata", "name",
+    # observability aggregates, secret-safe by the obs PR's contract
+    "batches", "clock", "deadline_flushes", "p50_ms", "p95_ms",
+    "requests_completed", "transcript",
+})
+
 # Calls that *declassify*: their result is safe even with secret
 # arguments (sizes/types, ciphertext, signatures, digests).
 DECLASSIFIERS = frozenset({
-    "bool", "encrypt_model", "encrypt_oaep", "fingerprint", "gcm_encrypt",
-    "hkdf", "hkdf_expand", "hkdf_extract", "hmac_sha256", "id",
-    "isinstance", "len", "measure", "redact", "seal", "seal_at", "sha256",
-    "sign", "type",
+    "architecture_summary", "bool", "encrypt_model", "encrypt_oaep",
+    "fingerprint", "gcm_encrypt", "hkdf", "hkdf_expand", "hkdf_extract",
+    "hmac_sha256", "id", "isinstance", "len", "measure", "redact", "seal",
+    "seal_at", "sha256", "sign", "stats", "type",
 })
 
 # Logging-style method names (flagged when the receiver looks like a
@@ -145,6 +161,31 @@ TELEMETRY_SINK_RECEIVERS = frozenset({
     "telemetry", "tracer",
 })
 
+# --- constant-time discipline -----------------------------------------------
+
+# Packages held to the constant-time rule: branching, loop bounds, and
+# table indices may not depend on secret data (the cache-timing sinks
+# the repro.attacks L1/L2 probes exploit).
+CONSTTIME_PACKAGES = frozenset({"crypto"})
+
+# Extra attribute names that are secret *for timing purposes* inside
+# crypto code: expanded AES key schedules (both scalar and vectorized).
+CONSTTIME_SECRET_ATTRIBUTES = frozenset({
+    "_dk", "_dk_np", "_ek", "_ek_np",
+})
+
+# Pinned scalar reference implementations exempted by qualified name:
+# the table-lookup AES is the paper's *subject* (the L1/L2 probes
+# attack exactly these lookups), not an oversight.  Every entry here
+# must stay justified in ARCHITECTURE.md's waiver-policy table.
+CONSTTIME_ALLOWLIST = frozenset({
+    "repro.crypto.aes.AES._expand_key",
+    "repro.crypto.aes.AES._invert_key_schedule",
+    "repro.crypto.aes.AES._transform_blocks",
+    "repro.crypto.aes.AES.decrypt_block",
+    "repro.crypto.aes.AES.encrypt_block",
+})
+
 # --- zeroization ------------------------------------------------------------
 
 # Registering a fresh secret-bearing region (first argument is a local,
@@ -173,7 +214,11 @@ class AnalysisConfig:
     secret_params: frozenset = SECRET_PARAMS
     secret_calls: frozenset = SECRET_CALLS
     secret_attributes: frozenset = SECRET_ATTRIBUTES
+    public_attributes: frozenset = PUBLIC_ATTRIBUTES
     declassifiers: frozenset = DECLASSIFIERS
+    consttime_packages: frozenset = CONSTTIME_PACKAGES
+    consttime_secret_attributes: frozenset = CONSTTIME_SECRET_ATTRIBUTES
+    consttime_allowlist: frozenset = CONSTTIME_ALLOWLIST
     log_methods: frozenset = LOG_METHODS
     untrusted_write_calls: frozenset = UNTRUSTED_WRITE_CALLS
     untrusted_write_receivers: frozenset = UNTRUSTED_WRITE_RECEIVERS

@@ -3,13 +3,22 @@
 The engine is deliberately dependency-free (stdlib ``ast`` only): it
 must be able to run over a tree whose runtime imports are broken, and
 it must never import the code it is judging.
+
+Since the interprocedural rewrite the engine distinguishes per-module
+rules (``Rule.check``) from whole-program rules (``Rule.check_project``)
+and supports a content-hash result cache
+(:mod:`repro.analysis.cache`): unchanged files skip their per-module
+rules, and an unchanged tree skips everything including parsing.
 """
 
 from __future__ import annotations
 
 import ast
+import hashlib
+import io
 import os
 import re
+import tokenize
 from dataclasses import dataclass, field
 
 from repro.analysis.config import DEFAULT_CONFIG, AnalysisConfig
@@ -20,14 +29,20 @@ __all__ = [
     "ModuleInfo",
     "RULES",
     "Rule",
+    "call_tail",
     "dotted_name",
     "import_aliases",
     "load_module",
+    "param_names",
     "register",
     "run_analysis",
+    "scope_walk",
+    "target_names",
 ]
 
 _WAIVER_RE = re.compile(r"#\s*analysis:\s*allow\(([^)]*)\)")
+
+UNUSED_WAIVER_RULE = "unused-waiver"
 
 
 @dataclass(frozen=True, order=True)
@@ -55,11 +70,15 @@ class Finding:
 
 @dataclass
 class ModuleInfo:
-    """A parsed source file plus everything rules need to judge it."""
+    """A parsed source file plus everything rules need to judge it.
+
+    ``tree`` is ``None`` on the fully-cached path, where findings are
+    replayed from the cache and only waiver comments are re-read.
+    """
 
     path: str
     module: str               # dotted name, e.g. ``repro.hw.bus``
-    tree: ast.Module
+    tree: ast.Module | None
     lines: list[str]
     waivers: dict[int, set[str]]
 
@@ -74,14 +93,16 @@ class ModuleInfo:
         rest = parts[index + 1:]
         return rest[0] if rest else "(root)"
 
-    def waived(self, finding: Finding) -> bool:
+    def waived(self, finding: Finding) -> int | None:
         """A waiver covers its own line and the line directly below it
-        (comment-above style for statements too long to annotate)."""
+        (comment-above style for statements too long to annotate).
+        Returns the waiver's line so the runner can track which waivers
+        actually fire (stale ones become findings themselves)."""
         for line in (finding.line, finding.line - 1):
             rules = self.waivers.get(line)
             if rules and (finding.rule in rules or "*" in rules):
-                return True
-        return False
+                return line
+        return None
 
 
 class Rule:
@@ -127,9 +148,19 @@ def _module_name(path: str) -> str:
     return ".".join(reversed(parts))
 
 
-def _parse_waivers(lines: list[str]) -> dict[int, set[str]]:
+def _parse_waivers(source: str) -> dict[int, set[str]]:
+    """Waivers live in *comments* only: tokenize rather than regex raw
+    lines, so waiver-shaped text inside docstrings never registers."""
     waivers: dict[int, set[str]] = {}
-    for number, text in enumerate(lines, start=1):
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        comments = [(tok.start[0], tok.string) for tok in tokens
+                    if tok.type == tokenize.COMMENT]
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        # Unparsable file: fall back to raw lines so a waiver next to
+        # the syntax error still behaves predictably.
+        comments = list(enumerate(source.splitlines(), start=1))
+    for number, text in comments:
         match = _WAIVER_RE.search(text)
         if match:
             names = {part.strip() for part in match.group(1).split(",")}
@@ -137,13 +168,15 @@ def _parse_waivers(lines: list[str]) -> dict[int, set[str]]:
     return waivers
 
 
-def load_module(path: str) -> ModuleInfo:
-    with open(path, encoding="utf-8") as handle:
-        source = handle.read()
-    tree = ast.parse(source, filename=path)
+def load_module(path: str, source: str | None = None,
+                parse: bool = True) -> ModuleInfo:
+    if source is None:
+        with open(path, encoding="utf-8") as handle:
+            source = handle.read()
+    tree = ast.parse(source, filename=path) if parse else None
     lines = source.splitlines()
     return ModuleInfo(path=path, module=_module_name(path), tree=tree,
-                      lines=lines, waivers=_parse_waivers(lines))
+                      lines=lines, waivers=_parse_waivers(source))
 
 
 def iter_python_files(paths: list[str]) -> list[str]:
@@ -200,6 +233,47 @@ def dotted_name(node: ast.AST, aliases: dict[str, str] | None = None
     return ".".join(reversed(parts))
 
 
+def scope_walk(body):
+    """Every node in a scope, not descending into nested functions."""
+    stack = list(body)
+    while stack:
+        node = stack.pop()
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.Lambda)):
+                continue
+            stack.append(child)
+
+
+def call_tail(func: ast.expr) -> str | None:
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+def target_names(target: ast.expr):
+    if isinstance(target, ast.Name):
+        yield target.id
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            yield from target_names(element)
+    elif isinstance(target, ast.Starred):
+        yield from target_names(target.value)
+
+
+def param_names(func: ast.FunctionDef) -> list[str]:
+    args = func.args
+    params = [a.arg for a in (*args.posonlyargs, *args.args,
+                              *args.kwonlyargs)]
+    for extra in (args.vararg, args.kwarg):
+        if extra is not None:
+            params.append(extra.arg)
+    return params
+
+
 # --- runner -----------------------------------------------------------------
 
 
@@ -210,56 +284,163 @@ class AnalysisResult:
     baselined: list[Finding] = field(default_factory=list)
     files: int = 0
     rules: list[str] = field(default_factory=list)
+    waiver_lines: int = 0     # waiver comments present in the tree
+    from_cache: bool = False  # findings replayed from the result cache
+
+
+def _finding_from_cache(entry: dict) -> Finding:
+    return Finding(path=entry["path"], line=entry["line"], col=entry["col"],
+                   rule=entry["rule"], message=entry["message"],
+                   hint=entry.get("hint", ""))
+
+
+def _finding_to_cache(finding: Finding) -> dict:
+    return {"rule": finding.rule, "path": finding.path,
+            "line": finding.line, "col": finding.col,
+            "message": finding.message, "hint": finding.hint}
+
+
+def _collect_raw(modules: list[ModuleInfo], selected: list[Rule],
+                 config: AnalysisConfig, cache, digests: dict[str, str]
+                 ) -> list[Finding]:
+    raw: list[Finding] = []
+    for rule in selected:
+        for module in modules:
+            cached = None
+            if cache is not None:
+                cached = cache.file_get(rule.name, module.path,
+                                        digests[module.path])
+            if cached is not None:
+                raw.extend(_finding_from_cache(e) for e in cached)
+                continue
+            found = list(rule.check(module, config))
+            raw.extend(found)
+            if cache is not None:
+                cache.file_put(rule.name, module.path, digests[module.path],
+                               [_finding_to_cache(f) for f in found])
+        raw.extend(rule.check_project(modules, config))
+    return raw
 
 
 def run_analysis(paths: list[str], rules: list[str] | None = None,
                  config: AnalysisConfig = DEFAULT_CONFIG,
-                 baseline: list[dict] | None = None) -> AnalysisResult:
-    """Parse every ``.py`` under ``paths`` and run the selected rules."""
+                 baseline: list[dict] | None = None,
+                 cache=None) -> AnalysisResult:
+    """Parse every ``.py`` under ``paths`` and run the selected rules.
+
+    ``cache`` is an optional :class:`repro.analysis.cache.AnalysisCache`;
+    with an unchanged tree the whole raw finding list replays from it
+    (waiver/baseline classification is always recomputed — it is cheap
+    and keeps edited comments honest).
+    """
     import repro.analysis.rules  # noqa: F401  (registers the rule set)
 
     selected = [RULES[name] for name in sorted(rules or RULES)]
+    selected_names = {rule.name for rule in selected}
     result = AnalysisResult(rules=[rule.name for rule in selected])
-    modules: list[ModuleInfo] = []
+
+    sources: list[tuple[str, str, str]] = []  # (path, source, digest)
     for path in iter_python_files(paths):
         result.files += 1
-        try:
-            modules.append(load_module(path))
-        except SyntaxError as error:
-            result.findings.append(Finding(
-                path=path, line=error.lineno or 0, col=error.offset or 0,
-                rule="syntax", message=f"cannot parse: {error.msg}"))
+        with open(path, "rb") as handle:
+            data = handle.read()
+        sources.append((path, data.decode("utf-8"),
+                        hashlib.sha256(data).hexdigest()))
+    digests = {path: digest for path, _, digest in sources}
 
-    raw: list[tuple[ModuleInfo | None, Finding]] = []
-    for rule in selected:
-        for module in modules:
-            raw.extend((module, f) for f in rule.check(module, config))
-        raw.extend(_attach_modules(modules,
-                                   rule.check_project(modules, config)))
+    project_key = None
+    cached_raw = None
+    if cache is not None:
+        project_key = cache.project_key(
+            [(path, digest) for path, _, digest in sources],
+            sorted(selected_names), config)
+        cached_raw = cache.project_get(project_key)
 
+    raw: list[Finding]
+    modules: list[ModuleInfo] = []
+    if cached_raw is not None:
+        # Fully-cached path: no parsing at all; modules carry waivers only.
+        result.from_cache = True
+        modules = [load_module(path, source, parse=False)
+                   for path, source, _ in sources]
+        raw = [_finding_from_cache(entry) for entry in cached_raw]
+    else:
+        syntax_findings: list[Finding] = []
+        for path, source, _ in sources:
+            try:
+                modules.append(load_module(path, source))
+            except SyntaxError as error:
+                syntax_findings.append(Finding(
+                    path=path, line=error.lineno or 0, col=error.offset or 0,
+                    rule="syntax", message=f"cannot parse: {error.msg}"))
+        raw = syntax_findings + _collect_raw(modules, selected, config,
+                                             cache, digests)
+        seen: set[tuple] = set()
+        deduped: list[Finding] = []
+        for finding in raw:
+            key = (finding.rule, finding.path, finding.line, finding.message)
+            if key not in seen:
+                seen.add(key)
+                deduped.append(finding)
+        raw = deduped
+        if cache is not None and not syntax_findings:
+            cache.project_put(project_key,
+                              [_finding_to_cache(f) for f in raw])
+
+    by_path = {module.path: module for module in modules}
     baseline_ids = {(e["rule"], e["path"], e["message"])
                     for e in (baseline or [])}
-    seen: set[tuple] = set()
-    for module, finding in raw:
+    used_waivers: set[tuple[str, int]] = set()
+    seen = set()
+    for finding in raw:
         key = (finding.rule, finding.path, finding.line, finding.message)
         if key in seen:
             continue
         seen.add(key)
-        if module is not None and module.waived(finding):
+        module = by_path.get(finding.path)
+        waiver_line = module.waived(finding) if module is not None else None
+        if waiver_line is not None:
+            used_waivers.add((finding.path, waiver_line))
             result.waived.append(finding)
         elif _in_baseline(finding, baseline_ids):
             result.baselined.append(finding)
         else:
             result.findings.append(finding)
+
+    result.waiver_lines = sum(len(m.waivers) for m in modules)
+    result.findings.extend(_stale_waivers(modules, used_waivers,
+                                          selected_names))
     result.findings.sort()
     result.waived.sort()
     result.baselined.sort()
+    if cache is not None:
+        cache.save()
     return result
 
 
-def _attach_modules(modules: list[ModuleInfo], findings):
-    by_path = {module.path: module for module in modules}
-    return [(by_path.get(f.path), f) for f in findings]
+def _stale_waivers(modules: list[ModuleInfo],
+                   used_waivers: set[tuple[str, int]],
+                   selected_names: set[str]) -> list[Finding]:
+    """A waiver that suppressed nothing is itself a finding — but only
+    when every rule it names actually ran, so partial ``--rule`` runs
+    never cry stale."""
+    out: list[Finding] = []
+    for module in modules:
+        for line, names in sorted(module.waivers.items()):
+            if (module.path, line) in used_waivers:
+                continue
+            required = set(RULES) if "*" in names else names - {"*"}
+            if not required <= selected_names:
+                continue
+            listed = ", ".join(sorted(names))
+            out.append(Finding(
+                path=module.path, line=line, col=0,
+                rule=UNUSED_WAIVER_RULE,
+                message=f"stale waiver: allow({listed}) suppresses no "
+                        f"finding",
+                hint="delete the comment, or re-document why the "
+                     "exception is still needed"))
+    return out
 
 
 def _in_baseline(finding: Finding, baseline_ids: set[tuple]) -> bool:

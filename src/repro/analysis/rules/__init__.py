@@ -1,6 +1,7 @@
 """Rule battery: importing this package registers every checker."""
 
 from repro.analysis.rules import (  # noqa: F401
+    consttime,
     determinism,
     layering,
     taint,

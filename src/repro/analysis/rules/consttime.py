@@ -1,0 +1,125 @@
+"""``consttime``: no secret-dependent control flow or memory indexing
+in ``crypto/``.
+
+The paper's cache-timing attacks (the ``repro.attacks`` L1/L2 probes)
+recover AES keys precisely because table lookups index memory with
+key-derived bytes.  This rule holds the ``crypto`` package to the
+discipline native constant-time code follows: within any function,
+
+* ``if``/``while``/ternary conditions may not depend on secrets
+  (secret-dependent *branches* shift timing),
+* ``for`` iterables may not depend on secrets (secret-dependent *loop
+  bounds* shift timing),
+* subscript indices may not depend on secrets (secret-dependent
+  *table lookups* shift cache state — the classic AES T-table leak).
+
+Secrets are the taint sources of the ``secret-taint`` rule plus the
+expanded key-schedule attributes (``_ek``/``_dk`` and their numpy
+mirrors); declassifiers (``len``, digests, ``redact``) cut flows as
+usual, and — unlike leak tracking — comparison results stay tainted,
+because branching on a one-bit equality with a secret *is* the timing
+side channel.
+
+The pinned scalar reference implementations
+(``config.CONSTTIME_ALLOWLIST``) are exempt by qualified name: the
+T-table AES is the attack's *subject*, kept deliberately leaky, and
+each allowlist entry is documented in ARCHITECTURE.md.  Other modeled
+leaks (the vectorized gather path) carry inline waivers instead, so
+they are counted in every report.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.engine import (
+    Finding,
+    ModuleInfo,
+    Rule,
+    import_aliases,
+    param_names,
+    register,
+    scope_walk,
+)
+from repro.analysis.rules.taint import SECRET, _LabelScope
+
+
+def _functions_with_qualnames(module: ModuleInfo):
+    """(qualname, class_name, node) for every def, mirroring the
+    callgraph's qualname scheme."""
+    stack = [(module.tree, None, [])]
+    while stack:
+        node, class_name, prefix = stack.pop()
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef):
+                stack.append((child, child.name, prefix + [child.name]))
+            elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = ".".join([module.module, *prefix, child.name])
+                yield qualname, class_name, child
+                stack.append((child, None, prefix + [child.name]))
+            elif isinstance(child, (ast.If, ast.Try, ast.With)):
+                stack.append((child, class_name, prefix))
+
+
+@register
+class ConstTimeRule(Rule):
+    name = "consttime"
+    description = "no secret-dependent branches, loop bounds, or " \
+                  "table indices in crypto code"
+
+    def check(self, module: ModuleInfo, config: AnalysisConfig):
+        if module.package not in config.consttime_packages:
+            return
+        aliases = import_aliases(module.tree)
+        for qualname, class_name, func in _functions_with_qualnames(module):
+            if qualname in config.consttime_allowlist:
+                continue
+            seed = {}
+            for param in param_names(func):
+                labels = {param}
+                if param in config.secret_params:
+                    labels.add(SECRET)
+                seed[param] = frozenset(labels)
+            scope = _LabelScope(
+                module, func.body, seed, aliases, config,
+                class_name=class_name,
+                extra_secret_attributes=config.consttime_secret_attributes,
+                compare_flows=True)
+            scope.solve()
+            yield from self._judge(module, scope, func)
+
+    def _judge(self, module: ModuleInfo, scope: _LabelScope,
+               func: ast.FunctionDef):
+        for node in scope_walk(func.body):
+            if isinstance(node, (ast.If, ast.While)):
+                if SECRET in scope.labels_of(node.test):
+                    yield self._finding(
+                        module, node, "secret-dependent branch",
+                        "branch timing reveals secret bits; compute both "
+                        "sides and select with arithmetic masking")
+            elif isinstance(node, ast.IfExp):
+                if SECRET in scope.labels_of(node.test):
+                    yield self._finding(
+                        module, node, "secret-dependent branch",
+                        "branch timing reveals secret bits; compute both "
+                        "sides and select with arithmetic masking")
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                if SECRET in scope.labels_of(node.iter):
+                    yield self._finding(
+                        module, node, "secret-dependent loop bound",
+                        "iteration count leaks through timing; bound "
+                        "loops by public geometry (len is declassified)")
+            elif isinstance(node, ast.Subscript):
+                if SECRET in scope.labels_of(node.slice):
+                    yield self._finding(
+                        module, node, "secret-dependent table index",
+                        "the cache line touched depends on secret bytes "
+                        "(the exact leak the L1/L2 probes exploit); use "
+                        "bitsliced or masked selection")
+
+    def _finding(self, module: ModuleInfo, node: ast.AST, message: str,
+                 hint: str) -> Finding:
+        return Finding(path=module.path, line=node.lineno,
+                       col=node.col_offset, rule=self.name,
+                       message=message, hint=hint)

@@ -6,6 +6,12 @@ virtual clock, seeded HMAC-DRBGs, and ``numpy.random.default_rng(seed)``
 with the seed spelled out at the call site.  This rule rejects the
 stdlib escape hatches and any RNG constructor left to seed itself from
 the OS.
+
+Aliasing does not hide a call: import aliases (``from time import time
+as now``, ``import numpy.random as npr``) resolve through the
+engine's alias table, and *assignment* aliases (``now = time.time``
+followed by ``now()``) are picked up by a pre-pass that maps local
+names to the forbidden callables they were bound to.
 """
 
 from __future__ import annotations
@@ -31,6 +37,7 @@ class DeterminismRule(Rule):
 
     def check(self, module: ModuleInfo, config: AnalysisConfig):
         aliases = import_aliases(module.tree)
+        aliases.update(self._assignment_aliases(module, aliases, config))
         findings: list[Finding] = []
         for node in ast.walk(module.tree):
             if isinstance(node, (ast.Import, ast.ImportFrom)):
@@ -39,6 +46,28 @@ class DeterminismRule(Rule):
                 findings.extend(
                     self._check_call(module, node, aliases, config))
         return findings
+
+    def _assignment_aliases(self, module: ModuleInfo, aliases, config):
+        """``now = time.time`` binds a local name to a forbidden
+        callable; calls through the alias must be flagged too."""
+        bound: dict[str, str] = {}
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+                continue
+            target = node.targets[0]
+            if not isinstance(target, ast.Name):
+                continue
+            name = dotted_name(node.value, aliases)
+            if name is None:
+                continue
+            parts = name.split(".")
+            if (name in config.forbidden_calls
+                    or name in config.seeded_constructors
+                    or (len(parts) == 3 and parts[0] == "numpy"
+                        and parts[1] == "random"
+                        and parts[2] in config.numpy_global_rng)):
+                bound[target.id] = name
+        return bound
 
     def _check_import(self, module: ModuleInfo, node, config):
         if isinstance(node, ast.Import):

@@ -1,13 +1,21 @@
-"""``secret-taint``: intra-procedural dataflow from secrets to leaks.
+"""``secret-taint``: interprocedural dataflow from secrets to leaks.
 
 Sources (:mod:`repro.analysis.config`): parameters named like key
 material, calls that return plaintext (``decrypt_model``,
 ``gcm_decrypt``, ``derive_model_key``, ``record_audio``, ...), and
 attribute reads of long-lived secrets (``.sealing_key``,
 ``._master_secret``).  Taint propagates through assignments,
-arithmetic, f-strings, containers, and — conservatively — through any
-call that is not a declared declassifier (``encrypt_*``, ``len``,
-digests, signatures).
+arithmetic, f-strings, containers — and, since the call-graph rewrite,
+*through function calls*: every function in the analyzed tree gets a
+summary (which parameters flow to its return value, which parameters
+reach a leak sink inside it), the summaries are iterated to a fixpoint
+over the whole program, and call sites substitute argument labels into
+them.  A secret passed two helpers deep into a ``print`` is reported
+at the call site that first handed the secret over.  Calls that do not
+resolve to analyzed code keep the old conservative treatment (any
+tainted argument taints the result) so unknown code never launders a
+secret, and declared declassifiers (``redact``, ``len``, ``encrypt_*``,
+digests) still cut flows exactly as before.
 
 Sinks are the ways secret bits have historically escaped enclaves in
 source code: ``print``/logging, interpolation into exception messages,
@@ -18,79 +26,108 @@ and telemetry sinks — span attributes/events and metric observations on
 ``repro.obs`` objects, whose contents are exported to normal-world
 artifacts (``redact``/``len`` are the sanctioned declassifiers).
 
-The analysis is per-scope (each function body, plus the module top
-level) and flow-insensitive within a scope: assignments are iterated to
-a fixpoint, then every sink expression is judged.
+Dataflow is label-based: a value's label set may contain the concrete
+``<secret>`` label and/or parameter names of the enclosing function.
+Parameter labels are what make summaries compositional — they record
+*which* inputs a function forwards, so the caller can substitute its
+own knowledge of the arguments.
 """
 
 from __future__ import annotations
 
 import ast
+from dataclasses import dataclass
 
 from repro.analysis.config import AnalysisConfig
+from repro.analysis.callgraph import FunctionInfo, ProjectIndex
 from repro.analysis.engine import (
     Finding,
     ModuleInfo,
     Rule,
+    call_tail,
     dotted_name,
-    import_aliases,
     register,
+    scope_walk,
+    target_names,
 )
 
+# Backwards-compatible aliases: earlier rule modules imported these
+# helpers from here before they moved into the engine.
+_call_tail = call_tail
+_scope_walk = scope_walk
+
+SECRET = "<secret>"
+_EMPTY: frozenset = frozenset()
 _STRINGIFIERS = frozenset({"ascii", "format", "repr", "str"})
 
-
-def _scope_walk(body):
-    """Every node in a scope, not descending into nested functions."""
-    stack = list(body)
-    while stack:
-        node = stack.pop()
-        yield node
-        for child in ast.iter_child_nodes(node):
-            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
-                                  ast.Lambda)):
-                continue
-            stack.append(child)
+_MAX_GLOBAL_ITERATIONS = 12
 
 
-def _call_tail(func: ast.expr) -> str | None:
-    if isinstance(func, ast.Attribute):
-        return func.attr
-    if isinstance(func, ast.Name):
-        return func.id
-    return None
+@dataclass(frozen=True)
+class TaintSummary:
+    """What a function does with secrets, in terms of its parameters.
+
+    ``returns`` holds the labels that can reach the return value
+    (``<secret>`` and/or own parameter names); ``param_sinks`` maps a
+    parameter to a description of the leak sink it reaches inside the
+    function (possibly through further calls)."""
+
+    returns: frozenset = _EMPTY
+    param_sinks: tuple = ()  # sorted ((param, sink description), ...)
+
+    def sinks(self) -> dict[str, str]:
+        return dict(self.param_sinks)
 
 
-def _target_names(target: ast.expr):
-    if isinstance(target, ast.Name):
-        yield target.id
-    elif isinstance(target, (ast.Tuple, ast.List)):
-        for element in target.elts:
-            yield from _target_names(element)
-    elif isinstance(target, ast.Starred):
-        yield from _target_names(target.value)
+_EMPTY_SUMMARY = TaintSummary()
 
 
-class _Scope:
-    """Taint state and judgements for one function/module body."""
+@dataclass
+class _SinkHit:
+    node: ast.AST
+    labels: frozenset
+    message: str
+    hint: str
+    description: str  # short phrase propagated through summaries
 
-    def __init__(self, module: ModuleInfo, body, params,
-                 aliases: dict[str, str], config: AnalysisConfig) -> None:
+
+class _LabelScope:
+    """Label-set dataflow and sink judgements for one scope.
+
+    ``index``/``summaries`` enable interprocedural resolution; with
+    ``index=None`` the scope degrades to the intramodule behavior
+    (used by the constant-time rule).  ``compare_flows`` additionally
+    propagates labels through comparisons — off for leak tracking
+    (a one-bit equality result is not an exfiltrated key) but on for
+    constant-time analysis (a one-bit branch *is* the timing leak).
+    """
+
+    def __init__(self, module: ModuleInfo, body, seed: dict[str, frozenset],
+                 aliases: dict[str, str], config: AnalysisConfig,
+                 index: ProjectIndex | None = None,
+                 summaries: dict[str, TaintSummary] | None = None,
+                 class_name: str | None = None,
+                 extra_secret_attributes: frozenset = _EMPTY,
+                 compare_flows: bool = False) -> None:
         self.module = module
         self.body = body
         self.aliases = aliases
         self.config = config
-        self.tainted: set[str] = {name for name in params
-                                  if name in config.secret_params}
+        self.index = index
+        self.summaries = summaries if summaries is not None else {}
+        self.class_name = class_name
+        self.extra_secret_attributes = extra_secret_attributes
+        self.compare_flows = compare_flows
+        self.env: dict[str, frozenset] = dict(seed)
         self.file_handles: set[str] = set()
 
-    # --- taint propagation -------------------------------------------------
+    # --- label propagation --------------------------------------------------
 
     def solve(self) -> None:
         changed = True
         while changed:
             changed = False
-            for node in _scope_walk(self.body):
+            for node in scope_walk(self.body):
                 changed |= self._apply(node)
 
     def _apply(self, node: ast.AST) -> bool:
@@ -108,116 +145,206 @@ class _Scope:
             targets_value = [(node.optional_vars, node.context_expr)]
         changed = False
         for target, value in targets_value:
-            names = set(_target_names(target))
+            names = set(target_names(target))
             if not names:
                 continue
-            if self.is_tainted(value) and not names <= self.tainted:
-                self.tainted |= names
-                changed = True
+            labels = self.labels_of(value)
+            for name in names:
+                merged = self.env.get(name, _EMPTY) | labels
+                if merged != self.env.get(name, _EMPTY):
+                    self.env[name] = merged
+                    changed = True
             if (isinstance(value, ast.Call)
-                    and _call_tail(value.func) == "open"
+                    and call_tail(value.func) == "open"
                     and not names <= self.file_handles):
                 self.file_handles |= names
                 changed = True
         return changed
 
-    def is_tainted(self, node: ast.expr | None) -> bool:
+    def labels_of(self, node: ast.expr | None) -> frozenset:
         if node is None:
-            return False
+            return _EMPTY
         if isinstance(node, ast.Name):
-            return node.id in self.tainted
+            return self.env.get(node.id, _EMPTY)
         if isinstance(node, ast.Attribute):
-            if node.attr in self.config.secret_attributes:
-                return True
-            return self.is_tainted(node.value)
+            if node.attr in self.config.public_attributes:
+                return _EMPTY
+            if (node.attr in self.config.secret_attributes
+                    or node.attr in self.extra_secret_attributes):
+                return frozenset({SECRET})
+            return self.labels_of(node.value)
         if isinstance(node, ast.Call):
-            tail = _call_tail(node.func)
-            if tail in self.config.declassifiers:
-                return False
-            if tail in self.config.secret_calls:
-                return True
-            inputs = list(node.args) + [kw.value for kw in node.keywords]
-            if isinstance(node.func, ast.Attribute):
-                inputs.append(node.func.value)
-            return any(self.is_tainted(arg) for arg in inputs)
+            return self._call_labels(node)
         if isinstance(node, ast.Subscript):
-            return self.is_tainted(node.value)
+            return self.labels_of(node.value)
         if isinstance(node, ast.JoinedStr):
-            return any(self.is_tainted(part.value) for part in node.values
-                       if isinstance(part, ast.FormattedValue))
+            out = set()
+            for part in node.values:
+                if isinstance(part, ast.FormattedValue):
+                    out |= self.labels_of(part.value)
+            return frozenset(out)
         if isinstance(node, ast.BinOp):
-            return self.is_tainted(node.left) or self.is_tainted(node.right)
+            return self.labels_of(node.left) | self.labels_of(node.right)
         if isinstance(node, ast.BoolOp):
-            return any(self.is_tainted(value) for value in node.values)
+            out = set()
+            for value in node.values:
+                out |= self.labels_of(value)
+            return frozenset(out)
         if isinstance(node, ast.UnaryOp):
-            return self.is_tainted(node.operand)
+            return self.labels_of(node.operand)
+        if isinstance(node, ast.Compare) and self.compare_flows:
+            out = set(self.labels_of(node.left))
+            for comparator in node.comparators:
+                out |= self.labels_of(comparator)
+            return frozenset(out)
         if isinstance(node, ast.IfExp):
-            return self.is_tainted(node.body) or self.is_tainted(node.orelse)
+            return self.labels_of(node.body) | self.labels_of(node.orelse)
         if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
-            return any(self.is_tainted(element) for element in node.elts)
+            out = set()
+            for element in node.elts:
+                out |= self.labels_of(element)
+            return frozenset(out)
         if isinstance(node, ast.Dict):
-            return any(self.is_tainted(part)
-                       for part in (*node.keys, *node.values)
-                       if part is not None)
+            out = set()
+            for part in (*node.keys, *node.values):
+                if part is not None:
+                    out |= self.labels_of(part)
+            return frozenset(out)
         if isinstance(node, ast.Starred):
-            return self.is_tainted(node.value)
+            return self.labels_of(node.value)
         if isinstance(node, ast.Await):
-            return self.is_tainted(node.value)
-        return False
+            return self.labels_of(node.value)
+        return _EMPTY
 
-    # --- sinks -------------------------------------------------------------
+    def _call_labels(self, node: ast.Call) -> frozenset:
+        tail = call_tail(node.func)
+        if tail in self.config.declassifiers:
+            return _EMPTY
+        if tail in self.config.secret_calls:
+            return frozenset({SECRET})
+        callees = self._resolve(node)
+        if not callees:
+            return self._conservative_call(node)
+        out: set = set()
+        for info in callees:
+            binding = self._bind(node, info)
+            if binding is None:
+                out |= self._conservative_call(node)
+                continue
+            summary = self.summaries.get(info.qualname, _EMPTY_SUMMARY)
+            for label in summary.returns:
+                if label == SECRET:
+                    out.add(SECRET)
+                else:
+                    out |= binding.get(label, _EMPTY)
+        return frozenset(out)
 
-    def findings(self):
+    def _conservative_call(self, node: ast.Call) -> frozenset:
+        out: set = set()
+        for arg in node.args:
+            out |= self.labels_of(arg)
+        for kw in node.keywords:
+            out |= self.labels_of(kw.value)
+        if isinstance(node.func, ast.Attribute):
+            out |= self.labels_of(node.func.value)
+        return frozenset(out)
+
+    def _resolve(self, node: ast.Call) -> list[FunctionInfo]:
+        if self.index is None:
+            return []
+        return self.index.resolve(node.func, self.module, self.class_name)
+
+    def _bind(self, node: ast.Call, info: FunctionInfo
+              ) -> dict[str, frozenset] | None:
+        """Map callee parameter names to argument label sets; ``None``
+        when the call shape defeats binding (starred args, positional
+        overflow) and the conservative treatment should apply."""
+        params = list(info.params)
+        binding: dict[str, frozenset] = {}
+        if params and params[0] in ("self", "cls"):
+            if isinstance(node.func, ast.Attribute):
+                binding[params[0]] = self.labels_of(node.func.value)
+                params = params[1:]
+        index = 0
+        for arg in node.args:
+            if isinstance(arg, ast.Starred):
+                return None
+            if index >= len(params):
+                return None
+            binding[params[index]] = self.labels_of(arg)
+            index += 1
+        for kw in node.keywords:
+            if kw.arg is None:
+                return None
+            if kw.arg in info.params:
+                binding[kw.arg] = self.labels_of(kw.value)
+        return binding
+
+    # --- sinks --------------------------------------------------------------
+
+    def sink_hits(self):
+        """Yield every sink reached by a labeled value, regardless of
+        whether the label set contains ``<secret>`` — the caller
+        decides (findings pass keys on ``<secret>``; the summary pass
+        keys on parameter labels)."""
         consumed: set[int] = set()
-        out: list[Finding] = []
-        for node in _scope_walk(self.body):
+        for node in scope_walk(self.body):
             if isinstance(node, ast.Raise):
-                out.extend(self._check_raise(node, consumed))
+                yield from self._check_raise(node, consumed)
             elif isinstance(node, ast.Call):
-                out.extend(self._check_call(node))
+                yield from self._check_call(node)
             elif isinstance(node, ast.JoinedStr) and id(node) not in consumed:
-                if self.is_tainted(node):
-                    out.append(self._finding(
-                        node, "secret interpolated into an f-string",
+                labels = self.labels_of(node)
+                if labels:
+                    yield _SinkHit(
+                        node, labels,
+                        "secret interpolated into an f-string",
                         "interpolate len()/type() or a digest, never the "
-                        "secret bytes"))
-        return out
+                        "secret bytes", "an f-string")
 
     def _check_raise(self, node: ast.Raise, consumed: set[int]):
         exc = node.exc
         if not isinstance(exc, ast.Call):
             return
         for arg in (*exc.args, *(kw.value for kw in exc.keywords)):
-            if self.is_tainted(arg):
+            labels = self.labels_of(arg)
+            if labels:
                 for sub in ast.walk(arg):
                     if isinstance(sub, ast.JoinedStr):
                         consumed.add(id(sub))
-                yield self._finding(
-                    node, "secret flows into an exception message",
+                yield _SinkHit(
+                    node, labels, "secret flows into an exception message",
                     "report sizes or identifiers, never key/plaintext "
-                    "material (it ends up in normal-world logs)")
+                    "material (it ends up in normal-world logs)",
+                    "an exception message")
                 break
 
     def _check_call(self, node: ast.Call):
-        tail = _call_tail(node.func)
+        tail = call_tail(node.func)
         args = list(node.args) + [kw.value for kw in node.keywords]
-        any_tainted_arg = any(self.is_tainted(arg) for arg in args)
+        arg_labels: frozenset = frozenset().union(
+            *[self.labels_of(arg) for arg in args]) if args else _EMPTY
         receiver = (node.func.value
                     if isinstance(node.func, ast.Attribute) else None)
 
-        if tail == "print" and receiver is None and any_tainted_arg:
-            yield self._finding(node, "secret passed to print()",
-                                "print derived metadata, not the secret")
-        elif tail in _STRINGIFIERS and receiver is None and any_tainted_arg:
-            yield self._finding(
-                node, f"secret passed to {tail}()",
-                "stringified secrets leak via messages and transcripts")
-        elif tail == "hex" and receiver is not None and not args \
-                and self.is_tainted(receiver):
-            yield self._finding(node, "secret stringified via .hex()",
-                                "hex-encoding is not declassification")
+        if tail == "print" and receiver is None and arg_labels:
+            yield _SinkHit(node, arg_labels, "secret passed to print()",
+                           "print derived metadata, not the secret",
+                           "print()")
+        elif tail in _STRINGIFIERS and receiver is None and arg_labels:
+            yield _SinkHit(
+                node, arg_labels, f"secret passed to {tail}()",
+                "stringified secrets leak via messages and transcripts",
+                f"{tail}()")
+        elif tail == "hex" and receiver is not None and not args:
+            labels = self.labels_of(receiver)
+            if labels:
+                yield _SinkHit(node, labels,
+                               "secret stringified via .hex()",
+                               "hex-encoding is not declassification",
+                               ".hex()")
         elif tail in self.config.telemetry_sink_methods \
-                and receiver is not None and any_tainted_arg:
+                and receiver is not None and arg_labels:
             # Receiver may itself be a call (registry.histogram(...).
             # observe(...)); judge the innermost dotted path.
             target = receiver.func if isinstance(receiver, ast.Call) \
@@ -225,74 +352,170 @@ class _Scope:
             dotted = (dotted_name(target, self.aliases) or "").lower()
             parts = {part.lstrip("_") for part in dotted.split(".")}
             if parts & self.config.telemetry_sink_receivers:
-                yield self._finding(
-                    node, "secret flows into a telemetry sink",
+                yield _SinkHit(
+                    node, arg_labels,
+                    "secret flows into a telemetry sink",
                     "spans and metrics are exported to normal-world "
                     "artifacts; pass redact()ed summaries or len(), "
-                    "never key/plaintext bytes")
+                    "never key/plaintext bytes", "a telemetry sink")
         elif tail in self.config.log_methods and receiver is not None:
             dotted = dotted_name(node.func, self.aliases) or ""
             if "log" in dotted.split(".")[0].lower() or "logg" in dotted:
-                if any_tainted_arg:
-                    yield self._finding(
-                        node, "secret passed to a logging call",
-                        "log derived metadata, never secret bytes")
-        elif tail in self.config.untrusted_write_calls and any_tainted_arg:
-            yield self._finding(
-                node, f"secret written to untrusted storage via {tail}()",
-                "encrypt or seal before anything leaves the enclave")
-        elif tail == "store" and receiver is not None and any_tainted_arg:
+                if arg_labels:
+                    yield _SinkHit(
+                        node, arg_labels,
+                        "secret passed to a logging call",
+                        "log derived metadata, never secret bytes",
+                        "a logging call")
+        elif tail in self.config.untrusted_write_calls and arg_labels:
+            yield _SinkHit(
+                node, arg_labels,
+                f"secret written to untrusted storage via {tail}()",
+                "encrypt or seal before anything leaves the enclave",
+                f"{tail}()")
+        elif tail == "store" and receiver is not None and arg_labels:
             dotted = dotted_name(receiver, self.aliases) or ""
             if dotted.split(".")[-1] in self.config.untrusted_write_receivers:
-                yield self._finding(
-                    node, "secret written to untrusted flash",
-                    "encrypt or seal before anything leaves the enclave")
+                yield _SinkHit(
+                    node, arg_labels, "secret written to untrusted flash",
+                    "encrypt or seal before anything leaves the enclave",
+                    "untrusted flash")
         elif tail == "write" and isinstance(receiver, ast.Name) \
-                and receiver.id in self.file_handles and any_tainted_arg:
-            yield self._finding(
-                node, "secret written to a host file",
-                "host files are outside every trust boundary here")
-        elif tail == "write" and receiver is not None and any_tainted_arg:
+                and receiver.id in self.file_handles and arg_labels:
+            yield _SinkHit(
+                node, arg_labels, "secret written to a host file",
+                "host files are outside every trust boundary here",
+                "a host file")
+        elif tail == "write" and receiver is not None and arg_labels:
             dotted = dotted_name(receiver, self.aliases) or ""
             if dotted.split(".")[-1] == "bus" and any(
                     (dotted_name(arg, self.aliases) or "").endswith(
                         "World.NORMAL") for arg in args):
-                yield self._finding(
-                    node, "secret written to normal-world memory",
+                yield _SinkHit(
+                    node, arg_labels,
+                    "secret written to normal-world memory",
                     "route secret bytes through enclave-locked regions "
-                    "only")
+                    "only", "normal-world memory")
 
-    def _finding(self, node: ast.AST, message: str, hint: str) -> Finding:
-        return Finding(path=self.module.path, line=node.lineno,
-                       col=node.col_offset, rule=SecretTaintRule.name,
-                       message=message, hint=hint)
+        # Interprocedural: an argument handed to a callee whose summary
+        # says that parameter reaches a sink inside it.
+        for info, param, labels, description in self._forwarded_sinks(node):
+            yield _SinkHit(
+                node, labels,
+                f"secret argument flows into a leak sink inside "
+                f"{info.name}()",
+                f"inside {info.qualname} the value reaches {description}; "
+                f"declassify (redact()/len()) before the call",
+                description)
+
+    def _forwarded_sinks(self, node: ast.Call):
+        for info in self._resolve(node):
+            summary = self.summaries.get(info.qualname, _EMPTY_SUMMARY)
+            sinks = summary.sinks()
+            if not sinks:
+                continue
+            binding = self._bind(node, info)
+            if binding is None:
+                continue
+            for param, description in sorted(sinks.items()):
+                labels = binding.get(param, _EMPTY)
+                if labels:
+                    yield info, param, labels, description
 
 
-def _param_names(func: ast.FunctionDef) -> list[str]:
-    args = func.args
-    params = [a.arg for a in (*args.posonlyargs, *args.args,
-                              *args.kwonlyargs)]
-    for extra in (args.vararg, args.kwarg):
-        if extra is not None:
-            params.append(extra.arg)
-    return params
+# --- summaries and the global fixpoint --------------------------------------
+
+
+def _summary_scope(info: FunctionInfo, index: ProjectIndex,
+                   summaries: dict[str, TaintSummary],
+                   config: AnalysisConfig) -> _LabelScope:
+    seed = {param: frozenset({param}) for param in info.params}
+    scope = _LabelScope(
+        info.module, info.node.body, seed,
+        index.module_aliases(info.module), config,
+        index=index, summaries=summaries, class_name=info.class_name)
+    scope.solve()
+    return scope
+
+
+def _summarize(info: FunctionInfo, index: ProjectIndex,
+               summaries: dict[str, TaintSummary],
+               config: AnalysisConfig) -> TaintSummary:
+    scope = _summary_scope(info, index, summaries, config)
+    returns: set = set()
+    for node in scope_walk(info.node.body):
+        if isinstance(node, ast.Return) and node.value is not None:
+            returns |= scope.labels_of(node.value)
+    # ``self``/``cls`` never count as forwarded sinks: a method that
+    # interpolates its *own* attributes into an error message is
+    # describing its configuration, not leaking the caller's argument.
+    param_set = set(info.params) - {"self", "cls"}
+    sinks: dict[str, str] = {}
+    for hit in scope.sink_hits():
+        for param in sorted(hit.labels & param_set):
+            sinks.setdefault(param, hit.description)
+    return TaintSummary(returns=frozenset(returns),
+                        param_sinks=tuple(sorted(sinks.items())))
+
+
+def compute_summaries(index: ProjectIndex, config: AnalysisConfig
+                      ) -> dict[str, TaintSummary]:
+    """Chaotic iteration to a fixpoint: label sets only grow, so this
+    terminates; the iteration cap is a safety net for pathological
+    mutual recursion."""
+    summaries: dict[str, TaintSummary] = {}
+    for _ in range(_MAX_GLOBAL_ITERATIONS):
+        changed = False
+        for info in index.functions:
+            new = _summarize(info, index, summaries, config)
+            if summaries.get(info.qualname) != new:
+                summaries[info.qualname] = new
+                changed = True
+        if not changed:
+            break
+    return summaries
 
 
 @register
 class SecretTaintRule(Rule):
     name = "secret-taint"
-    description = "dataflow from key/plaintext/audio secrets into " \
-                  "logging, messages, and untrusted writes"
+    description = "interprocedural dataflow from key/plaintext/audio " \
+                  "secrets into logging, messages, and untrusted writes"
 
-    def check(self, module: ModuleInfo, config: AnalysisConfig):
-        aliases = import_aliases(module.tree)
-        scopes = [_Scope(module, module.tree.body, (), aliases, config)]
-        for node in ast.walk(module.tree):
-            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                scopes.append(_Scope(module, node.body, _param_names(node),
-                                     aliases, config))
+    def check_project(self, modules: list[ModuleInfo],
+                      config: AnalysisConfig):
+        parsed = [m for m in modules if m.tree is not None]
+        index = ProjectIndex(parsed)
+        summaries = compute_summaries(index, config)
         findings: list[Finding] = []
-        for scope in scopes:
+
+        for module in parsed:
+            scope = _LabelScope(module, module.tree.body, {},
+                                index.module_aliases(module), config,
+                                index=index, summaries=summaries)
             scope.solve()
-            findings.extend(scope.findings())
+            findings.extend(self._findings(module, scope))
+
+        for info in index.functions:
+            seed = {}
+            for param in info.params:
+                labels = {param}
+                if param in config.secret_params:
+                    labels.add(SECRET)
+                seed[param] = frozenset(labels)
+            scope = _LabelScope(
+                info.module, info.node.body, seed,
+                index.module_aliases(info.module), config,
+                index=index, summaries=summaries,
+                class_name=info.class_name)
+            scope.solve()
+            findings.extend(self._findings(info.module, scope))
         return findings
+
+    def _findings(self, module: ModuleInfo, scope: _LabelScope):
+        for hit in scope.sink_hits():
+            if SECRET in hit.labels:
+                yield Finding(
+                    path=module.path, line=hit.node.lineno,
+                    col=hit.node.col_offset, rule=self.name,
+                    message=hit.message, hint=hit.hint)

@@ -1,32 +1,48 @@
-"""``zeroization``: scrub obligations on every explicit exit path.
+"""``zeroization``: scrub obligations proven over the function CFG.
 
 A function that registers a *fresh* secret-bearing region (an acquire
 call such as ``lock_region_to_core`` whose subject is a local, not an
 already-owned ``self.<attr>``) takes on an obligation: on every
-explicit exit it must either
+path through its control-flow graph it must either
 
-* have called a release (``scrub``/``teardown``/``panic``/
+* reach a release (``scrub``/``teardown``/``panic``/
   ``unlock_region``), directly or through a function that transitively
   always leads to one — the call graph is built over the analyzed tree,
   which is how ``panic() -> teardown() -> scrub()`` discharges — or
 * transfer ownership by returning a value (the caller now owns the
-  handle and its teardown), or
-* sit under a ``try/finally`` whose finalizer releases.
+  handle and its teardown) before any leaking exit.
+
+The proof runs over the CFG built by :mod:`repro.analysis.cfg`: a
+may-hold bit is propagated through every edge, including loop
+back-edges, the statement-granular exception edges into ``except``
+handlers, and per-continuation copies of ``finally`` bodies.  That
+last point is the teeth the old straight-line checker lacked — a
+*conditional* release inside a finalizer used to count as full
+coverage; now only the branch that actually releases does.
 
 Explicit exits are ``return``, ``raise``, and falling off the end of
-the function.  Implicit exits (any expression can raise) are out of
-scope for a lint — the dynamic chaos harness covers those — but the
-pattern this rule enforces (release in ``finally`` / ``except`` before
-re-raise) is exactly the one that also survives implicit exceptions.
+the function.  Implicit exits outside ``try`` blocks (any expression
+can raise) remain out of scope for a lint — the dynamic chaos harness
+and the runtime :class:`~repro.sanitizers.secret.SecretSanitizer`
+cover those — but the pattern this rule enforces (release in
+``finally`` / ``except`` before re-raise) is exactly the one that also
+survives implicit exceptions.
 """
 
 from __future__ import annotations
 
 import ast
 
+from repro.analysis.cfg import build_cfg
 from repro.analysis.config import AnalysisConfig
-from repro.analysis.engine import Finding, ModuleInfo, Rule, register
-from repro.analysis.rules.taint import _call_tail, _scope_walk
+from repro.analysis.engine import (
+    Finding,
+    ModuleInfo,
+    Rule,
+    call_tail,
+    register,
+    scope_walk,
+)
 
 
 def _is_owned_subject(call: ast.Call) -> bool:
@@ -40,14 +56,14 @@ def _is_owned_subject(call: ast.Call) -> bool:
             and subject.value.id == "self")
 
 
-def _calls_in(node: ast.stmt):
-    for sub in ast.walk(node):
+def _calls_in(fragment: ast.AST):
+    for sub in ast.walk(fragment):
         if isinstance(sub, ast.Call):
             yield sub
 
 
-class _PathChecker:
-    """Walks one function body tracking the holding/released state."""
+class _CfgChecker:
+    """May-hold dataflow over one function's CFG."""
 
     def __init__(self, module: ModuleInfo, func: ast.FunctionDef,
                  acquires: frozenset, releases: frozenset) -> None:
@@ -55,115 +71,74 @@ class _PathChecker:
         self.func = func
         self.acquires = acquires
         self.releases = releases
-        self.findings: list[Finding] = []
 
     def run(self) -> list[Finding]:
-        holding = self._scan(self.func.body, holding=False, covered=False)
-        if holding:
-            self._emit(self.func,
-                       f"{self.func.name}() can fall through holding an "
-                       f"unscrubbed secret region")
-        return self.findings
+        cfg = build_cfg(self.func)
+        in_states: dict[int, set[bool]] = {id(cfg.entry): {False}}
+        node_of = {id(cfg.entry): cfg.entry}
+        worklist = [(cfg.entry, False)]
+        while worklist:
+            node, state = worklist.pop()
+            out = self._transfer(node, state)
+            for succ in node.succ:
+                states = in_states.setdefault(id(succ), set())
+                node_of[id(succ)] = succ
+                if out not in states:
+                    states.add(out)
+                    worklist.append((succ, out))
 
-    # ``None`` return value means every path through ``stmts`` exited.
-    def _scan(self, stmts, holding: bool, covered: bool):
-        for stmt in stmts:
-            if isinstance(stmt, ast.Return):
-                transfers = stmt.value is not None and not (
-                    isinstance(stmt.value, ast.Constant)
-                    and stmt.value.value is None)
-                if holding and not covered and not transfers:
-                    self._emit(stmt, f"{self.func.name}() returns without "
-                                     f"scrubbing the region it registered")
-                return None
-            if isinstance(stmt, ast.Raise):
-                if holding and not covered:
-                    self._emit(stmt, f"{self.func.name}() can propagate an "
-                                     f"exception while holding an "
-                                     f"unscrubbed region")
-                return None
-            result = self._step(stmt, holding, covered)
-            if result is None:  # statement exits on every path
-                return None
-            holding = result
+        findings: list[Finding] = []
+        emitted: set[tuple[int, str]] = set()
+        for kind, stmt, node in cfg.exits:
+            if True not in in_states.get(id(node), set()):
+                continue
+            if kind == "return-value":
+                continue  # ownership transferred to the caller
+            if kind == "fall":
+                message = (f"{self.func.name}() can fall through holding "
+                           f"an unscrubbed secret region")
+            elif kind == "return-none":
+                message = (f"{self.func.name}() returns without scrubbing "
+                           f"the region it registered")
+            else:  # raise
+                message = (f"{self.func.name}() can propagate an exception "
+                           f"while holding an unscrubbed region")
+            key = (stmt.lineno, message)
+            if key in emitted:
+                continue
+            emitted.add(key)
+            findings.append(Finding(
+                path=self.module.path, line=stmt.lineno,
+                col=stmt.col_offset, rule=ZeroizationRule.name,
+                message=message,
+                hint="scrub/teardown in a finally block, panic() before "
+                     "re-raising, or return the owning handle to the "
+                     "caller"))
+        return findings
+
+    def _transfer(self, node, holding: bool) -> bool:
+        for fragment in node.exprs:
+            for call in _calls_in(fragment):
+                tail = call_tail(call.func)
+                if tail in self.releases:
+                    holding = False
+                if tail in self.acquires and not _is_owned_subject(call):
+                    holding = True
         return holding
-
-    def _step(self, stmt: ast.stmt, holding: bool, covered: bool):
-        if isinstance(stmt, ast.If):
-            branches = [self._scan(stmt.body, holding, covered),
-                        self._scan(stmt.orelse, holding, covered)]
-            live = [b for b in branches if b is not None]
-            return any(live) if live else None
-        if isinstance(stmt, (ast.For, ast.While)):
-            body = self._scan(stmt.body, holding, covered)
-            merged = holding or bool(body)
-            return self._scan(stmt.orelse, merged, covered)
-        if isinstance(stmt, ast.With):
-            for item in stmt.items:
-                holding = self._apply_calls(item.context_expr, holding)
-            return self._scan(stmt.body, holding, covered)
-        if isinstance(stmt, ast.Try):
-            return self._step_try(stmt, holding, covered)
-        # Plain statement: apply acquire/release effects of its calls.
-        return self._apply_calls(stmt, holding)
-
-    def _step_try(self, stmt: ast.Try, holding: bool, covered: bool):
-        finally_releases = any(
-            _call_tail(call.func) in self.releases
-            for child in stmt.finalbody for call in _calls_in(child))
-        inner_covered = covered or finally_releases
-        body = self._scan(stmt.body, holding, inner_covered)
-        # A handler may run after any prefix of the body: enter it
-        # holding if the body ever acquires.
-        body_acquires = any(
-            _call_tail(call.func) in self.acquires
-            and not _is_owned_subject(call)
-            for child in stmt.body for call in _calls_in(child))
-        exits = [body]
-        for handler in stmt.handlers:
-            exits.append(self._scan(handler.body, holding or body_acquires,
-                                    inner_covered))
-        if body is not None:
-            exits.append(self._scan(stmt.orelse, body, inner_covered))
-        live = [e for e in exits if e is not None]
-        if not live:
-            # Every path exits inside the try; the finalizer still runs
-            # on the way out, so scan it for its own violations.
-            self._scan(stmt.finalbody,
-                       False if finally_releases else holding, covered)
-            return None
-        after = False if finally_releases else any(live)
-        return self._scan(stmt.finalbody, after, covered)
-
-    def _apply_calls(self, node, holding: bool) -> bool:
-        for call in _calls_in(node) if isinstance(node, ast.stmt) else (
-                sub for sub in ast.walk(node)
-                if isinstance(sub, ast.Call)):
-            tail = _call_tail(call.func)
-            if tail in self.releases:
-                holding = False
-            if tail in self.acquires and not _is_owned_subject(call):
-                holding = True
-        return holding
-
-    def _emit(self, node: ast.AST, message: str) -> None:
-        self.findings.append(Finding(
-            path=self.module.path, line=node.lineno, col=node.col_offset,
-            rule=ZeroizationRule.name, message=message,
-            hint="scrub/teardown in a finally block, panic() before "
-                 "re-raising, or return the owning handle to the caller"))
 
 
 @register
 class ZeroizationRule(Rule):
     name = "zeroization"
-    description = "secret-region registrations must scrub on all " \
-                  "explicit exit paths"
+    description = "secret-region registrations must scrub on every " \
+                  "CFG path (exception edges included)"
 
     def check_project(self, modules: list[ModuleInfo],
                       config: AnalysisConfig):
         functions: list[tuple[ModuleInfo, ast.FunctionDef]] = []
         for module in modules:
+            if module.tree is None:
+                continue
             for node in ast.walk(module.tree):
                 if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
                     functions.append((module, node))
@@ -177,10 +152,9 @@ class ZeroizationRule(Rule):
             for _, func in functions:
                 if func.name in releasing:
                     continue
-                tails = {_call_tail(call.func)
-                         for node in _scope_walk(func.body)
-                         if isinstance(node, ast.Call)
-                         for call in (node,)}
+                tails = {call_tail(node.func)
+                         for node in scope_walk(func.body)
+                         if isinstance(node, ast.Call)}
                 if tails & releasing:
                     releasing.add(func.name)
                     changed = True
@@ -189,13 +163,13 @@ class ZeroizationRule(Rule):
         findings: list[Finding] = []
         for module, func in functions:
             has_fresh_acquire = any(
-                _call_tail(node.func) in acquires
+                call_tail(node.func) in acquires
                 and not _is_owned_subject(node)
-                for node in _scope_walk(func.body)
+                for node in scope_walk(func.body)
                 if isinstance(node, ast.Call))
             if not has_fresh_acquire:
                 continue
-            checker = _PathChecker(module, func, acquires,
-                                   frozenset(releasing))
+            checker = _CfgChecker(module, func, acquires,
+                                  frozenset(releasing))
             findings.extend(checker.run())
         return findings

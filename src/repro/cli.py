@@ -66,17 +66,26 @@ def build_parser() -> argparse.ArgumentParser:
 
     analyze = sub.add_parser(
         "analyze",
-        help="run the static invariant checkers (secret-taint, layering, "
-             "determinism, zeroization)")
+        help="run the static invariant checkers (secret-taint, consttime, "
+             "layering, determinism, zeroization)")
     analyze.add_argument("paths", nargs="*",
                          help="files or directories (default: the "
                               "installed repro package)")
     analyze.add_argument("--json", action="store_true",
                          help="machine-readable JSON report")
+    analyze.add_argument("--format", dest="format", default=None,
+                         choices=("human", "json", "sarif"),
+                         help="report format (--json is shorthand for "
+                              "--format json)")
     analyze.add_argument("--rule", action="append", metavar="NAME",
                          help="run only this rule (repeatable)")
     analyze.add_argument("--no-baseline", action="store_true",
                          help="ignore the committed baseline file")
+    analyze.add_argument("--no-cache", action="store_true",
+                         help="ignore and do not write the result cache")
+    analyze.add_argument("--cache-dir", default=None, metavar="DIR",
+                         help="directory for the result cache "
+                              "(default: .cache/)")
 
     serve_bench = sub.add_parser(
         "serve-bench",
@@ -278,10 +287,16 @@ def _cmd_analyze(args) -> int:
     argv = list(args.paths)
     if args.json:
         argv.append("--json")
+    if args.format:
+        argv.extend(["--format", args.format])
     for rule in args.rule or ():
         argv.extend(["--rule", rule])
     if args.no_baseline:
         argv.append("--no-baseline")
+    if args.no_cache:
+        argv.append("--no-cache")
+    if args.cache_dir:
+        argv.extend(["--cache-dir", args.cache_dir])
     return analysis_main(argv)
 
 

@@ -26,6 +26,7 @@ from repro.crypto.rng import HmacDrbg
 from repro.errors import ProtocolError
 from repro.hw.soc import MiB
 from repro.sanctuary.enclave import EnclaveContext, SanctuaryApp
+from repro.sanitizers import hooks as _sanitizers
 from repro.sanctuary.lifecycle import EnclaveInstance, SanctuaryRuntime
 from repro.tflm.interpreter import Interpreter
 from repro.tflm.serialize import deserialize_model
@@ -93,6 +94,10 @@ class KeywordSpotterApp(SanctuaryApp):
         ctx.clock.advance_ms(
             1000.0 * (len(encrypted.blob) / MiB) / ctx.profile.aes_mib_per_s)
         model = deserialize_model(model_bytes)
+        if _sanitizers.STATE is not None \
+                and _sanitizers.STATE.secrets is not None:
+            _sanitizers.STATE.secrets.on_observe(
+                model_bytes, origin="decrypted model (provisioning)")
         # Stage the plaintext model into enclave-private memory so the
         # isolation tests have a concrete target to probe for.
         staging = ctx.heap.alloc(len(model_bytes))
@@ -225,6 +230,10 @@ class KeywordSpotterApp(SanctuaryApp):
         ctx.clock.advance_ms(
             1000.0 * (len(plaintext) / MiB) / ctx.profile.aes_mib_per_s)
         model = deserialize_model(plaintext)
+        if _sanitizers.STATE is not None \
+                and _sanitizers.STATE.secrets is not None:
+            _sanitizers.STATE.secrets.on_observe(
+                plaintext, origin="unsealed model (restore)")
         interpreter = Interpreter(model)
         interpreter.attach_timing(ctx.clock, ctx.core_freq_hz, ctx.profile,
                                   l2_excluded=self.l2_exclusion)

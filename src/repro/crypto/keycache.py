@@ -37,6 +37,7 @@ from repro.crypto.rsa import RsaPrivateKey, generate_keypair
 from repro.errors import CryptoError
 from repro.faults import hooks as _faults
 from repro.obs import hooks as _obs
+from repro.sanitizers import hooks as _sanitizers
 
 __all__ = ["deterministic_keypair", "scrub_secret", "SecretCache",
            "KeystreamCache"]
@@ -58,13 +59,19 @@ def scrub_secret(buf) -> None:
     (``bytes``) cannot be scrubbed in place and are ignored; callers
     that need scrub-on-evict must store mutable buffers.
     """
+    if isinstance(buf, (tuple, list)):
+        for item in buf:
+            scrub_secret(item)
+        return
     if isinstance(buf, np.ndarray):
         buf[...] = 0
     elif isinstance(buf, (bytearray, memoryview)):
         buf[:] = b"\x00" * len(buf)
-    elif isinstance(buf, (tuple, list)):
-        for item in buf:
-            scrub_secret(item)
+    state = _sanitizers.STATE
+    if state is not None and state.secrets is not None:
+        # Verifies the leaf really is zero now — catches immutable
+        # ``bytes`` (the no-op branch above) and broken scrubs.
+        state.secrets.on_scrub(buf)
 
 
 class SecretCache:
@@ -105,9 +112,17 @@ class SecretCache:
         return self._entries[cache_key]
 
     def put(self, cache_key, value) -> None:
+        state = _sanitizers.STATE
+        if state is not None and state.secrets is not None:
+            state.secrets.on_track(value, origin="SecretCache.put")
         if cache_key in self._entries:
+            old = self._entries[cache_key]
             self._entries.move_to_end(cache_key)
             self._entries[cache_key] = value
+            if old is not value:
+                # Replacement drops the old buffer: scrub it first, per
+                # the class contract (material never leaves unscrubbed).
+                scrub_secret(old)
             return
         while len(self._entries) >= self.capacity:
             evicted_key, evicted = self._entries.popitem(last=False)
@@ -202,10 +217,15 @@ class KeystreamCache:
 
     def _generate(self, session_id: int, key: bytes,
                   index: int) -> np.ndarray:
+        # Python dict addressing by key bytes is outside the modeled
+        # timing channel: the L1/L2 probes target the AES T-table lines,
+        # not CPython's hash table.  The cipher cache trades that
+        # (unmodeled) hash-timing surface for not re-expanding the key
+        # schedule on every chunk.
         cipher = self._ciphers.get((session_id, key))
-        if cipher is None:
+        if cipher is None:  # analysis: allow(consttime)
             cipher = AES(key)
-            self._ciphers[session_id, key] = cipher
+            self._ciphers[session_id, key] = cipher  # analysis: allow(consttime)
         blocks_per_chunk = self.chunk_bytes // 16
         counter = b"\x00" * 12 + struct.pack(">I", index * blocks_per_chunk)
         chunk = np.frombuffer(
@@ -223,7 +243,10 @@ class KeystreamCache:
         if _faults.PLAN is not None and _faults.PLAN.keycache_chunk():
             self._chunks.discard(cache_key)
         cached = self._chunks.get(cache_key)
-        if cached is not None:
+        # Hit/miss timing is the cache's documented design (chunks are
+        # pure functions of key+index; a miss regenerates, never leaks
+        # which key bytes differ) — dict hashing is unmodeled, see above.
+        if cached is not None:  # analysis: allow(consttime)
             self._prefetched_unused.discard(cache_key)
             if _obs.TELEMETRY is not None:
                 _obs.TELEMETRY.metrics.counter(
@@ -254,7 +277,8 @@ class KeystreamCache:
         generated = 0
         for index in range(first, first + depth):
             cache_key = (session_id, key, index)
-            if cache_key in self._chunks:
+            # Same unmodeled dict-hash surface as _generate above.
+            if cache_key in self._chunks:  # analysis: allow(consttime)
                 continue
             self._generate(session_id, key, index)
             self._prefetched_unused.add(cache_key)

@@ -114,3 +114,13 @@ class ServeError(ReproError):
 
 class ObsError(ReproError):
     """The observability layer was misused (bad metric, span state...)."""
+
+
+class SanitizerViolation(ReproError):
+    """A runtime sanitizer (see :mod:`repro.sanitizers`) caught a
+    secret-hygiene or ring-protocol violation.
+
+    Raised only when sanitizers are explicitly installed (they are
+    test/debug instrumentation, never part of production behavior);
+    the message names the violated invariant and its origin.
+    """

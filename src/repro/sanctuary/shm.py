@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.errors import MemoryAccessError
 from repro.faults import hooks as _faults
+from repro.sanitizers import hooks as _sanitizers
 from repro.hw.memory import AccessType, MemoryRegion, World
 from repro.hw.soc import Soc
 
@@ -219,11 +220,20 @@ class SlotRing:
         exactly as they would a genuinely full ring.
         """
         if _faults.PLAN is not None and _faults.PLAN.ring_stall():
+            if _sanitizers.STATE is not None \
+                    and _sanitizers.STATE.rings is not None:
+                _sanitizers.STATE.rings.on_reserve(self, ok=False)
             return None
         head = int(self._ctrl[0])
         tail = int(self._ctrl[1])
         if (tail + 1) % self.num_slots == head:
+            if _sanitizers.STATE is not None \
+                    and _sanitizers.STATE.rings is not None:
+                _sanitizers.STATE.rings.on_reserve(self, ok=False)
             return None
+        if _sanitizers.STATE is not None \
+                and _sanitizers.STATE.rings is not None:
+            _sanitizers.STATE.rings.on_reserve(self, ok=True)
         return self._slot(tail)[4:4 + self.slot_bytes]
 
     def commit(self, length: int) -> None:
@@ -231,6 +241,9 @@ class SlotRing:
         if not 0 <= length <= self.slot_bytes:
             raise MemoryAccessError(
                 f"commit length {length} outside [0, {self.slot_bytes}]")
+        if _sanitizers.STATE is not None \
+                and _sanitizers.STATE.rings is not None:
+            _sanitizers.STATE.rings.on_commit(self)
         tail = int(self._ctrl[1])
         self._slot(tail)[:4].view(np.uint32)[0] = length
         # The payload does cross the interconnect once; charge it here
@@ -249,7 +262,13 @@ class SlotRing:
         head = int(self._ctrl[0])
         tail = int(self._ctrl[1])
         if head == tail:
+            if _sanitizers.STATE is not None \
+                    and _sanitizers.STATE.rings is not None:
+                _sanitizers.STATE.rings.on_peek(self, ok=False)
             return None
+        if _sanitizers.STATE is not None \
+                and _sanitizers.STATE.rings is not None:
+            _sanitizers.STATE.rings.on_peek(self, ok=True)
         slot = self._slot(head)
         length = int(slot[:4].view(np.uint32)[0])
         return slot[4:4 + length]
@@ -259,4 +278,7 @@ class SlotRing:
         head = int(self._ctrl[0])
         if head == int(self._ctrl[1]):
             raise MemoryAccessError("release() on an empty ring")
+        if _sanitizers.STATE is not None \
+                and _sanitizers.STATE.rings is not None:
+            _sanitizers.STATE.rings.on_release(self)
         self._ctrl[0] = (head + 1) % self.num_slots

@@ -1,0 +1,104 @@
+"""SPSC ring protocol sanitizer.
+
+:class:`repro.sanctuary.shm.SlotRing` is safe without locks only while
+both endpoints follow the reserve→commit / peek→release discipline.
+The ring itself cannot police that (a producer that commits without a
+reservation still advances ``tail`` — silently publishing garbage), so
+this sanitizer runs a per-endpoint state machine beside every ring and
+raises :class:`~repro.errors.SanitizerViolation` the moment the
+protocol is broken:
+
+* ``commit()`` without a successful ``try_reserve()`` (including after
+  a reservation the fault plan stalled to ``None`` — backpressure must
+  be honored, not overridden),
+* a second ``try_reserve()`` while a reservation is outstanding (the
+  first slot view would be silently reused),
+* ``release()`` without a successful ``try_peek()``.
+
+Re-peeking the same pending slot is allowed — ``try_peek`` is an
+idempotent read.  Endpoint state is keyed weakly by ring object: each
+endpoint builds its own :class:`SlotRing` view over the shared window,
+so one object is one endpoint and producer/consumer states never mix.
+"""
+
+from __future__ import annotations
+
+import weakref
+
+from repro.errors import SanitizerViolation
+
+__all__ = ["RingSanitizer"]
+
+_IDLE = 0
+_OPEN = 1  # reservation outstanding / peek outstanding
+
+
+class RingSanitizer:
+    """State-machine checker for SlotRing reserve/commit/peek/release."""
+
+    def __init__(self) -> None:
+        # ring object -> [producer_state, consumer_state]
+        self._states: "weakref.WeakKeyDictionary" = \
+            weakref.WeakKeyDictionary()
+        self.reserves = 0
+        self.commits = 0
+        self.peeks = 0
+        self.releases = 0
+
+    def _state(self, ring):
+        state = self._states.get(ring)
+        if state is None:
+            state = [_IDLE, _IDLE]
+            self._states[ring] = state
+        return state
+
+    # --- producer endpoint ---------------------------------------------
+
+    def on_reserve(self, ring, ok: bool) -> None:
+        state = self._state(ring)
+        if ok:
+            if state[0] is _OPEN:
+                raise SanitizerViolation(
+                    "try_reserve() while a reservation is outstanding: "
+                    "the previous slot view would be silently reused; "
+                    "commit it first")
+            state[0] = _OPEN
+            self.reserves += 1
+
+    def on_commit(self, ring) -> None:
+        state = self._state(ring)
+        if state[0] is not _OPEN:
+            raise SanitizerViolation(
+                "commit() without a successful try_reserve(): a full "
+                "(or fault-stalled) ring returned None — that is "
+                "backpressure, not a slot")
+        state[0] = _IDLE
+        self.commits += 1
+
+    # --- consumer endpoint ---------------------------------------------
+
+    def on_peek(self, ring, ok: bool) -> None:
+        if ok:
+            # Re-peek of the same pending slot is an idempotent read.
+            self._state(ring)[1] = _OPEN
+            self.peeks += 1
+
+    def on_release(self, ring) -> None:
+        state = self._state(ring)
+        if state[1] is not _OPEN:
+            raise SanitizerViolation(
+                "release() without a successful try_peek(): the head "
+                "slot was never observed by this endpoint")
+        state[1] = _IDLE
+        self.releases += 1
+
+    # --- teardown ------------------------------------------------------
+
+    def check_teardown(self) -> None:
+        """No reservation may be left open when serving tears down."""
+        dangling = sum(1 for state in self._states.values()
+                       if state[0] is _OPEN)
+        if dangling:
+            raise SanitizerViolation(
+                f"{dangling} ring reservation(s) never committed before "
+                f"teardown")

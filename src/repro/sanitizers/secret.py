@@ -1,0 +1,155 @@
+"""Secret-buffer lifetime sanitizer.
+
+The static ``zeroization`` rule proves every *code path* from a
+key-material acquisition reaches a scrub; this sanitizer checks the
+complementary *runtime* property on the buffers themselves:
+
+* every secret buffer a cache takes custody of is mutable (immutable
+  ``bytes`` can never be zeroized in place — ``scrub_secret`` on one
+  is a silent no-op, which is exactly the bug class this catches),
+* when a buffer is scrubbed it really is all-zero afterwards,
+* at teardown no tracked buffer is still live, and no snapshot of any
+  tracked secret's leading bytes is resident in unlocked simulated
+  DRAM (the same sweep the chaos harness runs, but for every secret
+  the caches ever held, not just the scenario's markers).
+
+The sanitizer keeps a *copy* of each secret's first
+``marker_bytes`` bytes for the teardown sweep.  That is deliberate
+test-only behavior: the copy lives in host memory inside the
+sanitizer, is bounded by ``_MAX_MARKERS``, and exists precisely so a
+stray copy of the secret elsewhere can be found.  Never install
+sanitizers outside tests/debugging.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SanitizerViolation
+
+__all__ = ["SecretSanitizer"]
+
+_MAX_MARKERS = 256
+
+
+def _leaves(value):
+    """Flatten composite cache entries into leaf buffers."""
+    if isinstance(value, (tuple, list)):
+        for item in value:
+            yield from _leaves(item)
+    else:
+        yield value
+
+
+def _snapshot(leaf, limit: int) -> bytes | None:
+    """First ``limit`` bytes of a buffer-ish leaf, or None for
+    non-buffer values (counters, small ints in composite entries)."""
+    if isinstance(leaf, np.ndarray):
+        return leaf.reshape(-1).view(np.uint8)[:limit].tobytes()
+    if isinstance(leaf, (bytes, bytearray, memoryview)):
+        return bytes(leaf[:limit])
+    return None
+
+
+def _is_zeroed(leaf) -> bool:
+    if isinstance(leaf, np.ndarray):
+        return not leaf.any()
+    if isinstance(leaf, (bytes, bytearray, memoryview)):
+        return not any(bytes(leaf))
+    return True
+
+
+class SecretSanitizer:
+    """Tracks live secret buffers and their zeroized-on-free contract."""
+
+    def __init__(self, marker_bytes: int = 32) -> None:
+        self.marker_bytes = marker_bytes
+        # id(buffer) -> (buffer, origin).  Strong references: the
+        # sanitizer must still see the buffer at teardown even if the
+        # owner dropped it without scrubbing (that *is* the bug).
+        self._live: dict[int, tuple[object, str]] = {}
+        # (marker, origin) snapshots for the teardown DRAM sweep; kept
+        # even after the original is scrubbed, because the interesting
+        # leak is a *copy* that outlived the original.
+        self._markers: list[tuple[bytes, str]] = []
+        self.tracked_total = 0
+        self.scrubbed_total = 0
+
+    # --- hook sites ----------------------------------------------------
+
+    def on_track(self, value, origin: str) -> None:
+        """A cache took custody of ``value`` (called from
+        ``SecretCache.put``)."""
+        for leaf in _leaves(value):
+            marker = _snapshot(leaf, self.marker_bytes)
+            if marker is None:
+                continue
+            if isinstance(leaf, bytes):
+                raise SanitizerViolation(
+                    f"{origin} cached an immutable bytes secret "
+                    f"({len(leaf)} bytes): it can never be zeroized in "
+                    f"place; store a bytearray or numpy buffer")
+            self._live[id(leaf)] = (leaf, origin)
+            self.tracked_total += 1
+            if any(marker) and len(self._markers) < _MAX_MARKERS:
+                self._markers.append((marker, origin))
+
+    def on_observe(self, data, origin: str) -> None:
+        """Record a sweep marker for a secret the sanitizer does not
+        own the lifetime of (e.g. immutable decrypted model bytes that
+        live in enclave DRAM): its leading bytes must not be resident
+        in unlocked simulated memory at teardown."""
+        marker = _snapshot(data, self.marker_bytes)
+        if marker and any(marker) and len(self._markers) < _MAX_MARKERS:
+            self._markers.append((marker, origin))
+
+    def on_scrub(self, leaf) -> None:
+        """``scrub_secret`` finished with ``leaf`` (called per leaf,
+        after zeroization)."""
+        entry = self._live.pop(id(leaf), None)
+        if not _is_zeroed(leaf):
+            origin = entry[1] if entry else "an untracked owner"
+            raise SanitizerViolation(
+                f"secret buffer from {origin} still holds nonzero bytes "
+                f"after scrub_secret() — immutable value or broken scrub")
+        if entry is not None:
+            self.scrubbed_total += 1
+
+    # --- teardown ------------------------------------------------------
+
+    def check_teardown(self, memory=None, locked_regions=()) -> None:
+        """Assert quiescence at service/enclave teardown.
+
+        ``memory`` duck-types :class:`repro.hw.memory.PhysicalMemory`
+        (``resident_runs()`` + ``read()``); ``locked_regions`` is an
+        iterable of objects with ``base``/``end`` (TZASC-locked spans
+        are excluded from the sweep exactly like the chaos harness's
+        residue scan — quarantine keeps them out of reach by design).
+        """
+        problems = []
+        for leaf, origin in self._live.values():
+            if _is_zeroed(leaf):
+                # Scrubbed in place without going through scrub_secret
+                # (e.g. a numpy view another scrub already covered).
+                continue
+            problems.append(
+                f"secret buffer from {origin} still live (never "
+                f"scrubbed) at teardown")
+        if memory is not None:
+            problems.extend(self._sweep(memory, tuple(locked_regions)))
+        if problems:
+            raise SanitizerViolation("; ".join(sorted(set(problems))))
+
+    def _sweep(self, memory, locked_regions):
+        for base, length in memory.resident_runs():
+            window = bytearray(memory.read(base, length))
+            for region in locked_regions:
+                lo = max(base, region.base)
+                hi = min(base + length, region.end)
+                if lo < hi:
+                    window[lo - base:hi - base] = bytes(hi - lo)
+            data = bytes(window)
+            for marker, origin in self._markers:
+                if marker in data:
+                    yield (f"secret bytes from {origin} resident in "
+                           f"unlocked DRAM (run base {base:#x})")

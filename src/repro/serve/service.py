@@ -45,6 +45,7 @@ from repro.faults import hooks as _faults
 from repro.hw.memory import RegionPolicy, World
 from repro.obs import hooks as _obs
 from repro.sanctuary.shm import SharedRegion, SlotRing
+from repro.sanitizers import hooks as _sanitizers
 from repro.serve.frames import (HEADER, TAG_BYTES, derive_lane_keys,
                                 derive_lane_tag_keys, emit_sealed,
                                 frame_aad, frame_j0, open_in_place,
@@ -719,3 +720,16 @@ class ServingService:
 
     def teardown(self) -> None:
         self.pool.teardown()
+        state = _sanitizers.STATE
+        if state is not None:
+            soc = self.platform.soc
+            if state.rings is not None:
+                state.rings.check_teardown()
+            if state.secrets is not None:
+                # Enclave regions still TZASC-locked (quarantined after
+                # a failed scrub) are excluded, like the chaos sweep.
+                locked = [region
+                          for region, policy in soc.tzasc.regions()
+                          if policy.secure_only
+                          or policy.bound_core is not None]
+                state.secrets.check_teardown(soc.memory, locked)

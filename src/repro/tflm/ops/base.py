@@ -148,5 +148,8 @@ def register_op(cls: type[Op]) -> type[Op]:
 
 def op_class(opcode: str) -> type[Op]:
     if opcode not in REGISTRY:
-        raise InterpreterError(f"no operator registered for {opcode!r}")
+        # The opcode string comes straight out of the model stream —
+        # decrypted vendor IP on the enclave path — so it stays out of
+        # the exception text.
+        raise InterpreterError("no operator registered for opcode")
     return REGISTRY[opcode]

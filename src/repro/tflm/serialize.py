@@ -134,7 +134,9 @@ class _Reader:
             return self.string()
         if tag == _TAG_LIST:
             return tuple(self.value() for _ in range(self.u16()))
-        raise ModelFormatError(f"unknown value tag {tag}")
+        # The tag byte is decoded from (possibly plaintext) model bytes;
+        # keep it out of the exception text.
+        raise ModelFormatError("unknown value tag")
 
     @property
     def exhausted(self) -> bool:
@@ -214,7 +216,9 @@ def deserialize_model(blob: bytes) -> Model:
     reader.raw(4)  # magic
     version = reader.u16()
     if version != FORMAT_VERSION:
-        raise ModelFormatError(f"unsupported format version {version}")
+        # Do not echo the decoded bytes: on the decrypt path this blob
+        # is derived from plaintext model material.
+        raise ModelFormatError("unsupported format version")
     reader.u16()  # flags
 
     name = reader.string()

@@ -50,9 +50,10 @@ def embed_watermark(weights: np.ndarray, key: WatermarkKey,
     preserved.
     """
     if weights.size < key.num_bits:
-        # The payload *length* is public geometry; the secret part of a
+        # The payload *length* is public geometry (num_bits/size are in
+        # the analyzer's public-attribute set); the secret part of a
         # WatermarkKey is the projection seed, which never leaves here.
-        raise ReproError(  # analysis: allow(secret-taint)
+        raise ReproError(
             f"cannot embed {key.num_bits} bits into {weights.size} weights"
         )
     original = weights.reshape(-1).astype(np.float64)

@@ -19,6 +19,22 @@ def key_bits() -> int:
 
 
 @pytest.fixture()
+def sanitizers():
+    """Install the full runtime-sanitizer bundle for one test.
+
+    Secret-buffer tracking and ring-protocol checking are active for
+    the test body; ring quiescence is asserted on the way out even if
+    the test never tore a service down.
+    """
+    from repro import sanitizers as san
+
+    bundle = san.Sanitizers.full()
+    with san.hooks.installed(bundle):
+        yield bundle
+    bundle.rings.check_teardown()
+
+
+@pytest.fixture()
 def platform():
     """A freshly booted platform (cheap: cached deterministic keys)."""
     from repro.trustzone import make_platform

@@ -49,6 +49,11 @@ def _run(path_or_dir, rule=None):
     return run_analysis([path_or_dir], rules=rules)
 
 
+def _run_with_config(path_or_dir, config, rule=None):
+    rules = [rule] if rule else None
+    return run_analysis([path_or_dir], rules=rules, config=config)
+
+
 def _messages(result):
     return [f.message for f in result.findings]
 
@@ -325,8 +330,8 @@ def test_reporters_and_rule_registry(fixture_tree):
     assert "[determinism]" in human and "fix:" in human
     payload = json.loads(render_json(result))
     assert payload["findings"][0]["rule"] == "determinism"
-    assert set(RULES) == {"determinism", "layering", "secret-taint",
-                          "zeroization"}
+    assert set(RULES) == {"consttime", "determinism", "layering",
+                          "secret-taint", "zeroization"}
 
 
 def test_rule_filter_accepted_in_fresh_process(fixture_tree):
@@ -356,8 +361,323 @@ def test_full_suite_over_src_repro_is_clean():
     result = run_analysis([_SRC_REPRO], baseline=load_baseline())
     assert result.findings == [], render_human(result)
     # The intentional wall-clock reads (bench harness + telemetry wall
-    # stamps) + one conservative-taint site are waived inline, not
-    # baselined.
-    assert len(result.waived) == 4
+    # stamps) + the keycache's dict-addressing consttime exceptions are
+    # waived inline, not baselined; none of them may go stale (a stale
+    # waiver would surface as an unused-waiver finding above).
+    assert len(result.waived) == 7
+    assert result.waiver_lines == 7
     assert result.baselined == []
     assert result.files > 100
+
+
+# --- consttime --------------------------------------------------------------
+
+def test_consttime_flags_secret_dependent_control_flow(fixture_tree):
+    path = fixture_tree("repro/crypto/ct_bad.py", """\
+        TABLE = list(range(256))
+
+
+        def leaky(key: bytes) -> int:
+            acc = 0
+            if key[0] & 1:
+                acc += 1
+            for _ in range(key[1]):
+                acc += 1
+            return TABLE[key[2] & 0xFF]
+        """)
+    messages = _messages(_run(path, rule="consttime"))
+    assert any("secret-dependent branch" in m for m in messages)
+    assert any("secret-dependent loop bound" in m for m in messages)
+    assert any("secret-dependent table index" in m for m in messages)
+
+
+def test_consttime_comparison_results_stay_tainted(fixture_tree):
+    """Branching on an equality *with* a secret is the timing channel;
+    leak tracking declassifies comparisons, consttime must not."""
+    path = fixture_tree("repro/crypto/ct_cmp.py", """\
+        def check(key: bytes, guess: bytes) -> bool:
+            matched = key == guess
+            if matched:
+                return True
+            return False
+        """)
+    messages = _messages(_run(path, rule="consttime"))
+    assert any("secret-dependent branch" in m for m in messages)
+    # The same flow must NOT be a secret-taint finding (no leak sink).
+    assert _run(path, rule="secret-taint").findings == []
+
+
+def test_consttime_clean_code_and_declassified_bounds(fixture_tree):
+    path = fixture_tree("repro/crypto/ct_good.py", """\
+        def masked(key: bytes) -> int:
+            acc = 0
+            for index in range(len(key)):
+                acc ^= key[index]
+            return acc
+        """)
+    assert _run(path, rule="consttime").findings == []
+
+
+def test_consttime_only_applies_to_crypto_package(fixture_tree):
+    path = fixture_tree("repro/serve/not_crypto.py", """\
+        def branchy(key: bytes) -> int:
+            if key[0] & 1:
+                return 1
+            return 0
+        """)
+    assert _run(path, rule="consttime").findings == []
+
+
+def test_consttime_allowlist_exempts_by_qualname(fixture_tree):
+    from repro.analysis.config import AnalysisConfig
+
+    source = """\
+        def leaky(key: bytes) -> int:
+            if key[0] & 1:
+                return 1
+            return 0
+        """
+    path = fixture_tree("repro/crypto/ct_allow.py", source)
+    config = AnalysisConfig(
+        consttime_allowlist=frozenset({"repro.crypto.ct_allow.leaky"}))
+    assert _run_with_config(path, config, rule="consttime").findings == []
+    assert _run(path, rule="consttime").findings != []
+
+
+# --- interprocedural taint --------------------------------------------------
+
+def test_taint_two_hops_through_helpers(fixture_tree):
+    path = fixture_tree("repro/core/twohop.py", """\
+        def emit(value):
+            print(value)
+
+
+        def forward(data):
+            emit(data)
+
+
+        def handler(key: bytes):
+            forward(key)
+        """)
+    result = _run(path, rule="secret-taint")
+    messages = _messages(result)
+    assert any("flows into a leak sink inside forward" in m
+               for m in messages)
+    # The finding lands at handler's call site, not inside the helpers.
+    assert all(f.line >= 9 for f in result.findings)
+
+
+def test_taint_declassified_argument_is_clean(fixture_tree):
+    path = fixture_tree("repro/core/twohop_ok.py", """\
+        def emit(value):
+            print(value)
+
+
+        def handler(key: bytes):
+            emit(len(key))
+            emit(redact(key))
+        """)
+    assert _run(path, rule="secret-taint").findings == []
+
+
+def test_taint_public_argument_through_same_helper_is_clean(fixture_tree):
+    """A helper whose parameter is named ``key`` must not taint calls
+    that pass public values (summaries seed parameters with their own
+    label, not SECRET)."""
+    path = fixture_tree("repro/core/pubflow.py", """\
+        def wrap(key):
+            return key
+
+
+        def emit(value):
+            print(value)
+
+
+        def handler(public_config):
+            emit(wrap(public_config))
+        """)
+    assert _run(path, rule="secret-taint").findings == []
+
+
+# --- zeroization on exception edges -----------------------------------------
+
+def test_zeroization_exception_path_through_conditional(fixture_tree):
+    """Scrub on the fall-through path only: the exception edge out of
+    the ``boot()`` call escapes with the region still held."""
+    path = fixture_tree("repro/sanctuary/cond_scrub.py", """\
+        def launch(monitor, soc, region):
+            monitor.lock_region_to_core(region, 1)
+            soc.boot()
+            soc.memory.scrub(region.base, region.size)
+        """)
+    assert _run(path, rule="zeroization").findings == []
+
+    path = fixture_tree("repro/sanctuary/cond_scrub_bad.py", """\
+        def launch(monitor, soc, region, fast):
+            monitor.lock_region_to_core(region, 1)
+            try:
+                soc.boot()
+            finally:
+                if fast:
+                    soc.memory.scrub(region.base, region.size)
+        """)
+    messages = _messages(_run(path, rule="zeroization"))
+    assert any("fall through holding" in m for m in messages)
+
+
+# --- unused waivers ---------------------------------------------------------
+
+def test_stale_waiver_becomes_finding(fixture_tree):
+    path = fixture_tree("repro/hw/stale.py", """\
+        X = 1  # analysis: allow(determinism)
+        """)
+    result = _run(path)
+    assert [f.rule for f in result.findings] == ["unused-waiver"]
+    assert "suppresses no finding" in result.findings[0].message
+
+
+def test_stale_waiver_not_reported_when_rule_not_selected(fixture_tree):
+    """A waiver can only be judged stale when its rule actually ran."""
+    path = fixture_tree("repro/hw/stale2.py", """\
+        X = 1  # analysis: allow(determinism)
+        """)
+    assert _run(path, rule="secret-taint").findings == []
+
+
+def test_used_waiver_is_counted_not_flagged(fixture_tree):
+    path = fixture_tree("repro/hw/waived.py", """\
+        import time
+
+
+        def stamp():
+            return time.time()  # analysis: allow(determinism)
+        """)
+    result = _run(path, rule="determinism")
+    assert result.findings == []
+    assert len(result.waived) == 1
+    assert result.waiver_lines == 1
+
+
+# --- determinism assignment aliases -----------------------------------------
+
+def test_determinism_assignment_alias_is_resolved(fixture_tree):
+    path = fixture_tree("repro/hw/alias_assign.py", """\
+        import time
+
+        now = time.time
+
+
+        def stamp():
+            return now()
+        """)
+    messages = _messages(_run(path, rule="determinism"))
+    assert any("time.time()" in m for m in messages)
+
+
+def test_determinism_import_aliases_are_resolved(fixture_tree):
+    path = fixture_tree("repro/hw/alias_import.py", """\
+        from time import time as now
+        import numpy.random as npr
+
+
+        def stamp():
+            return now()
+
+
+        def draw():
+            return npr.rand()
+        """)
+    messages = _messages(_run(path, rule="determinism"))
+    assert any("time.time()" in m for m in messages)
+    assert any("numpy global-state RNG" in m for m in messages)
+
+
+# --- SARIF ------------------------------------------------------------------
+
+def test_sarif_render_includes_findings_and_suppressions(fixture_tree):
+    from repro.analysis import render_sarif
+
+    path = fixture_tree("repro/hw/sarif_mod.py", """\
+        import time
+
+
+        def bad():
+            return time.time()
+
+
+        def waived():
+            return time.time()  # analysis: allow(determinism)
+        """)
+    payload = json.loads(render_sarif(_run(path, rule="determinism")))
+    assert payload["version"] == "2.1.0"
+    run = payload["runs"][0]
+    assert run["tool"]["driver"]["name"] == "repro-omg-analyze"
+    levels = [r["level"] for r in run["results"]]
+    assert "error" in levels and "note" in levels
+    suppressed = [r for r in run["results"] if r["level"] == "note"]
+    assert suppressed[0]["suppressions"][0]["kind"] == "inSource"
+    assert run["invocations"][0]["executionSuccessful"] is False
+
+
+def test_sarif_cli_format_flag(fixture_tree):
+    import subprocess
+    import sys
+
+    path = fixture_tree("repro/hw/sarif_cli.py", "X = 1\n")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.analysis", "--format", "sarif",
+         "--no-cache", path],
+        capture_output=True, text=True,
+        env={**os.environ,
+             "PYTHONPATH": os.path.dirname(_SRC_REPRO)})
+    assert proc.returncode == 0, (proc.stdout, proc.stderr)
+    payload = json.loads(proc.stdout)
+    assert payload["runs"][0]["invocations"][0]["executionSuccessful"]
+
+
+# --- result cache -----------------------------------------------------------
+
+def test_cache_replays_unchanged_tree_and_invalidates_on_edit(
+        fixture_tree, tmp_path):
+    from repro.analysis.cache import AnalysisCache
+
+    path = fixture_tree("repro/hw/cached.py", """\
+        import time
+
+
+        def stamp():
+            return time.time()
+        """)
+    cache_path = str(tmp_path / "cache" / "analysis.json")
+
+    first = run_analysis([path], cache=AnalysisCache(cache_path))
+    assert not first.from_cache and len(first.findings) == 1
+
+    second = run_analysis([path], cache=AnalysisCache(cache_path))
+    assert second.from_cache
+    assert [f.message for f in second.findings] == \
+        [f.message for f in first.findings]
+
+    # Editing the file invalidates both cache tiers.
+    fixture_tree("repro/hw/cached.py", "X = 1\n")
+    third = run_analysis([path], cache=AnalysisCache(cache_path))
+    assert not third.from_cache and third.findings == []
+
+
+def test_cache_keyed_on_selected_rules(fixture_tree, tmp_path):
+    from repro.analysis.cache import AnalysisCache
+
+    path = fixture_tree("repro/hw/cached2.py", """\
+        import time
+
+
+        def stamp():
+            return time.time()
+        """)
+    cache_path = str(tmp_path / "cache" / "analysis.json")
+    full = run_analysis([path], cache=AnalysisCache(cache_path))
+    assert len(full.findings) == 1
+    taint_only = run_analysis([path], rules=["secret-taint"],
+                              cache=AnalysisCache(cache_path))
+    assert not taint_only.from_cache
+    assert taint_only.findings == []

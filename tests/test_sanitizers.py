@@ -1,0 +1,215 @@
+"""Runtime sanitizers: unit coverage + full-stack integration.
+
+Unit tests drive the state machines directly with hand-built
+violations; the integration tests install the bundle for a complete
+serving run and a complete enclave lifecycle and assert nothing fires
+— the sanitizers' false-positive rate on correct code must be zero or
+nobody will run them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import sanitizers as san
+from repro.errors import SanitizerViolation
+from repro.sanitizers import hooks
+
+from .conftest import TEST_KEY_BITS
+
+
+# --- SecretSanitizer units ---------------------------------------------
+
+
+def test_leaked_buffer_flagged_at_teardown():
+    secrets = san.SecretSanitizer()
+    secrets.on_track(bytearray(b"\xabKEY" * 8), origin="test-cache")
+    with pytest.raises(SanitizerViolation, match="still live"):
+        secrets.check_teardown()
+
+
+def test_scrubbed_buffer_is_clean():
+    from repro.crypto.keycache import scrub_secret
+
+    bundle = san.Sanitizers(secrets=san.SecretSanitizer())
+    with hooks.installed(bundle):
+        buf = bytearray(b"\xabKEY" * 8)
+        bundle.secrets.on_track(buf, origin="test-cache")
+        scrub_secret(buf)
+    assert bundle.secrets.scrubbed_total == 1
+    bundle.secrets.check_teardown()  # no live buffers, no violation
+
+
+def test_immutable_bytes_secret_rejected_on_track():
+    secrets = san.SecretSanitizer()
+    with pytest.raises(SanitizerViolation, match="immutable bytes"):
+        secrets.on_track(b"\xabKEY" * 8, origin="test-cache")
+
+
+def test_unscrubbed_free_detected_via_scrub_hook():
+    """A scrub that silently failed (immutable leaf reached
+    scrub_secret) must raise, not pass."""
+    from repro.crypto.keycache import scrub_secret
+
+    bundle = san.Sanitizers(secrets=san.SecretSanitizer())
+    with hooks.installed(bundle):
+        with pytest.raises(SanitizerViolation, match="nonzero bytes"):
+            scrub_secret(b"\xabKEY" * 8)
+
+
+def test_composite_entries_tracked_per_leaf():
+    secrets = san.SecretSanitizer()
+    pair = (bytearray(b"\x01" * 16), bytearray(b"\x02" * 16))
+    secrets.on_track(pair, origin="session-keys")
+    assert secrets.tracked_total == 2
+
+
+def test_teardown_sweep_finds_residue_in_unlocked_dram():
+    from repro.hw.memory import PhysicalMemory
+
+    secrets = san.SecretSanitizer()
+    key = bytearray(range(1, 33))
+    secrets.on_track(key, origin="test-cache")
+    memory = PhysicalMemory(1 << 20)
+    # A stray copy of the key lands in simulated DRAM...
+    memory.write(0x2000, bytes(key))
+    # ...and the original is properly scrubbed, so only the sweep can
+    # catch the leak.
+    marker = bytes(key)
+    key[:] = bytes(len(key))
+    secrets.on_scrub(key)
+    with pytest.raises(SanitizerViolation, match="resident in unlocked"):
+        secrets.check_teardown(memory)
+    assert marker  # the copy, not the original, was the violation
+
+
+def test_teardown_sweep_ignores_locked_regions():
+    from repro.hw.memory import MemoryRegion, PhysicalMemory
+
+    secrets = san.SecretSanitizer()
+    key = bytearray(range(1, 33))
+    secrets.on_track(key, origin="test-cache")
+    memory = PhysicalMemory(1 << 20)
+    memory.write(0x2000, bytes(key))
+    key[:] = bytes(len(key))
+    secrets.on_scrub(key)
+    locked = [MemoryRegion("enclave", 0x1000, 0x3000)]
+    secrets.check_teardown(memory, locked)  # quarantined: no violation
+
+
+# --- RingSanitizer units -----------------------------------------------
+
+
+def _ring():
+    from repro.hw.memory import RegionPolicy, World
+    from repro.sanctuary.shm import SharedRegion, SlotRing
+    from repro.trustzone.worlds import make_platform
+
+    platform = make_platform(seed=b"ring-sanitizer-test",
+                             key_bits=TEST_KEY_BITS)
+    region = platform.soc.allocate_region(
+        "ring-sanitizer", max(4096, SlotRing.bytes_needed(4, 64)))
+    platform.monitor.configure_region(region, RegionPolicy())
+    shm = SharedRegion(platform.soc, region, World.NORMAL, 4)
+    return SlotRing(shm, 0, 4, 64, reset=True)
+
+
+def test_commit_without_reserve_raises():
+    bundle = san.Sanitizers(rings=san.RingSanitizer())
+    with hooks.installed(bundle):
+        ring = _ring()
+        with pytest.raises(SanitizerViolation, match="without a successful"):
+            ring.commit(8)
+
+
+def test_double_reserve_raises():
+    bundle = san.Sanitizers(rings=san.RingSanitizer())
+    with hooks.installed(bundle):
+        ring = _ring()
+        assert ring.try_reserve() is not None
+        with pytest.raises(SanitizerViolation, match="outstanding"):
+            ring.try_reserve()
+
+
+def test_release_without_peek_raises():
+    bundle = san.Sanitizers(rings=san.RingSanitizer())
+    with hooks.installed(bundle):
+        ring = _ring()
+        slot = ring.try_reserve()
+        slot[:4] = 1
+        ring.commit(4)
+        # The ring has a pending message, so release() passes the
+        # ring's own empty check — only the sanitizer sees that this
+        # endpoint never peeked it.
+        with pytest.raises(SanitizerViolation, match="never observed"):
+            ring.release()
+
+
+def test_dangling_reservation_flagged_at_teardown():
+    bundle = san.Sanitizers(rings=san.RingSanitizer())
+    with hooks.installed(bundle):
+        ring = _ring()
+        assert ring.try_reserve() is not None
+    with pytest.raises(SanitizerViolation, match="never committed"):
+        bundle.rings.check_teardown()
+
+
+def test_correct_protocol_round_trip_is_silent():
+    bundle = san.Sanitizers(rings=san.RingSanitizer())
+    with hooks.installed(bundle):
+        ring = _ring()
+        for value in range(6):  # wraps the 4-slot ring
+            slot = ring.try_reserve()
+            slot[:4] = value
+            ring.commit(4)
+            assert ring.try_peek() is not None
+            ring.release()
+    bundle.rings.check_teardown()
+    assert bundle.rings.commits == 6 and bundle.rings.releases == 6
+
+
+# --- integration: full serving + full lifecycle ------------------------
+
+
+def test_full_serving_run_under_sanitizers(sanitizers):
+    """A complete multi-session serving run (provision, open, submit,
+    dispatch, poll, close, teardown) must not trip either sanitizer —
+    including the teardown DRAM sweep inside ``service.teardown()``."""
+    from repro.eval.trace_run import run_traced_serving
+
+    telemetry, stats = run_traced_serving(
+        requests=8, max_batch=4, num_workers=1, num_sessions=2)
+    assert stats.requests_completed == 8
+    assert sanitizers.secrets.tracked_total > 0
+    assert sanitizers.secrets.scrubbed_total == \
+        sanitizers.secrets.tracked_total
+    assert sanitizers.rings.commits == sanitizers.rings.releases > 0
+
+
+def test_full_lifecycle_under_sanitizers(sanitizers, pretrained_model):
+    """Prepare → initialize → recognize → teardown with the decrypted
+    model observed: after teardown its plaintext must not be resident
+    in any unlocked region of simulated DRAM."""
+    from repro.audio import SyntheticSpeechCommands
+    from repro.core.omg import KeywordSpotterApp, OmgSession
+    from repro.core.parties import User, Vendor
+    from repro.trustzone.worlds import make_platform
+
+    platform = make_platform(key_bits=TEST_KEY_BITS)
+    vendor = Vendor("ml-vendor", pretrained_model, key_bits=TEST_KEY_BITS)
+    session = OmgSession(platform, vendor, User(), KeywordSpotterApp())
+    session.prepare()
+    session.initialize()
+    # The decrypted-model marker was recorded during initialize().
+    assert sanitizers.secrets._markers
+    clip = SyntheticSpeechCommands().render("yes", 0)
+    result = session.recognize_via_microphone(clip.samples)
+    assert result.label
+    session.teardown()
+    soc = platform.soc
+    locked = [region for region, policy in soc.tzasc.regions()
+              if policy.secure_only or policy.bound_core is not None]
+    # The enclave scrubbed and unlocked its regions: the sweep over
+    # everything unlocked must come back clean.
+    sanitizers.secrets.check_teardown(soc.memory, locked)
