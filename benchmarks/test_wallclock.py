@@ -24,6 +24,8 @@ from repro.eval.bench import (
     INFERENCE_FUSED_MIN_SPEEDUP,
     INFERENCE_MIN_SPEEDUP,
     SEAL_PIPELINE_MIN_SPEEDUP,
+    SERVING_CONCURRENCY_MIN_EFFICIENCY,
+    SERVING_CONCURRENCY_P99_SLO_MS,
     SERVING_MIN_SPEEDUP,
     TELEMETRY_OVERHEAD_MAX,
     run_benchmarks,
@@ -45,7 +47,7 @@ _COMMITTED = (json.load(open(_COMMITTED_PATH))
 # deadline, keystream cache, worker invoke, frame seal) the same way.
 _NO_FAULTS_STAGES = ("crypto_provisioning_roundtrip", "inference_kws_100",
                      "dsp_streaming_10s", "provisioning_end_to_end",
-                     "serving_throughput")
+                     "serving_throughput", "serving_concurrency")
 
 # Stages every full run of run_benchmarks() must produce.  A report may
 # carry more (or, if produced by a partial run — e.g. `repro-omg
@@ -55,7 +57,7 @@ _REQUIRED_STAGES = frozenset({
     "crypto_provisioning_roundtrip", "inference_kws_100",
     "inference_fused", "seal_pipeline", "dsp_streaming_10s",
     "provisioning_end_to_end", "fault_hooks", "static_analysis",
-    "serving_throughput", "telemetry_overhead",
+    "serving_throughput", "serving_concurrency", "telemetry_overhead",
 })
 
 
@@ -145,10 +147,33 @@ def test_serving_throughput_floor(wallclock_report):
         assert row["wall_std_s"] >= 0.0, (batch, row)
         assert row["wall_rps"] > 0, (batch, row)
         assert row["sim_ms_per_request"] > 0, (batch, row)
-        assert row["p95_ms"] >= row["p50_ms"] > 0, (batch, row)
+        assert row["p99_ms"] >= row["p95_ms"] >= row["p50_ms"] > 0, (
+            batch, row)
     largest = max(stage["batches"], key=int)
     assert (stage["batches"][largest]["sim_ms_per_request"]
             < stage["baseline_sim_ms_per_request"]), stage
+
+
+@pytest.mark.slow
+def test_serving_concurrency_slo(wallclock_report):
+    """The async core must hold 1000 concurrent sessions: the sweep's
+    largest point stays under the (host-independent, virtual-clock)
+    p99 SLO, nothing accepted is lost, and per-request wall-clock does
+    not degrade superlinearly with session count."""
+    stage = _stage_or_skip(wallclock_report, "serving_concurrency")
+    sessions = stage["sessions"]
+    assert "1000" in sessions, sorted(sessions)
+    assert stage["slo_met"], stage
+    assert stage["p99_at_largest_ms"] <= SERVING_CONCURRENCY_P99_SLO_MS, stage
+    assert stage["speedup"] >= SERVING_CONCURRENCY_MIN_EFFICIENCY, stage
+    for count, row in sessions.items():
+        assert row["wall_std_s"] >= 0.0, (count, row)
+        assert row["wall_rps"] > 0, (count, row)
+        assert row["p99_ms"] >= row["p95_ms"] >= row["p50_ms"] > 0, (
+            count, row)
+        # Graceful mode may shed-and-retry at the ring, but admission
+        # budgets are unbounded here: nothing accepted may be dropped.
+        assert row["admission_shed"] == 0, (count, row)
 
 
 # --- the invariant checker itself must stay fast ----------------------------

@@ -104,6 +104,16 @@ def build_parser() -> argparse.ArgumentParser:
                              help="enclave workers in the pool")
     serve_bench.add_argument("--seed", type=int, default=7,
                              help="seed for the synthetic request traffic")
+    serve_bench.add_argument("--sessions", default=None, metavar="LIST",
+                             help="also run the async-core concurrency "
+                                  "sweep at these comma-separated session "
+                                  "counts (e.g. 100,500,1000); the largest "
+                                  "is gated on the p99 SLO")
+    serve_bench.add_argument("--priority-mix", type=float, default=0.5,
+                             metavar="FRACTION",
+                             help="fraction of concurrency-sweep sessions "
+                                  "opened interactive class, the rest "
+                                  "batch class (default: %(default)s)")
     serve_bench.add_argument("--out", default=None, metavar="PATH",
                              help="merge the serving stage into this "
                                   "BENCH_wallclock.json report")
@@ -303,7 +313,10 @@ def _cmd_analyze(args) -> int:
 def _cmd_serve_bench(args) -> int:
     import json
 
-    from repro.eval.bench import SERVING_MIN_SPEEDUP, bench_serving
+    from repro.eval.bench import (SERVING_CONCURRENCY_MIN_EFFICIENCY,
+                                  SERVING_CONCURRENCY_P99_SLO_MS,
+                                  SERVING_MIN_SPEEDUP, bench_serving,
+                                  bench_serving_concurrency)
 
     try:
         batch_sizes = tuple(int(token) for token in
@@ -316,6 +329,23 @@ def _cmd_serve_bench(args) -> int:
         print(f"--batch-sizes needs at least one positive size, "
               f"got {args.batch_sizes!r}")
         return 2
+    session_counts = None
+    if args.sessions:
+        try:
+            session_counts = tuple(int(token) for token in
+                                   args.sessions.split(",") if token.strip())
+        except ValueError:
+            print(f"--sessions must be comma-separated integers, "
+                  f"got {args.sessions!r}")
+            return 2
+        if not session_counts or min(session_counts) < 1:
+            print(f"--sessions needs at least one positive count, "
+                  f"got {args.sessions!r}")
+            return 2
+    if not 0.0 <= args.priority_mix <= 1.0:
+        print(f"--priority-mix must be within [0, 1], "
+              f"got {args.priority_mix!r}")
+        return 2
 
     stage = bench_serving(requests=args.requests,
                           batch_sizes=batch_sizes, repeats=args.repeats,
@@ -326,9 +356,30 @@ def _cmd_serve_bench(args) -> int:
     for batch, row in stage["batches"].items():
         print(f"batch {batch:>2}: {row['wall_rps']:.0f} req/s wall, "
               f"{row['sim_ms_per_request']:.2f} ms/req simulated, "
-              f"p50 {row['p50_ms']:.2f} ms / p95 {row['p95_ms']:.2f} ms")
+              f"p50 {row['p50_ms']:.2f} ms / p95 {row['p95_ms']:.2f} ms "
+              f"/ p99 {row['p99_ms']:.2f} ms")
     print(f"speedup at largest batch: {stage['speedup']:.1f}x "
           f"(floor {SERVING_MIN_SPEEDUP}x)")
+
+    concurrency = None
+    slo_ok = True
+    if session_counts is not None:
+        concurrency = bench_serving_concurrency(
+            session_counts=session_counts, repeats=args.repeats,
+            num_workers=args.workers, priority_mix=args.priority_mix)
+        for count, row in sorted(concurrency["sessions"].items(),
+                                 key=lambda kv: int(kv[0])):
+            print(f"{count:>5} sessions: {row['wall_rps']:.0f} req/s wall, "
+                  f"p50 {row['p50_ms']:.0f} ms / p95 {row['p95_ms']:.0f} ms "
+                  f"/ p99 {row['p99_ms']:.0f} ms simulated, "
+                  f"shed {row['requests_shed']}")
+        slo_ok = concurrency["slo_met"]
+        print(f"p99 at largest sweep point: "
+              f"{concurrency['p99_at_largest_ms']:.0f} ms "
+              f"(SLO {SERVING_CONCURRENCY_P99_SLO_MS:.0f} ms) — "
+              f"{'met' if slo_ok else 'MISSED'}; scaling efficiency "
+              f"{concurrency['speedup']:.2f} "
+              f"(floor {SERVING_CONCURRENCY_MIN_EFFICIENCY})")
     if args.out:
         try:
             with open(args.out) as fh:
@@ -338,6 +389,12 @@ def _cmd_serve_bench(args) -> int:
         report.setdefault("stages", {})["serving_throughput"] = stage
         report.setdefault("thresholds", {})["serving_throughput"] = \
             SERVING_MIN_SPEEDUP
+        if concurrency is not None:
+            report["stages"]["serving_concurrency"] = concurrency
+            report["thresholds"]["serving_concurrency"] = \
+                SERVING_CONCURRENCY_MIN_EFFICIENCY
+            report["thresholds"]["serving_concurrency_p99_slo_ms"] = \
+                SERVING_CONCURRENCY_P99_SLO_MS
         with open(args.out, "w") as fh:
             json.dump(report, fh, indent=2, sort_keys=True)
             fh.write("\n")
@@ -352,7 +409,7 @@ def _cmd_serve_bench(args) -> int:
         write_chrome_trace(telemetry.tracer, args.trace_out)
         print(f"wrote {len(telemetry.tracer.buffer)} spans to "
               f"{args.trace_out}")
-    return 0 if stage["speedup"] >= SERVING_MIN_SPEEDUP else 1
+    return 0 if (stage["speedup"] >= SERVING_MIN_SPEEDUP and slo_ok) else 1
 
 
 def _cmd_trace(args) -> int:

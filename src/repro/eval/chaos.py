@@ -60,7 +60,8 @@ from repro.errors import ProtocolError, ReproError
 from repro.faults import FaultPlan, installed, random_plan, random_serve_plan
 from repro.obs import hooks as _obs
 from repro.sanctuary.lifecycle import (EnclaveState, SanctuaryRuntime)
-from repro.serve import ServeConfig, ServingService, Shed
+from repro.serve import (Priority, ServeConfig, ServingLoop, ServingService,
+                         Shed)
 from repro.trustzone import make_platform
 
 __all__ = ["ChaosResult", "run_chaos_schedule", "write_chaos_transcripts",
@@ -440,8 +441,8 @@ class ServeChaosResult:
     The exactly-once ledger is the heart of it: every accepted sequence
     number must end as exactly one delivered response or be covered by
     exactly one counted loss (``auth_failures`` + ``frames_dropped`` +
-    ``responses_dropped``) — duplicates and silent losses both fail the
-    schedule.
+    ``responses_dropped`` + ``admission_shed``) — duplicates and silent
+    losses both fail the schedule.
     """
 
     seed: int
@@ -505,9 +506,13 @@ def run_serve_chaos_schedule(seed: int, model=None, *,
     built *outside* the installed plan — serving fault sites count only
     serving operations, so the schedule's transcript is bit-for-bit
     reproducible from the seed regardless of process-wide caches.  The
-    service runs in graceful (``strict=False``) mode: ring-full paths
-    shed with typed verdicts, worker panics recover via re-attested
-    relaunch, and the watchdog rescues skew-stalled batches.
+    service runs in graceful (``strict=False``) mode under the async
+    :class:`~repro.serve.ServingLoop` (the production drive): ring-full
+    paths shed with typed verdicts, worker panics recover via
+    re-attested relaunch with the batch requeued to its class queue,
+    and the loop's watchdog rescues skew-stalled batches.  Sessions
+    alternate interactive/batch priority so both class queues (and the
+    admission gate between them) sit inside the blast radius.
     """
     if model is None:
         model = default_chaos_model()
@@ -522,7 +527,10 @@ def run_serve_chaos_schedule(seed: int, model=None, *,
                          num_workers=2, strict=False, watchdog_ms=12.0,
                          prefetch_depth=1)
     service = ServingService(platform, vendor, config)
-    handles = [service.open_session() for _ in range(num_sessions)]
+    loop = ServingLoop(service, tick_ms=0.75)
+    handles = [service.open_session(
+        priority=Priority.INTERACTIVE if index % 2 == 0 else Priority.BATCH)
+        for index in range(num_sessions)]
     result.sessions = len(handles)
     clock = platform.soc.clock
 
@@ -561,15 +569,14 @@ def run_serve_chaos_schedule(seed: int, model=None, *,
                     traffic.popleft()
                     accepted[handles[index].session_id].add(verdict)
                     result.accepted += 1
-                service.dispatch()
-                service.poll_responses()
+                loop.tick()
                 clock.advance_ms(0.75)
             # Drain: anything still queued (sub-deadline leftovers,
-            # requeued batches) flushes here; the egress ring is polled
-            # between rounds so force-flushes always find room.
+            # requeued batches, deferred mailboxes) flushes here; each
+            # tick polls the egress ring so force-flushes always find
+            # room.
             for _ in range(8):
-                service.dispatch(force=True)
-                service.poll_responses()
+                loop.tick(force=True)
                 clock.advance_ms(1.0)
             result.completed = not traffic
             if traffic:
@@ -604,7 +611,8 @@ def run_serve_chaos_schedule(seed: int, model=None, *,
     result.delivered = delivered
     result.missing = missing
     result.counted_losses = (stats.auth_failures + stats.frames_dropped
-                             + stats.responses_dropped)
+                             + stats.responses_dropped
+                             + stats.admission_shed)
     # requests_completed beyond the distinct results means some seq was
     # delivered more than once (the second write overwrites the dict).
     result.duplicates = max(0, stats.requests_completed - delivered)

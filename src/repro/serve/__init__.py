@@ -13,19 +13,31 @@ and moved over zero-copy shared-memory rings:
 * :mod:`repro.serve.service` — the serving front end: session keys from
   :mod:`repro.crypto.keycache`, request/response
   :class:`~repro.sanctuary.shm.SlotRing` transport, in-place seal/open.
+* :mod:`repro.serve.admission` — priority classes (interactive vs.
+  batch) and per-class queue budgets for the async core.
+* :mod:`repro.serve.loop` — the cooperative event loop: ingest
+  reactor, per-worker mailboxes, adaptive batch sizing.  This is the
+  scale path (1000+ concurrent sessions); the synchronous
+  ``dispatch()`` drive remains for simple callers and the original
+  test contracts.
 * :mod:`repro.serve.baseline` — the paper's sequential one-enclave
   path (per-request secure channel, mailbox copies, suspend between
   queries) for the benchmark comparison.
 """
 
+from repro.serve.admission import (AdmissionController, AdmissionPolicy,
+                                   Priority)
 from repro.serve.baseline import SequentialBaseline
+from repro.serve.loop import AdaptiveBatcher, Mailbox, ServingLoop
 from repro.serve.pool import EnclaveWorker, EnclaveWorkerPool
 from repro.serve.scheduler import BatchScheduler
 from repro.serve.service import (Rejected, ServeConfig, ServingService,
                                  ServingStats, SessionHandle, Shed)
 
 __all__ = [
-    "BatchScheduler", "EnclaveWorker", "EnclaveWorkerPool",
-    "Rejected", "SequentialBaseline", "ServeConfig", "ServingService",
-    "ServingStats", "SessionHandle", "Shed",
+    "AdaptiveBatcher", "AdmissionController", "AdmissionPolicy",
+    "BatchScheduler", "EnclaveWorker", "EnclaveWorkerPool", "Mailbox",
+    "Priority", "Rejected", "SequentialBaseline", "ServeConfig",
+    "ServingLoop", "ServingService", "ServingStats", "SessionHandle",
+    "Shed",
 ]

@@ -9,9 +9,14 @@ whole lifetime: steady-state requests never touch the vendor again
 (the vendor's ``provisioned_count``/``keys_released`` counters stay
 flat, which the serve tests pin).
 
-Batches are round-robined across workers.  When no big core is
-available for pinning the pool degrades to a single worker placed by
-the default (least-busy) policy — the sequential fallback.
+Batches reach workers two ways: the synchronous dispatch path
+round-robins via :meth:`EnclaveWorkerPool.next_worker`, while the
+async :class:`~repro.serve.loop.ServingLoop` keeps one mailbox per
+worker *slot* and addresses ``pool.workers[index]`` directly — which
+works across crash recovery because :meth:`restart_worker` swaps the
+replacement into the same slot.  When no big core is available for
+pinning the pool degrades to a single worker placed by the default
+(least-busy) policy — the sequential fallback.
 
 Crash recovery: when a worker's enclave panics mid-invoke the fail-
 closed envelope scrubs and unlocks it, and :meth:`restart_worker`

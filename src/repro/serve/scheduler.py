@@ -9,10 +9,20 @@ Two triggers, both on the *virtual* clock:
 The deadline bounds per-request queueing latency, the size cap bounds
 batch memory and keeps the batched-invoke working set small.  Arrival
 order is preserved within and across batches.
+
+Age tracking is a lazy-deletion min-heap over arrival stamps rather
+than a front-of-deque peek: :meth:`requeue` re-stamps a crashed batch
+at *now* and pushes it to the front, so after a requeue the queue head
+is no longer the oldest entry.  The heap keeps :meth:`oldest_wait_ms`
+and the deadline check answering for the *true* oldest request in
+amortized O(log n) — at 1000 concurrent sessions the watchdog and the
+adaptive batcher poll these every tick, so a linear rescan of the
+pending deque would dominate the reactor loop.
 """
 
 from __future__ import annotations
 
+import heapq
 from collections import deque
 
 from repro.errors import ServeError
@@ -34,7 +44,14 @@ class BatchScheduler:
         self.clock = clock
         self.max_batch = max_batch
         self.deadline_ms = deadline_ms
-        self._pending: deque = deque()
+        self._pending: deque = deque()   # (stamp_ms, uid, item)
+        # Lazy-deletion age index: heap of (stamp_ms, uid); uids popped
+        # from the deque leave stale heap entries behind, skipped on the
+        # next peek.  Each uid is pushed exactly once, so total heap
+        # churn is O(log n) amortized per submit/take.
+        self._ages: list = []
+        self._live: set = set()
+        self._uid = 0
         self.submitted = 0
         self.batches = 0
         self.full_batches = 0
@@ -44,9 +61,27 @@ class BatchScheduler:
     def __len__(self) -> int:
         return len(self._pending)
 
+    def _push(self, stamp_ms: float, item, front: bool = False) -> None:
+        uid = self._uid
+        self._uid += 1
+        entry = (stamp_ms, uid, item)
+        if front:
+            self._pending.appendleft(entry)
+        else:
+            self._pending.append(entry)
+        heapq.heappush(self._ages, (stamp_ms, uid))
+        self._live.add(uid)
+
+    def _oldest_stamp(self):
+        """Arrival stamp of the true oldest pending request, or None."""
+        ages = self._ages
+        while ages and ages[0][1] not in self._live:
+            heapq.heappop(ages)
+        return ages[0][0] if ages else None
+
     def submit(self, item) -> None:
         """Queue one request; arrival time is stamped now."""
-        self._pending.append((self.clock.now_ms, item))
+        self._push(self.clock.now_ms, item)
         self.submitted += 1
 
     def ready(self) -> bool:
@@ -60,9 +95,9 @@ class BatchScheduler:
         """
         if len(self._pending) >= self.max_batch:
             return True
-        if not self._pending:
+        oldest_ms = self._oldest_stamp()
+        if oldest_ms is None:
             return False
-        oldest_ms, _ = self._pending[0]
         age_ms = self.clock.now_ms - oldest_ms
         if _faults.PLAN is not None:
             age_ms -= _faults.PLAN.scheduler_skew()
@@ -73,11 +108,13 @@ class BatchScheduler:
 
         ``0.0`` when nothing is pending.  The serving watchdog reads
         this directly so injected deadline skew can delay batching but
-        never starve a stuck request forever.
+        never starve a stuck request forever.  Answered from the age
+        heap, so a requeued-to-front batch (re-stamped at now) cannot
+        mask an older request sitting behind it.
         """
-        if not self._pending:
+        oldest_ms = self._oldest_stamp()
+        if oldest_ms is None:
             return 0.0
-        oldest_ms, _ = self._pending[0]
         return self.clock.now_ms - oldest_ms
 
     def next_batch(self) -> list:
@@ -112,12 +149,16 @@ class BatchScheduler:
         """
         now_ms = self.clock.now_ms
         for item in reversed(list(items)):
-            self._pending.appendleft((now_ms, item))
+            self._push(now_ms, item, front=True)
             self.requeued += 1
 
     def _take(self, limit: int) -> list:
         size = min(limit, len(self._pending))
-        batch = [self._pending.popleft()[1] for _ in range(size)]
+        batch = []
+        for _ in range(size):
+            _, uid, item = self._pending.popleft()
+            self._live.discard(uid)
+            batch.append(item)
         self.batches += 1
         if size >= self.max_batch:
             self.full_batches += 1

@@ -157,6 +157,7 @@ class ServingStats:
     responses_dropped: int
     auth_failures: int
     requests_shed: int
+    admission_shed: int
     batches: int
     full_batches: int
     deadline_flushes: int
@@ -167,6 +168,7 @@ class ServingStats:
     queue_depth: int
     p50_ms: float
     p95_ms: float
+    p99_ms: float
 
 
 class ServingService:
@@ -243,20 +245,33 @@ class ServingService:
         self._responses_dropped = 0
         self._auth_failures = 0
         self._requests_shed = 0
+        self._admission_shed = 0
         self._watchdog_flushes = 0
         self._batches_requeued = 0
+        # Session priority classes (interactive vs. batch), assigned at
+        # open_session and read by the async loop's admission router.
+        self._session_priority: dict[int, int] = {}
+        # The cooperative ServingLoop driving this service, if any —
+        # stats() folds its per-class queue counters into the snapshot.
+        self._loop = None
         self._watchdog_ms = (self.config.watchdog_ms
                              if self.config.watchdog_ms is not None
                              else 10.0 * self.config.deadline_ms)
 
     # --- sessions ------------------------------------------------------
 
-    def open_session(self) -> "SessionHandle | Rejected":
+    def open_session(self, priority=None) -> "SessionHandle | Rejected":
         """Establish one client session: derive and cache its lane keys.
 
         Session establishment is local key derivation — the enclave
         workers were attested and provisioned at pool construction, so
         opening the Nth session costs no vendor interaction.
+
+        ``priority`` assigns the session's admission class (see
+        :class:`~repro.serve.admission.Priority`); the default is
+        interactive.  The class only matters when a
+        :class:`~repro.serve.loop.ServingLoop` drives the service — the
+        synchronous :meth:`dispatch` path ignores it.
 
         Refuses beyond ``session_capacity``: silently LRU-evicting a
         still-open session's keys would strand its in-flight frames
@@ -288,6 +303,8 @@ class ServingService:
                                FrameTagKey(request_tag_key),
                                FrameTagKey(response_tag_key))
         self._handles[session_id] = handle
+        if priority is not None:
+            self._session_priority[session_id] = int(priority)
         if _obs.TELEMETRY is not None:
             metrics = _obs.TELEMETRY.metrics
             metrics.counter("omg_serve_sessions_opened_total",
@@ -296,8 +313,13 @@ class ServingService:
                           "currently open sessions").set(len(self._handles))
         return handle
 
+    def session_priority(self, session_id: int) -> int:
+        """The admission class assigned at open_session (0 when none)."""
+        return self._session_priority.get(session_id, 0)
+
     def close_session(self, handle: SessionHandle) -> None:
         self._handles.pop(handle.session_id, None)
+        self._session_priority.pop(handle.session_id, None)
         self._session_keys.discard(handle.session_id)
         self._service_taggers.pop(handle.session_id, None)
         self._client_keystreams.forget_session(handle.session_id)
@@ -356,9 +378,106 @@ class ServingService:
         handle.pending[seq] = self.clock.now_ms
         return seq
 
+    def submit_many(self, pairs) -> list:
+        """Seal many requests in one pass: the batched client mux.
+
+        ``pairs`` is a sequence of ``(handle, fingerprint)``; the return
+        value is the per-request verdict list — an ``int`` seq for each
+        accepted request, a :class:`Shed` otherwise (graceful mode).
+        The win over per-request :meth:`submit` is the same two-phase
+        batching the dispatcher already uses: one vectorized XOR across
+        every payload and one batched GHASH sweep for all the tags
+        (scalar below :data:`_TAG_BATCH_MIN`), instead of a full GCM
+        dispatch per frame.
+
+        Requests beyond the ingress ring's current free space are shed
+        up front without consuming a sequence number, exactly like
+        :meth:`submit`.  A reservation that still fails mid-batch (an
+        injected ``ring.reserve`` stall) sheds just that request; its
+        already-assigned seq is *burned* — the keystream positions are
+        simply never used, which is safe for CTR discipline, and no
+        pending state is created — so the rest of the batch lands
+        unaffected.  Strict mode raises on any reservation failure.
+        """
+        checked = []
+        for handle, fingerprint in pairs:
+            flat = np.ascontiguousarray(
+                fingerprint, dtype=np.uint8).reshape(-1)
+            if flat.size != self.request_bytes:
+                raise ServeError(
+                    f"fingerprint must be {self.fingerprint_shape}, "
+                    f"got {fingerprint.shape}")
+            checked.append((handle, flat))
+        if not checked:
+            return []
+        free = self.config.ring_slots - 1 - len(self._ingress_prod)
+        accept = min(len(checked), max(free, 0))
+        verdicts: list = []
+        if accept < len(checked) and self.config.strict:
+            raise ServeError("ingress ring full; run dispatch() first")
+        if accept:
+            n = accept
+            seqs = []
+            keystreams = np.empty((n, self.request_bytes), dtype=np.uint8)
+            payloads = np.empty_like(keystreams)
+            for row, (handle, flat) in enumerate(checked[:n]):
+                seq = handle.next_seq
+                handle.next_seq += 1
+                seqs.append(seq)
+                payloads[row] = flat
+                keystreams[row] = self._client_keystreams.take(
+                    handle.session_id, handle.request_key,
+                    seq * self.request_bytes, self.request_bytes)
+            ciphertexts = payloads ^ keystreams
+            if n >= _TAG_BATCH_MIN:
+                tags = frame_tags_batched(
+                    [handle.request_tagger for handle, _ in checked[:n]],
+                    [frame_j0(seq) for seq in seqs],
+                    [frame_aad(handle.session_id, seq)
+                     for (handle, _), seq in zip(checked[:n], seqs)],
+                    [ciphertexts[row].tobytes() for row in range(n)])
+            else:
+                tags = [
+                    handle.request_tagger.tag(
+                        frame_j0(seq),
+                        frame_aad(handle.session_id, seq),
+                        ciphertexts[row].tobytes())
+                    for row, ((handle, _), seq)
+                    in enumerate(zip(checked[:n], seqs))]
+            for row, ((handle, _), seq) in enumerate(zip(checked[:n], seqs)):
+                slot = self._ingress_prod.try_reserve()
+                if slot is None:
+                    if self.config.strict:
+                        raise ServeError(
+                            "ingress ring full; run dispatch() first")
+                    self._count_shed()
+                    verdicts.append(Shed(
+                        handle.session_id,
+                        "ingress ring full; run dispatch() first"))
+                    continue
+                length = emit_sealed(slot, handle.session_id, seq,
+                                     ciphertexts[row], tags[row])
+                if _faults.PLAN is not None:
+                    _faults.PLAN.ring_frame("serve.ingress", slot[:length])
+                self._ingress_prod.commit(length)
+                handle.pending[seq] = self.clock.now_ms
+                verdicts.append(seq)
+        for handle, _ in checked[accept:]:
+            self._count_shed()
+            verdicts.append(Shed(handle.session_id,
+                                 "ingress ring full; run dispatch() first"))
+        return verdicts
+
     def poll_responses(self) -> int:
-        """Client mux: open completed responses in place, fill futures."""
-        delivered = 0
+        """Client mux: drain, verify, and open responses, two-phase.
+
+        Phase one copies every sealed response out of the egress ring
+        and releases its slot.  Phase two verifies all the drained tags
+        in one batched GHASH sweep (scalar below :data:`_TAG_BATCH_MIN`)
+        and opens the survivors into their sessions' futures — the same
+        two-phase shape as :meth:`_ingest`, applied to the client side.
+        """
+        drained: list = []
         while (frame := self._egress_cons.try_peek()) is not None:
             session_id, seq, sealed, tag = open_in_place(frame)
             handle = self._handles.get(session_id)
@@ -369,21 +488,38 @@ class ServingService:
                 self._egress_cons.release()
                 self._count_frame_drop()
                 continue
-            if not handle.response_tagger.verify(
-                    frame_j0(seq), frame_aad(session_id, seq),
-                    sealed.tobytes(), tag):
+            drained.append((handle, session_id, seq, sealed.copy(), tag))
+            self._egress_cons.release()
+        if not drained:
+            return 0
+        if len(drained) >= _TAG_BATCH_MIN:
+            expected = frame_tags_batched(
+                [handle.response_tagger for handle, _, _, _, _ in drained],
+                [frame_j0(seq) for _, _, seq, _, _ in drained],
+                [frame_aad(sid, seq) for _, sid, seq, _, _ in drained],
+                [sealed.tobytes() for _, _, _, sealed, _ in drained])
+            verdicts = [constant_time_eq(want, tag)
+                        for (_, _, _, _, tag), want in zip(drained, expected)]
+        else:
+            verdicts = [
+                handle.response_tagger.verify(
+                    frame_j0(seq), frame_aad(sid, seq), sealed.tobytes(),
+                    tag)
+                for handle, sid, seq, sealed, tag in drained]
+        delivered = 0
+        for (handle, session_id, seq, sealed, _), ok in zip(drained,
+                                                            verdicts):
+            if not ok:
                 # Tampered or corrupted in the OS-relayed ring: drop
                 # the response, never the session.
-                self._egress_cons.release()
                 self._count_auth_failure()
                 continue
             keystream = self._client_keystreams.take(
                 session_id, handle.response_key,
                 seq * self.response_bytes, self.response_bytes)
-            sealed ^= keystream   # open in place
+            sealed ^= keystream   # open the drained copy
             label = int(sealed[0])
             scores = sealed[1:].copy().view(np.int8)
-            self._egress_cons.release()
             submitted = handle.pending.pop(seq, None)
             if submitted is not None:
                 latency_ms = self.clock.now_ms - submitted
@@ -428,16 +564,41 @@ class ServingService:
                 "omg_serve_frames_dropped_total",
                 "ring frames dropped for unknown/closed sessions").inc()
 
-    def _ingest(self) -> None:
-        """Drain the ingress ring into the scheduler, two-phase.
+    def _count_admission_shed(self) -> None:
+        """One *accepted* request dropped at the admission gate.
+
+        Distinct from :meth:`_count_shed`: a submit-side shed never
+        consumed a sequence number, but an admission drop happens after
+        ingest — the seq was accepted into the ring and is now lost, so
+        it must appear in the exactly-once ledger
+        (``missing == auth_failures + frames_dropped + responses_dropped
+        + admission_shed``).
+        """
+        self._admission_shed += 1
+        if _obs.TELEMETRY is not None:
+            _obs.TELEMETRY.metrics.counter(
+                "omg_serve_admission_shed_total",
+                "accepted requests dropped by admission control").inc()
+
+    def _count_watchdog_flush(self) -> None:
+        self._watchdog_flushes += 1
+        if _obs.TELEMETRY is not None:
+            _obs.TELEMETRY.metrics.counter(
+                "omg_serve_watchdog_flushes_total",
+                "batches force-flushed past the watchdog deadline").inc()
+
+    def _ingest(self, sink=None) -> None:
+        """Drain the ingress ring, two-phase, into ``sink``.
 
         Phase one copies every sealed frame out of the ring and releases
         its slot — the ring drains at memcpy speed regardless of crypto.
         Phase two verifies all the drained tags in one batched GHASH
         sweep (scalar below :data:`_TAG_BATCH_MIN`), then XOR-opens the
-        survivors into the scheduler.  Frames that fail authentication
-        are dropped, never the ring or the session.
+        survivors into ``sink`` (default: the synchronous scheduler;
+        the async loop passes its admission router).  Frames that fail
+        authentication are dropped, never the ring or the session.
         """
+        submit = self.scheduler.submit if sink is None else sink
         drained: list = []
         while (frame := self._ingress_cons.try_peek()) is not None:
             session_id, seq, sealed, tag = open_in_place(frame)
@@ -477,8 +638,7 @@ class ServingService:
                 session_id, keys[0],
                 seq * self.request_bytes, self.request_bytes)
             sealed ^= keystream   # open the drained copy
-            self.scheduler.submit(
-                (session_id, seq, sealed.reshape(self.fingerprint_shape)))
+            submit((session_id, seq, sealed.reshape(self.fingerprint_shape)))
 
     def _egress_free(self) -> int:
         return self.config.ring_slots - 1 - len(self._egress_prod)
@@ -498,19 +658,28 @@ class ServingService:
             raise ServeError("egress ring full; poll_responses() first")
         return False
 
-    def _run_batch(self, batch: list) -> None:
+    def _run_batch(self, batch: list, worker=None, requeue=None) -> None:
         telemetry = _obs.TELEMETRY
         if telemetry is None:
-            self._execute_batch(batch)
+            self._execute_batch(batch, worker, requeue)
             return
         with telemetry.tracer.span("serve.batch", batch=len(batch)) as span:
-            self._execute_batch(batch)
+            self._execute_batch(batch, worker, requeue)
             span.set_attribute("egress_occupancy", len(self._egress_prod))
         telemetry.metrics.histogram(
             "omg_serve_batch_size", "requests per executed batch",
             buckets=_BATCH_BUCKETS).observe(len(batch))
 
-    def _execute_batch(self, batch: list) -> None:
+    def _execute_batch(self, batch: list, worker=None,
+                       requeue=None) -> None:
+        """Run one batch on ``worker`` (default: round-robin pick).
+
+        ``requeue`` is where a panicked worker's batch goes back —
+        exactly once, nothing sealed yet.  The synchronous dispatch
+        path defaults to the front of :attr:`scheduler`; the async loop
+        passes the originating class queue's requeue instead so the
+        batch keeps its priority on retry.
+        """
         soc = self.platform.soc
         fingerprints = np.stack([item[2] for item in batch])
         # Pipelined keystream prefetch: warm each session's response
@@ -524,7 +693,8 @@ class ServingService:
                     self._service_keystreams.prefetch(
                         session_id, keys[1], seq * self.response_bytes,
                         depth)
-        worker = self.pool.next_worker()
+        if worker is None:
+            worker = self.pool.next_worker()
         # One world-switch round trip per *batch*, not per request —
         # the scheduling win the simulated clock sees.
         soc.clock.advance_ms(2 * soc.profile.sa_world_switch_ms)
@@ -539,7 +709,7 @@ class ServingService:
             # (scrub + unlock).  Recover: requeue the batch at the front
             # of the queue — exactly once, nothing was sealed yet — and
             # relaunch a fresh, re-attested worker on the same core.
-            self.scheduler.requeue(batch)
+            (self.scheduler.requeue if requeue is None else requeue)(batch)
             self._batches_requeued += 1
             if _obs.TELEMETRY is not None:
                 _obs.TELEMETRY.metrics.counter(
@@ -660,12 +830,7 @@ class ServingService:
                     min(len(self.scheduler), self.config.max_batch)):
                 break
             self._run_batch(self.scheduler.flush(self.config.max_batch))
-            self._watchdog_flushes += 1
-            if _obs.TELEMETRY is not None:
-                _obs.TELEMETRY.metrics.counter(
-                    "omg_serve_watchdog_flushes_total",
-                    "batches force-flushed past the watchdog deadline"
-                ).inc()
+            self._count_watchdog_flush()
             ran += 1
         if force and len(self.scheduler):
             if self.config.strict:
@@ -692,30 +857,50 @@ class ServingService:
 
     def latency_percentiles(self) -> dict[str, float]:
         if not self.latencies_ms:
-            return {"p50_ms": 0.0, "p95_ms": 0.0}
+            return {"p50_ms": 0.0, "p95_ms": 0.0, "p99_ms": 0.0}
         lat = np.asarray(self.latencies_ms)
-        return {"p50_ms": float(np.percentile(lat, 50)),
-                "p95_ms": float(np.percentile(lat, 95))}
+        p50, p95, p99 = np.percentile(lat, (50, 95, 99))
+        return {"p50_ms": float(p50), "p95_ms": float(p95),
+                "p99_ms": float(p99)}
+
+    def attach_loop(self, loop) -> None:
+        """Register the :class:`~repro.serve.loop.ServingLoop` driving
+        this service so :meth:`stats` folds its per-class queue counters
+        (batches formed, queue depth) into the snapshot."""
+        self._loop = loop
 
     def stats(self) -> ServingStats:
         """The structured health snapshot (see :class:`ServingStats`)."""
         percentiles = self.latency_percentiles()
+        batches = self.scheduler.batches
+        full_batches = self.scheduler.full_batches
+        deadline_flushes = self.scheduler.deadline_flushes
+        queue_depth = len(self.scheduler)
+        if self._loop is not None:
+            for queue in self._loop.queues.values():
+                batches += queue.batches
+                full_batches += queue.full_batches
+                deadline_flushes += queue.deadline_flushes
+                queue_depth += len(queue)
+            queue_depth += self._loop.mailbox_depth()
         return ServingStats(
             requests_completed=self._requests_completed,
             frames_dropped=self._frames_dropped,
             responses_dropped=self._responses_dropped,
             auth_failures=self._auth_failures,
             requests_shed=self._requests_shed,
-            batches=self.scheduler.batches,
-            full_batches=self.scheduler.full_batches,
-            deadline_flushes=self.scheduler.deadline_flushes,
+            admission_shed=self._admission_shed,
+            batches=batches,
+            full_batches=full_batches,
+            deadline_flushes=deadline_flushes,
             watchdog_flushes=self._watchdog_flushes,
             workers_restarted=self.pool.restarts,
             batches_requeued=self._batches_requeued,
             open_sessions=len(self._handles),
-            queue_depth=len(self.scheduler),
+            queue_depth=queue_depth,
             p50_ms=percentiles["p50_ms"],
             p95_ms=percentiles["p95_ms"],
+            p99_ms=percentiles["p99_ms"],
         )
 
     def teardown(self) -> None:

@@ -36,6 +36,21 @@ def test_parser_serve_bench_flags():
     args = build_parser().parse_args(
         ["serve-bench", "--batch-sizes", "8,64,128"])
     assert args.batch_sizes == "8,64,128"
+    assert args.sessions is None and args.priority_mix == 0.5
+    args = build_parser().parse_args(
+        ["serve-bench", "--sessions", "100,500,1000",
+         "--priority-mix", "0.25"])
+    assert args.sessions == "100,500,1000"
+    assert args.priority_mix == 0.25
+
+
+def test_serve_bench_rejects_bad_sweep_arguments(capsys):
+    assert main(["serve-bench", "--sessions", "100,oops"]) == 2
+    assert "--sessions" in capsys.readouterr().out
+    assert main(["serve-bench", "--sessions", "0"]) == 2
+    capsys.readouterr()
+    assert main(["serve-bench", "--priority-mix", "1.5"]) == 2
+    assert "--priority-mix" in capsys.readouterr().out
 
 
 def test_parser_trace_defaults_and_flags():
