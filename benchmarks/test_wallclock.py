@@ -20,6 +20,9 @@ from repro.eval.bench import (
     ANALYSIS_MAX_SECONDS,
     CRYPTO_MIN_SPEEDUP,
     DEFAULT_REPORT_PATH,
+    FLEET_MIN_LICENSES_PER_SEC,
+    FLEET_P99_SLO_MS,
+    FLEET_SCALING_MIN_EFFICIENCY,
     HOOK_OVERHEAD_MAX,
     INFERENCE_FUSED_MIN_SPEEDUP,
     INFERENCE_MIN_SPEEDUP,
@@ -58,6 +61,7 @@ _REQUIRED_STAGES = frozenset({
     "inference_fused", "seal_pipeline", "dsp_streaming_10s",
     "provisioning_end_to_end", "fault_hooks", "static_analysis",
     "serving_throughput", "serving_concurrency", "telemetry_overhead",
+    "fleet_provisioning",
 })
 
 
@@ -174,6 +178,40 @@ def test_serving_concurrency_slo(wallclock_report):
         # Graceful mode may shed-and-retry at the ring, but admission
         # budgets are unbounded here: nothing accepted may be dropped.
         assert row["admission_shed"] == 0, (count, row)
+
+
+# --- fleet provisioning control plane ----------------------------------------
+
+@pytest.mark.slow
+def test_fleet_provisioning_throughput_and_slo(wallclock_report):
+    """The sharded control plane must provision the full 10^5-device
+    storm — every device terminal, none stalled — at the licenses/sec
+    floor, with the (virtual-clock, host-independent) p99 enrollment
+    latency inside the SLO even under the seeded fault plan."""
+    stage = _stage_or_skip(wallclock_report, "fleet_provisioning")
+    assert stage["devices"] >= 100_000, stage
+    assert stage["shards"] >= 8, stage
+    assert stage["completed"], stage
+    assert stage["stalled"] == 0, stage
+    assert stage["licenses_per_sec"] >= FLEET_MIN_LICENSES_PER_SEC, stage
+    assert stage["slo_met"], stage
+    assert stage["p99_ms"] <= FLEET_P99_SLO_MS, stage
+    assert stage["p99_ms"] >= stage["p50_ms"] > 0, stage
+
+
+@pytest.mark.slow
+def test_fleet_provisioning_scales_and_reconciles(wallclock_report):
+    """Scaling from the 10^4 baseline to the full fleet must not
+    degrade per-device wall-clock below the efficiency floor, the
+    seeded faults must actually fire, and the post-storm control-plane
+    sweep (restart + reconcile + audit verification) must leave exactly
+    one live license per granted device."""
+    stage = _stage_or_skip(wallclock_report, "fleet_provisioning")
+    assert stage["speedup"] >= FLEET_SCALING_MIN_EFFICIENCY, stage
+    assert stage["faults_fired"] > 0, stage
+    assert stage["live_licenses"] == stage["granted"], stage
+    assert stage["journal_records"] >= stage["granted"], stage
+    assert stage["audit_head_sample"], stage
 
 
 # --- the invariant checker itself must stay fast ----------------------------

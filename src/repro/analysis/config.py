@@ -30,6 +30,7 @@ LAYER_RANKS: dict[str, int] = {
     "core": 7,
     "attacks": 8,
     "baselines": 8,
+    "fleet": 8,
     "serve": 8,
     "eval": 9,
     "cli": 10,

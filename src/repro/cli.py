@@ -10,8 +10,9 @@ Commands::
     train       train a zoo architecture and report its trade-off numbers
     analyze     run the static invariant checkers over the source tree
     serve-bench benchmark multi-session serving vs the sequential path
+    fleet-bench provision a simulated device fleet across vendor shards
     trace       run a traced provision→serve pass and export telemetry
-    chaos       run seeded fault-injection schedules (device or serve)
+    chaos       run seeded fault-injection schedules (device/serve/fleet)
 
 Every command runs entirely offline on the simulated HiKey 960.
 """
@@ -121,6 +122,27 @@ def build_parser() -> argparse.ArgumentParser:
                              help="additionally run one traced serving "
                                   "pass and write a Chrome-trace JSON")
 
+    fleet_bench = sub.add_parser(
+        "fleet-bench",
+        help="run the fleet-provisioning storm benchmark (multi-tenant "
+             "attestation + license issuance across vendor shards)")
+    fleet_bench.add_argument("--devices", type=int, default=100_000,
+                             help="pooled devices in the full fleet "
+                                  "(default: %(default)s)")
+    fleet_bench.add_argument("--shards", type=int, default=8,
+                             help="vendor shards on the consistent-hash "
+                                  "ring (default: %(default)s)")
+    fleet_bench.add_argument("--baseline-devices", type=int,
+                             default=10_000,
+                             help="fleet size for the scaling-efficiency "
+                                  "baseline storm (default: %(default)s)")
+    fleet_bench.add_argument("--fault-seed", type=int, default=41,
+                             help="seed of the storm's fixed fault "
+                                  "schedule (default: %(default)s)")
+    fleet_bench.add_argument("--out", default=None, metavar="PATH",
+                             help="merge the fleet stage into this "
+                                  "BENCH_wallclock.json report")
+
     trace = sub.add_parser(
         "trace",
         help="run a traced provision→serve pass and export the "
@@ -146,11 +168,11 @@ def build_parser() -> argparse.ArgumentParser:
         "chaos",
         help="run seeded fault-injection schedules and write per-seed "
              "transcripts")
-    chaos.add_argument("--layer", choices=("device", "serve"),
+    chaos.add_argument("--layer", choices=("device", "serve", "fleet"),
                        default="device",
                        help="device: single-device pipeline chaos; serve: "
-                            "multi-session serving chaos (default: "
-                            "%(default)s)")
+                            "multi-session serving chaos; fleet: sharded "
+                            "enrollment-storm chaos (default: %(default)s)")
     chaos.add_argument("--seeds", type=int, default=20,
                        help="number of schedules (seeds first..first+N-1)")
     chaos.add_argument("--first-seed", type=int, default=0)
@@ -412,6 +434,71 @@ def _cmd_serve_bench(args) -> int:
     return 0 if (stage["speedup"] >= SERVING_MIN_SPEEDUP and slo_ok) else 1
 
 
+def _cmd_fleet_bench(args) -> int:
+    import json
+
+    from repro.eval.bench import (FLEET_MIN_LICENSES_PER_SEC,
+                                  FLEET_P99_SLO_MS,
+                                  FLEET_SCALING_MIN_EFFICIENCY,
+                                  bench_fleet_provisioning)
+
+    if args.devices < 1 or args.baseline_devices < 1:
+        print("--devices and --baseline-devices must be positive")
+        return 2
+    if args.shards < 1:
+        print("--shards must be positive")
+        return 2
+
+    stage = bench_fleet_provisioning(
+        devices=args.devices, shards=args.shards,
+        baseline_devices=args.baseline_devices,
+        fault_seed=args.fault_seed)
+    print(f"fleet: {stage['devices']} devices, {stage['cohorts']} pooled "
+          f"cohorts, {stage['shards']} shards "
+          f"(built in {stage['build_s']:.1f} s)")
+    print(f"storm: {stage['granted']} licenses in {stage['storm_s']:.1f} s "
+          f"wall = {stage['licenses_per_sec']:.0f} licenses/s "
+          f"(floor {FLEET_MIN_LICENSES_PER_SEC:.0f}/s), "
+          f"{stage['waves']} waves over {stage['virtual_seconds']:.2f} s "
+          f"virtual")
+    print(f"faults: {stage['faults_fired']} fired — {stage['drops']} "
+          f"dropped legs, {stage['crashes']} crashes, "
+          f"{stage['restarts']} restarts, {stage['retries']} retries, "
+          f"{stage['takeovers']} failover takeovers")
+    print(f"latency: p50 {stage['p50_ms']:.0f} ms / p99 "
+          f"{stage['p99_ms']:.0f} ms enrollment (SLO "
+          f"{FLEET_P99_SLO_MS:.0f} ms) — "
+          f"{'met' if stage['slo_met'] else 'MISSED'}")
+    print(f"control plane: {stage['live_licenses']} live licenses, "
+          f"{stage['duplicates_reconciled']} duplicates reconciled, "
+          f"{stage['journal_records']} journal records, "
+          f"{stage['audit_records']} audit records "
+          f"(sampled head {stage['audit_head_sample'][:16]}…)")
+    print(f"scaling efficiency vs {stage['baseline_devices']}-device "
+          f"baseline: {stage['speedup']:.2f} "
+          f"(floor {FLEET_SCALING_MIN_EFFICIENCY})")
+    if args.out:
+        try:
+            with open(args.out) as fh:
+                report = json.load(fh)
+        except FileNotFoundError:
+            report = {"stages": {}, "thresholds": {}}
+        report.setdefault("stages", {})["fleet_provisioning"] = stage
+        thresholds = report.setdefault("thresholds", {})
+        thresholds["fleet_provisioning"] = FLEET_SCALING_MIN_EFFICIENCY
+        thresholds["fleet_min_licenses_per_sec"] = FLEET_MIN_LICENSES_PER_SEC
+        thresholds["fleet_p99_slo_ms"] = FLEET_P99_SLO_MS
+        with open(args.out, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"merged fleet stage into {args.out}")
+    ok = (stage["completed"]
+          and stage["licenses_per_sec"] >= FLEET_MIN_LICENSES_PER_SEC
+          and stage["slo_met"]
+          and stage["speedup"] >= FLEET_SCALING_MIN_EFFICIENCY)
+    return 0 if ok else 1
+
+
 def _cmd_trace(args) -> int:
     from repro.eval.trace_run import run_traced_serving
     from repro.obs import render_summary, to_prometheus, write_chrome_trace
@@ -456,6 +543,7 @@ _COMMANDS = {
     "export": _cmd_export,
     "export-dataset": _cmd_export_dataset,
     "serve-bench": _cmd_serve_bench,
+    "fleet-bench": _cmd_fleet_bench,
     "trace": _cmd_trace,
     "chaos": _cmd_chaos,
 }

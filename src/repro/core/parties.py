@@ -11,7 +11,7 @@ from dataclasses import dataclass, field
 
 from repro.crypto.kdf import derive_model_key
 from repro.crypto.rng import HmacDrbg
-from repro.crypto.keycache import deterministic_keypair
+from repro.crypto.keycache import SecretCache, deterministic_keypair
 from repro.crypto.rsa import RsaPrivateKey, RsaPublicKey
 from repro.errors import AttestationError, LicenseError, ProtocolError
 from repro.sanctuary.attestation import AttestationReport, verify_report
@@ -35,8 +35,18 @@ class WrappedKey:
 class Vendor:
     """The model owner / service provider V."""
 
+    # Retransmission-cache bound.  A well-behaved client holds at most
+    # one in-flight request nonce per step, so capacity only needs to
+    # cover the concurrently retrying population — not history.  At
+    # fleet scale an unbounded dict keyed by (enclave, nonce) grows one
+    # entry per enrollment forever; the LRU keeps the newest entries
+    # (retries always re-present the newest nonce) and scrubs evicted
+    # values on the way out.
+    RETRANSMIT_CACHE_CAPACITY = 4096
+
     def __init__(self, name: str, model: Model,
-                 seed: bytes = b"vendor-seed", key_bits: int = 1024) -> None:
+                 seed: bytes = b"vendor-seed", key_bits: int = 1024,
+                 cache_capacity: int | None = None) -> None:
         self.name = name
         self._rng = HmacDrbg(seed, b"vendor")
         self._master_secret = self._rng.generate(32)
@@ -52,8 +62,11 @@ class Vendor:
         # Retransmission caches: responses bound to a client request
         # nonce, so a replayed retry is answered idempotently instead
         # of re-consuming license state or rotating KDF nonces.
-        self._provision_cache: dict[tuple[str, bytes], EncryptedModel] = {}
-        self._release_cache: dict[tuple[str, bytes], WrappedKey] = {}
+        # Bounded LRU (scrub-on-evict): an evicted entry only means a
+        # *very* stale retry is re-served by the normal path.
+        capacity = cache_capacity or self.RETRANSMIT_CACHE_CAPACITY
+        self._provision_cache = SecretCache(capacity)
+        self._release_cache = SecretCache(capacity)
         self.provisioned_count = 0
         self.keys_released = 0
 
@@ -111,7 +124,7 @@ class Vendor:
             self._model.metadata.name, self.model_version, nonce, self._rng,
         )
         if request_nonce is not None:
-            self._provision_cache[(enclave_id, request_nonce)] = encrypted
+            self._provision_cache.put((enclave_id, request_nonce), encrypted)
         return encrypted
 
     # --- initialization phase -----------------------------------------------
@@ -148,7 +161,7 @@ class Vendor:
             wrapped=pk.encrypt_oaep(key, self._rng),
         )
         if request_nonce is not None:
-            self._release_cache[(enclave_id, request_nonce)] = wrapped
+            self._release_cache.put((enclave_id, request_nonce), wrapped)
         return wrapped
 
     # --- management -----------------------------------------------------
@@ -158,9 +171,7 @@ class Vendor:
         if enclave_id in self._licenses:
             self._licenses[enclave_id].revoke()
         # A revoked enclave must not be able to replay a cached release.
-        self._release_cache = {key: value
-                               for key, value in self._release_cache.items()
-                               if key[0] != enclave_id}
+        self._release_cache.discard_if(lambda key: key[0] == enclave_id)
 
     def license_state(self, enclave_id: str) -> LicenseState:
         if enclave_id not in self._licenses:

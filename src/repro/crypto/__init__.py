@@ -20,10 +20,16 @@ from repro.crypto.modes import GCM, gcm_decrypt, gcm_encrypt
 from repro.crypto.rng import HmacDrbg, default_rng
 from repro.crypto.rsa import RsaPrivateKey, RsaPublicKey, generate_keypair
 from repro.crypto.sha256 import SHA256, sha256
+from repro.crypto.sha256_batch import (
+    hmac_sha256_keyed,
+    hmac_sha256_many,
+    sha256_many,
+)
 
 __all__ = [
     "AES", "GCM", "gcm_encrypt", "gcm_decrypt",
     "SHA256", "sha256", "hmac_sha256", "hkdf", "constant_time_eq",
+    "sha256_many", "hmac_sha256_many", "hmac_sha256_keyed",
     "RsaPublicKey", "RsaPrivateKey", "generate_keypair",
     "HmacDrbg", "default_rng",
     "derive_model_key", "MODEL_KEY_SIZE",

@@ -18,7 +18,7 @@ backoff jitter, attestation challenges) is DRBG-seeded and time is a
 virtual clock, a schedule's fault transcript is bit-for-bit reproducible
 from its seed — the transcripts are the debugging artifact CI uploads.
 
-The harness has two layers, selected with ``--layer``:
+The harness has three layers, selected with ``--layer``:
 
 * ``device`` (default) — the original single-device pipeline above,
   under :func:`~repro.faults.random_plan`.
@@ -30,11 +30,21 @@ The harness has two layers, selected with ``--layer``:
   checks *exactly-once delivery*: every accepted sequence number ends as
   exactly one response or one typed, counted loss — never a duplicate,
   never silently missing.
+* ``fleet`` — a sharded enrollment storm through the
+  :class:`~repro.fleet.FleetDirector` under
+  :func:`~repro.faults.random_fleet_plan` (dropped enrollment legs,
+  shard crashes, torn journal appends).  The fleet layer checks
+  *single-spend across shards*: after crash recovery and reconcile,
+  every device holds at most one live license fleet-wide; every shard's
+  hash-chained audit trail verifies offline; and no tenant content key,
+  cohort ticket key, or wrap secret appears in journal media or audit
+  records.
 
 Run standalone::
 
     PYTHONPATH=src python -m repro.eval.chaos --seeds 20 --out chaos-out
     PYTHONPATH=src python -m repro.eval.chaos --layer serve --seeds 20
+    PYTHONPATH=src python -m repro.eval.chaos --layer fleet --seeds 20
 """
 
 from __future__ import annotations
@@ -57,7 +67,8 @@ from repro.core.retry import BackoffPolicy
 from repro.crypto.keycache import deterministic_keypair
 from repro.crypto.rng import HmacDrbg
 from repro.errors import ProtocolError, ReproError
-from repro.faults import FaultPlan, installed, random_plan, random_serve_plan
+from repro.faults import (FaultPlan, installed, random_fleet_plan,
+                          random_plan, random_serve_plan)
 from repro.obs import hooks as _obs
 from repro.sanctuary.lifecycle import (EnclaveState, SanctuaryRuntime)
 from repro.serve import (Priority, ServeConfig, ServingLoop, ServingService,
@@ -66,7 +77,8 @@ from repro.trustzone import make_platform
 
 __all__ = ["ChaosResult", "run_chaos_schedule", "write_chaos_transcripts",
            "default_chaos_model", "ServeChaosResult",
-           "run_serve_chaos_schedule"]
+           "run_serve_chaos_schedule", "FleetChaosResult",
+           "run_fleet_chaos_schedule"]
 
 _HEAP_BYTES = 1 << 20
 _KEY_BITS = 768
@@ -649,6 +661,239 @@ def run_serve_chaos_schedule(seed: int, model=None, *,
     return result
 
 
+@dataclass
+class FleetChaosResult:
+    """Outcome of one seeded *fleet* chaos schedule.
+
+    The cross-shard single-spend check is the heart of it: failover can
+    legitimately journal a device's grant on more than one shard, but
+    after every crashed shard has replayed its journal and the director
+    has reconciled, each device must hold at most one live license
+    fleet-wide — and every shard's hash-chained audit trail must still
+    verify offline.
+    """
+
+    seed: int
+    completed: bool = False           # every device reached a terminal state
+    error: str | None = None          # typed error class name, if any
+    error_message: str = ""
+    untyped: bool = False             # liveness violation: non-ReproError
+    devices: int = 0
+    granted: int = 0
+    rejected: int = 0
+    refused: int = 0
+    stalled: int = 0
+    retries: int = 0
+    drops: int = 0
+    takeovers: int = 0
+    crashes: int = 0
+    restarts: int = 0
+    torn_drops: int = 0               # journal records dropped at recovery
+    replays: int = 0                  # idempotent grant retransmissions
+    duplicates_reconciled: int = 0    # stale cross-shard grants revoked
+    rules: list[str] = field(default_factory=list)
+    fault_lines: list[str] = field(default_factory=list)
+    journals: dict = field(default_factory=dict)  # per-shard counters
+    audit_heads: dict = field(default_factory=dict)
+    safety_violations: list[str] = field(default_factory=list)
+
+    @property
+    def live(self) -> bool:
+        """Liveness invariant: completed, or failed with a typed error."""
+        return self.completed or (self.error is not None and not self.untyped)
+
+    @property
+    def safe(self) -> bool:
+        """Safety: single-spend held, audits verified, nothing leaked."""
+        return not self.safety_violations
+
+    def transcript(self) -> str:
+        """Per-seed artifact, embedding per-shard journal accounting."""
+        lines = [
+            f"fleet chaos schedule seed={self.seed}",
+            f"completed={self.completed} live={self.live} safe={self.safe}",
+            f"error={self.error or '-'} {self.error_message}".rstrip(),
+            f"devices={self.devices} granted={self.granted} "
+            f"rejected={self.rejected} refused={self.refused} "
+            f"stalled={self.stalled}",
+            f"retries={self.retries} drops={self.drops} "
+            f"takeovers={self.takeovers} crashes={self.crashes} "
+            f"restarts={self.restarts}",
+            f"torn_drops={self.torn_drops} replays={self.replays} "
+            f"duplicates_reconciled={self.duplicates_reconciled}",
+            "rules:",
+            *(f"  {rule}" for rule in self.rules),
+            "faults fired:",
+            *(f"  {line}" for line in self.fault_lines),
+            "journals:",
+            *(f"  {shard}: " + " ".join(f"{key}={value}"
+                                        for key, value in sorted(row.items()))
+              for shard, row in sorted(self.journals.items())),
+            "audit heads:",
+            *(f"  {shard}: {head}"
+              for shard, head in sorted(self.audit_heads.items())),
+        ]
+        if self.safety_violations:
+            lines.append("SAFETY VIOLATIONS:")
+            lines.extend(f"  {v}" for v in self.safety_violations)
+        return "\n".join(lines) + "\n"
+
+
+def run_fleet_chaos_schedule(seed: int, *, devices: int = 240,
+                             num_shards: int = 3,
+                             cohorts_per_tenant: int = 2,
+                             max_rules: int = 4) -> FleetChaosResult:
+    """Drive a sharded enrollment storm under ``random_fleet_plan``.
+
+    The fleet (tenant trust anchors, pooled cohorts, shard ring) is
+    built *outside* the installed plan, so fleet fault sites count only
+    storm operations and the transcript is reproducible from the seed.
+    Cohort labels fold the seed in, so each schedule gets distinct
+    tickets, nonces, and arrival offsets while the tenants' RSA anchors
+    stay process-cached across schedules.
+
+    Checks, in order: liveness (the storm drains — every device
+    terminal, since ``nth``-triggered rules exhaust their
+    ``max_fires``); journal recovery accounting (every crashed shard
+    replays, torn tails are dropped not half-applied); cross-shard
+    single-spend after :meth:`~repro.fleet.FleetDirector.reconcile`;
+    offline audit-chain verification per shard; and a leak scan of the
+    durable surfaces (journal media, audit records) for tenant content
+    keys, cohort ticket keys, and derived wrap secrets.
+    """
+    from repro.errors import LicenseError
+    from repro.fleet import DeviceFleet, FleetDirector
+    from repro.fleet.population import TERMINAL_STATES
+    from repro.hw.timing import VirtualClock
+
+    plan = random_fleet_plan(seed, max_rules=max_rules)
+    result = FleetChaosResult(seed=seed,
+                              rules=[repr(rule) for rule in plan.rules])
+
+    clock = VirtualClock()
+    fleet = DeviceFleet(clock, key_bits=_KEY_BITS, seed=b"fleet-chaos")
+    per_cohort = max(1, devices // (len(fleet.tenants) * cohorts_per_tenant))
+    for tenant in fleet.tenants:
+        for index in range(cohorts_per_tenant):
+            fleet.build_cohort(tenant, f"{tenant}-s{seed}-c{index}",
+                               per_cohort)
+    director = FleetDirector(
+        clock, [f"shard-{index}" for index in range(num_shards)],
+        fleet.tenants)
+    result.devices = fleet.device_count
+
+    report = None
+    with installed(plan):
+        try:
+            report = director.run_storm(fleet.cohorts, storm_seconds=0.5,
+                                        max_seconds=60.0)
+        except ReproError as exc:
+            result.error = type(exc).__name__
+            result.error_message = str(exc)
+        except Exception as exc:  # noqa: BLE001 — liveness violation
+            result.error = type(exc).__name__
+            result.error_message = str(exc)
+            result.untyped = True
+    result.fault_lines = plan.transcript_lines()
+
+    if report is not None:
+        result.granted = report.granted
+        result.rejected = report.rejected
+        result.refused = report.refused
+        result.stalled = report.stalled
+        result.retries = report.retries
+        result.drops = report.drops
+        result.takeovers = report.takeovers
+        result.crashes = report.crashes
+        result.restarts = report.restarts
+        result.completed = all(
+            state in TERMINAL_STATES
+            for cohort in fleet.cohorts for state in cohort.state)
+        if report.stalled and result.completed:
+            result.safety_violations.append(
+                f"storm report counts {report.stalled} stalled devices "
+                f"but every device is terminal")
+
+    # Crash recovery: any shard still dark replays its journal now, so
+    # the invariant checks below see the durable state, not the outage.
+    for shard in director.shards.values():
+        if not shard.up:
+            recovery = shard.restart()
+            result.restarts += 1
+            if recovery.torn_bytes_dropped and not any(
+                    "journal.append" in line for line in result.fault_lines):
+                result.safety_violations.append(
+                    f"{shard.shard_id}: dropped {recovery.torn_bytes_dropped}"
+                    f" torn bytes without a torn-write fault")
+
+    # Cross-shard single-spend: reconcile, then no device may appear in
+    # more than one live journal (and a second reconcile must be a
+    # fixed point — nothing left to revoke).
+    result.duplicates_reconciled = director.reconcile()
+    if director.reconcile() != 0:
+        result.safety_violations.append(
+            "reconcile is not a fixed point: duplicates survived a pass")
+    holders: dict[str, list[str]] = {}
+    for shard in director.shards.values():
+        result.journals[shard.shard_id] = {
+            "appends": shard.journal.appends,
+            "replays": shard.journal.replays,
+            "torn_drops": shard.journal.torn_drops,
+            "compactions": shard.journal.compactions,
+            "live": len(shard.journal.live),
+        }
+        result.torn_drops += shard.journal.torn_drops
+        result.replays += shard.journal.replays
+        for device in shard.journal.live:
+            holders.setdefault(device, []).append(shard.shard_id)
+    for device, shard_ids in sorted(holders.items()):
+        if len(shard_ids) > 1:
+            result.safety_violations.append(
+                f"single-spend violation: {device} holds live licenses "
+                f"on {', '.join(sorted(shard_ids))}")
+
+    # Offline audit verification: every shard's hash chain must check
+    # out from the records alone.
+    for shard in director.shards.values():
+        try:
+            shard.audit.seal()
+            result.audit_heads[shard.shard_id] = shard.audit.verify().hex()
+        except ReproError as exc:
+            result.safety_violations.append(
+                f"audit chain broken on {shard.shard_id}: {exc}")
+
+    # Leak scan over the durable surfaces: journal media and audit
+    # records are exactly what an offline verifier (or a stolen backup)
+    # sees, so no tenant or cohort secret may appear there.
+    markers: dict[str, bytes] = {}
+    for name, config in fleet.tenants.items():
+        try:
+            markers[f"content-key:{name}"] = config.content_key
+        except LicenseError:
+            pass
+        for cohort_id, credentials in config.cohorts.items():
+            markers[f"ticket-key:{cohort_id}"] = credentials.ticket_key
+            markers[f"wrap-base:{cohort_id}"] = credentials.wrap_base
+    for shard in director.shards.values():
+        surfaces = {
+            "journal": shard.journal.media_bytes(),
+            "audit": b"\n".join(record.encode()
+                                for record in shard.audit.records),
+        }
+        for surface_name, blob in surfaces.items():
+            for marker_name, secret in markers.items():
+                if secret and secret in blob:
+                    result.safety_violations.append(
+                        f"{marker_name} leaked into {shard.shard_id} "
+                        f"{surface_name}")
+                hexed = secret.hex().encode()
+                if hexed and hexed in blob:
+                    result.safety_violations.append(
+                        f"{marker_name} leaked (hex) into {shard.shard_id} "
+                        f"{surface_name}")
+    return result
+
+
 def write_chaos_transcripts(results: list[ChaosResult],
                             out_dir: str) -> str:
     """Write per-seed transcripts plus a summary.json; return the dir."""
@@ -673,10 +918,11 @@ def write_chaos_transcripts(results: list[ChaosResult],
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--layer", choices=("device", "serve"),
+    parser.add_argument("--layer", choices=("device", "serve", "fleet"),
                         default="device",
                         help="device: single-device pipeline chaos; "
-                             "serve: multi-session serving-stack chaos")
+                             "serve: multi-session serving-stack chaos; "
+                             "fleet: sharded enrollment-storm chaos")
     parser.add_argument("--seeds", type=int, default=20,
                         help="number of schedules (seeds 0..N-1)")
     parser.add_argument("--first-seed", type=int, default=0)
@@ -686,7 +932,12 @@ def main(argv=None) -> int:
 
     results = []
     for seed in range(args.first_seed, args.first_seed + args.seeds):
-        if args.layer == "serve":
+        if args.layer == "fleet":
+            result = run_fleet_chaos_schedule(seed)
+            extra = (f"granted={result.granted}/{result.devices} "
+                     f"reconciled={result.duplicates_reconciled} "
+                     f"restarts={result.restarts}")
+        elif args.layer == "serve":
             result = run_serve_chaos_schedule(seed)
             extra = (f"restarts={result.stats.get('workers_restarted', 0)}"
                      f" shed={result.shed}")

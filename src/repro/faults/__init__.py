@@ -26,16 +26,21 @@ from repro.faults.plan import (
     corrupt_nth_bus_write,
     corrupt_nth_ring_frame,
     crash_enclave_in_state,
+    crash_nth_shard_op,
     drop_channel_frame,
     drop_nth_bus_write,
+    drop_nth_fleet_reply,
+    drop_nth_fleet_rpc,
     drop_nth_keystream_chunk,
     panic_nth_worker_invoke,
+    random_fleet_plan,
     random_plan,
     random_serve_plan,
     rng_exhaustion_at,
     skew_nth_deadline,
     skip_nth_scrub,
     stall_nth_ring_reserve,
+    tear_nth_journal_append,
 )
 
 __all__ = [
@@ -47,4 +52,6 @@ __all__ = [
     "corrupt_nth_ring_frame", "stall_nth_ring_reserve", "skew_nth_deadline",
     "drop_nth_keystream_chunk", "panic_nth_worker_invoke",
     "random_serve_plan",
+    "drop_nth_fleet_rpc", "drop_nth_fleet_reply", "crash_nth_shard_op",
+    "tear_nth_journal_append", "random_fleet_plan",
 ]

@@ -39,6 +39,21 @@ site               actions                        effect
                                                   scrubbed and dropped
 ``worker.invoke``  ``panic``                      enclave worker panics
                                                   mid-batch
+``fleet.rpc``      ``drop``                       enrollment request leg
+                                                  lost in transit (client
+                                                  retries — storm
+                                                  amplification)
+``fleet.reply``    ``drop``                       grant reply lost *after*
+                                                  the journal append (the
+                                                  at-least-once hazard:
+                                                  failover retries can
+                                                  duplicate the grant on
+                                                  another shard)
+``fleet.shard``    ``crash``                      vendor shard crashes on
+                                                  the matched operation
+``journal.append`` ``torn``                       license-journal record
+                                                  written torn (truncated)
+                                                  and the shard crashes
 =================  =============================  =========================
 
 The serving-layer sites (everything below ``lifecycle``) were added
@@ -67,12 +82,15 @@ __all__ = [
     "corrupt_nth_ring_frame", "stall_nth_ring_reserve",
     "skew_nth_deadline", "drop_nth_keystream_chunk",
     "panic_nth_worker_invoke", "random_serve_plan",
+    "drop_nth_fleet_rpc", "drop_nth_fleet_reply", "crash_nth_shard_op",
+    "tear_nth_journal_append", "random_fleet_plan",
 ]
 
 SITES = ("bus.write", "bus.read", "memory.scrub", "rng.generate",
          "channel.seal", "channel.open", "lifecycle",
          "serve.ingress", "serve.egress", "ring.reserve",
-         "sched.deadline", "keycache.chunk", "worker.invoke")
+         "sched.deadline", "keycache.chunk", "worker.invoke",
+         "fleet.rpc", "fleet.reply", "fleet.shard", "journal.append")
 
 
 @dataclass(frozen=True)
@@ -414,6 +432,91 @@ class FaultPlan:
         finally:
             self._busy = False
 
+    # --- fleet-layer hook sites ------------------------------------------
+
+    def fleet_rpc(self) -> bool:
+        """True when a ``fleet.rpc`` drop rule fires: this enrollment
+        request leg is lost in transit and the device must retry it
+        (with the same request nonce — the shard's dedupe keeps the
+        replay idempotent).  Dropped legs are what turns an enrollment
+        storm into a retry-amplified one."""
+        if self._busy:
+            return False
+        self._busy = True
+        try:
+            rule = self._match("fleet.rpc")
+            if rule is None or rule.action != "drop":
+                return False
+            self._record(rule, "fleet.rpc",
+                         self._op_counts["fleet.rpc"], "dropped")
+            return True
+        finally:
+            self._busy = False
+
+    def fleet_reply(self) -> bool:
+        """True when a ``fleet.reply`` drop rule fires: the shard served
+        this grant — journal appended, audit recorded — but the reply
+        is lost on the way back.  The device retries; if the original
+        shard is down by then, failover lands the retry on another
+        shard and the grant is journaled *twice*, which is exactly the
+        cross-shard duplicate :meth:`FleetDirector.reconcile` must
+        revoke down to one."""
+        if self._busy:
+            return False
+        self._busy = True
+        try:
+            rule = self._match("fleet.reply")
+            if rule is None or rule.action != "drop":
+                return False
+            self._record(rule, "fleet.reply",
+                         self._op_counts["fleet.reply"], "dropped")
+            return True
+        finally:
+            self._busy = False
+
+    def fleet_shard(self, shard_id: str) -> bool:
+        """True when a ``fleet.shard`` crash rule fires: the shard
+        handling this operation crashes, losing all in-memory state.
+        Its journal survives (minus any torn tail) and is replayed on
+        restart."""
+        if self._busy:
+            return False
+        self._busy = True
+        try:
+            rule = self._match("fleet.shard")
+            if rule is None or rule.action != "crash":
+                return False
+            self._record(rule, "fleet.shard",
+                         self._op_counts["fleet.shard"],
+                         f"shard={shard_id}")
+            return True
+        finally:
+            self._busy = False
+
+    def journal_append(self, record: bytes) -> bytes:
+        """Possibly-torn journal record.
+
+        When a ``torn`` rule fires the record is truncated at a
+        DRBG-chosen offset — the durable medium keeps only a prefix, as
+        if power failed mid-write.  The caller must treat a torn return
+        as a crash (write the prefix, then go down): a real WAL can
+        only tear its *last* record.
+        """
+        if self._busy or len(record) < 2:
+            return record
+        self._busy = True
+        try:
+            rule = self._match("journal.append")
+            if rule is None or rule.action != "torn":
+                return record
+            cut = 1 + self._drbg.randint_below(len(record) - 1)
+            self._record(rule, "journal.append",
+                         self._op_counts["journal.append"],
+                         f"len={len(record)} cut={cut}")
+            return record[:cut]
+        finally:
+            self._busy = False
+
 
 # --- declarative rule constructors ----------------------------------------
 
@@ -495,6 +598,31 @@ def panic_nth_worker_invoke(n: int, max_fires: int = 1) -> FaultRule:
     return FaultRule("worker.invoke", "panic", nth=n, max_fires=max_fires)
 
 
+def drop_nth_fleet_rpc(n: int, span: int = 1) -> FaultRule:
+    """``span`` consecutive enrollment request legs starting at the nth
+    are lost in transit (a lossy window — the retry storm)."""
+    return FaultRule("fleet.rpc", "drop", nth=n, span=span, max_fires=span)
+
+
+def drop_nth_fleet_reply(n: int, span: int = 1) -> FaultRule:
+    """``span`` consecutive served grant replies starting at the nth are
+    lost *after* the journal append — retries become at-least-once and
+    failover can journal the same device's grant on two shards."""
+    return FaultRule("fleet.reply", "drop", nth=n, span=span,
+                     max_fires=span)
+
+
+def crash_nth_shard_op(n: int, max_fires: int = 1) -> FaultRule:
+    """The shard handling the nth fleet operation crashes."""
+    return FaultRule("fleet.shard", "crash", nth=n, max_fires=max_fires)
+
+
+def tear_nth_journal_append(n: int, max_fires: int = 1) -> FaultRule:
+    """The nth journal append is written torn (and the shard goes
+    down with it — only a tail record can tear)."""
+    return FaultRule("journal.append", "torn", nth=n, max_fires=max_fires)
+
+
 # --- randomized schedules for the chaos harness ---------------------------
 
 def random_plan(seed: int, max_rules: int = 4) -> FaultPlan:
@@ -520,6 +648,33 @@ def random_plan(seed: int, max_rules: int = 4) -> FaultPlan:
         lambda n: drop_channel_frame(1 + n % 8, "recv"),
         lambda n: crash_enclave_in_state("attested"),
         lambda n: crash_enclave_in_state("active", nth=1 + n % 4),
+    )
+    num_rules = 1 + chooser.randint_below(max_rules)
+    rules = [menu[chooser.randint_below(len(menu))](chooser.randint_below(64))
+             for _ in range(num_rules)]
+    return FaultPlan(seed, rules)
+
+
+def random_fleet_plan(seed: int, max_rules: int = 4) -> FaultPlan:
+    """A seeded random *fleet-layer* fault schedule.
+
+    Draws only from the fleet fault domains — dropped enrollment legs
+    (retry amplification), shard crashes, torn journal appends — so a
+    schedule exercises journal recovery, cross-shard failover, and the
+    at-most-one-live-license invariant.  All triggers are ``nth``-based,
+    so the transcript depends only on the per-site operation sequence
+    (a probability draw per enrollment leg would also cost one DRBG
+    HMAC per device — ruinous at fleet scale).
+    """
+    from repro.crypto.rng import HmacDrbg
+
+    chooser = HmacDrbg(seed.to_bytes(16, "big", signed=False),
+                       b"fleet-chaos-schedule")
+    menu = (
+        lambda n: drop_nth_fleet_rpc(1 + n % 60, span=1 + n % 5),
+        lambda n: drop_nth_fleet_reply(1 + n % 40, span=1 + n % 3),
+        lambda n: crash_nth_shard_op(2 + n % 40),
+        lambda n: tear_nth_journal_append(1 + n % 30),
     )
     num_rules = 1 + chooser.randint_below(max_rules)
     rules = [menu[chooser.randint_below(len(menu))](chooser.randint_below(64))

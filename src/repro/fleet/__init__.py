@@ -1,0 +1,51 @@
+"""Sharded fleet provisioning control plane.
+
+Multi-tenant attestation + license issuance for very large simulated
+device fleets: consistent-hash shard routing (:mod:`repro.fleet.ring`),
+write-ahead license journals with crash recovery
+(:mod:`repro.fleet.journal`), hash-chained redacted audit trails
+(:mod:`repro.fleet.audit`), per-tenant vendor shards serving both the
+full ``VendorServer`` wire protocol and the pooled group-attestation
+path (:mod:`repro.fleet.shard`), cohort fabrication
+(:mod:`repro.fleet.population`), and the routing/failover/storm driver
+(:mod:`repro.fleet.director`).
+"""
+
+from repro.fleet.audit import AuditChain, AuditRecord
+from repro.fleet.director import FleetDirector, StormReport
+from repro.fleet.journal import (
+    Grant,
+    LicenseJournal,
+    RecoveryReport,
+)
+from repro.fleet.population import DeviceCohort, DeviceFleet
+from repro.fleet.ring import HashRing, key_position, key_positions
+from repro.fleet.shard import (
+    CONTENT_KEY_SIZE,
+    CohortCredentials,
+    EnrollLeg,
+    EnrollReply,
+    TenantConfig,
+    VendorShard,
+)
+
+__all__ = [
+    "AuditChain",
+    "AuditRecord",
+    "CONTENT_KEY_SIZE",
+    "CohortCredentials",
+    "DeviceCohort",
+    "DeviceFleet",
+    "EnrollLeg",
+    "EnrollReply",
+    "FleetDirector",
+    "Grant",
+    "HashRing",
+    "LicenseJournal",
+    "RecoveryReport",
+    "StormReport",
+    "TenantConfig",
+    "VendorShard",
+    "key_position",
+    "key_positions",
+]

@@ -361,11 +361,14 @@ def test_full_suite_over_src_repro_is_clean():
     result = run_analysis([_SRC_REPRO], baseline=load_baseline())
     assert result.findings == [], render_human(result)
     # The intentional wall-clock reads (bench harness + telemetry wall
-    # stamps) + the keycache's dict-addressing consttime exceptions are
-    # waived inline, not baselined; none of them may go stale (a stale
-    # waiver would surface as an unused-waiver finding above).
-    assert len(result.waived) == 7
-    assert result.waiver_lines == 7
+    # stamps), the keycache's dict-addressing consttime exceptions, and
+    # the fleet cohort-registration taint false positive (the coarse
+    # param summary flags register_cohort's identifier-only error
+    # message) are waived inline, not baselined; none of them may go
+    # stale (a stale waiver would surface as an unused-waiver finding
+    # above).
+    assert len(result.waived) == 8
+    assert result.waiver_lines == 8
     assert result.baselined == []
     assert result.files > 100
 

@@ -174,3 +174,73 @@ def test_user_rejects_bad_report():
         user.verify_enclave(make_report(), measure(b"evil"),
                             ROOT.public_key)
     assert not user.trusts("sa#1")
+
+
+# --- retransmission caches (bounded, scrub-on-evict) ------------------------
+
+def _attested_vendor(**kwargs):
+    vendor = make_vendor(**kwargs)
+    vendor.accept_attestation(make_report(), MEASUREMENT, ROOT.public_key)
+    return vendor
+
+
+def test_release_cache_is_bounded_lru():
+    vendor = _attested_vendor(cache_capacity=4)
+    vendor.provision_model("sa#1")
+    nonces = [bytes([i]) * 8 for i in range(6)]
+    for nonce in nonces:
+        vendor.release_key("sa#1", 0.0, request_nonce=nonce)
+    assert vendor.keys_released == 6
+    assert len(vendor._release_cache) == 4
+    assert vendor._release_cache.evictions == 2
+    # A fresh retry of a retained nonce is answered from cache: no new
+    # release, same wrapped bytes.
+    again = vendor.release_key("sa#1", 0.0, request_nonce=nonces[-1])
+    assert vendor.keys_released == 6
+    assert again.wrapped == vendor.release_key(
+        "sa#1", 0.0, request_nonce=nonces[-1]).wrapped
+    # A *very* stale retry (its entry evicted) re-runs the normal path:
+    # one more spend, which is the documented bound/idempotency trade.
+    vendor.release_key("sa#1", 0.0, request_nonce=nonces[0])
+    assert vendor.keys_released == 7
+
+
+def test_provision_cache_is_bounded_and_replays_exact_ciphertext():
+    vendor = _attested_vendor(cache_capacity=3)
+    nonces = [bytes([0x40 + i]) * 8 for i in range(5)]
+    blobs = [vendor.provision_model("sa#1", request_nonce=n).blob
+             for n in nonces]
+    assert vendor.provisioned_count == 5
+    assert len(vendor._provision_cache) == 3
+    assert vendor._provision_cache.evictions == 2
+    replay = vendor.provision_model("sa#1", request_nonce=nonces[-1])
+    assert replay.blob == blobs[-1]          # byte-identical, from cache
+    assert vendor.provisioned_count == 5     # no KDF nonce rotation
+
+
+def test_revoke_purges_cached_releases():
+    vendor = _attested_vendor()
+    vendor.provision_model("sa#1")
+    nonce = b"\x01" * 8
+    vendor.release_key("sa#1", 0.0, request_nonce=nonce)
+    assert ("sa#1", nonce) in vendor._release_cache
+    vendor.revoke("sa#1")
+    assert ("sa#1", nonce) not in vendor._release_cache
+    # The replayed retry cannot resurrect the key from cache.
+    with pytest.raises(LicenseError):
+        vendor.release_key("sa#1", 0.0, request_nonce=nonce)
+
+
+def test_update_model_clears_both_retransmit_caches():
+    vendor = _attested_vendor()
+    vendor.provision_model("sa#1", request_nonce=b"\x02" * 8)
+    vendor.release_key("sa#1", 0.0, request_nonce=b"\x03" * 8)
+    assert len(vendor._provision_cache) == 1
+    assert len(vendor._release_cache) == 1
+    new_model = build_tiny_int8_model(seed=7)
+    new_model.metadata = type(new_model.metadata)(
+        name=new_model.metadata.name, version=2,
+        labels=new_model.metadata.labels)
+    vendor.update_model(new_model)
+    assert len(vendor._provision_cache) == 0
+    assert len(vendor._release_cache) == 0

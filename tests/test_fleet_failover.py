@@ -1,0 +1,108 @@
+"""Full-fidelity enrollment failing over between shards mid-flight.
+
+Satellite of the fleet control plane: a real ``ProvisioningClient``
+(TrustZone platform, SANCTUARY enclave, secure channel, at-most-once
+responder) starts enrolling against one shard, the shard crashes, and
+the *same* client — step ledger and per-step nonces intact — resumes
+against a different shard.  The tenant backend is shared (the vendor's
+durable database), so the resumed flow must complete with exactly one
+key release and exactly one live license across every journal.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.parties import Vendor
+from repro.errors import ProvisioningAborted, ReproError
+from repro.faults import FaultPlan, crash_nth_shard_op, installed
+from repro.fleet import DeviceFleet, FleetDirector
+from repro.fleet.population import repoint_full_device
+from repro.hw.timing import VirtualClock
+
+KEY_BITS = 768
+
+
+def _fleet_with_two_shards(tiny_model, seed: bytes):
+    clock = VirtualClock()
+    fleet = DeviceFleet(clock, tenants=("tenant-a",), key_bits=KEY_BITS,
+                        seed=seed)
+    director = FleetDirector(clock, ["shard-A", "shard-B"], fleet.tenants)
+    vendor = Vendor("fleet-vendor", tiny_model, key_bits=KEY_BITS,
+                    seed=seed + b"|vendor")
+    return clock, fleet, director, vendor
+
+
+def _live_holders(director, device):
+    return [shard_id for shard_id, shard in director.shards.items()
+            if device in shard.journal.live]
+
+
+@pytest.mark.parametrize("crash_op, done_before", [
+    (2, {"attest"}),            # crash on the model fetch
+    (3, {"attest", "model"}),   # crash on the key release itself
+])
+def test_resume_against_a_different_shard_is_idempotent(
+        tiny_model, crash_op, done_before):
+    # One shared seed across the parametrize: deterministic keypairs
+    # are process-cached, so the RSA cost is paid once.
+    clock, fleet, director, vendor = _fleet_with_two_shards(
+        tiny_model, b"fleet-failover")
+    shard_a = director.shards["shard-A"]
+    shard_b = director.shards["shard-B"]
+    device = "dev-full-01"
+    client, instance, _, _ = fleet.full_device(
+        "tenant-a", device, shard_a, vendor=vendor)
+
+    # Shard A crashes partway through and never comes back for this
+    # run; the client burns its resume rounds against a dead shard.
+    with installed(FaultPlan(11, [crash_nth_shard_op(crash_op)])):
+        with pytest.raises(ProvisioningAborted):
+            client.run()
+    assert not shard_a.up
+    assert done_before <= client.completed
+    assert "key" not in client.completed
+    assert device not in shard_a.journal.live  # crash hit before the grant
+
+    # Failover: same client, same ledger and nonces, new transport.
+    repoint_full_device(client, shard_b, "tenant-a", device, vendor)
+    client.run()
+    assert client.completed == set(client.STEPS)
+
+    # Exactly one key release, exactly one live license, held by B.
+    assert vendor.keys_released == 1
+    assert vendor.license_state(instance.instance_name).key_requests == 1
+    assert _live_holders(director, device) == ["shard-B"]
+    assert shard_b.grants == 1
+
+    # Shard A restarts (journal replay) and reconcile finds nothing to
+    # revoke: the crash landed before A journaled anything.
+    shard_a.restart()
+    assert director.reconcile() == 0
+    assert director.live_licenses() == {device: "shard-B"}
+    heads = director.verify_audits()
+    assert set(heads) == {"shard-A", "shard-B"}
+
+
+def test_completed_client_rerun_is_a_no_op(tiny_model):
+    _, fleet, director, vendor = _fleet_with_two_shards(
+        tiny_model, b"fleet-failover")
+    shard_a = director.shards["shard-A"]
+    device = "dev-full-02"
+    client, _, _, _ = fleet.full_device("tenant-a", device, shard_a,
+                                        vendor=vendor)
+    client.run()
+    grants_before = shard_a.grants
+    client.run()  # everything in the ledger: no new requests, no spend
+    assert vendor.keys_released == 1
+    assert shard_a.grants == grants_before
+    assert _live_holders(director, device) == ["shard-A"]
+
+
+def test_failover_requires_a_backend_for_full_devices(tiny_model):
+    clock = VirtualClock()
+    fleet = DeviceFleet(clock, tenants=("tenant-a",), key_bits=KEY_BITS,
+                        seed=b"fleet-failover")
+    director = FleetDirector(clock, ["shard-A"], fleet.tenants)
+    with pytest.raises(ReproError):
+        fleet.full_device("tenant-a", "dev-x", director.shards["shard-A"])

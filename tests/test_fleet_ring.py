@@ -1,0 +1,108 @@
+"""Consistent-hash ring properties (hypothesis) and API contracts.
+
+The two properties the fleet control plane leans on:
+
+* **balance** — with enough virtual nodes, no shard owns a share of a
+  uniform key population wildly out of proportion to 1/N;
+* **minimal remap** — adding or removing one shard remaps only ~1/N of
+  the keys, and every remapped key moves *to* (add) or *from* (remove)
+  exactly the changed shard — everyone else's assignment is untouched.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.fleet.ring import HashRing, key_position, key_positions
+
+# A fixed uniform key population: positions are SHA-256 of the key, so
+# "uniform" is a property of the hash, not of the chosen names.
+_KEYS = [f"dev-{i:05d}" for i in range(2000)]
+_POSITIONS = key_positions(_KEYS)
+
+
+def _shard_names(count: int) -> list[str]:
+    return [f"shard-{i:02d}" for i in range(count)]
+
+
+def _assignments(ring: HashRing) -> list[str]:
+    return [ring.owner_at(position) for position in _POSITIONS]
+
+
+def test_key_positions_match_scalar():
+    assert _POSITIONS == [key_position(k) for k in _KEYS]
+
+
+@given(st.integers(min_value=2, max_value=12))
+@settings(max_examples=10, deadline=None)
+def test_balance_within_tolerance(num_shards):
+    """No shard's share exceeds ~3x the fair 1/N share (64 vnodes)."""
+    ring = HashRing(_shard_names(num_shards), vnodes=64)
+    counts: dict[str, int] = {}
+    for owner in _assignments(ring):
+        counts[owner] = counts.get(owner, 0) + 1
+    assert len(counts) == num_shards  # every shard owns something
+    fair = len(_KEYS) / num_shards
+    assert max(counts.values()) <= 3.0 * fair, counts
+
+
+@given(st.integers(min_value=2, max_value=10))
+@settings(max_examples=10, deadline=None)
+def test_adding_one_shard_remaps_about_one_nth(num_shards):
+    ring = HashRing(_shard_names(num_shards), vnodes=64)
+    before = _assignments(ring)
+    ring.add_shard("shard-new")
+    after = _assignments(ring)
+    moved = [(old, new) for old, new in zip(before, after) if old != new]
+    # Every remapped key moved TO the new shard, from wherever it was.
+    assert all(new == "shard-new" for _, new in moved)
+    # ~1/(N+1) of keys move; allow 3x slack for vnode placement noise.
+    assert len(moved) <= 3.0 * len(_KEYS) / (num_shards + 1), len(moved)
+    assert moved, "a new shard must claim some range"
+
+
+@given(st.integers(min_value=3, max_value=10), st.integers(min_value=0))
+@settings(max_examples=10, deadline=None)
+def test_removing_one_shard_remaps_only_its_keys(num_shards, pick):
+    names = _shard_names(num_shards)
+    victim = names[pick % num_shards]
+    ring = HashRing(names, vnodes=64)
+    before = _assignments(ring)
+    ring.remove_shard(victim)
+    after = _assignments(ring)
+    for old, new in zip(before, after):
+        if old == victim:
+            assert new != victim  # its keys all went somewhere live
+        else:
+            assert new == old    # nobody else's assignment moved
+
+
+def test_add_remove_roundtrip_restores_assignments():
+    ring = HashRing(_shard_names(4), vnodes=64)
+    before = _assignments(ring)
+    ring.add_shard("shard-xx")
+    ring.remove_shard("shard-xx")
+    assert _assignments(ring) == before
+
+
+def test_preference_starts_with_owner_and_is_distinct():
+    ring = HashRing(_shard_names(5), vnodes=64)
+    for position in _POSITIONS[:50]:
+        preference = ring.preference_at(position, 5)
+        assert preference[0] == ring.owner_at(position)
+        assert len(set(preference)) == len(preference) == 5
+
+
+def test_duplicate_add_and_missing_remove_are_typed_errors():
+    ring = HashRing(_shard_names(2))
+    with pytest.raises(ReproError):
+        ring.add_shard("shard-00")
+    with pytest.raises(ReproError):
+        ring.remove_shard("shard-99")
+    with pytest.raises(ReproError):
+        HashRing(vnodes=0)
+    with pytest.raises(ReproError):
+        HashRing().owner("anything")
